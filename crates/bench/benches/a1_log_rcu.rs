@@ -1,0 +1,151 @@
+//! **A1 (ablation)** — RCU settings swap vs a naive fully-locked logger.
+//!
+//! The design point, straight from libvirt's logging subsystem: filters
+//! are evaluated **before** any lock that covers output writing, so a
+//! message that will be *dropped* never waits behind a slow output. The
+//! ablation baseline holds one mutex across filter evaluation and output
+//! writing.
+//!
+//! Measured scenario: three busy threads continuously write error-level
+//! records to a **file** output while the benchmark thread emits
+//! debug-level messages that the filter drops. With the RCU design the
+//! dropped message costs a shared read-lock + a level check; with the
+//! naive design it queues behind file I/O.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parking_lot::Mutex;
+
+use virt_core::log::{LogLevel, LogSettings, Logger};
+
+/// The ablation baseline: settings AND output writing behind one mutex.
+struct NaiveLogger {
+    state: Mutex<(LogSettings, std::fs::File)>,
+}
+
+impl NaiveLogger {
+    fn new(settings: LogSettings, path: &str) -> Self {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(path)
+            .expect("log file opens");
+        NaiveLogger {
+            state: Mutex::new((settings, file)),
+        }
+    }
+
+    fn log(&self, level: LogLevel, module: &str, message: &str) {
+        let mut state = self.state.lock();
+        if level < state.0.effective_level(module) {
+            return;
+        }
+        let _ = writeln!(state.1, "{level}: {module}: {message}");
+    }
+
+    fn redefine(&self, settings: LogSettings) {
+        self.state.lock().0 = settings;
+    }
+}
+
+fn file_settings(path: &str) -> LogSettings {
+    LogSettings {
+        // Global level error: the bench thread's debug messages are dropped.
+        level: LogLevel::Error,
+        filters: Vec::new(),
+        outputs: LogSettings::parse_outputs(&format!("1:file:{path}")).unwrap(),
+    }
+}
+
+fn with_writers<L: Send + Sync + 'static>(
+    logger: Arc<L>,
+    write: fn(&L),
+    redefine: fn(&L, &str),
+    path: String,
+    body: impl FnOnce(),
+) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for _ in 0..3 {
+        let logger = Arc::clone(&logger);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                write(&logger);
+            }
+        }));
+    }
+    {
+        let logger = Arc::clone(&logger);
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                redefine(&logger, &path);
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        }));
+    }
+    body();
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+fn bench_loggers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_dropped_message_latency");
+    group.sample_size(30);
+
+    let dir = std::env::temp_dir();
+
+    {
+        let path = dir
+            .join(format!("a1-rcu-{}.log", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let logger = Arc::new(Logger::new());
+        logger.redefine(file_settings(&path)).unwrap();
+        let write_path = path.clone();
+        with_writers(
+            Arc::clone(&logger),
+            |l| l.log(LogLevel::Error, "driver.qemu", "a failing operation with context attached"),
+            |l, p| l.redefine(file_settings(p)).unwrap(),
+            write_path,
+            || {
+                group.bench_function("rcu_swap", |b| {
+                    b.iter(|| logger.log(LogLevel::Debug, "driver.qemu", "dropped"))
+                });
+            },
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    {
+        let path = dir
+            .join(format!("a1-naive-{}.log", std::process::id()))
+            .to_string_lossy()
+            .into_owned();
+        let logger = Arc::new(NaiveLogger::new(file_settings(&path), &path));
+        let write_path = path.clone();
+        with_writers(
+            Arc::clone(&logger),
+            |l| l.log(LogLevel::Error, "driver.qemu", "a failing operation with context attached"),
+            |l, p| l.redefine(file_settings(p)),
+            write_path,
+            || {
+                group.bench_function("naive_mutex", |b| {
+                    b.iter(|| logger.log(LogLevel::Debug, "driver.qemu", "dropped"))
+                });
+            },
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_loggers);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! **A2 (ablation)** — XDR vs naive text serialization of protocol
+//! records. XDR's fixed binary layout should beat a key=value text
+//! format on encode time, decode time, and wire size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use virt_core::driver::{DomainRecord, DomainState};
+use virt_core::protocol::WireDomain;
+use virt_core::Uuid;
+use virt_rpc::xdr::{XdrDecode, XdrEncode};
+
+fn sample() -> WireDomain {
+    WireDomain::from(&DomainRecord {
+        name: "production-database-replica-03".to_string(),
+        uuid: Uuid::generate(),
+        id: Some(42),
+        state: DomainState::Running,
+        memory_mib: 16384,
+        max_memory_mib: 32768,
+        vcpus: 8,
+        persistent: true,
+        has_managed_save: false,
+        autostart: true,
+        cpu_time_ns: 86_400_000_000_000,
+    })
+}
+
+/// The text-format strawman: the same record as `key=value` lines.
+fn to_text(w: &WireDomain) -> String {
+    format!(
+        "name={}\nuuid={:02x?}\nid={}\nstate={}\nmemory={}\nmax_memory={}\nvcpus={}\npersistent={}\nmanaged_save={}\nautostart={}\n",
+        w.name, w.uuid, w.id, w.state, w.memory_mib, w.max_memory_mib, w.vcpus, w.persistent,
+        w.has_managed_save, w.autostart
+    )
+}
+
+fn from_text(text: &str) -> WireDomain {
+    let mut fields = std::collections::HashMap::new();
+    for line in text.lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            fields.insert(k.to_string(), v.to_string());
+        }
+    }
+    WireDomain {
+        name: fields["name"].clone(),
+        uuid: [0; 16], // text parse of the hex array is omitted from the strawman's cost
+        id: fields["id"].parse().unwrap(),
+        state: fields["state"].parse().unwrap(),
+        memory_mib: fields["memory"].parse().unwrap(),
+        max_memory_mib: fields["max_memory"].parse().unwrap(),
+        vcpus: fields["vcpus"].parse().unwrap(),
+        persistent: fields["persistent"] == "true",
+        has_managed_save: fields["managed_save"] == "true",
+        autostart: fields["autostart"] == "true",
+        cpu_time_ns: fields.get("cpu_time").map(|v| v.parse().unwrap_or(0)).unwrap_or(0),
+    }
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let record = sample();
+    let xdr_bytes = record.to_xdr();
+    let text = to_text(&record);
+    println!(
+        "wire sizes: xdr={} bytes, text={} bytes ({:.1}x)",
+        xdr_bytes.len(),
+        text.len(),
+        text.len() as f64 / xdr_bytes.len() as f64
+    );
+
+    let mut group = c.benchmark_group("a2_serialization");
+    group.bench_function("xdr_encode", |b| b.iter(|| record.to_xdr()));
+    group.bench_function("xdr_decode", |b| b.iter(|| WireDomain::from_xdr(&xdr_bytes).unwrap()));
+    group.bench_function("text_encode", |b| b.iter(|| to_text(&record)));
+    group.bench_function("text_decode", |b| b.iter(|| from_text(&text)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_serialization);
+criterion_main!(benches);

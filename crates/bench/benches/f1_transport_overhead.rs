@@ -1,0 +1,93 @@
+//! **F1 (Criterion)** — per-call round-trip by transport.
+//!
+//! A fixed-cost call (`hostname`) over memory / unix / tcp / tls-sim.
+//! Expected ordering: memory < unix ≈ tcp < tls.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use virt_bench::unique;
+use virt_core::Connect;
+use virt_rpc::transport::{Listener, TcpSocketListener, TlsSimTransport, Transport, UnixSocketListener};
+use virtd::Virtd;
+
+struct BoxTransport(Box<dyn Transport>);
+
+impl Transport for BoxTransport {
+    fn send_frame(&self, body: &[u8]) -> std::io::Result<()> {
+        self.0.send_frame(body)
+    }
+    fn recv_frame(&self) -> std::io::Result<Vec<u8>> {
+        self.0.recv_frame()
+    }
+    fn kind(&self) -> virt_rpc::TransportKind {
+        self.0.kind()
+    }
+    fn peer(&self) -> String {
+        self.0.peer()
+    }
+    fn shutdown(&self) -> std::io::Result<()> {
+        self.0.shutdown()
+    }
+}
+
+struct TlsListener(TcpSocketListener);
+
+impl Listener for TlsListener {
+    fn accept(&self) -> std::io::Result<Box<dyn Transport>> {
+        let inner = self.0.accept()?;
+        Ok(Box::new(TlsSimTransport::server(BoxTransport(inner), rand::random())?))
+    }
+    fn local_desc(&self) -> String {
+        format!("tls:{}", self.0.local_desc())
+    }
+    fn close(&self) {
+        self.0.close();
+    }
+}
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_hostname_rtt");
+    group.sample_size(50);
+
+    // memory
+    let endpoint = unique("f1c-mem");
+    let mem_daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    mem_daemon.register_memory_endpoint(&endpoint).unwrap();
+    let mem_conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    group.bench_function("memory", |b| b.iter(|| mem_conn.hostname().unwrap()));
+
+    // unix
+    let ux_daemon = Virtd::builder(unique("f1c-ux")).with_quiet_hosts().build().unwrap();
+    let path = format!("/tmp/{}.sock", unique("f1c"));
+    ux_daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
+    let ux_conn = Connect::open(&format!("qemu+unix:///system?socket={path}")).unwrap();
+    group.bench_function("unix", |b| b.iter(|| ux_conn.hostname().unwrap()));
+
+    // tcp
+    let tcp_daemon = Virtd::builder(unique("f1c-tcp")).with_quiet_hosts().build().unwrap();
+    let tcp_listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
+    let tcp_addr = tcp_listener.local_addr().to_string();
+    tcp_daemon.serve(Box::new(tcp_listener));
+    let tcp_conn = Connect::open(&format!("qemu+tcp://{tcp_addr}/system")).unwrap();
+    group.bench_function("tcp", |b| b.iter(|| tcp_conn.hostname().unwrap()));
+
+    // tls
+    let tls_daemon = Virtd::builder(unique("f1c-tls")).with_quiet_hosts().build().unwrap();
+    let tls_listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
+    let tls_addr = tls_listener.local_addr().to_string();
+    tls_daemon.serve(Box::new(TlsListener(tls_listener)));
+    let tls_conn = Connect::open(&format!("qemu+tls://{tls_addr}/system")).unwrap();
+    group.bench_function("tls", |b| b.iter(|| tls_conn.hostname().unwrap()));
+
+    group.finish();
+    for conn in [mem_conn, ux_conn, tcp_conn, tls_conn] {
+        conn.close();
+    }
+    for daemon in [mem_daemon, ux_daemon, tcp_daemon, tls_daemon] {
+        daemon.shutdown();
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

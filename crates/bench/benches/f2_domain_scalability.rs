@@ -1,0 +1,49 @@
+//! **F2 (Criterion)** — listing cost vs population size over the remote
+//! path. Expected: linear in N with flat per-domain cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use virt_bench::{define_domains, quiet_daemon};
+use virt_core::Connect;
+
+fn bench_listing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_list_all_domains");
+    group.sample_size(30);
+
+    for &n in &[1usize, 10, 100, 1000] {
+        let (daemon, uri) = quiet_daemon();
+        let conn = Connect::open(&uri).unwrap();
+        define_domains(&conn, n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let domains = conn.list_all_domains().unwrap();
+                assert_eq!(domains.len(), n);
+            })
+        });
+        conn.close();
+        daemon.shutdown();
+    }
+    group.finish();
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f2_lookup_in_population");
+    group.sample_size(30);
+
+    for &n in &[10usize, 1000] {
+        let (daemon, uri) = quiet_daemon();
+        let conn = Connect::open(&uri).unwrap();
+        define_domains(&conn, n);
+        let target = format!("vm-{}", n / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| conn.domain_lookup_by_name(&target).unwrap())
+        });
+        conn.close();
+        daemon.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_listing, bench_lookup);
+criterion_main!(benches);

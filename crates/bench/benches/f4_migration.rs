@@ -1,0 +1,62 @@
+//! **F4 (Criterion)** — cost of the pre-copy model computation and of the
+//! full five-phase migration protocol between two embedded connections.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hypersim::migration::simulate_precopy;
+use hypersim::{LatencyModel, MiB, MigrationParams, SimClock, SimHost};
+use virt_core::driver::MigrationOptions;
+use virt_core::drivers::embedded::EmbeddedConnection;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::Connect;
+
+fn bench_precopy_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_precopy_model");
+    for &memory in &[512u64, 4096, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(memory), &memory, |b, &memory| {
+            let params = MigrationParams::new(MiB(memory), 200, 1024);
+            b.iter(|| simulate_precopy(&params).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_five_phase_protocol");
+    group.sample_size(30);
+
+    let clock = SimClock::new();
+    let src_host = SimHost::builder("f4c-src")
+        .cpus(64)
+        .memory_mib(64 * 1024)
+        .clock(clock.clone())
+        .latency(LatencyModel::zero())
+        .build();
+    let dst_host = SimHost::builder("f4c-dst")
+        .cpus(64)
+        .memory_mib(64 * 1024)
+        .clock(clock)
+        .latency(LatencyModel::zero())
+        .seed(5)
+        .build();
+    let src = Connect::from_driver(EmbeddedConnection::new(src_host, "qemu:///src"));
+    let dst = Connect::from_driver(EmbeddedConnection::new(dst_host, "qemu:///dst"));
+
+    let domain = src.define_domain(&DomainConfig::new("pingpong", 1024, 1)).unwrap();
+    domain.start().unwrap();
+    let options = MigrationOptions::default();
+
+    group.bench_function("migrate_round_trip", |b| {
+        b.iter(|| {
+            // There and back again, so each iteration restores the setup.
+            let there = src.domain_lookup_by_name("pingpong").unwrap();
+            there.migrate_to(&dst, &options).unwrap();
+            let back = dst.domain_lookup_by_name("pingpong").unwrap();
+            back.migrate_to(&src, &options).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_precopy_model, bench_full_protocol);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! **T2 (Criterion)** — management-layer overhead per lifecycle cycle.
+//!
+//! Hosts have zero simulated latency, so measured wall time is purely the
+//! management stack: native < local driver < remote (daemon + XDR + pool).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hypersim::{DomainSpec, LatencyModel, SimHost};
+use virt_bench::unique;
+use virt_core::drivers::embedded::EmbeddedConnection;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::Connect;
+use virtd::Virtd;
+
+fn bench_lifecycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_lifecycle_cycle");
+    group.sample_size(30);
+
+    // Native hypervisor interface.
+    let native = SimHost::builder("t2c-native").latency(LatencyModel::zero()).build();
+    native.define_domain(DomainSpec::new("vm")).unwrap();
+    group.bench_function("native", |b| {
+        b.iter(|| {
+            native.start_domain("vm").unwrap();
+            native.suspend_domain("vm").unwrap();
+            native.resume_domain("vm").unwrap();
+            native.destroy_domain("vm").unwrap();
+        })
+    });
+
+    // Local driver (the library, embedded).
+    let local_host = SimHost::builder("t2c-local").latency(LatencyModel::zero()).build();
+    let local = Connect::from_driver(EmbeddedConnection::new(local_host, "qemu:///system"));
+    let local_domain = local.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+    group.bench_function("local_driver", |b| {
+        b.iter(|| {
+            local_domain.start().unwrap();
+            local_domain.suspend().unwrap();
+            local_domain.resume().unwrap();
+            local_domain.destroy().unwrap();
+        })
+    });
+
+    // Remote path through the daemon.
+    let endpoint = unique("t2c");
+    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    daemon.register_memory_endpoint(&endpoint).unwrap();
+    let remote = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let remote_domain = remote.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+    group.bench_function("remote_daemon", |b| {
+        b.iter(|| {
+            remote_domain.start().unwrap();
+            remote_domain.suspend().unwrap();
+            remote_domain.resume().unwrap();
+            remote_domain.destroy().unwrap();
+        })
+    });
+
+    group.finish();
+    remote.close();
+    daemon.shutdown();
+}
+
+criterion_group!(benches, bench_lifecycle);
+criterion_main!(benches);

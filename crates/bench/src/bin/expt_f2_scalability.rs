@@ -1,0 +1,101 @@
+//! **F2 — Scalability with domain count.**
+//!
+//! Management-layer cost of listing and bulk-operating on N domains
+//! through the remote protocol, N ∈ {1, 10, 100, 500, 1000}. The expected
+//! shape is linear scaling with a flat per-domain cost (no superlinear
+//! blowup), both for the wall-clock management path and for simulated
+//! hypervisor time.
+//!
+//! Run: `cargo run --release -p virt-bench --bin expt_f2_scalability`
+
+use std::time::Instant;
+
+use hypersim::SimClock;
+use virt_bench::unique;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::Connect;
+use virtd::{Virtd, VirtdConfig};
+
+fn main() {
+    let counts = [1usize, 10, 100, 500, 1000];
+    println!("F2: scalability with domain count (remote path, zero-latency hypervisor)");
+    println!(
+        "{:>6} {:>14} {:>16} {:>14} {:>16} {:>16}",
+        "N", "define (ms)", "define/dom (us)", "list (ms)", "list/dom (us)", "start-all (ms)"
+    );
+    println!("{}", "-".repeat(88));
+
+    let mut csv = String::from("n,define_ms,define_per_us,list_ms,list_per_us,startall_ms,sim_startall_ms\n");
+
+    for &n in &counts {
+        let endpoint = unique("f2");
+        let clock = SimClock::new();
+        // A host big enough to run 1000 tiny guests at once.
+        let host = hypersim::SimHost::builder("f2-qemu")
+            .cpus(256)
+            .cpu_overcommit(16)
+            .memory_mib(1024 * 1024)
+            .clock(clock.clone())
+            .latency(hypersim::LatencyModel::zero())
+            .build();
+        let daemon = Virtd::builder(&endpoint)
+            .clock(clock.clone())
+            .config(VirtdConfig::new().max_clients(16))
+            .host(host)
+            .build()
+            .unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+
+        let t = Instant::now();
+        for i in 0..n {
+            conn.define_domain(&DomainConfig::new(format!("vm-{i}"), 16, 1)).unwrap();
+        }
+        let define = t.elapsed();
+
+        // Warm, then measure listing.
+        conn.list_domain_names().unwrap();
+        let t = Instant::now();
+        let reps = 20;
+        for _ in 0..reps {
+            let names = conn.list_all_domains().unwrap();
+            assert_eq!(names.len(), n);
+        }
+        let list = t.elapsed() / reps;
+
+        let sim_start = clock.now();
+        let t = Instant::now();
+        for i in 0..n {
+            conn.domain_lookup_by_name(&format!("vm-{i}")).unwrap().start().unwrap();
+        }
+        let start_all = t.elapsed();
+        let sim_elapsed = clock.now().duration_since(sim_start);
+
+        println!(
+            "{:>6} {:>14.2} {:>16.2} {:>14.3} {:>16.2} {:>16.2}",
+            n,
+            define.as_secs_f64() * 1e3,
+            define.as_secs_f64() * 1e6 / n as f64,
+            list.as_secs_f64() * 1e3,
+            list.as_secs_f64() * 1e6 / n as f64,
+            start_all.as_secs_f64() * 1e3,
+        );
+        csv.push_str(&format!(
+            "{n},{:.3},{:.2},{:.4},{:.2},{:.3},{:.3}\n",
+            define.as_secs_f64() * 1e3,
+            define.as_secs_f64() * 1e6 / n as f64,
+            list.as_secs_f64() * 1e3,
+            list.as_secs_f64() * 1e6 / n as f64,
+            start_all.as_secs_f64() * 1e3,
+            sim_elapsed.as_secs_f64() * 1e3,
+        ));
+
+        conn.close();
+        daemon.shutdown();
+    }
+
+    let csv_path = "target/expt_f2_scalability.csv";
+    let _ = std::fs::write(csv_path, &csv);
+    println!("\nCSV written to {csv_path}");
+    println!("shape check: per-domain cost should stay roughly flat as N grows (linear total).");
+}

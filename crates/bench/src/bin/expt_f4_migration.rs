@@ -1,0 +1,112 @@
+//! **F4 — Live migration: total time and downtime.**
+//!
+//! Two sweeps over the full distributed migration path (two daemons,
+//! remote protocol, pre-copy model):
+//!
+//! 1. **memory sweep** — total time grows linearly with guest memory;
+//!    downtime stays bounded by the budget while pre-copy converges;
+//! 2. **dirty-rate sweep** — as the guest dirties memory faster, the
+//!    pre-copy iteration count climbs until the dirty rate crosses the
+//!    link bandwidth, where convergence fails and downtime blows past
+//!    the budget (the classic pre-copy crossover).
+//!
+//! Run: `cargo run --release -p virt-bench --bin expt_f4_migration`
+
+use hypersim::SimClock;
+use virt_bench::unique;
+use virt_core::driver::MigrationOptions;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::Connect;
+use virtd::Virtd;
+
+fn daemon_pair(clock: &SimClock) -> (Virtd, Virtd, Connect, Connect) {
+    let a = unique("f4-src");
+    let b = unique("f4-dst");
+    let src = Virtd::builder(&a).clock(clock.clone()).with_quiet_hosts().build().unwrap();
+    src.register_memory_endpoint(&a).unwrap();
+    let dst = Virtd::builder(&b).clock(clock.clone()).with_quiet_hosts().build().unwrap();
+    dst.register_memory_endpoint(&b).unwrap();
+    let src_conn = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
+    let dst_conn = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
+    (src, dst, src_conn, dst_conn)
+}
+
+fn main() {
+    let options = MigrationOptions {
+        bandwidth_mib_s: 1024,
+        max_downtime_ms: 300,
+        max_iterations: 30,
+    };
+    let mut csv = String::from("sweep,memory_mib,dirty_mib_s,total_ms,downtime_ms,iterations,transferred_mib,converged\n");
+
+    println!("F4a: migration vs guest memory (dirty 100 MiB/s, link 1024 MiB/s, budget 300 ms)");
+    println!(
+        "{:>10} {:>12} {:>14} {:>12} {:>16} {:>10}",
+        "mem (MiB)", "total (ms)", "downtime (ms)", "iterations", "moved (MiB)", "converged"
+    );
+    println!("{}", "-".repeat(80));
+    for memory in [256u64, 512, 1024, 2048, 4096, 8192, 16384] {
+        let clock = SimClock::new();
+        let (src_d, dst_d, src, dst) = daemon_pair(&clock);
+        let mut config = DomainConfig::new("guest", memory, 2);
+        config.dirty_rate_mib_s = 100;
+        let domain = src.define_domain(&config).unwrap();
+        domain.start().unwrap();
+        let report = domain.migrate_to(&dst, &options).unwrap();
+        println!(
+            "{:>10} {:>12} {:>14} {:>12} {:>16} {:>10}",
+            memory,
+            report.total_ms,
+            report.downtime_ms,
+            report.iterations,
+            report.transferred_mib,
+            report.converged
+        );
+        csv.push_str(&format!(
+            "memory,{memory},100,{},{},{},{},{}\n",
+            report.total_ms, report.downtime_ms, report.iterations, report.transferred_mib, report.converged
+        ));
+        src.close();
+        dst.close();
+        src_d.shutdown();
+        dst_d.shutdown();
+    }
+
+    println!("\nF4b: migration vs dirty rate (4096 MiB guest, link 1024 MiB/s, budget 300 ms)");
+    println!(
+        "{:>14} {:>12} {:>14} {:>12} {:>16} {:>10}",
+        "dirty (MiB/s)", "total (ms)", "downtime (ms)", "iterations", "moved (MiB)", "converged"
+    );
+    println!("{}", "-".repeat(84));
+    for dirty in [0u64, 100, 300, 600, 900, 1024, 1500, 3000] {
+        let clock = SimClock::new();
+        let (src_d, dst_d, src, dst) = daemon_pair(&clock);
+        let mut config = DomainConfig::new("guest", 4096, 2);
+        config.dirty_rate_mib_s = dirty;
+        let domain = src.define_domain(&config).unwrap();
+        domain.start().unwrap();
+        let report = domain.migrate_to(&dst, &options).unwrap();
+        println!(
+            "{:>14} {:>12} {:>14} {:>12} {:>16} {:>10}",
+            dirty,
+            report.total_ms,
+            report.downtime_ms,
+            report.iterations,
+            report.transferred_mib,
+            report.converged
+        );
+        csv.push_str(&format!(
+            "dirty,4096,{dirty},{},{},{},{},{}\n",
+            report.total_ms, report.downtime_ms, report.iterations, report.transferred_mib, report.converged
+        ));
+        src.close();
+        dst.close();
+        src_d.shutdown();
+        dst_d.shutdown();
+    }
+
+    let csv_path = "target/expt_f4_migration.csv";
+    let _ = std::fs::write(csv_path, &csv);
+    println!("\nCSV written to {csv_path}");
+    println!("shape check: total ∝ memory; downtime ≤ budget while converged; crossover at dirty ≈ bandwidth.");
+}

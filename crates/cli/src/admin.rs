@@ -1,0 +1,363 @@
+//! The `vadm` console client — daemon administration commands.
+//!
+//! Mirrors the `vsh` structure: [`run_admin`] takes arguments and an
+//! output sink. The daemon's admin server is reached over a Unix socket
+//! given with `-s`/`--socket` or the `VIRT_ADMIN_SOCKET` environment
+//! variable.
+//!
+//! ```text
+//! vadm [-s SOCKET] <command> [args...]
+//! ```
+
+use std::io::Write;
+
+use virt_core::log::LogLevel;
+use virt_core::{ErrorCode, TypedParam, VirtError, VirtResult};
+use virt_rpc::transport::UnixTransport;
+use virtd::AdminClient;
+
+/// Executes one admin command line; returns the process exit code.
+pub fn run_admin(args: &[String], out: &mut dyn Write) -> i32 {
+    match dispatch(args, out) {
+        Ok(()) => 0,
+        Err(err) => {
+            let _ = writeln!(out, "error: {err}");
+            1
+        }
+    }
+}
+
+fn invalid(msg: &str) -> VirtError {
+    VirtError::new(ErrorCode::InvalidArg, msg)
+}
+
+fn w(out: &mut dyn Write, line: &str) {
+    let _ = writeln!(out, "{line}");
+}
+
+fn arg<'a>(args: &[&'a str], index: usize, what: &str) -> VirtResult<&'a str> {
+    args.get(index)
+        .copied()
+        .ok_or_else(|| invalid(&format!("missing argument: {what}")))
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| *a == flag)
+        .and_then(|i| args.get(i + 1))
+        .copied()
+}
+
+fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
+    let mut socket = std::env::var("VIRT_ADMIN_SOCKET").ok();
+    let mut rest: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-s" | "--socket" => {
+                i += 1;
+                socket = Some(
+                    args.get(i)
+                        .ok_or_else(|| invalid("-s requires a socket path"))?
+                        .clone(),
+                );
+            }
+            other => rest.push(other),
+        }
+        i += 1;
+    }
+    let (&command, command_args) = rest
+        .split_first()
+        .ok_or_else(|| invalid("no command given; try 'help'"))?;
+
+    if command == "help" {
+        print_help(out);
+        return Ok(());
+    }
+
+    let socket = socket.ok_or_else(|| {
+        invalid("no admin socket: pass -s PATH or set VIRT_ADMIN_SOCKET")
+    })?;
+    let transport = UnixTransport::connect(&socket)
+        .map_err(|e| VirtError::new(ErrorCode::NoConnect, format!("'{socket}': {e}")))?;
+    let admin = AdminClient::new(transport);
+    let result = execute(&admin, command, command_args, out);
+    admin.close();
+    result
+}
+
+fn execute(admin: &AdminClient, command: &str, args: &[&str], out: &mut dyn Write) -> VirtResult<()> {
+    match command {
+        "srv-list" => {
+            w(out, &format!(" {:<4} {}", "Id", "Name"));
+            w(out, "---------------");
+            for (i, name) in admin.list_servers()?.iter().enumerate() {
+                w(out, &format!(" {:<4} {}", i, name));
+            }
+        }
+        "srv-threadpool-info" => {
+            let server = arg(args, 0, "server name")?;
+            let stats = admin.threadpool_info(server)?;
+            w(out, &format!("{:<16}: {}", "minWorkers", stats.min_workers));
+            w(out, &format!("{:<16}: {}", "maxWorkers", stats.max_workers));
+            w(out, &format!("{:<16}: {}", "nWorkers", stats.current_workers));
+            w(out, &format!("{:<16}: {}", "freeWorkers", stats.free_workers));
+            w(out, &format!("{:<16}: {}", "prioWorkers", stats.priority_workers));
+            w(out, &format!("{:<16}: {}", "jobQueueDepth", stats.job_queue_depth));
+        }
+        "srv-threadpool-set" => {
+            let server = arg(args, 0, "server name")?;
+            let mut params = Vec::new();
+            for (flag, field) in [
+                ("--min-workers", "minWorkers"),
+                ("--max-workers", "maxWorkers"),
+                ("--prio-workers", "prioWorkers"),
+            ] {
+                if let Some(value) = flag_value(args, flag) {
+                    let parsed: u32 = value
+                        .parse()
+                        .map_err(|_| invalid(&format!("{flag} must be a number")))?;
+                    params.push(TypedParam::uint(field, parsed));
+                }
+            }
+            if params.is_empty() {
+                return Err(invalid(
+                    "nothing to set; pass --min-workers/--max-workers/--prio-workers",
+                ));
+            }
+            admin.threadpool_set(server, params)?;
+            w(out, &format!("Threadpool of '{server}' updated"));
+        }
+        "srv-clients-info" => {
+            let server = arg(args, 0, "server name")?;
+            let (max, current, refused) = admin.client_limits(server)?;
+            w(out, &format!("{:<20}: {}", "nclients_max", max));
+            w(out, &format!("{:<20}: {}", "nclients_current", current));
+            w(out, &format!("{:<20}: {}", "nclients_refused", refused));
+        }
+        "srv-clients-set" => {
+            let server = arg(args, 0, "server name")?;
+            let max = flag_value(args, "--max-clients")
+                .ok_or_else(|| invalid("pass --max-clients N"))?
+                .parse::<u32>()
+                .map_err(|_| invalid("--max-clients must be a number"))?;
+            admin.set_max_clients(server, max)?;
+            w(out, &format!("Client limit of '{server}' set to {max}"));
+        }
+        "client-list" => {
+            let server = arg(args, 0, "server name")?;
+            w(out, &format!(" {:<5} {:<10} {:<22} {}", "Id", "Transport", "Peer", "Connected since (epoch s)"));
+            w(out, "------------------------------------------------------------------");
+            for client in admin.client_list(server)? {
+                w(
+                    out,
+                    &format!(
+                        " {:<5} {:<10} {:<22} {}",
+                        client.id, client.transport, client.peer, client.connected_secs
+                    ),
+                );
+            }
+        }
+        "client-info" => {
+            let server = arg(args, 0, "server name")?;
+            let id: u64 = arg(args, 1, "client id")?
+                .parse()
+                .map_err(|_| invalid("client id must be a number"))?;
+            let info = admin.client_info(server, id)?;
+            w(out, &format!("{:<16}: {}", "Id", info.id));
+            w(out, &format!("{:<16}: {}", "Transport", info.transport));
+            w(out, &format!("{:<16}: {}", "Peer", info.peer));
+            w(out, &format!("{:<16}: {}", "Connected since", info.connected_secs));
+        }
+        "client-disconnect" => {
+            let server = arg(args, 0, "server name")?;
+            let id: u64 = arg(args, 1, "client id")?
+                .parse()
+                .map_err(|_| invalid("client id must be a number"))?;
+            admin.client_disconnect(server, id)?;
+            w(out, &format!("Client {id} disconnected from '{server}'"));
+        }
+        "dmn-log-info" => {
+            let (level, filters, outputs) = admin.log_info()?;
+            w(out, &format!("Logging level:   {level}"));
+            w(out, &format!("Logging filters: {filters}"));
+            w(out, &format!("Logging outputs: {outputs}"));
+        }
+        "dmn-log-define" => {
+            let mut did_something = false;
+            if let Some(level) = flag_value(args, "--level") {
+                let number: u32 = level.parse().map_err(|_| invalid("--level must be 1-4"))?;
+                admin.log_set_level(LogLevel::from_number(number)?)?;
+                did_something = true;
+            }
+            if let Some(filters) = flag_value(args, "--filters") {
+                admin.log_set_filters(filters)?;
+                did_something = true;
+            }
+            if let Some(outputs) = flag_value(args, "--outputs") {
+                admin.log_set_outputs(outputs)?;
+                did_something = true;
+            }
+            if !did_something {
+                return Err(invalid("nothing to define; pass --level/--filters/--outputs"));
+            }
+            w(out, "Logging settings updated");
+        }
+        other => return Err(invalid(&format!("unknown command '{other}'; try 'help'"))),
+    }
+    Ok(())
+}
+
+fn print_help(out: &mut dyn Write) {
+    w(out, "vadm — daemon administration client");
+    w(out, "");
+    w(out, "usage: vadm [-s SOCKET] <command> [args...]");
+    w(out, "");
+    w(out, "Monitoring:");
+    w(out, "  srv-list");
+    w(out, "  srv-threadpool-info <server>");
+    w(out, "  srv-clients-info <server>");
+    w(out, "  client-list <server>");
+    w(out, "  client-info <server> <id>");
+    w(out, "  dmn-log-info");
+    w(out, "Management:");
+    w(out, "  srv-threadpool-set <server> [--min-workers N] [--max-workers N] [--prio-workers N]");
+    w(out, "  srv-clients-set <server> --max-clients N");
+    w(out, "  client-disconnect <server> <id>");
+    w(out, "  dmn-log-define [--level 1-4] [--filters \"L:mod ...\"] [--outputs \"L:kind ...\"]");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use virt_rpc::transport::UnixSocketListener;
+    use virtd::Virtd;
+
+    fn unique(name: &str) -> String {
+        static N: AtomicU64 = AtomicU64::new(0);
+        format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Spins a daemon with a unix admin socket and runs a vadm line.
+    fn run_against_daemon(commands: &[&str]) -> Vec<(i32, String)> {
+        let daemon = Virtd::builder(unique("vadm")).with_quiet_hosts().build().unwrap();
+        let path = format!("/tmp/{}.sock", unique("vadm-admin"));
+        daemon.serve_admin(Box::new(UnixSocketListener::bind(&path).unwrap()));
+
+        let results = commands
+            .iter()
+            .map(|line| {
+                let mut args: Vec<String> = vec!["-s".to_string(), path.clone()];
+                args.extend(line.split_whitespace().map(str::to_string));
+                let mut out = Vec::new();
+                let code = run_admin(&args, &mut out);
+                (code, String::from_utf8_lossy(&out).into_owned())
+            })
+            .collect();
+        daemon.shutdown();
+        let _ = std::fs::remove_file(&path);
+        results
+    }
+
+    #[test]
+    fn help_needs_no_socket() {
+        let mut out = Vec::new();
+        let code = run_admin(&["help".to_string()], &mut out);
+        assert_eq!(code, 0);
+        assert!(String::from_utf8_lossy(&out).contains("srv-threadpool-set"));
+    }
+
+    #[test]
+    fn missing_socket_reports_clearly() {
+        std::env::remove_var("VIRT_ADMIN_SOCKET");
+        let mut out = Vec::new();
+        let code = run_admin(&["srv-list".to_string()], &mut out);
+        assert_eq!(code, 1);
+        assert!(String::from_utf8_lossy(&out).contains("no admin socket"));
+    }
+
+    #[test]
+    fn srv_list_and_threadpool_info() {
+        let results = run_against_daemon(&["srv-list", "srv-threadpool-info virtd"]);
+        assert_eq!(results[0].0, 0);
+        assert!(results[0].1.contains("virtd"));
+        assert!(results[0].1.contains("admin"));
+        assert_eq!(results[1].0, 0);
+        assert!(results[1].1.contains("maxWorkers"));
+        assert!(results[1].1.contains("20"));
+    }
+
+    #[test]
+    fn threadpool_set_round_trip() {
+        let results = run_against_daemon(&[
+            "srv-threadpool-set virtd --max-workers 33 --prio-workers 7",
+            "srv-threadpool-info virtd",
+        ]);
+        assert_eq!(results[0].0, 0, "{}", results[0].1);
+        assert!(results[1].1.contains("33"));
+        assert!(results[1].1.contains("7"));
+    }
+
+    #[test]
+    fn threadpool_set_requires_a_flag() {
+        let results = run_against_daemon(&["srv-threadpool-set virtd"]);
+        assert_eq!(results[0].0, 1);
+        assert!(results[0].1.contains("nothing to set"));
+    }
+
+    #[test]
+    fn clients_info_and_set() {
+        let results = run_against_daemon(&[
+            "srv-clients-info virtd",
+            "srv-clients-set virtd --max-clients 7",
+            "srv-clients-info virtd",
+        ]);
+        assert!(results[0].1.contains("nclients_max        : 120"));
+        assert_eq!(results[1].0, 0);
+        assert!(results[2].1.contains("nclients_max        : 7"));
+    }
+
+    #[test]
+    fn log_info_and_define() {
+        let results = run_against_daemon(&[
+            "dmn-log-info",
+            "dmn-log-define --level 1 --filters 2:daemon.rpc --outputs 1:buffer",
+            "dmn-log-info",
+        ]);
+        assert!(results[0].1.contains("Logging level:   error"));
+        assert_eq!(results[1].0, 0, "{}", results[1].1);
+        assert!(results[2].1.contains("Logging level:   debug"));
+        assert!(results[2].1.contains("2:daemon.rpc"));
+        assert!(results[2].1.contains("1:buffer"));
+    }
+
+    #[test]
+    fn bad_log_level_rejected() {
+        let results = run_against_daemon(&["dmn-log-define --level 9"]);
+        assert_eq!(results[0].0, 1);
+        assert!(results[0].1.contains("out of range"));
+    }
+
+    #[test]
+    fn client_list_shows_admin_connection_itself() {
+        // The vadm connection is a client of the admin server.
+        let results = run_against_daemon(&["client-list admin"]);
+        assert_eq!(results[0].0, 0);
+        assert!(results[0].1.contains("unix"));
+    }
+
+    #[test]
+    fn client_disconnect_unknown_id_fails() {
+        let results = run_against_daemon(&["client-disconnect virtd 424242"]);
+        assert_eq!(results[0].0, 1);
+        assert!(results[0].1.contains("no client"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        let results = run_against_daemon(&["frobnicate"]);
+        assert_eq!(results[0].0, 1);
+        assert!(results[0].1.contains("unknown command"));
+    }
+}

@@ -1,0 +1,7 @@
+//! `vadm` — the daemon administration client binary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(virsh::run_admin(&args, &mut stdout));
+}

@@ -1,0 +1,21 @@
+//! `vsh` — the console client binary.
+//!
+//! With a command: one-shot mode. Without: an interactive shell holding
+//! one connection open across commands.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Some(uri) = virsh::shell_uri(&args) {
+        let stdin = std::io::stdin();
+        let code = match virsh::run_shell(&uri, &mut stdin.lock(), &mut stdout) {
+            Ok(()) => 0,
+            Err(err) => {
+                eprintln!("error: {err}");
+                1
+            }
+        };
+        std::process::exit(code);
+    }
+    std::process::exit(virsh::run(&args, &mut stdout));
+}

@@ -1,0 +1,392 @@
+//! The [`Connect`] object — the root of the public API.
+//!
+//! A `Connect` is opened from a URI, which selects a driver via the
+//! registry ([libvirt's resolution rule](crate::driver::DriverRegistry)):
+//! stateless drivers first (`test`, `esx`), remote fallback for everything
+//! else.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::capabilities::Capabilities;
+use crate::driver::{DriverRegistry, HypervisorConnection, NodeInfo};
+use crate::domain::Domain;
+use crate::error::VirtResult;
+use crate::event::{CallbackId, DomainEvent, EventCallback};
+use crate::network::Network;
+use crate::storage::StoragePool;
+use crate::uri::ConnectUri;
+use crate::uuid::Uuid;
+use crate::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig};
+
+fn default_registry() -> &'static DriverRegistry {
+    static REGISTRY: OnceLock<DriverRegistry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut registry = DriverRegistry::new();
+        registry.register(Arc::new(crate::drivers::test::TestDriver::new()));
+        registry.register(Arc::new(crate::drivers::esx::EsxDriver::new()));
+        registry.set_fallback(Arc::new(crate::drivers::remote::RemoteDriver::new()));
+        registry
+    })
+}
+
+/// A connection to a hypervisor or management daemon.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use virt_core::Connect;
+///
+/// let conn = Connect::open("test:///default")?;
+/// let domains = conn.list_all_domains()?;
+/// assert_eq!(domains[0].name(), "test");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone)]
+pub struct Connect {
+    inner: Arc<dyn HypervisorConnection>,
+}
+
+impl std::fmt::Debug for Connect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connect").field("uri", &self.inner.uri()).finish()
+    }
+}
+
+impl Connect {
+    /// Opens a connection using the default driver registry.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidUri`] on a malformed URI;
+    /// [`crate::ErrorCode::NoConnect`] when no endpoint answers.
+    pub fn open(uri: &str) -> VirtResult<Connect> {
+        let parsed: ConnectUri = uri.parse()?;
+        Ok(Connect {
+            inner: default_registry().open(&parsed)?,
+        })
+    }
+
+    /// Opens using an explicit registry (embedders and tests).
+    ///
+    /// # Errors
+    ///
+    /// As [`Connect::open`].
+    pub fn open_with_registry(uri: &str, registry: &DriverRegistry) -> VirtResult<Connect> {
+        let parsed: ConnectUri = uri.parse()?;
+        Ok(Connect {
+            inner: registry.open(&parsed)?,
+        })
+    }
+
+    /// Wraps an already constructed driver connection (the daemon uses
+    /// this to re-enter the API over its local drivers).
+    pub fn from_driver(inner: Arc<dyn HypervisorConnection>) -> Connect {
+        Connect { inner }
+    }
+
+    /// The canonical URI.
+    pub fn uri(&self) -> String {
+        self.inner.uri()
+    }
+
+    /// The managed host's name.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn hostname(&self) -> VirtResult<String> {
+        self.inner.hostname()
+    }
+
+    /// Host facts.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn node_info(&self) -> VirtResult<NodeInfo> {
+        self.inner.node_info()
+    }
+
+    /// Hypervisor capabilities.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn capabilities(&self) -> VirtResult<Capabilities> {
+        self.inner.capabilities()
+    }
+
+    /// Whether the connection is usable.
+    pub fn is_alive(&self) -> bool {
+        self.inner.is_alive()
+    }
+
+    /// Closes the connection. Idempotent; handles become unusable.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+
+    pub(crate) fn raw(&self) -> &Arc<dyn HypervisorConnection> {
+        &self.inner
+    }
+
+    // ---- domains ------------------------------------------------------
+
+    /// All domains, active and defined.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn list_all_domains(&self) -> VirtResult<Vec<Domain>> {
+        Ok(self
+            .inner
+            .list_domains()?
+            .into_iter()
+            .map(|record| Domain::from_record(self.inner.clone(), record))
+            .collect())
+    }
+
+    /// Names of all domains.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn list_domain_names(&self) -> VirtResult<Vec<String>> {
+        Ok(self.inner.list_domains()?.into_iter().map(|r| r.name).collect())
+    }
+
+    /// Looks up a domain by name.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoDomain`].
+    pub fn domain_lookup_by_name(&self, name: &str) -> VirtResult<Domain> {
+        let record = self.inner.lookup_domain_by_name(name)?;
+        Ok(Domain::from_record(self.inner.clone(), record))
+    }
+
+    /// Looks up a domain by its active id.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoDomain`].
+    pub fn domain_lookup_by_id(&self, id: u32) -> VirtResult<Domain> {
+        let record = self.inner.lookup_domain_by_id(id)?;
+        Ok(Domain::from_record(self.inner.clone(), record))
+    }
+
+    /// Looks up a domain by UUID.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoDomain`].
+    pub fn domain_lookup_by_uuid(&self, uuid: Uuid) -> VirtResult<Domain> {
+        let record = self.inner.lookup_domain_by_uuid(uuid)?;
+        Ok(Domain::from_record(self.inner.clone(), record))
+    }
+
+    /// Persists a domain from its XML description.
+    ///
+    /// # Errors
+    ///
+    /// XML and duplicate failures.
+    pub fn define_domain_xml(&self, xml: &str) -> VirtResult<Domain> {
+        let record = self.inner.define_domain_xml(xml)?;
+        Ok(Domain::from_record(self.inner.clone(), record))
+    }
+
+    /// Persists a domain from a typed config (convenience).
+    ///
+    /// # Errors
+    ///
+    /// As [`Connect::define_domain_xml`].
+    pub fn define_domain(&self, config: &DomainConfig) -> VirtResult<Domain> {
+        self.define_domain_xml(&config.to_xml_string())
+    }
+
+    /// Creates and starts a transient domain from XML.
+    ///
+    /// # Errors
+    ///
+    /// XML, duplicate and capacity failures.
+    pub fn create_domain_xml(&self, xml: &str) -> VirtResult<Domain> {
+        let record = self.inner.create_domain_xml(xml)?;
+        Ok(Domain::from_record(self.inner.clone(), record))
+    }
+
+    // ---- storage --------------------------------------------------------
+
+    /// Names of all storage pools.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn list_storage_pools(&self) -> VirtResult<Vec<String>> {
+        self.inner.list_pools()
+    }
+
+    /// Looks up a pool by name.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoStoragePool`].
+    pub fn storage_pool_lookup_by_name(&self, name: &str) -> VirtResult<StoragePool> {
+        let record = self.inner.pool_info(name)?;
+        Ok(StoragePool::new(self.inner.clone(), record.name))
+    }
+
+    /// Defines a pool from XML.
+    ///
+    /// # Errors
+    ///
+    /// XML and duplicate failures.
+    pub fn define_storage_pool_xml(&self, xml: &str) -> VirtResult<StoragePool> {
+        let record = self.inner.define_pool_xml(xml)?;
+        Ok(StoragePool::new(self.inner.clone(), record.name))
+    }
+
+    /// Defines a pool from a typed config (convenience).
+    ///
+    /// # Errors
+    ///
+    /// As [`Connect::define_storage_pool_xml`].
+    pub fn define_storage_pool(&self, config: &PoolConfig) -> VirtResult<StoragePool> {
+        self.define_storage_pool_xml(&config.to_xml_string())
+    }
+
+    // ---- networks ----------------------------------------------------------
+
+    /// Names of all virtual networks.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn list_networks(&self) -> VirtResult<Vec<String>> {
+        self.inner.list_networks()
+    }
+
+    /// Looks up a network by name.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoNetwork`].
+    pub fn network_lookup_by_name(&self, name: &str) -> VirtResult<Network> {
+        let record = self.inner.network_info(name)?;
+        Ok(Network::new(self.inner.clone(), record.name))
+    }
+
+    /// Defines a network from XML.
+    ///
+    /// # Errors
+    ///
+    /// XML and duplicate failures.
+    pub fn define_network_xml(&self, xml: &str) -> VirtResult<Network> {
+        let record = self.inner.define_network_xml(xml)?;
+        Ok(Network::new(self.inner.clone(), record.name))
+    }
+
+    /// Defines a network from a typed config (convenience).
+    ///
+    /// # Errors
+    ///
+    /// As [`Connect::define_network_xml`].
+    pub fn define_network(&self, config: &NetworkConfig) -> VirtResult<Network> {
+        self.define_network_xml(&config.to_xml_string())
+    }
+
+    // ---- events ----------------------------------------------------------------
+
+    /// Registers a lifecycle-event callback.
+    ///
+    /// # Errors
+    ///
+    /// Driver failures.
+    pub fn register_event_callback(
+        &self,
+        callback: impl Fn(&DomainEvent) + Send + Sync + 'static,
+    ) -> VirtResult<CallbackId> {
+        let callback: EventCallback = Arc::new(callback);
+        self.inner.register_event_callback(callback)
+    }
+
+    /// Removes a callback by id.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidArg`] for unknown ids.
+    pub fn unregister_event_callback(&self, id: CallbackId) -> VirtResult<()> {
+        self.inner.unregister_event_callback(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DomainState;
+
+    #[test]
+    fn open_test_default() {
+        let conn = Connect::open("test:///default").unwrap();
+        assert!(conn.is_alive());
+        assert_eq!(conn.uri(), "test:///default");
+        assert_eq!(conn.hostname().unwrap(), "test-host");
+        assert_eq!(conn.list_domain_names().unwrap(), vec!["test"]);
+    }
+
+    #[test]
+    fn open_rejects_bad_uris() {
+        assert!(Connect::open("not a uri").is_err());
+        assert!(Connect::open("warp+warp://x/").is_err());
+    }
+
+    #[test]
+    fn unknown_scheme_falls_through_to_remote_and_fails_to_connect() {
+        // No daemon is listening on the default socket in the test env.
+        let err = Connect::open("qemu:///system").unwrap_err();
+        assert_eq!(err.code(), crate::ErrorCode::NoConnect);
+    }
+
+    #[test]
+    fn define_and_lifecycle_through_public_api() {
+        let conn = Connect::open("test:///default").unwrap();
+        let config = DomainConfig::new("api-vm", 512, 1);
+        let domain = conn.define_domain(&config).unwrap();
+        assert_eq!(domain.name(), "api-vm");
+        domain.start().unwrap();
+        assert_eq!(domain.state().unwrap(), DomainState::Running);
+        domain.destroy().unwrap();
+        domain.undefine().unwrap();
+        assert_eq!(conn.list_domain_names().unwrap(), vec!["test"]);
+    }
+
+    #[test]
+    fn lookups_by_every_key() {
+        let conn = Connect::open("test:///default").unwrap();
+        let by_name = conn.domain_lookup_by_name("test").unwrap();
+        let id = by_name.id().unwrap();
+        let by_id = conn.domain_lookup_by_id(id).unwrap();
+        assert_eq!(by_id.name(), "test");
+        let by_uuid = conn.domain_lookup_by_uuid(by_name.uuid()).unwrap();
+        assert_eq!(by_uuid.name(), "test");
+    }
+
+    #[test]
+    fn node_info_and_capabilities() {
+        let conn = Connect::open("test:///default").unwrap();
+        let info = conn.node_info().unwrap();
+        assert_eq!(info.hypervisor, "qemu");
+        assert_eq!(info.active_domains, 1);
+        assert!(conn.capabilities().unwrap().has_feature("migration"));
+    }
+
+    #[test]
+    fn close_invalidates_connection() {
+        let conn = Connect::open("test:///default").unwrap();
+        conn.close();
+        assert!(!conn.is_alive());
+        assert!(conn.list_domain_names().is_err());
+    }
+}

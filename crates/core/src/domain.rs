@@ -1,0 +1,349 @@
+//! The [`Domain`] handle.
+//!
+//! A `Domain` is a lightweight reference (connection + name + uuid) to a
+//! guest; every method re-enters the driver, so handles never go stale —
+//! they merely start failing with [`crate::ErrorCode::NoDomain`] once the
+//! domain is gone, mirroring libvirt handle semantics.
+
+use std::sync::Arc;
+
+use crate::driver::{DomainRecord, DomainState, HypervisorConnection};
+use crate::error::VirtResult;
+use crate::uuid::Uuid;
+
+/// A handle to a domain (virtual machine or container).
+///
+/// Obtained from [`crate::Connect`] lookup/define/create methods.
+#[derive(Clone)]
+pub struct Domain {
+    conn: Arc<dyn HypervisorConnection>,
+    name: String,
+    uuid: Uuid,
+}
+
+impl std::fmt::Debug for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Domain")
+            .field("name", &self.name)
+            .field("uuid", &self.uuid.to_string())
+            .finish()
+    }
+}
+
+impl Domain {
+    pub(crate) fn from_record(conn: Arc<dyn HypervisorConnection>, record: DomainRecord) -> Domain {
+        Domain {
+            conn,
+            name: record.name,
+            uuid: record.uuid,
+        }
+    }
+
+    pub(crate) fn connection(&self) -> &Arc<dyn HypervisorConnection> {
+        &self.conn
+    }
+
+    /// The domain's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The domain's UUID.
+    pub fn uuid(&self) -> Uuid {
+        self.uuid
+    }
+
+    /// A fresh snapshot of the domain's state.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoDomain`] once the domain is gone.
+    pub fn info(&self) -> VirtResult<DomainRecord> {
+        self.conn.lookup_domain_by_name(&self.name)
+    }
+
+    /// Current lifecycle state.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn state(&self) -> VirtResult<DomainState> {
+        Ok(self.info()?.state)
+    }
+
+    /// The hypervisor id while active.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn id(&self) -> VirtResult<u32> {
+        self.info()?.id.ok_or_else(|| {
+            crate::VirtError::new(crate::ErrorCode::OperationInvalid, "domain is not active")
+        })
+    }
+
+    /// Whether the domain is running or paused.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn is_active(&self) -> VirtResult<bool> {
+        Ok(self.info()?.state.is_active())
+    }
+
+    /// Boots the domain.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle/capacity failures.
+    pub fn start(&self) -> VirtResult<()> {
+        self.conn.start_domain(&self.name).map(drop)
+    }
+
+    /// Requests a graceful shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures.
+    pub fn shutdown(&self) -> VirtResult<()> {
+        self.conn.shutdown_domain(&self.name).map(drop)
+    }
+
+    /// Reboots the guest.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures.
+    pub fn reboot(&self) -> VirtResult<()> {
+        self.conn.reboot_domain(&self.name).map(drop)
+    }
+
+    /// Hard power-off.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures.
+    pub fn destroy(&self) -> VirtResult<()> {
+        self.conn.destroy_domain(&self.name).map(drop)
+    }
+
+    /// Pauses vCPUs.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures.
+    pub fn suspend(&self) -> VirtResult<()> {
+        self.conn.suspend_domain(&self.name).map(drop)
+    }
+
+    /// Resumes vCPUs.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures.
+    pub fn resume(&self) -> VirtResult<()> {
+        self.conn.resume_domain(&self.name).map(drop)
+    }
+
+    /// Saves guest memory and stops the domain (managed save).
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures; [`crate::ErrorCode::NoSupport`] on platforms
+    /// without save/restore.
+    pub fn managed_save(&self) -> VirtResult<()> {
+        self.conn.save_domain(&self.name).map(drop)
+    }
+
+    /// Restores from the managed save image.
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures.
+    pub fn restore(&self) -> VirtResult<()> {
+        self.conn.restore_domain(&self.name).map(drop)
+    }
+
+    /// Removes the persisted definition (domain must be inactive).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::OperationInvalid`] while active.
+    pub fn undefine(&self) -> VirtResult<()> {
+        self.conn.undefine_domain(&self.name)
+    }
+
+    /// Balloons memory to `memory_mib`.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidArg`] above the configured maximum.
+    pub fn set_memory(&self, memory_mib: u64) -> VirtResult<()> {
+        self.conn.set_domain_memory(&self.name, memory_mib).map(drop)
+    }
+
+    /// Sets the vCPU count.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidArg`]; capacity failures.
+    pub fn set_vcpus(&self, vcpus: u32) -> VirtResult<()> {
+        self.conn.set_domain_vcpus(&self.name, vcpus).map(drop)
+    }
+
+    /// Attaches a device described by XML.
+    ///
+    /// # Errors
+    ///
+    /// XML failures; duplicate targets.
+    pub fn attach_device(&self, device_xml: &str) -> VirtResult<()> {
+        self.conn.attach_device(&self.name, device_xml).map(drop)
+    }
+
+    /// Detaches the disk with the given target device name.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidArg`] when absent.
+    pub fn detach_device(&self, target: &str) -> VirtResult<()> {
+        self.conn.detach_device(&self.name, target).map(drop)
+    }
+
+    /// Takes a named snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoSupport`]; duplicate names.
+    pub fn snapshot_create(&self, name: &str) -> VirtResult<()> {
+        self.conn.snapshot_domain(&self.name, name).map(drop)
+    }
+
+    /// Lists snapshot names, oldest first.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn snapshot_list(&self) -> VirtResult<Vec<String>> {
+        self.conn.list_snapshots(&self.name)
+    }
+
+    /// Reverts to a named snapshot, restoring its state and memory.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidArg`] for unknown snapshots; capacity
+    /// failures when the snapshot no longer fits the host.
+    pub fn snapshot_revert(&self, name: &str) -> VirtResult<()> {
+        self.conn.revert_snapshot(&self.name, name).map(drop)
+    }
+
+    /// Deletes a named snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidArg`] for unknown snapshots.
+    pub fn snapshot_delete(&self, name: &str) -> VirtResult<()> {
+        self.conn.delete_snapshot(&self.name, name)
+    }
+
+    /// Marks the domain for autostart at host boot.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn set_autostart(&self, autostart: bool) -> VirtResult<()> {
+        self.conn.set_autostart(&self.name, autostart)
+    }
+
+    /// The domain's XML description.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn xml_desc(&self) -> VirtResult<String> {
+        self.conn.dump_domain_xml(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::Connect;
+    use crate::xmlfmt::DomainConfig;
+
+    fn setup() -> (Connect, Domain) {
+        let conn = Connect::open("test:///default").unwrap();
+        let domain = conn
+            .define_domain(&DomainConfig::new("handle-vm", 256, 1))
+            .unwrap();
+        (conn, domain)
+    }
+
+    #[test]
+    fn handle_exposes_identity() {
+        let (_conn, domain) = setup();
+        assert_eq!(domain.name(), "handle-vm");
+        assert!(!domain.uuid().is_nil());
+        assert!(format!("{domain:?}").contains("handle-vm"));
+    }
+
+    #[test]
+    fn full_lifecycle_through_handle() {
+        let (_conn, domain) = setup();
+        assert_eq!(domain.state().unwrap(), DomainState::Shutoff);
+        assert!(!domain.is_active().unwrap());
+        domain.start().unwrap();
+        assert!(domain.is_active().unwrap());
+        assert!(domain.id().unwrap() > 0);
+        domain.suspend().unwrap();
+        assert_eq!(domain.state().unwrap(), DomainState::Paused);
+        domain.resume().unwrap();
+        domain.managed_save().unwrap();
+        assert_eq!(domain.state().unwrap(), DomainState::Saved);
+        assert!(domain.info().unwrap().has_managed_save);
+        domain.restore().unwrap();
+        domain.reboot().unwrap();
+        domain.shutdown().unwrap();
+        domain.undefine().unwrap();
+        assert!(domain.info().is_err(), "handle goes stale after undefine");
+    }
+
+    #[test]
+    fn id_of_inactive_domain_is_an_error() {
+        let (_conn, domain) = setup();
+        let err = domain.id().unwrap_err();
+        assert_eq!(err.code(), crate::ErrorCode::OperationInvalid);
+    }
+
+    #[test]
+    fn tuning_and_snapshots() {
+        let (_conn, domain) = setup();
+        domain.set_vcpus(2).unwrap();
+        assert_eq!(domain.info().unwrap().vcpus, 2);
+        domain.snapshot_create("s1").unwrap();
+        domain.snapshot_create("s2").unwrap();
+        assert_eq!(domain.snapshot_list().unwrap(), vec!["s1", "s2"]);
+        domain.set_autostart(true).unwrap();
+        assert!(domain.info().unwrap().autostart);
+    }
+
+    #[test]
+    fn xml_desc_reparses() {
+        let (_conn, domain) = setup();
+        let xml = domain.xml_desc().unwrap();
+        let config = DomainConfig::from_xml_str(&xml).unwrap();
+        assert_eq!(config.name, "handle-vm");
+        assert_eq!(config.uuid, Some(domain.uuid()));
+    }
+
+    #[test]
+    fn device_attach_detach() {
+        let (_conn, domain) = setup();
+        domain
+            .attach_device("<disk><source file='/x.img'/><target dev='vdz'/></disk>")
+            .unwrap();
+        assert!(domain.xml_desc().unwrap().contains("vdz"));
+        domain.detach_device("vdz").unwrap();
+        assert!(!domain.xml_desc().unwrap().contains("vdz"));
+    }
+}

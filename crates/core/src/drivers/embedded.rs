@@ -1,0 +1,884 @@
+//! The embedded (host-backed) connection shared by the stateful drivers.
+//!
+//! `virtd` constructs one [`EmbeddedConnection`] per platform driver it
+//! hosts (qemu, xen, lxc); the test and ESX drivers reuse the same
+//! implementation over their own hosts. For QEMU-personality hosts,
+//! lifecycle operations that a real libvirt would issue through the
+//! domain's monitor socket are routed through [`hypersim::monitor`] — the
+//! same command formatting/parsing path the real driver exercises.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use hypersim::monitor::Monitor;
+use hypersim::{MigrationParams, SimHost};
+
+use crate::capabilities::Capabilities;
+use crate::driver::{
+    DomainRecord, HypervisorConnection, MigrationOptions, MigrationReport, NetworkRecord, NodeInfo,
+    PoolRecord, VolumeRecord,
+};
+use crate::error::{ErrorCode, VirtError, VirtResult};
+use crate::event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventCallback};
+use crate::uuid::Uuid;
+use crate::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig, VolumeConfig};
+
+/// A connection executing directly against a [`SimHost`].
+pub struct EmbeddedConnection {
+    host: SimHost,
+    uri: String,
+    events: EventBus,
+    alive: AtomicBool,
+}
+
+impl std::fmt::Debug for EmbeddedConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddedConnection")
+            .field("uri", &self.uri)
+            .field("host", &self.host.name())
+            .finish()
+    }
+}
+
+impl EmbeddedConnection {
+    /// Wraps a host, reporting `uri` as the connection's canonical URI.
+    pub fn new(host: SimHost, uri: impl Into<String>) -> Arc<Self> {
+        Arc::new(EmbeddedConnection {
+            host,
+            uri: uri.into(),
+            events: EventBus::new(),
+            alive: AtomicBool::new(true),
+        })
+    }
+
+    /// The underlying host (used by the daemon's dispatch and by tests).
+    pub fn host(&self) -> &SimHost {
+        &self.host
+    }
+
+    /// The event bus (the daemon forwards these to remote clients).
+    pub fn events(&self) -> &EventBus {
+        &self.events
+    }
+
+    fn ensure_alive(&self) -> VirtResult<()> {
+        if self.alive.load(Ordering::Acquire) {
+            Ok(())
+        } else {
+            Err(VirtError::new(ErrorCode::ConnectInvalid, "connection is closed"))
+        }
+    }
+
+    fn domain_type(&self) -> &str {
+        self.host.personality().name()
+    }
+
+    fn uses_monitor(&self) -> bool {
+        self.domain_type() == "qemu"
+    }
+
+    fn emit(&self, record: &DomainRecord, kind: DomainEventKind) {
+        self.events.emit(&DomainEvent {
+            domain: record.name.clone(),
+            uuid: record.uuid,
+            kind,
+        });
+    }
+
+    fn record(&self, name: &str) -> VirtResult<DomainRecord> {
+        Ok(self.host.domain(name)?.into())
+    }
+}
+
+impl HypervisorConnection for EmbeddedConnection {
+    fn uri(&self) -> String {
+        self.uri.clone()
+    }
+
+    fn hostname(&self) -> VirtResult<String> {
+        self.ensure_alive()?;
+        Ok(self.host.name().to_string())
+    }
+
+    fn node_info(&self) -> VirtResult<NodeInfo> {
+        self.ensure_alive()?;
+        let info = self.host.info();
+        if !info.up {
+            return Err(VirtError::new(ErrorCode::NoConnect, "host is down"));
+        }
+        Ok(NodeInfo {
+            hostname: info.name,
+            hypervisor: info.hypervisor,
+            cpus: info.cpus,
+            memory_mib: info.memory.0,
+            free_memory_mib: info.free_memory.0,
+            active_domains: info.active_domains as u32,
+            inactive_domains: info.inactive_domains as u32,
+        })
+    }
+
+    fn capabilities(&self) -> VirtResult<Capabilities> {
+        self.ensure_alive()?;
+        Ok(Capabilities::from_personality(self.host.personality()))
+    }
+
+    fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire) && self.host.is_up()
+    }
+
+    fn close(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+
+    // ---- domains -------------------------------------------------------
+
+    fn list_domains(&self) -> VirtResult<Vec<DomainRecord>> {
+        self.ensure_alive()?;
+        Ok(self
+            .host
+            .list_domains()?
+            .into_iter()
+            .map(DomainRecord::from)
+            .collect())
+    }
+
+    fn lookup_domain_by_name(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        self.record(name)
+    }
+
+    fn lookup_domain_by_id(&self, id: u32) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        Ok(self.host.domain_by_id(id)?.into())
+    }
+
+    fn lookup_domain_by_uuid(&self, uuid: Uuid) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        Ok(self.host.domain_by_uuid(uuid.into_bytes())?.into())
+    }
+
+    fn define_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let config = DomainConfig::from_xml_str(xml)?;
+        let record: DomainRecord = self.host.define_domain(config.to_spec())?.into();
+        self.emit(&record, DomainEventKind::Defined);
+        Ok(record)
+    }
+
+    fn create_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let config = DomainConfig::from_xml_str(xml)?;
+        let record: DomainRecord = self.host.create_domain(config.to_spec())?.into();
+        self.emit(&record, DomainEventKind::Started);
+        Ok(record)
+    }
+
+    fn undefine_domain(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        let record = self.record(name)?;
+        self.host.undefine_domain(name)?;
+        self.emit(&record, DomainEventKind::Undefined);
+        Ok(())
+    }
+
+    fn start_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let record: DomainRecord = self.host.start_domain(name)?.into();
+        let kind = if record.state == crate::driver::DomainState::Crashed {
+            DomainEventKind::Crashed
+        } else {
+            DomainEventKind::Started
+        };
+        self.emit(&record, kind);
+        Ok(record)
+    }
+
+    fn shutdown_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let record: DomainRecord = if self.uses_monitor() {
+            // Capture identity first: a transient domain vanishes from the
+            // host table the moment it stops.
+            let mut before = self.record(name)?;
+            Monitor::attach(&self.host, name)
+                .execute_line("system_powerdown")
+                .map_err(VirtError::from)?;
+            match self.host.domain(name) {
+                Ok(info) => info.into(),
+                Err(_) => {
+                    before.state = crate::driver::DomainState::Shutoff;
+                    before.id = None;
+                    before
+                }
+            }
+        } else {
+            self.host.shutdown_domain(name)?.into()
+        };
+        self.emit(&record, DomainEventKind::Stopped);
+        Ok(record)
+    }
+
+    fn reboot_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        if self.uses_monitor() {
+            Monitor::attach(&self.host, name)
+                .execute_line("system_reset")
+                .map_err(VirtError::from)?;
+            self.record(name)
+        } else {
+            Ok(self.host.reboot_domain(name)?.into())
+        }
+    }
+
+    fn destroy_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let record: DomainRecord = self.host.destroy_domain(name)?.into();
+        self.emit(&record, DomainEventKind::Stopped);
+        Ok(record)
+    }
+
+    fn suspend_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let record: DomainRecord = if self.uses_monitor() {
+            Monitor::attach(&self.host, name)
+                .execute_line("stop")
+                .map_err(VirtError::from)?;
+            self.record(name)?
+        } else {
+            self.host.suspend_domain(name)?.into()
+        };
+        self.emit(&record, DomainEventKind::Suspended);
+        Ok(record)
+    }
+
+    fn resume_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let record: DomainRecord = if self.uses_monitor() {
+            Monitor::attach(&self.host, name)
+                .execute_line("cont")
+                .map_err(VirtError::from)?;
+            self.record(name)?
+        } else {
+            self.host.resume_domain(name)?.into()
+        };
+        self.emit(&record, DomainEventKind::Resumed);
+        Ok(record)
+    }
+
+    fn save_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let record: DomainRecord = self.host.save_domain(name)?.into();
+        self.emit(&record, DomainEventKind::Saved);
+        Ok(record)
+    }
+
+    fn restore_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let record: DomainRecord = self.host.restore_domain(name)?.into();
+        self.emit(&record, DomainEventKind::Restored);
+        Ok(record)
+    }
+
+    fn set_domain_memory(&self, name: &str, memory_mib: u64) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        if self.uses_monitor() {
+            Monitor::attach(&self.host, name)
+                .execute_line(&format!("balloon {memory_mib}"))
+                .map_err(VirtError::from)?;
+            self.record(name)
+        } else {
+            Ok(self.host.set_domain_memory(name, hypersim::MiB(memory_mib))?.into())
+        }
+    }
+
+    fn set_domain_vcpus(&self, name: &str, vcpus: u32) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        Ok(self.host.set_domain_vcpus(name, vcpus)?.into())
+    }
+
+    fn attach_device(&self, name: &str, device_xml: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let el = virt_xml::Element::parse(device_xml)?;
+        if el.name() != "disk" {
+            return Err(VirtError::new(
+                ErrorCode::XmlError,
+                format!("only <disk> devices can be attached, got <{}>", el.name()),
+            ));
+        }
+        // Reuse the domain schema's disk parser via a wrapper document.
+        let wrapper = format!(
+            "<domain><name>x</name><memory>1</memory><vcpu>1</vcpu><devices>{device_xml}</devices></domain>"
+        );
+        let config = DomainConfig::from_xml_str(&wrapper)?;
+        let disk = config
+            .disks
+            .first()
+            .ok_or_else(|| VirtError::new(ErrorCode::XmlError, "no <disk> parsed"))?;
+        let record = self.host.attach_disk(
+            name,
+            hypersim::SimDisk {
+                target: disk.target.clone(),
+                source: disk.source.clone(),
+                capacity: hypersim::MiB(disk.capacity_mib),
+                bus: disk.bus.clone(),
+            },
+        )?;
+        Ok(record.into())
+    }
+
+    fn detach_device(&self, name: &str, target: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        Ok(self.host.detach_disk(name, target)?.into())
+    }
+
+    fn snapshot_domain(&self, name: &str, snapshot: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        Ok(self.host.snapshot_domain(name, snapshot)?.into())
+    }
+
+    fn list_snapshots(&self, name: &str) -> VirtResult<Vec<String>> {
+        self.ensure_alive()?;
+        Ok(self.host.domain(name)?.snapshots)
+    }
+
+    fn revert_snapshot(&self, name: &str, snapshot: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        Ok(self.host.revert_snapshot(name, snapshot)?.into())
+    }
+
+    fn delete_snapshot(&self, name: &str, snapshot: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.delete_snapshot(name, snapshot)?)
+    }
+
+    fn set_autostart(&self, name: &str, autostart: bool) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.set_autostart(name, autostart)?)
+    }
+
+    fn dump_domain_xml(&self, name: &str) -> VirtResult<String> {
+        self.ensure_alive()?;
+        let info = self.host.domain(name)?;
+        let spec = self.host.export_domain_spec(name)?;
+        let config = DomainConfig::from_spec(&spec, self.domain_type(), Uuid::from_bytes(info.uuid));
+        Ok(config.to_xml_string())
+    }
+
+    // ---- migration -------------------------------------------------------
+
+    fn migrate_begin(&self, name: &str) -> VirtResult<String> {
+        self.ensure_alive()?;
+        if !self.host.personality().capabilities().migration {
+            return Err(VirtError::new(
+                ErrorCode::NoSupport,
+                format!("{} does not support migration", self.domain_type()),
+            ));
+        }
+        let record = self.record(name)?;
+        if record.state != crate::driver::DomainState::Running {
+            return Err(VirtError::new(
+                ErrorCode::OperationInvalid,
+                format!("domain '{name}' is not running"),
+            ));
+        }
+        self.dump_domain_xml(name)
+    }
+
+    fn migrate_prepare(&self, xml: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        let config = DomainConfig::from_xml_str(xml)?;
+        let node = self.node_info()?;
+        if self.host.list_domains()?.iter().any(|d| d.name == config.name) {
+            return Err(VirtError::new(ErrorCode::DomainExists, config.name));
+        }
+        if config.memory_mib > node.free_memory_mib {
+            return Err(VirtError::new(
+                ErrorCode::InsufficientResources,
+                format!(
+                    "incoming domain needs {} MiB, {} MiB free",
+                    config.memory_mib, node.free_memory_mib
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn migrate_perform(&self, name: &str, options: &MigrationOptions) -> VirtResult<MigrationReport> {
+        self.ensure_alive()?;
+        let spec = self.host.export_domain_spec(name)?;
+        let params = MigrationParams::new(spec.memory(), spec.dirty_rate(), options.bandwidth_mib_s)
+            .downtime_limit(std::time::Duration::from_millis(options.max_downtime_ms))
+            .max_iterations(options.max_iterations);
+        let outcome = hypersim::migration::simulate_precopy(&params).map_err(VirtError::from)?;
+        // Charge the total transferred volume to the virtual clock as
+        // migration page traffic.
+        self.host.charge_migration_transfer(outcome.transferred)?;
+        Ok(MigrationReport {
+            total_ms: outcome.total_time.as_millis() as u64,
+            downtime_ms: outcome.downtime.as_millis() as u64,
+            iterations: outcome.iterations(),
+            transferred_mib: outcome.transferred.0,
+            converged: outcome.converged,
+        })
+    }
+
+    fn migrate_finish(&self, xml: &str) -> VirtResult<DomainRecord> {
+        self.ensure_alive()?;
+        let config = DomainConfig::from_xml_str(xml)?;
+        // Identity travels with the description: the destination instance
+        // keeps the source's UUID, exactly as live migration requires.
+        let uuid = config.uuid.map(Uuid::into_bytes);
+        let record: DomainRecord = self.host.import_running_domain(config.to_spec(), uuid)?.into();
+        self.emit(&record, DomainEventKind::MigratedIn);
+        Ok(record)
+    }
+
+    fn migrate_confirm(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        let record = self.record(name)?;
+        self.host.forget_migrated_domain(name)?;
+        self.emit(&record, DomainEventKind::MigratedOut);
+        Ok(())
+    }
+
+    fn migrate_abort(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        // Tear down a domain imported by a finish whose confirm never came.
+        if let Ok(record) = self.record(name) {
+            if record.state.is_active() {
+                self.host.destroy_domain(name)?;
+            }
+            let _ = self.host.forget_migrated_domain(name);
+        }
+        Ok(())
+    }
+
+    // ---- storage -----------------------------------------------------------
+
+    fn list_pools(&self) -> VirtResult<Vec<String>> {
+        self.ensure_alive()?;
+        Ok(self.host.list_pools()?)
+    }
+
+    fn pool_info(&self, name: &str) -> VirtResult<PoolRecord> {
+        self.ensure_alive()?;
+        let pool = self.host.pool(name)?;
+        Ok(PoolRecord {
+            name: pool.name.clone(),
+            uuid: Uuid::from_bytes(pool.uuid),
+            backend: pool.backend.to_string(),
+            capacity_mib: pool.capacity.0,
+            allocation_mib: pool.allocation().0,
+            active: pool.active,
+            volume_count: pool.volume_count() as u32,
+        })
+    }
+
+    fn define_pool_xml(&self, xml: &str) -> VirtResult<PoolRecord> {
+        self.ensure_alive()?;
+        let config = PoolConfig::from_xml_str(xml)?;
+        self.host.define_pool(config.to_spec())?;
+        self.pool_info(&config.name)
+    }
+
+    fn start_pool(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.start_pool(name)?)
+    }
+
+    fn stop_pool(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.stop_pool(name)?)
+    }
+
+    fn undefine_pool(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.undefine_pool(name)?)
+    }
+
+    fn list_volumes(&self, pool: &str) -> VirtResult<Vec<String>> {
+        self.ensure_alive()?;
+        Ok(self.host.pool(pool)?.volume_names())
+    }
+
+    fn volume_info(&self, pool: &str, name: &str) -> VirtResult<VolumeRecord> {
+        self.ensure_alive()?;
+        let pool_obj = self.host.pool(pool)?;
+        let vol = pool_obj.volume(name)?;
+        Ok(VolumeRecord {
+            name: vol.name.clone(),
+            pool: pool.to_string(),
+            capacity_mib: vol.capacity.0,
+            allocation_mib: vol.allocation.0,
+            format: vol.format.clone(),
+            path: vol.path.clone(),
+        })
+    }
+
+    fn create_volume_xml(&self, pool: &str, xml: &str) -> VirtResult<VolumeRecord> {
+        self.ensure_alive()?;
+        let config = VolumeConfig::from_xml_str(xml)?;
+        self.host.create_volume(pool, config.to_spec())?;
+        self.volume_info(pool, &config.name)
+    }
+
+    fn delete_volume(&self, pool: &str, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.delete_volume(pool, name)?)
+    }
+
+    fn resize_volume(&self, pool: &str, name: &str, capacity_mib: u64) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.resize_volume(pool, name, hypersim::MiB(capacity_mib))?)
+    }
+
+    fn clone_volume(&self, pool: &str, source: &str, new_name: &str) -> VirtResult<VolumeRecord> {
+        self.ensure_alive()?;
+        self.host.clone_volume(pool, source, new_name)?;
+        self.volume_info(pool, new_name)
+    }
+
+    // ---- networks ------------------------------------------------------------
+
+    fn list_networks(&self) -> VirtResult<Vec<String>> {
+        self.ensure_alive()?;
+        Ok(self.host.list_networks()?)
+    }
+
+    fn network_info(&self, name: &str) -> VirtResult<NetworkRecord> {
+        self.ensure_alive()?;
+        let net = self.host.network(name)?;
+        Ok(NetworkRecord {
+            name: net.name.clone(),
+            uuid: Uuid::from_bytes(net.uuid),
+            bridge: net.bridge.clone(),
+            forward: net.forward.to_string(),
+            active: net.active,
+            leases: net
+                .leases()
+                .iter()
+                .map(|l| (l.mac.clone(), l.ip.to_string(), l.domain.clone()))
+                .collect(),
+        })
+    }
+
+    fn define_network_xml(&self, xml: &str) -> VirtResult<NetworkRecord> {
+        self.ensure_alive()?;
+        let config = NetworkConfig::from_xml_str(xml)?;
+        self.host.define_network(config.to_spec())?;
+        self.network_info(&config.name)
+    }
+
+    fn start_network(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.start_network(name)?)
+    }
+
+    fn stop_network(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.stop_network(name)?)
+    }
+
+    fn undefine_network(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        Ok(self.host.undefine_network(name)?)
+    }
+
+    // ---- events -----------------------------------------------------------------
+
+    fn register_event_callback(&self, callback: EventCallback) -> VirtResult<CallbackId> {
+        self.ensure_alive()?;
+        Ok(self.events.register(callback))
+    }
+
+    fn unregister_event_callback(&self, id: CallbackId) -> VirtResult<()> {
+        if self.events.unregister(id) {
+            Ok(())
+        } else {
+            Err(VirtError::new(ErrorCode::InvalidArg, format!("no callback {id}")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::DomainState;
+    use hypersim::personality::{LxcLike, QemuLike, XenLike};
+    use hypersim::LatencyModel;
+
+    fn connection(personality: impl hypersim::personality::Personality + 'static) -> Arc<EmbeddedConnection> {
+        let host = SimHost::builder("embedded-test")
+            .personality(personality)
+            .latency(LatencyModel::zero())
+            .build();
+        EmbeddedConnection::new(host, "test:///embedded")
+    }
+
+    fn domain_xml(name: &str, memory: u64) -> String {
+        DomainConfig::new(name, memory, 1).to_xml_string()
+    }
+
+    #[test]
+    fn lifecycle_through_the_trait() {
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 512)).unwrap();
+        let started = conn.start_domain("vm").unwrap();
+        assert_eq!(started.state, DomainState::Running);
+        let paused = conn.suspend_domain("vm").unwrap();
+        assert_eq!(paused.state, DomainState::Paused);
+        let resumed = conn.resume_domain("vm").unwrap();
+        assert_eq!(resumed.state, DomainState::Running);
+        let stopped = conn.shutdown_domain("vm").unwrap();
+        assert_eq!(stopped.state, DomainState::Shutoff);
+        conn.undefine_domain("vm").unwrap();
+        assert!(conn.list_domains().unwrap().is_empty());
+    }
+
+    #[test]
+    fn qemu_lifecycle_goes_through_the_monitor() {
+        // The observable contract: identical behavior; the monitor path is
+        // exercised by the qemu personality (this is asserted indirectly by
+        // balloon which only exists as a monitor command there).
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 512)).unwrap();
+        conn.start_domain("vm").unwrap();
+        let ballooned = conn.set_domain_memory("vm", 256).unwrap();
+        assert_eq!(ballooned.memory_mib, 256);
+    }
+
+    #[test]
+    fn xen_and_lxc_paths_work_without_monitor() {
+        for conn in [connection(XenLike), connection(LxcLike)] {
+            conn.define_domain_xml(&domain_xml("vm", 256)).unwrap();
+            conn.start_domain("vm").unwrap();
+            conn.suspend_domain("vm").unwrap();
+            conn.resume_domain("vm").unwrap();
+            conn.destroy_domain("vm").unwrap();
+        }
+    }
+
+    #[test]
+    fn dump_xml_round_trips_through_define() {
+        let conn = connection(QemuLike);
+        let mut config = DomainConfig::new("vm", 1024, 2);
+        config.disks.push(crate::xmlfmt::DiskConfig {
+            target: "vda".into(),
+            source: "/img/a".into(),
+            capacity_mib: 100,
+            bus: "virtio".into(),
+        });
+        conn.define_domain_xml(&config.to_xml_string()).unwrap();
+        let dumped = conn.dump_domain_xml("vm").unwrap();
+        let parsed = DomainConfig::from_xml_str(&dumped).unwrap();
+        assert_eq!(parsed.name, "vm");
+        assert_eq!(parsed.memory_mib, 1024);
+        assert_eq!(parsed.vcpus, 2);
+        assert_eq!(parsed.disks.len(), 1);
+        assert_eq!(parsed.domain_type, "qemu");
+        assert!(parsed.uuid.is_some());
+    }
+
+    #[test]
+    fn events_fire_for_lifecycle_changes() {
+        let conn = connection(QemuLike);
+        let (tx, rx) = std::sync::mpsc::channel();
+        conn.register_event_callback(Arc::new(move |e: &DomainEvent| {
+            tx.send(e.kind).unwrap();
+        }))
+        .unwrap();
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        conn.start_domain("vm").unwrap();
+        conn.destroy_domain("vm").unwrap();
+        conn.undefine_domain("vm").unwrap();
+        let kinds: Vec<_> = rx.try_iter().collect();
+        assert_eq!(
+            kinds,
+            vec![
+                DomainEventKind::Defined,
+                DomainEventKind::Started,
+                DomainEventKind::Stopped,
+                DomainEventKind::Undefined
+            ]
+        );
+    }
+
+    #[test]
+    fn unregistering_event_callback() {
+        let conn = connection(QemuLike);
+        let id = conn.register_event_callback(Arc::new(|_| {})).unwrap();
+        conn.unregister_event_callback(id).unwrap();
+        let err = conn.unregister_event_callback(id).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArg);
+    }
+
+    #[test]
+    fn closed_connection_rejects_calls() {
+        let conn = connection(QemuLike);
+        conn.close();
+        assert!(!conn.is_alive());
+        let err = conn.list_domains().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::ConnectInvalid);
+    }
+
+    #[test]
+    fn attach_and_detach_disk_via_xml() {
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        let disk_xml =
+            "<disk type='file'><source file='/img/extra'/><target dev='vdb' bus='virtio'/></disk>";
+        conn.attach_device("vm", disk_xml).unwrap();
+        let dumped = conn.dump_domain_xml("vm").unwrap();
+        assert!(dumped.contains("vdb"));
+        conn.detach_device("vm", "vdb").unwrap();
+        let dumped = conn.dump_domain_xml("vm").unwrap();
+        assert!(!dumped.contains("vdb"));
+    }
+
+    #[test]
+    fn attach_rejects_non_disk_devices() {
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        let err = conn.attach_device("vm", "<tpm model='x'/>").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::XmlError);
+    }
+
+    #[test]
+    fn node_info_tracks_domains() {
+        let conn = connection(XenLike);
+        conn.define_domain_xml(&domain_xml("a", 512)).unwrap();
+        conn.define_domain_xml(&domain_xml("b", 512)).unwrap();
+        conn.start_domain("a").unwrap();
+        let info = conn.node_info().unwrap();
+        assert_eq!(info.active_domains, 1);
+        assert_eq!(info.inactive_domains, 1);
+        assert_eq!(info.free_memory_mib, info.memory_mib - 512);
+        assert_eq!(info.hypervisor, "xen");
+    }
+
+    #[test]
+    fn capabilities_reflect_personality() {
+        assert!(connection(QemuLike).capabilities().unwrap().has_feature("snapshots"));
+        assert!(!connection(LxcLike).capabilities().unwrap().has_feature("migration"));
+    }
+
+    #[test]
+    fn migration_phases_between_two_embedded_connections() {
+        let clock = hypersim::SimClock::new();
+        let src_host = SimHost::builder("src").clock(clock.clone()).latency(LatencyModel::zero()).build();
+        let dst_host = SimHost::builder("dst").clock(clock).latency(LatencyModel::zero()).seed(2).build();
+        let src = EmbeddedConnection::new(src_host, "qemu:///src");
+        let dst = EmbeddedConnection::new(dst_host, "qemu:///dst");
+
+        src.define_domain_xml(&domain_xml("vm", 1024)).unwrap();
+        src.start_domain("vm").unwrap();
+
+        let xml = src.migrate_begin("vm").unwrap();
+        dst.migrate_prepare(&xml).unwrap();
+        let report = src.migrate_perform("vm", &MigrationOptions::default()).unwrap();
+        assert!(report.converged);
+        assert!(report.transferred_mib >= 1024);
+        let record = dst.migrate_finish(&xml).unwrap();
+        assert_eq!(record.state, DomainState::Running);
+        src.migrate_confirm("vm").unwrap();
+
+        assert!(src.list_domains().unwrap().is_empty());
+        assert_eq!(dst.list_domains().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn migrate_begin_requires_running_domain() {
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        let err = conn.migrate_begin("vm").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OperationInvalid);
+    }
+
+    #[test]
+    fn migrate_begin_rejected_on_lxc() {
+        let conn = connection(LxcLike);
+        conn.define_domain_xml(&domain_xml("c", 128)).unwrap();
+        conn.start_domain("c").unwrap();
+        let err = conn.migrate_begin("c").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NoSupport);
+    }
+
+    #[test]
+    fn migrate_prepare_rejects_duplicates_and_overcommit() {
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        let err = conn.migrate_prepare(&domain_xml("vm", 128)).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::DomainExists);
+        let err = conn.migrate_prepare(&domain_xml("huge", 999_999)).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InsufficientResources);
+    }
+
+    #[test]
+    fn migrate_abort_tears_down_unconfirmed_import() {
+        let conn = connection(QemuLike);
+        let xml = domain_xml("incoming", 256);
+        conn.migrate_finish(&xml).unwrap();
+        assert_eq!(conn.list_domains().unwrap().len(), 1);
+        conn.migrate_abort("incoming").unwrap();
+        assert!(conn.list_domains().unwrap().is_empty());
+        // Aborting a non-existent domain is a no-op.
+        conn.migrate_abort("ghost").unwrap();
+    }
+
+    #[test]
+    fn storage_operations_through_the_trait() {
+        let conn = connection(QemuLike);
+        let pool_xml = PoolConfig::new("images", hypersim::PoolBackend::Dir, 1000).to_xml_string();
+        let pool = conn.define_pool_xml(&pool_xml).unwrap();
+        assert!(!pool.active);
+        conn.start_pool("images").unwrap();
+        let vol_xml = VolumeConfig::new("root.img", 100).to_xml_string();
+        let vol = conn.create_volume_xml("images", &vol_xml).unwrap();
+        assert_eq!(vol.capacity_mib, 100);
+        assert_eq!(conn.list_volumes("images").unwrap(), vec!["root.img"]);
+        conn.clone_volume("images", "root.img", "copy.img").unwrap();
+        conn.resize_volume("images", "copy.img", 200).unwrap();
+        assert_eq!(conn.volume_info("images", "copy.img").unwrap().capacity_mib, 200);
+        conn.delete_volume("images", "root.img").unwrap();
+        conn.stop_pool("images").unwrap();
+        conn.undefine_pool("images").unwrap();
+        assert_eq!(conn.list_pools().unwrap(), vec!["default"]);
+    }
+
+    #[test]
+    fn network_operations_through_the_trait() {
+        let conn = connection(QemuLike);
+        let net_xml = NetworkConfig::new("lan", std::net::Ipv4Addr::new(10, 9, 0, 0)).to_xml_string();
+        let net = conn.define_network_xml(&net_xml).unwrap();
+        assert!(!net.active);
+        conn.start_network("lan").unwrap();
+        assert!(conn.network_info("lan").unwrap().active);
+        conn.stop_network("lan").unwrap();
+        conn.undefine_network("lan").unwrap();
+        assert_eq!(conn.list_networks().unwrap(), vec!["default"]);
+    }
+
+    #[test]
+    fn lookup_by_id_and_uuid() {
+        let conn = connection(QemuLike);
+        let defined = conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        conn.start_domain("vm").unwrap();
+        let by_id = conn.lookup_domain_by_id(1).unwrap();
+        assert_eq!(by_id.name, "vm");
+        let by_uuid = conn.lookup_domain_by_uuid(defined.uuid).unwrap();
+        assert_eq!(by_uuid.name, "vm");
+        assert_eq!(
+            conn.lookup_domain_by_name("nope").unwrap_err().code(),
+            ErrorCode::NoDomain
+        );
+    }
+
+    #[test]
+    fn snapshots_and_autostart() {
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        conn.snapshot_domain("vm", "base").unwrap();
+        assert_eq!(conn.list_snapshots("vm").unwrap(), vec!["base"]);
+        conn.set_autostart("vm", true).unwrap();
+        assert!(conn.lookup_domain_by_name("vm").unwrap().autostart);
+    }
+}

@@ -1,0 +1,13 @@
+//! Driver implementations.
+//!
+//! | Driver | Kind | URI shapes |
+//! |---|---|---|
+//! | [`embedded`] | stateful (daemon-side) | `qemu:///system`, `xen:///system`, `lxc:///` — instantiated by `virtd` around a host, or embedded for tests |
+//! | [`mod@test`] | stateless, client-side | `test:///default` (private host per connection) |
+//! | [`esx`] | stateless, client-side | `esx://host/` (drives the hypervisor's own remote API) |
+//! | [`remote`] | stateless, client-side | any scheme with `+transport`, or unclaimed schemes (tunnels to `virtd`) |
+
+pub mod embedded;
+pub mod esx;
+pub mod remote;
+pub mod test;

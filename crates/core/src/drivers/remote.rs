@@ -1,0 +1,722 @@
+//! The remote driver: tunnels every API call to a `virtd` daemon.
+//!
+//! This is how libvirt manages hypervisors that have no remote management
+//! of their own: the client library speaks the XDR protocol to the daemon,
+//! which re-enters the very same driver API on its side using a stateful
+//! platform driver. The remote driver is the registry fallback — any URI
+//! scheme no stateless driver claims ends up here, as does any URI with an
+//! explicit `+transport` suffix.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use virt_rpc::keepalive;
+use virt_rpc::message::{MessageType, Packet, REMOTE_PROGRAM};
+use virt_rpc::transport::{TcpTransport, TlsSimTransport, Transport, UnixTransport};
+use virt_rpc::xdr::XdrEncode;
+use virt_rpc::CallClient;
+
+use crate::capabilities::Capabilities;
+use crate::driver::{
+    DomainRecord, HypervisorConnection, HypervisorDriver, MigrationOptions, MigrationReport,
+    NetworkRecord, NodeInfo, PoolRecord, VolumeRecord,
+};
+use crate::error::{ErrorCode, VirtError, VirtResult};
+use crate::event::{CallbackId, EventBus, EventCallback};
+use crate::protocol::{self, proc};
+use crate::testbed;
+use crate::uri::{ConnectUri, UriTransport};
+use crate::uuid::Uuid;
+
+/// Default Unix socket path of a system daemon.
+pub const DEFAULT_SOCKET_PATH: &str = "/var/run/virt/virtd.sock";
+/// Default TCP port (libvirt's registered port).
+pub const DEFAULT_TCP_PORT: u16 = 16509;
+/// Default TLS port.
+pub const DEFAULT_TLS_PORT: u16 = 16514;
+
+/// The remote driver (registry fallback).
+#[derive(Debug, Default)]
+pub struct RemoteDriver;
+
+impl RemoteDriver {
+    /// Creates the driver.
+    pub fn new() -> Self {
+        RemoteDriver
+    }
+}
+
+impl HypervisorDriver for RemoteDriver {
+    fn name(&self) -> &'static str {
+        "remote"
+    }
+
+    fn probe(&self, _uri: &ConnectUri) -> bool {
+        // Installed as the fallback; explicit probing always defers to
+        // stateless drivers first.
+        false
+    }
+
+    fn open(&self, uri: &ConnectUri) -> VirtResult<Arc<dyn HypervisorConnection>> {
+        let keepalive_config = parse_keepalive_param(uri)?;
+        let transport = connect_transport(uri)?;
+        let client = CallClient::from_arc(transport);
+        let keepalive_state = keepalive_config
+            .map(|config| Arc::new(parking_lot::Mutex::new(keepalive::KeepaliveState::new(config, std::time::Instant::now()))));
+        let conn = Arc::new(RemoteConnection {
+            client: client.clone(),
+            uri: uri.to_string(),
+            events: EventBus::new(),
+            events_subscribed: AtomicBool::new(false),
+            open: AtomicBool::new(true),
+        });
+
+        // Route incoming events (and keepalive traffic) from the daemon.
+        let events = conn.events.clone();
+        let pong_client = client.clone();
+        let pong_state = keepalive_state.clone();
+        client.set_event_handler(move |packet: Packet| {
+            if let Some(pong) = keepalive::respond(&packet) {
+                let _ = pong_client.send_oneway(&pong);
+                return;
+            }
+            if keepalive::is_pong(&packet) {
+                if let Some(state) = &pong_state {
+                    state.lock().on_pong();
+                }
+                return;
+            }
+            if packet.header.mtype == MessageType::Event
+                && packet.header.procedure == proc::EVENT_LIFECYCLE
+            {
+                if let Ok(wire) = packet.decode_payload::<protocol::WireEvent>() {
+                    if let Some(event) = wire.into_event() {
+                        events.emit(&event);
+                    }
+                }
+            }
+        });
+
+        // Authenticate first when the URI carries credentials (the
+        // `password` parameter stands in for a SASL exchange).
+        if let Some(username) = uri.username() {
+            let auth_args = protocol::AuthArgs {
+                username: username.to_string(),
+                password: uri.param("password").unwrap_or_default().to_string(),
+            };
+            conn.call::<()>(proc::AUTH, &auth_args)?;
+        }
+
+        // Handshake: ask the daemon to open the inner (transportless) URI.
+        let open_args = protocol::OpenArgs {
+            uri: uri.inner_uri(),
+            readonly: uri.param("readonly").is_some(),
+        };
+        conn.call::<()>(proc::OPEN, &open_args)?;
+
+        // Active keepalive: probe the daemon and close the connection when
+        // it stops answering (as libvirt's keepalive does).
+        if let Some(state) = keepalive_state {
+            let ka_client = client.clone();
+            std::thread::Builder::new()
+                .name("virt-keepalive".to_string())
+                .spawn(move || keepalive_loop(ka_client, state))
+                .expect("spawning keepalive thread");
+        }
+        Ok(conn)
+    }
+}
+
+/// Parses the `keepalive` URI parameter: absent or `off` disables
+/// probing; `interval_ms:count` enables it (e.g. `keepalive=5000:5`).
+///
+/// # Errors
+///
+/// [`ErrorCode::InvalidUri`] on a malformed value.
+fn parse_keepalive_param(uri: &ConnectUri) -> VirtResult<Option<keepalive::KeepaliveConfig>> {
+    let Some(value) = uri.param("keepalive") else {
+        return Ok(None);
+    };
+    if value == "off" {
+        return Ok(None);
+    }
+    let bad = || {
+        VirtError::new(
+            ErrorCode::InvalidUri,
+            format!("keepalive must be 'off' or 'interval_ms:count', got '{value}'"),
+        )
+    };
+    let (interval_ms, count) = value.split_once(':').ok_or_else(bad)?;
+    let interval_ms: u64 = interval_ms.parse().map_err(|_| bad())?;
+    let count: u32 = count.parse().map_err(|_| bad())?;
+    if interval_ms == 0 {
+        return Err(bad());
+    }
+    Ok(Some(keepalive::KeepaliveConfig {
+        interval: std::time::Duration::from_millis(interval_ms),
+        count,
+    }))
+}
+
+/// Drives the keepalive state machine until the connection dies or the
+/// peer stops answering (in which case this loop closes it).
+fn keepalive_loop(client: CallClient, state: Arc<parking_lot::Mutex<keepalive::KeepaliveState>>) {
+    use keepalive::KeepaliveAction;
+    loop {
+        if client.is_closed() {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let action = state.lock().poll(now);
+        match action {
+            KeepaliveAction::Wait(deadline) => {
+                let sleep_for = deadline
+                    .saturating_duration_since(now)
+                    .min(std::time::Duration::from_millis(200));
+                std::thread::sleep(sleep_for);
+            }
+            KeepaliveAction::SendPing => {
+                if client.send_oneway(&keepalive::ping_packet()).is_err() {
+                    return;
+                }
+                state.lock().on_ping_sent(std::time::Instant::now());
+            }
+            KeepaliveAction::Dead => {
+                client.close();
+                return;
+            }
+        }
+    }
+}
+
+/// Establishes the transport a URI asks for.
+fn connect_transport(uri: &ConnectUri) -> VirtResult<Arc<dyn Transport>> {
+    let failed = |e: std::io::Error| VirtError::new(ErrorCode::NoConnect, e.to_string());
+    match uri.transport() {
+        Some(UriTransport::Memory) => {
+            let host = uri.host().ok_or_else(|| {
+                VirtError::new(ErrorCode::InvalidUri, "+memory transport requires a host name")
+            })?;
+            let connector = testbed::lookup_daemon(host)?;
+            Ok(Arc::new(connector.connect().map_err(failed)?))
+        }
+        Some(UriTransport::Unix) | None if uri.is_local() => {
+            let path = uri.param("socket").unwrap_or(DEFAULT_SOCKET_PATH);
+            Ok(Arc::new(UnixTransport::connect(path).map_err(failed)?))
+        }
+        Some(UriTransport::Unix) => Err(VirtError::new(
+            ErrorCode::InvalidUri,
+            "+unix transport is local-only",
+        )),
+        Some(UriTransport::Tcp) => {
+            let host = uri
+                .host()
+                .ok_or_else(|| VirtError::new(ErrorCode::InvalidUri, "+tcp requires a host"))?;
+            let port = uri.port().unwrap_or(DEFAULT_TCP_PORT);
+            Ok(Arc::new(
+                TcpTransport::connect(&format!("{host}:{port}")).map_err(failed)?,
+            ))
+        }
+        Some(UriTransport::Tls) | None => {
+            // libvirt's rule: a remote URI without explicit transport uses TLS.
+            let host = uri
+                .host()
+                .ok_or_else(|| VirtError::new(ErrorCode::InvalidUri, "remote uri requires a host"))?;
+            let port = uri.port().unwrap_or(DEFAULT_TLS_PORT);
+            let tcp = TcpTransport::connect(&format!("{host}:{port}")).map_err(failed)?;
+            let nonce = rand::random::<u64>();
+            Ok(Arc::new(TlsSimTransport::client(tcp, nonce).map_err(failed)?))
+        }
+    }
+}
+
+/// A connection whose every method is one RPC to the daemon.
+pub struct RemoteConnection {
+    client: CallClient,
+    uri: String,
+    events: EventBus,
+    events_subscribed: AtomicBool,
+    open: AtomicBool,
+}
+
+impl std::fmt::Debug for RemoteConnection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteConnection").field("uri", &self.uri).finish()
+    }
+}
+
+impl RemoteConnection {
+    fn call<R: virt_rpc::xdr::XdrDecode>(
+        &self,
+        procedure: u32,
+        args: &impl XdrEncode,
+    ) -> VirtResult<R> {
+        if !self.open.load(Ordering::Acquire) {
+            return Err(VirtError::new(ErrorCode::ConnectInvalid, "connection is closed"));
+        }
+        self.client
+            .call::<R>(REMOTE_PROGRAM, procedure, args)
+            .map_err(VirtError::from)
+    }
+
+    fn domain_call(&self, procedure: u32, name: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            procedure,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn unit_name_call(&self, procedure: u32, name: &str) -> VirtResult<()> {
+        self.call::<()>(
+            procedure,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )
+    }
+}
+
+impl HypervisorConnection for RemoteConnection {
+    fn uri(&self) -> String {
+        self.uri.clone()
+    }
+
+    fn hostname(&self) -> VirtResult<String> {
+        self.call(proc::GET_HOSTNAME, &())
+    }
+
+    fn node_info(&self) -> VirtResult<NodeInfo> {
+        let wire: protocol::WireNodeInfo = self.call(proc::NODE_INFO, &())?;
+        Ok(wire.into())
+    }
+
+    fn capabilities(&self) -> VirtResult<Capabilities> {
+        let xml: String = self.call(proc::GET_CAPABILITIES, &())?;
+        Capabilities::from_xml_str(&xml)
+    }
+
+    fn is_alive(&self) -> bool {
+        self.open.load(Ordering::Acquire) && !self.client.is_closed()
+    }
+
+    fn close(&self) {
+        if self.open.swap(false, Ordering::AcqRel) {
+            let _ = self.client.call::<()>(REMOTE_PROGRAM, proc::CLOSE, &());
+            self.client.close();
+        }
+    }
+
+    fn list_domains(&self) -> VirtResult<Vec<DomainRecord>> {
+        let wire: protocol::WireDomainList = self.call(proc::LIST_DOMAINS, &())?;
+        Ok(wire.0.into_iter().map(DomainRecord::from).collect())
+    }
+
+    fn lookup_domain_by_name(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_LOOKUP_NAME, name)
+    }
+
+    fn lookup_domain_by_id(&self, id: u32) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_LOOKUP_ID,
+            &protocol::NameU32Args {
+                name: String::new(),
+                value: id,
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn lookup_domain_by_uuid(&self, uuid: Uuid) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(proc::DOMAIN_LOOKUP_UUID, &uuid.into_bytes())?;
+        Ok(wire.into())
+    }
+
+    fn define_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_DEFINE_XML,
+            &protocol::XmlArgs { xml: xml.to_string() },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn create_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_CREATE_XML,
+            &protocol::XmlArgs { xml: xml.to_string() },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn undefine_domain(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::DOMAIN_UNDEFINE, name)
+    }
+
+    fn start_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_START, name)
+    }
+
+    fn shutdown_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_SHUTDOWN, name)
+    }
+
+    fn reboot_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_REBOOT, name)
+    }
+
+    fn destroy_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_DESTROY, name)
+    }
+
+    fn suspend_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_SUSPEND, name)
+    }
+
+    fn resume_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_RESUME, name)
+    }
+
+    fn save_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_SAVE, name)
+    }
+
+    fn restore_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_RESTORE, name)
+    }
+
+    fn set_domain_memory(&self, name: &str, memory_mib: u64) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_SET_MEMORY,
+            &protocol::NameU64Args {
+                name: name.to_string(),
+                value: memory_mib,
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn set_domain_vcpus(&self, name: &str, vcpus: u32) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_SET_VCPUS,
+            &protocol::NameU32Args {
+                name: name.to_string(),
+                value: vcpus,
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn attach_device(&self, name: &str, device_xml: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_ATTACH_DEVICE,
+            &protocol::NameStringArgs {
+                name: name.to_string(),
+                value: device_xml.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn detach_device(&self, name: &str, target: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_DETACH_DEVICE,
+            &protocol::NameStringArgs {
+                name: name.to_string(),
+                value: target.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn snapshot_domain(&self, name: &str, snapshot: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_SNAPSHOT,
+            &protocol::NameStringArgs {
+                name: name.to_string(),
+                value: snapshot.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn revert_snapshot(&self, name: &str, snapshot: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain = self.call(
+            proc::DOMAIN_SNAPSHOT_REVERT,
+            &protocol::NameStringArgs {
+                name: name.to_string(),
+                value: snapshot.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn delete_snapshot(&self, name: &str, snapshot: &str) -> VirtResult<()> {
+        self.call::<()>(
+            proc::DOMAIN_SNAPSHOT_DELETE,
+            &protocol::NameStringArgs {
+                name: name.to_string(),
+                value: snapshot.to_string(),
+            },
+        )
+    }
+
+    fn list_snapshots(&self, name: &str) -> VirtResult<Vec<String>> {
+        self.call(
+            proc::DOMAIN_LIST_SNAPSHOTS,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    fn set_autostart(&self, name: &str, autostart: bool) -> VirtResult<()> {
+        self.call::<()>(
+            proc::DOMAIN_SET_AUTOSTART,
+            &protocol::NameBoolArgs {
+                name: name.to_string(),
+                value: autostart,
+            },
+        )
+    }
+
+    fn dump_domain_xml(&self, name: &str) -> VirtResult<String> {
+        self.call(
+            proc::DOMAIN_DUMP_XML,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    fn migrate_begin(&self, name: &str) -> VirtResult<String> {
+        self.call(
+            proc::MIGRATE_BEGIN,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    fn migrate_prepare(&self, xml: &str) -> VirtResult<()> {
+        self.call::<()>(proc::MIGRATE_PREPARE, &protocol::XmlArgs { xml: xml.to_string() })
+    }
+
+    fn migrate_perform(&self, name: &str, options: &MigrationOptions) -> VirtResult<MigrationReport> {
+        let wire: protocol::WireMigrationReport = self.call(
+            proc::MIGRATE_PERFORM,
+            &protocol::MigratePerformArgs::from_options(name, options),
+        )?;
+        Ok(wire.into())
+    }
+
+    fn migrate_finish(&self, xml: &str) -> VirtResult<DomainRecord> {
+        let wire: protocol::WireDomain =
+            self.call(proc::MIGRATE_FINISH, &protocol::XmlArgs { xml: xml.to_string() })?;
+        Ok(wire.into())
+    }
+
+    fn migrate_confirm(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::MIGRATE_CONFIRM, name)
+    }
+
+    fn migrate_abort(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::MIGRATE_ABORT, name)
+    }
+
+    fn list_pools(&self) -> VirtResult<Vec<String>> {
+        self.call(proc::LIST_POOLS, &())
+    }
+
+    fn pool_info(&self, name: &str) -> VirtResult<PoolRecord> {
+        let wire: protocol::WirePool = self.call(
+            proc::POOL_INFO,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn define_pool_xml(&self, xml: &str) -> VirtResult<PoolRecord> {
+        let wire: protocol::WirePool =
+            self.call(proc::POOL_DEFINE_XML, &protocol::XmlArgs { xml: xml.to_string() })?;
+        Ok(wire.into())
+    }
+
+    fn start_pool(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::POOL_START, name)
+    }
+
+    fn stop_pool(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::POOL_STOP, name)
+    }
+
+    fn undefine_pool(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::POOL_UNDEFINE, name)
+    }
+
+    fn list_volumes(&self, pool: &str) -> VirtResult<Vec<String>> {
+        self.call(
+            proc::LIST_VOLUMES,
+            &protocol::NameArgs {
+                name: pool.to_string(),
+            },
+        )
+    }
+
+    fn volume_info(&self, pool: &str, name: &str) -> VirtResult<VolumeRecord> {
+        let wire: protocol::WireVolume = self.call(
+            proc::VOLUME_INFO,
+            &protocol::PoolVolArgs {
+                pool: pool.to_string(),
+                name: name.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn create_volume_xml(&self, pool: &str, xml: &str) -> VirtResult<VolumeRecord> {
+        let wire: protocol::WireVolume = self.call(
+            proc::VOLUME_CREATE_XML,
+            &protocol::PoolXmlArgs {
+                pool: pool.to_string(),
+                xml: xml.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn delete_volume(&self, pool: &str, name: &str) -> VirtResult<()> {
+        self.call::<()>(
+            proc::VOLUME_DELETE,
+            &protocol::PoolVolArgs {
+                pool: pool.to_string(),
+                name: name.to_string(),
+            },
+        )
+    }
+
+    fn resize_volume(&self, pool: &str, name: &str, capacity_mib: u64) -> VirtResult<()> {
+        self.call::<()>(
+            proc::VOLUME_RESIZE,
+            &protocol::VolResizeArgs {
+                pool: pool.to_string(),
+                name: name.to_string(),
+                capacity_mib,
+            },
+        )
+    }
+
+    fn clone_volume(&self, pool: &str, source: &str, new_name: &str) -> VirtResult<VolumeRecord> {
+        let wire: protocol::WireVolume = self.call(
+            proc::VOLUME_CLONE,
+            &protocol::VolCloneArgs {
+                pool: pool.to_string(),
+                source: source.to_string(),
+                new_name: new_name.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn list_networks(&self) -> VirtResult<Vec<String>> {
+        self.call(proc::LIST_NETWORKS, &())
+    }
+
+    fn network_info(&self, name: &str) -> VirtResult<NetworkRecord> {
+        let wire: protocol::WireNetwork = self.call(
+            proc::NETWORK_INFO,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn define_network_xml(&self, xml: &str) -> VirtResult<NetworkRecord> {
+        let wire: protocol::WireNetwork =
+            self.call(proc::NETWORK_DEFINE_XML, &protocol::XmlArgs { xml: xml.to_string() })?;
+        Ok(wire.into())
+    }
+
+    fn start_network(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::NETWORK_START, name)
+    }
+
+    fn stop_network(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::NETWORK_STOP, name)
+    }
+
+    fn undefine_network(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::NETWORK_UNDEFINE, name)
+    }
+
+    fn register_event_callback(&self, callback: EventCallback) -> VirtResult<CallbackId> {
+        if !self.events_subscribed.swap(true, Ordering::AcqRel) {
+            self.call::<()>(proc::EVENT_REGISTER, &())?;
+        }
+        Ok(self.events.register(callback))
+    }
+
+    fn unregister_event_callback(&self, id: CallbackId) -> VirtResult<()> {
+        if !self.events.unregister(id) {
+            return Err(VirtError::new(ErrorCode::InvalidArg, format!("no callback {id}")));
+        }
+        if self.events.is_empty() && self.events_subscribed.swap(false, Ordering::AcqRel) {
+            self.call::<()>(proc::EVENT_DEREGISTER, &())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_never_claims_uris_directly() {
+        let driver = RemoteDriver::new();
+        for text in ["qemu:///system", "qemu+tcp://h/system", "esx://h/"] {
+            let uri: ConnectUri = text.parse().unwrap();
+            assert!(!driver.probe(&uri));
+        }
+    }
+
+    #[test]
+    fn memory_transport_requires_registered_daemon() {
+        let uri: ConnectUri = "qemu+memory://no-such-daemon/system".parse().unwrap();
+        let err = RemoteDriver::new().open(&uri).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NoConnect);
+    }
+
+    #[test]
+    fn memory_transport_requires_host() {
+        let uri: ConnectUri = "qemu+memory:///system".parse().unwrap();
+        let err = RemoteDriver::new().open(&uri).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidUri);
+    }
+
+    #[test]
+    fn tcp_transport_requires_reachable_daemon() {
+        // Port 1 on localhost is essentially never listening.
+        let uri: ConnectUri = "qemu+tcp://127.0.0.1:1/system".parse().unwrap();
+        let err = RemoteDriver::new().open(&uri).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NoConnect);
+    }
+
+    #[test]
+    fn unix_transport_is_local_only() {
+        let uri: ConnectUri = "qemu+unix://somehost/system".parse().unwrap();
+        let err = RemoteDriver::new().open(&uri).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidUri);
+    }
+
+    #[test]
+    fn missing_socket_fails_with_no_connect() {
+        let uri: ConnectUri = "qemu+unix:///system?socket=/no/such/socket".parse().unwrap();
+        let err = RemoteDriver::new().open(&uri).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NoConnect);
+    }
+}

@@ -1,0 +1,311 @@
+//! The public error model.
+//!
+//! Mirrors libvirt's `virError`: every failure carries a stable numeric
+//! [`ErrorCode`] (preserved across the RPC boundary, so a remote error is
+//! indistinguishable from a local one) plus a human-readable message.
+
+use std::error::Error;
+use std::fmt;
+
+use hypersim::{SimError, SimErrorKind};
+use virt_rpc::client::CallError;
+use virt_rpc::message::RpcError;
+use virt_xml::ParseXmlError;
+
+/// Stable error codes, after libvirt's `VIR_ERR_*` set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// Internal inconsistency.
+    Internal = 1,
+    /// Invalid argument to an API call.
+    InvalidArg = 2,
+    /// The connection could not be established.
+    NoConnect = 3,
+    /// Invalid connection object / connection closed.
+    ConnectInvalid = 4,
+    /// Operation is not supported by this driver.
+    NoSupport = 5,
+    /// RPC failure talking to the daemon.
+    RpcFailure = 6,
+    /// Authentication failed.
+    AuthFailed = 7,
+    /// Operation valid but failed on the hypervisor.
+    OperationFailed = 8,
+    /// Operation invalid in the object's current state.
+    OperationInvalid = 9,
+    /// XML description malformed or mismatched.
+    XmlError = 10,
+    /// No domain with matching name/id/uuid.
+    NoDomain = 11,
+    /// Domain with this name already exists.
+    DomainExists = 12,
+    /// No storage pool with matching name.
+    NoStoragePool = 13,
+    /// No storage volume with matching name.
+    NoStorageVol = 14,
+    /// Storage pool/volume already exists.
+    StorageExists = 15,
+    /// No network with matching name.
+    NoNetwork = 16,
+    /// Network already exists.
+    NetworkExists = 17,
+    /// Host resources exhausted.
+    InsufficientResources = 18,
+    /// The operation timed out.
+    OperationTimeout = 19,
+    /// Migration-specific failure.
+    MigrateFailed = 20,
+    /// The URI is malformed or uses an unknown scheme.
+    InvalidUri = 21,
+    /// Access denied by daemon policy (client limits etc.).
+    AccessDenied = 22,
+}
+
+impl ErrorCode {
+    /// Wire representation.
+    pub fn as_u32(self) -> u32 {
+        self as u32
+    }
+
+    /// Decodes a wire code, falling back to [`ErrorCode::Internal`] for
+    /// unknown values (forward compatibility).
+    pub fn from_u32(code: u32) -> ErrorCode {
+        use ErrorCode::*;
+        match code {
+            1 => Internal,
+            2 => InvalidArg,
+            3 => NoConnect,
+            4 => ConnectInvalid,
+            5 => NoSupport,
+            6 => RpcFailure,
+            7 => AuthFailed,
+            8 => OperationFailed,
+            9 => OperationInvalid,
+            10 => XmlError,
+            11 => NoDomain,
+            12 => DomainExists,
+            13 => NoStoragePool,
+            14 => NoStorageVol,
+            15 => StorageExists,
+            16 => NoNetwork,
+            17 => NetworkExists,
+            18 => InsufficientResources,
+            19 => OperationTimeout,
+            20 => MigrateFailed,
+            21 => InvalidUri,
+            22 => AccessDenied,
+            _ => Internal,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::Internal => "internal error",
+            ErrorCode::InvalidArg => "invalid argument",
+            ErrorCode::NoConnect => "failed to connect",
+            ErrorCode::ConnectInvalid => "connection invalid",
+            ErrorCode::NoSupport => "operation not supported",
+            ErrorCode::RpcFailure => "rpc failure",
+            ErrorCode::AuthFailed => "authentication failed",
+            ErrorCode::OperationFailed => "operation failed",
+            ErrorCode::OperationInvalid => "operation invalid in current state",
+            ErrorCode::XmlError => "xml error",
+            ErrorCode::NoDomain => "domain not found",
+            ErrorCode::DomainExists => "domain already exists",
+            ErrorCode::NoStoragePool => "storage pool not found",
+            ErrorCode::NoStorageVol => "storage volume not found",
+            ErrorCode::StorageExists => "storage object already exists",
+            ErrorCode::NoNetwork => "network not found",
+            ErrorCode::NetworkExists => "network already exists",
+            ErrorCode::InsufficientResources => "insufficient resources",
+            ErrorCode::OperationTimeout => "operation timed out",
+            ErrorCode::MigrateFailed => "migration failed",
+            ErrorCode::InvalidUri => "invalid connection uri",
+            ErrorCode::AccessDenied => "access denied",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The error type returned by every fallible public API in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VirtError {
+    code: ErrorCode,
+    message: String,
+}
+
+impl VirtError {
+    /// Creates an error with a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        VirtError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The stable error code.
+    pub fn code(&self) -> ErrorCode {
+        self.code
+    }
+
+    /// The human-readable detail.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Converts to the wire error record.
+    pub fn to_rpc(&self) -> RpcError {
+        RpcError::new(self.code.as_u32(), self.message.clone())
+    }
+
+    /// Reconstructs from the wire error record.
+    pub fn from_rpc(err: &RpcError) -> VirtError {
+        VirtError::new(ErrorCode::from_u32(err.code), err.message.clone())
+    }
+}
+
+impl fmt::Display for VirtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.message.is_empty() {
+            write!(f, "{}", self.code)
+        } else {
+            write!(f, "{}: {}", self.code, self.message)
+        }
+    }
+}
+
+impl Error for VirtError {}
+
+impl From<SimError> for VirtError {
+    /// Maps hypervisor failures onto public codes.
+    fn from(err: SimError) -> Self {
+        let code = match err.kind() {
+            SimErrorKind::NoSuchDomain => ErrorCode::NoDomain,
+            SimErrorKind::DuplicateDomain => ErrorCode::DomainExists,
+            SimErrorKind::InvalidState => ErrorCode::OperationInvalid,
+            SimErrorKind::InsufficientResources => ErrorCode::InsufficientResources,
+            SimErrorKind::Unsupported => ErrorCode::NoSupport,
+            SimErrorKind::NoSuchPool => ErrorCode::NoStoragePool,
+            SimErrorKind::DuplicatePool => ErrorCode::StorageExists,
+            SimErrorKind::NoSuchVolume => ErrorCode::NoStorageVol,
+            SimErrorKind::DuplicateVolume => ErrorCode::StorageExists,
+            SimErrorKind::PoolFull => ErrorCode::InsufficientResources,
+            SimErrorKind::NoSuchNetwork => ErrorCode::NoNetwork,
+            SimErrorKind::DuplicateNetwork => ErrorCode::NetworkExists,
+            SimErrorKind::NoFreeAddress => ErrorCode::InsufficientResources,
+            SimErrorKind::InjectedFault => ErrorCode::OperationFailed,
+            SimErrorKind::Timeout => ErrorCode::OperationTimeout,
+            SimErrorKind::InvalidArgument => ErrorCode::InvalidArg,
+            SimErrorKind::HostDown => ErrorCode::NoConnect,
+            _ => ErrorCode::Internal,
+        };
+        VirtError::new(code, err.to_string())
+    }
+}
+
+impl From<ParseXmlError> for VirtError {
+    fn from(err: ParseXmlError) -> Self {
+        VirtError::new(ErrorCode::XmlError, err.to_string())
+    }
+}
+
+impl From<CallError> for VirtError {
+    /// Remote errors keep their original code; transport failures become
+    /// [`ErrorCode::RpcFailure`] (or timeout).
+    fn from(err: CallError) -> Self {
+        match err {
+            CallError::Remote(rpc) => VirtError::from_rpc(&rpc),
+            CallError::TimedOut => VirtError::new(ErrorCode::OperationTimeout, "rpc call timed out"),
+            other => VirtError::new(ErrorCode::RpcFailure, other.to_string()),
+        }
+    }
+}
+
+/// Crate-wide result alias.
+pub type VirtResult<T> = Result<T, VirtError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_code_and_message() {
+        let err = VirtError::new(ErrorCode::NoDomain, "'web'");
+        assert_eq!(err.to_string(), "domain not found: 'web'");
+        let bare = VirtError::new(ErrorCode::Internal, "");
+        assert_eq!(bare.to_string(), "internal error");
+    }
+
+    #[test]
+    fn all_codes_round_trip_the_wire() {
+        use ErrorCode::*;
+        for code in [
+            Internal, InvalidArg, NoConnect, ConnectInvalid, NoSupport, RpcFailure, AuthFailed,
+            OperationFailed, OperationInvalid, XmlError, NoDomain, DomainExists, NoStoragePool,
+            NoStorageVol, StorageExists, NoNetwork, NetworkExists, InsufficientResources,
+            OperationTimeout, MigrateFailed, InvalidUri, AccessDenied,
+        ] {
+            assert_eq!(ErrorCode::from_u32(code.as_u32()), code);
+        }
+    }
+
+    #[test]
+    fn unknown_wire_code_becomes_internal() {
+        assert_eq!(ErrorCode::from_u32(9999), ErrorCode::Internal);
+    }
+
+    #[test]
+    fn rpc_round_trip_preserves_code_and_message() {
+        let original = VirtError::new(ErrorCode::OperationInvalid, "cannot suspend");
+        let back = VirtError::from_rpc(&original.to_rpc());
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn sim_error_mapping() {
+        let cases = [
+            (SimErrorKind::NoSuchDomain, ErrorCode::NoDomain),
+            (SimErrorKind::DuplicateDomain, ErrorCode::DomainExists),
+            (SimErrorKind::InvalidState, ErrorCode::OperationInvalid),
+            (SimErrorKind::InsufficientResources, ErrorCode::InsufficientResources),
+            (SimErrorKind::Unsupported, ErrorCode::NoSupport),
+            (SimErrorKind::NoSuchPool, ErrorCode::NoStoragePool),
+            (SimErrorKind::HostDown, ErrorCode::NoConnect),
+            (SimErrorKind::InjectedFault, ErrorCode::OperationFailed),
+        ];
+        for (sim, expected) in cases {
+            let err: VirtError = SimError::new(sim, "x").into();
+            assert_eq!(err.code(), expected, "{sim:?}");
+        }
+    }
+
+    #[test]
+    fn call_error_mapping_preserves_remote_codes() {
+        let remote = CallError::Remote(RpcError::new(ErrorCode::NoDomain.as_u32(), "gone"));
+        let err: VirtError = remote.into();
+        assert_eq!(err.code(), ErrorCode::NoDomain);
+        assert_eq!(err.message(), "gone");
+
+        let timeout: VirtError = CallError::TimedOut.into();
+        assert_eq!(timeout.code(), ErrorCode::OperationTimeout);
+
+        let io: VirtError = CallError::Disconnected.into();
+        assert_eq!(io.code(), ErrorCode::RpcFailure);
+    }
+
+    #[test]
+    fn xml_error_mapping() {
+        let parse_err = virt_xml::Element::parse("<a").unwrap_err();
+        let err: VirtError = parse_err.into();
+        assert_eq!(err.code(), ErrorCode::XmlError);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<VirtError>();
+    }
+}

@@ -1,0 +1,261 @@
+//! Domain lifecycle events.
+//!
+//! Management applications register callbacks to be notified when domains
+//! change state — locally from embedded drivers, remotely via event
+//! messages pushed by the daemon. The [`EventBus`] is the shared
+//! dispatcher both paths feed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::uuid::Uuid;
+
+/// What happened to a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DomainEventKind {
+    /// Configuration persisted.
+    Defined,
+    /// Configuration removed.
+    Undefined,
+    /// Execution started.
+    Started,
+    /// vCPUs paused.
+    Suspended,
+    /// vCPUs resumed.
+    Resumed,
+    /// Execution stopped (shutdown or destroy).
+    Stopped,
+    /// Memory saved to storage.
+    Saved,
+    /// Restored from a save image.
+    Restored,
+    /// The guest crashed.
+    Crashed,
+    /// Arrived via migration.
+    MigratedIn,
+    /// Left via migration.
+    MigratedOut,
+}
+
+impl DomainEventKind {
+    /// Wire representation.
+    pub fn as_u32(self) -> u32 {
+        match self {
+            DomainEventKind::Defined => 0,
+            DomainEventKind::Undefined => 1,
+            DomainEventKind::Started => 2,
+            DomainEventKind::Suspended => 3,
+            DomainEventKind::Resumed => 4,
+            DomainEventKind::Stopped => 5,
+            DomainEventKind::Saved => 6,
+            DomainEventKind::Restored => 7,
+            DomainEventKind::Crashed => 8,
+            DomainEventKind::MigratedIn => 9,
+            DomainEventKind::MigratedOut => 10,
+        }
+    }
+
+    /// Decodes a wire value.
+    pub fn from_u32(v: u32) -> Option<DomainEventKind> {
+        use DomainEventKind::*;
+        Some(match v {
+            0 => Defined,
+            1 => Undefined,
+            2 => Started,
+            3 => Suspended,
+            4 => Resumed,
+            5 => Stopped,
+            6 => Saved,
+            7 => Restored,
+            8 => Crashed,
+            9 => MigratedIn,
+            10 => MigratedOut,
+            _ => return None,
+        })
+    }
+}
+
+/// A domain lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainEvent {
+    /// The domain's name.
+    pub domain: String,
+    /// The domain's UUID.
+    pub uuid: Uuid,
+    /// What happened.
+    pub kind: DomainEventKind,
+}
+
+/// Callback invoked for each event.
+pub type EventCallback = Arc<dyn Fn(&DomainEvent) + Send + Sync + 'static>;
+
+/// A registration handle returned by [`EventBus::register`].
+pub type CallbackId = u32;
+
+/// Dispatches domain events to registered callbacks.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::atomic::{AtomicU32, Ordering};
+/// use std::sync::Arc;
+/// use virt_core::event::{DomainEvent, DomainEventKind, EventBus};
+/// use virt_core::Uuid;
+///
+/// let bus = EventBus::new();
+/// let hits = Arc::new(AtomicU32::new(0));
+/// let h = hits.clone();
+/// let id = bus.register(Arc::new(move |_event| { h.fetch_add(1, Ordering::SeqCst); }));
+/// bus.emit(&DomainEvent { domain: "vm".into(), uuid: Uuid::NIL, kind: DomainEventKind::Started });
+/// assert_eq!(hits.load(Ordering::SeqCst), 1);
+/// bus.unregister(id);
+/// ```
+#[derive(Clone, Default)]
+pub struct EventBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+#[derive(Default)]
+struct BusInner {
+    next_id: CallbackId,
+    callbacks: HashMap<CallbackId, EventCallback>,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("callbacks", &self.inner.lock().callbacks.len())
+            .finish()
+    }
+}
+
+impl EventBus {
+    /// An empty bus.
+    pub fn new() -> Self {
+        EventBus::default()
+    }
+
+    /// Registers a callback, returning its id.
+    pub fn register(&self, callback: EventCallback) -> CallbackId {
+        let mut inner = self.inner.lock();
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.callbacks.insert(id, callback);
+        id
+    }
+
+    /// Removes a callback; returns whether it existed.
+    pub fn unregister(&self, id: CallbackId) -> bool {
+        self.inner.lock().callbacks.remove(&id).is_some()
+    }
+
+    /// Number of registered callbacks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().callbacks.len()
+    }
+
+    /// `true` when no callbacks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Delivers an event to every callback.
+    ///
+    /// Callbacks run on the emitting thread, outside the bus lock, so a
+    /// callback may register/unregister without deadlocking.
+    pub fn emit(&self, event: &DomainEvent) {
+        let callbacks: Vec<EventCallback> = self.inner.lock().callbacks.values().cloned().collect();
+        for callback in callbacks {
+            callback(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn event(kind: DomainEventKind) -> DomainEvent {
+        DomainEvent {
+            domain: "vm".to_string(),
+            uuid: Uuid::NIL,
+            kind,
+        }
+    }
+
+    #[test]
+    fn kinds_round_trip_the_wire() {
+        for v in 0..=10u32 {
+            let kind = DomainEventKind::from_u32(v).unwrap();
+            assert_eq!(kind.as_u32(), v);
+        }
+        assert_eq!(DomainEventKind::from_u32(99), None);
+    }
+
+    #[test]
+    fn multiple_callbacks_all_fire() {
+        let bus = EventBus::new();
+        let count = Arc::new(AtomicU32::new(0));
+        for _ in 0..3 {
+            let c = count.clone();
+            bus.register(Arc::new(move |_| {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        bus.emit(&event(DomainEventKind::Started));
+        assert_eq!(count.load(Ordering::SeqCst), 3);
+        assert_eq!(bus.len(), 3);
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let bus = EventBus::new();
+        let count = Arc::new(AtomicU32::new(0));
+        let c = count.clone();
+        let id = bus.register(Arc::new(move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        }));
+        bus.emit(&event(DomainEventKind::Started));
+        assert!(bus.unregister(id));
+        assert!(!bus.unregister(id), "second unregister reports absence");
+        bus.emit(&event(DomainEventKind::Stopped));
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+        assert!(bus.is_empty());
+    }
+
+    #[test]
+    fn callbacks_receive_event_payload() {
+        let bus = EventBus::new();
+        let (tx, rx) = std::sync::mpsc::channel();
+        bus.register(Arc::new(move |e: &DomainEvent| {
+            tx.send(e.clone()).unwrap();
+        }));
+        bus.emit(&event(DomainEventKind::Crashed));
+        let got = rx.recv().unwrap();
+        assert_eq!(got.domain, "vm");
+        assert_eq!(got.kind, DomainEventKind::Crashed);
+    }
+
+    #[test]
+    fn callback_may_register_another_without_deadlock() {
+        let bus = EventBus::new();
+        let bus2 = bus.clone();
+        bus.register(Arc::new(move |_| {
+            bus2.register(Arc::new(|_| {}));
+        }));
+        bus.emit(&event(DomainEventKind::Started));
+        assert_eq!(bus.len(), 2);
+    }
+
+    #[test]
+    fn clones_share_registrations() {
+        let bus = EventBus::new();
+        let other = bus.clone();
+        other.register(Arc::new(|_| {}));
+        assert_eq!(bus.len(), 1);
+    }
+}

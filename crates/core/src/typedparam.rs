@@ -1,0 +1,351 @@
+//! Typed parameters.
+//!
+//! Public function signatures can never change once released, so APIs that
+//! may grow new knobs take a list of name-tagged, dynamically typed
+//! parameters instead of fixed structs — libvirt's `virTypedParameter`
+//! pattern. The same encoding travels over the RPC wire unchanged, which
+//! is what keeps old daemons compatible with new clients.
+
+use std::fmt;
+
+use virt_rpc::xdr::{Cursor, XdrDecode, XdrEncode, XdrError};
+
+use crate::error::{ErrorCode, VirtError, VirtResult};
+
+/// The value of a typed parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Signed 32-bit.
+    Int(i32),
+    /// Unsigned 32-bit.
+    UInt(u32),
+    /// Signed 64-bit.
+    LLong(i64),
+    /// Unsigned 64-bit.
+    ULLong(u64),
+    /// Double-precision float.
+    Double(f64),
+    /// Boolean.
+    Boolean(bool),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl ParamValue {
+    fn discriminant(&self) -> u32 {
+        match self {
+            ParamValue::Int(_) => 1,
+            ParamValue::UInt(_) => 2,
+            ParamValue::LLong(_) => 3,
+            ParamValue::ULLong(_) => 4,
+            ParamValue::Double(_) => 5,
+            ParamValue::Boolean(_) => 6,
+            ParamValue::Str(_) => 7,
+        }
+    }
+
+    /// The type's name, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            ParamValue::Int(_) => "int",
+            ParamValue::UInt(_) => "uint",
+            ParamValue::LLong(_) => "llong",
+            ParamValue::ULLong(_) => "ullong",
+            ParamValue::Double(_) => "double",
+            ParamValue::Boolean(_) => "boolean",
+            ParamValue::Str(_) => "string",
+        }
+    }
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::UInt(v) => write!(f, "{v}"),
+            ParamValue::LLong(v) => write!(f, "{v}"),
+            ParamValue::ULLong(v) => write!(f, "{v}"),
+            ParamValue::Double(v) => write!(f, "{v}"),
+            ParamValue::Boolean(v) => write!(f, "{}", if *v { "yes" } else { "no" }),
+            ParamValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One named, typed parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypedParam {
+    /// The field name the receiver dispatches on.
+    pub field: String,
+    /// The value.
+    pub value: ParamValue,
+}
+
+impl TypedParam {
+    /// Creates a parameter.
+    pub fn new(field: impl Into<String>, value: ParamValue) -> Self {
+        TypedParam {
+            field: field.into(),
+            value,
+        }
+    }
+
+    /// Convenience constructor for unsigned 32-bit values.
+    pub fn uint(field: impl Into<String>, value: u32) -> Self {
+        TypedParam::new(field, ParamValue::UInt(value))
+    }
+
+    /// Convenience constructor for unsigned 64-bit values.
+    pub fn ullong(field: impl Into<String>, value: u64) -> Self {
+        TypedParam::new(field, ParamValue::ULLong(value))
+    }
+
+    /// Convenience constructor for strings.
+    pub fn string(field: impl Into<String>, value: impl Into<String>) -> Self {
+        TypedParam::new(field, ParamValue::Str(value.into()))
+    }
+
+    /// Convenience constructor for booleans.
+    pub fn boolean(field: impl Into<String>, value: bool) -> Self {
+        TypedParam::new(field, ParamValue::Boolean(value))
+    }
+}
+
+impl XdrEncode for TypedParam {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.field.encode(out);
+        self.value.discriminant().encode(out);
+        match &self.value {
+            ParamValue::Int(v) => v.encode(out),
+            ParamValue::UInt(v) => v.encode(out),
+            ParamValue::LLong(v) => v.encode(out),
+            ParamValue::ULLong(v) => v.encode(out),
+            ParamValue::Double(v) => v.encode(out),
+            ParamValue::Boolean(v) => v.encode(out),
+            ParamValue::Str(v) => v.encode(out),
+        }
+    }
+}
+
+impl XdrDecode for TypedParam {
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self, XdrError> {
+        let field = String::decode(cursor)?;
+        let value = match u32::decode(cursor)? {
+            1 => ParamValue::Int(i32::decode(cursor)?),
+            2 => ParamValue::UInt(u32::decode(cursor)?),
+            3 => ParamValue::LLong(i64::decode(cursor)?),
+            4 => ParamValue::ULLong(u64::decode(cursor)?),
+            5 => ParamValue::Double(f64::decode(cursor)?),
+            6 => ParamValue::Boolean(bool::decode(cursor)?),
+            7 => ParamValue::Str(String::decode(cursor)?),
+            other => return Err(XdrError::InvalidDiscriminant(other)),
+        };
+        Ok(TypedParam { field, value })
+    }
+}
+
+/// A wire-encodable list of typed parameters (newtype over `Vec` because
+/// the XDR traits live in another crate).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TypedParamList(pub Vec<TypedParam>);
+
+impl XdrEncode for TypedParamList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(out);
+        for param in &self.0 {
+            param.encode(out);
+        }
+    }
+}
+
+impl XdrDecode for TypedParamList {
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self, XdrError> {
+        let len = u32::decode(cursor)?;
+        if len > 4096 {
+            return Err(XdrError::LengthTooLarge(len));
+        }
+        Ok(TypedParamList(
+            (0..len)
+                .map(|_| TypedParam::decode(cursor))
+                .collect::<Result<_, _>>()?,
+        ))
+    }
+}
+
+/// Helpers over parameter lists.
+pub trait TypedParams {
+    /// Finds a parameter by field name.
+    fn find(&self, field: &str) -> Option<&TypedParam>;
+
+    /// Extracts an unsigned 32-bit value.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::InvalidArg`] when present with a different type;
+    /// `Ok(None)` when absent.
+    fn get_uint(&self, field: &str) -> VirtResult<Option<u32>>;
+
+    /// Extracts a string value (same contract as [`TypedParams::get_uint`]).
+    fn get_string(&self, field: &str) -> VirtResult<Option<&str>>;
+
+    /// Rejects duplicate fields and fields outside `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::InvalidArg`] describing the offending field.
+    fn validate_fields(&self, allowed: &[&str]) -> VirtResult<()>;
+}
+
+impl TypedParams for [TypedParam] {
+    fn find(&self, field: &str) -> Option<&TypedParam> {
+        self.iter().find(|p| p.field == field)
+    }
+
+    fn get_uint(&self, field: &str) -> VirtResult<Option<u32>> {
+        match self.find(field) {
+            None => Ok(None),
+            Some(TypedParam {
+                value: ParamValue::UInt(v),
+                ..
+            }) => Ok(Some(*v)),
+            Some(other) => Err(VirtError::new(
+                ErrorCode::InvalidArg,
+                format!("parameter '{field}' must be uint, got {}", other.value.type_name()),
+            )),
+        }
+    }
+
+    fn get_string(&self, field: &str) -> VirtResult<Option<&str>> {
+        match self.find(field) {
+            None => Ok(None),
+            Some(TypedParam {
+                value: ParamValue::Str(v),
+                ..
+            }) => Ok(Some(v)),
+            Some(other) => Err(VirtError::new(
+                ErrorCode::InvalidArg,
+                format!(
+                    "parameter '{field}' must be string, got {}",
+                    other.value.type_name()
+                ),
+            )),
+        }
+    }
+
+    fn validate_fields(&self, allowed: &[&str]) -> VirtResult<()> {
+        for (i, param) in self.iter().enumerate() {
+            if !allowed.contains(&param.field.as_str()) {
+                return Err(VirtError::new(
+                    ErrorCode::InvalidArg,
+                    format!("unknown parameter '{}'", param.field),
+                ));
+            }
+            if self[..i].iter().any(|p| p.field == param.field) {
+                return Err(VirtError::new(
+                    ErrorCode::InvalidArg,
+                    format!("duplicate parameter '{}'", param.field),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_params() -> Vec<TypedParam> {
+        vec![
+            TypedParam::new("a", ParamValue::Int(-5)),
+            TypedParam::uint("b", 7),
+            TypedParam::new("c", ParamValue::LLong(-9_000_000_000)),
+            TypedParam::ullong("d", 18_000_000_000),
+            TypedParam::new("e", ParamValue::Double(2.5)),
+            TypedParam::boolean("f", true),
+            TypedParam::string("g", "hello"),
+        ]
+    }
+
+    #[test]
+    fn every_value_type_round_trips_xdr() {
+        let params = TypedParamList(sample_params());
+        let decoded = TypedParamList::from_xdr(&params.to_xdr()).unwrap();
+        assert_eq!(decoded, params);
+    }
+
+    #[test]
+    fn bad_discriminant_rejected() {
+        let mut buf = Vec::new();
+        "field".encode(&mut buf);
+        99u32.encode(&mut buf);
+        assert!(matches!(
+            TypedParam::from_xdr(&buf).unwrap_err(),
+            XdrError::InvalidDiscriminant(99)
+        ));
+    }
+
+    #[test]
+    fn oversized_list_rejected() {
+        let mut buf = Vec::new();
+        5000u32.encode(&mut buf);
+        assert!(matches!(
+            TypedParamList::from_xdr(&buf).unwrap_err(),
+            XdrError::LengthTooLarge(5000)
+        ));
+    }
+
+    #[test]
+    fn get_uint_checks_type() {
+        let params = sample_params();
+        assert_eq!(params.get_uint("b").unwrap(), Some(7));
+        assert_eq!(params.get_uint("zz").unwrap(), None);
+        let err = params.get_uint("g").unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArg);
+        assert!(err.message().contains("string"));
+    }
+
+    #[test]
+    fn get_string_checks_type() {
+        let params = sample_params();
+        assert_eq!(params.get_string("g").unwrap(), Some("hello"));
+        assert_eq!(params.get_string("zz").unwrap(), None);
+        assert!(params.get_string("b").is_err());
+    }
+
+    #[test]
+    fn validate_fields_rejects_unknown_and_duplicates() {
+        let params = [TypedParam::uint("minWorkers", 5), TypedParam::uint("maxWorkers", 20)];
+        params.validate_fields(&["minWorkers", "maxWorkers"]).unwrap();
+
+        let unknown = [TypedParam::uint("weird", 1)];
+        assert!(unknown.validate_fields(&["minWorkers"]).is_err());
+
+        let dup = [TypedParam::uint("minWorkers", 5), TypedParam::uint("minWorkers", 6)];
+        let err = dup.validate_fields(&["minWorkers"]).unwrap_err();
+        assert!(err.message().contains("duplicate"));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ParamValue::Boolean(true).to_string(), "yes");
+        assert_eq!(ParamValue::Int(-3).to_string(), "-3");
+        assert_eq!(ParamValue::Str("x".into()).to_string(), "x");
+        assert_eq!(ParamValue::Double(1.5).to_string(), "1.5");
+    }
+
+    #[test]
+    fn type_names() {
+        for (value, name) in [
+            (ParamValue::Int(0), "int"),
+            (ParamValue::UInt(0), "uint"),
+            (ParamValue::LLong(0), "llong"),
+            (ParamValue::ULLong(0), "ullong"),
+            (ParamValue::Double(0.0), "double"),
+            (ParamValue::Boolean(false), "boolean"),
+            (ParamValue::Str(String::new()), "string"),
+        ] {
+            assert_eq!(value.type_name(), name);
+        }
+    }
+}

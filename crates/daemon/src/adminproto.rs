@@ -1,0 +1,248 @@
+//! Wire definitions of the administration protocol.
+//!
+//! The admin program manages the daemon itself rather than any
+//! hypervisor: servers, worker pools, connected clients, and logging.
+//! Settable quantities travel as typed-parameter lists so the protocol
+//! can grow fields without breaking compatibility.
+
+use virt_core::typedparam::TypedParamList;
+use virt_rpc::xdr_struct;
+use virt_rpc::xdr::{XdrDecode, XdrEncode};
+use virt_rpc::PoolStats;
+
+/// Procedure numbers of the admin program.
+pub mod proc {
+    /// List server names.
+    pub const SRV_LIST: u32 = 1;
+    /// Worker-pool statistics of a server.
+    pub const THREADPOOL_INFO: u32 = 2;
+    /// Adjust worker-pool limits.
+    pub const THREADPOOL_SET: u32 = 3;
+    /// List connected clients of a server.
+    pub const CLIENT_LIST: u32 = 4;
+    /// Identity details of one client.
+    pub const CLIENT_INFO: u32 = 5;
+    /// Forcefully disconnect a client.
+    pub const CLIENT_DISCONNECT: u32 = 6;
+    /// Client-limit statistics of a server.
+    pub const CLIENT_LIMITS_INFO: u32 = 7;
+    /// Adjust client limits.
+    pub const CLIENT_LIMITS_SET: u32 = 8;
+    /// Current logging settings (level, filters, outputs).
+    pub const LOG_INFO: u32 = 9;
+    /// Set the global logging level.
+    pub const LOG_SET_LEVEL: u32 = 10;
+    /// Replace the logging filter set.
+    pub const LOG_SET_FILTERS: u32 = 11;
+    /// Replace the logging output set.
+    pub const LOG_SET_OUTPUTS: u32 = 12;
+}
+
+/// Typed-parameter field: minimum ordinary workers.
+pub const PARAM_WORKERS_MIN: &str = "minWorkers";
+/// Typed-parameter field: maximum ordinary workers.
+pub const PARAM_WORKERS_MAX: &str = "maxWorkers";
+/// Typed-parameter field: priority workers.
+pub const PARAM_WORKERS_PRIORITY: &str = "prioWorkers";
+/// Typed-parameter field: maximum connected clients.
+pub const PARAM_CLIENTS_MAX: &str = "nclients_max";
+
+xdr_struct! {
+    /// Argument naming a server.
+    pub struct ServerArgs {
+        /// Server name (`virtd`, `admin`).
+        pub server: String,
+    }
+}
+
+xdr_struct! {
+    /// Argument naming a server and a client id.
+    pub struct ClientArgs {
+        /// Server name.
+        pub server: String,
+        /// Client id on that server.
+        pub client: u64,
+    }
+}
+
+xdr_struct! {
+    /// Typed-parameter update for a server.
+    pub struct ServerParamsArgs {
+        /// Server name.
+        pub server: String,
+        /// Parameters to apply.
+        pub params: TypedParamList,
+    }
+}
+
+xdr_struct! {
+    /// Worker-pool statistics on the wire.
+    pub struct WirePoolStats {
+        /// Configured minimum.
+        pub min_workers: u32,
+        /// Configured maximum.
+        pub max_workers: u32,
+        /// Alive ordinary workers.
+        pub current_workers: u32,
+        /// Idle ordinary workers.
+        pub free_workers: u32,
+        /// Priority workers.
+        pub priority_workers: u32,
+        /// Queued jobs.
+        pub job_queue_depth: u32,
+    }
+}
+
+impl From<PoolStats> for WirePoolStats {
+    fn from(s: PoolStats) -> Self {
+        WirePoolStats {
+            min_workers: s.min_workers,
+            max_workers: s.max_workers,
+            current_workers: s.current_workers,
+            free_workers: s.free_workers,
+            priority_workers: s.priority_workers,
+            job_queue_depth: s.job_queue_depth,
+        }
+    }
+}
+
+impl From<WirePoolStats> for PoolStats {
+    fn from(w: WirePoolStats) -> Self {
+        PoolStats {
+            min_workers: w.min_workers,
+            max_workers: w.max_workers,
+            current_workers: w.current_workers,
+            free_workers: w.free_workers,
+            priority_workers: w.priority_workers,
+            job_queue_depth: w.job_queue_depth,
+        }
+    }
+}
+
+xdr_struct! {
+    /// One client on the wire.
+    pub struct WireClient {
+        /// Client id.
+        pub id: u64,
+        /// Transport name.
+        pub transport: String,
+        /// Peer description.
+        pub peer: String,
+        /// Connect time (seconds since epoch).
+        pub connected_secs: u64,
+        /// Authenticated username, empty when unauthenticated.
+        pub username: String,
+        /// Whether the session is read-only.
+        pub readonly: bool,
+    }
+}
+
+/// Wire list of clients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireClientList(pub Vec<WireClient>);
+
+impl XdrEncode for WireClientList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(out);
+        for client in &self.0 {
+            client.encode(out);
+        }
+    }
+}
+
+impl XdrDecode for WireClientList {
+    fn decode(cursor: &mut virt_rpc::xdr::Cursor<'_>) -> Result<Self, virt_rpc::xdr::XdrError> {
+        let len = u32::decode(cursor)?;
+        if len > 1_000_000 {
+            return Err(virt_rpc::xdr::XdrError::LengthTooLarge(len));
+        }
+        let mut items = Vec::with_capacity((len as usize).min(4096));
+        for _ in 0..len {
+            items.push(WireClient::decode(cursor)?);
+        }
+        Ok(WireClientList(items))
+    }
+}
+
+xdr_struct! {
+    /// Client-limit statistics.
+    pub struct WireClientLimits {
+        /// Configured maximum.
+        pub max_clients: u32,
+        /// Currently connected.
+        pub current_clients: u32,
+        /// Connections refused so far.
+        pub refused: u64,
+    }
+}
+
+xdr_struct! {
+    /// Complete logging settings snapshot.
+    pub struct WireLogInfo {
+        /// Global level (1–4).
+        pub level: u32,
+        /// Space-separated filter list.
+        pub filters: String,
+        /// Space-separated output list.
+        pub outputs: String,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virt_core::typedparam::TypedParam;
+
+    #[test]
+    fn pool_stats_round_trip() {
+        let stats = PoolStats {
+            min_workers: 5,
+            max_workers: 20,
+            current_workers: 7,
+            free_workers: 3,
+            priority_workers: 5,
+            job_queue_depth: 12,
+        };
+        let wire = WirePoolStats::from(stats);
+        let back: PoolStats = WirePoolStats::from_xdr(&wire.to_xdr()).unwrap().into();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn client_list_round_trip() {
+        let list = WireClientList(vec![WireClient {
+            id: 3,
+            transport: "tcp".into(),
+            peer: "10.0.0.1:4444".into(),
+            connected_secs: 1_700_000_000,
+            username: "admin".into(),
+            readonly: true,
+        }]);
+        let decoded = WireClientList::from_xdr(&list.to_xdr()).unwrap();
+        assert_eq!(decoded, list);
+    }
+
+    #[test]
+    fn server_params_round_trip() {
+        let args = ServerParamsArgs {
+            server: "virtd".into(),
+            params: TypedParamList(vec![
+                TypedParam::uint(PARAM_WORKERS_MIN, 5),
+                TypedParam::uint(PARAM_WORKERS_MAX, 40),
+            ]),
+        };
+        let decoded = ServerParamsArgs::from_xdr(&args.to_xdr()).unwrap();
+        assert_eq!(decoded, args);
+    }
+
+    #[test]
+    fn log_info_round_trip() {
+        let info = WireLogInfo {
+            level: 4,
+            filters: "1:rpc 3:util".into(),
+            outputs: "1:buffer".into(),
+        };
+        let decoded = WireLogInfo::from_xdr(&info.to_xdr()).unwrap();
+        assert_eq!(decoded, info);
+    }
+}

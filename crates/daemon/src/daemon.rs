@@ -1,0 +1,347 @@
+//! The daemon assembly: hosts, drivers, servers, services.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hypersim::personality::{LxcLike, QemuLike, XenLike};
+use hypersim::{LatencyModel, SimClock, SimHost};
+
+use virt_core::drivers::embedded::EmbeddedConnection;
+use virt_core::error::{ErrorCode, VirtError, VirtResult};
+use virt_core::log::Logger;
+use virt_core::testbed;
+use virt_rpc::transport::{memory_listener, Listener, MemoryConnector};
+
+use crate::admin::AdminDispatcher;
+use crate::config::VirtdConfig;
+use crate::dispatch::RemoteDispatcher;
+use crate::server::Server;
+
+/// A running management daemon.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Virtd {
+    name: String,
+    hosts: HashMap<String, SimHost>,
+    main_server: Arc<Server>,
+    admin_server: Arc<Server>,
+    logger: Arc<Logger>,
+    /// Names registered in the global testbed, removed on shutdown.
+    registered_endpoints: parking_lot::Mutex<Vec<String>>,
+}
+
+impl std::fmt::Debug for Virtd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Virtd")
+            .field("name", &self.name)
+            .field("drivers", &self.hosts.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Builder for [`Virtd`].
+pub struct VirtdBuilder {
+    name: String,
+    config: VirtdConfig,
+    hosts: HashMap<String, SimHost>,
+    clock: SimClock,
+}
+
+impl VirtdBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        VirtdBuilder {
+            name: name.into(),
+            config: VirtdConfig::new(),
+            hosts: HashMap::new(),
+            clock: SimClock::new(),
+        }
+    }
+
+    /// Applies a configuration.
+    pub fn config(mut self, config: VirtdConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Shares a virtual clock across this daemon's hosts (and with other
+    /// daemons, for migration timing).
+    pub fn clock(mut self, clock: SimClock) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Attaches a host under the driver scheme of its personality.
+    pub fn host(mut self, host: SimHost) -> Self {
+        self.hosts.insert(host.personality().name().to_string(), host);
+        self
+    }
+
+    /// Attaches default qemu/xen/lxc hosts with realistic latency models,
+    /// named `<daemon>-<scheme>`.
+    pub fn with_default_hosts(mut self) -> Self {
+        let qemu = SimHost::builder(format!("{}-qemu", self.name))
+            .personality(QemuLike)
+            .clock(self.clock.clone())
+            .build();
+        let xen = SimHost::builder(format!("{}-xen", self.name))
+            .personality(XenLike)
+            .clock(self.clock.clone())
+            .seed(0x11)
+            .build();
+        let lxc = SimHost::builder(format!("{}-lxc", self.name))
+            .personality(LxcLike)
+            .clock(self.clock.clone())
+            .seed(0x22)
+            .build();
+        self.hosts.insert("qemu".to_string(), qemu);
+        self.hosts.insert("xen".to_string(), xen);
+        self.hosts.insert("lxc".to_string(), lxc);
+        self
+    }
+
+    /// Attaches default hosts with **zero-latency** models (logic-focused
+    /// tests).
+    pub fn with_quiet_hosts(mut self) -> Self {
+        for (scheme, seed) in [("qemu", 1u64), ("xen", 2), ("lxc", 3)] {
+            let personality: Box<dyn FnOnce(hypersim::SimHostBuilder) -> hypersim::SimHostBuilder> =
+                match scheme {
+                    "qemu" => Box::new(|b| b.personality(QemuLike)),
+                    "xen" => Box::new(|b| b.personality(XenLike)),
+                    _ => Box::new(|b| b.personality(LxcLike)),
+                };
+            let host = personality(
+                SimHost::builder(format!("{}-{scheme}", self.name))
+                    .clock(self.clock.clone())
+                    .seed(seed),
+            )
+            .latency(LatencyModel::zero())
+            .build();
+            self.hosts.insert(scheme.to_string(), host);
+        }
+        self
+    }
+
+    /// Builds and starts the daemon (servers running, no services yet).
+    ///
+    /// # Errors
+    ///
+    /// Invalid pool limits; no hosts attached.
+    pub fn build(self) -> VirtResult<Virtd> {
+        if self.hosts.is_empty() {
+            return Err(VirtError::new(
+                ErrorCode::InvalidArg,
+                "daemon needs at least one host",
+            ));
+        }
+        let logger = Arc::new(Logger::new());
+        logger
+            .redefine(self.config.log.clone())
+            .expect("startup log settings are validated defaults");
+
+        let drivers: HashMap<String, Arc<EmbeddedConnection>> = self
+            .hosts
+            .iter()
+            .map(|(scheme, host)| {
+                (
+                    scheme.clone(),
+                    EmbeddedConnection::new(host.clone(), format!("{scheme}:///system")),
+                )
+            })
+            .collect();
+
+        let remote_dispatcher =
+            RemoteDispatcher::new(drivers, Arc::clone(&logger), self.config.credentials.clone());
+        let main_server = Server::new(
+            "virtd",
+            self.config.pool_limits,
+            self.config.max_clients,
+            remote_dispatcher,
+        )
+        .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
+
+        let admin_dispatcher = AdminDispatcher::new(Arc::clone(&logger));
+        let admin_server = Server::new(
+            "admin",
+            self.config.admin_pool_limits,
+            self.config.max_clients,
+            admin_dispatcher.clone(),
+        )
+        .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
+        admin_dispatcher.attach_server(Arc::clone(&main_server));
+        admin_dispatcher.attach_server(Arc::clone(&admin_server));
+
+        logger.info("daemon", &format!("virtd '{}' started", self.name));
+
+        Ok(Virtd {
+            name: self.name,
+            hosts: self.hosts,
+            main_server,
+            admin_server,
+            logger,
+            registered_endpoints: parking_lot::Mutex::new(Vec::new()),
+        })
+    }
+}
+
+impl Virtd {
+    /// Starts building a daemon.
+    pub fn builder(name: impl Into<String>) -> VirtdBuilder {
+        VirtdBuilder::new(name)
+    }
+
+    /// The daemon's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The daemon's logger.
+    pub fn logger(&self) -> &Arc<Logger> {
+        &self.logger
+    }
+
+    /// The main (`virtd`) server.
+    pub fn main_server(&self) -> &Arc<Server> {
+        &self.main_server
+    }
+
+    /// The admin server.
+    pub fn admin_server(&self) -> &Arc<Server> {
+        &self.admin_server
+    }
+
+    /// The host managed by a driver scheme, if attached.
+    pub fn host(&self, scheme: &str) -> Option<&SimHost> {
+        self.hosts.get(scheme)
+    }
+
+    /// Attaches a listener to the main server.
+    pub fn serve(&self, listener: Box<dyn Listener>) {
+        self.main_server.serve(listener);
+    }
+
+    /// Attaches a listener to the admin server.
+    pub fn serve_admin(&self, listener: Box<dyn Listener>) {
+        self.admin_server.serve(listener);
+    }
+
+    /// Creates an in-memory service on the main server, registers it in
+    /// the [`virt_core::testbed`] under `endpoint`, and returns the
+    /// connector. After this, `scheme+memory://endpoint/...` URIs reach
+    /// this daemon.
+    ///
+    /// # Errors
+    ///
+    /// None currently; fallible for future socket-backed variants.
+    pub fn register_memory_endpoint(&self, endpoint: &str) -> VirtResult<MemoryConnector> {
+        let (listener, connector) = memory_listener();
+        self.serve(Box::new(listener));
+        testbed::register_daemon(endpoint, connector.clone());
+        self.registered_endpoints.lock().push(endpoint.to_string());
+        Ok(connector)
+    }
+
+    /// Creates an in-memory service on the admin server and returns its
+    /// connector (for [`crate::AdminClient`]).
+    pub fn admin_memory_connector(&self) -> MemoryConnector {
+        let (listener, connector) = memory_listener();
+        self.serve_admin(Box::new(listener));
+        connector
+    }
+
+    /// Stops both servers, closes all clients, and removes testbed
+    /// registrations.
+    pub fn shutdown(&self) {
+        for endpoint in self.registered_endpoints.lock().drain(..) {
+            testbed::unregister_daemon(&endpoint);
+        }
+        self.main_server.shutdown();
+        self.admin_server.shutdown();
+        self.logger.info("daemon", &format!("virtd '{}' stopped", self.name));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use virt_core::xmlfmt::DomainConfig;
+    use virt_core::Connect;
+
+    fn unique(name: &str) -> String {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+    }
+
+    #[test]
+    fn builder_requires_hosts() {
+        let err = Virtd::builder("d").build().unwrap_err();
+        assert_eq!(err.code(), ErrorCode::InvalidArg);
+    }
+
+    #[test]
+    fn default_hosts_cover_three_schemes() {
+        let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
+        assert!(daemon.host("qemu").is_some());
+        assert!(daemon.host("xen").is_some());
+        assert!(daemon.host("lxc").is_some());
+        assert!(daemon.host("esx").is_none());
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn remote_client_manages_domains_end_to_end() {
+        let endpoint = unique("virtd-e2e");
+        let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+
+        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+        assert_eq!(conn.hostname().unwrap(), "d-qemu");
+        let domain = conn.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+        domain.start().unwrap();
+        assert!(domain.is_active().unwrap());
+
+        // The daemon-side host observes the same domain.
+        let host_view = daemon.host("qemu").unwrap().domain("vm").unwrap();
+        assert_eq!(host_view.state, hypersim::DomainState::Running);
+
+        domain.destroy().unwrap();
+        domain.undefine().unwrap();
+        conn.close();
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn each_scheme_routes_to_its_own_host() {
+        let endpoint = unique("virtd-schemes");
+        let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+
+        for scheme in ["qemu", "xen", "lxc"] {
+            let conn = Connect::open(&format!("{scheme}+memory://{endpoint}/system")).unwrap();
+            assert_eq!(conn.hostname().unwrap(), format!("d-{scheme}"));
+            assert_eq!(conn.capabilities().unwrap().hypervisor, scheme);
+            conn.close();
+        }
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn unknown_scheme_is_rejected_at_open() {
+        let endpoint = unique("virtd-unknown");
+        let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+        let err = Connect::open(&format!("vbox+memory://{endpoint}/system")).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NoConnect);
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unregisters_endpoints() {
+        let endpoint = unique("virtd-cleanup");
+        let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+        daemon.shutdown();
+        let err = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NoConnect);
+    }
+}

@@ -1,0 +1,450 @@
+//! The remote-program procedure table.
+//!
+//! Decodes each call's XDR arguments, executes it against the daemon's
+//! local driver for the URI the client opened, and encodes the reply —
+//! the exact mirror of the client-side remote driver. Because both sides
+//! re-enter the same [`HypervisorConnection`] trait, a remote call is
+//! *semantically identical* to a local one; only latency differs. That
+//! equivalence is what the differential tests in `tests/` assert.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use virt_core::drivers::embedded::EmbeddedConnection;
+use virt_core::driver::HypervisorConnection;
+use virt_core::error::{ErrorCode, VirtError, VirtResult};
+use virt_core::event::CallbackId;
+use virt_core::log::Logger;
+use virt_core::protocol::{self, proc};
+use virt_core::uri::ConnectUri;
+use virt_rpc::message::{Header, Packet, REMOTE_PROGRAM};
+use virt_rpc::xdr::XdrEncode;
+
+use crate::server::{ClientHandle, ProgramDispatcher};
+
+struct ClientSession {
+    conn: Arc<EmbeddedConnection>,
+    event_callback: Option<CallbackId>,
+    readonly: bool,
+}
+
+/// Dispatcher for [`REMOTE_PROGRAM`].
+pub struct RemoteDispatcher {
+    /// scheme → local driver connection (`qemu`, `xen`, `lxc`, ...).
+    drivers: HashMap<String, Arc<EmbeddedConnection>>,
+    sessions: Mutex<HashMap<u64, ClientSession>>,
+    logger: Arc<Logger>,
+    /// `(user, password)` pairs; `None` disables authentication.
+    credentials: Option<Vec<(String, String)>>,
+    /// Client ids that have passed AUTH (only tracked when required).
+    authenticated: Mutex<std::collections::HashSet<u64>>,
+}
+
+impl RemoteDispatcher {
+    /// Creates a dispatcher over the daemon's local drivers.
+    pub fn new(
+        drivers: HashMap<String, Arc<EmbeddedConnection>>,
+        logger: Arc<Logger>,
+        credentials: Option<Vec<(String, String)>>,
+    ) -> Arc<Self> {
+        Arc::new(RemoteDispatcher {
+            drivers,
+            sessions: Mutex::new(HashMap::new()),
+            logger,
+            credentials,
+            authenticated: Mutex::new(std::collections::HashSet::new()),
+        })
+    }
+
+    fn session_conn(&self, client_id: u64) -> VirtResult<Arc<EmbeddedConnection>> {
+        self.sessions
+            .lock()
+            .get(&client_id)
+            .map(|s| Arc::clone(&s.conn))
+            .ok_or_else(|| VirtError::new(ErrorCode::ConnectInvalid, "no connection opened"))
+    }
+
+    fn handle(&self, client: &Arc<ClientHandle>, header: Header, payload: &[u8]) -> VirtResult<Vec<u8>> {
+        // AUTH may precede OPEN on daemons requiring credentials.
+        if header.procedure == proc::AUTH {
+            let args: protocol::AuthArgs = decode(payload)?;
+            let Some(credentials) = &self.credentials else {
+                // No authentication configured: accept and record the name.
+                client.identity.lock().username = Some(args.username);
+                return Ok(().to_xdr());
+            };
+            let valid = credentials
+                .iter()
+                .any(|(user, pass)| *user == args.username && *pass == args.password);
+            if !valid {
+                self.logger.warning(
+                    "daemon.rpc",
+                    &format!("client {} failed authentication as '{}'", client.id, args.username),
+                );
+                return Err(VirtError::new(
+                    ErrorCode::AuthFailed,
+                    format!("invalid credentials for '{}'", args.username),
+                ));
+            }
+            self.authenticated.lock().insert(client.id);
+            client.identity.lock().username = Some(args.username);
+            return Ok(().to_xdr());
+        }
+
+        // OPEN establishes the session; everything else requires one.
+        if header.procedure == proc::OPEN {
+            // One connection, one session: a second OPEN would let a
+            // read-only client replace its session with a writable one.
+            if self.sessions.lock().contains_key(&client.id) {
+                return Err(VirtError::new(
+                    ErrorCode::OperationInvalid,
+                    "connection already open",
+                ));
+            }
+            if self.credentials.is_some() && !self.authenticated.lock().contains(&client.id) {
+                return Err(VirtError::new(
+                    ErrorCode::AuthFailed,
+                    "authentication required before open",
+                ));
+            }
+            let args: protocol::OpenArgs = decode(payload)?;
+            let uri: ConnectUri = args.uri.parse()?;
+            let conn = self
+                .drivers
+                .get(uri.driver())
+                .ok_or_else(|| {
+                    VirtError::new(
+                        ErrorCode::NoConnect,
+                        format!("daemon has no driver for scheme '{}'", uri.driver()),
+                    )
+                })?
+                .clone();
+            self.logger.info(
+                "daemon.rpc",
+                &format!(
+                    "client {} opened {}{}",
+                    client.id,
+                    args.uri,
+                    if args.readonly { " (read-only)" } else { "" }
+                ),
+            );
+            client.identity.lock().readonly = args.readonly;
+            self.sessions.lock().insert(
+                client.id,
+                ClientSession {
+                    conn,
+                    event_callback: None,
+                    readonly: args.readonly,
+                },
+            );
+            return Ok(().to_xdr());
+        }
+
+        // Read-only sessions may only call read-only-safe procedures.
+        {
+            let sessions = self.sessions.lock();
+            if let Some(session) = sessions.get(&client.id) {
+                if session.readonly && !protocol::is_readonly_safe(header.procedure) {
+                    return Err(VirtError::new(
+                        ErrorCode::AccessDenied,
+                        format!("procedure {} forbidden on a read-only connection", header.procedure),
+                    ));
+                }
+            }
+        }
+
+        let conn = self.session_conn(client.id)?;
+        let c: &dyn HypervisorConnection = conn.as_ref();
+
+        let reply: Vec<u8> = match header.procedure {
+            proc::CLOSE => {
+                self.cleanup_session(client.id);
+                ().to_xdr()
+            }
+            proc::GET_HOSTNAME => c.hostname()?.to_xdr(),
+            proc::GET_CAPABILITIES => c.capabilities()?.to_xml_string().to_xdr(),
+            proc::NODE_INFO => protocol::WireNodeInfo::from(&c.node_info()?).to_xdr(),
+
+            proc::LIST_DOMAINS => {
+                let records = c.list_domains()?;
+                protocol::WireDomainList(records.iter().map(protocol::WireDomain::from).collect())
+                    .to_xdr()
+            }
+            proc::DOMAIN_LOOKUP_NAME => {
+                let args: protocol::NameArgs = decode(payload)?;
+                domain_reply(c.lookup_domain_by_name(&args.name)?)
+            }
+            proc::DOMAIN_LOOKUP_ID => {
+                let args: protocol::NameU32Args = decode(payload)?;
+                domain_reply(c.lookup_domain_by_id(args.value)?)
+            }
+            proc::DOMAIN_LOOKUP_UUID => {
+                let uuid: [u8; 16] = decode(payload)?;
+                domain_reply(c.lookup_domain_by_uuid(virt_core::Uuid::from_bytes(uuid))?)
+            }
+            proc::DOMAIN_DEFINE_XML => {
+                let args: protocol::XmlArgs = decode(payload)?;
+                domain_reply(c.define_domain_xml(&args.xml)?)
+            }
+            proc::DOMAIN_CREATE_XML => {
+                let args: protocol::XmlArgs = decode(payload)?;
+                domain_reply(c.create_domain_xml(&args.xml)?)
+            }
+            proc::DOMAIN_UNDEFINE => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.undefine_domain(&args.name)?;
+                ().to_xdr()
+            }
+            proc::DOMAIN_START => name_op(payload, |n| c.start_domain(n))?,
+            proc::DOMAIN_SHUTDOWN => name_op(payload, |n| c.shutdown_domain(n))?,
+            proc::DOMAIN_REBOOT => name_op(payload, |n| c.reboot_domain(n))?,
+            proc::DOMAIN_DESTROY => name_op(payload, |n| c.destroy_domain(n))?,
+            proc::DOMAIN_SUSPEND => name_op(payload, |n| c.suspend_domain(n))?,
+            proc::DOMAIN_RESUME => name_op(payload, |n| c.resume_domain(n))?,
+            proc::DOMAIN_SAVE => name_op(payload, |n| c.save_domain(n))?,
+            proc::DOMAIN_RESTORE => name_op(payload, |n| c.restore_domain(n))?,
+            proc::DOMAIN_SET_MEMORY => {
+                let args: protocol::NameU64Args = decode(payload)?;
+                domain_reply(c.set_domain_memory(&args.name, args.value)?)
+            }
+            proc::DOMAIN_SET_VCPUS => {
+                let args: protocol::NameU32Args = decode(payload)?;
+                domain_reply(c.set_domain_vcpus(&args.name, args.value)?)
+            }
+            proc::DOMAIN_ATTACH_DEVICE => {
+                let args: protocol::NameStringArgs = decode(payload)?;
+                domain_reply(c.attach_device(&args.name, &args.value)?)
+            }
+            proc::DOMAIN_DETACH_DEVICE => {
+                let args: protocol::NameStringArgs = decode(payload)?;
+                domain_reply(c.detach_device(&args.name, &args.value)?)
+            }
+            proc::DOMAIN_SNAPSHOT => {
+                let args: protocol::NameStringArgs = decode(payload)?;
+                domain_reply(c.snapshot_domain(&args.name, &args.value)?)
+            }
+            proc::DOMAIN_SNAPSHOT_REVERT => {
+                let args: protocol::NameStringArgs = decode(payload)?;
+                domain_reply(c.revert_snapshot(&args.name, &args.value)?)
+            }
+            proc::DOMAIN_SNAPSHOT_DELETE => {
+                let args: protocol::NameStringArgs = decode(payload)?;
+                c.delete_snapshot(&args.name, &args.value)?;
+                ().to_xdr()
+            }
+            proc::DOMAIN_LIST_SNAPSHOTS => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.list_snapshots(&args.name)?.to_xdr()
+            }
+            proc::DOMAIN_SET_AUTOSTART => {
+                let args: protocol::NameBoolArgs = decode(payload)?;
+                c.set_autostart(&args.name, args.value)?;
+                ().to_xdr()
+            }
+            proc::DOMAIN_DUMP_XML => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.dump_domain_xml(&args.name)?.to_xdr()
+            }
+
+            proc::MIGRATE_BEGIN => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.migrate_begin(&args.name)?.to_xdr()
+            }
+            proc::MIGRATE_PREPARE => {
+                let args: protocol::XmlArgs = decode(payload)?;
+                c.migrate_prepare(&args.xml)?;
+                ().to_xdr()
+            }
+            proc::MIGRATE_PERFORM => {
+                let args: protocol::MigratePerformArgs = decode(payload)?;
+                let report = c.migrate_perform(&args.name, &args.to_options())?;
+                protocol::WireMigrationReport::from(&report).to_xdr()
+            }
+            proc::MIGRATE_FINISH => {
+                let args: protocol::XmlArgs = decode(payload)?;
+                domain_reply(c.migrate_finish(&args.xml)?)
+            }
+            proc::MIGRATE_CONFIRM => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.migrate_confirm(&args.name)?;
+                ().to_xdr()
+            }
+            proc::MIGRATE_ABORT => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.migrate_abort(&args.name)?;
+                ().to_xdr()
+            }
+
+            proc::LIST_POOLS => c.list_pools()?.to_xdr(),
+            proc::POOL_INFO => {
+                let args: protocol::NameArgs = decode(payload)?;
+                protocol::WirePool::from(&c.pool_info(&args.name)?).to_xdr()
+            }
+            proc::POOL_DEFINE_XML => {
+                let args: protocol::XmlArgs = decode(payload)?;
+                protocol::WirePool::from(&c.define_pool_xml(&args.xml)?).to_xdr()
+            }
+            proc::POOL_START => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.start_pool(&args.name)?;
+                ().to_xdr()
+            }
+            proc::POOL_STOP => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.stop_pool(&args.name)?;
+                ().to_xdr()
+            }
+            proc::POOL_UNDEFINE => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.undefine_pool(&args.name)?;
+                ().to_xdr()
+            }
+            proc::LIST_VOLUMES => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.list_volumes(&args.name)?.to_xdr()
+            }
+            proc::VOLUME_INFO => {
+                let args: protocol::PoolVolArgs = decode(payload)?;
+                protocol::WireVolume::from(&c.volume_info(&args.pool, &args.name)?).to_xdr()
+            }
+            proc::VOLUME_CREATE_XML => {
+                let args: protocol::PoolXmlArgs = decode(payload)?;
+                protocol::WireVolume::from(&c.create_volume_xml(&args.pool, &args.xml)?).to_xdr()
+            }
+            proc::VOLUME_DELETE => {
+                let args: protocol::PoolVolArgs = decode(payload)?;
+                c.delete_volume(&args.pool, &args.name)?;
+                ().to_xdr()
+            }
+            proc::VOLUME_RESIZE => {
+                let args: protocol::VolResizeArgs = decode(payload)?;
+                c.resize_volume(&args.pool, &args.name, args.capacity_mib)?;
+                ().to_xdr()
+            }
+            proc::VOLUME_CLONE => {
+                let args: protocol::VolCloneArgs = decode(payload)?;
+                protocol::WireVolume::from(&c.clone_volume(&args.pool, &args.source, &args.new_name)?)
+                    .to_xdr()
+            }
+
+            proc::LIST_NETWORKS => c.list_networks()?.to_xdr(),
+            proc::NETWORK_INFO => {
+                let args: protocol::NameArgs = decode(payload)?;
+                protocol::WireNetwork::from(&c.network_info(&args.name)?).to_xdr()
+            }
+            proc::NETWORK_DEFINE_XML => {
+                let args: protocol::XmlArgs = decode(payload)?;
+                protocol::WireNetwork::from(&c.define_network_xml(&args.xml)?).to_xdr()
+            }
+            proc::NETWORK_START => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.start_network(&args.name)?;
+                ().to_xdr()
+            }
+            proc::NETWORK_STOP => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.stop_network(&args.name)?;
+                ().to_xdr()
+            }
+            proc::NETWORK_UNDEFINE => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.undefine_network(&args.name)?;
+                ().to_xdr()
+            }
+
+            proc::EVENT_REGISTER => {
+                let mut sessions = self.sessions.lock();
+                let session = sessions
+                    .get_mut(&client.id)
+                    .ok_or_else(|| VirtError::new(ErrorCode::ConnectInvalid, "no connection opened"))?;
+                if session.event_callback.is_none() {
+                    let event_client = Arc::clone(client);
+                    let id = conn.events().register(Arc::new(move |event| {
+                        let packet = Packet::new(
+                            Header::event(REMOTE_PROGRAM, proc::EVENT_LIFECYCLE),
+                            &protocol::WireEvent::from(event),
+                        );
+                        let _ = event_client.send(&packet);
+                    }));
+                    session.event_callback = Some(id);
+                }
+                ().to_xdr()
+            }
+            proc::EVENT_DEREGISTER => {
+                let mut sessions = self.sessions.lock();
+                if let Some(session) = sessions.get_mut(&client.id) {
+                    if let Some(id) = session.event_callback.take() {
+                        conn.events().unregister(id);
+                    }
+                }
+                ().to_xdr()
+            }
+
+            other => {
+                return Err(VirtError::new(
+                    ErrorCode::RpcFailure,
+                    format!("unknown procedure {other}"),
+                ))
+            }
+        };
+        Ok(reply)
+    }
+
+    fn cleanup_session(&self, client_id: u64) {
+        self.authenticated.lock().remove(&client_id);
+        if let Some(session) = self.sessions.lock().remove(&client_id) {
+            if let Some(id) = session.event_callback {
+                session.conn.events().unregister(id);
+            }
+        }
+    }
+}
+
+fn decode<T: virt_rpc::xdr::XdrDecode>(payload: &[u8]) -> VirtResult<T> {
+    T::from_xdr(payload)
+        .map_err(|e| VirtError::new(ErrorCode::RpcFailure, format!("bad arguments: {e}")))
+}
+
+fn domain_reply(record: virt_core::DomainRecord) -> Vec<u8> {
+    protocol::WireDomain::from(&record).to_xdr()
+}
+
+fn name_op(
+    payload: &[u8],
+    op: impl FnOnce(&str) -> VirtResult<virt_core::DomainRecord>,
+) -> VirtResult<Vec<u8>> {
+    let args: protocol::NameArgs = decode(payload)?;
+    Ok(domain_reply(op(&args.name)?))
+}
+
+impl ProgramDispatcher for RemoteDispatcher {
+    fn program(&self) -> u32 {
+        REMOTE_PROGRAM
+    }
+
+    fn is_high_priority(&self, procedure: u32) -> bool {
+        protocol::is_high_priority(procedure)
+    }
+
+    fn dispatch(&self, client: &Arc<ClientHandle>, header: Header, payload: &[u8]) -> Packet {
+        match self.handle(client, header, payload) {
+            Ok(reply_payload) => Packet {
+                header: header.reply_ok(),
+                payload: reply_payload,
+            },
+            Err(err) => {
+                self.logger.warning(
+                    "daemon.rpc",
+                    &format!("client {} proc {} failed: {err}", client.id, header.procedure),
+                );
+                Packet::new(header.reply_error(), &err.to_rpc())
+            }
+        }
+    }
+
+    fn on_disconnect(&self, client_id: u64) {
+        self.cleanup_session(client_id);
+    }
+}

@@ -1,0 +1,633 @@
+//! The server object: client acceptance, tracking, and request execution.
+//!
+//! A [`Server`] owns a worker pool and a client table. Services
+//! (listeners) are attached with [`Server::serve`]; each accepted client
+//! gets a reader thread that frames requests and submits them to the pool
+//! — high-priority procedures may run on the dedicated priority workers,
+//! so control-plane queries stay responsive when ordinary workers are
+//! wedged on a hung hypervisor call.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use parking_lot::Mutex;
+
+use virt_rpc::keepalive;
+use virt_rpc::message::{Header, MessageStatus, Packet, RpcError};
+use virt_rpc::transport::{Listener, Transport, TransportKind};
+use virt_rpc::{PoolLimits, PoolStats, WorkerPool};
+
+/// Handles one program's procedures for a server.
+pub trait ProgramDispatcher: Send + Sync + 'static {
+    /// The program number this dispatcher serves.
+    fn program(&self) -> u32;
+
+    /// Whether a procedure may run on priority workers.
+    fn is_high_priority(&self, procedure: u32) -> bool;
+
+    /// Executes one call, returning the reply packet. Must not panic.
+    fn dispatch(&self, client: &Arc<ClientHandle>, header: Header, payload: &[u8]) -> Packet;
+
+    /// Invoked when a client disconnects (cleanup of per-client state).
+    fn on_disconnect(&self, client_id: u64);
+}
+
+/// Identity facts a client establishes during its session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClientIdentity {
+    /// Authenticated username, when the daemon requires authentication.
+    pub username: Option<String>,
+    /// Whether the session is restricted to read-only procedures.
+    pub readonly: bool,
+}
+
+/// A connected client, as tracked by its server.
+pub struct ClientHandle {
+    /// Server-unique id.
+    pub id: u64,
+    /// The transport this client is connected over.
+    pub transport: Arc<dyn Transport>,
+    /// Wall-clock connect time.
+    pub connected_at: SystemTime,
+    /// Session identity, filled in by the dispatcher (AUTH/OPEN).
+    pub identity: Mutex<ClientIdentity>,
+}
+
+impl ClientHandle {
+    /// Sends a packet to this client (replies and events).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (client already gone).
+    pub fn send(&self, packet: &Packet) -> std::io::Result<()> {
+        self.transport.send_frame(&packet.to_frame()[4..])
+    }
+
+    /// The transport flavor.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
+    }
+
+    /// Seconds since the Unix epoch at connect time.
+    pub fn connected_secs(&self) -> u64 {
+        self.connected_at
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_secs()
+    }
+}
+
+/// A client's externally visible facts (admin `client-list`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientSnapshot {
+    /// Server-unique id.
+    pub id: u64,
+    /// Transport name (`memory`, `unix`, `tcp`, `tls`).
+    pub transport: String,
+    /// Peer description.
+    pub peer: String,
+    /// Connect time, seconds since epoch.
+    pub connected_secs: u64,
+    /// Authenticated username, empty when unauthenticated.
+    pub username: String,
+    /// Whether the session is read-only.
+    pub readonly: bool,
+}
+
+struct ServerState {
+    clients: HashMap<u64, Arc<ClientHandle>>,
+    max_clients: u32,
+    /// Clients refused because the table was full (for tests/metrics).
+    refused: u64,
+}
+
+/// A named server: worker pool + client table + attached services.
+pub struct Server {
+    name: String,
+    pool: WorkerPool,
+    dispatcher: Arc<dyn ProgramDispatcher>,
+    state: Mutex<ServerState>,
+    next_client_id: AtomicU64,
+    running: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("name", &self.name)
+            .field("clients", &self.state.lock().clients.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Creates a server with the given pool limits and dispatcher.
+    ///
+    /// # Errors
+    ///
+    /// Invalid pool limits.
+    pub fn new(
+        name: impl Into<String>,
+        pool_limits: PoolLimits,
+        max_clients: u32,
+        dispatcher: Arc<dyn ProgramDispatcher>,
+    ) -> Result<Arc<Server>, String> {
+        Ok(Arc::new(Server {
+            name: name.into(),
+            pool: WorkerPool::start(pool_limits)?,
+            dispatcher,
+            state: Mutex::new(ServerState {
+                clients: HashMap::new(),
+                max_clients,
+                refused: 0,
+            }),
+            next_client_id: AtomicU64::new(1),
+            running: Arc::new(AtomicBool::new(true)),
+        }))
+    }
+
+    /// The server's name (`virtd`, `admin`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worker pool statistics (admin `srv-threadpool-info`).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Adjusts worker pool limits at runtime (admin `srv-threadpool-set`).
+    ///
+    /// # Errors
+    ///
+    /// Invalid limits; the old limits stay in force.
+    pub fn set_pool_limits(&self, limits: PoolLimits) -> Result<(), String> {
+        self.pool.set_limits(limits)
+    }
+
+    /// Jobs completed since start.
+    pub fn jobs_completed(&self) -> u64 {
+        self.pool.completed()
+    }
+
+    /// Current client count.
+    pub fn client_count(&self) -> usize {
+        self.state.lock().clients.len()
+    }
+
+    /// The configured client limit.
+    pub fn max_clients(&self) -> u32 {
+        self.state.lock().max_clients
+    }
+
+    /// Changes the client limit (admin `srv-clients-set`). Existing
+    /// clients above a lowered limit stay connected; only new connections
+    /// are refused.
+    pub fn set_max_clients(&self, max: u32) {
+        self.state.lock().max_clients = max;
+    }
+
+    /// Count of connections refused due to the client limit.
+    pub fn refused_count(&self) -> u64 {
+        self.state.lock().refused
+    }
+
+    /// Snapshots of all connected clients, id-ordered.
+    pub fn clients(&self) -> Vec<ClientSnapshot> {
+        let state = self.state.lock();
+        let mut list: Vec<ClientSnapshot> = state
+            .clients
+            .values()
+            .map(|c| {
+                let identity = c.identity.lock().clone();
+                ClientSnapshot {
+                    id: c.id,
+                    transport: c.transport_kind().to_string(),
+                    peer: c.transport.peer(),
+                    connected_secs: c.connected_secs(),
+                    username: identity.username.unwrap_or_default(),
+                    readonly: identity.readonly,
+                }
+            })
+            .collect();
+        list.sort_by_key(|c| c.id);
+        list
+    }
+
+    /// Looks up one client.
+    pub fn client(&self, id: u64) -> Option<Arc<ClientHandle>> {
+        self.state.lock().clients.get(&id).cloned()
+    }
+
+    /// Forcefully closes a client's connection (admin
+    /// `client-disconnect`). Returns whether the client existed.
+    pub fn disconnect_client(&self, id: u64) -> bool {
+        let client = self.state.lock().clients.get(&id).cloned();
+        match client {
+            Some(client) => {
+                // Shutting the transport down unblocks the reader thread,
+                // which performs the table cleanup.
+                let _ = client.transport.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attaches a listener; accepted clients are served until
+    /// [`Server::shutdown`].
+    pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>) {
+        let server = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("{}-accept", self.name))
+            .spawn(move || {
+                while server.running.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok(transport) => server.admit(Arc::from(transport)),
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawning accept thread");
+    }
+
+    /// Admits a single transport directly (bypassing a listener) — used by
+    /// tests and by in-process endpoints.
+    pub fn admit(self: &Arc<Self>, transport: Arc<dyn Transport>) {
+        {
+            let mut state = self.state.lock();
+            if state.clients.len() as u32 >= state.max_clients {
+                state.refused += 1;
+                drop(state);
+                let _ = transport.shutdown();
+                return;
+            }
+        }
+        let id = self.next_client_id.fetch_add(1, Ordering::Relaxed);
+        let client = Arc::new(ClientHandle {
+            id,
+            transport,
+            connected_at: SystemTime::now(),
+            identity: Mutex::new(ClientIdentity::default()),
+        });
+        self.state.lock().clients.insert(id, Arc::clone(&client));
+
+        let server = Arc::clone(self);
+        std::thread::Builder::new()
+            .name(format!("{}-client-{id}", self.name))
+            .spawn(move || server.client_loop(client))
+            .expect("spawning client thread");
+    }
+
+    fn client_loop(self: Arc<Self>, client: Arc<ClientHandle>) {
+        while self.running.load(Ordering::Acquire) {
+            let frame = match client.transport.recv_frame() {
+                Ok(frame) => frame,
+                Err(_) => break,
+            };
+            let packet = match Packet::from_body(&frame) {
+                Ok(packet) => packet,
+                Err(_) => break, // protocol garbage: drop the client
+            };
+
+            // Keepalive is answered inline, never queued: liveness probes
+            // must not wait behind a busy pool.
+            if let Some(pong) = keepalive::respond(&packet) {
+                let _ = client.send(&pong);
+                continue;
+            }
+            if keepalive::is_pong(&packet) {
+                continue;
+            }
+
+            if packet.header.program != self.dispatcher.program() {
+                let reply = Packet::new(
+                    packet.header.reply_error(),
+                    &RpcError::new(
+                        virt_core::ErrorCode::RpcFailure.as_u32(),
+                        format!("unknown program {:#x}", packet.header.program),
+                    ),
+                );
+                let _ = client.send(&reply);
+                continue;
+            }
+
+            let dispatcher = Arc::clone(&self.dispatcher);
+            let job_client = Arc::clone(&client);
+            let high = dispatcher.is_high_priority(packet.header.procedure);
+            self.pool.submit(high, move || {
+                let reply = dispatcher.dispatch(&job_client, packet.header, &packet.payload);
+                debug_assert_eq!(reply.header.serial, packet.header.serial);
+                debug_assert!(matches!(
+                    reply.header.status,
+                    MessageStatus::Ok | MessageStatus::Error
+                ));
+                let _ = job_client.send(&reply);
+            });
+        }
+        // Cleanup.
+        self.state.lock().clients.remove(&client.id);
+        self.dispatcher.on_disconnect(client.id);
+        let _ = client.transport.shutdown();
+    }
+
+    /// Stops the server: closes every client and drains the pool.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::Release);
+        let clients: Vec<Arc<ClientHandle>> = self.state.lock().clients.values().cloned().collect();
+        for client in clients {
+            let _ = client.transport.shutdown();
+        }
+        self.pool.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use virt_rpc::message::{MessageType, REMOTE_PROGRAM};
+    use virt_rpc::transport::memory_pair;
+    use virt_rpc::CallClient;
+
+    /// Echo dispatcher: replies with the request payload; procedure 7 is
+    /// high priority; procedure 99 blocks until told to stop (a "hung
+    /// hypervisor call").
+    #[derive(Default)]
+    struct EchoDispatcher {
+        hang_until: Mutex<Option<std::sync::mpsc::Receiver<()>>>,
+        disconnects: Mutex<Vec<u64>>,
+    }
+
+    impl ProgramDispatcher for EchoDispatcher {
+        fn program(&self) -> u32 {
+            REMOTE_PROGRAM
+        }
+
+        fn is_high_priority(&self, procedure: u32) -> bool {
+            procedure == 7
+        }
+
+        fn dispatch(&self, _client: &Arc<ClientHandle>, header: Header, payload: &[u8]) -> Packet {
+            if header.procedure == 99 {
+                if let Some(rx) = self.hang_until.lock().take() {
+                    let _ = rx.recv();
+                }
+            }
+            Packet {
+                header: header.reply_ok(),
+                payload: payload.to_vec(),
+            }
+        }
+
+        fn on_disconnect(&self, client_id: u64) {
+            self.disconnects.lock().push(client_id);
+        }
+    }
+
+    fn small_limits() -> PoolLimits {
+        PoolLimits {
+            min_workers: 1,
+            max_workers: 2,
+            priority_workers: 1,
+        }
+    }
+
+    fn connect(server: &Arc<Server>) -> CallClient {
+        let (client_side, server_side) = memory_pair();
+        server.admit(Arc::new(server_side));
+        CallClient::new(client_side)
+    }
+
+    fn wait_until(pred: impl Fn() -> bool, what: &str) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !pred() {
+            assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn round_trip_through_the_pool() {
+        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let client = connect(&server);
+        let reply: String = client.call(REMOTE_PROGRAM, 1, &"ping".to_string()).unwrap();
+        assert_eq!(reply, "ping");
+        assert_eq!(server.client_count(), 1);
+        assert_eq!(server.jobs_completed(), 1);
+        client.close();
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_limit_refuses_excess_connections() {
+        let server = Server::new("t", small_limits(), 2, Arc::new(EchoDispatcher::default())).unwrap();
+        let c1 = connect(&server);
+        let c2 = connect(&server);
+        // Both are live.
+        let _: String = c1.call(REMOTE_PROGRAM, 1, &"a".to_string()).unwrap();
+        let _: String = c2.call(REMOTE_PROGRAM, 1, &"b".to_string()).unwrap();
+        // The third connection is refused: its transport gets shut down.
+        let c3 = connect(&server);
+        let err = c3.call::<String>(REMOTE_PROGRAM, 1, &"c".to_string()).unwrap_err();
+        assert!(matches!(
+            err,
+            virt_rpc::client::CallError::Disconnected | virt_rpc::client::CallError::Io(_)
+        ));
+        assert_eq!(server.refused_count(), 1);
+        assert_eq!(server.client_count(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn raising_the_limit_admits_new_clients() {
+        let server = Server::new("t", small_limits(), 1, Arc::new(EchoDispatcher::default())).unwrap();
+        let _c1 = connect(&server);
+        wait_until(|| server.client_count() == 1, "first client admitted");
+        server.set_max_clients(2);
+        let c2 = connect(&server);
+        let _: String = c2.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
+        assert_eq!(server.client_count(), 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn forced_disconnect_removes_the_client() {
+        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let client = connect(&server);
+        let _: String = client.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
+        let id = server.clients()[0].id;
+        assert!(server.disconnect_client(id));
+        wait_until(|| server.client_count() == 0, "client table drained");
+        assert!(!server.disconnect_client(id), "second disconnect reports absence");
+        // The client observes the closed connection.
+        let err = client.call::<String>(REMOTE_PROGRAM, 1, &"y".to_string()).unwrap_err();
+        assert!(matches!(
+            err,
+            virt_rpc::client::CallError::Disconnected | virt_rpc::client::CallError::Io(_)
+        ));
+        server.shutdown();
+    }
+
+    #[test]
+    fn client_snapshots_expose_identity() {
+        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let client = connect(&server);
+        let _: String = client.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
+        let snapshots = server.clients();
+        assert_eq!(snapshots.len(), 1);
+        assert_eq!(snapshots[0].transport, "memory");
+        assert!(snapshots[0].connected_secs > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn priority_procedure_completes_while_ordinary_workers_hang() {
+        let dispatcher = Arc::new(EchoDispatcher::default());
+        let (hang_tx, hang_rx) = std::sync::mpsc::channel::<()>();
+        *dispatcher.hang_until.lock() = Some(hang_rx);
+        let server = Server::new(
+            "t",
+            PoolLimits {
+                min_workers: 1,
+                max_workers: 1,
+                priority_workers: 1,
+            },
+            10,
+            dispatcher,
+        )
+        .unwrap();
+        let client = connect(&server);
+        // Occupy the single ordinary worker with the hanging procedure
+        // from a second thread.
+        let hang_client = client.clone();
+        let hanging = std::thread::spawn(move || {
+            let _: String = hang_client.call(REMOTE_PROGRAM, 99, &"hang".to_string()).unwrap();
+        });
+        wait_until(|| server.pool_stats().free_workers == 0, "ordinary worker busy");
+        // The high-priority procedure still completes.
+        let reply: String = client.call(REMOTE_PROGRAM, 7, &"urgent".to_string()).unwrap();
+        assert_eq!(reply, "urgent");
+        hang_tx.send(()).unwrap();
+        hanging.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn pool_limits_adjustable_at_runtime() {
+        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        server
+            .set_pool_limits(PoolLimits {
+                min_workers: 3,
+                max_workers: 6,
+                priority_workers: 2,
+            })
+            .unwrap();
+        wait_until(
+            || {
+                let s = server.pool_stats();
+                s.current_workers >= 3 && s.priority_workers == 2
+            },
+            "pool grew",
+        );
+        assert!(server
+            .set_pool_limits(PoolLimits {
+                min_workers: 9,
+                max_workers: 3,
+                priority_workers: 1
+            })
+            .is_err());
+        server.shutdown();
+    }
+
+    #[test]
+    fn keepalive_pings_answered_inline() {
+        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let (client_side, server_side) = memory_pair();
+        server.admit(Arc::new(server_side));
+        // Raw ping (no CallClient, to observe the pong frame directly).
+        let ping = virt_rpc::keepalive::ping_packet();
+        client_side.send_frame(&ping.to_frame()[4..]).unwrap();
+        let frame = client_side.recv_frame().unwrap();
+        let pong = Packet::from_body(&frame).unwrap();
+        assert!(virt_rpc::keepalive::is_pong(&pong));
+        server.shutdown();
+    }
+
+    #[test]
+    fn wrong_program_gets_an_error_reply() {
+        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let (client_side, server_side) = memory_pair();
+        server.admit(Arc::new(server_side));
+        let call = Packet::new(Header::call(0xbad, 1, 5), &());
+        client_side.send_frame(&call.to_frame()[4..]).unwrap();
+        let frame = client_side.recv_frame().unwrap();
+        let reply = Packet::from_body(&frame).unwrap();
+        assert_eq!(reply.header.mtype, MessageType::Reply);
+        assert_eq!(reply.header.status, MessageStatus::Error);
+        assert_eq!(reply.header.serial, 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_frames_drop_the_client() {
+        let dispatcher = Arc::new(EchoDispatcher::default());
+        let server = Server::new("t", small_limits(), 10, dispatcher.clone()).unwrap();
+        let (client_side, server_side) = memory_pair();
+        server.admit(Arc::new(server_side));
+        wait_until(|| server.client_count() == 1, "admitted");
+        client_side.send_frame(&[1, 2, 3, 4]).unwrap();
+        wait_until(|| server.client_count() == 0, "dropped");
+        assert_eq!(dispatcher.disconnects.lock().len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn disconnect_callback_fires_per_client() {
+        let dispatcher = Arc::new(EchoDispatcher::default());
+        let server = Server::new("t", small_limits(), 10, dispatcher.clone()).unwrap();
+        let c1 = connect(&server);
+        let c2 = connect(&server);
+        let _: String = c1.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
+        let _: String = c2.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
+        c1.close();
+        c2.close();
+        wait_until(|| dispatcher.disconnects.lock().len() == 2, "both disconnect callbacks");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_multiplex_correctly() {
+        let server = Server::new(
+            "t",
+            PoolLimits {
+                min_workers: 4,
+                max_workers: 8,
+                priority_workers: 1,
+            },
+            64,
+            Arc::new(EchoDispatcher::default()),
+        )
+        .unwrap();
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let client = connect(&server);
+                std::thread::spawn(move || {
+                    for j in 0..50 {
+                        let msg = format!("{i}-{j}");
+                        let reply: String = client.call(REMOTE_PROGRAM, 1, &msg).unwrap();
+                        assert_eq!(reply, msg);
+                    }
+                    client.close();
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(server.jobs_completed(), 400);
+        server.shutdown();
+    }
+}

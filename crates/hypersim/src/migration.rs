@@ -1,0 +1,268 @@
+//! Pre-copy live-migration memory-transfer model.
+//!
+//! Live migration copies guest memory while the guest keeps running and
+//! dirtying pages; each iteration re-copies what was dirtied during the
+//! previous one. When the remaining dirty set is small enough to move
+//! within the downtime budget — or the iteration limit is hit — the guest
+//! pauses for the final copy. This module computes the timing of that loop
+//! for a given memory size, dirty rate, and link bandwidth; the management
+//! layer's migration protocol drives it and charges the resulting transfer
+//! volumes to the hosts' virtual clock.
+
+use std::time::Duration;
+
+use crate::error::{SimError, SimErrorKind, SimResult};
+use crate::resources::MiB;
+
+/// Parameters of a live migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationParams {
+    /// Guest memory to move.
+    pub memory: MiB,
+    /// Rate at which the running guest dirties memory, MiB/s.
+    pub dirty_rate_mib_s: u64,
+    /// Link bandwidth, MiB/s.
+    pub bandwidth_mib_s: u64,
+    /// Maximum tolerated downtime for the final stop-and-copy.
+    pub downtime_limit: Duration,
+    /// Pre-copy iteration cap before forcing stop-and-copy.
+    pub max_iterations: u32,
+}
+
+impl MigrationParams {
+    /// Sensible defaults: 300 ms downtime budget, 30 iterations.
+    pub fn new(memory: MiB, dirty_rate_mib_s: u64, bandwidth_mib_s: u64) -> Self {
+        MigrationParams {
+            memory,
+            dirty_rate_mib_s,
+            bandwidth_mib_s,
+            downtime_limit: Duration::from_millis(300),
+            max_iterations: 30,
+        }
+    }
+
+    /// Overrides the downtime budget.
+    pub fn downtime_limit(mut self, limit: Duration) -> Self {
+        self.downtime_limit = limit;
+        self
+    }
+
+    /// Overrides the iteration cap.
+    pub fn max_iterations(mut self, max: u32) -> Self {
+        self.max_iterations = max;
+        self
+    }
+
+    /// Validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`SimErrorKind::InvalidArgument`] when bandwidth or memory is zero.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.bandwidth_mib_s == 0 {
+            return Err(SimError::new(SimErrorKind::InvalidArgument, "bandwidth is zero"));
+        }
+        if self.memory == MiB::ZERO {
+            return Err(SimError::new(SimErrorKind::InvalidArgument, "memory is zero"));
+        }
+        Ok(())
+    }
+}
+
+/// Per-iteration record of the pre-copy loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Round {
+    /// MiB copied in this round.
+    pub copied: MiB,
+    /// Time the round took.
+    pub duration: Duration,
+}
+
+/// The computed outcome of a migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MigrationOutcome {
+    /// Whether pre-copy converged under the downtime budget (`false`
+    /// means the iteration cap forced a longer-than-budget final copy).
+    pub converged: bool,
+    /// Pre-copy rounds, first full-memory copy included.
+    pub rounds: Vec<Round>,
+    /// Duration of the stop-and-copy phase — the guest's downtime.
+    pub downtime: Duration,
+    /// End-to-end migration duration (pre-copy + downtime).
+    pub total_time: Duration,
+    /// Total data moved across the link.
+    pub transferred: MiB,
+}
+
+impl MigrationOutcome {
+    /// Number of pre-copy iterations performed.
+    pub fn iterations(&self) -> u32 {
+        self.rounds.len() as u32
+    }
+}
+
+/// Computes the pre-copy loop for the given parameters.
+///
+/// # Errors
+///
+/// Propagates parameter validation failures.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use hypersim::{MigrationParams, MiB};
+/// use hypersim::migration::simulate_precopy;
+///
+/// // 2 GiB guest, dirtying 100 MiB/s, over a 1000 MiB/s link.
+/// let outcome = simulate_precopy(&MigrationParams::new(MiB(2048), 100, 1000))?;
+/// assert!(outcome.converged);
+/// assert!(outcome.downtime <= std::time::Duration::from_millis(300));
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_precopy(params: &MigrationParams) -> SimResult<MigrationOutcome> {
+    params.validate()?;
+    let bw = params.bandwidth_mib_s as f64;
+    let dirty_rate = params.dirty_rate_mib_s as f64;
+    let downtime_budget_s = params.downtime_limit.as_secs_f64();
+    // The dirty set that can be moved within the downtime budget.
+    let final_threshold_mib = bw * downtime_budget_s;
+
+    let mut rounds = Vec::new();
+    let mut remaining = params.memory.0 as f64;
+    let mut transferred = 0.0f64;
+    let mut precopy_time = 0.0f64;
+    let mut converged = true;
+
+    loop {
+        if remaining <= final_threshold_mib {
+            break;
+        }
+        if rounds.len() as u32 >= params.max_iterations {
+            converged = false;
+            break;
+        }
+        // Copy the current dirty set; the guest dirties more meanwhile.
+        let duration_s = remaining / bw;
+        transferred += remaining;
+        precopy_time += duration_s;
+        rounds.push(Round {
+            copied: MiB(remaining.round() as u64),
+            duration: Duration::from_secs_f64(duration_s),
+        });
+        let dirtied = dirty_rate * duration_s;
+        // The newly dirty set can never exceed total guest memory.
+        remaining = dirtied.min(params.memory.0 as f64);
+        // Guard: if the dirty rate matches/exceeds bandwidth the loop will
+        // never shrink the set; the iteration cap handles termination.
+    }
+
+    let downtime_s = remaining / bw;
+    transferred += remaining;
+
+    Ok(MigrationOutcome {
+        converged,
+        rounds,
+        downtime: Duration::from_secs_f64(downtime_s),
+        total_time: Duration::from_secs_f64(precopy_time + downtime_s),
+        transferred: MiB(transferred.round() as u64),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_quiet_guest_converges_fast() {
+        let outcome = simulate_precopy(&MigrationParams::new(MiB(512), 10, 1000)).unwrap();
+        assert!(outcome.converged);
+        assert!(outcome.downtime <= Duration::from_millis(300));
+        // First round copies everything once.
+        assert_eq!(outcome.rounds[0].copied, MiB(512));
+    }
+
+    #[test]
+    fn total_time_grows_with_memory() {
+        let small = simulate_precopy(&MigrationParams::new(MiB(512), 50, 1000)).unwrap();
+        let large = simulate_precopy(&MigrationParams::new(MiB(8192), 50, 1000)).unwrap();
+        assert!(large.total_time > small.total_time * 4);
+    }
+
+    #[test]
+    fn downtime_respects_budget_when_converged() {
+        for mem in [256u64, 1024, 4096, 16384] {
+            let params = MigrationParams::new(MiB(mem), 200, 1000);
+            let outcome = simulate_precopy(&params).unwrap();
+            assert!(outcome.converged, "mem={mem}");
+            assert!(
+                outcome.downtime.as_secs_f64() <= params.downtime_limit.as_secs_f64() + 1e-9,
+                "mem={mem} downtime={:?}",
+                outcome.downtime
+            );
+        }
+    }
+
+    #[test]
+    fn high_dirty_rate_fails_to_converge() {
+        // Guest dirties faster than the link can copy: pre-copy can never
+        // shrink the dirty set below the threshold.
+        let params = MigrationParams::new(MiB(4096), 1200, 1000);
+        let outcome = simulate_precopy(&params).unwrap();
+        assert!(!outcome.converged);
+        assert_eq!(outcome.iterations(), params.max_iterations);
+        // The forced stop-and-copy blows the downtime budget.
+        assert!(outcome.downtime > params.downtime_limit);
+    }
+
+    #[test]
+    fn dirty_set_is_capped_at_guest_memory() {
+        // Pathological dirty rate: dirtied = rate × duration could exceed
+        // the guest's entire memory without the cap.
+        let params = MigrationParams::new(MiB(1024), 50_000, 100).max_iterations(3);
+        let outcome = simulate_precopy(&params).unwrap();
+        for round in &outcome.rounds {
+            assert!(round.copied <= MiB(1024), "round copied {:?}", round.copied);
+        }
+    }
+
+    #[test]
+    fn transferred_equals_sum_of_rounds_plus_final() {
+        let outcome = simulate_precopy(&MigrationParams::new(MiB(2048), 100, 800)).unwrap();
+        let rounds_sum: u64 = outcome.rounds.iter().map(|r| r.copied.0).sum();
+        // Final copy is transferred − pre-copy rounds; tolerate rounding.
+        assert!(outcome.transferred.0 >= rounds_sum);
+        assert!(outcome.transferred.0 - rounds_sum <= (800.0 * 0.3_f64).ceil() as u64 + 1);
+    }
+
+    #[test]
+    fn zero_bandwidth_is_invalid() {
+        let err = simulate_precopy(&MigrationParams::new(MiB(1024), 10, 0)).unwrap_err();
+        assert_eq!(err.kind(), SimErrorKind::InvalidArgument);
+    }
+
+    #[test]
+    fn zero_memory_is_invalid() {
+        let err = simulate_precopy(&MigrationParams::new(MiB(0), 10, 100)).unwrap_err();
+        assert_eq!(err.kind(), SimErrorKind::InvalidArgument);
+    }
+
+    #[test]
+    fn idle_guest_has_single_round_and_tiny_downtime() {
+        let outcome = simulate_precopy(&MigrationParams::new(MiB(4096), 0, 1000)).unwrap();
+        assert_eq!(outcome.iterations(), 1);
+        assert_eq!(outcome.downtime, Duration::ZERO);
+        assert_eq!(outcome.transferred, MiB(4096));
+    }
+
+    #[test]
+    fn wider_downtime_budget_reduces_iterations() {
+        let tight = MigrationParams::new(MiB(8192), 400, 1000).downtime_limit(Duration::from_millis(50));
+        let loose = MigrationParams::new(MiB(8192), 400, 1000).downtime_limit(Duration::from_secs(2));
+        let tight_outcome = simulate_precopy(&tight).unwrap();
+        let loose_outcome = simulate_precopy(&loose).unwrap();
+        assert!(loose_outcome.iterations() <= tight_outcome.iterations());
+    }
+}

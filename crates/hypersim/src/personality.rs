@@ -1,0 +1,382 @@
+//! Hypervisor personalities.
+//!
+//! A [`Personality`] gives a [`crate::SimHost`] the control-plane character
+//! of a particular virtualization platform: which operations it supports,
+//! whether the *hypervisor itself* persists domain state (the property that
+//! lets libvirt use a stateless client-side driver, as with VMware ESX),
+//! and a latency profile with the published orders of magnitude — container
+//! starts in tens of milliseconds, full-VM boots in high hundreds, ESX API
+//! calls dominated by their own remote protocol round trip.
+
+use crate::latency::{LatencyModel, OpCost, OpKind};
+
+/// The guest execution model a platform provides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VirtKind {
+    /// Full hardware virtualization (HVM).
+    Hvm,
+    /// Paravirtualized guests.
+    Paravirt,
+    /// OS-level containers sharing the host kernel.
+    Container,
+}
+
+impl std::fmt::Display for VirtKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            VirtKind::Hvm => "hvm",
+            VirtKind::Paravirt => "paravirt",
+            VirtKind::Container => "container",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Feature support reported by a platform's control plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Live migration between hosts.
+    pub migration: bool,
+    /// Save/restore of guest memory to/from storage.
+    pub save_restore: bool,
+    /// Point-in-time snapshots.
+    pub snapshots: bool,
+    /// Device attach/detach while running.
+    pub device_hotplug: bool,
+    /// Memory ballooning / vCPU hotplug while running.
+    pub resource_hotplug: bool,
+    /// Maximum vCPUs per guest.
+    pub max_vcpus: u32,
+}
+
+/// The control-plane profile of a virtualization platform.
+///
+/// Implementations are cheap, copyable descriptions; the host consults
+/// them for supported features and latency costs on every operation.
+pub trait Personality: Send + Sync + std::fmt::Debug {
+    /// Short identifier, e.g. `"qemu"`. Doubles as the URI scheme the
+    /// management layer's driver for this platform registers.
+    fn name(&self) -> &'static str;
+
+    /// Guest execution model.
+    fn virt_kind(&self) -> VirtKind;
+
+    /// Whether the hypervisor persists domain definitions and survives its
+    /// management connection — the property that allows a *stateless*
+    /// client-side driver (true for ESX-style platforms, false for
+    /// QEMU/Xen/LXC which need a managing daemon).
+    fn hypervisor_persists_state(&self) -> bool;
+
+    /// Supported features.
+    fn capabilities(&self) -> Capabilities;
+
+    /// The latency profile of this platform's native control interface.
+    fn latency_model(&self) -> LatencyModel;
+
+    /// Whether this platform supports the given operation at all.
+    fn supports(&self, op: OpKind) -> bool {
+        let caps = self.capabilities();
+        match op {
+            OpKind::Save | OpKind::Restore => caps.save_restore,
+            OpKind::Snapshot => caps.snapshots,
+            OpKind::DeviceChange => caps.device_hotplug,
+            OpKind::SetResources => caps.resource_hotplug,
+            OpKind::MigratePage => caps.migration,
+            _ => true,
+        }
+    }
+}
+
+/// KVM/QEMU-style platform: HVM, a process per domain driven through a
+/// monitor socket, no hypervisor-side persistence (the managing daemon is
+/// the system of record).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QemuLike;
+
+impl Personality for QemuLike {
+    fn name(&self) -> &'static str {
+        "qemu"
+    }
+
+    fn virt_kind(&self) -> VirtKind {
+        VirtKind::Hvm
+    }
+
+    fn hypervisor_persists_state(&self) -> bool {
+        false
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            migration: true,
+            save_restore: true,
+            snapshots: true,
+            device_hotplug: true,
+            resource_hotplug: true,
+            max_vcpus: 255,
+        }
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        LatencyModel::with_default(OpCost::fixed(120))
+            .set(OpKind::Define, OpCost::fixed(350))
+            .set(OpKind::Undefine, OpCost::fixed(200))
+            // Process spawn + firmware + device realization: ~0.9 s plus
+            // memory preallocation.
+            .set(OpKind::Start, OpCost::scaled(900_000, 40_000))
+            .set(OpKind::Shutdown, OpCost::fixed(450_000))
+            .set(OpKind::Destroy, OpCost::fixed(25_000))
+            .set(OpKind::Suspend, OpCost::fixed(8_000))
+            .set(OpKind::Resume, OpCost::fixed(6_000))
+            .set(OpKind::Reboot, OpCost::fixed(600_000))
+            // Memory serialization ≈ 700 MiB/s → ~1.4 µs/MiB... charged
+            // per MiB in ns: 1_430_000 ns/MiB ≈ 1.43 ms/MiB.
+            .set(OpKind::Save, OpCost::scaled(80_000, 1_430_000))
+            .set(OpKind::Restore, OpCost::scaled(120_000, 1_430_000))
+            .set(OpKind::QueryDomain, OpCost::fixed(90))
+            .set(OpKind::ListDomains, OpCost::fixed(150))
+            .set(OpKind::SetResources, OpCost::fixed(12_000))
+            .set(OpKind::DeviceChange, OpCost::fixed(30_000))
+            .set(OpKind::Snapshot, OpCost::scaled(200_000, 1_200_000))
+            // One pre-copy batch transfer step per MiB at ~1.2 GiB/s.
+            .set(OpKind::MigratePage, OpCost::scaled(0, 800_000))
+            .set(OpKind::Storage, OpCost::fixed(15_000))
+            .set(OpKind::Network, OpCost::fixed(20_000))
+    }
+}
+
+/// Xen-style platform: paravirt-first, Domain0 control stack, slightly
+/// cheaper domain construction than QEMU but costlier queries (hypercall +
+/// xenstore round trips).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct XenLike;
+
+impl Personality for XenLike {
+    fn name(&self) -> &'static str {
+        "xen"
+    }
+
+    fn virt_kind(&self) -> VirtKind {
+        VirtKind::Paravirt
+    }
+
+    fn hypervisor_persists_state(&self) -> bool {
+        false
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            migration: true,
+            save_restore: true,
+            snapshots: false,
+            device_hotplug: true,
+            resource_hotplug: true,
+            max_vcpus: 128,
+        }
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        LatencyModel::with_default(OpCost::fixed(200))
+            .set(OpKind::Define, OpCost::fixed(500))
+            .set(OpKind::Undefine, OpCost::fixed(300))
+            .set(OpKind::Start, OpCost::scaled(600_000, 30_000))
+            .set(OpKind::Shutdown, OpCost::fixed(500_000))
+            .set(OpKind::Destroy, OpCost::fixed(35_000))
+            .set(OpKind::Suspend, OpCost::fixed(10_000))
+            .set(OpKind::Resume, OpCost::fixed(9_000))
+            .set(OpKind::Reboot, OpCost::fixed(550_000))
+            .set(OpKind::Save, OpCost::scaled(100_000, 1_600_000))
+            .set(OpKind::Restore, OpCost::scaled(150_000, 1_600_000))
+            .set(OpKind::QueryDomain, OpCost::fixed(250))
+            .set(OpKind::ListDomains, OpCost::fixed(400))
+            .set(OpKind::SetResources, OpCost::fixed(15_000))
+            .set(OpKind::DeviceChange, OpCost::fixed(40_000))
+            .set(OpKind::MigratePage, OpCost::scaled(0, 900_000))
+            .set(OpKind::Storage, OpCost::fixed(18_000))
+            .set(OpKind::Network, OpCost::fixed(22_000))
+    }
+}
+
+/// Container platform: shared kernel, near-instant starts, no memory
+/// save/restore or live migration in this model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LxcLike;
+
+impl Personality for LxcLike {
+    fn name(&self) -> &'static str {
+        "lxc"
+    }
+
+    fn virt_kind(&self) -> VirtKind {
+        VirtKind::Container
+    }
+
+    fn hypervisor_persists_state(&self) -> bool {
+        false
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            migration: false,
+            save_restore: false,
+            snapshots: false,
+            device_hotplug: false,
+            resource_hotplug: true, // cgroup limits are adjustable live
+            max_vcpus: 4096,
+        }
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        LatencyModel::with_default(OpCost::fixed(60))
+            .set(OpKind::Define, OpCost::fixed(150))
+            .set(OpKind::Undefine, OpCost::fixed(100))
+            .set(OpKind::Start, OpCost::fixed(30_000))
+            .set(OpKind::Shutdown, OpCost::fixed(50_000))
+            .set(OpKind::Destroy, OpCost::fixed(5_000))
+            .set(OpKind::Suspend, OpCost::fixed(2_000))
+            .set(OpKind::Resume, OpCost::fixed(1_500))
+            .set(OpKind::Reboot, OpCost::fixed(60_000))
+            .set(OpKind::QueryDomain, OpCost::fixed(40))
+            .set(OpKind::ListDomains, OpCost::fixed(80))
+            .set(OpKind::SetResources, OpCost::fixed(800))
+            .set(OpKind::Storage, OpCost::fixed(8_000))
+            .set(OpKind::Network, OpCost::fixed(12_000))
+    }
+}
+
+/// ESX-style proprietary platform: every control operation is a round trip
+/// on the hypervisor's own remote management API, and the hypervisor
+/// persists all state itself — which is why the management layer can use a
+/// stateless client-side driver with no daemon.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EsxLike;
+
+impl Personality for EsxLike {
+    fn name(&self) -> &'static str {
+        "esx"
+    }
+
+    fn virt_kind(&self) -> VirtKind {
+        VirtKind::Hvm
+    }
+
+    fn hypervisor_persists_state(&self) -> bool {
+        true
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            migration: true,
+            save_restore: true,
+            snapshots: true,
+            device_hotplug: true,
+            resource_hotplug: true,
+            max_vcpus: 128,
+        }
+    }
+
+    fn latency_model(&self) -> LatencyModel {
+        // Every operation pays the SOAP-ish remote API round trip (~45 ms)
+        // on top of the actual work.
+        const RTT_US: u64 = 45_000;
+        LatencyModel::with_default(OpCost::fixed(RTT_US))
+            .set(OpKind::Define, OpCost::fixed(RTT_US + 20_000))
+            .set(OpKind::Undefine, OpCost::fixed(RTT_US + 10_000))
+            .set(OpKind::Start, OpCost::scaled(RTT_US + 1_500_000, 50_000))
+            .set(OpKind::Shutdown, OpCost::fixed(RTT_US + 700_000))
+            .set(OpKind::Destroy, OpCost::fixed(RTT_US + 60_000))
+            .set(OpKind::Suspend, OpCost::scaled(RTT_US, 1_800_000))
+            .set(OpKind::Resume, OpCost::scaled(RTT_US, 1_500_000))
+            .set(OpKind::Reboot, OpCost::fixed(RTT_US + 900_000))
+            .set(OpKind::Save, OpCost::scaled(RTT_US + 200_000, 1_900_000))
+            .set(OpKind::Restore, OpCost::scaled(RTT_US + 250_000, 1_900_000))
+            .set(OpKind::QueryDomain, OpCost::fixed(RTT_US))
+            .set(OpKind::ListDomains, OpCost::fixed(RTT_US + 5_000))
+            .set(OpKind::SetResources, OpCost::fixed(RTT_US + 30_000))
+            .set(OpKind::DeviceChange, OpCost::fixed(RTT_US + 80_000))
+            .set(OpKind::Snapshot, OpCost::scaled(RTT_US + 400_000, 1_500_000))
+            .set(OpKind::MigratePage, OpCost::scaled(0, 1_100_000))
+            .set(OpKind::Storage, OpCost::fixed(RTT_US + 40_000))
+            .set(OpKind::Network, OpCost::fixed(RTT_US + 50_000))
+            .set(OpKind::RemoteApiCall, OpCost::fixed(RTT_US))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::MiB;
+
+    fn all() -> Vec<Box<dyn Personality>> {
+        vec![
+            Box::new(QemuLike),
+            Box::new(XenLike),
+            Box::new(LxcLike),
+            Box::new(EsxLike),
+        ]
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn only_esx_persists_its_own_state() {
+        for p in all() {
+            assert_eq!(p.hypervisor_persists_state(), p.name() == "esx", "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn containers_start_much_faster_than_vms() {
+        let lxc = LxcLike.latency_model().deterministic_cost(OpKind::Start, MiB(1024));
+        let qemu = QemuLike.latency_model().deterministic_cost(OpKind::Start, MiB(1024));
+        let xen = XenLike.latency_model().deterministic_cost(OpKind::Start, MiB(1024));
+        assert!(lxc * 10 < qemu, "lxc {lxc:?} vs qemu {qemu:?}");
+        assert!(lxc * 10 < xen, "lxc {lxc:?} vs xen {xen:?}");
+    }
+
+    #[test]
+    fn esx_queries_are_dominated_by_remote_rtt() {
+        let esx = EsxLike.latency_model().deterministic_cost(OpKind::QueryDomain, MiB(0));
+        let qemu = QemuLike.latency_model().deterministic_cost(OpKind::QueryDomain, MiB(0));
+        assert!(esx > qemu * 100, "esx {esx:?} vs qemu {qemu:?}");
+    }
+
+    #[test]
+    fn save_cost_scales_with_memory() {
+        let model = QemuLike.latency_model();
+        let small = model.deterministic_cost(OpKind::Save, MiB(256));
+        let large = model.deterministic_cost(OpKind::Save, MiB(4096));
+        assert!(large > small * 8, "save should be roughly linear in memory");
+    }
+
+    #[test]
+    fn lxc_rejects_memory_state_operations() {
+        assert!(!LxcLike.supports(OpKind::Save));
+        assert!(!LxcLike.supports(OpKind::Restore));
+        assert!(!LxcLike.supports(OpKind::Snapshot));
+        assert!(!LxcLike.supports(OpKind::MigratePage));
+        assert!(LxcLike.supports(OpKind::Start));
+        assert!(LxcLike.supports(OpKind::SetResources));
+    }
+
+    #[test]
+    fn xen_has_no_snapshots_but_migrates() {
+        assert!(!XenLike.supports(OpKind::Snapshot));
+        assert!(XenLike.supports(OpKind::MigratePage));
+        assert!(XenLike.supports(OpKind::Save));
+    }
+
+    #[test]
+    fn virt_kinds_match_platforms() {
+        assert_eq!(QemuLike.virt_kind(), VirtKind::Hvm);
+        assert_eq!(XenLike.virt_kind(), VirtKind::Paravirt);
+        assert_eq!(LxcLike.virt_kind(), VirtKind::Container);
+        assert_eq!(VirtKind::Container.to_string(), "container");
+    }
+}

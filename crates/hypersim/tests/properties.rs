@@ -1,0 +1,186 @@
+//! Property tests over hypersim's core invariants:
+//! - the domain lifecycle state machine never reaches an undefined state
+//!   and resource accounting stays consistent under random operation
+//!   sequences;
+//! - the pre-copy migration model converges iff physics allows it and
+//!   never reports negative or absurd quantities.
+
+use proptest::prelude::*;
+
+use hypersim::latency::OpKind;
+use hypersim::migration::simulate_precopy;
+use hypersim::{DomainSpec, LatencyModel, MiB, MigrationParams, SimHost};
+
+/// The operations a random lifecycle walk may attempt.
+fn op_strategy() -> impl Strategy<Value = OpKind> {
+    prop_oneof![
+        Just(OpKind::Start),
+        Just(OpKind::Shutdown),
+        Just(OpKind::Destroy),
+        Just(OpKind::Suspend),
+        Just(OpKind::Resume),
+        Just(OpKind::Reboot),
+        Just(OpKind::Save),
+        Just(OpKind::Restore),
+    ]
+}
+
+fn apply(host: &SimHost, name: &str, op: OpKind) -> Result<(), hypersim::SimError> {
+    match op {
+        OpKind::Start => host.start_domain(name).map(drop),
+        OpKind::Shutdown => host.shutdown_domain(name).map(drop),
+        OpKind::Destroy => host.destroy_domain(name).map(drop),
+        OpKind::Suspend => host.suspend_domain(name).map(drop),
+        OpKind::Resume => host.resume_domain(name).map(drop),
+        OpKind::Reboot => host.reboot_domain(name).map(drop),
+        OpKind::Save => host.save_domain(name).map(drop),
+        OpKind::Restore => host.restore_domain(name).map(drop),
+        _ => Ok(()),
+    }
+}
+
+proptest! {
+    /// After any sequence of lifecycle operations (some succeeding, some
+    /// rejected), the host's memory ledger equals the sum of the memory of
+    /// active domains — no leaks, no double-frees.
+    #[test]
+    fn resource_accounting_is_exact_under_random_walks(
+        ops in proptest::collection::vec((0usize..3, op_strategy()), 1..60)
+    ) {
+        let host = SimHost::builder("prop").memory_mib(8192).latency(LatencyModel::zero()).build();
+        let names = ["a", "b", "c"];
+        for (i, name) in names.iter().enumerate() {
+            host.define_domain(DomainSpec::new(*name).memory_mib(512 * (i as u64 + 1))).unwrap();
+        }
+        for (idx, op) in ops {
+            let _ = apply(&host, names[idx], op);
+        }
+        let expected_used: u64 = host
+            .list_domains()
+            .unwrap()
+            .iter()
+            .filter(|d| d.state.is_active())
+            .map(|d| d.memory.0)
+            .sum();
+        let info = host.info();
+        prop_assert_eq!(info.memory.0 - info.free_memory.0, expected_used);
+    }
+
+    /// Persistent domains never disappear from random lifecycle walks.
+    #[test]
+    fn persistent_domains_survive_random_walks(
+        ops in proptest::collection::vec(op_strategy(), 1..40)
+    ) {
+        let host = SimHost::builder("prop").latency(LatencyModel::zero()).build();
+        host.define_domain(DomainSpec::new("vm")).unwrap();
+        for op in ops {
+            let _ = apply(&host, "vm", op);
+        }
+        prop_assert_eq!(host.list_domains().unwrap().len(), 1);
+    }
+
+    /// Migration totals are internally consistent for any parameters:
+    /// transferred ≥ memory (everything is copied at least once when the
+    /// first round runs), total_time ≥ downtime, and an idle guest always
+    /// converges.
+    #[test]
+    fn migration_outcome_is_consistent(
+        mem in 1u64..32_768,
+        dirty in 0u64..4_000,
+        bw in 1u64..4_000,
+    ) {
+        let params = MigrationParams::new(MiB(mem), dirty, bw);
+        let outcome = simulate_precopy(&params).unwrap();
+        prop_assert!(outcome.total_time >= outcome.downtime);
+        prop_assert!(outcome.transferred >= MiB(mem.min(outcome.rounds.first().map(|r| r.copied.0).unwrap_or(0))));
+        if dirty == 0 {
+            prop_assert!(outcome.converged);
+            prop_assert!(outcome.iterations() <= 1);
+        }
+        if outcome.converged {
+            // Converged means the final dirty set fits the budget.
+            prop_assert!(
+                outcome.downtime.as_secs_f64() <= params.downtime_limit.as_secs_f64() + 1e-9
+            );
+        }
+    }
+
+    /// The dirty-rate/bandwidth crossover: strictly slower dirtying than
+    /// bandwidth converges; dirtying at/above bandwidth never does (unless
+    /// the guest is small enough to fit the budget outright).
+    #[test]
+    fn migration_crossover(mem in 2_048u64..16_384, bw in 100u64..2_000) {
+        let slow = simulate_precopy(&MigrationParams::new(MiB(mem), bw / 2, bw)).unwrap();
+        prop_assert!(slow.converged);
+        let threshold = (bw as f64 * 0.3) as u64;
+        if mem > threshold {
+            let fast = simulate_precopy(&MigrationParams::new(MiB(mem), bw * 2, bw)).unwrap();
+            prop_assert!(!fast.converged);
+        }
+    }
+}
+
+/// CPU-time accounting: a domain accrues vCPU-time only while Running,
+/// proportionally to elapsed virtual time × vCPUs.
+#[test]
+fn cpu_time_accrues_only_while_running() {
+    use std::time::Duration;
+    let clock = hypersim::SimClock::new();
+    let host = SimHost::builder("cpu")
+        .clock(clock.clone())
+        .latency(LatencyModel::zero())
+        .build();
+    host.define_domain(DomainSpec::new("vm").vcpus(2)).unwrap();
+    assert_eq!(host.domain("vm").unwrap().cpu_time_ns, 0);
+
+    host.start_domain("vm").unwrap();
+    clock.advance(Duration::from_secs(10));
+    // 10 s × 2 vcpus.
+    assert_eq!(host.domain("vm").unwrap().cpu_time_ns, 20_000_000_000);
+
+    host.suspend_domain("vm").unwrap();
+    clock.advance(Duration::from_secs(100)); // paused: no accrual
+    assert_eq!(host.domain("vm").unwrap().cpu_time_ns, 20_000_000_000);
+
+    host.resume_domain("vm").unwrap();
+    clock.advance(Duration::from_secs(5));
+    assert_eq!(host.domain("vm").unwrap().cpu_time_ns, 30_000_000_000);
+
+    host.destroy_domain("vm").unwrap();
+    clock.advance(Duration::from_secs(100));
+    // Accumulated time survives the stop.
+    assert_eq!(host.domain("vm").unwrap().cpu_time_ns, 30_000_000_000);
+}
+
+/// Snapshot revert restores state + memory with exact resource accounting.
+#[test]
+fn snapshot_revert_restores_state_and_accounting() {
+    let host = SimHost::builder("snap").memory_mib(8192).latency(LatencyModel::zero()).build();
+    host.define_domain(DomainSpec::new("vm").memory_mib(1024).max_memory_mib(4096)).unwrap();
+    host.start_domain("vm").unwrap();
+    host.snapshot_domain("vm", "running-1g").unwrap();
+
+    // Mutate: balloon up and pause.
+    host.set_domain_memory("vm", hypersim::MiB(4096)).unwrap();
+    host.suspend_domain("vm").unwrap();
+    assert_eq!(host.info().free_memory, hypersim::MiB(8192 - 4096));
+
+    // Revert: running again at 1024 MiB.
+    let info = host.revert_snapshot("vm", "running-1g").unwrap();
+    assert_eq!(info.state, hypersim::DomainState::Running);
+    assert_eq!(info.memory, hypersim::MiB(1024));
+    assert_eq!(host.info().free_memory, hypersim::MiB(8192 - 1024));
+
+    // Revert to an inactive snapshot releases everything.
+    host.destroy_domain("vm").unwrap();
+    host.snapshot_domain("vm", "off").unwrap();
+    host.start_domain("vm").unwrap();
+    host.revert_snapshot("vm", "off").unwrap();
+    assert_eq!(host.domain("vm").unwrap().state, hypersim::DomainState::Shutoff);
+    assert_eq!(host.info().free_memory, hypersim::MiB(8192));
+
+    // Delete.
+    host.delete_snapshot("vm", "off").unwrap();
+    assert!(host.delete_snapshot("vm", "off").is_err());
+    assert_eq!(host.domain("vm").unwrap().snapshots, vec!["running-1g"]);
+}

@@ -1,0 +1,427 @@
+//! The call client: concurrent request/reply with serial matching.
+//!
+//! One background reader thread owns the transport's receive side and
+//! routes replies to waiting callers by serial number; event messages go
+//! to a registered handler. Multiple threads may issue calls
+//! simultaneously over one connection — the property that makes a single
+//! daemon connection usable by a whole management application.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+
+use crate::message::{Header, MessageStatus, MessageType, Packet, RpcError};
+use crate::transport::Transport;
+use crate::xdr::{XdrDecode, XdrEncode, XdrError};
+
+/// A failure of a remote call.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CallError {
+    /// The transport failed or closed.
+    Io(io::Error),
+    /// The peer's bytes did not decode.
+    Protocol(XdrError),
+    /// The remote side executed the call and returned an error.
+    Remote(RpcError),
+    /// The connection was closed while the call was in flight.
+    Disconnected,
+    /// No reply arrived within the configured timeout.
+    TimedOut,
+}
+
+impl std::fmt::Display for CallError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CallError::Io(e) => write!(f, "transport error: {e}"),
+            CallError::Protocol(e) => write!(f, "protocol error: {e}"),
+            CallError::Remote(e) => write!(f, "{e}"),
+            CallError::Disconnected => f.write_str("connection closed during call"),
+            CallError::TimedOut => f.write_str("call timed out"),
+        }
+    }
+}
+
+impl std::error::Error for CallError {}
+
+impl From<io::Error> for CallError {
+    fn from(e: io::Error) -> Self {
+        CallError::Io(e)
+    }
+}
+
+impl From<XdrError> for CallError {
+    fn from(e: XdrError) -> Self {
+        CallError::Protocol(e)
+    }
+}
+
+type ReplySlot = Sender<Result<Packet, CallError>>;
+type EventHandler = Box<dyn Fn(Packet) + Send + 'static>;
+
+struct ClientInner {
+    transport: Arc<dyn Transport>,
+    next_serial: AtomicU32,
+    pending: Mutex<HashMap<u32, ReplySlot>>,
+    event_handler: Mutex<Option<EventHandler>>,
+    closed: AtomicBool,
+    call_timeout: Mutex<Option<Duration>>,
+}
+
+/// A client endpoint over one transport.
+///
+/// Cloning shares the connection. Dropping the last handle does **not**
+/// close the transport (the reader thread holds it); call
+/// [`CallClient::close`] for a deterministic shutdown.
+#[derive(Clone)]
+pub struct CallClient {
+    inner: Arc<ClientInner>,
+}
+
+impl std::fmt::Debug for CallClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CallClient")
+            .field("peer", &self.inner.transport.peer())
+            .field("closed", &self.inner.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl CallClient {
+    /// Wraps a transport and spawns the reader thread.
+    pub fn new(transport: impl Transport + 'static) -> Self {
+        Self::from_arc(Arc::new(transport))
+    }
+
+    /// Wraps an already shared transport.
+    pub fn from_arc(transport: Arc<dyn Transport>) -> Self {
+        let inner = Arc::new(ClientInner {
+            transport,
+            next_serial: AtomicU32::new(1),
+            pending: Mutex::new(HashMap::new()),
+            event_handler: Mutex::new(None),
+            closed: AtomicBool::new(false),
+            call_timeout: Mutex::new(Some(Duration::from_secs(30))),
+        });
+        let reader_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("virt-rpc-reader".to_string())
+            .spawn(move || reader_loop(reader_inner))
+            .expect("spawning rpc reader thread");
+        CallClient { inner }
+    }
+
+    /// Sets the per-call reply timeout (`None` waits forever). Default 30 s.
+    pub fn set_call_timeout(&self, timeout: Option<Duration>) {
+        *self.inner.call_timeout.lock() = timeout;
+    }
+
+    /// Registers the handler invoked for every event message. Replaces any
+    /// previous handler.
+    pub fn set_event_handler(&self, handler: impl Fn(Packet) + Send + 'static) {
+        *self.inner.event_handler.lock() = Some(Box::new(handler));
+    }
+
+    /// Whether the connection has been closed (locally or by the peer).
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// The underlying transport's peer description.
+    pub fn peer(&self) -> String {
+        self.inner.transport.peer()
+    }
+
+    /// Issues a call and blocks for the matching reply, returning the raw
+    /// reply packet.
+    ///
+    /// # Errors
+    ///
+    /// - [`CallError::Remote`] when the peer replied with an error status,
+    /// - [`CallError::Io`]/[`CallError::Disconnected`] on transport loss,
+    /// - [`CallError::TimedOut`] past the configured timeout.
+    pub fn call_raw(&self, program: u32, procedure: u32, args: &impl XdrEncode) -> Result<Packet, CallError> {
+        if self.is_closed() {
+            return Err(CallError::Disconnected);
+        }
+        let serial = self.inner.next_serial.fetch_add(1, Ordering::Relaxed);
+        let header = Header::call(program, procedure, serial);
+        let packet = Packet::new(header, args);
+
+        let (tx, rx) = bounded(1);
+        self.inner.pending.lock().insert(serial, tx);
+
+        if let Err(e) = self.inner.transport.send_frame(&packet.to_frame()[4..]) {
+            self.inner.pending.lock().remove(&serial);
+            return Err(CallError::Io(e));
+        }
+
+        let timeout = *self.inner.call_timeout.lock();
+        let outcome = match timeout {
+            Some(t) => rx.recv_timeout(t).map_err(|_| {
+                self.inner.pending.lock().remove(&serial);
+                CallError::TimedOut
+            })?,
+            None => rx.recv().map_err(|_| CallError::Disconnected)?,
+        };
+        outcome
+    }
+
+    /// Issues a call and decodes the successful reply as `R`.
+    ///
+    /// # Errors
+    ///
+    /// As [`CallClient::call_raw`], plus [`CallError::Protocol`] when the
+    /// reply payload does not decode as `R`.
+    pub fn call<R: XdrDecode>(
+        &self,
+        program: u32,
+        procedure: u32,
+        args: &impl XdrEncode,
+    ) -> Result<R, CallError> {
+        let reply = self.call_raw(program, procedure, args)?;
+        Ok(reply.decode_payload::<R>()?)
+    }
+
+    /// Sends a message without expecting a reply (events, keepalive pongs).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors.
+    pub fn send_oneway(&self, packet: &Packet) -> Result<(), CallError> {
+        self.inner
+            .transport
+            .send_frame(&packet.to_frame()[4..])
+            .map_err(CallError::Io)
+    }
+
+    /// Closes the connection, failing all in-flight calls.
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        let _ = self.inner.transport.shutdown();
+        fail_all_pending(&self.inner);
+    }
+}
+
+fn fail_all_pending(inner: &ClientInner) {
+    let mut pending = inner.pending.lock();
+    for (_, slot) in pending.drain() {
+        let _ = slot.send(Err(CallError::Disconnected));
+    }
+}
+
+fn reader_loop(inner: Arc<ClientInner>) {
+    while let Ok(frame) = inner.transport.recv_frame() {
+        let packet = match Packet::from_body(&frame) {
+            Ok(packet) => packet,
+            // A peer speaking garbage is a fatal protocol error.
+            Err(_) => break,
+        };
+        match packet.header.mtype {
+            MessageType::Reply => {
+                let slot = inner.pending.lock().remove(&packet.header.serial);
+                if let Some(slot) = slot {
+                    let outcome = if packet.header.status == MessageStatus::Error {
+                        match packet.decode_payload::<RpcError>() {
+                            Ok(err) => Err(CallError::Remote(err)),
+                            Err(xdr) => Err(CallError::Protocol(xdr)),
+                        }
+                    } else {
+                        Ok(packet)
+                    };
+                    let _ = slot.send(outcome);
+                }
+                // Unmatched serials are silently dropped (late replies
+                // after a timeout).
+            }
+            MessageType::Event => {
+                let handler = inner.event_handler.lock();
+                if let Some(handler) = handler.as_ref() {
+                    handler(packet);
+                }
+            }
+            MessageType::Call => {
+                // Clients do not serve calls; ignore (the keepalive ping
+                // is handled by the keepalive module wrapping the handler).
+                let handler = inner.event_handler.lock();
+                if let Some(handler) = handler.as_ref() {
+                    handler(packet);
+                }
+            }
+        }
+    }
+    inner.closed.store(true, Ordering::Release);
+    fail_all_pending(&inner);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::REMOTE_PROGRAM;
+    use crate::transport::{memory_pair, Transport};
+    
+
+    /// A trivial echo server: replies to every call with its own payload;
+    /// procedure 99 replies with an error; procedure 50 sends an event
+    /// first.
+    fn spawn_echo_server(server_side: impl Transport + 'static) {
+        std::thread::spawn(move || while let Ok(frame) = server_side.recv_frame() {
+            let packet = Packet::from_body(&frame).expect("valid packet");
+            match packet.header.procedure {
+                99 => {
+                    let reply = Packet::new(
+                        packet.header.reply_error(),
+                        &RpcError::new(42, "nope"),
+                    );
+                    let _ = server_side.send_frame(&reply.to_frame()[4..]);
+                }
+                50 => {
+                    let event = Packet::new(Header::event(REMOTE_PROGRAM, 7), &"boom".to_string());
+                    let _ = server_side.send_frame(&event.to_frame()[4..]);
+                    let reply = Packet {
+                        header: packet.header.reply_ok(),
+                        payload: packet.payload.clone(),
+                    };
+                    let _ = server_side.send_frame(&reply.to_frame()[4..]);
+                }
+                _ => {
+                    let reply = Packet {
+                        header: packet.header.reply_ok(),
+                        payload: packet.payload.clone(),
+                    };
+                    let _ = server_side.send_frame(&reply.to_frame()[4..]);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn call_round_trips() {
+        let (client_side, server_side) = memory_pair();
+        spawn_echo_server(server_side);
+        let client = CallClient::new(client_side);
+        let reply: String = client
+            .call(REMOTE_PROGRAM, 1, &"hello".to_string())
+            .expect("echo");
+        assert_eq!(reply, "hello");
+        client.close();
+    }
+
+    #[test]
+    fn error_replies_surface_as_remote_errors() {
+        let (client_side, server_side) = memory_pair();
+        spawn_echo_server(server_side);
+        let client = CallClient::new(client_side);
+        let err = client.call::<String>(REMOTE_PROGRAM, 99, &()).unwrap_err();
+        match err {
+            CallError::Remote(e) => {
+                assert_eq!(e.code, 42);
+                assert_eq!(e.message, "nope");
+            }
+            other => panic!("expected Remote error, got {other:?}"),
+        }
+        client.close();
+    }
+
+    #[test]
+    fn concurrent_calls_are_matched_by_serial() {
+        let (client_side, server_side) = memory_pair();
+        spawn_echo_server(server_side);
+        let client = CallClient::new(client_side);
+        let threads: Vec<_> = (0..16)
+            .map(|i| {
+                let c = client.clone();
+                std::thread::spawn(move || {
+                    let arg = format!("payload-{i}");
+                    let reply: String = c.call(REMOTE_PROGRAM, 1, &arg).expect("echo");
+                    assert_eq!(reply, arg);
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        client.close();
+    }
+
+    #[test]
+    fn events_reach_the_handler() {
+        let (client_side, server_side) = memory_pair();
+        spawn_echo_server(server_side);
+        let client = CallClient::new(client_side);
+        let (tx, rx) = std::sync::mpsc::channel();
+        client.set_event_handler(move |packet| {
+            let body: String = packet.decode_payload().expect("event payload");
+            tx.send((packet.header.procedure, body)).unwrap();
+        });
+        let _: String = client.call(REMOTE_PROGRAM, 50, &"x".to_string()).expect("call ok");
+        let (procedure, body) = rx.recv_timeout(Duration::from_secs(5)).expect("event delivered");
+        assert_eq!(procedure, 7);
+        assert_eq!(body, "boom");
+        client.close();
+    }
+
+    #[test]
+    fn peer_disconnect_fails_in_flight_calls() {
+        let (client_side, server_side) = memory_pair();
+        // Server that reads one frame then drops the connection.
+        std::thread::spawn(move || {
+            let _ = server_side.recv_frame();
+            let _ = server_side.shutdown();
+        });
+        let client = CallClient::new(client_side);
+        let err = client.call::<String>(REMOTE_PROGRAM, 1, &()).unwrap_err();
+        assert!(
+            matches!(err, CallError::Disconnected | CallError::Io(_)),
+            "got {err:?}"
+        );
+        assert!(client.is_closed());
+    }
+
+    #[test]
+    fn calls_after_close_fail_immediately() {
+        let (client_side, _server_side) = memory_pair();
+        let client = CallClient::new(client_side);
+        client.close();
+        let err = client.call::<String>(REMOTE_PROGRAM, 1, &()).unwrap_err();
+        assert!(matches!(err, CallError::Disconnected));
+    }
+
+    #[test]
+    fn timeout_fires_when_server_is_silent() {
+        let (client_side, _server_side) = memory_pair();
+        let client = CallClient::new(client_side);
+        client.set_call_timeout(Some(Duration::from_millis(50)));
+        let start = std::time::Instant::now();
+        let err = client.call::<String>(REMOTE_PROGRAM, 1, &()).unwrap_err();
+        assert!(matches!(err, CallError::TimedOut), "got {err:?}");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        client.close();
+    }
+
+    #[test]
+    fn garbage_from_peer_closes_the_connection() {
+        let (client_side, server_side) = memory_pair();
+        std::thread::spawn(move || {
+            let _ = server_side.recv_frame();
+            // Too short to contain a header.
+            let _ = server_side.send_frame(&[1, 2, 3, 4]);
+        });
+        let client = CallClient::new(client_side);
+        let err = client.call::<String>(REMOTE_PROGRAM, 1, &()).unwrap_err();
+        assert!(matches!(err, CallError::Disconnected), "got {err:?}");
+    }
+
+    #[test]
+    fn call_error_display_variants() {
+        let remote = CallError::Remote(RpcError::new(1, "x"));
+        assert!(remote.to_string().contains("rpc error 1"));
+        assert!(CallError::TimedOut.to_string().contains("timed out"));
+        assert!(CallError::Disconnected.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,52 @@
+//! The remote protocol substrate of the virt toolkit.
+//!
+//! libvirt's client and daemon exchange XDR-encoded, length-prefixed
+//! messages over a pluggable transport, and the daemon executes requests
+//! on a dynamically sized worker pool with dedicated priority workers.
+//! This crate reproduces that stack from scratch:
+//!
+//! - [`xdr`] — an RFC 4506 (XDR) subset encoder/decoder,
+//! - [`message`] — the packet format: 4-byte length prefix + header
+//!   (program, version, procedure, type, serial, status) + payload,
+//! - [`transport`] — in-memory, Unix-socket, TCP and simulated-TLS
+//!   transports behind one object-safe trait,
+//! - [`pool`] — the worker pool with min/max limits and priority workers,
+//! - [`client`] — a concurrent call client with serial matching and
+//!   asynchronous event delivery,
+//! - [`keepalive`] — the ping/pong liveness protocol.
+//!
+//! The daemon side (connection acceptance, dispatch tables, client
+//! tracking) lives in the `virtd` crate; stateless drivers and the remote
+//! driver in `virt-core` use [`client::CallClient`] directly.
+//!
+//! # Examples
+//!
+//! Encoding and decoding with XDR:
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use virt_rpc::xdr::{XdrDecode, XdrEncode};
+//!
+//! let mut buf = Vec::new();
+//! 42u32.encode(&mut buf);
+//! "domain".to_string().encode(&mut buf);
+//!
+//! let mut cursor = virt_rpc::xdr::Cursor::new(&buf);
+//! assert_eq!(u32::decode(&mut cursor)?, 42);
+//! assert_eq!(String::decode(&mut cursor)?, "domain");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod client;
+pub mod keepalive;
+pub mod message;
+pub mod pool;
+pub mod transport;
+pub mod xdr;
+
+pub use client::CallClient;
+pub use message::{Header, MessageStatus, MessageType, Packet, RpcError};
+pub use pool::{PoolLimits, PoolStats, WorkerPool};
+pub use transport::{memory_pair, Transport, TransportKind};

@@ -1,0 +1,333 @@
+//! The packet format of the remote protocol.
+//!
+//! Every message on the wire is a 4-byte big-endian length prefix (length
+//! of everything *after* the prefix) followed by an XDR-encoded
+//! [`Header`] and the XDR-encoded payload. Replies carry the serial of
+//! the call they answer; events carry serial 0 and arrive unrequested.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::xdr::{Cursor, XdrDecode, XdrEncode, XdrError};
+
+/// Program number of the main (hypervisor) protocol.
+pub const REMOTE_PROGRAM: u32 = 0x2000_8086;
+/// Program number of the administration protocol.
+pub const ADMIN_PROGRAM: u32 = 0x0690_0690;
+/// Program number of the keepalive protocol.
+pub const KEEPALIVE_PROGRAM: u32 = 0x6b65_6570;
+/// Protocol version spoken by this implementation.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Maximum accepted packet body length (64 MiB, as in libvirt's
+/// `VIR_NET_MESSAGE_MAX`-style cap).
+pub const MAX_PACKET_LEN: u32 = 64 * 1024 * 1024;
+
+/// Kind of message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    /// A client request.
+    Call = 0,
+    /// A server response to a call.
+    Reply = 1,
+    /// An unsolicited server-to-client notification.
+    Event = 2,
+}
+
+impl MessageType {
+    fn from_u32(v: u32) -> Result<Self, XdrError> {
+        match v {
+            0 => Ok(MessageType::Call),
+            1 => Ok(MessageType::Reply),
+            2 => Ok(MessageType::Event),
+            other => Err(XdrError::InvalidDiscriminant(other)),
+        }
+    }
+}
+
+/// Status carried by replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageStatus {
+    /// The payload is the procedure's result.
+    Ok = 0,
+    /// The payload is an encoded [`RpcError`].
+    Error = 1,
+}
+
+impl MessageStatus {
+    fn from_u32(v: u32) -> Result<Self, XdrError> {
+        match v {
+            0 => Ok(MessageStatus::Ok),
+            1 => Ok(MessageStatus::Error),
+            other => Err(XdrError::InvalidDiscriminant(other)),
+        }
+    }
+}
+
+/// The fixed header preceding every payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// Which protocol the procedure belongs to.
+    pub program: u32,
+    /// Protocol version.
+    pub version: u32,
+    /// Procedure number within the program.
+    pub procedure: u32,
+    /// Call, reply, or event.
+    pub mtype: MessageType,
+    /// Matches replies to calls. Events use 0.
+    pub serial: u32,
+    /// Ok or error (meaningful on replies).
+    pub status: MessageStatus,
+}
+
+impl Header {
+    /// Builds a call header.
+    pub fn call(program: u32, procedure: u32, serial: u32) -> Self {
+        Header {
+            program,
+            version: PROTOCOL_VERSION,
+            procedure,
+            mtype: MessageType::Call,
+            serial,
+            status: MessageStatus::Ok,
+        }
+    }
+
+    /// Builds the success-reply header for this call.
+    pub fn reply_ok(&self) -> Self {
+        Header {
+            mtype: MessageType::Reply,
+            status: MessageStatus::Ok,
+            ..*self
+        }
+    }
+
+    /// Builds the error-reply header for this call.
+    pub fn reply_error(&self) -> Self {
+        Header {
+            mtype: MessageType::Reply,
+            status: MessageStatus::Error,
+            ..*self
+        }
+    }
+
+    /// Builds an event header.
+    pub fn event(program: u32, procedure: u32) -> Self {
+        Header {
+            program,
+            version: PROTOCOL_VERSION,
+            procedure,
+            mtype: MessageType::Event,
+            serial: 0,
+            status: MessageStatus::Ok,
+        }
+    }
+}
+
+impl XdrEncode for Header {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.program.encode(out);
+        self.version.encode(out);
+        self.procedure.encode(out);
+        (self.mtype as u32).encode(out);
+        self.serial.encode(out);
+        (self.status as u32).encode(out);
+    }
+}
+
+impl XdrDecode for Header {
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self, XdrError> {
+        Ok(Header {
+            program: u32::decode(cursor)?,
+            version: u32::decode(cursor)?,
+            procedure: u32::decode(cursor)?,
+            mtype: MessageType::from_u32(u32::decode(cursor)?)?,
+            serial: u32::decode(cursor)?,
+            status: MessageStatus::from_u32(u32::decode(cursor)?)?,
+        })
+    }
+}
+
+/// A complete protocol message: header + raw payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// The message header.
+    pub header: Header,
+    /// XDR-encoded procedure arguments / results / error.
+    pub payload: Vec<u8>,
+}
+
+impl Packet {
+    /// Builds a packet from a header and an encodable payload value.
+    pub fn new(header: Header, payload: &impl XdrEncode) -> Self {
+        Packet {
+            header,
+            payload: payload.to_xdr(),
+        }
+    }
+
+    /// Serializes to the framed wire form (length prefix included).
+    pub fn to_frame(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(24 + self.payload.len());
+        self.header.encode(&mut body);
+        body.extend_from_slice(&self.payload);
+        let mut frame = Vec::with_capacity(4 + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&body);
+        frame
+    }
+
+    /// Parses a packet from a frame *body* (the bytes after the length
+    /// prefix, as delivered by a transport).
+    ///
+    /// # Errors
+    ///
+    /// [`XdrError`] when the header is malformed.
+    pub fn from_body(body: &[u8]) -> Result<Packet, XdrError> {
+        let mut cursor = Cursor::new(body);
+        let header = Header::decode(&mut cursor)?;
+        let payload = body[cursor.position()..].to_vec();
+        Ok(Packet { header, payload })
+    }
+
+    /// Decodes the payload as the given type, consuming it fully.
+    ///
+    /// # Errors
+    ///
+    /// [`XdrError`] on malformed or trailing data.
+    pub fn decode_payload<T: XdrDecode>(&self) -> Result<T, XdrError> {
+        T::from_xdr(&self.payload)
+    }
+}
+
+/// The error record carried by error replies.
+///
+/// `code` is a protocol-level error number (the management layer maps it
+/// onto its public error codes); `message` is human-readable detail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RpcError {
+    /// Numeric error code, preserved across the wire.
+    pub code: u32,
+    /// Human-readable context.
+    pub message: String,
+}
+
+impl RpcError {
+    /// Creates an error record.
+    pub fn new(code: u32, message: impl Into<String>) -> Self {
+        RpcError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rpc error {}: {}", self.code, self.message)
+    }
+}
+
+impl Error for RpcError {}
+
+impl XdrEncode for RpcError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.code.encode(out);
+        self.message.encode(out);
+    }
+}
+
+impl XdrDecode for RpcError {
+    fn decode(cursor: &mut Cursor<'_>) -> Result<Self, XdrError> {
+        Ok(RpcError {
+            code: u32::decode(cursor)?,
+            message: String::decode(cursor)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let header = Header::call(REMOTE_PROGRAM, 17, 42);
+        let decoded = Header::from_xdr(&header.to_xdr()).unwrap();
+        assert_eq!(decoded, header);
+        assert_eq!(header.to_xdr().len(), 24);
+    }
+
+    #[test]
+    fn reply_builders_preserve_identity() {
+        let call = Header::call(ADMIN_PROGRAM, 3, 7);
+        let ok = call.reply_ok();
+        assert_eq!(ok.mtype, MessageType::Reply);
+        assert_eq!(ok.status, MessageStatus::Ok);
+        assert_eq!(ok.serial, 7);
+        assert_eq!(ok.procedure, 3);
+        let err = call.reply_error();
+        assert_eq!(err.status, MessageStatus::Error);
+    }
+
+    #[test]
+    fn event_header_has_zero_serial() {
+        let ev = Header::event(REMOTE_PROGRAM, 99);
+        assert_eq!(ev.serial, 0);
+        assert_eq!(ev.mtype, MessageType::Event);
+    }
+
+    #[test]
+    fn packet_frame_round_trips() {
+        let packet = Packet::new(Header::call(REMOTE_PROGRAM, 5, 1), &"hello".to_string());
+        let frame = packet.to_frame();
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        let parsed = Packet::from_body(&frame[4..]).unwrap();
+        assert_eq!(parsed, packet);
+        assert_eq!(parsed.decode_payload::<String>().unwrap(), "hello");
+    }
+
+    #[test]
+    fn empty_payload_packet() {
+        let packet = Packet::new(Header::call(REMOTE_PROGRAM, 1, 1), &());
+        assert!(packet.payload.is_empty());
+        let parsed = Packet::from_body(&packet.to_frame()[4..]).unwrap();
+        parsed.decode_payload::<()>().unwrap();
+    }
+
+    #[test]
+    fn bad_message_type_rejected() {
+        let mut bytes = Header::call(REMOTE_PROGRAM, 1, 1).to_xdr();
+        bytes[15] = 9; // mtype field
+        assert!(Header::from_xdr(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_status_rejected() {
+        let mut bytes = Header::call(REMOTE_PROGRAM, 1, 1).to_xdr();
+        bytes[23] = 9; // status field
+        assert!(Header::from_xdr(&bytes).is_err());
+    }
+
+    #[test]
+    fn rpc_error_round_trips_and_displays() {
+        let err = RpcError::new(42, "no such domain 'web'");
+        let decoded = RpcError::from_xdr(&err.to_xdr()).unwrap();
+        assert_eq!(decoded, err);
+        assert_eq!(err.to_string(), "rpc error 42: no such domain 'web'");
+    }
+
+    #[test]
+    fn decode_payload_rejects_trailing_bytes() {
+        let mut packet = Packet::new(Header::call(REMOTE_PROGRAM, 1, 1), &7u32);
+        packet.payload.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(packet.decode_payload::<u32>().is_err());
+    }
+
+    #[test]
+    fn truncated_header_errors() {
+        assert!(Packet::from_body(&[0, 1, 2]).is_err());
+    }
+}

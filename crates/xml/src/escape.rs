@@ -1,0 +1,155 @@
+//! Entity escaping and unescaping for the supported XML subset.
+
+use crate::error::{ParseXmlError, ParseXmlErrorKind};
+
+/// Escapes text content: `&`, `<`, `>` are replaced by entities.
+pub(crate) fn escape_text(input: &str, out: &mut String) {
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Escapes an attribute value quoted with double quotes.
+pub(crate) fn escape_attr(input: &str, out: &mut String) {
+    for ch in input.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\n' => out.push_str("&#10;"),
+            '\t' => out.push_str("&#9;"),
+            '\r' => out.push_str("&#13;"),
+            _ => out.push(ch),
+        }
+    }
+}
+
+/// Resolves a single entity reference starting *after* the `&`.
+///
+/// Returns the decoded character and the number of input bytes consumed
+/// (excluding the leading `&`, including the trailing `;`).
+pub(crate) fn resolve_entity(rest: &str, position: usize) -> Result<(char, usize), ParseXmlError> {
+    let semi = rest.find(';').ok_or_else(|| {
+        ParseXmlError::new(ParseXmlErrorKind::InvalidEntity, position, "missing ';'")
+    })?;
+    let body = &rest[..semi];
+    let consumed = semi + 1;
+    let ch = match body {
+        "lt" => '<',
+        "gt" => '>',
+        "amp" => '&',
+        "apos" => '\'',
+        "quot" => '"',
+        _ => {
+            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16)
+            } else if let Some(dec) = body.strip_prefix('#') {
+                dec.parse::<u32>()
+            } else {
+                return Err(ParseXmlError::new(
+                    ParseXmlErrorKind::InvalidEntity,
+                    position,
+                    format!("unknown entity '&{body};'"),
+                ));
+            }
+            .map_err(|_| {
+                ParseXmlError::new(
+                    ParseXmlErrorKind::InvalidEntity,
+                    position,
+                    format!("bad character reference '&{body};'"),
+                )
+            })?;
+            char::from_u32(code).ok_or_else(|| {
+                ParseXmlError::new(
+                    ParseXmlErrorKind::InvalidEntity,
+                    position,
+                    format!("character reference U+{code:X} is not a valid scalar"),
+                )
+            })?
+        }
+    };
+    Ok((ch, consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escape_text_str(s: &str) -> String {
+        let mut out = String::new();
+        escape_text(s, &mut out);
+        out
+    }
+
+    fn escape_attr_str(s: &str) -> String {
+        let mut out = String::new();
+        escape_attr(s, &mut out);
+        out
+    }
+
+    #[test]
+    fn text_escapes_markup_characters() {
+        assert_eq!(escape_text_str("a<b & c>d"), "a&lt;b &amp; c&gt;d");
+    }
+
+    #[test]
+    fn text_leaves_quotes_alone() {
+        assert_eq!(escape_text_str(r#"say "hi" 'there'"#), r#"say "hi" 'there'"#);
+    }
+
+    #[test]
+    fn attr_escapes_quotes_and_whitespace_controls() {
+        assert_eq!(
+            escape_attr_str("a\"b\nc\td\re"),
+            "a&quot;b&#10;c&#9;d&#13;e"
+        );
+    }
+
+    #[test]
+    fn resolve_named_entities() {
+        for (body, ch) in [("lt;", '<'), ("gt;", '>'), ("amp;", '&'), ("apos;", '\''), ("quot;", '"')] {
+            let (decoded, consumed) = resolve_entity(body, 0).expect("named entity");
+            assert_eq!(decoded, ch);
+            assert_eq!(consumed, body.len());
+        }
+    }
+
+    #[test]
+    fn resolve_decimal_reference() {
+        let (ch, n) = resolve_entity("#65;tail", 0).expect("decimal ref");
+        assert_eq!(ch, 'A');
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn resolve_hex_reference() {
+        let (ch, n) = resolve_entity("#x1F600;", 0).expect("hex ref");
+        assert_eq!(ch, '😀');
+        assert_eq!(n, 8);
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        let err = resolve_entity("nbsp;", 5).expect_err("nbsp is not in the subset");
+        assert_eq!(err.kind(), ParseXmlErrorKind::InvalidEntity);
+        assert_eq!(err.position(), 5);
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        let err = resolve_entity("amp", 0).expect_err("no semicolon");
+        assert_eq!(err.kind(), ParseXmlErrorKind::InvalidEntity);
+    }
+
+    #[test]
+    fn surrogate_code_point_is_rejected() {
+        let err = resolve_entity("#xD800;", 0).expect_err("surrogate");
+        assert_eq!(err.kind(), ParseXmlErrorKind::InvalidEntity);
+    }
+}

@@ -1,0 +1,42 @@
+//! A minimal, dependency-free XML subset parser and writer.
+//!
+//! The virt toolkit describes every managed resource — domains, storage
+//! pools, volumes and virtual networks — as an XML document, exactly like
+//! libvirt does. This crate implements the small, well-defined subset of
+//! XML those descriptions need:
+//!
+//! - elements with attributes and text content,
+//! - comments and CDATA sections (parsed; CDATA is preserved as text),
+//! - an optional leading XML declaration (`<?xml ...?>`),
+//! - the five predefined entities (`&lt; &gt; &amp; &apos; &quot;`) plus
+//!   numeric character references (`&#..;`, `&#x..;`).
+//!
+//! It deliberately does **not** implement namespaces, DTDs, or processing
+//! instructions beyond the declaration; none of the resource formats use
+//! them.
+//!
+//! # Examples
+//!
+//! ```
+//! # use std::error::Error;
+//! # fn main() -> Result<(), Box<dyn Error>> {
+//! use virt_xml::Element;
+//!
+//! let doc = Element::parse("<domain type='qemu'><name>demo</name></domain>")?;
+//! assert_eq!(doc.name(), "domain");
+//! assert_eq!(doc.attr("type"), Some("qemu"));
+//! assert_eq!(doc.child_text("name"), Some("demo"));
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+mod escape;
+mod parser;
+mod query;
+mod tree;
+mod writer;
+
+pub use error::{ParseXmlError, ParseXmlErrorKind};
+pub use tree::{Element, Node};
+pub use writer::WriteOptions;

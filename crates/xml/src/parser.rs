@@ -1,0 +1,468 @@
+//! Recursive-descent parser for the supported XML subset.
+
+use crate::error::{ParseXmlError, ParseXmlErrorKind};
+use crate::escape::resolve_entity;
+use crate::tree::{Element, Node};
+
+/// Parses a complete document, returning its root element.
+pub(crate) fn parse_document(input: &str) -> Result<Element, ParseXmlError> {
+    let mut cur = Cursor::new(input);
+    cur.skip_misc(true)?;
+    if cur.eof() {
+        return Err(cur.err(ParseXmlErrorKind::MissingRoot, "no root element"));
+    }
+    let root = cur.parse_element()?;
+    cur.skip_misc(false)?;
+    if !cur.eof() {
+        return Err(cur.err(
+            ParseXmlErrorKind::TrailingContent,
+            "only whitespace and comments may follow the root element",
+        ));
+    }
+    Ok(root)
+}
+
+struct Cursor<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(input: &'a str) -> Self {
+        Cursor { input, pos: 0 }
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let ch = self.peek()?;
+        self.pos += ch.len_utf8();
+        Some(ch)
+    }
+
+    fn eat(&mut self, expected: char) -> bool {
+        if self.peek() == Some(expected) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err(&self, kind: ParseXmlErrorKind, context: impl Into<String>) -> ParseXmlError {
+        ParseXmlError::new(kind, self.pos, context)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace()) {
+            self.bump();
+        }
+    }
+
+    /// Skips whitespace, comments, and (when `allow_decl`) one XML
+    /// declaration — the "misc" that may surround the root element.
+    fn skip_misc(&mut self, allow_decl: bool) -> Result<(), ParseXmlError> {
+        let mut decl_allowed = allow_decl;
+        loop {
+            self.skip_whitespace();
+            if self.rest().starts_with("<?") {
+                if !decl_allowed {
+                    return Err(self.err(
+                        ParseXmlErrorKind::UnexpectedChar,
+                        "processing instruction not allowed here",
+                    ));
+                }
+                self.skip_declaration()?;
+                decl_allowed = false;
+            } else if self.rest().starts_with("<!--") {
+                self.parse_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_declaration(&mut self) -> Result<(), ParseXmlError> {
+        debug_assert!(self.rest().starts_with("<?"));
+        match self.rest().find("?>") {
+            Some(end) => {
+                self.pos += end + 2;
+                Ok(())
+            }
+            None => Err(self.err(ParseXmlErrorKind::UnexpectedEof, "unterminated '<?...?>'")),
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<String, ParseXmlError> {
+        debug_assert!(self.rest().starts_with("<!--"));
+        self.pos += 4;
+        match self.rest().find("-->") {
+            Some(end) => {
+                let body = self.rest()[..end].to_string();
+                self.pos += end + 3;
+                Ok(body)
+            }
+            None => Err(self.err(ParseXmlErrorKind::UnexpectedEof, "unterminated comment")),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseXmlError> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if is_name_start(c) => {
+                self.bump();
+            }
+            _ => {
+                return Err(self.err(
+                    ParseXmlErrorKind::InvalidName,
+                    "a name must start with a letter, '_' or ':'",
+                ))
+            }
+        }
+        while matches!(self.peek(), Some(c) if is_name_char(c)) {
+            self.bump();
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseXmlError> {
+        if !self.eat('<') {
+            return Err(self.err(ParseXmlErrorKind::UnexpectedChar, "expected '<'"));
+        }
+        let name = self.parse_name()?;
+        let mut element = Element::new(&name);
+
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some('/') => {
+                    self.bump();
+                    if !self.eat('>') {
+                        return Err(self.err(ParseXmlErrorKind::UnexpectedChar, "expected '>' after '/'"));
+                    }
+                    return Ok(element);
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(c) if is_name_start(c) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    if !self.eat('=') {
+                        return Err(self.err(
+                            ParseXmlErrorKind::UnexpectedChar,
+                            format!("expected '=' after attribute '{attr_name}'"),
+                        ));
+                    }
+                    self.skip_whitespace();
+                    let value = self.parse_attr_value()?;
+                    if element.attr(&attr_name).is_some() {
+                        return Err(self.err(
+                            ParseXmlErrorKind::DuplicateAttribute,
+                            format!("attribute '{attr_name}' appears twice"),
+                        ));
+                    }
+                    element.set_attr(attr_name, value);
+                }
+                Some(_) => {
+                    return Err(self.err(ParseXmlErrorKind::UnexpectedChar, "in start tag"));
+                }
+                None => {
+                    return Err(self.err(ParseXmlErrorKind::UnexpectedEof, "in start tag"));
+                }
+            }
+        }
+
+        // Content until the matching close tag.
+        loop {
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(
+                        ParseXmlErrorKind::MismatchedTag,
+                        format!("expected </{name}>, found </{close}>"),
+                    ));
+                }
+                self.skip_whitespace();
+                if !self.eat('>') {
+                    return Err(self.err(ParseXmlErrorKind::UnexpectedChar, "expected '>' in close tag"));
+                }
+                return Ok(element);
+            } else if self.rest().starts_with("<!--") {
+                let comment = self.parse_comment()?;
+                element.push_node(Node::Comment(comment));
+            } else if self.rest().starts_with("<![CDATA[") {
+                let text = self.parse_cdata()?;
+                push_text(&mut element, text);
+            } else if self.rest().starts_with('<') {
+                let child = self.parse_element()?;
+                element.push_child(child);
+            } else if self.eof() {
+                return Err(self.err(
+                    ParseXmlErrorKind::UnexpectedEof,
+                    format!("element <{name}> is never closed"),
+                ));
+            } else {
+                let text = self.parse_text()?;
+                push_text(&mut element, text);
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseXmlError> {
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            _ => {
+                return Err(self.err(
+                    ParseXmlErrorKind::UnexpectedChar,
+                    "attribute value must be quoted",
+                ))
+            }
+        };
+        let mut value = String::new();
+        loop {
+            match self.peek() {
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(value);
+                }
+                Some('&') => {
+                    self.bump();
+                    let (ch, consumed) = resolve_entity(self.rest(), self.pos)?;
+                    value.push(ch);
+                    self.pos += consumed;
+                }
+                Some('<') => {
+                    return Err(self.err(
+                        ParseXmlErrorKind::UnexpectedChar,
+                        "'<' is not allowed in attribute values",
+                    ))
+                }
+                Some(_) => {
+                    value.push(self.bump().expect("peeked"));
+                }
+                None => {
+                    return Err(self.err(ParseXmlErrorKind::UnexpectedEof, "in attribute value"));
+                }
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<String, ParseXmlError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some('<') | None => return Ok(text),
+                Some('&') => {
+                    self.bump();
+                    let (ch, consumed) = resolve_entity(self.rest(), self.pos)?;
+                    text.push(ch);
+                    self.pos += consumed;
+                }
+                Some(_) => {
+                    text.push(self.bump().expect("peeked"));
+                }
+            }
+        }
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, ParseXmlError> {
+        debug_assert!(self.rest().starts_with("<![CDATA["));
+        self.pos += "<![CDATA[".len();
+        match self.rest().find("]]>") {
+            Some(end) => {
+                let body = self.rest()[..end].to_string();
+                self.pos += end + 3;
+                Ok(body)
+            }
+            None => Err(self.err(ParseXmlErrorKind::UnexpectedEof, "unterminated CDATA section")),
+        }
+    }
+}
+
+/// Appends text, merging with a preceding text node so that adjacent runs
+/// (e.g. text + CDATA) form one node, matching what a re-parse would yield.
+fn push_text(element: &mut Element, text: String) {
+    if text.is_empty() {
+        return;
+    }
+    if let Some(Node::Text(prev)) = element.nodes_mut().last_mut() {
+        prev.push_str(&text);
+        return;
+    }
+    element.push_node(Node::Text(text));
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseXmlErrorKind;
+
+    #[test]
+    fn parses_empty_element() {
+        let el = parse_document("<a/>").unwrap();
+        assert_eq!(el.name(), "a");
+        assert!(el.is_empty());
+    }
+
+    #[test]
+    fn parses_element_with_close_tag() {
+        let el = parse_document("<a></a>").unwrap();
+        assert_eq!(el.name(), "a");
+        assert_eq!(el.nodes().len(), 0);
+    }
+
+    #[test]
+    fn parses_attributes_with_both_quote_styles() {
+        let el = parse_document(r#"<disk type="file" bus='virtio'/>"#).unwrap();
+        assert_eq!(el.attr("type"), Some("file"));
+        assert_eq!(el.attr("bus"), Some("virtio"));
+    }
+
+    #[test]
+    fn parses_nested_children_and_text() {
+        let el = parse_document("<domain><name>vm</name><memory unit='MiB'>512</memory></domain>").unwrap();
+        let children: Vec<_> = el.children().collect();
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].text(), "vm");
+        assert_eq!(children[1].attr("unit"), Some("MiB"));
+        assert_eq!(children[1].text(), "512");
+    }
+
+    #[test]
+    fn resolves_entities_in_text_and_attributes() {
+        let el = parse_document(r#"<e a="&lt;&amp;&gt;">&quot;x&apos; &#65;&#x42;</e>"#).unwrap();
+        assert_eq!(el.attr("a"), Some("<&>"));
+        assert_eq!(el.text(), "\"x' AB");
+    }
+
+    #[test]
+    fn skips_declaration_and_comments_around_root() {
+        let el = parse_document("<?xml version=\"1.0\"?>\n<!-- head --><r/><!-- tail -->\n").unwrap();
+        assert_eq!(el.name(), "r");
+    }
+
+    #[test]
+    fn keeps_comments_inside_elements() {
+        let el = parse_document("<r><!-- note --><a/></r>").unwrap();
+        assert!(matches!(el.nodes()[0], Node::Comment(ref c) if c == " note "));
+    }
+
+    #[test]
+    fn cdata_becomes_text() {
+        let el = parse_document("<s><![CDATA[a <raw> & b]]></s>").unwrap();
+        assert_eq!(el.text(), "a <raw> & b");
+    }
+
+    #[test]
+    fn adjacent_text_and_cdata_merge() {
+        let el = parse_document("<s>x<![CDATA[y]]>z</s>").unwrap();
+        assert_eq!(el.nodes().len(), 1);
+        assert_eq!(el.text(), "xyz");
+    }
+
+    #[test]
+    fn mismatched_close_tag_is_rejected() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::MismatchedTag);
+    }
+
+    #[test]
+    fn duplicate_attribute_is_rejected() {
+        let err = parse_document("<a x='1' x='2'/>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::DuplicateAttribute);
+    }
+
+    #[test]
+    fn unclosed_element_reports_eof() {
+        let err = parse_document("<a><b/>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn trailing_content_is_rejected() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::TrailingContent);
+    }
+
+    #[test]
+    fn empty_input_reports_missing_root() {
+        let err = parse_document("   \n ").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::MissingRoot);
+    }
+
+    #[test]
+    fn unquoted_attribute_value_is_rejected() {
+        let err = parse_document("<a x=1/>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::UnexpectedChar);
+    }
+
+    #[test]
+    fn bad_name_start_is_rejected() {
+        let err = parse_document("<1a/>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::InvalidName);
+    }
+
+    #[test]
+    fn whitespace_in_close_tag_is_tolerated() {
+        let el = parse_document("<a></a >").unwrap();
+        assert_eq!(el.name(), "a");
+    }
+
+    #[test]
+    fn deeply_nested_structure_parses() {
+        let mut doc = String::new();
+        for _ in 0..200 {
+            doc.push_str("<n>");
+        }
+        doc.push_str("leaf");
+        for _ in 0..200 {
+            doc.push_str("</n>");
+        }
+        let el = parse_document(&doc).unwrap();
+        assert_eq!(el.name(), "n");
+    }
+
+    #[test]
+    fn unicode_names_and_text() {
+        let el = parse_document("<éléments attr='ü'>Grüße 🦀</éléments>").unwrap();
+        assert_eq!(el.name(), "éléments");
+        assert_eq!(el.attr("attr"), Some("ü"));
+        assert_eq!(el.text(), "Grüße 🦀");
+    }
+
+    #[test]
+    fn lone_ampersand_is_invalid() {
+        let err = parse_document("<a>x & y</a>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::InvalidEntity);
+    }
+
+    #[test]
+    fn lt_in_attribute_is_invalid() {
+        let err = parse_document("<a x='<'/>").unwrap_err();
+        assert_eq!(err.kind(), ParseXmlErrorKind::UnexpectedChar);
+    }
+}

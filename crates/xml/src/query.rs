@@ -1,0 +1,154 @@
+//! Lightweight path queries over the document tree.
+//!
+//! These are not XPath; they cover the narrow set of navigations the
+//! resource formats need: descend by child element name, optionally
+//! collecting all matches at the final step.
+
+use crate::tree::Element;
+
+impl Element {
+    /// Finds the first descendant matching a `/`-separated path of child
+    /// element names.
+    ///
+    /// Each segment selects the *first* child with that name; the final
+    /// segment returns that element.
+    ///
+    /// ```
+    /// use virt_xml::Element;
+    /// let doc = Element::parse("<domain><devices><disk dev='vda'/></devices></domain>").unwrap();
+    /// let disk = doc.find("devices/disk").unwrap();
+    /// assert_eq!(disk.attr("dev"), Some("vda"));
+    /// assert!(doc.find("devices/controller").is_none());
+    /// ```
+    pub fn find(&self, path: &str) -> Option<&Element> {
+        let mut current = self;
+        for segment in path.split('/').filter(|s| !s.is_empty()) {
+            current = current.children().find(|c| c.name() == segment)?;
+        }
+        if std::ptr::eq(current, self) {
+            None
+        } else {
+            Some(current)
+        }
+    }
+
+    /// Collects **all** elements matching the final segment of the path,
+    /// after descending through the first match of each earlier segment.
+    ///
+    /// ```
+    /// use virt_xml::Element;
+    /// let doc = Element::parse("<d><devices><disk/><disk/><iface/></devices></d>").unwrap();
+    /// assert_eq!(doc.find_all("devices/disk").len(), 2);
+    /// ```
+    pub fn find_all(&self, path: &str) -> Vec<&Element> {
+        let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+        let Some((last, prefix)) = segments.split_last() else {
+            return Vec::new();
+        };
+        let mut current = self;
+        for segment in prefix {
+            match current.children().find(|c| c.name() == *segment) {
+                Some(next) => current = next,
+                None => return Vec::new(),
+            }
+        }
+        current.children().filter(|c| c.name() == *last).collect()
+    }
+
+    /// Text content of the first child with the given name, if present.
+    ///
+    /// Returns the raw (untrimmed) text; an element present but empty
+    /// yields `Some("")`.
+    pub fn child_text(&self, name: &str) -> Option<&str> {
+        let child = self.children().find(|c| c.name() == name)?;
+        // Fast path: single text node (the common shape for leaf values).
+        match child.nodes() {
+            [node] => node.as_text(),
+            [] => Some(""),
+            _ => None,
+        }
+    }
+
+    /// First child element with the given name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children().find(|c| c.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> Element {
+        Element::parse(
+            "<domain type='qemu'>\
+               <name>vm0</name>\
+               <devices>\
+                 <disk dev='vda'><source file='/a.img'/></disk>\
+                 <disk dev='vdb'><source file='/b.img'/></disk>\
+                 <interface type='network'/>\
+               </devices>\
+             </domain>",
+        )
+        .expect("fixture parses")
+    }
+
+    #[test]
+    fn find_descends_multiple_levels() {
+        let d = doc();
+        let source = d.find("devices/disk/source").expect("path exists");
+        assert_eq!(source.attr("file"), Some("/a.img"));
+    }
+
+    #[test]
+    fn find_on_missing_path_returns_none() {
+        assert!(doc().find("devices/controller").is_none());
+        assert!(doc().find("nothing").is_none());
+    }
+
+    #[test]
+    fn find_with_empty_path_returns_none() {
+        let d = doc();
+        assert!(d.find("").is_none());
+        assert!(d.find("/").is_none());
+    }
+
+    #[test]
+    fn find_all_collects_every_match_of_last_segment() {
+        let d = doc();
+        let disks = d.find_all("devices/disk");
+        assert_eq!(disks.len(), 2);
+        assert_eq!(disks[1].attr("dev"), Some("vdb"));
+    }
+
+    #[test]
+    fn find_all_missing_prefix_yields_empty() {
+        assert!(doc().find_all("hardware/disk").is_empty());
+        assert!(doc().find_all("").is_empty());
+    }
+
+    #[test]
+    fn child_text_returns_leaf_value() {
+        assert_eq!(doc().child_text("name"), Some("vm0"));
+        assert_eq!(doc().child_text("uuid"), None);
+    }
+
+    #[test]
+    fn child_text_of_empty_element_is_empty_string() {
+        let d = Element::parse("<a><b/></a>").unwrap();
+        assert_eq!(d.child_text("b"), Some(""));
+    }
+
+    #[test]
+    fn child_text_of_mixed_content_is_none() {
+        let d = Element::parse("<a><b>x<c/>y</b></a>").unwrap();
+        assert_eq!(d.child_text("b"), None);
+    }
+
+    #[test]
+    fn child_returns_first_match() {
+        let d = doc();
+        let devices = d.child("devices").expect("exists");
+        assert_eq!(devices.children().count(), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: every generated document survives write → parse
+//! unchanged, in both compact and pretty form.
+
+use proptest::prelude::*;
+use virt_xml::{Element, Node, WriteOptions};
+
+/// Strategy for XML names (subset of what the parser accepts).
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z_][A-Za-z0-9_.-]{0,11}"
+}
+
+/// Strategy for attribute values and text including characters that need
+/// escaping.
+fn value_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            proptest::char::range('a', 'z').prop_map(|c| c.to_string()),
+            Just("<".to_string()),
+            Just(">".to_string()),
+            Just("&".to_string()),
+            Just("\"".to_string()),
+            Just("'".to_string()),
+            Just(" ".to_string()),
+            Just("\n".to_string()),
+            Just("ß".to_string()),
+            Just("🦀".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.concat())
+}
+
+/// Recursive element strategy: up to 3 levels deep, 4 children wide.
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), value_strategy()), 0..3))
+        .prop_map(|(name, attrs)| {
+            let mut el = Element::new(name);
+            for (k, v) in attrs {
+                el.set_attr(k, v);
+            }
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, move |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), value_strategy()), 0..3),
+            proptest::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::Element),
+                    value_strategy()
+                        .prop_filter("non-empty text", |s| !s.is_empty())
+                        .prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = Element::new(name);
+                for (k, v) in attrs {
+                    el.set_attr(k, v);
+                }
+                let mut last_was_text = false;
+                for node in children {
+                    // Adjacent text nodes merge on parse, so only emit a text
+                    // node when the previous child was not text; this keeps
+                    // the tree in the canonical shape the parser produces.
+                    match &node {
+                        Node::Text(_) if last_was_text => continue,
+                        Node::Text(_) => last_was_text = true,
+                        _ => last_was_text = false,
+                    }
+                    el.push_node(node);
+                }
+                el
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(el in element_strategy()) {
+        let text = el.to_string();
+        let reparsed = Element::parse(&text).expect("own compact output must parse");
+        prop_assert_eq!(reparsed, el);
+    }
+
+    #[test]
+    fn attribute_values_roundtrip(value in value_strategy()) {
+        let mut el = Element::new("e");
+        el.set_attr("v", value.clone());
+        let reparsed = Element::parse(&el.to_string()).expect("parse");
+        prop_assert_eq!(reparsed.attr("v"), Some(value.as_str()));
+    }
+
+    #[test]
+    fn pretty_output_parses_to_equivalent_structure(el in element_strategy()) {
+        // Pretty-printing inserts whitespace text nodes, so equality is
+        // checked on a whitespace-normalized view: names, attrs and
+        // trimmed text must match.
+        let pretty = el.write(&WriteOptions::pretty().with_declaration());
+        let reparsed = Element::parse(&pretty).expect("own pretty output must parse");
+        prop_assert!(structurally_equal(&el, &reparsed));
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC*") {
+        let _ = Element::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_tag_soup(input in "[<>&;a-z'\"= /!\\[\\]-]{0,64}") {
+        let _ = Element::parse(&input);
+    }
+}
+
+fn structurally_equal(a: &Element, b: &Element) -> bool {
+    if a.name() != b.name() {
+        return false;
+    }
+    let attrs_a: Vec<_> = a.attrs().collect();
+    let attrs_b: Vec<_> = b.attrs().collect();
+    if attrs_a != attrs_b {
+        return false;
+    }
+    let children_a: Vec<_> = a.children().collect();
+    let children_b: Vec<_> = b.children().collect();
+    if children_a.len() != children_b.len() {
+        return false;
+    }
+    // Text comparison is lossy under pretty-printing only when elements
+    // also have element children (indentation joins the text runs), so
+    // compare the concatenated text with whitespace collapsed.
+    let norm = |e: &Element| e.text().split_whitespace().collect::<Vec<_>>().join(" ");
+    if norm(a) != norm(b) {
+        return false;
+    }
+    children_a
+        .iter()
+        .zip(children_b.iter())
+        .all(|(x, y)| structurally_equal(x, y))
+}

@@ -1,0 +1,118 @@
+//! Datacenter consolidation with live migration.
+//!
+//! Three daemon-managed hosts run a scattered VM population. The
+//! management application measures utilization, then consolidates: every
+//! guest is live-migrated off the least-loaded hosts so they can be
+//! powered down — the energy-saving workflow virtualization management
+//! exists for. All timing is simulated virtual time.
+//!
+//! Run with: `cargo run --example datacenter`
+
+use std::error::Error;
+
+use hypersim::SimClock;
+use virt_core::driver::MigrationOptions;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::{Connect, Domain};
+use virtd::Virtd;
+
+struct Node {
+    name: &'static str,
+    daemon: Virtd,
+    conn: Connect,
+}
+
+fn utilization(conn: &Connect) -> Result<(u64, u64, u32), Box<dyn Error>> {
+    let info = conn.node_info()?;
+    Ok((
+        info.memory_mib - info.free_memory_mib,
+        info.memory_mib,
+        info.active_domains,
+    ))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Shared virtual clock so migration timing is consistent fleet-wide.
+    let clock = SimClock::new();
+
+    let mut nodes = Vec::new();
+    for name in ["node-a", "node-b", "node-c"] {
+        let daemon = Virtd::builder(name)
+            .clock(clock.clone())
+            .with_default_hosts()
+            .build()?;
+        daemon.register_memory_endpoint(name)?;
+        let conn = Connect::open(&format!("qemu+memory://{name}/system"))?;
+        nodes.push(Node { name, daemon, conn });
+    }
+
+    // Scatter 9 guests across the fleet (3 per node).
+    let sizes = [512u64, 1024, 2048];
+    let mut guests: Vec<(usize, Domain)> = Vec::new();
+    for (n, node) in nodes.iter().enumerate() {
+        for (i, &mem) in sizes.iter().enumerate() {
+            let name = format!("vm-{}-{}", node.name, i);
+            let mut config = DomainConfig::new(&name, mem, 1);
+            config.dirty_rate_mib_s = 50;
+            let domain = node.conn.define_domain(&config)?;
+            domain.start()?;
+            guests.push((n, domain));
+        }
+    }
+
+    println!("before consolidation:");
+    for node in &nodes {
+        let (used, total, active) = utilization(&node.conn)?;
+        println!("  {:<8} {:>6}/{} MiB used, {} active guests", node.name, used, total, active);
+    }
+
+    // Consolidate: move everything from node-b and node-c onto node-a.
+    let target = &nodes[0];
+    let options = MigrationOptions {
+        bandwidth_mib_s: 1200,
+        max_downtime_ms: 300,
+        max_iterations: 30,
+    };
+    let t0 = clock.now();
+    let mut moved = 0;
+    let mut total_downtime_ms = 0;
+    for (origin, domain) in &guests {
+        if *origin == 0 {
+            continue;
+        }
+        let report = domain.migrate_to(&target.conn, &options)?;
+        println!(
+            "  migrated {:<12} from {:<8}: {:>6} ms total, {:>3} ms downtime, {} MiB moved{}",
+            domain.name(),
+            nodes[*origin].name,
+            report.total_ms,
+            report.downtime_ms,
+            report.transferred_mib,
+            if report.converged { "" } else { " [forced]" },
+        );
+        moved += 1;
+        total_downtime_ms += report.downtime_ms;
+    }
+    let elapsed = clock.now().duration_since(t0);
+    println!(
+        "consolidated {moved} guests in {:.2} s simulated time ({} ms cumulative downtime)",
+        elapsed.as_secs_f64(),
+        total_downtime_ms
+    );
+
+    println!("after consolidation:");
+    for node in &nodes {
+        let (used, total, active) = utilization(&node.conn)?;
+        let idle = if active == 0 { "  → can be powered off" } else { "" };
+        println!(
+            "  {:<8} {:>6}/{} MiB used, {} active guests{idle}",
+            node.name, used, total, active
+        );
+    }
+
+    for node in nodes {
+        node.conn.close();
+        node.daemon.shutdown();
+    }
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Quickstart: the core management workflow in one file.
+//!
+//! Connects to the zero-setup `test:///default` mock hypervisor and walks
+//! through the API surface: domains (define → start → tune → snapshot →
+//! save/restore → stop), storage pools and volumes, and virtual networks.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::error::Error;
+use std::net::Ipv4Addr;
+
+use virt_core::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig, VolumeConfig};
+use virt_core::Connect;
+use hypersim::PoolBackend;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // 1. Connect. The URI picks the driver: `test` is the built-in mock.
+    let conn = Connect::open("test:///default")?;
+    println!("connected to {} ({})", conn.uri(), conn.hostname()?);
+
+    let node = conn.node_info()?;
+    println!(
+        "host: {} CPUs, {} MiB RAM, {} MiB free",
+        node.cpus, node.memory_mib, node.free_memory_mib
+    );
+
+    // 2. Storage: a pool and a root volume for our guest.
+    let pool = conn.define_storage_pool(&PoolConfig::new("images", PoolBackend::Dir, 10 * 1024))?;
+    pool.start()?;
+    let volume = pool.create_volume(&VolumeConfig::new("web-root.qcow2", 2048))?;
+    println!("created volume {} at {}", volume.name(), volume.path()?);
+
+    // 3. A NAT network for the guest.
+    let network = conn.define_network(&NetworkConfig::new("apps", Ipv4Addr::new(10, 50, 0, 0)))?;
+    network.start()?;
+
+    // 4. Define and boot a domain.
+    let mut config = DomainConfig::new("web", 1024, 2);
+    config.disks.push(virt_core::xmlfmt::DiskConfig {
+        target: "vda".to_string(),
+        source: volume.path()?,
+        capacity_mib: 2048,
+        bus: "virtio".to_string(),
+    });
+    config.interfaces.push(virt_core::xmlfmt::InterfaceConfig {
+        mac: "52:54:00:01:02:03".to_string(),
+        network: "apps".to_string(),
+        model: "virtio".to_string(),
+    });
+    let domain = conn.define_domain(&config)?;
+    domain.start()?;
+    println!(
+        "domain '{}' is {} (id {})",
+        domain.name(),
+        domain.state()?,
+        domain.id()?
+    );
+
+    // 5. Tune it live.
+    domain.set_memory(512)?;
+    domain.set_vcpus(1)?;
+    println!(
+        "after ballooning: {} MiB, {} vcpus",
+        domain.info()?.memory_mib,
+        domain.info()?.vcpus
+    );
+
+    // 6. Snapshot, save, restore.
+    domain.snapshot_create("before-upgrade")?;
+    domain.managed_save()?;
+    println!("saved; managed save image: {}", domain.info()?.has_managed_save);
+    domain.restore()?;
+    println!("restored; state: {}", domain.state()?);
+
+    // 7. The XML round trip every libvirt tool relies on.
+    let xml = domain.xml_desc()?;
+    println!("--- dumpxml ---\n{}", virt_xml::Element::parse(&xml)?.to_pretty_string());
+
+    // 8. Tear down.
+    domain.destroy()?;
+    domain.undefine()?;
+    network.stop()?;
+    network.undefine()?;
+    println!("cleaned up; remaining domains: {:?}", conn.list_domain_names()?);
+    Ok(())
+}

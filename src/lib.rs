@@ -1,0 +1,11 @@
+//! Umbrella crate for the `virt` workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. Re-exports of the member
+//! crates are provided for convenience so examples can use one import root.
+
+pub use hypersim;
+pub use virt_core;
+pub use virt_rpc;
+pub use virt_xml;
+pub use virtd;

@@ -1,0 +1,259 @@
+//! Differential test: the remote driver must be **semantically identical**
+//! to a local connection against the same host — the core "non-intrusive"
+//! claim. Every operation is applied through both paths and every
+//! observable result (values and error codes) must match.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use virt_core::drivers::embedded::EmbeddedConnection;
+use virt_core::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig, VolumeConfig};
+use virt_core::{Connect, DomainState, ErrorCode};
+use virtd::Virtd;
+
+fn unique(name: &str) -> String {
+    static N: AtomicU64 = AtomicU64::new(0);
+    format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Builds a daemon and returns (local connection to its qemu host,
+/// remote connection to the same host through RPC, daemon).
+fn local_and_remote() -> (Connect, Connect, Virtd) {
+    let endpoint = unique("equiv");
+    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    daemon.register_memory_endpoint(&endpoint).unwrap();
+    let host = daemon.host("qemu").unwrap().clone();
+    let local = Connect::from_driver(EmbeddedConnection::new(host, "qemu:///system"));
+    let remote = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    (local, remote, daemon)
+}
+
+#[test]
+fn hostname_node_info_and_capabilities_match() {
+    let (local, remote, daemon) = local_and_remote();
+    assert_eq!(local.hostname().unwrap(), remote.hostname().unwrap());
+    assert_eq!(local.node_info().unwrap(), remote.node_info().unwrap());
+    assert_eq!(local.capabilities().unwrap(), remote.capabilities().unwrap());
+    remote.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn domain_defined_remotely_is_visible_locally_and_vice_versa() {
+    let (local, remote, daemon) = local_and_remote();
+
+    remote.define_domain(&DomainConfig::new("via-remote", 512, 1)).unwrap();
+    let seen_local = local.domain_lookup_by_name("via-remote").unwrap();
+    assert_eq!(seen_local.info().unwrap().memory_mib, 512);
+
+    local.define_domain(&DomainConfig::new("via-local", 256, 2)).unwrap();
+    let seen_remote = remote.domain_lookup_by_name("via-local").unwrap();
+    assert_eq!(seen_remote.info().unwrap().vcpus, 2);
+
+    // Full record equality through both paths.
+    let l: Vec<_> = local.list_all_domains().unwrap().iter().map(|d| d.info().unwrap()).collect();
+    let r: Vec<_> = remote.list_all_domains().unwrap().iter().map(|d| d.info().unwrap()).collect();
+    assert_eq!(l, r);
+
+    remote.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn every_lifecycle_operation_matches_through_both_paths() {
+    let (local, remote, daemon) = local_and_remote();
+    remote.define_domain(&DomainConfig::new("vm", 1024, 2)).unwrap();
+    let via_remote = remote.domain_lookup_by_name("vm").unwrap();
+    let via_local = local.domain_lookup_by_name("vm").unwrap();
+
+    via_remote.start().unwrap();
+    assert_eq!(via_local.state().unwrap(), DomainState::Running);
+    via_remote.suspend().unwrap();
+    assert_eq!(via_local.state().unwrap(), DomainState::Paused);
+    via_local.resume().unwrap();
+    assert_eq!(via_remote.state().unwrap(), DomainState::Running);
+    via_remote.managed_save().unwrap();
+    assert_eq!(via_local.state().unwrap(), DomainState::Saved);
+    via_local.restore().unwrap();
+    via_remote.reboot().unwrap();
+    via_remote.set_memory(512).unwrap();
+    assert_eq!(via_local.info().unwrap().memory_mib, 512);
+    via_local.set_vcpus(1).unwrap();
+    assert_eq!(via_remote.info().unwrap().vcpus, 1);
+    via_remote.snapshot_create("s1").unwrap();
+    assert_eq!(via_local.snapshot_list().unwrap(), vec!["s1"]);
+    via_remote.set_autostart(true).unwrap();
+    assert!(via_local.info().unwrap().autostart);
+
+    // XML descriptions are byte-identical.
+    assert_eq!(via_local.xml_desc().unwrap(), via_remote.xml_desc().unwrap());
+
+    via_remote.destroy().unwrap();
+    via_remote.undefine().unwrap();
+    assert_eq!(
+        via_local.info().unwrap_err().code(),
+        ErrorCode::NoDomain
+    );
+    remote.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn error_codes_survive_the_wire_unchanged() {
+    let (local, remote, daemon) = local_and_remote();
+
+    // Each error class produced locally must arrive remotely with the
+    // same code.
+    type Probe = Box<dyn Fn(&Connect) -> ErrorCode>;
+    let cases: Vec<(ErrorCode, Probe)> = vec![
+        (
+            ErrorCode::NoDomain,
+            Box::new(|c: &Connect| c.domain_lookup_by_name("ghost").unwrap_err().code()),
+        ),
+        (
+            ErrorCode::XmlError,
+            Box::new(|c: &Connect| c.define_domain_xml("<broken").unwrap_err().code()),
+        ),
+        (
+            ErrorCode::NoStoragePool,
+            Box::new(|c: &Connect| c.storage_pool_lookup_by_name("ghost").unwrap_err().code()),
+        ),
+        (
+            ErrorCode::NoNetwork,
+            Box::new(|c: &Connect| c.network_lookup_by_name("ghost").unwrap_err().code()),
+        ),
+    ];
+    for (expected, probe) in cases {
+        assert_eq!(probe(&local), expected, "local {expected:?}");
+        assert_eq!(probe(&remote), expected, "remote {expected:?}");
+    }
+
+    // Duplicate define: create locally, attempt remotely.
+    local.define_domain(&DomainConfig::new("dup", 128, 1)).unwrap();
+    let err = remote.define_domain(&DomainConfig::new("dup", 128, 1)).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::DomainExists);
+
+    // Invalid lifecycle transition through the wire.
+    let err = remote
+        .domain_lookup_by_name("dup")
+        .unwrap()
+        .resume()
+        .unwrap_err();
+    assert_eq!(err.code(), ErrorCode::OperationInvalid);
+
+    remote.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn storage_and_network_operations_match() {
+    let (local, remote, daemon) = local_and_remote();
+
+    let pool = remote
+        .define_storage_pool(&PoolConfig::new("imgs", hypersim::PoolBackend::Dir, 1000))
+        .unwrap();
+    pool.start().unwrap();
+    pool.create_volume(&VolumeConfig::new("a.img", 100)).unwrap();
+    pool.clone_volume("a.img", "b.img").unwrap();
+
+    // Observed identically from the local path.
+    let local_pool = local.storage_pool_lookup_by_name("imgs").unwrap();
+    assert_eq!(local_pool.info().unwrap(), pool.info().unwrap());
+    assert_eq!(local_pool.list_volumes().unwrap(), vec!["a.img", "b.img"]);
+    assert_eq!(
+        local_pool.volume_lookup_by_name("b.img").unwrap().info().unwrap(),
+        pool.volume_lookup_by_name("b.img").unwrap().info().unwrap()
+    );
+
+    let net = remote
+        .define_network(&NetworkConfig::new("lan", std::net::Ipv4Addr::new(10, 42, 0, 0)))
+        .unwrap();
+    net.start().unwrap();
+    let local_net = local.network_lookup_by_name("lan").unwrap();
+    assert_eq!(local_net.info().unwrap(), net.info().unwrap());
+
+    remote.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn lookup_by_id_and_uuid_through_the_wire() {
+    let (_local, remote, daemon) = local_and_remote();
+    let domain = remote.define_domain(&DomainConfig::new("vm", 128, 1)).unwrap();
+    domain.start().unwrap();
+    let id = domain.id().unwrap();
+    assert_eq!(remote.domain_lookup_by_id(id).unwrap().name(), "vm");
+    assert_eq!(remote.domain_lookup_by_uuid(domain.uuid()).unwrap().name(), "vm");
+    assert_eq!(
+        remote.domain_lookup_by_id(9999).unwrap_err().code(),
+        ErrorCode::NoDomain
+    );
+    remote.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_remote_clients_share_one_hypervisor_consistently() {
+    let endpoint = unique("equiv-conc");
+    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    daemon.register_memory_endpoint(&endpoint).unwrap();
+    let uri = format!("qemu+memory://{endpoint}/system");
+
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let uri = uri.clone();
+            std::thread::spawn(move || {
+                let conn = Connect::open(&uri).unwrap();
+                for j in 0..10 {
+                    let name = format!("c{i}-vm{j}");
+                    let domain = conn.define_domain(&DomainConfig::new(&name, 64, 1)).unwrap();
+                    domain.start().unwrap();
+                    domain.destroy().unwrap();
+                    domain.undefine().unwrap();
+                }
+                conn.close();
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    // Everything cleaned up, accounting exact.
+    let check = Connect::open(&uri).unwrap();
+    assert!(check.list_domain_names().unwrap().is_empty());
+    let info = check.node_info().unwrap();
+    assert_eq!(info.free_memory_mib, info.memory_mib);
+    check.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn snapshot_revert_and_delete_through_both_paths() {
+    let (local, remote, daemon) = local_and_remote();
+    let domain = remote.define_domain(&DomainConfig::new("snappy", 512, 1)).unwrap();
+    domain.start().unwrap();
+    domain.snapshot_create("boot").unwrap();
+    domain.set_memory(256).unwrap();
+    domain.suspend().unwrap();
+
+    // Revert remotely; observe locally.
+    domain.snapshot_revert("boot").unwrap();
+    let seen = local.domain_lookup_by_name("snappy").unwrap().info().unwrap();
+    assert_eq!(seen.state, DomainState::Running);
+    assert_eq!(seen.memory_mib, 512);
+
+    // Delete remotely; both paths agree it is gone.
+    domain.snapshot_delete("boot").unwrap();
+    assert!(domain.snapshot_list().unwrap().is_empty());
+    assert!(local
+        .domain_lookup_by_name("snappy")
+        .unwrap()
+        .snapshot_list()
+        .unwrap()
+        .is_empty());
+    let err = domain.snapshot_revert("boot").unwrap_err();
+    assert_eq!(err.code(), ErrorCode::InvalidArg);
+
+    remote.close();
+    daemon.shutdown();
+}

@@ -111,7 +111,13 @@ fn bench_loggers(c: &mut Criterion) {
         let write_path = path.clone();
         with_writers(
             Arc::clone(&logger),
-            |l| l.log(LogLevel::Error, "driver.qemu", "a failing operation with context attached"),
+            |l| {
+                l.log(
+                    LogLevel::Error,
+                    "driver.qemu",
+                    "a failing operation with context attached",
+                )
+            },
             |l, p| l.redefine(file_settings(p)).unwrap(),
             write_path,
             || {
@@ -132,7 +138,13 @@ fn bench_loggers(c: &mut Criterion) {
         let write_path = path.clone();
         with_writers(
             Arc::clone(&logger),
-            |l| l.log(LogLevel::Error, "driver.qemu", "a failing operation with context attached"),
+            |l| {
+                l.log(
+                    LogLevel::Error,
+                    "driver.qemu",
+                    "a failing operation with context attached",
+                )
+            },
             |l, p| l.redefine(file_settings(p)),
             write_path,
             || {

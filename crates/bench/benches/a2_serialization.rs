@@ -52,7 +52,10 @@ fn from_text(text: &str) -> WireDomain {
         persistent: fields["persistent"] == "true",
         has_managed_save: fields["managed_save"] == "true",
         autostart: fields["autostart"] == "true",
-        cpu_time_ns: fields.get("cpu_time").map(|v| v.parse().unwrap_or(0)).unwrap_or(0),
+        cpu_time_ns: fields
+            .get("cpu_time")
+            .map(|v| v.parse().unwrap_or(0))
+            .unwrap_or(0),
     }
 }
 
@@ -69,7 +72,9 @@ fn bench_serialization(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("a2_serialization");
     group.bench_function("xdr_encode", |b| b.iter(|| record.to_xdr()));
-    group.bench_function("xdr_decode", |b| b.iter(|| WireDomain::from_xdr(&xdr_bytes).unwrap()));
+    group.bench_function("xdr_decode", |b| {
+        b.iter(|| WireDomain::from_xdr(&xdr_bytes).unwrap())
+    });
     group.bench_function("text_encode", |b| b.iter(|| to_text(&record)));
     group.bench_function("text_decode", |b| b.iter(|| from_text(&text)));
     group.finish();

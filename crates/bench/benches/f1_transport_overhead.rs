@@ -7,7 +7,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use virt_bench::unique;
 use virt_core::Connect;
-use virt_rpc::transport::{Listener, TcpSocketListener, TlsSimTransport, Transport, UnixSocketListener};
+use virt_rpc::transport::{
+    Listener, TcpSocketListener, TlsSimTransport, Transport, UnixSocketListener,
+};
 use virtd::Virtd;
 
 struct BoxTransport(Box<dyn Transport>);
@@ -35,7 +37,10 @@ struct TlsListener(TcpSocketListener);
 impl Listener for TlsListener {
     fn accept(&self) -> std::io::Result<Box<dyn Transport>> {
         let inner = self.0.accept()?;
-        Ok(Box::new(TlsSimTransport::server(BoxTransport(inner), rand::random())?))
+        Ok(Box::new(TlsSimTransport::server(
+            BoxTransport(inner),
+            rand::random(),
+        )?))
     }
     fn local_desc(&self) -> String {
         format!("tls:{}", self.0.local_desc())
@@ -51,20 +56,29 @@ fn bench_transports(c: &mut Criterion) {
 
     // memory
     let endpoint = unique("f1c-mem");
-    let mem_daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let mem_daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     mem_daemon.register_memory_endpoint(&endpoint).unwrap();
     let mem_conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
     group.bench_function("memory", |b| b.iter(|| mem_conn.hostname().unwrap()));
 
     // unix
-    let ux_daemon = Virtd::builder(unique("f1c-ux")).with_quiet_hosts().build().unwrap();
+    let ux_daemon = Virtd::builder(unique("f1c-ux"))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let path = format!("/tmp/{}.sock", unique("f1c"));
     ux_daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
     let ux_conn = Connect::open(&format!("qemu+unix:///system?socket={path}")).unwrap();
     group.bench_function("unix", |b| b.iter(|| ux_conn.hostname().unwrap()));
 
     // tcp
-    let tcp_daemon = Virtd::builder(unique("f1c-tcp")).with_quiet_hosts().build().unwrap();
+    let tcp_daemon = Virtd::builder(unique("f1c-tcp"))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let tcp_listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
     let tcp_addr = tcp_listener.local_addr().to_string();
     tcp_daemon.serve(Box::new(tcp_listener));
@@ -72,7 +86,10 @@ fn bench_transports(c: &mut Criterion) {
     group.bench_function("tcp", |b| b.iter(|| tcp_conn.hostname().unwrap()));
 
     // tls
-    let tls_daemon = Virtd::builder(unique("f1c-tls")).with_quiet_hosts().build().unwrap();
+    let tls_daemon = Virtd::builder(unique("f1c-tls"))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let tls_listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
     let tls_addr = tls_listener.local_addr().to_string();
     tls_daemon.serve(Box::new(TlsListener(tls_listener)));

@@ -13,10 +13,14 @@ use virt_core::Connect;
 fn bench_precopy_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("f4_precopy_model");
     for &memory in &[512u64, 4096, 16384] {
-        group.bench_with_input(BenchmarkId::from_parameter(memory), &memory, |b, &memory| {
-            let params = MigrationParams::new(MiB(memory), 200, 1024);
-            b.iter(|| simulate_precopy(&params).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(memory),
+            &memory,
+            |b, &memory| {
+                let params = MigrationParams::new(MiB(memory), 200, 1024);
+                b.iter(|| simulate_precopy(&params).unwrap())
+            },
+        );
     }
     group.finish();
 }
@@ -42,7 +46,9 @@ fn bench_full_protocol(c: &mut Criterion) {
     let src = Connect::from_driver(EmbeddedConnection::new(src_host, "qemu:///src"));
     let dst = Connect::from_driver(EmbeddedConnection::new(dst_host, "qemu:///dst"));
 
-    let domain = src.define_domain(&DomainConfig::new("pingpong", 1024, 1)).unwrap();
+    let domain = src
+        .define_domain(&DomainConfig::new("pingpong", 1024, 1))
+        .unwrap();
     domain.start().unwrap();
     let options = MigrationOptions::default();
 

@@ -1,0 +1,99 @@
+//! **Metrics hot path** — cost of instrumentation on the record side.
+//!
+//! The whole observability design rests on one claim: recording into a
+//! counter or histogram is a handful of relaxed atomic operations, cheap
+//! enough to leave enabled on every RPC dispatch, pool job, and driver
+//! lifecycle call. This bench pins the claim down: a counter increment
+//! and a histogram record should each stay well under ~100 ns, and
+//! neither slows down when other threads hammer the same instrument
+//! (no lock, no contention collapse — only cache-line traffic).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use virt_core::metrics::{Counter, Histogram, Registry};
+
+fn with_contenders<T: Send + Sync + 'static>(
+    instrument: Arc<T>,
+    record: fn(&T),
+    body: impl FnOnce(),
+) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let threads: Vec<_> = (0..3)
+        .map(|_| {
+            let instrument = Arc::clone(&instrument);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    record(&instrument);
+                }
+            })
+        })
+        .collect();
+    body();
+    stop.store(true, Ordering::Relaxed);
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+fn bench_record_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics_hotpath");
+
+    // Instruments come out of a registry exactly as instrumented code
+    // gets them: an Arc handle recorded through without further lookups.
+    let registry = Registry::new();
+    let counter = registry.counter("bench.hits", "hot-path counter");
+    let histogram = registry.histogram("bench.lat_us", "hot-path histogram");
+
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc()));
+
+    group.bench_function("histogram_record_ns", |b| {
+        let mut ns = 1u64;
+        b.iter(|| {
+            // Vary the sample so bucket selection isn't branch-predicted
+            // into irrelevance.
+            ns = ns.wrapping_mul(6364136223846793005).wrapping_add(1);
+            histogram.record_ns(ns >> 40);
+        })
+    });
+
+    group.bench_function("histogram_record_duration", |b| {
+        b.iter(|| histogram.record(Duration::from_micros(7)))
+    });
+
+    // Same instruments under three contending writer threads: atomics
+    // share cache lines but never serialize behind a lock.
+    {
+        let counter = Arc::new(Counter::new());
+        let bench_counter = Arc::clone(&counter);
+        with_contenders(
+            counter,
+            |c| c.inc(),
+            || {
+                group.bench_function("counter_inc_contended", |b| b.iter(|| bench_counter.inc()));
+            },
+        );
+    }
+    {
+        let histogram = Arc::new(Histogram::new());
+        let bench_histogram = Arc::clone(&histogram);
+        with_contenders(
+            histogram,
+            |h| h.record_ns(3_000),
+            || {
+                group.bench_function("histogram_record_contended", |b| {
+                    b.iter(|| bench_histogram.record_ns(3_000))
+                });
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_record_path);
+criterion_main!(benches);

@@ -17,7 +17,9 @@ fn bench_lifecycle(c: &mut Criterion) {
     group.sample_size(30);
 
     // Native hypervisor interface.
-    let native = SimHost::builder("t2c-native").latency(LatencyModel::zero()).build();
+    let native = SimHost::builder("t2c-native")
+        .latency(LatencyModel::zero())
+        .build();
     native.define_domain(DomainSpec::new("vm")).unwrap();
     group.bench_function("native", |b| {
         b.iter(|| {
@@ -29,9 +31,13 @@ fn bench_lifecycle(c: &mut Criterion) {
     });
 
     // Local driver (the library, embedded).
-    let local_host = SimHost::builder("t2c-local").latency(LatencyModel::zero()).build();
+    let local_host = SimHost::builder("t2c-local")
+        .latency(LatencyModel::zero())
+        .build();
     let local = Connect::from_driver(EmbeddedConnection::new(local_host, "qemu:///system"));
-    let local_domain = local.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+    let local_domain = local
+        .define_domain(&DomainConfig::new("vm", 512, 1))
+        .unwrap();
     group.bench_function("local_driver", |b| {
         b.iter(|| {
             local_domain.start().unwrap();
@@ -43,10 +49,15 @@ fn bench_lifecycle(c: &mut Criterion) {
 
     // Remote path through the daemon.
     let endpoint = unique("t2c");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let remote = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
-    let remote_domain = remote.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+    let remote_domain = remote
+        .define_domain(&DomainConfig::new("vm", 512, 1))
+        .unwrap();
     group.bench_function("remote_daemon", |b| {
         b.iter(|| {
             remote_domain.start().unwrap();

@@ -16,7 +16,9 @@ use std::time::Instant;
 use virt_bench::unique;
 use virt_core::xmlfmt::{DiskConfig, DomainConfig};
 use virt_core::Connect;
-use virt_rpc::transport::{Listener, TcpSocketListener, TlsSimTransport, Transport, UnixSocketListener};
+use virt_rpc::transport::{
+    Listener, TcpSocketListener, TlsSimTransport, Transport, UnixSocketListener,
+};
 use virtd::Virtd;
 
 const ITERS: u32 = 300;
@@ -46,7 +48,10 @@ impl Transport for BoxTransport {
 impl Listener for TlsListener {
     fn accept(&self) -> std::io::Result<Box<dyn Transport>> {
         let inner = self.0.accept()?;
-        Ok(Box::new(TlsSimTransport::server(BoxTransport(inner), rand::random())?))
+        Ok(Box::new(TlsSimTransport::server(
+            BoxTransport(inner),
+            rand::random(),
+        )?))
     }
     fn local_desc(&self) -> String {
         format!("tls:{}", self.0.local_desc())
@@ -81,7 +86,8 @@ fn measure(conn: &Connect, disks_per_size: &[usize]) -> (f64, Vec<(usize, f64, u
     let mut series = Vec::new();
     for &disks in disks_per_size {
         let name = format!("payload-{disks}");
-        conn.define_domain(&domain_with_disks(&name, disks)).expect("define");
+        conn.define_domain(&domain_with_disks(&name, disks))
+            .expect("define");
         let domain = conn.domain_lookup_by_name(&name).expect("lookup");
         let xml_len = domain.xml_desc().expect("xml").len();
         let start = Instant::now();
@@ -114,7 +120,10 @@ fn main() {
     // memory
     {
         let endpoint = unique("f1-mem");
-        let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+        let daemon = Virtd::builder(&endpoint)
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
         daemon.register_memory_endpoint(&endpoint).unwrap();
         let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
         report("memory", &conn, &disk_counts, &mut csv);
@@ -123,7 +132,10 @@ fn main() {
     }
     // unix
     {
-        let daemon = Virtd::builder(unique("f1-ux")).with_quiet_hosts().build().unwrap();
+        let daemon = Virtd::builder(unique("f1-ux"))
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
         let path = format!("/tmp/{}.sock", unique("f1"));
         daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
         let conn = Connect::open(&format!("qemu+unix:///system?socket={path}")).unwrap();
@@ -134,7 +146,10 @@ fn main() {
     }
     // tcp
     {
-        let daemon = Virtd::builder(unique("f1-tcp")).with_quiet_hosts().build().unwrap();
+        let daemon = Virtd::builder(unique("f1-tcp"))
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
         let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().to_string();
         daemon.serve(Box::new(listener));
@@ -145,7 +160,10 @@ fn main() {
     }
     // tls
     {
-        let daemon = Virtd::builder(unique("f1-tls")).with_quiet_hosts().build().unwrap();
+        let daemon = Virtd::builder(unique("f1-tls"))
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
         let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().to_string();
         daemon.serve(Box::new(TlsListener(listener)));
@@ -165,7 +183,9 @@ fn report(name: &str, conn: &Connect, disk_counts: &[usize], csv: &mut String) {
     print!("{:<8} {:>14.2}", name, noop_us);
     for (disks, per_call, bytes) in &series {
         print!("{:>20.2}", per_call);
-        csv.push_str(&format!("{name},{noop_us:.2},{disks},{per_call:.2},{bytes}\n"));
+        csv.push_str(&format!(
+            "{name},{noop_us:.2},{disks},{per_call:.2},{bytes}\n"
+        ));
     }
     println!();
 }

@@ -25,7 +25,8 @@ fn main() {
     );
     println!("{}", "-".repeat(88));
 
-    let mut csv = String::from("n,define_ms,define_per_us,list_ms,list_per_us,startall_ms,sim_startall_ms\n");
+    let mut csv =
+        String::from("n,define_ms,define_per_us,list_ms,list_per_us,startall_ms,sim_startall_ms\n");
 
     for &n in &counts {
         let endpoint = unique("f2");
@@ -49,7 +50,8 @@ fn main() {
 
         let t = Instant::now();
         for i in 0..n {
-            conn.define_domain(&DomainConfig::new(format!("vm-{i}"), 16, 1)).unwrap();
+            conn.define_domain(&DomainConfig::new(format!("vm-{i}"), 16, 1))
+                .unwrap();
         }
         let define = t.elapsed();
 
@@ -66,7 +68,10 @@ fn main() {
         let sim_start = clock.now();
         let t = Instant::now();
         for i in 0..n {
-            conn.domain_lookup_by_name(&format!("vm-{i}")).unwrap().start().unwrap();
+            conn.domain_lookup_by_name(&format!("vm-{i}"))
+                .unwrap()
+                .start()
+                .unwrap();
         }
         let start_all = t.elapsed();
         let sim_elapsed = clock.now().duration_since(sim_start);

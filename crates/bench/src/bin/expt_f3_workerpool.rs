@@ -39,7 +39,8 @@ fn throughput(uri: &str, clients: usize) -> f64 {
             std::thread::spawn(move || {
                 let conn = Connect::open(&uri).expect("connect");
                 let name = format!("tp-{i}");
-                conn.define_domain(&DomainConfig::new(&name, 16, 1)).expect("define");
+                conn.define_domain(&DomainConfig::new(&name, 16, 1))
+                    .expect("define");
                 let domain = conn.domain_lookup_by_name(&name).expect("lookup");
                 while stop.load(Ordering::Relaxed) == 0 {
                     domain.start().expect("start");
@@ -71,8 +72,14 @@ fn main() {
     println!();
     println!("{}", "-".repeat(12 + 14 * client_counts.len()));
 
-    let mut csv = String::from("max_workers,clients,ops_per_s\n");
+    let mut csv = String::from("max_workers,clients,ops_per_s,mean_wait_us\n");
+    // Daemon-side pool wait-time means per cell, printed as a second
+    // table next to the client-side throughput; the hottest cell's full
+    // histogram follows.
+    let mut wait_means: Vec<Vec<Option<f64>>> = Vec::new();
+    let mut last_histogram: Option<virtd::adminproto::WireMetric> = None;
     for &workers in &worker_caps {
+        let mut wait_row = Vec::new();
         print!("{:>12}", workers);
         for &clients in &client_counts {
             let endpoint = unique("f3");
@@ -87,15 +94,11 @@ fn main() {
                 .wall_time_scale(1e-3)
                 .build();
             let daemon = Virtd::builder(&endpoint)
-                .config(
-                    VirtdConfig::new()
-                        .max_clients(256)
-                        .pool_limits(PoolLimits {
-                            min_workers: workers.min(2),
-                            max_workers: workers,
-                            priority_workers: 2,
-                        }),
-                )
+                .config(VirtdConfig::new().max_clients(256).pool_limits(PoolLimits {
+                    min_workers: workers.min(2),
+                    max_workers: workers,
+                    priority_workers: 2,
+                }))
                 .host(host)
                 .build()
                 .unwrap();
@@ -103,10 +106,64 @@ fn main() {
             let uri = format!("qemu+memory://{endpoint}/system");
             let ops_per_s = throughput(&uri, clients);
             print!("{:>14.0}", ops_per_s);
-            csv.push_str(&format!("{workers},{clients},{ops_per_s:.0}\n"));
+
+            // Read back this cell's daemon-side wait-time histogram: the
+            // queue delay every job saw before a worker picked it up.
+            let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
+            let wait = admin
+                .metrics("pool.virtd.wait_us")
+                .ok()
+                .and_then(|m| m.into_iter().next());
+            let mean_us = wait.as_ref().and_then(|w| {
+                (w.hist_count > 0).then(|| w.hist_sum_ns as f64 / 1_000.0 / w.hist_count as f64)
+            });
+            admin.close();
+            if let Some(w) = wait {
+                last_histogram = Some(w);
+            }
+            wait_row.push(mean_us);
+
+            csv.push_str(&format!(
+                "{workers},{clients},{ops_per_s:.0},{}\n",
+                mean_us.map_or_else(|| "-".to_string(), |m| format!("{m:.1}"))
+            ));
             daemon.shutdown();
         }
+        wait_means.push(wait_row);
         println!();
+    }
+
+    println!("\nF3 (daemon side): mean pool wait per job (us), from pool.virtd.wait_us");
+    print!("{:>12}", "maxWorkers");
+    for c in client_counts {
+        print!("{:>14}", format!("{c} clients"));
+    }
+    println!();
+    println!("{}", "-".repeat(12 + 14 * client_counts.len()));
+    for (row, &workers) in wait_means.iter().zip(&worker_caps) {
+        print!("{:>12}", workers);
+        for mean in row {
+            match mean {
+                Some(m) => print!("{:>14.1}", m),
+                None => print!("{:>14}", "-"),
+            }
+        }
+        println!();
+    }
+
+    if let Some(wait) = &last_histogram {
+        println!(
+            "\n  wait-time histogram of the last cell ({} samples, us buckets):",
+            wait.hist_count
+        );
+        for (i, count) in wait.hist_buckets.iter().enumerate() {
+            if *count == 0 {
+                continue;
+            }
+            let upper = virt_core::metrics::bucket_upper_bound_us(i)
+                .map_or_else(|| "+Inf".to_string(), |u| u.to_string());
+            println!("    le {upper:>10} us  {count}");
+        }
     }
 
     // ---- F3b: priority workers keep control queries alive ---------------
@@ -118,7 +175,11 @@ fn main() {
         .personality(QemuLike)
         .latency(LatencyModel::zero())
         .wall_time_scale(1e-3)
-        .faults(FaultPlan::new().inject(OpKind::Start, 1, FaultAction::Hang(Duration::from_secs(400))))
+        .faults(FaultPlan::new().inject(
+            OpKind::Start,
+            1,
+            FaultAction::Hang(Duration::from_secs(400)),
+        ))
         .build();
     let daemon = Virtd::builder(&endpoint)
         .host(host)
@@ -134,8 +195,10 @@ fn main() {
     let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
 
     let conn = Connect::open(&uri).unwrap();
-    conn.define_domain(&DomainConfig::new("wedge", 16, 1)).unwrap();
-    conn.define_domain(&DomainConfig::new("queued", 16, 1)).unwrap();
+    conn.define_domain(&DomainConfig::new("wedge", 16, 1))
+        .unwrap();
+    conn.define_domain(&DomainConfig::new("queued", 16, 1))
+        .unwrap();
 
     // Wedge the only ordinary worker. A hang of simulated time costs no
     // wall time, so make the worker *actually* busy by stacking many

@@ -22,9 +22,17 @@ use virtd::Virtd;
 fn daemon_pair(clock: &SimClock) -> (Virtd, Virtd, Connect, Connect) {
     let a = unique("f4-src");
     let b = unique("f4-dst");
-    let src = Virtd::builder(&a).clock(clock.clone()).with_quiet_hosts().build().unwrap();
+    let src = Virtd::builder(&a)
+        .clock(clock.clone())
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     src.register_memory_endpoint(&a).unwrap();
-    let dst = Virtd::builder(&b).clock(clock.clone()).with_quiet_hosts().build().unwrap();
+    let dst = Virtd::builder(&b)
+        .clock(clock.clone())
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     dst.register_memory_endpoint(&b).unwrap();
     let src_conn = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
     let dst_conn = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
@@ -37,7 +45,9 @@ fn main() {
         max_downtime_ms: 300,
         max_iterations: 30,
     };
-    let mut csv = String::from("sweep,memory_mib,dirty_mib_s,total_ms,downtime_ms,iterations,transferred_mib,converged\n");
+    let mut csv = String::from(
+        "sweep,memory_mib,dirty_mib_s,total_ms,downtime_ms,iterations,transferred_mib,converged\n",
+    );
 
     println!("F4a: migration vs guest memory (dirty 100 MiB/s, link 1024 MiB/s, budget 300 ms)");
     println!(
@@ -64,7 +74,11 @@ fn main() {
         );
         csv.push_str(&format!(
             "memory,{memory},100,{},{},{},{},{}\n",
-            report.total_ms, report.downtime_ms, report.iterations, report.transferred_mib, report.converged
+            report.total_ms,
+            report.downtime_ms,
+            report.iterations,
+            report.transferred_mib,
+            report.converged
         ));
         src.close();
         dst.close();
@@ -97,7 +111,11 @@ fn main() {
         );
         csv.push_str(&format!(
             "dirty,4096,{dirty},{},{},{},{},{}\n",
-            report.total_ms, report.downtime_ms, report.iterations, report.transferred_mib, report.converged
+            report.total_ms,
+            report.downtime_ms,
+            report.iterations,
+            report.transferred_mib,
+            report.converged
         ));
         src.close();
         dst.close();

@@ -18,14 +18,23 @@ fn main() {
     println!("T1: driver/feature matrix (one API, heterogeneous platforms)");
     println!(
         "{:<10} {:<10} {:<11} {:>9} {:>10} {:>9} {:>12} {:>9} {:>15}",
-        "driver", "kind", "management", "maxvcpus", "migration", "save", "snapshots", "hotplug", "daemon-needed"
+        "driver",
+        "kind",
+        "management",
+        "maxvcpus",
+        "migration",
+        "save",
+        "snapshots",
+        "hotplug",
+        "daemon-needed"
     );
     println!("{}", "-".repeat(102));
 
     for host in [qemu, xen, lxc, esx] {
         let scheme = host.personality().name().to_string();
         let stateless = host.personality().hypervisor_persists_state();
-        let conn = Connect::from_driver(EmbeddedConnection::new(host, format!("{scheme}:///system")));
+        let conn =
+            Connect::from_driver(EmbeddedConnection::new(host, format!("{scheme}:///system")));
         let caps = conn.capabilities().expect("capabilities");
         let yn = |b: bool| if b { "yes" } else { "no" };
         println!(
@@ -42,6 +51,8 @@ fn main() {
         );
     }
     println!();
-    println!("stateless = hypervisor persists its own state, managed directly by the client library");
+    println!(
+        "stateless = hypervisor persists its own state, managed directly by the client library"
+    );
     println!("stateful  = managed through the virtd daemon (hypervisor has no remote management)");
 }

@@ -16,12 +16,12 @@
 
 use std::time::{Duration, Instant};
 
-use hypersim::{DomainSpec, LatencyModel, MiB, OpKind, SimClock, SimHost};
 use hypersim::personality::{LxcLike, Personality, QemuLike, XenLike};
+use hypersim::{DomainSpec, LatencyModel, MiB, OpKind, SimClock, SimHost};
 use virt_bench::unique;
+use virt_core::drivers::embedded::EmbeddedConnection;
 use virt_core::xmlfmt::DomainConfig;
 use virt_core::{Connect, Domain};
-use virt_core::drivers::embedded::EmbeddedConnection;
 use virtd::Virtd;
 
 const ITERS: u32 = 200;
@@ -74,22 +74,35 @@ fn main() {
     let qemu_sim = sim_cycle(&QemuLike);
 
     // Path 1: native hypervisor interface.
-    let native_host = SimHost::builder("t2-native").latency(LatencyModel::zero()).build();
-    native_host.define_domain(DomainSpec::new("vm").memory_mib(512)).unwrap();
+    let native_host = SimHost::builder("t2-native")
+        .latency(LatencyModel::zero())
+        .build();
+    native_host
+        .define_domain(DomainSpec::new("vm").memory_mib(512))
+        .unwrap();
     let native = wall(ITERS, || native_cycle(&native_host, "vm"));
 
     // Path 2: the management API over an embedded driver.
-    let local_host = SimHost::builder("t2-local").latency(LatencyModel::zero()).build();
+    let local_host = SimHost::builder("t2-local")
+        .latency(LatencyModel::zero())
+        .build();
     let local_conn = Connect::from_driver(EmbeddedConnection::new(local_host, "qemu:///system"));
-    let local_domain = local_conn.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+    let local_domain = local_conn
+        .define_domain(&DomainConfig::new("vm", 512, 1))
+        .unwrap();
     let local = wall(ITERS, || api_cycle(&local_domain));
 
     // Path 3: through the daemon over the in-memory transport.
     let endpoint = unique("t2");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let remote_conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
-    let remote_domain = remote_conn.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+    let remote_domain = remote_conn
+        .define_domain(&DomainConfig::new("vm", 512, 1))
+        .unwrap();
     let remote = wall(ITERS, || api_cycle(&remote_domain));
 
     let row = |path: &str, d: Duration| {
@@ -112,10 +125,22 @@ fn main() {
         println!(
             "    {:<6} start={:>8} suspend={:>6} resume={:>6} destroy={:>7} (ms, 512 MiB guest)",
             p.name(),
-            format!("{:.1}", simulated_cost(p, OpKind::Start, MiB(512)).as_secs_f64() * 1e3),
-            format!("{:.1}", simulated_cost(p, OpKind::Suspend, MiB(0)).as_secs_f64() * 1e3),
-            format!("{:.1}", simulated_cost(p, OpKind::Resume, MiB(0)).as_secs_f64() * 1e3),
-            format!("{:.1}", simulated_cost(p, OpKind::Destroy, MiB(0)).as_secs_f64() * 1e3),
+            format!(
+                "{:.1}",
+                simulated_cost(p, OpKind::Start, MiB(512)).as_secs_f64() * 1e3
+            ),
+            format!(
+                "{:.1}",
+                simulated_cost(p, OpKind::Suspend, MiB(0)).as_secs_f64() * 1e3
+            ),
+            format!(
+                "{:.1}",
+                simulated_cost(p, OpKind::Resume, MiB(0)).as_secs_f64() * 1e3
+            ),
+            format!(
+                "{:.1}",
+                simulated_cost(p, OpKind::Destroy, MiB(0)).as_secs_f64() * 1e3
+            ),
         );
     }
     println!();

@@ -87,7 +87,11 @@ fn main() {
     let endpoint = unique("t3-qemu");
     let daemon = Virtd::builder(&endpoint)
         .clock(qemu_clock.clone())
-        .host(host_with(hypersim::personality::QemuLike, "t3-qemu-host", &qemu_clock))
+        .host(host_with(
+            hypersim::personality::QemuLike,
+            "t3-qemu-host",
+            &qemu_clock,
+        ))
         .build()
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
@@ -117,7 +121,11 @@ fn main() {
             row.name,
             esx_ms,
             qemu_ms,
-            if qemu_ms > 0.0 { esx_ms / qemu_ms } else { f64::INFINITY }
+            if qemu_ms > 0.0 {
+                esx_ms / qemu_ms
+            } else {
+                f64::INFINITY
+            }
         );
         csv.push_str(&format!("{},{esx_ms:.3},{qemu_ms:.3}\n", row.name));
     }

@@ -75,9 +75,8 @@ fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
         return Ok(());
     }
 
-    let socket = socket.ok_or_else(|| {
-        invalid("no admin socket: pass -s PATH or set VIRT_ADMIN_SOCKET")
-    })?;
+    let socket =
+        socket.ok_or_else(|| invalid("no admin socket: pass -s PATH or set VIRT_ADMIN_SOCKET"))?;
     let transport = UnixTransport::connect(&socket)
         .map_err(|e| VirtError::new(ErrorCode::NoConnect, format!("'{socket}': {e}")))?;
     let admin = AdminClient::new(transport);
@@ -86,7 +85,12 @@ fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
     result
 }
 
-fn execute(admin: &AdminClient, command: &str, args: &[&str], out: &mut dyn Write) -> VirtResult<()> {
+fn execute(
+    admin: &AdminClient,
+    command: &str,
+    args: &[&str],
+    out: &mut dyn Write,
+) -> VirtResult<()> {
     match command {
         "srv-list" => {
             w(out, &format!(" {:<4} {}", "Id", "Name"));
@@ -100,10 +104,22 @@ fn execute(admin: &AdminClient, command: &str, args: &[&str], out: &mut dyn Writ
             let stats = admin.threadpool_info(server)?;
             w(out, &format!("{:<16}: {}", "minWorkers", stats.min_workers));
             w(out, &format!("{:<16}: {}", "maxWorkers", stats.max_workers));
-            w(out, &format!("{:<16}: {}", "nWorkers", stats.current_workers));
-            w(out, &format!("{:<16}: {}", "freeWorkers", stats.free_workers));
-            w(out, &format!("{:<16}: {}", "prioWorkers", stats.priority_workers));
-            w(out, &format!("{:<16}: {}", "jobQueueDepth", stats.job_queue_depth));
+            w(
+                out,
+                &format!("{:<16}: {}", "nWorkers", stats.current_workers),
+            );
+            w(
+                out,
+                &format!("{:<16}: {}", "freeWorkers", stats.free_workers),
+            );
+            w(
+                out,
+                &format!("{:<16}: {}", "prioWorkers", stats.priority_workers),
+            );
+            w(
+                out,
+                &format!("{:<16}: {}", "jobQueueDepth", stats.job_queue_depth),
+            );
         }
         "srv-threadpool-set" => {
             let server = arg(args, 0, "server name")?;
@@ -146,14 +162,27 @@ fn execute(admin: &AdminClient, command: &str, args: &[&str], out: &mut dyn Writ
         }
         "client-list" => {
             let server = arg(args, 0, "server name")?;
-            w(out, &format!(" {:<5} {:<10} {:<22} {}", "Id", "Transport", "Peer", "Connected since (epoch s)"));
-            w(out, "------------------------------------------------------------------");
+            w(
+                out,
+                &format!(
+                    " {:<5} {:<10} {:<22} {:<26} {}",
+                    "Id", "Transport", "Peer", "Connected since (epoch s)", "Session (s)"
+                ),
+            );
+            w(
+                out,
+                "--------------------------------------------------------------------------------",
+            );
             for client in admin.client_list(server)? {
                 w(
                     out,
                     &format!(
-                        " {:<5} {:<10} {:<22} {}",
-                        client.id, client.transport, client.peer, client.connected_secs
+                        " {:<5} {:<10} {:<22} {:<26} {}",
+                        client.id,
+                        client.transport,
+                        client.peer,
+                        client.connected_secs,
+                        client.session_secs
                     ),
                 );
             }
@@ -167,7 +196,14 @@ fn execute(admin: &AdminClient, command: &str, args: &[&str], out: &mut dyn Writ
             w(out, &format!("{:<16}: {}", "Id", info.id));
             w(out, &format!("{:<16}: {}", "Transport", info.transport));
             w(out, &format!("{:<16}: {}", "Peer", info.peer));
-            w(out, &format!("{:<16}: {}", "Connected since", info.connected_secs));
+            w(
+                out,
+                &format!("{:<16}: {}", "Connected since", info.connected_secs),
+            );
+            w(
+                out,
+                &format!("{:<16}: {} s", "Session age", info.session_secs),
+            );
         }
         "client-disconnect" => {
             let server = arg(args, 0, "server name")?;
@@ -176,6 +212,25 @@ fn execute(admin: &AdminClient, command: &str, args: &[&str], out: &mut dyn Writ
                 .map_err(|_| invalid("client id must be a number"))?;
             admin.client_disconnect(server, id)?;
             w(out, &format!("Client {id} disconnected from '{server}'"));
+        }
+        "metrics" => {
+            let prometheus = args.contains(&"--prometheus");
+            let prefix = args
+                .iter()
+                .find(|a| !a.starts_with("--"))
+                .copied()
+                .unwrap_or("");
+            let snapshots: Vec<virt_core::metrics::MetricSnapshot> =
+                admin.metrics(prefix)?.into_iter().map(Into::into).collect();
+            if prometheus {
+                let _ = write!(
+                    out,
+                    "{}",
+                    virt_core::metrics::prometheus::prometheus_text(&snapshots)
+                );
+            } else {
+                print_metrics(out, &snapshots);
+            }
         }
         "dmn-log-info" => {
             let (level, filters, outputs) = admin.log_info()?;
@@ -199,13 +254,45 @@ fn execute(admin: &AdminClient, command: &str, args: &[&str], out: &mut dyn Writ
                 did_something = true;
             }
             if !did_something {
-                return Err(invalid("nothing to define; pass --level/--filters/--outputs"));
+                return Err(invalid(
+                    "nothing to define; pass --level/--filters/--outputs",
+                ));
             }
             w(out, "Logging settings updated");
         }
         other => return Err(invalid(&format!("unknown command '{other}'; try 'help'"))),
     }
     Ok(())
+}
+
+/// Human-readable metric table: one line per counter/gauge; histograms
+/// show count and mean, with a per-bucket breakdown (µs upper bounds)
+/// when they have samples.
+fn print_metrics(out: &mut dyn Write, snapshots: &[virt_core::metrics::MetricSnapshot]) {
+    use virt_core::metrics::{bucket_upper_bound_us, MetricValue};
+    for snapshot in snapshots {
+        match &snapshot.value {
+            MetricValue::Counter(v) => w(out, &format!("{:<40} {v}", snapshot.name)),
+            MetricValue::Gauge(v) => w(out, &format!("{:<40} {v}", snapshot.name)),
+            MetricValue::Histogram(h) => {
+                let mean = h
+                    .mean_us()
+                    .map_or_else(|| "-".to_string(), |m| format!("{m:.1} us"));
+                w(
+                    out,
+                    &format!("{:<40} count={} mean={mean}", snapshot.name, h.count),
+                );
+                for (i, bucket) in h.buckets.iter().enumerate() {
+                    if *bucket == 0 {
+                        continue;
+                    }
+                    let upper = bucket_upper_bound_us(i)
+                        .map_or_else(|| "+Inf".to_string(), |u| u.to_string());
+                    w(out, &format!("    le {upper:>10} us  {bucket}"));
+                }
+            }
+        }
+    }
 }
 
 fn print_help(out: &mut dyn Write) {
@@ -220,11 +307,18 @@ fn print_help(out: &mut dyn Write) {
     w(out, "  client-list <server>");
     w(out, "  client-info <server> <id>");
     w(out, "  dmn-log-info");
+    w(out, "  metrics [--prometheus] [prefix]");
     w(out, "Management:");
-    w(out, "  srv-threadpool-set <server> [--min-workers N] [--max-workers N] [--prio-workers N]");
+    w(
+        out,
+        "  srv-threadpool-set <server> [--min-workers N] [--max-workers N] [--prio-workers N]",
+    );
     w(out, "  srv-clients-set <server> --max-clients N");
     w(out, "  client-disconnect <server> <id>");
-    w(out, "  dmn-log-define [--level 1-4] [--filters \"L:mod ...\"] [--outputs \"L:kind ...\"]");
+    w(
+        out,
+        "  dmn-log-define [--level 1-4] [--filters \"L:mod ...\"] [--outputs \"L:kind ...\"]",
+    );
 }
 
 #[cfg(test)]
@@ -236,12 +330,19 @@ mod tests {
 
     fn unique(name: &str) -> String {
         static N: AtomicU64 = AtomicU64::new(0);
-        format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+        format!(
+            "{name}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        )
     }
 
     /// Spins a daemon with a unix admin socket and runs a vadm line.
     fn run_against_daemon(commands: &[&str]) -> Vec<(i32, String)> {
-        let daemon = Virtd::builder(unique("vadm")).with_quiet_hosts().build().unwrap();
+        let daemon = Virtd::builder(unique("vadm"))
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
         let path = format!("/tmp/{}.sock", unique("vadm-admin"));
         daemon.serve_admin(Box::new(UnixSocketListener::bind(&path).unwrap()));
 
@@ -359,5 +460,105 @@ mod tests {
         let results = run_against_daemon(&["frobnicate"]);
         assert_eq!(results[0].0, 1);
         assert!(results[0].1.contains("unknown command"));
+    }
+
+    #[test]
+    fn metrics_shows_all_daemon_layers() {
+        // srv-list first so the admin server has dispatched at least one
+        // RPC before metrics are read.
+        let results = run_against_daemon(&["srv-list", "metrics"]);
+        assert_eq!(results[1].0, 0, "{}", results[1].1);
+        let text = &results[1].1;
+        // Per-procedure RPC latency histograms.
+        assert!(text.contains("rpc.proc.1.latency_us"), "{text}");
+        // Worker-pool wait/queue stats for both servers.
+        assert!(text.contains("pool.virtd.wait_us"), "{text}");
+        assert!(text.contains("pool.admin.queue_depth"), "{text}");
+        // Transport byte counters.
+        assert!(text.contains("server.virtd.bytes_in"), "{text}");
+        assert!(text.contains("server.admin.bytes_out"), "{text}");
+        // Driver lifecycle timings.
+        assert!(text.contains("driver.qemu.create_us"), "{text}");
+    }
+
+    #[test]
+    fn metrics_prefix_filters() {
+        let results = run_against_daemon(&["metrics pool."]);
+        assert_eq!(results[0].0, 0, "{}", results[0].1);
+        assert!(results[0].1.contains("pool.virtd.wait_us"));
+        assert!(!results[0].1.contains("rpc.calls"));
+    }
+
+    /// Minimal validating parser for the Prometheus text exposition
+    /// format (0.0.4): every non-comment line must be
+    /// `name[{labels}] value`, every `# TYPE` must precede its samples,
+    /// and names must match `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+    fn assert_valid_prometheus(text: &str) {
+        fn valid_name(name: &str) -> bool {
+            let mut chars = name.chars();
+            match chars.next() {
+                Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+                _ => return false,
+            }
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }
+        let mut sample_count = 0usize;
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix("# ") {
+                let mut parts = comment.splitn(3, ' ');
+                let keyword = parts.next().unwrap();
+                assert!(
+                    keyword == "HELP" || keyword == "TYPE",
+                    "bad comment keyword in {line:?}"
+                );
+                let name = parts.next().expect("comment names a metric");
+                assert!(valid_name(name), "bad metric name in {line:?}");
+                if keyword == "TYPE" {
+                    let kind = parts.next().expect("TYPE has a kind");
+                    assert!(
+                        ["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind),
+                        "bad TYPE kind in {line:?}"
+                    );
+                }
+                continue;
+            }
+            // Sample line: name[{labels}] value
+            let (name_part, value) = line.rsplit_once(' ').expect("sample has a value");
+            let name = match name_part.split_once('{') {
+                Some((bare, labels)) => {
+                    assert!(labels.ends_with('}'), "unclosed labels in {line:?}");
+                    bare
+                }
+                None => name_part,
+            };
+            assert!(valid_name(name), "bad sample name in {line:?}");
+            assert!(value.parse::<f64>().is_ok(), "bad sample value in {line:?}");
+            sample_count += 1;
+        }
+        assert!(sample_count > 0, "exposition has no samples");
+    }
+
+    #[test]
+    fn metrics_prometheus_output_is_valid_exposition() {
+        let results = run_against_daemon(&["metrics --prometheus"]);
+        assert_eq!(results[0].0, 0, "{}", results[0].1);
+        let text = &results[0].1;
+        assert_valid_prometheus(text);
+        assert!(text.contains("# TYPE rpc_calls counter"), "{text}");
+        assert!(
+            text.contains("# TYPE pool_virtd_wait_us histogram"),
+            "{text}"
+        );
+        assert!(text.contains("le=\"+Inf\""), "{text}");
+    }
+
+    #[test]
+    fn client_list_reports_monotonic_session_age() {
+        let results = run_against_daemon(&["client-list admin"]);
+        assert_eq!(results[0].0, 0);
+        assert!(results[0].1.contains("Session (s)"));
     }
 }

@@ -35,7 +35,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> i32 {
 }
 
 fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
-    let mut uri = std::env::var("VIRT_DEFAULT_URI").unwrap_or_else(|_| "test:///default".to_string());
+    let mut uri =
+        std::env::var("VIRT_DEFAULT_URI").unwrap_or_else(|_| "test:///default".to_string());
     let mut rest: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -73,7 +74,8 @@ fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
 /// Returns the connection URI when the argument list carries no command
 /// (only `-c URI` at most) — the binary then enters the interactive shell.
 pub fn shell_uri(args: &[String]) -> Option<String> {
-    let mut uri = std::env::var("VIRT_DEFAULT_URI").unwrap_or_else(|_| "test:///default".to_string());
+    let mut uri =
+        std::env::var("VIRT_DEFAULT_URI").unwrap_or_else(|_| "test:///default".to_string());
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -94,7 +96,11 @@ pub fn shell_uri(args: &[String]) -> Option<String> {
 /// # Errors
 ///
 /// Only connection-establishment failures; per-command errors are printed.
-pub fn run_shell(uri: &str, input: &mut dyn std::io::BufRead, out: &mut dyn Write) -> VirtResult<()> {
+pub fn run_shell(
+    uri: &str,
+    input: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+) -> VirtResult<()> {
     let conn = Connect::open(uri)?;
     w(out, &format!("Welcome to vsh, connected to {}", conn.uri()));
     w(out, "Type 'help' for commands, 'exit' to leave.");
@@ -146,8 +152,7 @@ fn read_xml_arg(value: &str) -> VirtResult<String> {
     if value.trim_start().starts_with('<') {
         Ok(value.to_string())
     } else {
-        std::fs::read_to_string(value)
-            .map_err(|e| invalid(&format!("cannot read '{value}': {e}")))
+        std::fs::read_to_string(value).map_err(|e| invalid(&format!("cannot read '{value}': {e}")))
     }
 }
 
@@ -160,10 +165,22 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             w(out, &format!("{:<20} {}", "Hostname:", info.hostname));
             w(out, &format!("{:<20} {}", "Hypervisor:", info.hypervisor));
             w(out, &format!("{:<20} {}", "CPU(s):", info.cpus));
-            w(out, &format!("{:<20} {} MiB", "Memory size:", info.memory_mib));
-            w(out, &format!("{:<20} {} MiB", "Free memory:", info.free_memory_mib));
-            w(out, &format!("{:<20} {}", "Active domains:", info.active_domains));
-            w(out, &format!("{:<20} {}", "Inactive domains:", info.inactive_domains));
+            w(
+                out,
+                &format!("{:<20} {} MiB", "Memory size:", info.memory_mib),
+            );
+            w(
+                out,
+                &format!("{:<20} {} MiB", "Free memory:", info.free_memory_mib),
+            );
+            w(
+                out,
+                &format!("{:<20} {}", "Active domains:", info.active_domains),
+            );
+            w(
+                out,
+                &format!("{:<20} {}", "Inactive domains:", info.inactive_domains),
+            );
         }
         "capabilities" => {
             let caps = conn.capabilities()?;
@@ -178,8 +195,14 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                 if !all && !info.state.is_active() {
                     continue;
                 }
-                let id = info.id.map(|i| i.to_string()).unwrap_or_else(|| "-".to_string());
-                w(out, &format!(" {:<5} {:<20} {:<10}", id, info.name, info.state));
+                let id = info
+                    .id
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "-".to_string());
+                w(
+                    out,
+                    &format!(" {:<5} {:<20} {:<10}", id, info.name, info.state),
+                );
             }
         }
         "define" => {
@@ -190,7 +213,10 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
         "create" => {
             let xml = read_xml_arg(arg(args, 0, "xml file or inline xml")?)?;
             let domain = conn.create_domain_xml(&xml)?;
-            w(out, &format!("Domain '{}' created and started", domain.name()));
+            w(
+                out,
+                &format!("Domain '{}' created and started", domain.name()),
+            );
         }
         "start" | "shutdown" | "reboot" | "destroy" | "suspend" | "resume" | "undefine"
         | "managedsave" | "restore" => {
@@ -212,18 +238,48 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
         "dominfo" => {
             let name = arg(args, 0, "domain name")?;
             let info = conn.domain_lookup_by_name(name)?.info()?;
-            let id = info.id.map(|i| i.to_string()).unwrap_or_else(|| "-".to_string());
+            let id = info
+                .id
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".to_string());
             w(out, &format!("{:<16} {}", "Id:", id));
             w(out, &format!("{:<16} {}", "Name:", info.name));
             w(out, &format!("{:<16} {}", "UUID:", info.uuid));
             w(out, &format!("{:<16} {}", "State:", info.state));
             w(out, &format!("{:<16} {}", "CPU(s):", info.vcpus));
             w(out, &format!("{:<16} {} MiB", "Memory:", info.memory_mib));
-            w(out, &format!("{:<16} {} MiB", "Max memory:", info.max_memory_mib));
-            w(out, &format!("{:<16} {}", "Persistent:", if info.persistent { "yes" } else { "no" }));
-            w(out, &format!("{:<16} {}", "Autostart:", if info.autostart { "enable" } else { "disable" }));
-            w(out, &format!("{:<16} {}", "Managed save:", if info.has_managed_save { "yes" } else { "no" }));
-            w(out, &format!("{:<16} {:.1}s", "CPU time:", info.cpu_time_ns as f64 / 1e9));
+            w(
+                out,
+                &format!("{:<16} {} MiB", "Max memory:", info.max_memory_mib),
+            );
+            w(
+                out,
+                &format!(
+                    "{:<16} {}",
+                    "Persistent:",
+                    if info.persistent { "yes" } else { "no" }
+                ),
+            );
+            w(
+                out,
+                &format!(
+                    "{:<16} {}",
+                    "Autostart:",
+                    if info.autostart { "enable" } else { "disable" }
+                ),
+            );
+            w(
+                out,
+                &format!(
+                    "{:<16} {}",
+                    "Managed save:",
+                    if info.has_managed_save { "yes" } else { "no" }
+                ),
+            );
+            w(
+                out,
+                &format!("{:<16} {:.1}s", "CPU time:", info.cpu_time_ns as f64 / 1e9),
+            );
         }
         "domstate" => {
             let name = arg(args, 0, "domain name")?;
@@ -255,7 +311,13 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             let name = arg(args, 0, "domain name")?;
             let disable = args.contains(&"--disable");
             conn.domain_lookup_by_name(name)?.set_autostart(!disable)?;
-            w(out, &format!("Domain '{name}' autostart {}", if disable { "disabled" } else { "enabled" }));
+            w(
+                out,
+                &format!(
+                    "Domain '{name}' autostart {}",
+                    if disable { "disabled" } else { "enabled" }
+                ),
+            );
         }
         "snapshot-create" => {
             let name = arg(args, 0, "domain name")?;
@@ -273,7 +335,10 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             let name = arg(args, 0, "domain name")?;
             let snap = arg(args, 1, "snapshot name")?;
             conn.domain_lookup_by_name(name)?.snapshot_revert(snap)?;
-            w(out, &format!("Domain '{name}' reverted to snapshot '{snap}'"));
+            w(
+                out,
+                &format!("Domain '{name}' reverted to snapshot '{snap}'"),
+            );
         }
         "snapshot-delete" => {
             let name = arg(args, 0, "domain name")?;
@@ -302,12 +367,18 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             );
         }
         "pool-list" => {
-            w(out, &format!(" {:<20} {:<10} {:<10}", "Name", "State", "Backend"));
+            w(
+                out,
+                &format!(" {:<20} {:<10} {:<10}", "Name", "State", "Backend"),
+            );
             w(out, "--------------------------------------------");
             for name in conn.list_storage_pools()? {
                 let info = conn.storage_pool_lookup_by_name(&name)?.info()?;
                 let state = if info.active { "active" } else { "inactive" };
-                w(out, &format!(" {:<20} {:<10} {:<10}", info.name, state, info.backend));
+                w(
+                    out,
+                    &format!(" {:<20} {:<10} {:<10}", info.name, state, info.backend),
+                );
             }
         }
         "pool-info" => {
@@ -316,9 +387,22 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             w(out, &format!("{:<16} {}", "Name:", info.name));
             w(out, &format!("{:<16} {}", "UUID:", info.uuid));
             w(out, &format!("{:<16} {}", "Backend:", info.backend));
-            w(out, &format!("{:<16} {}", "State:", if info.active { "running" } else { "inactive" }));
-            w(out, &format!("{:<16} {} MiB", "Capacity:", info.capacity_mib));
-            w(out, &format!("{:<16} {} MiB", "Allocation:", info.allocation_mib));
+            w(
+                out,
+                &format!(
+                    "{:<16} {}",
+                    "State:",
+                    if info.active { "running" } else { "inactive" }
+                ),
+            );
+            w(
+                out,
+                &format!("{:<16} {} MiB", "Capacity:", info.capacity_mib),
+            );
+            w(
+                out,
+                &format!("{:<16} {} MiB", "Allocation:", info.allocation_mib),
+            );
             w(out, &format!("{:<16} {}", "Volumes:", info.volume_count));
         }
         "pool-define" => {
@@ -345,7 +429,9 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
         "vol-create" => {
             let pool = arg(args, 0, "pool name")?;
             let xml = read_xml_arg(arg(args, 1, "xml file or inline xml")?)?;
-            let vol = conn.storage_pool_lookup_by_name(pool)?.create_volume_xml(&xml)?;
+            let vol = conn
+                .storage_pool_lookup_by_name(pool)?
+                .create_volume_xml(&xml)?;
             w(out, &format!("Volume '{}' created", vol.name()));
         }
         "vol-info" => {
@@ -358,8 +444,14 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             w(out, &format!("{:<16} {}", "Name:", info.name));
             w(out, &format!("{:<16} {}", "Pool:", info.pool));
             w(out, &format!("{:<16} {}", "Format:", info.format));
-            w(out, &format!("{:<16} {} MiB", "Capacity:", info.capacity_mib));
-            w(out, &format!("{:<16} {} MiB", "Allocation:", info.allocation_mib));
+            w(
+                out,
+                &format!("{:<16} {} MiB", "Capacity:", info.capacity_mib),
+            );
+            w(
+                out,
+                &format!("{:<16} {} MiB", "Allocation:", info.allocation_mib),
+            );
             w(out, &format!("{:<16} {}", "Path:", info.path));
         }
         "vol-delete" => {
@@ -385,16 +477,23 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             let pool = arg(args, 0, "pool name")?;
             let source = arg(args, 1, "source volume")?;
             let new_name = arg(args, 2, "new volume name")?;
-            conn.storage_pool_lookup_by_name(pool)?.clone_volume(source, new_name)?;
+            conn.storage_pool_lookup_by_name(pool)?
+                .clone_volume(source, new_name)?;
             w(out, &format!("Volume '{source}' cloned to '{new_name}'"));
         }
         "net-list" => {
-            w(out, &format!(" {:<20} {:<10} {:<10}", "Name", "State", "Forward"));
+            w(
+                out,
+                &format!(" {:<20} {:<10} {:<10}", "Name", "State", "Forward"),
+            );
             w(out, "--------------------------------------------");
             for name in conn.list_networks()? {
                 let info = conn.network_lookup_by_name(&name)?.info()?;
                 let state = if info.active { "active" } else { "inactive" };
-                w(out, &format!(" {:<20} {:<10} {:<10}", info.name, state, info.forward));
+                w(
+                    out,
+                    &format!(" {:<20} {:<10} {:<10}", info.name, state, info.forward),
+                );
             }
         }
         "net-info" => {
@@ -404,7 +503,14 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             w(out, &format!("{:<16} {}", "UUID:", info.uuid));
             w(out, &format!("{:<16} {}", "Bridge:", info.bridge));
             w(out, &format!("{:<16} {}", "Forward:", info.forward));
-            w(out, &format!("{:<16} {}", "Active:", if info.active { "yes" } else { "no" }));
+            w(
+                out,
+                &format!(
+                    "{:<16} {}",
+                    "Active:",
+                    if info.active { "yes" } else { "no" }
+                ),
+            );
             w(out, &format!("{:<16} {}", "Leases:", info.leases.len()));
         }
         "net-define" => {
@@ -437,21 +543,39 @@ fn print_help(out: &mut dyn Write) {
     w(out, "Connection:");
     w(out, "  uri | hostname | nodeinfo | capabilities | version");
     w(out, "Domains:");
-    w(out, "  list [--all]                 define <xml>        create <xml>");
+    w(
+        out,
+        "  list [--all]                 define <xml>        create <xml>",
+    );
     w(out, "  start|shutdown|reboot|destroy|suspend|resume <name>");
     w(out, "  managedsave|restore|undefine <name>");
     w(out, "  dominfo|domstate|dumpxml <name>");
     w(out, "  setmem <name> <MiB>          setvcpus <name> <n>");
     w(out, "  autostart <name> [--disable]");
     w(out, "  snapshot-create <name> <snap>  snapshot-list <name>");
-    w(out, "  snapshot-revert <name> <snap>  snapshot-delete <name> <snap>");
+    w(
+        out,
+        "  snapshot-revert <name> <snap>  snapshot-delete <name> <snap>",
+    );
     w(out, "  migrate <name> <dest-uri>");
     w(out, "Storage:");
-    w(out, "  pool-list | pool-info|pool-start|pool-stop|pool-undefine <name> | pool-define <xml>");
-    w(out, "  vol-list <pool> | vol-create <pool> <xml> | vol-info|vol-delete <pool> <name>");
-    w(out, "  vol-resize <pool> <name> <MiB> | vol-clone <pool> <src> <new>");
+    w(
+        out,
+        "  pool-list | pool-info|pool-start|pool-stop|pool-undefine <name> | pool-define <xml>",
+    );
+    w(
+        out,
+        "  vol-list <pool> | vol-create <pool> <xml> | vol-info|vol-delete <pool> <name>",
+    );
+    w(
+        out,
+        "  vol-resize <pool> <name> <MiB> | vol-clone <pool> <src> <new>",
+    );
     w(out, "Networks:");
-    w(out, "  net-list | net-info|net-start|net-stop|net-undefine <name> | net-define <xml>");
+    w(
+        out,
+        "  net-list | net-info|net-start|net-stop|net-undefine <name> | net-define <xml>",
+    );
 }
 
 /// Convenience wrapper used by tests: runs a command line given as one
@@ -670,7 +794,10 @@ mod shell_tests {
         let output = run_shell_script("hostname\n"); // EOF ends it
         assert!(output.contains("test-host"));
         let output = run_shell_script("quit\nhostname\n");
-        assert!(!output.contains("test-host"), "commands after quit must not run");
+        assert!(
+            !output.contains("test-host"),
+            "commands after quit must not run"
+        );
     }
 
     #[test]
@@ -688,7 +815,11 @@ mod migrate_cli_tests {
 
     fn unique(name: &str) -> String {
         static N: AtomicU64 = AtomicU64::new(0);
-        format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+        format!(
+            "{name}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        )
     }
 
     #[test]
@@ -696,9 +827,17 @@ mod migrate_cli_tests {
         let clock = hypersim::SimClock::new();
         let a = unique("vsh-mig-a");
         let b = unique("vsh-mig-b");
-        let src = Virtd::builder(&a).clock(clock.clone()).with_quiet_hosts().build().unwrap();
+        let src = Virtd::builder(&a)
+            .clock(clock.clone())
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
         src.register_memory_endpoint(&a).unwrap();
-        let dst = Virtd::builder(&b).clock(clock).with_quiet_hosts().build().unwrap();
+        let dst = Virtd::builder(&b)
+            .clock(clock)
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
         dst.register_memory_endpoint(&b).unwrap();
         let src_uri = format!("qemu+memory://{a}/system");
         let dst_uri = format!("qemu+memory://{b}/system");

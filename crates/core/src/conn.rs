@@ -8,8 +8,8 @@
 use std::sync::{Arc, OnceLock};
 
 use crate::capabilities::Capabilities;
-use crate::driver::{DriverRegistry, HypervisorConnection, NodeInfo};
 use crate::domain::Domain;
+use crate::driver::{DriverRegistry, HypervisorConnection, NodeInfo};
 use crate::error::VirtResult;
 use crate::event::{CallbackId, DomainEvent, EventCallback};
 use crate::network::Network;
@@ -51,7 +51,9 @@ pub struct Connect {
 
 impl std::fmt::Debug for Connect {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Connect").field("uri", &self.inner.uri()).finish()
+        f.debug_struct("Connect")
+            .field("uri", &self.inner.uri())
+            .finish()
     }
 }
 
@@ -155,7 +157,12 @@ impl Connect {
     ///
     /// Connection failures.
     pub fn list_domain_names(&self) -> VirtResult<Vec<String>> {
-        Ok(self.inner.list_domains()?.into_iter().map(|r| r.name).collect())
+        Ok(self
+            .inner
+            .list_domains()?
+            .into_iter()
+            .map(|r| r.name)
+            .collect())
     }
 
     /// Looks up a domain by name.

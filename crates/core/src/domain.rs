@@ -179,7 +179,9 @@ impl Domain {
     ///
     /// [`crate::ErrorCode::InvalidArg`] above the configured maximum.
     pub fn set_memory(&self, memory_mib: u64) -> VirtResult<()> {
-        self.conn.set_domain_memory(&self.name, memory_mib).map(drop)
+        self.conn
+            .set_domain_memory(&self.name, memory_mib)
+            .map(drop)
     }
 
     /// Sets the vCPU count.

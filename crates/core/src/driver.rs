@@ -477,7 +477,11 @@ pub trait HypervisorConnection: Send + Sync + std::fmt::Debug {
     /// # Errors
     ///
     /// Transfer failures.
-    fn migrate_perform(&self, name: &str, options: &MigrationOptions) -> VirtResult<MigrationReport>;
+    fn migrate_perform(
+        &self,
+        name: &str,
+        options: &MigrationOptions,
+    ) -> VirtResult<MigrationReport>;
 
     /// Destination side, phase 4: start the incoming domain.
     ///
@@ -796,7 +800,10 @@ mod tests {
         }
 
         fn open(&self, _uri: &ConnectUri) -> VirtResult<Arc<dyn HypervisorConnection>> {
-            Err(VirtError::new(ErrorCode::NoConnect, format!("dummy {}", self.scheme)))
+            Err(VirtError::new(
+                ErrorCode::NoConnect,
+                format!("dummy {}", self.scheme),
+            ))
         }
     }
 

@@ -20,8 +20,65 @@ use crate::driver::{
 };
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventCallback};
+use crate::metrics::{Histogram, Registry};
 use crate::uuid::Uuid;
 use crate::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig, VolumeConfig};
+
+/// Wall-clock latency histograms for the domain lifecycle operations, one
+/// per operation. Created with the connection (recording is a few relaxed
+/// atomics) and optionally published into a daemon-wide [`Registry`] with
+/// [`EmbeddedConnection::publish_metrics`].
+#[derive(Debug)]
+struct LifecycleMetrics {
+    define: Arc<Histogram>,
+    create: Arc<Histogram>,
+    undefine: Arc<Histogram>,
+    start: Arc<Histogram>,
+    shutdown: Arc<Histogram>,
+    reboot: Arc<Histogram>,
+    destroy: Arc<Histogram>,
+    suspend: Arc<Histogram>,
+    resume: Arc<Histogram>,
+    save: Arc<Histogram>,
+    restore: Arc<Histogram>,
+    migrate: Arc<Histogram>,
+}
+
+impl LifecycleMetrics {
+    fn new() -> Self {
+        LifecycleMetrics {
+            define: Arc::new(Histogram::new()),
+            create: Arc::new(Histogram::new()),
+            undefine: Arc::new(Histogram::new()),
+            start: Arc::new(Histogram::new()),
+            shutdown: Arc::new(Histogram::new()),
+            reboot: Arc::new(Histogram::new()),
+            destroy: Arc::new(Histogram::new()),
+            suspend: Arc::new(Histogram::new()),
+            resume: Arc::new(Histogram::new()),
+            save: Arc::new(Histogram::new()),
+            restore: Arc::new(Histogram::new()),
+            migrate: Arc::new(Histogram::new()),
+        }
+    }
+
+    fn all(&self) -> [(&'static str, &Arc<Histogram>); 12] {
+        [
+            ("define", &self.define),
+            ("create", &self.create),
+            ("undefine", &self.undefine),
+            ("start", &self.start),
+            ("shutdown", &self.shutdown),
+            ("reboot", &self.reboot),
+            ("destroy", &self.destroy),
+            ("suspend", &self.suspend),
+            ("resume", &self.resume),
+            ("save", &self.save),
+            ("restore", &self.restore),
+            ("migrate", &self.migrate),
+        ]
+    }
+}
 
 /// A connection executing directly against a [`SimHost`].
 pub struct EmbeddedConnection {
@@ -29,6 +86,7 @@ pub struct EmbeddedConnection {
     uri: String,
     events: EventBus,
     alive: AtomicBool,
+    ops: LifecycleMetrics,
 }
 
 impl std::fmt::Debug for EmbeddedConnection {
@@ -48,12 +106,27 @@ impl EmbeddedConnection {
             uri: uri.into(),
             events: EventBus::new(),
             alive: AtomicBool::new(true),
+            ops: LifecycleMetrics::new(),
         })
     }
 
     /// The underlying host (used by the daemon's dispatch and by tests).
     pub fn host(&self) -> &SimHost {
         &self.host
+    }
+
+    /// Publishes the per-operation lifecycle latency histograms into
+    /// `registry` as `driver.{name}.{op}_us`. The registry shares the
+    /// connection's own histogram instances, so operations recorded before
+    /// or after publication all appear in snapshots.
+    pub fn publish_metrics(&self, registry: &Registry, name: &str) {
+        for (op, hist) in self.ops.all() {
+            let _ = registry.register_histogram(
+                &format!("driver.{name}.{op}_us"),
+                "Wall-clock latency of this domain lifecycle operation",
+                Arc::clone(hist),
+            );
+        }
     }
 
     /// The event bus (the daemon forwards these to remote clients).
@@ -65,7 +138,10 @@ impl EmbeddedConnection {
         if self.alive.load(Ordering::Acquire) {
             Ok(())
         } else {
-            Err(VirtError::new(ErrorCode::ConnectInvalid, "connection is closed"))
+            Err(VirtError::new(
+                ErrorCode::ConnectInvalid,
+                "connection is closed",
+            ))
         }
     }
 
@@ -158,6 +234,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn define_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.define.start_timer();
         self.ensure_alive()?;
         let config = DomainConfig::from_xml_str(xml)?;
         let record: DomainRecord = self.host.define_domain(config.to_spec())?.into();
@@ -166,6 +243,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn create_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.create.start_timer();
         self.ensure_alive()?;
         let config = DomainConfig::from_xml_str(xml)?;
         let record: DomainRecord = self.host.create_domain(config.to_spec())?.into();
@@ -174,6 +252,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn undefine_domain(&self, name: &str) -> VirtResult<()> {
+        let _timer = self.ops.undefine.start_timer();
         self.ensure_alive()?;
         let record = self.record(name)?;
         self.host.undefine_domain(name)?;
@@ -182,6 +261,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn start_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.start.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = self.host.start_domain(name)?.into();
         let kind = if record.state == crate::driver::DomainState::Crashed {
@@ -194,6 +274,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn shutdown_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.shutdown.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = if self.uses_monitor() {
             // Capture identity first: a transient domain vanishes from the
@@ -218,6 +299,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn reboot_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.reboot.start_timer();
         self.ensure_alive()?;
         if self.uses_monitor() {
             Monitor::attach(&self.host, name)
@@ -230,6 +312,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn destroy_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.destroy.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = self.host.destroy_domain(name)?.into();
         self.emit(&record, DomainEventKind::Stopped);
@@ -237,6 +320,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn suspend_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.suspend.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = if self.uses_monitor() {
             Monitor::attach(&self.host, name)
@@ -251,6 +335,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn resume_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.resume.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = if self.uses_monitor() {
             Monitor::attach(&self.host, name)
@@ -265,6 +350,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn save_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.save.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = self.host.save_domain(name)?.into();
         self.emit(&record, DomainEventKind::Saved);
@@ -272,6 +358,7 @@ impl HypervisorConnection for EmbeddedConnection {
     }
 
     fn restore_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.restore.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = self.host.restore_domain(name)?.into();
         self.emit(&record, DomainEventKind::Restored);
@@ -286,7 +373,10 @@ impl HypervisorConnection for EmbeddedConnection {
                 .map_err(VirtError::from)?;
             self.record(name)
         } else {
-            Ok(self.host.set_domain_memory(name, hypersim::MiB(memory_mib))?.into())
+            Ok(self
+                .host
+                .set_domain_memory(name, hypersim::MiB(memory_mib))?
+                .into())
         }
     }
 
@@ -359,7 +449,8 @@ impl HypervisorConnection for EmbeddedConnection {
         self.ensure_alive()?;
         let info = self.host.domain(name)?;
         let spec = self.host.export_domain_spec(name)?;
-        let config = DomainConfig::from_spec(&spec, self.domain_type(), Uuid::from_bytes(info.uuid));
+        let config =
+            DomainConfig::from_spec(&spec, self.domain_type(), Uuid::from_bytes(info.uuid));
         Ok(config.to_xml_string())
     }
 
@@ -387,7 +478,12 @@ impl HypervisorConnection for EmbeddedConnection {
         self.ensure_alive()?;
         let config = DomainConfig::from_xml_str(xml)?;
         let node = self.node_info()?;
-        if self.host.list_domains()?.iter().any(|d| d.name == config.name) {
+        if self
+            .host
+            .list_domains()?
+            .iter()
+            .any(|d| d.name == config.name)
+        {
             return Err(VirtError::new(ErrorCode::DomainExists, config.name));
         }
         if config.memory_mib > node.free_memory_mib {
@@ -402,12 +498,18 @@ impl HypervisorConnection for EmbeddedConnection {
         Ok(())
     }
 
-    fn migrate_perform(&self, name: &str, options: &MigrationOptions) -> VirtResult<MigrationReport> {
+    fn migrate_perform(
+        &self,
+        name: &str,
+        options: &MigrationOptions,
+    ) -> VirtResult<MigrationReport> {
+        let _timer = self.ops.migrate.start_timer();
         self.ensure_alive()?;
         let spec = self.host.export_domain_spec(name)?;
-        let params = MigrationParams::new(spec.memory(), spec.dirty_rate(), options.bandwidth_mib_s)
-            .downtime_limit(std::time::Duration::from_millis(options.max_downtime_ms))
-            .max_iterations(options.max_iterations);
+        let params =
+            MigrationParams::new(spec.memory(), spec.dirty_rate(), options.bandwidth_mib_s)
+                .downtime_limit(std::time::Duration::from_millis(options.max_downtime_ms))
+                .max_iterations(options.max_iterations);
         let outcome = hypersim::migration::simulate_precopy(&params).map_err(VirtError::from)?;
         // Charge the total transferred volume to the virtual clock as
         // migration page traffic.
@@ -427,7 +529,10 @@ impl HypervisorConnection for EmbeddedConnection {
         // Identity travels with the description: the destination instance
         // keeps the source's UUID, exactly as live migration requires.
         let uuid = config.uuid.map(Uuid::into_bytes);
-        let record: DomainRecord = self.host.import_running_domain(config.to_spec(), uuid)?.into();
+        let record: DomainRecord = self
+            .host
+            .import_running_domain(config.to_spec(), uuid)?
+            .into();
         self.emit(&record, DomainEventKind::MigratedIn);
         Ok(record)
     }
@@ -528,7 +633,9 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn resize_volume(&self, pool: &str, name: &str, capacity_mib: u64) -> VirtResult<()> {
         self.ensure_alive()?;
-        Ok(self.host.resize_volume(pool, name, hypersim::MiB(capacity_mib))?)
+        Ok(self
+            .host
+            .resize_volume(pool, name, hypersim::MiB(capacity_mib))?)
     }
 
     fn clone_volume(&self, pool: &str, source: &str, new_name: &str) -> VirtResult<VolumeRecord> {
@@ -594,7 +701,10 @@ impl HypervisorConnection for EmbeddedConnection {
         if self.events.unregister(id) {
             Ok(())
         } else {
-            Err(VirtError::new(ErrorCode::InvalidArg, format!("no callback {id}")))
+            Err(VirtError::new(
+                ErrorCode::InvalidArg,
+                format!("no callback {id}"),
+            ))
         }
     }
 }
@@ -606,7 +716,9 @@ mod tests {
     use hypersim::personality::{LxcLike, QemuLike, XenLike};
     use hypersim::LatencyModel;
 
-    fn connection(personality: impl hypersim::personality::Personality + 'static) -> Arc<EmbeddedConnection> {
+    fn connection(
+        personality: impl hypersim::personality::Personality + 'static,
+    ) -> Arc<EmbeddedConnection> {
         let host = SimHost::builder("embedded-test")
             .personality(personality)
             .latency(LatencyModel::zero())
@@ -757,15 +869,28 @@ mod tests {
 
     #[test]
     fn capabilities_reflect_personality() {
-        assert!(connection(QemuLike).capabilities().unwrap().has_feature("snapshots"));
-        assert!(!connection(LxcLike).capabilities().unwrap().has_feature("migration"));
+        assert!(connection(QemuLike)
+            .capabilities()
+            .unwrap()
+            .has_feature("snapshots"));
+        assert!(!connection(LxcLike)
+            .capabilities()
+            .unwrap()
+            .has_feature("migration"));
     }
 
     #[test]
     fn migration_phases_between_two_embedded_connections() {
         let clock = hypersim::SimClock::new();
-        let src_host = SimHost::builder("src").clock(clock.clone()).latency(LatencyModel::zero()).build();
-        let dst_host = SimHost::builder("dst").clock(clock).latency(LatencyModel::zero()).seed(2).build();
+        let src_host = SimHost::builder("src")
+            .clock(clock.clone())
+            .latency(LatencyModel::zero())
+            .build();
+        let dst_host = SimHost::builder("dst")
+            .clock(clock)
+            .latency(LatencyModel::zero())
+            .seed(2)
+            .build();
         let src = EmbeddedConnection::new(src_host, "qemu:///src");
         let dst = EmbeddedConnection::new(dst_host, "qemu:///dst");
 
@@ -774,7 +899,9 @@ mod tests {
 
         let xml = src.migrate_begin("vm").unwrap();
         dst.migrate_prepare(&xml).unwrap();
-        let report = src.migrate_perform("vm", &MigrationOptions::default()).unwrap();
+        let report = src
+            .migrate_perform("vm", &MigrationOptions::default())
+            .unwrap();
         assert!(report.converged);
         assert!(report.transferred_mib >= 1024);
         let record = dst.migrate_finish(&xml).unwrap();
@@ -808,7 +935,9 @@ mod tests {
         conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
         let err = conn.migrate_prepare(&domain_xml("vm", 128)).unwrap_err();
         assert_eq!(err.code(), ErrorCode::DomainExists);
-        let err = conn.migrate_prepare(&domain_xml("huge", 999_999)).unwrap_err();
+        let err = conn
+            .migrate_prepare(&domain_xml("huge", 999_999))
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::InsufficientResources);
     }
 
@@ -837,7 +966,10 @@ mod tests {
         assert_eq!(conn.list_volumes("images").unwrap(), vec!["root.img"]);
         conn.clone_volume("images", "root.img", "copy.img").unwrap();
         conn.resize_volume("images", "copy.img", 200).unwrap();
-        assert_eq!(conn.volume_info("images", "copy.img").unwrap().capacity_mib, 200);
+        assert_eq!(
+            conn.volume_info("images", "copy.img").unwrap().capacity_mib,
+            200
+        );
         conn.delete_volume("images", "root.img").unwrap();
         conn.stop_pool("images").unwrap();
         conn.undefine_pool("images").unwrap();
@@ -847,7 +979,8 @@ mod tests {
     #[test]
     fn network_operations_through_the_trait() {
         let conn = connection(QemuLike);
-        let net_xml = NetworkConfig::new("lan", std::net::Ipv4Addr::new(10, 9, 0, 0)).to_xml_string();
+        let net_xml =
+            NetworkConfig::new("lan", std::net::Ipv4Addr::new(10, 9, 0, 0)).to_xml_string();
         let net = conn.define_network_xml(&net_xml).unwrap();
         assert!(!net.active);
         conn.start_network("lan").unwrap();

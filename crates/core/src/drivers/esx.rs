@@ -112,7 +112,10 @@ mod tests {
     #[test]
     fn open_rejects_unknown_and_wrong_personality_hosts() {
         let uri: ConnectUri = "esx://no-such-esx/".parse().unwrap();
-        assert_eq!(EsxDriver::new().open(&uri).unwrap_err().code(), ErrorCode::NoConnect);
+        assert_eq!(
+            EsxDriver::new().open(&uri).unwrap_err().code(),
+            ErrorCode::NoConnect
+        );
 
         let qemu_host = SimHost::builder("not-esx")
             .personality(QemuLike)

@@ -61,8 +61,12 @@ impl HypervisorDriver for RemoteDriver {
         let keepalive_config = parse_keepalive_param(uri)?;
         let transport = connect_transport(uri)?;
         let client = CallClient::from_arc(transport);
-        let keepalive_state = keepalive_config
-            .map(|config| Arc::new(parking_lot::Mutex::new(keepalive::KeepaliveState::new(config, std::time::Instant::now()))));
+        let keepalive_state = keepalive_config.map(|config| {
+            Arc::new(parking_lot::Mutex::new(keepalive::KeepaliveState::new(
+                config,
+                std::time::Instant::now(),
+            )))
+        });
         let conn = Arc::new(RemoteConnection {
             client: client.clone(),
             uri: uri.to_string(),
@@ -195,7 +199,10 @@ fn connect_transport(uri: &ConnectUri) -> VirtResult<Arc<dyn Transport>> {
     match uri.transport() {
         Some(UriTransport::Memory) => {
             let host = uri.host().ok_or_else(|| {
-                VirtError::new(ErrorCode::InvalidUri, "+memory transport requires a host name")
+                VirtError::new(
+                    ErrorCode::InvalidUri,
+                    "+memory transport requires a host name",
+                )
             })?;
             let connector = testbed::lookup_daemon(host)?;
             Ok(Arc::new(connector.connect().map_err(failed)?))
@@ -219,13 +226,15 @@ fn connect_transport(uri: &ConnectUri) -> VirtResult<Arc<dyn Transport>> {
         }
         Some(UriTransport::Tls) | None => {
             // libvirt's rule: a remote URI without explicit transport uses TLS.
-            let host = uri
-                .host()
-                .ok_or_else(|| VirtError::new(ErrorCode::InvalidUri, "remote uri requires a host"))?;
+            let host = uri.host().ok_or_else(|| {
+                VirtError::new(ErrorCode::InvalidUri, "remote uri requires a host")
+            })?;
             let port = uri.port().unwrap_or(DEFAULT_TLS_PORT);
             let tcp = TcpTransport::connect(&format!("{host}:{port}")).map_err(failed)?;
             let nonce = rand::random::<u64>();
-            Ok(Arc::new(TlsSimTransport::client(tcp, nonce).map_err(failed)?))
+            Ok(Arc::new(
+                TlsSimTransport::client(tcp, nonce).map_err(failed)?,
+            ))
         }
     }
 }
@@ -241,7 +250,9 @@ pub struct RemoteConnection {
 
 impl std::fmt::Debug for RemoteConnection {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteConnection").field("uri", &self.uri).finish()
+        f.debug_struct("RemoteConnection")
+            .field("uri", &self.uri)
+            .finish()
     }
 }
 
@@ -252,7 +263,10 @@ impl RemoteConnection {
         args: &impl XdrEncode,
     ) -> VirtResult<R> {
         if !self.open.load(Ordering::Acquire) {
-            return Err(VirtError::new(ErrorCode::ConnectInvalid, "connection is closed"));
+            return Err(VirtError::new(
+                ErrorCode::ConnectInvalid,
+                "connection is closed",
+            ));
         }
         self.client
             .call::<R>(REMOTE_PROGRAM, procedure, args)
@@ -337,7 +351,9 @@ impl HypervisorConnection for RemoteConnection {
     fn define_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
         let wire: protocol::WireDomain = self.call(
             proc::DOMAIN_DEFINE_XML,
-            &protocol::XmlArgs { xml: xml.to_string() },
+            &protocol::XmlArgs {
+                xml: xml.to_string(),
+            },
         )?;
         Ok(wire.into())
     }
@@ -345,7 +361,9 @@ impl HypervisorConnection for RemoteConnection {
     fn create_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
         let wire: protocol::WireDomain = self.call(
             proc::DOMAIN_CREATE_XML,
-            &protocol::XmlArgs { xml: xml.to_string() },
+            &protocol::XmlArgs {
+                xml: xml.to_string(),
+            },
         )?;
         Ok(wire.into())
     }
@@ -500,10 +518,19 @@ impl HypervisorConnection for RemoteConnection {
     }
 
     fn migrate_prepare(&self, xml: &str) -> VirtResult<()> {
-        self.call::<()>(proc::MIGRATE_PREPARE, &protocol::XmlArgs { xml: xml.to_string() })
+        self.call::<()>(
+            proc::MIGRATE_PREPARE,
+            &protocol::XmlArgs {
+                xml: xml.to_string(),
+            },
+        )
     }
 
-    fn migrate_perform(&self, name: &str, options: &MigrationOptions) -> VirtResult<MigrationReport> {
+    fn migrate_perform(
+        &self,
+        name: &str,
+        options: &MigrationOptions,
+    ) -> VirtResult<MigrationReport> {
         let wire: protocol::WireMigrationReport = self.call(
             proc::MIGRATE_PERFORM,
             &protocol::MigratePerformArgs::from_options(name, options),
@@ -512,8 +539,12 @@ impl HypervisorConnection for RemoteConnection {
     }
 
     fn migrate_finish(&self, xml: &str) -> VirtResult<DomainRecord> {
-        let wire: protocol::WireDomain =
-            self.call(proc::MIGRATE_FINISH, &protocol::XmlArgs { xml: xml.to_string() })?;
+        let wire: protocol::WireDomain = self.call(
+            proc::MIGRATE_FINISH,
+            &protocol::XmlArgs {
+                xml: xml.to_string(),
+            },
+        )?;
         Ok(wire.into())
     }
 
@@ -540,8 +571,12 @@ impl HypervisorConnection for RemoteConnection {
     }
 
     fn define_pool_xml(&self, xml: &str) -> VirtResult<PoolRecord> {
-        let wire: protocol::WirePool =
-            self.call(proc::POOL_DEFINE_XML, &protocol::XmlArgs { xml: xml.to_string() })?;
+        let wire: protocol::WirePool = self.call(
+            proc::POOL_DEFINE_XML,
+            &protocol::XmlArgs {
+                xml: xml.to_string(),
+            },
+        )?;
         Ok(wire.into())
     }
 
@@ -636,8 +671,12 @@ impl HypervisorConnection for RemoteConnection {
     }
 
     fn define_network_xml(&self, xml: &str) -> VirtResult<NetworkRecord> {
-        let wire: protocol::WireNetwork =
-            self.call(proc::NETWORK_DEFINE_XML, &protocol::XmlArgs { xml: xml.to_string() })?;
+        let wire: protocol::WireNetwork = self.call(
+            proc::NETWORK_DEFINE_XML,
+            &protocol::XmlArgs {
+                xml: xml.to_string(),
+            },
+        )?;
         Ok(wire.into())
     }
 
@@ -662,7 +701,10 @@ impl HypervisorConnection for RemoteConnection {
 
     fn unregister_event_callback(&self, id: CallbackId) -> VirtResult<()> {
         if !self.events.unregister(id) {
-            return Err(VirtError::new(ErrorCode::InvalidArg, format!("no callback {id}")));
+            return Err(VirtError::new(
+                ErrorCode::InvalidArg,
+                format!("no callback {id}"),
+            ));
         }
         if self.events.is_empty() && self.events_subscribed.swap(false, Ordering::AcqRel) {
             self.call::<()>(proc::EVENT_DEREGISTER, &())?;
@@ -715,7 +757,9 @@ mod tests {
 
     #[test]
     fn missing_socket_fails_with_no_connect() {
-        let uri: ConnectUri = "qemu+unix:///system?socket=/no/such/socket".parse().unwrap();
+        let uri: ConnectUri = "qemu+unix:///system?socket=/no/such/socket"
+            .parse()
+            .unwrap();
         let err = RemoteDriver::new().open(&uri).unwrap_err();
         assert_eq!(err.code(), ErrorCode::NoConnect);
     }

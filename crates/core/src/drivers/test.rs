@@ -38,7 +38,10 @@ impl HypervisorDriver for TestDriver {
         if uri.path() != "/default" {
             return Err(VirtError::new(
                 ErrorCode::NoConnect,
-                format!("test driver only supports test:///default, got '{}'", uri.path()),
+                format!(
+                    "test driver only supports test:///default, got '{}'",
+                    uri.path()
+                ),
             ));
         }
         let host = SimHost::builder("test-host")
@@ -70,7 +73,11 @@ mod tests {
         let driver = TestDriver::new();
         let yes: ConnectUri = "test:///default".parse().unwrap();
         assert!(driver.probe(&yes));
-        for no in ["test+tcp://h/default", "qemu:///system", "test://remote/default"] {
+        for no in [
+            "test+tcp://h/default",
+            "qemu:///system",
+            "test://remote/default",
+        ] {
             let uri: ConnectUri = no.parse().unwrap();
             assert!(!driver.probe(&uri), "{no}");
         }

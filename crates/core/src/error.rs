@@ -218,7 +218,9 @@ impl From<CallError> for VirtError {
     fn from(err: CallError) -> Self {
         match err {
             CallError::Remote(rpc) => VirtError::from_rpc(&rpc),
-            CallError::TimedOut => VirtError::new(ErrorCode::OperationTimeout, "rpc call timed out"),
+            CallError::TimedOut => {
+                VirtError::new(ErrorCode::OperationTimeout, "rpc call timed out")
+            }
             other => VirtError::new(ErrorCode::RpcFailure, other.to_string()),
         }
     }
@@ -243,10 +245,28 @@ mod tests {
     fn all_codes_round_trip_the_wire() {
         use ErrorCode::*;
         for code in [
-            Internal, InvalidArg, NoConnect, ConnectInvalid, NoSupport, RpcFailure, AuthFailed,
-            OperationFailed, OperationInvalid, XmlError, NoDomain, DomainExists, NoStoragePool,
-            NoStorageVol, StorageExists, NoNetwork, NetworkExists, InsufficientResources,
-            OperationTimeout, MigrateFailed, InvalidUri, AccessDenied,
+            Internal,
+            InvalidArg,
+            NoConnect,
+            ConnectInvalid,
+            NoSupport,
+            RpcFailure,
+            AuthFailed,
+            OperationFailed,
+            OperationInvalid,
+            XmlError,
+            NoDomain,
+            DomainExists,
+            NoStoragePool,
+            NoStorageVol,
+            StorageExists,
+            NoNetwork,
+            NetworkExists,
+            InsufficientResources,
+            OperationTimeout,
+            MigrateFailed,
+            InvalidUri,
+            AccessDenied,
         ] {
             assert_eq!(ErrorCode::from_u32(code.as_u32()), code);
         }
@@ -270,7 +290,10 @@ mod tests {
             (SimErrorKind::NoSuchDomain, ErrorCode::NoDomain),
             (SimErrorKind::DuplicateDomain, ErrorCode::DomainExists),
             (SimErrorKind::InvalidState, ErrorCode::OperationInvalid),
-            (SimErrorKind::InsufficientResources, ErrorCode::InsufficientResources),
+            (
+                SimErrorKind::InsufficientResources,
+                ErrorCode::InsufficientResources,
+            ),
             (SimErrorKind::Unsupported, ErrorCode::NoSupport),
             (SimErrorKind::NoSuchPool, ErrorCode::NoStoragePool),
             (SimErrorKind::HostDown, ErrorCode::NoConnect),

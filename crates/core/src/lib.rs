@@ -50,6 +50,10 @@ pub mod drivers;
 pub mod error;
 pub mod event;
 pub mod log;
+/// Lock-free metrics registry and request-id tracing (re-export of the
+/// `virt-metrics` crate, which sits below `virt-rpc` so the transport and
+/// worker-pool layers can record into the same registry).
+pub use virt_metrics as metrics;
 pub mod migrate;
 pub mod network;
 pub mod protocol;

@@ -92,7 +92,9 @@ impl FromStr for LogFilter {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let bad = |why: &str| VirtError::new(ErrorCode::InvalidArg, format!("filter '{s}': {why}"));
         let (level_str, module) = s.split_once(':').ok_or_else(|| bad("missing ':'"))?;
-        let number = level_str.parse::<u32>().map_err(|_| bad("level is not a number"))?;
+        let number = level_str
+            .parse::<u32>()
+            .map_err(|_| bad("level is not a number"))?;
         let level = LogLevel::from_number(number)?;
         if module.is_empty() {
             return Err(bad("empty module match"));
@@ -139,7 +141,9 @@ impl FromStr for LogOutput {
         let bad = |why: &str| VirtError::new(ErrorCode::InvalidArg, format!("output '{s}': {why}"));
         let mut parts = s.splitn(3, ':');
         let level_str = parts.next().ok_or_else(|| bad("empty"))?;
-        let number = level_str.parse::<u32>().map_err(|_| bad("level is not a number"))?;
+        let number = level_str
+            .parse::<u32>()
+            .map_err(|_| bad("level is not a number"))?;
         let level = LogLevel::from_number(number)?;
         let kind_str = parts.next().ok_or_else(|| bad("missing output kind"))?;
         let data = parts.next();
@@ -256,11 +260,22 @@ pub struct LogRecord {
     pub module: String,
     /// The message text.
     pub message: String,
+    /// The RPC request being serviced when the record was emitted, if
+    /// any — picked up from the thread's tracing span so every layer a
+    /// dispatch touches logs with the same `c<client>.s<serial>` id.
+    pub request: Option<crate::metrics::trace::RequestId>,
 }
 
 impl fmt::Display for LogRecord {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}: {}", self.level, self.module, self.message)
+        match self.request {
+            Some(id) => write!(
+                f,
+                "{}: {}: [{}] {}",
+                self.level, self.module, id, self.message
+            ),
+            None => write!(f, "{}: {}: {}", self.level, self.module, self.message),
+        }
     }
 }
 
@@ -358,6 +373,7 @@ impl Logger {
             level,
             module: module.to_string(),
             message: message.to_string(),
+            request: crate::metrics::trace::current(),
         };
         for output in &settings.outputs {
             if level < output.level {
@@ -372,7 +388,11 @@ impl Logger {
                     let file = match files.entry(path.clone()) {
                         std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                         std::collections::hash_map::Entry::Vacant(e) => {
-                            match std::fs::OpenOptions::new().append(true).create(true).open(path) {
+                            match std::fs::OpenOptions::new()
+                                .append(true)
+                                .create(true)
+                                .open(path)
+                            {
                                 Ok(file) => e.insert(file),
                                 Err(_) => continue,
                             }
@@ -498,7 +518,12 @@ mod tests {
 
     #[test]
     fn output_parse_round_trip() {
-        for text in ["1:stderr", "3:journald", "2:buffer", "1:file:/var/log/virtd.log"] {
+        for text in [
+            "1:stderr",
+            "3:journald",
+            "2:buffer",
+            "1:file:/var/log/virtd.log",
+        ] {
             let output: LogOutput = text.parse().unwrap();
             assert_eq!(output.to_string(), text);
         }
@@ -533,10 +558,18 @@ mod tests {
         logger.info("other.module", "hidden: global error level");
         logger.error("other.module", "visible globally");
 
-        let captured: Vec<String> = logger.captured().iter().map(|r| r.message.clone()).collect();
+        let captured: Vec<String> = logger
+            .captured()
+            .iter()
+            .map(|r| r.message.clone())
+            .collect();
         assert_eq!(
             captured,
-            vec!["visible via filter", "visible via filter", "visible globally"]
+            vec![
+                "visible via filter",
+                "visible via filter",
+                "visible globally"
+            ]
         );
     }
 
@@ -559,8 +592,14 @@ mod tests {
             level: LogLevel::Debug,
             filters: Vec::new(),
             outputs: vec![
-                LogOutput { level: LogLevel::Error, kind: OutputKind::Buffer },
-                LogOutput { level: LogLevel::Debug, kind: OutputKind::Journald },
+                LogOutput {
+                    level: LogLevel::Error,
+                    kind: OutputKind::Buffer,
+                },
+                LogOutput {
+                    level: LogLevel::Debug,
+                    kind: OutputKind::Journald,
+                },
             ],
         };
         logger.redefine(settings).unwrap();
@@ -647,17 +686,40 @@ mod tests {
     }
 
     #[test]
+    fn records_carry_the_active_request_id() {
+        use crate::metrics::trace::{self, RequestId};
+        let logger = buffered_logger(LogLevel::Debug);
+        logger.info("rpc", "outside any request");
+        {
+            let _span = trace::enter(RequestId::new(7, 42));
+            logger.info("rpc", "inside a request");
+        }
+        logger.info("rpc", "after the request");
+        let captured = logger.captured();
+        assert_eq!(captured[0].request, None);
+        assert_eq!(captured[1].request, Some(RequestId::new(7, 42)));
+        assert_eq!(captured[2].request, None);
+        assert!(captured[1].to_string().contains("[c7.s42]"));
+    }
+
+    #[test]
     fn concurrent_logging_during_redefines_never_tears() {
         let logger = Arc::new(buffered_logger(LogLevel::Debug));
         let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        // The writers must be running before the redefine storm starts, or
+        // a fast main thread finishes all redefines first and the
+        // `total > 0` check below races to zero.
+        let barrier = Arc::new(std::sync::Barrier::new(5));
 
         let writers: Vec<_> = (0..4)
             .map(|t| {
                 let logger = Arc::clone(&logger);
                 let stop = Arc::clone(&stop);
+                let barrier = Arc::clone(&barrier);
                 std::thread::spawn(move || {
+                    barrier.wait();
                     let mut n = 0u64;
-                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    while n == 0 || !stop.load(std::sync::atomic::Ordering::Relaxed) {
                         logger.debug(&format!("mod{t}"), "msg");
                         n += 1;
                     }
@@ -666,9 +728,11 @@ mod tests {
             })
             .collect();
 
+        barrier.wait();
         for i in 0..200 {
             let mut settings = (*logger.settings()).clone();
-            settings.filters = LogSettings::parse_filters(&format!("{}:mod1", (i % 4) + 1)).unwrap();
+            settings.filters =
+                LogSettings::parse_filters(&format!("{}:mod1", (i % 4) + 1)).unwrap();
             logger.redefine(settings).unwrap();
         }
         stop.store(true, std::sync::atomic::Ordering::Relaxed);

@@ -35,7 +35,11 @@ impl Domain {
     ///   destination's Prepare phase,
     /// - [`ErrorCode::MigrateFailed`] wrapping mid-flight failures after
     ///   rollback has been applied.
-    pub fn migrate_to(&self, dest: &Connect, options: &MigrationOptions) -> VirtResult<MigrationReport> {
+    pub fn migrate_to(
+        &self,
+        dest: &Connect,
+        options: &MigrationOptions,
+    ) -> VirtResult<MigrationReport> {
         let source = self.connection();
         let dest_conn = dest.raw();
         let name = self.name();
@@ -116,7 +120,9 @@ mod tests {
     }
 
     fn running_domain(conn: &Connect, name: &str, memory: u64) -> Domain {
-        let domain = conn.define_domain(&DomainConfig::new(name, memory, 1)).unwrap();
+        let domain = conn
+            .define_domain(&DomainConfig::new(name, memory, 1))
+            .unwrap();
         domain.start().unwrap();
         domain
     }
@@ -125,7 +131,9 @@ mod tests {
     fn successful_migration_moves_the_domain() {
         let (src, dst, _sh, _dh) = pair();
         let domain = running_domain(&src, "vm", 1024);
-        let report = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+        let report = domain
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap();
         assert!(report.converged);
         assert!(report.transferred_mib >= 1024);
         assert!(report.total_ms > 0);
@@ -138,7 +146,9 @@ mod tests {
     fn migration_requires_running_domain() {
         let (src, dst, _sh, _dh) = pair();
         let domain = src.define_domain(&DomainConfig::new("vm", 256, 1)).unwrap();
-        let err = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap_err();
+        let err = domain
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::OperationInvalid);
     }
 
@@ -151,7 +161,9 @@ mod tests {
             .build();
         let dst = Connect::from_driver(EmbeddedConnection::new(lxc_host, "lxc:///"));
         let domain = running_domain(&src, "vm", 256);
-        let err = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap_err();
+        let err = domain
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::NoSupport);
         // Domain untouched on the source.
         assert_eq!(domain.state().unwrap(), DomainState::Running);
@@ -168,7 +180,9 @@ mod tests {
             .build();
         let dst = Connect::from_driver(EmbeddedConnection::new(tiny, "qemu:///tiny"));
         let domain = running_domain(&src, "vm", 1024);
-        let err = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap_err();
+        let err = domain
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::InsufficientResources);
         assert_eq!(domain.state().unwrap(), DomainState::Running);
         assert!(dst.list_domain_names().unwrap().is_empty());
@@ -179,7 +193,9 @@ mod tests {
         let (src, dst, _sh, _dh) = pair();
         running_domain(&dst, "vm", 256);
         let domain = running_domain(&src, "vm", 256);
-        let err = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap_err();
+        let err = domain
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::DomainExists);
         assert_eq!(domain.state().unwrap(), DomainState::Running);
     }
@@ -210,12 +226,18 @@ mod tests {
             .latency(LatencyModel::zero())
             .faults(FaultPlan::new().fail_on(OpKind::MigratePage, 1))
             .build();
-        let dst_host = SimHost::builder("dst").clock(clock).latency(LatencyModel::zero()).seed(3).build();
+        let dst_host = SimHost::builder("dst")
+            .clock(clock)
+            .latency(LatencyModel::zero())
+            .seed(3)
+            .build();
         let src = Connect::from_driver(EmbeddedConnection::new(src_host, "qemu:///src"));
         let dst = Connect::from_driver(EmbeddedConnection::new(dst_host, "qemu:///dst"));
 
         let domain = running_domain(&src, "vm", 512);
-        let err = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap_err();
+        let err = domain
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::OperationFailed);
         assert_eq!(domain.state().unwrap(), DomainState::Running);
         assert!(dst.list_domain_names().unwrap().is_empty());
@@ -225,9 +247,13 @@ mod tests {
     fn migration_report_scales_with_memory() {
         let (src, dst, _sh, _dh) = pair();
         let small = running_domain(&src, "small", 256);
-        let small_report = small.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+        let small_report = small
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap();
         let large = running_domain(&src, "large", 8192);
-        let large_report = large.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+        let large_report = large
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap();
         assert!(large_report.total_ms > small_report.total_ms * 4);
         assert!(large_report.transferred_mib > small_report.transferred_mib * 4);
     }
@@ -267,7 +293,10 @@ mod tests {
             true
         }
 
-        fn open(&self, _uri: &ConnectUri) -> VirtResult<Arc<dyn crate::driver::HypervisorConnection>> {
+        fn open(
+            &self,
+            _uri: &ConnectUri,
+        ) -> VirtResult<Arc<dyn crate::driver::HypervisorConnection>> {
             Ok(self.0.clone())
         }
     }
@@ -282,7 +311,9 @@ mod tests {
         ))));
         let dst = Connect::open_with_registry("qemu:///fixed", &registry).unwrap();
         let domain = running_domain(&src, "vm", 512);
-        domain.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+        domain
+            .migrate_to(&dst, &MigrationOptions::default())
+            .unwrap();
         assert!(dst.domain_lookup_by_name("vm").is_ok());
     }
 }

@@ -115,7 +115,10 @@ mod tests {
     #[test]
     fn default_network_exists_and_is_active() {
         let conn = Connect::open("test:///default").unwrap();
-        assert!(conn.list_networks().unwrap().contains(&"default".to_string()));
+        assert!(conn
+            .list_networks()
+            .unwrap()
+            .contains(&"default".to_string()));
         let default = conn.network_lookup_by_name("default").unwrap();
         assert!(default.is_active().unwrap());
     }

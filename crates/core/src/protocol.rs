@@ -4,12 +4,12 @@
 //! (server side). All records are XDR structs; growth headroom comes from
 //! typed-parameter lists rather than struct changes, as in libvirt.
 
-use virt_rpc::xdr_struct;
 use virt_rpc::xdr::{XdrDecode, XdrEncode};
+use virt_rpc::xdr_struct;
 
 use crate::driver::{
-    DomainRecord, DomainState, MigrationOptions, MigrationReport, NetworkRecord, NodeInfo, PoolRecord,
-    VolumeRecord,
+    DomainRecord, DomainState, MigrationOptions, MigrationReport, NetworkRecord, NodeInfo,
+    PoolRecord, VolumeRecord,
 };
 use crate::event::{DomainEvent, DomainEventKind};
 use crate::uuid::Uuid;
@@ -137,6 +137,76 @@ pub mod proc {
     pub const EVENT_DEREGISTER: u32 = 81;
     /// Server→client lifecycle event message.
     pub const EVENT_LIFECYCLE: u32 = 90;
+
+    /// Every callable procedure with its symbolic name. The daemon's
+    /// metrics layer pre-builds its per-procedure latency histograms from
+    /// this table; keep it in sync when adding procedures.
+    pub const ALL: &[(u32, &str)] = &[
+        (OPEN, "OPEN"),
+        (CLOSE, "CLOSE"),
+        (AUTH, "AUTH"),
+        (GET_HOSTNAME, "GET_HOSTNAME"),
+        (GET_CAPABILITIES, "GET_CAPABILITIES"),
+        (NODE_INFO, "NODE_INFO"),
+        (LIST_DOMAINS, "LIST_DOMAINS"),
+        (DOMAIN_LOOKUP_NAME, "DOMAIN_LOOKUP_NAME"),
+        (DOMAIN_LOOKUP_ID, "DOMAIN_LOOKUP_ID"),
+        (DOMAIN_LOOKUP_UUID, "DOMAIN_LOOKUP_UUID"),
+        (DOMAIN_DEFINE_XML, "DOMAIN_DEFINE_XML"),
+        (DOMAIN_CREATE_XML, "DOMAIN_CREATE_XML"),
+        (DOMAIN_UNDEFINE, "DOMAIN_UNDEFINE"),
+        (DOMAIN_START, "DOMAIN_START"),
+        (DOMAIN_SHUTDOWN, "DOMAIN_SHUTDOWN"),
+        (DOMAIN_REBOOT, "DOMAIN_REBOOT"),
+        (DOMAIN_DESTROY, "DOMAIN_DESTROY"),
+        (DOMAIN_SUSPEND, "DOMAIN_SUSPEND"),
+        (DOMAIN_RESUME, "DOMAIN_RESUME"),
+        (DOMAIN_SAVE, "DOMAIN_SAVE"),
+        (DOMAIN_RESTORE, "DOMAIN_RESTORE"),
+        (DOMAIN_SET_MEMORY, "DOMAIN_SET_MEMORY"),
+        (DOMAIN_SET_VCPUS, "DOMAIN_SET_VCPUS"),
+        (DOMAIN_ATTACH_DEVICE, "DOMAIN_ATTACH_DEVICE"),
+        (DOMAIN_DETACH_DEVICE, "DOMAIN_DETACH_DEVICE"),
+        (DOMAIN_SNAPSHOT, "DOMAIN_SNAPSHOT"),
+        (DOMAIN_LIST_SNAPSHOTS, "DOMAIN_LIST_SNAPSHOTS"),
+        (DOMAIN_SET_AUTOSTART, "DOMAIN_SET_AUTOSTART"),
+        (DOMAIN_DUMP_XML, "DOMAIN_DUMP_XML"),
+        (DOMAIN_SNAPSHOT_REVERT, "DOMAIN_SNAPSHOT_REVERT"),
+        (DOMAIN_SNAPSHOT_DELETE, "DOMAIN_SNAPSHOT_DELETE"),
+        (MIGRATE_BEGIN, "MIGRATE_BEGIN"),
+        (MIGRATE_PREPARE, "MIGRATE_PREPARE"),
+        (MIGRATE_PERFORM, "MIGRATE_PERFORM"),
+        (MIGRATE_FINISH, "MIGRATE_FINISH"),
+        (MIGRATE_CONFIRM, "MIGRATE_CONFIRM"),
+        (MIGRATE_ABORT, "MIGRATE_ABORT"),
+        (LIST_POOLS, "LIST_POOLS"),
+        (POOL_INFO, "POOL_INFO"),
+        (POOL_DEFINE_XML, "POOL_DEFINE_XML"),
+        (POOL_START, "POOL_START"),
+        (POOL_STOP, "POOL_STOP"),
+        (POOL_UNDEFINE, "POOL_UNDEFINE"),
+        (LIST_VOLUMES, "LIST_VOLUMES"),
+        (VOLUME_INFO, "VOLUME_INFO"),
+        (VOLUME_CREATE_XML, "VOLUME_CREATE_XML"),
+        (VOLUME_DELETE, "VOLUME_DELETE"),
+        (VOLUME_RESIZE, "VOLUME_RESIZE"),
+        (VOLUME_CLONE, "VOLUME_CLONE"),
+        (LIST_NETWORKS, "LIST_NETWORKS"),
+        (NETWORK_INFO, "NETWORK_INFO"),
+        (NETWORK_DEFINE_XML, "NETWORK_DEFINE_XML"),
+        (NETWORK_START, "NETWORK_START"),
+        (NETWORK_STOP, "NETWORK_STOP"),
+        (NETWORK_UNDEFINE, "NETWORK_UNDEFINE"),
+        (EVENT_REGISTER, "EVENT_REGISTER"),
+        (EVENT_DEREGISTER, "EVENT_DEREGISTER"),
+    ];
+
+    /// The symbolic name of a callable procedure, if known.
+    pub fn name(procedure: u32) -> Option<&'static str> {
+        ALL.iter()
+            .find(|(num, _)| *num == procedure)
+            .map(|(_, name)| *name)
+    }
 }
 
 /// Whether a procedure only reads state. Read-only connections
@@ -797,7 +867,10 @@ mod tests {
             kind: DomainEventKind::MigratedIn,
         };
         let wire = WireEvent::from(&event);
-        let back = WireEvent::from_xdr(&wire.to_xdr()).unwrap().into_event().unwrap();
+        let back = WireEvent::from_xdr(&wire.to_xdr())
+            .unwrap()
+            .into_event()
+            .unwrap();
         assert_eq!(back, event);
 
         let unknown = WireEvent {
@@ -821,22 +894,62 @@ mod tests {
     #[test]
     fn procedure_numbers_are_unique() {
         let all = [
-            proc::OPEN, proc::CLOSE, proc::GET_HOSTNAME, proc::GET_CAPABILITIES, proc::NODE_INFO,
-            proc::LIST_DOMAINS, proc::DOMAIN_LOOKUP_NAME, proc::DOMAIN_LOOKUP_ID,
-            proc::DOMAIN_LOOKUP_UUID, proc::DOMAIN_DEFINE_XML, proc::DOMAIN_CREATE_XML,
-            proc::DOMAIN_UNDEFINE, proc::DOMAIN_START, proc::DOMAIN_SHUTDOWN, proc::DOMAIN_REBOOT,
-            proc::DOMAIN_DESTROY, proc::DOMAIN_SUSPEND, proc::DOMAIN_RESUME, proc::DOMAIN_SAVE,
-            proc::DOMAIN_RESTORE, proc::DOMAIN_SET_MEMORY, proc::DOMAIN_SET_VCPUS,
-            proc::DOMAIN_ATTACH_DEVICE, proc::DOMAIN_DETACH_DEVICE, proc::DOMAIN_SNAPSHOT,
-            proc::DOMAIN_LIST_SNAPSHOTS, proc::DOMAIN_SET_AUTOSTART, proc::DOMAIN_DUMP_XML,
-            proc::DOMAIN_SNAPSHOT_REVERT, proc::DOMAIN_SNAPSHOT_DELETE,
-            proc::MIGRATE_BEGIN, proc::MIGRATE_PREPARE, proc::MIGRATE_PERFORM, proc::MIGRATE_FINISH,
-            proc::MIGRATE_CONFIRM, proc::MIGRATE_ABORT, proc::LIST_POOLS, proc::POOL_INFO,
-            proc::POOL_DEFINE_XML, proc::POOL_START, proc::POOL_STOP, proc::POOL_UNDEFINE,
-            proc::LIST_VOLUMES, proc::VOLUME_INFO, proc::VOLUME_CREATE_XML, proc::VOLUME_DELETE,
-            proc::VOLUME_RESIZE, proc::VOLUME_CLONE, proc::LIST_NETWORKS, proc::NETWORK_INFO,
-            proc::NETWORK_DEFINE_XML, proc::NETWORK_START, proc::NETWORK_STOP,
-            proc::NETWORK_UNDEFINE, proc::EVENT_REGISTER, proc::EVENT_DEREGISTER,
+            proc::OPEN,
+            proc::CLOSE,
+            proc::GET_HOSTNAME,
+            proc::GET_CAPABILITIES,
+            proc::NODE_INFO,
+            proc::LIST_DOMAINS,
+            proc::DOMAIN_LOOKUP_NAME,
+            proc::DOMAIN_LOOKUP_ID,
+            proc::DOMAIN_LOOKUP_UUID,
+            proc::DOMAIN_DEFINE_XML,
+            proc::DOMAIN_CREATE_XML,
+            proc::DOMAIN_UNDEFINE,
+            proc::DOMAIN_START,
+            proc::DOMAIN_SHUTDOWN,
+            proc::DOMAIN_REBOOT,
+            proc::DOMAIN_DESTROY,
+            proc::DOMAIN_SUSPEND,
+            proc::DOMAIN_RESUME,
+            proc::DOMAIN_SAVE,
+            proc::DOMAIN_RESTORE,
+            proc::DOMAIN_SET_MEMORY,
+            proc::DOMAIN_SET_VCPUS,
+            proc::DOMAIN_ATTACH_DEVICE,
+            proc::DOMAIN_DETACH_DEVICE,
+            proc::DOMAIN_SNAPSHOT,
+            proc::DOMAIN_LIST_SNAPSHOTS,
+            proc::DOMAIN_SET_AUTOSTART,
+            proc::DOMAIN_DUMP_XML,
+            proc::DOMAIN_SNAPSHOT_REVERT,
+            proc::DOMAIN_SNAPSHOT_DELETE,
+            proc::MIGRATE_BEGIN,
+            proc::MIGRATE_PREPARE,
+            proc::MIGRATE_PERFORM,
+            proc::MIGRATE_FINISH,
+            proc::MIGRATE_CONFIRM,
+            proc::MIGRATE_ABORT,
+            proc::LIST_POOLS,
+            proc::POOL_INFO,
+            proc::POOL_DEFINE_XML,
+            proc::POOL_START,
+            proc::POOL_STOP,
+            proc::POOL_UNDEFINE,
+            proc::LIST_VOLUMES,
+            proc::VOLUME_INFO,
+            proc::VOLUME_CREATE_XML,
+            proc::VOLUME_DELETE,
+            proc::VOLUME_RESIZE,
+            proc::VOLUME_CLONE,
+            proc::LIST_NETWORKS,
+            proc::NETWORK_INFO,
+            proc::NETWORK_DEFINE_XML,
+            proc::NETWORK_START,
+            proc::NETWORK_STOP,
+            proc::NETWORK_UNDEFINE,
+            proc::EVENT_REGISTER,
+            proc::EVENT_DEREGISTER,
             proc::EVENT_LIFECYCLE,
         ];
         let mut sorted = all.to_vec();

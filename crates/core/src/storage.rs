@@ -18,7 +18,9 @@ pub struct StoragePool {
 
 impl std::fmt::Debug for StoragePool {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("StoragePool").field("name", &self.name).finish()
+        f.debug_struct("StoragePool")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -190,7 +192,8 @@ impl Volume {
     ///
     /// [`crate::ErrorCode::InvalidArg`] on shrink; capacity failures.
     pub fn resize(&self, capacity_mib: u64) -> VirtResult<()> {
-        self.conn.resize_volume(&self.pool, &self.name, capacity_mib)
+        self.conn
+            .resize_volume(&self.pool, &self.name, capacity_mib)
     }
 }
 
@@ -226,7 +229,9 @@ mod tests {
     #[test]
     fn volume_crud() {
         let (_conn, pool) = pool();
-        let vol = pool.create_volume(&VolumeConfig::new("root.img", 100)).unwrap();
+        let vol = pool
+            .create_volume(&VolumeConfig::new("root.img", 100))
+            .unwrap();
         assert_eq!(vol.name(), "root.img");
         assert_eq!(vol.pool_name(), "images");
         assert!(vol.path().unwrap().ends_with("root.img"));

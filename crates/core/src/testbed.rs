@@ -93,7 +93,9 @@ mod tests {
 
     #[test]
     fn host_register_lookup_unregister() {
-        let host = SimHost::builder("tb-host-1").latency(LatencyModel::zero()).build();
+        let host = SimHost::builder("tb-host-1")
+            .latency(LatencyModel::zero())
+            .build();
         register_host("tb-host-1", host);
         let found = lookup_host("tb-host-1").unwrap();
         assert_eq!(found.name(), "tb-host-1");

@@ -210,7 +210,10 @@ impl TypedParams for [TypedParam] {
             }) => Ok(Some(*v)),
             Some(other) => Err(VirtError::new(
                 ErrorCode::InvalidArg,
-                format!("parameter '{field}' must be uint, got {}", other.value.type_name()),
+                format!(
+                    "parameter '{field}' must be uint, got {}",
+                    other.value.type_name()
+                ),
             )),
         }
     }
@@ -315,13 +318,21 @@ mod tests {
 
     #[test]
     fn validate_fields_rejects_unknown_and_duplicates() {
-        let params = [TypedParam::uint("minWorkers", 5), TypedParam::uint("maxWorkers", 20)];
-        params.validate_fields(&["minWorkers", "maxWorkers"]).unwrap();
+        let params = [
+            TypedParam::uint("minWorkers", 5),
+            TypedParam::uint("maxWorkers", 20),
+        ];
+        params
+            .validate_fields(&["minWorkers", "maxWorkers"])
+            .unwrap();
 
         let unknown = [TypedParam::uint("weird", 1)];
         assert!(unknown.validate_fields(&["minWorkers"]).is_err());
 
-        let dup = [TypedParam::uint("minWorkers", 5), TypedParam::uint("minWorkers", 6)];
+        let dup = [
+            TypedParam::uint("minWorkers", 5),
+            TypedParam::uint("minWorkers", 6),
+        ];
         let err = dup.validate_fields(&["minWorkers"]).unwrap_err();
         assert!(err.message().contains("duplicate"));
     }

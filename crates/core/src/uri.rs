@@ -166,7 +166,10 @@ impl FromStr for ConnectUri {
             }
             None => (scheme.to_string(), None),
         };
-        if !driver.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        if !driver
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-')
+        {
             return Err(bad("driver contains invalid characters"));
         }
 

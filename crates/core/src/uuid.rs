@@ -138,11 +138,11 @@ mod tests {
         for bad in [
             "",
             "6ba7b810",
-            "6ba7b810-9dad-41d1-80b4-00c04fd430c",    // too short
-            "6ba7b810-9dad-41d1-80b4-00c04fd430c8a",  // too long
-            "6ba7b8109dad-41d1-80b4-00c04fd430c8aa",  // hyphen misplaced
-            "6ba7b810-9dad-41d1-80b4-00c04fd430zz",   // non-hex
-            "6ba7b810_9dad_41d1_80b4_00c04fd430c8",   // wrong separators
+            "6ba7b810-9dad-41d1-80b4-00c04fd430c", // too short
+            "6ba7b810-9dad-41d1-80b4-00c04fd430c8a", // too long
+            "6ba7b8109dad-41d1-80b4-00c04fd430c8aa", // hyphen misplaced
+            "6ba7b810-9dad-41d1-80b4-00c04fd430zz", // non-hex
+            "6ba7b810_9dad_41d1_80b4_00c04fd430c8", // wrong separators
         ] {
             let err = bad.parse::<Uuid>().unwrap_err();
             assert_eq!(err.code(), ErrorCode::InvalidArg, "{bad:?}");
@@ -162,7 +162,10 @@ mod tests {
     #[test]
     fn nil_uuid() {
         assert!(Uuid::NIL.is_nil());
-        assert_eq!(Uuid::NIL.to_string(), "00000000-0000-0000-0000-000000000000");
+        assert_eq!(
+            Uuid::NIL.to_string(),
+            "00000000-0000-0000-0000-000000000000"
+        );
         assert_eq!(Uuid::default(), Uuid::NIL);
     }
 

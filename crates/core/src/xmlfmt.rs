@@ -69,7 +69,9 @@ impl DiskConfig {
         source.set_attr("file", &self.source);
         disk.push_child(source);
         let mut target = Element::new("target");
-        target.set_attr("dev", &self.target).set_attr("bus", &self.bus);
+        target
+            .set_attr("dev", &self.target)
+            .set_attr("bus", &self.bus);
         disk.push_child(target);
         let mut capacity = Element::with_text("capacity", self.capacity_mib.to_string());
         capacity.set_attr("unit", "MiB");
@@ -78,9 +80,9 @@ impl DiskConfig {
     }
 
     fn from_xml(el: &Element) -> VirtResult<DiskConfig> {
-        let target_el = el.child("target").ok_or_else(|| {
-            VirtError::new(ErrorCode::XmlError, "<disk> is missing <target>")
-        })?;
+        let target_el = el
+            .child("target")
+            .ok_or_else(|| VirtError::new(ErrorCode::XmlError, "<disk> is missing <target>"))?;
         let target = target_el
             .attr("dev")
             .ok_or_else(|| VirtError::new(ErrorCode::XmlError, "<target> is missing dev="))?
@@ -135,7 +137,9 @@ impl InterfaceConfig {
         let mac = el
             .child("mac")
             .and_then(|m| m.attr("address"))
-            .ok_or_else(|| VirtError::new(ErrorCode::XmlError, "<interface> is missing <mac address=>"))?
+            .ok_or_else(|| {
+                VirtError::new(ErrorCode::XmlError, "<interface> is missing <mac address=>")
+            })?
             .to_string();
         let network = el
             .child("source")
@@ -147,7 +151,11 @@ impl InterfaceConfig {
             .and_then(|m| m.attr("type"))
             .unwrap_or("virtio")
             .to_string();
-        Ok(InterfaceConfig { mac, network, model })
+        Ok(InterfaceConfig {
+            mac,
+            network,
+            model,
+        })
     }
 }
 
@@ -431,7 +439,9 @@ impl NetworkConfig {
         let subnet = el
             .child("ip")
             .and_then(|ip| ip.attr("address"))
-            .ok_or_else(|| VirtError::new(ErrorCode::XmlError, "<network> is missing <ip address=>"))?
+            .ok_or_else(|| {
+                VirtError::new(ErrorCode::XmlError, "<network> is missing <ip address=>")
+            })?
             .parse::<Ipv4Addr>()
             .map_err(|e| VirtError::new(ErrorCode::XmlError, format!("bad ip address: {e}")))?;
         Ok(NetworkConfig {
@@ -525,7 +535,8 @@ impl PoolConfig {
 
     /// Converts to the hypervisor spec.
     pub fn to_spec(&self) -> PoolSpec {
-        PoolSpec::new(&self.name, self.backend, MiB(self.capacity_mib)).target_path(&self.target_path)
+        PoolSpec::new(&self.name, self.backend, MiB(self.capacity_mib))
+            .target_path(&self.target_path)
     }
 }
 
@@ -645,7 +656,8 @@ mod tests {
 
     #[test]
     fn domain_missing_name_rejected() {
-        let err = DomainConfig::from_xml_str("<domain><memory>1</memory><vcpu>1</vcpu></domain>").unwrap_err();
+        let err = DomainConfig::from_xml_str("<domain><memory>1</memory><vcpu>1</vcpu></domain>")
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::XmlError);
         assert!(err.message().contains("<name>"));
     }
@@ -659,7 +671,8 @@ mod tests {
 
     #[test]
     fn domain_bad_uuid_rejected() {
-        let xml = "<domain><name>x</name><uuid>nope</uuid><memory>1</memory><vcpu>1</vcpu></domain>";
+        let xml =
+            "<domain><name>x</name><uuid>nope</uuid><memory>1</memory><vcpu>1</vcpu></domain>";
         assert!(DomainConfig::from_xml_str(xml).is_err());
     }
 

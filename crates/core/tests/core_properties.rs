@@ -27,10 +27,7 @@ fn domain_config_strategy() -> impl Strategy<Value = DomainConfig> {
             Just("esx".to_string())
         ],
         0u64..10_000,
-        proptest::collection::vec(
-            (name_strategy(), name_strategy(), 0u64..100_000),
-            0..4,
-        ),
+        proptest::collection::vec((name_strategy(), name_strategy(), 0u64..100_000), 0..4),
         proptest::collection::vec(name_strategy(), 0..3),
         proptest::bool::ANY,
     )

@@ -9,7 +9,9 @@
 //! - `srv-threadpool-info/set` — inspect/resize worker pools,
 //! - `srv-clients-info/set` — inspect/adjust client limits,
 //! - `client-list`/`client-info`/`client-disconnect` — manage clients,
-//! - `dmn-log-info`/`dmn-log-define` — reconfigure logging atomically.
+//! - `dmn-log-info`/`dmn-log-define` — reconfigure logging atomically,
+//! - `metrics` — fetch the daemon-wide metric registry (counters,
+//!   gauges, latency histograms), optionally in Prometheus text format.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -17,7 +19,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use virt_core::error::{ErrorCode, VirtError, VirtResult};
-use virt_core::log::{Logger, LogLevel, LogSettings};
+use virt_core::log::{LogLevel, LogSettings, Logger};
 use virt_core::typedparam::{TypedParamList, TypedParams};
 use virt_rpc::message::{Header, Packet, ADMIN_PROGRAM};
 use virt_rpc::transport::Transport;
@@ -31,6 +33,8 @@ use crate::server::{ClientHandle, ClientSnapshot, ProgramDispatcher, Server};
 pub struct AdminDispatcher {
     servers: Mutex<HashMap<String, Arc<Server>>>,
     logger: Arc<Logger>,
+    /// Daemon-wide metric registry served by the metrics procedures.
+    registry: Arc<virt_core::metrics::Registry>,
 }
 
 impl AdminDispatcher {
@@ -38,15 +42,26 @@ impl AdminDispatcher {
     /// [`AdminDispatcher::attach_server`] (the admin server manages
     /// itself too, so it cannot exist before its own dispatcher).
     pub fn new(logger: Arc<Logger>) -> Arc<Self> {
+        Self::with_registry(logger, Arc::new(virt_core::metrics::Registry::new()))
+    }
+
+    /// Creates the dispatcher serving metrics from `registry`.
+    pub fn with_registry(
+        logger: Arc<Logger>,
+        registry: Arc<virt_core::metrics::Registry>,
+    ) -> Arc<Self> {
         Arc::new(AdminDispatcher {
             servers: Mutex::new(HashMap::new()),
             logger,
+            registry,
         })
     }
 
     /// Registers a server under its name.
     pub fn attach_server(&self, server: Arc<Server>) {
-        self.servers.lock().insert(server.name().to_string(), server);
+        self.servers
+            .lock()
+            .insert(server.name().to_string(), server);
     }
 
     fn server(&self, name: &str) -> VirtResult<Arc<Server>> {
@@ -97,7 +112,10 @@ impl AdminDispatcher {
                     "daemon.admin",
                     &format!(
                         "threadpool of '{}' set to min={} max={} prio={}",
-                        args.server, limits.min_workers, limits.max_workers, limits.priority_workers
+                        args.server,
+                        limits.min_workers,
+                        limits.max_workers,
+                        limits.priority_workers
                     ),
                 );
                 ().to_xdr()
@@ -130,7 +148,10 @@ impl AdminDispatcher {
                 }
                 self.logger.info(
                     "daemon.admin",
-                    &format!("client {} forcibly disconnected from '{}'", args.client, args.server),
+                    &format!(
+                        "client {} forcibly disconnected from '{}'",
+                        args.client, args.server
+                    ),
                 );
                 ().to_xdr()
             }
@@ -151,7 +172,10 @@ impl AdminDispatcher {
                 params.validate_fields(&[adminproto::PARAM_CLIENTS_MAX])?;
                 if let Some(max) = params.get_uint(adminproto::PARAM_CLIENTS_MAX)? {
                     if max == 0 {
-                        return Err(VirtError::new(ErrorCode::InvalidArg, "nclients_max must be > 0"));
+                        return Err(VirtError::new(
+                            ErrorCode::InvalidArg,
+                            "nclients_max must be > 0",
+                        ));
                     }
                     server.set_max_clients(max);
                 }
@@ -187,6 +211,21 @@ impl AdminDispatcher {
                 self.logger.redefine(settings)?;
                 ().to_xdr()
             }
+            proc::METRICS_LIST => {
+                let names = self.registry.names();
+                names.to_xdr()
+            }
+            proc::METRICS_FETCH => {
+                let args: adminproto::MetricsFetchArgs = decode(payload)?;
+                let snaps = self.registry.snapshot(&args.prefix);
+                adminproto::WireMetricList(
+                    snaps
+                        .into_iter()
+                        .map(adminproto::WireMetric::from)
+                        .collect(),
+                )
+                .to_xdr()
+            }
             other => {
                 return Err(VirtError::new(
                     ErrorCode::RpcFailure,
@@ -204,6 +243,7 @@ fn snapshot_to_wire(snapshot: &ClientSnapshot) -> adminproto::WireClient {
         transport: snapshot.transport.clone(),
         peer: snapshot.peer.clone(),
         connected_secs: snapshot.connected_secs,
+        session_secs: snapshot.session_secs,
         username: snapshot.username.clone(),
         readonly: snapshot.readonly,
     }
@@ -252,7 +292,11 @@ impl AdminClient {
         }
     }
 
-    fn call<R: virt_rpc::xdr::XdrDecode>(&self, procedure: u32, args: &impl XdrEncode) -> VirtResult<R> {
+    fn call<R: virt_rpc::xdr::XdrDecode>(
+        &self,
+        procedure: u32,
+        args: &impl XdrEncode,
+    ) -> VirtResult<R> {
         self.client
             .call::<R>(ADMIN_PROGRAM, procedure, args)
             .map_err(VirtError::from)
@@ -287,7 +331,11 @@ impl AdminClient {
     /// # Errors
     ///
     /// Invalid parameters; unknown server.
-    pub fn threadpool_set(&self, server: &str, params: Vec<virt_core::TypedParam>) -> VirtResult<()> {
+    pub fn threadpool_set(
+        &self,
+        server: &str,
+        params: Vec<virt_core::TypedParam>,
+    ) -> VirtResult<()> {
         self.call(
             proc::THREADPOOL_SET,
             &adminproto::ServerParamsArgs {
@@ -317,6 +365,7 @@ impl AdminClient {
                 transport: c.transport,
                 peer: c.peer,
                 connected_secs: c.connected_secs,
+                session_secs: c.session_secs,
                 username: c.username,
                 readonly: c.readonly,
             })
@@ -341,6 +390,7 @@ impl AdminClient {
             transport: wire.transport,
             peer: wire.peer,
             connected_secs: wire.connected_secs,
+            session_secs: wire.session_secs,
             username: wire.username,
             readonly: wire.readonly,
         })
@@ -401,7 +451,11 @@ impl AdminClient {
     /// RPC failures.
     pub fn log_info(&self) -> VirtResult<(LogLevel, String, String)> {
         let wire: adminproto::WireLogInfo = self.call(proc::LOG_INFO, &())?;
-        Ok((LogLevel::from_number(wire.level)?, wire.filters, wire.outputs))
+        Ok((
+            LogLevel::from_number(wire.level)?,
+            wire.filters,
+            wire.outputs,
+        ))
     }
 
     /// Sets the global logging level.
@@ -429,6 +483,31 @@ impl AdminClient {
     /// Malformed outputs — nothing is applied partially.
     pub fn log_set_outputs(&self, outputs: &str) -> VirtResult<()> {
         self.call(proc::LOG_SET_OUTPUTS, &outputs.to_string())
+    }
+
+    /// Names of all registered metrics.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn metrics_list(&self) -> VirtResult<Vec<String>> {
+        self.call(proc::METRICS_LIST, &())
+    }
+
+    /// Snapshot of the daemon's metrics; `prefix` filters by metric
+    /// name, empty fetches everything.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn metrics(&self, prefix: &str) -> VirtResult<Vec<adminproto::WireMetric>> {
+        let wire: adminproto::WireMetricList = self.call(
+            proc::METRICS_FETCH,
+            &adminproto::MetricsFetchArgs {
+                prefix: prefix.to_string(),
+            },
+        )?;
+        Ok(wire.0)
     }
 
     /// Closes the admin connection.

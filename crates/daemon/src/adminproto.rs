@@ -6,11 +6,33 @@
 //! can grow fields without breaking compatibility.
 
 use virt_core::typedparam::TypedParamList;
-use virt_rpc::xdr_struct;
 use virt_rpc::xdr::{XdrDecode, XdrEncode};
+use virt_rpc::xdr_struct;
 use virt_rpc::PoolStats;
 
 /// Procedure numbers of the admin program.
+///
+/// Assigned numbers (stable on the wire — never reuse):
+///
+/// | # | procedure | direction |
+/// |---|-----------|-----------|
+/// | 1 | `SRV_LIST` | `()` → server-name list |
+/// | 2 | `THREADPOOL_INFO` | [`ServerArgs`] → [`WirePoolStats`] |
+/// | 3 | `THREADPOOL_SET` | [`ServerParamsArgs`] → `()` |
+/// | 4 | `CLIENT_LIST` | [`ServerArgs`] → [`WireClientList`] |
+/// | 5 | `CLIENT_INFO` | [`ClientArgs`] → [`WireClient`] |
+/// | 6 | `CLIENT_DISCONNECT` | [`ClientArgs`] → `()` |
+/// | 7 | `CLIENT_LIMITS_INFO` | [`ServerArgs`] → [`WireClientLimits`] |
+/// | 8 | `CLIENT_LIMITS_SET` | [`ServerParamsArgs`] → `()` |
+/// | 9 | `LOG_INFO` | `()` → [`WireLogInfo`] |
+/// | 10 | `LOG_SET_LEVEL` | level → `()` |
+/// | 11 | `LOG_SET_FILTERS` | filter string → `()` |
+/// | 12 | `LOG_SET_OUTPUTS` | output string → `()` |
+/// | 13 | `METRICS_LIST` | `()` → metric-name list |
+/// | 14 | `METRICS_FETCH` | [`MetricsFetchArgs`] → [`WireMetricList`] |
+///
+/// Procedures 13–14 are read-only: the dispatcher allows them for
+/// read-only admin clients.
 pub mod proc {
     /// List server names.
     pub const SRV_LIST: u32 = 1;
@@ -36,6 +58,10 @@ pub mod proc {
     pub const LOG_SET_FILTERS: u32 = 11;
     /// Replace the logging output set.
     pub const LOG_SET_OUTPUTS: u32 = 12;
+    /// List registered metric names.
+    pub const METRICS_LIST: u32 = 13;
+    /// Fetch a snapshot of metrics, optionally filtered by name prefix.
+    pub const METRICS_FETCH: u32 = 14;
 }
 
 /// Typed-parameter field: minimum ordinary workers.
@@ -128,8 +154,11 @@ xdr_struct! {
         pub transport: String,
         /// Peer description.
         pub peer: String,
-        /// Connect time (seconds since epoch).
+        /// Connect time (seconds since epoch), for display.
         pub connected_secs: u64,
+        /// Session age in seconds from a monotonic clock, immune to
+        /// wall-clock jumps.
+        pub session_secs: u64,
         /// Authenticated username, empty when unauthenticated.
         pub username: String,
         /// Whether the session is read-only.
@@ -177,6 +206,114 @@ xdr_struct! {
 }
 
 xdr_struct! {
+    /// Argument selecting metrics to fetch.
+    pub struct MetricsFetchArgs {
+        /// Only metrics whose name starts with this prefix; empty for all.
+        pub prefix: String,
+    }
+}
+
+/// Discriminant of [`WireMetric::kind`]: counter.
+pub const METRIC_KIND_COUNTER: u32 = 0;
+/// Discriminant of [`WireMetric::kind`]: gauge.
+pub const METRIC_KIND_GAUGE: u32 = 1;
+/// Discriminant of [`WireMetric::kind`]: histogram.
+pub const METRIC_KIND_HISTOGRAM: u32 = 2;
+
+xdr_struct! {
+    /// One metric snapshot on the wire.
+    ///
+    /// `value` carries the counter or gauge value; histograms leave it
+    /// zero and fill `hist_count`, `hist_sum_ns` and `hist_buckets`
+    /// (per-bucket counts in log₂-µs bucket order).
+    pub struct WireMetric {
+        /// Registered metric name.
+        pub name: String,
+        /// Human-readable help text.
+        pub help: String,
+        /// [`METRIC_KIND_COUNTER`], [`METRIC_KIND_GAUGE`] or
+        /// [`METRIC_KIND_HISTOGRAM`].
+        pub kind: u32,
+        /// Counter/gauge value; zero for histograms.
+        pub value: u64,
+        /// Histogram observation count; zero otherwise.
+        pub hist_count: u64,
+        /// Histogram total of observed nanoseconds; zero otherwise.
+        pub hist_sum_ns: u64,
+        /// Histogram per-bucket counts; empty otherwise.
+        pub hist_buckets: Vec<u64>,
+    }
+}
+
+/// Wire list of metric snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireMetricList(pub Vec<WireMetric>);
+
+impl XdrEncode for WireMetricList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(out);
+        for metric in &self.0 {
+            metric.encode(out);
+        }
+    }
+}
+
+impl XdrDecode for WireMetricList {
+    fn decode(cursor: &mut virt_rpc::xdr::Cursor<'_>) -> Result<Self, virt_rpc::xdr::XdrError> {
+        let len = u32::decode(cursor)?;
+        if len > 1_000_000 {
+            return Err(virt_rpc::xdr::XdrError::LengthTooLarge(len));
+        }
+        let mut items = Vec::with_capacity((len as usize).min(4096));
+        for _ in 0..len {
+            items.push(WireMetric::decode(cursor)?);
+        }
+        Ok(WireMetricList(items))
+    }
+}
+
+impl From<virt_core::metrics::MetricSnapshot> for WireMetric {
+    fn from(snap: virt_core::metrics::MetricSnapshot) -> Self {
+        use virt_core::metrics::MetricValue;
+        let (kind, value, hist_count, hist_sum_ns, hist_buckets) = match snap.value {
+            MetricValue::Counter(v) => (METRIC_KIND_COUNTER, v, 0, 0, Vec::new()),
+            MetricValue::Gauge(v) => (METRIC_KIND_GAUGE, v, 0, 0, Vec::new()),
+            MetricValue::Histogram(h) => (METRIC_KIND_HISTOGRAM, 0, h.count, h.sum_ns, h.buckets),
+        };
+        WireMetric {
+            name: snap.name,
+            help: snap.help,
+            kind,
+            value,
+            hist_count,
+            hist_sum_ns,
+            hist_buckets,
+        }
+    }
+}
+
+impl From<WireMetric> for virt_core::metrics::MetricSnapshot {
+    fn from(wire: WireMetric) -> Self {
+        use virt_core::metrics::{HistogramSnapshot, MetricValue};
+        let value = match wire.kind {
+            METRIC_KIND_GAUGE => MetricValue::Gauge(wire.value),
+            METRIC_KIND_HISTOGRAM => MetricValue::Histogram(HistogramSnapshot {
+                count: wire.hist_count,
+                sum_ns: wire.hist_sum_ns,
+                buckets: wire.hist_buckets,
+            }),
+            // Unknown kinds from a newer daemon degrade to a counter.
+            _ => MetricValue::Counter(wire.value),
+        };
+        virt_core::metrics::MetricSnapshot {
+            name: wire.name,
+            help: wire.help,
+            value,
+        }
+    }
+}
+
+xdr_struct! {
     /// Complete logging settings snapshot.
     pub struct WireLogInfo {
         /// Global level (1–4).
@@ -215,11 +352,54 @@ mod tests {
             transport: "tcp".into(),
             peer: "10.0.0.1:4444".into(),
             connected_secs: 1_700_000_000,
+            session_secs: 42,
             username: "admin".into(),
             readonly: true,
         }]);
         let decoded = WireClientList::from_xdr(&list.to_xdr()).unwrap();
         assert_eq!(decoded, list);
+    }
+
+    #[test]
+    fn metric_list_round_trip() {
+        let list = WireMetricList(vec![
+            WireMetric {
+                name: "rpc.calls".into(),
+                help: "Total RPC calls dispatched".into(),
+                kind: METRIC_KIND_COUNTER,
+                value: 17,
+                hist_count: 0,
+                hist_sum_ns: 0,
+                hist_buckets: Vec::new(),
+            },
+            WireMetric {
+                name: "pool.virtd.wait_us".into(),
+                help: "Job queue wait time".into(),
+                kind: METRIC_KIND_HISTOGRAM,
+                value: 0,
+                hist_count: 3,
+                hist_sum_ns: 9_000,
+                hist_buckets: vec![0, 1, 2, 0],
+            },
+        ]);
+        let decoded = WireMetricList::from_xdr(&list.to_xdr()).unwrap();
+        assert_eq!(decoded, list);
+    }
+
+    #[test]
+    fn wire_metric_from_snapshot() {
+        use virt_core::metrics::{Counter, Registry};
+        let registry = Registry::new();
+        registry
+            .register_counter("x.hits", "hits", std::sync::Arc::new(Counter::new()))
+            .unwrap();
+        registry.counter("x.hits", "hits").add(5);
+        let snaps = registry.snapshot("");
+        let wire: Vec<WireMetric> = snaps.into_iter().map(WireMetric::from).collect();
+        assert_eq!(wire.len(), 1);
+        assert_eq!(wire[0].name, "x.hits");
+        assert_eq!(wire[0].kind, METRIC_KIND_COUNTER);
+        assert_eq!(wire[0].value, 5);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use hypersim::{LatencyModel, SimClock, SimHost};
 use virt_core::drivers::embedded::EmbeddedConnection;
 use virt_core::error::{ErrorCode, VirtError, VirtResult};
 use virt_core::log::Logger;
+use virt_core::metrics::Registry;
 use virt_core::testbed;
 use virt_rpc::transport::{memory_listener, Listener, MemoryConnector};
 
@@ -26,6 +27,9 @@ pub struct Virtd {
     main_server: Arc<Server>,
     admin_server: Arc<Server>,
     logger: Arc<Logger>,
+    /// Daemon-wide metric registry: every layer publishes into it and
+    /// the admin metrics procedures read from it.
+    registry: Arc<Registry>,
     /// Names registered in the global testbed, removed on shutdown.
     registered_endpoints: parking_lot::Mutex<Vec<String>>,
 }
@@ -72,7 +76,8 @@ impl VirtdBuilder {
 
     /// Attaches a host under the driver scheme of its personality.
     pub fn host(mut self, host: SimHost) -> Self {
-        self.hosts.insert(host.personality().name().to_string(), host);
+        self.hosts
+            .insert(host.personality().name().to_string(), host);
         self
     }
 
@@ -149,8 +154,17 @@ impl VirtdBuilder {
             })
             .collect();
 
-        let remote_dispatcher =
-            RemoteDispatcher::new(drivers, Arc::clone(&logger), self.config.credentials.clone());
+        let registry = Arc::new(Registry::new());
+
+        let remote_dispatcher = RemoteDispatcher::new(
+            drivers.clone(),
+            Arc::clone(&logger),
+            self.config.credentials.clone(),
+        );
+        remote_dispatcher.publish_metrics(&registry);
+        for (scheme, conn) in &drivers {
+            conn.publish_metrics(&registry, scheme);
+        }
         let main_server = Server::new(
             "virtd",
             self.config.pool_limits,
@@ -158,8 +172,10 @@ impl VirtdBuilder {
             remote_dispatcher,
         )
         .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
+        main_server.publish_metrics(&registry);
 
-        let admin_dispatcher = AdminDispatcher::new(Arc::clone(&logger));
+        let admin_dispatcher =
+            AdminDispatcher::with_registry(Arc::clone(&logger), Arc::clone(&registry));
         let admin_server = Server::new(
             "admin",
             self.config.admin_pool_limits,
@@ -167,6 +183,7 @@ impl VirtdBuilder {
             admin_dispatcher.clone(),
         )
         .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
+        admin_server.publish_metrics(&registry);
         admin_dispatcher.attach_server(Arc::clone(&main_server));
         admin_dispatcher.attach_server(Arc::clone(&admin_server));
 
@@ -178,6 +195,7 @@ impl VirtdBuilder {
             main_server,
             admin_server,
             logger,
+            registry,
             registered_endpoints: parking_lot::Mutex::new(Vec::new()),
         })
     }
@@ -197,6 +215,11 @@ impl Virtd {
     /// The daemon's logger.
     pub fn logger(&self) -> &Arc<Logger> {
         &self.logger
+    }
+
+    /// The daemon-wide metric registry.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.registry
     }
 
     /// The main (`virtd`) server.
@@ -256,7 +279,8 @@ impl Virtd {
         }
         self.main_server.shutdown();
         self.admin_server.shutdown();
-        self.logger.info("daemon", &format!("virtd '{}' stopped", self.name));
+        self.logger
+            .info("daemon", &format!("virtd '{}' stopped", self.name));
     }
 }
 
@@ -269,7 +293,11 @@ mod tests {
     fn unique(name: &str) -> String {
         use std::sync::atomic::{AtomicU64, Ordering};
         static N: AtomicU64 = AtomicU64::new(0);
-        format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+        format!(
+            "{name}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        )
     }
 
     #[test]
@@ -296,7 +324,9 @@ mod tests {
 
         let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
         assert_eq!(conn.hostname().unwrap(), "d-qemu");
-        let domain = conn.define_domain(&DomainConfig::new("vm", 512, 1)).unwrap();
+        let domain = conn
+            .define_domain(&DomainConfig::new("vm", 512, 1))
+            .unwrap();
         domain.start().unwrap();
         assert!(domain.is_active().unwrap());
 

@@ -12,11 +12,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use virt_core::drivers::embedded::EmbeddedConnection;
 use virt_core::driver::HypervisorConnection;
+use virt_core::drivers::embedded::EmbeddedConnection;
 use virt_core::error::{ErrorCode, VirtError, VirtResult};
 use virt_core::event::CallbackId;
 use virt_core::log::Logger;
+use virt_core::metrics::trace::{self, RequestId};
+use virt_core::metrics::{Counter, Histogram, Registry};
 use virt_core::protocol::{self, proc};
 use virt_core::uri::ConnectUri;
 use virt_rpc::message::{Header, Packet, REMOTE_PROGRAM};
@@ -30,6 +32,58 @@ struct ClientSession {
     readonly: bool,
 }
 
+/// Per-procedure instrumentation: one latency histogram plus an error
+/// counter per known procedure number.
+#[derive(Debug)]
+struct ProcMetrics {
+    latency_us: Arc<Histogram>,
+    errors: Arc<Counter>,
+}
+
+impl ProcMetrics {
+    fn new() -> Self {
+        ProcMetrics {
+            latency_us: Arc::new(Histogram::new()),
+            errors: Arc::new(Counter::new()),
+        }
+    }
+}
+
+/// Dispatch-layer metrics. The per-procedure map is built once at
+/// construction from [`proc::ALL`] and never mutated, so the record path
+/// is a plain `HashMap` lookup plus relaxed atomics — no locks.
+#[derive(Debug)]
+struct DispatchMetrics {
+    per_proc: HashMap<u32, ProcMetrics>,
+    /// Catch-all for procedure numbers not in [`proc::ALL`].
+    unknown: ProcMetrics,
+    /// Total calls dispatched.
+    calls: Arc<Counter>,
+    /// Total calls that returned an error.
+    errors: Arc<Counter>,
+    /// Failed AUTH attempts.
+    auth_failures: Arc<Counter>,
+}
+
+impl DispatchMetrics {
+    fn new() -> Self {
+        DispatchMetrics {
+            per_proc: proc::ALL
+                .iter()
+                .map(|(num, _)| (*num, ProcMetrics::new()))
+                .collect(),
+            unknown: ProcMetrics::new(),
+            calls: Arc::new(Counter::new()),
+            errors: Arc::new(Counter::new()),
+            auth_failures: Arc::new(Counter::new()),
+        }
+    }
+
+    fn for_proc(&self, procedure: u32) -> &ProcMetrics {
+        self.per_proc.get(&procedure).unwrap_or(&self.unknown)
+    }
+}
+
 /// Dispatcher for [`REMOTE_PROGRAM`].
 pub struct RemoteDispatcher {
     /// scheme → local driver connection (`qemu`, `xen`, `lxc`, ...).
@@ -40,6 +94,7 @@ pub struct RemoteDispatcher {
     credentials: Option<Vec<(String, String)>>,
     /// Client ids that have passed AUTH (only tracked when required).
     authenticated: Mutex<std::collections::HashSet<u64>>,
+    metrics: DispatchMetrics,
 }
 
 impl RemoteDispatcher {
@@ -55,7 +110,53 @@ impl RemoteDispatcher {
             logger,
             credentials,
             authenticated: Mutex::new(std::collections::HashSet::new()),
+            metrics: DispatchMetrics::new(),
         })
+    }
+
+    /// Publishes the dispatcher's metrics into `registry`: per-procedure
+    /// latency histograms and error counters as `rpc.proc.{num}.*` (the
+    /// help text carries the symbolic name), plus `rpc.calls`,
+    /// `rpc.errors` and `rpc.auth_failures` totals.
+    pub fn publish_metrics(&self, registry: &Registry) {
+        for (num, name) in proc::ALL {
+            let pm = self.metrics.for_proc(*num);
+            let _ = registry.register_histogram(
+                &format!("rpc.proc.{num}.latency_us"),
+                &format!("Dispatch latency of {name} (procedure {num})"),
+                Arc::clone(&pm.latency_us),
+            );
+            let _ = registry.register_counter(
+                &format!("rpc.proc.{num}.errors"),
+                &format!("Error replies from {name} (procedure {num})"),
+                Arc::clone(&pm.errors),
+            );
+        }
+        let _ = registry.register_histogram(
+            "rpc.proc.unknown.latency_us",
+            "Dispatch latency of calls to unknown procedure numbers",
+            Arc::clone(&self.metrics.unknown.latency_us),
+        );
+        let _ = registry.register_counter(
+            "rpc.proc.unknown.errors",
+            "Error replies for unknown procedure numbers",
+            Arc::clone(&self.metrics.unknown.errors),
+        );
+        let _ = registry.register_counter(
+            "rpc.calls",
+            "Total RPC calls dispatched",
+            Arc::clone(&self.metrics.calls),
+        );
+        let _ = registry.register_counter(
+            "rpc.errors",
+            "Total RPC calls that returned an error",
+            Arc::clone(&self.metrics.errors),
+        );
+        let _ = registry.register_counter(
+            "rpc.auth_failures",
+            "Failed AUTH attempts",
+            Arc::clone(&self.metrics.auth_failures),
+        );
     }
 
     fn session_conn(&self, client_id: u64) -> VirtResult<Arc<EmbeddedConnection>> {
@@ -66,7 +167,12 @@ impl RemoteDispatcher {
             .ok_or_else(|| VirtError::new(ErrorCode::ConnectInvalid, "no connection opened"))
     }
 
-    fn handle(&self, client: &Arc<ClientHandle>, header: Header, payload: &[u8]) -> VirtResult<Vec<u8>> {
+    fn handle(
+        &self,
+        client: &Arc<ClientHandle>,
+        header: Header,
+        payload: &[u8],
+    ) -> VirtResult<Vec<u8>> {
         // AUTH may precede OPEN on daemons requiring credentials.
         if header.procedure == proc::AUTH {
             let args: protocol::AuthArgs = decode(payload)?;
@@ -81,7 +187,10 @@ impl RemoteDispatcher {
             if !valid {
                 self.logger.warning(
                     "daemon.rpc",
-                    &format!("client {} failed authentication as '{}'", client.id, args.username),
+                    &format!(
+                        "client {} failed authentication as '{}'",
+                        client.id, args.username
+                    ),
                 );
                 return Err(VirtError::new(
                     ErrorCode::AuthFailed,
@@ -149,7 +258,10 @@ impl RemoteDispatcher {
                 if session.readonly && !protocol::is_readonly_safe(header.procedure) {
                     return Err(VirtError::new(
                         ErrorCode::AccessDenied,
-                        format!("procedure {} forbidden on a read-only connection", header.procedure),
+                        format!(
+                            "procedure {} forbidden on a read-only connection",
+                            header.procedure
+                        ),
                     ));
                 }
             }
@@ -325,8 +437,12 @@ impl RemoteDispatcher {
             }
             proc::VOLUME_CLONE => {
                 let args: protocol::VolCloneArgs = decode(payload)?;
-                protocol::WireVolume::from(&c.clone_volume(&args.pool, &args.source, &args.new_name)?)
-                    .to_xdr()
+                protocol::WireVolume::from(&c.clone_volume(
+                    &args.pool,
+                    &args.source,
+                    &args.new_name,
+                )?)
+                .to_xdr()
             }
 
             proc::LIST_NETWORKS => c.list_networks()?.to_xdr(),
@@ -356,9 +472,9 @@ impl RemoteDispatcher {
 
             proc::EVENT_REGISTER => {
                 let mut sessions = self.sessions.lock();
-                let session = sessions
-                    .get_mut(&client.id)
-                    .ok_or_else(|| VirtError::new(ErrorCode::ConnectInvalid, "no connection opened"))?;
+                let session = sessions.get_mut(&client.id).ok_or_else(|| {
+                    VirtError::new(ErrorCode::ConnectInvalid, "no connection opened")
+                })?;
                 if session.event_callback.is_none() {
                     let event_client = Arc::clone(client);
                     let id = conn.events().register(Arc::new(move |event| {
@@ -429,15 +545,32 @@ impl ProgramDispatcher for RemoteDispatcher {
     }
 
     fn dispatch(&self, client: &Arc<ClientHandle>, header: Header, payload: &[u8]) -> Packet {
-        match self.handle(client, header, payload) {
+        // Request id (client id + packet serial) threads through the
+        // thread-local trace span so every log record emitted while this
+        // call runs can be correlated back to the RPC.
+        let _span = trace::enter(RequestId::new(client.id, header.serial));
+        let proc_metrics = self.metrics.for_proc(header.procedure);
+        self.metrics.calls.inc();
+        let timer = proc_metrics.latency_us.start_timer();
+        let result = self.handle(client, header, payload);
+        drop(timer);
+        match result {
             Ok(reply_payload) => Packet {
                 header: header.reply_ok(),
                 payload: reply_payload,
             },
             Err(err) => {
+                self.metrics.errors.inc();
+                proc_metrics.errors.inc();
+                if err.code() == ErrorCode::AuthFailed {
+                    self.metrics.auth_failures.inc();
+                }
                 self.logger.warning(
                     "daemon.rpc",
-                    &format!("client {} proc {} failed: {err}", client.id, header.procedure),
+                    &format!(
+                        "client {} proc {} failed: {err}",
+                        client.id, header.procedure
+                    ),
                 );
                 Packet::new(header.reply_error(), &err.to_rpc())
             }

@@ -17,6 +17,13 @@
 //! - **admin interface** ([`admin`]): runtime management of the daemon
 //!   itself — worker-pool limits, client limits, client listing and
 //!   forced disconnect, and logging settings — without a restart.
+//! - **observability**: every layer publishes lock-free counters,
+//!   gauges, and latency histograms into one [`virt_core::metrics`]
+//!   registry (per-procedure RPC latency, worker-pool wait/run times,
+//!   transport byte counts, driver lifecycle timings), served over the
+//!   admin protocol's metrics procedures; RPC dispatch threads a
+//!   request id (client id + packet serial) through the logger so log
+//!   lines correlate with slow calls.
 //!
 //! ## Example: in-process daemon + remote client
 //!

@@ -66,9 +66,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--quiet-hosts" => options.quiet_hosts = true,
             "--help" | "-h" => {
-                return Err("usage: virtd [--name NAME] [--unix PATH|--no-unix] [--tcp ADDR] \
+                return Err(
+                    "usage: virtd [--name NAME] [--unix PATH|--no-unix] [--tcp ADDR] \
                             [--admin-unix PATH] [--max-clients N] [--quiet-hosts]"
-                    .to_string())
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -87,8 +89,8 @@ fn main() {
         }
     };
 
-    let mut builder = Virtd::builder(&options.name)
-        .config(VirtdConfig::new().max_clients(options.max_clients));
+    let mut builder =
+        Virtd::builder(&options.name).config(VirtdConfig::new().max_clients(options.max_clients));
     builder = if options.quiet_hosts {
         builder.with_quiet_hosts()
     } else {
@@ -132,7 +134,10 @@ fn main() {
             daemon.serve_admin(Box::new(listener));
         }
         Err(err) => {
-            eprintln!("virtd: cannot bind admin socket {}: {err}", options.admin_unix);
+            eprintln!(
+                "virtd: cannot bind admin socket {}: {err}",
+                options.admin_unix
+            );
             std::process::exit(1);
         }
     }

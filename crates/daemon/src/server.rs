@@ -10,13 +10,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{SystemTime, UNIX_EPOCH};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
+use virt_metrics::{Counter, Gauge, Registry};
 use virt_rpc::keepalive;
 use virt_rpc::message::{Header, MessageStatus, Packet, RpcError};
-use virt_rpc::transport::{Listener, Transport, TransportKind};
+use virt_rpc::transport::{Listener, MeteredTransport, Transport, TransportKind};
 use virt_rpc::{PoolLimits, PoolStats, WorkerPool};
 
 /// Handles one program's procedures for a server.
@@ -49,8 +50,12 @@ pub struct ClientHandle {
     pub id: u64,
     /// The transport this client is connected over.
     pub transport: Arc<dyn Transport>,
-    /// Wall-clock connect time.
+    /// Wall-clock connect time, for display only — subject to NTP steps
+    /// and manual clock changes.
     pub connected_at: SystemTime,
+    /// Monotonic connect time; durations derived from this cannot go
+    /// backwards or jump when the wall clock is adjusted.
+    pub connected_since: Instant,
     /// Session identity, filled in by the dispatcher (AUTH/OPEN).
     pub identity: Mutex<ClientIdentity>,
 }
@@ -70,12 +75,19 @@ impl ClientHandle {
         self.transport.kind()
     }
 
-    /// Seconds since the Unix epoch at connect time.
+    /// Seconds since the Unix epoch at connect time (display only).
     pub fn connected_secs(&self) -> u64 {
         self.connected_at
             .duration_since(UNIX_EPOCH)
             .unwrap_or_default()
             .as_secs()
+    }
+
+    /// Seconds this client has been connected, measured on the monotonic
+    /// clock — unlike deriving it from [`ClientHandle::connected_at`],
+    /// this cannot go negative or jump when the wall clock is stepped.
+    pub fn session_secs(&self) -> u64 {
+        self.connected_since.elapsed().as_secs()
     }
 }
 
@@ -88,8 +100,10 @@ pub struct ClientSnapshot {
     pub transport: String,
     /// Peer description.
     pub peer: String,
-    /// Connect time, seconds since epoch.
+    /// Connect time, seconds since epoch (display).
     pub connected_secs: u64,
+    /// Session age in seconds, from the monotonic clock.
+    pub session_secs: u64,
     /// Authenticated username, empty when unauthenticated.
     pub username: String,
     /// Whether the session is read-only.
@@ -99,8 +113,38 @@ pub struct ClientSnapshot {
 struct ServerState {
     clients: HashMap<u64, Arc<ClientHandle>>,
     max_clients: u32,
-    /// Clients refused because the table was full (for tests/metrics).
-    refused: u64,
+}
+
+/// Per-server admission and transport counters. All atomics, shared with
+/// the metrics registry via [`Server::publish_metrics`] so the admin
+/// interface observes live values.
+#[derive(Debug)]
+struct ServerMetrics {
+    /// Connections admitted into the client table.
+    clients_accepted: Arc<Counter>,
+    /// Connections refused because the table was full.
+    clients_refused: Arc<Counter>,
+    /// Clients connected right now.
+    clients_connected: Arc<Gauge>,
+    /// Keepalive pings answered inline.
+    keepalive_pings: Arc<Counter>,
+    /// Frame payload bytes received from all clients.
+    bytes_in: Arc<Counter>,
+    /// Frame payload bytes sent to all clients.
+    bytes_out: Arc<Counter>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        ServerMetrics {
+            clients_accepted: Arc::new(Counter::new()),
+            clients_refused: Arc::new(Counter::new()),
+            clients_connected: Arc::new(Gauge::new()),
+            keepalive_pings: Arc::new(Counter::new()),
+            bytes_in: Arc::new(Counter::new()),
+            bytes_out: Arc::new(Counter::new()),
+        }
+    }
 }
 
 /// A named server: worker pool + client table + attached services.
@@ -109,6 +153,7 @@ pub struct Server {
     pool: WorkerPool,
     dispatcher: Arc<dyn ProgramDispatcher>,
     state: Mutex<ServerState>,
+    metrics: ServerMetrics,
     next_client_id: AtomicU64,
     running: Arc<AtomicBool>,
 }
@@ -141,8 +186,8 @@ impl Server {
             state: Mutex::new(ServerState {
                 clients: HashMap::new(),
                 max_clients,
-                refused: 0,
             }),
+            metrics: ServerMetrics::new(),
             next_client_id: AtomicU64::new(1),
             running: Arc::new(AtomicBool::new(true)),
         }))
@@ -151,6 +196,46 @@ impl Server {
     /// The server's name (`virtd`, `admin`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Publishes this server's metrics into `registry`: admission and
+    /// transport counters as `server.{name}.*` and the worker pool's
+    /// histograms and gauges as `pool.{name}.*`. The registry shares the
+    /// server's own atomics, so snapshots are always live.
+    pub fn publish_metrics(&self, registry: &Registry) {
+        let n = &self.name;
+        let m = &self.metrics;
+        let _ = registry.register_counter(
+            &format!("server.{n}.clients_accepted"),
+            "Connections admitted into the client table",
+            Arc::clone(&m.clients_accepted),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.clients_refused"),
+            "Connections refused because the client limit was reached",
+            Arc::clone(&m.clients_refused),
+        );
+        let _ = registry.register_gauge(
+            &format!("server.{n}.clients_connected"),
+            "Clients connected right now",
+            Arc::clone(&m.clients_connected),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.keepalive_pings"),
+            "Keepalive pings answered inline by the reader thread",
+            Arc::clone(&m.keepalive_pings),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.bytes_in"),
+            "Frame payload bytes received from clients",
+            Arc::clone(&m.bytes_in),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.bytes_out"),
+            "Frame payload bytes sent to clients",
+            Arc::clone(&m.bytes_out),
+        );
+        self.pool.publish_metrics(registry, n);
     }
 
     /// Worker pool statistics (admin `srv-threadpool-info`).
@@ -167,7 +252,8 @@ impl Server {
         self.pool.set_limits(limits)
     }
 
-    /// Jobs completed since start.
+    /// Jobs completed since start (a thin read of the pool's
+    /// registry-backed counter).
     pub fn jobs_completed(&self) -> u64 {
         self.pool.completed()
     }
@@ -189,9 +275,10 @@ impl Server {
         self.state.lock().max_clients = max;
     }
 
-    /// Count of connections refused due to the client limit.
+    /// Count of connections refused due to the client limit (a thin read
+    /// of the registry-backed counter).
     pub fn refused_count(&self) -> u64 {
-        self.state.lock().refused
+        self.metrics.clients_refused.get()
     }
 
     /// Snapshots of all connected clients, id-ordered.
@@ -207,6 +294,7 @@ impl Server {
                     transport: c.transport_kind().to_string(),
                     peer: c.transport.peer(),
                     connected_secs: c.connected_secs(),
+                    session_secs: c.session_secs(),
                     username: identity.username.unwrap_or_default(),
                     readonly: identity.readonly,
                 }
@@ -257,22 +345,32 @@ impl Server {
     /// tests and by in-process endpoints.
     pub fn admit(self: &Arc<Self>, transport: Arc<dyn Transport>) {
         {
-            let mut state = self.state.lock();
+            let state = self.state.lock();
             if state.clients.len() as u32 >= state.max_clients {
-                state.refused += 1;
                 drop(state);
+                self.metrics.clients_refused.inc();
                 let _ = transport.shutdown();
                 return;
             }
         }
+        // Meter the transport so every frame this client exchanges lands
+        // in the server's byte counters.
+        let transport: Arc<dyn Transport> = Arc::new(MeteredTransport::new(
+            transport,
+            Arc::clone(&self.metrics.bytes_in),
+            Arc::clone(&self.metrics.bytes_out),
+        ));
         let id = self.next_client_id.fetch_add(1, Ordering::Relaxed);
         let client = Arc::new(ClientHandle {
             id,
             transport,
             connected_at: SystemTime::now(),
+            connected_since: Instant::now(),
             identity: Mutex::new(ClientIdentity::default()),
         });
         self.state.lock().clients.insert(id, Arc::clone(&client));
+        self.metrics.clients_accepted.inc();
+        self.metrics.clients_connected.inc();
 
         let server = Arc::clone(self);
         std::thread::Builder::new()
@@ -295,6 +393,7 @@ impl Server {
             // Keepalive is answered inline, never queued: liveness probes
             // must not wait behind a busy pool.
             if let Some(pong) = keepalive::respond(&packet) {
+                self.metrics.keepalive_pings.inc();
                 let _ = client.send(&pong);
                 continue;
             }
@@ -328,7 +427,9 @@ impl Server {
             });
         }
         // Cleanup.
-        self.state.lock().clients.remove(&client.id);
+        if self.state.lock().clients.remove(&client.id).is_some() {
+            self.metrics.clients_connected.dec();
+        }
         self.dispatcher.on_disconnect(client.id);
         let _ = client.transport.shutdown();
     }
@@ -404,14 +505,18 @@ mod tests {
     fn wait_until(pred: impl Fn() -> bool, what: &str) {
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while !pred() {
-            assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {what}"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
     }
 
     #[test]
     fn round_trip_through_the_pool() {
-        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
         let client = connect(&server);
         let reply: String = client.call(REMOTE_PROGRAM, 1, &"ping".to_string()).unwrap();
         assert_eq!(reply, "ping");
@@ -423,7 +528,8 @@ mod tests {
 
     #[test]
     fn client_limit_refuses_excess_connections() {
-        let server = Server::new("t", small_limits(), 2, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 2, Arc::new(EchoDispatcher::default())).unwrap();
         let c1 = connect(&server);
         let c2 = connect(&server);
         // Both are live.
@@ -431,7 +537,9 @@ mod tests {
         let _: String = c2.call(REMOTE_PROGRAM, 1, &"b".to_string()).unwrap();
         // The third connection is refused: its transport gets shut down.
         let c3 = connect(&server);
-        let err = c3.call::<String>(REMOTE_PROGRAM, 1, &"c".to_string()).unwrap_err();
+        let err = c3
+            .call::<String>(REMOTE_PROGRAM, 1, &"c".to_string())
+            .unwrap_err();
         assert!(matches!(
             err,
             virt_rpc::client::CallError::Disconnected | virt_rpc::client::CallError::Io(_)
@@ -443,7 +551,8 @@ mod tests {
 
     #[test]
     fn raising_the_limit_admits_new_clients() {
-        let server = Server::new("t", small_limits(), 1, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 1, Arc::new(EchoDispatcher::default())).unwrap();
         let _c1 = connect(&server);
         wait_until(|| server.client_count() == 1, "first client admitted");
         server.set_max_clients(2);
@@ -455,15 +564,21 @@ mod tests {
 
     #[test]
     fn forced_disconnect_removes_the_client() {
-        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
         let client = connect(&server);
         let _: String = client.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
         let id = server.clients()[0].id;
         assert!(server.disconnect_client(id));
         wait_until(|| server.client_count() == 0, "client table drained");
-        assert!(!server.disconnect_client(id), "second disconnect reports absence");
+        assert!(
+            !server.disconnect_client(id),
+            "second disconnect reports absence"
+        );
         // The client observes the closed connection.
-        let err = client.call::<String>(REMOTE_PROGRAM, 1, &"y".to_string()).unwrap_err();
+        let err = client
+            .call::<String>(REMOTE_PROGRAM, 1, &"y".to_string())
+            .unwrap_err();
         assert!(matches!(
             err,
             virt_rpc::client::CallError::Disconnected | virt_rpc::client::CallError::Io(_)
@@ -473,7 +588,8 @@ mod tests {
 
     #[test]
     fn client_snapshots_expose_identity() {
-        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
         let client = connect(&server);
         let _: String = client.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
         let snapshots = server.clients();
@@ -504,11 +620,18 @@ mod tests {
         // from a second thread.
         let hang_client = client.clone();
         let hanging = std::thread::spawn(move || {
-            let _: String = hang_client.call(REMOTE_PROGRAM, 99, &"hang".to_string()).unwrap();
+            let _: String = hang_client
+                .call(REMOTE_PROGRAM, 99, &"hang".to_string())
+                .unwrap();
         });
-        wait_until(|| server.pool_stats().free_workers == 0, "ordinary worker busy");
+        wait_until(
+            || server.pool_stats().free_workers == 0,
+            "ordinary worker busy",
+        );
         // The high-priority procedure still completes.
-        let reply: String = client.call(REMOTE_PROGRAM, 7, &"urgent".to_string()).unwrap();
+        let reply: String = client
+            .call(REMOTE_PROGRAM, 7, &"urgent".to_string())
+            .unwrap();
         assert_eq!(reply, "urgent");
         hang_tx.send(()).unwrap();
         hanging.join().unwrap();
@@ -517,7 +640,8 @@ mod tests {
 
     #[test]
     fn pool_limits_adjustable_at_runtime() {
-        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
         server
             .set_pool_limits(PoolLimits {
                 min_workers: 3,
@@ -544,7 +668,8 @@ mod tests {
 
     #[test]
     fn keepalive_pings_answered_inline() {
-        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
         let (client_side, server_side) = memory_pair();
         server.admit(Arc::new(server_side));
         // Raw ping (no CallClient, to observe the pong frame directly).
@@ -558,7 +683,8 @@ mod tests {
 
     #[test]
     fn wrong_program_gets_an_error_reply() {
-        let server = Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
         let (client_side, server_side) = memory_pair();
         server.admit(Arc::new(server_side));
         let call = Packet::new(Header::call(0xbad, 1, 5), &());
@@ -594,7 +720,10 @@ mod tests {
         let _: String = c2.call(REMOTE_PROGRAM, 1, &"x".to_string()).unwrap();
         c1.close();
         c2.close();
-        wait_until(|| dispatcher.disconnects.lock().len() == 2, "both disconnect callbacks");
+        wait_until(
+            || dispatcher.disconnects.lock().len() == 2,
+            "both disconnect callbacks",
+        );
         server.shutdown();
     }
 

@@ -233,13 +233,22 @@ impl DomainSpec {
     /// zero, vCPUs are zero, or `max_memory < memory`.
     pub fn validate(&self) -> SimResult<()> {
         if self.name.is_empty() {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "domain name is empty"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "domain name is empty",
+            ));
         }
         if self.memory == MiB::ZERO {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "memory must be > 0"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "memory must be > 0",
+            ));
         }
         if self.vcpus == 0 {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "vcpus must be > 0"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "vcpus must be > 0",
+            ));
         }
         if self.max_memory < self.memory {
             return Err(SimError::new(
@@ -317,7 +326,10 @@ impl SimDomain {
     pub fn cpu_time_ns_at(&self, now: SimTime) -> u64 {
         let live = self
             .running_since
-            .map(|since| now.saturating_duration_since(since).as_nanos() as u64 * self.spec.vcpu_count() as u64)
+            .map(|since| {
+                now.saturating_duration_since(since).as_nanos() as u64
+                    * self.spec.vcpu_count() as u64
+            })
             .unwrap_or(0);
         self.cpu_time_ns + live
     }
@@ -408,7 +420,11 @@ mod tests {
             SimErrorKind::InvalidArgument
         );
         assert_eq!(
-            DomainSpec::new("a").memory_mib(0).validate().unwrap_err().kind(),
+            DomainSpec::new("a")
+                .memory_mib(0)
+                .validate()
+                .unwrap_err()
+                .kind(),
             SimErrorKind::InvalidArgument
         );
         assert_eq!(
@@ -416,7 +432,10 @@ mod tests {
             SimErrorKind::InvalidArgument
         );
         let bad_max = DomainSpec::new("a").memory_mib(1024).max_memory_mib(512);
-        assert_eq!(bad_max.validate().unwrap_err().kind(), SimErrorKind::InvalidArgument);
+        assert_eq!(
+            bad_max.validate().unwrap_err().kind(),
+            SimErrorKind::InvalidArgument
+        );
     }
 
     #[test]
@@ -458,8 +477,15 @@ mod tests {
 
     #[test]
     fn destroy_works_from_any_active_or_crashed_state() {
-        for state in [DomainState::Running, DomainState::Paused, DomainState::Crashed] {
-            assert_eq!(transition(state, OpKind::Destroy).unwrap(), DomainState::Shutoff);
+        for state in [
+            DomainState::Running,
+            DomainState::Paused,
+            DomainState::Crashed,
+        ] {
+            assert_eq!(
+                transition(state, OpKind::Destroy).unwrap(),
+                DomainState::Shutoff
+            );
         }
     }
 
@@ -473,7 +499,11 @@ mod tests {
 
     #[test]
     fn snapshot_preserves_state() {
-        for state in [DomainState::Running, DomainState::Paused, DomainState::Shutoff] {
+        for state in [
+            DomainState::Running,
+            DomainState::Paused,
+            DomainState::Shutoff,
+        ] {
             assert_eq!(transition(state, OpKind::Snapshot).unwrap(), state);
         }
     }

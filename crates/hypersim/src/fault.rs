@@ -58,13 +58,19 @@ impl FaultPlan {
 
     /// Fails the `occurrence`-th (1-based) invocation of `op`.
     pub fn fail_on(mut self, op: OpKind, occurrence: u64) -> Self {
-        self.scheduled.entry(op).or_default().push((occurrence, FaultAction::Fail));
+        self.scheduled
+            .entry(op)
+            .or_default()
+            .push((occurrence, FaultAction::Fail));
         self
     }
 
     /// Applies `action` on the `occurrence`-th (1-based) invocation of `op`.
     pub fn inject(mut self, op: OpKind, occurrence: u64, action: FaultAction) -> Self {
-        self.scheduled.entry(op).or_default().push((occurrence, action));
+        self.scheduled
+            .entry(op)
+            .or_default()
+            .push((occurrence, action));
         self
     }
 
@@ -149,9 +155,11 @@ mod tests {
 
     #[test]
     fn multiple_scheduled_faults_on_one_op() {
-        let plan = FaultPlan::new()
-            .fail_on(OpKind::Start, 1)
-            .inject(OpKind::Start, 2, FaultAction::CrashAfter);
+        let plan = FaultPlan::new().fail_on(OpKind::Start, 1).inject(
+            OpKind::Start,
+            2,
+            FaultAction::CrashAfter,
+        );
         assert_eq!(plan.check(OpKind::Start), Some(FaultAction::Fail));
         assert_eq!(plan.check(OpKind::Start), Some(FaultAction::CrashAfter));
         assert_eq!(plan.check(OpKind::Start), None);

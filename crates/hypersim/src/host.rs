@@ -181,7 +181,9 @@ impl SimHostBuilder {
     /// `default` NAT network pre-created and started (matching a stock
     /// libvirt install).
     pub fn build(self) -> SimHost {
-        let latency = self.latency.unwrap_or_else(|| self.personality.latency_model());
+        let latency = self
+            .latency
+            .unwrap_or_else(|| self.personality.latency_model());
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut pools = BTreeMap::new();
         let mut default_pool = SimPool::new(
@@ -255,7 +257,11 @@ impl SimHost {
     /// Host facts snapshot.
     pub fn info(&self) -> HostInfo {
         let state = self.shared.state.lock();
-        let active = state.domains.values().filter(|d| d.state.is_active()).count();
+        let active = state
+            .domains
+            .values()
+            .filter(|d| d.state.is_active())
+            .count();
         HostInfo {
             name: self.shared.name.clone(),
             hypervisor: self.shared.personality.name().to_string(),
@@ -277,7 +283,10 @@ impl SimHost {
         {
             let state = self.shared.state.lock();
             if !state.up {
-                return Err(SimError::new(SimErrorKind::HostDown, self.shared.name.clone()));
+                return Err(SimError::new(
+                    SimErrorKind::HostDown,
+                    self.shared.name.clone(),
+                ));
             }
         }
         if !self.shared.personality.supports(op) {
@@ -320,7 +329,10 @@ impl SimHost {
         self.charge(OpKind::Define, MiB::ZERO)?;
         let mut state = self.shared.state.lock();
         if state.domains.contains_key(spec.name()) {
-            return Err(SimError::new(SimErrorKind::DuplicateDomain, spec.name().to_string()));
+            return Err(SimError::new(
+                SimErrorKind::DuplicateDomain,
+                spec.name().to_string(),
+            ));
         }
         let uuid = gen_uuid(&mut state.rng);
         let domain = SimDomain::new(spec, uuid);
@@ -408,7 +420,12 @@ impl SimHost {
         }
     }
 
-    fn stop_common(&self, name: &str, op: OpKind, final_state: DomainState) -> SimResult<DomainInfo> {
+    fn stop_common(
+        &self,
+        name: &str,
+        op: OpKind,
+        final_state: DomainState,
+    ) -> SimResult<DomainInfo> {
         let memory = self.domain(name)?.memory;
         self.charge(op, memory)?;
         let mut state = self.shared.state.lock();
@@ -537,7 +554,10 @@ impl SimHost {
             ));
         }
         if new_memory == MiB::ZERO {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "memory must be > 0"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "memory must be > 0",
+            ));
         }
         let old = domain.spec.memory();
         let vcpus = domain.spec.vcpu_count();
@@ -548,7 +568,11 @@ impl SimHost {
             state.ledger.resize(old, new_memory, vcpus, vcpus)?;
         }
         let domain = state.domains.get_mut(&name_owned).expect("still present");
-        domain.spec = domain.spec.clone().memory_mib(new_memory.0).max_memory_mib(domain.spec.max_memory().0);
+        domain.spec = domain
+            .spec
+            .clone()
+            .memory_mib(new_memory.0)
+            .max_memory_mib(domain.spec.max_memory().0);
         Ok(domain.info_at(self.shared.clock.now()))
     }
 
@@ -556,7 +580,10 @@ impl SimHost {
     pub fn set_domain_vcpus(&self, name: &str, vcpus: u32) -> SimResult<DomainInfo> {
         self.charge(OpKind::SetResources, MiB::ZERO)?;
         if vcpus == 0 {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "vcpus must be > 0"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "vcpus must be > 0",
+            ));
         }
         if vcpus > self.shared.personality.capabilities().max_vcpus {
             return Err(SimError::new(
@@ -618,7 +645,11 @@ impl SimHost {
                 format!("no disk with target '{target}'"),
             ));
         }
-        let kept: Vec<SimDisk> = disks.iter().filter(|d| d.target != target).cloned().collect();
+        let kept: Vec<SimDisk> = disks
+            .iter()
+            .filter(|d| d.target != target)
+            .cloned()
+            .collect();
         let mut rebuilt = DomainSpec::new(domain.spec.name())
             .memory_mib(domain.spec.memory().0)
             .max_memory_mib(domain.spec.max_memory().0)
@@ -710,9 +741,11 @@ impl SimHost {
         }
         let now = self.shared.clock.now();
         let domain = state.domains.get_mut(&name_owned).expect("still present");
-        domain.spec = domain.spec.clone().memory_mib(record.memory.0).max_memory_mib(
-            domain.spec.max_memory().0.max(record.memory.0),
-        );
+        domain.spec = domain
+            .spec
+            .clone()
+            .memory_mib(record.memory.0)
+            .max_memory_mib(domain.spec.max_memory().0.max(record.memory.0));
         domain.set_state(record.state, now);
         domain.id = match (was_active, will_be_active) {
             (false, true) => Some(next_id),
@@ -798,7 +831,11 @@ impl SimHost {
     pub fn list_domains(&self) -> SimResult<Vec<DomainInfo>> {
         self.charge(OpKind::ListDomains, MiB::ZERO)?;
         let state = self.shared.state.lock();
-        Ok(state.domains.values().map(|d| d.info_at(self.shared.clock.now())).collect())
+        Ok(state
+            .domains
+            .values()
+            .map(|d| d.info_at(self.shared.clock.now()))
+            .collect())
     }
 
     // ---- storage ---------------------------------------------------------
@@ -808,10 +845,15 @@ impl SimHost {
         self.charge(OpKind::Storage, MiB::ZERO)?;
         let mut state = self.shared.state.lock();
         if state.pools.contains_key(spec.name()) {
-            return Err(SimError::new(SimErrorKind::DuplicatePool, spec.name().to_string()));
+            return Err(SimError::new(
+                SimErrorKind::DuplicatePool,
+                spec.name().to_string(),
+            ));
         }
         let uuid = gen_uuid(&mut state.rng);
-        state.pools.insert(spec.name().to_string(), SimPool::new(&spec, uuid));
+        state
+            .pools
+            .insert(spec.name().to_string(), SimPool::new(&spec, uuid));
         Ok(())
     }
 
@@ -901,7 +943,11 @@ impl SimHost {
         self.with_pool_mut(pool, |p| p.clone_volume(source, new_name))
     }
 
-    fn with_pool_mut<T>(&self, name: &str, f: impl FnOnce(&mut SimPool) -> SimResult<T>) -> SimResult<T> {
+    fn with_pool_mut<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut SimPool) -> SimResult<T>,
+    ) -> SimResult<T> {
         let mut state = self.shared.state.lock();
         let pool = state
             .pools
@@ -917,10 +963,15 @@ impl SimHost {
         self.charge(OpKind::Network, MiB::ZERO)?;
         let mut state = self.shared.state.lock();
         if state.networks.contains_key(spec.name()) {
-            return Err(SimError::new(SimErrorKind::DuplicateNetwork, spec.name().to_string()));
+            return Err(SimError::new(
+                SimErrorKind::DuplicateNetwork,
+                spec.name().to_string(),
+            ));
         }
         let uuid = gen_uuid(&mut state.rng);
-        state.networks.insert(spec.name().to_string(), SimNetwork::new(&spec, uuid));
+        state
+            .networks
+            .insert(spec.name().to_string(), SimNetwork::new(&spec, uuid));
         Ok(())
     }
 
@@ -991,7 +1042,11 @@ impl SimHost {
         self.with_network_mut(network, |net| Ok(net.release_lease(mac)))
     }
 
-    fn with_network_mut<T>(&self, name: &str, f: impl FnOnce(&mut SimNetwork) -> SimResult<T>) -> SimResult<T> {
+    fn with_network_mut<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut SimNetwork) -> SimResult<T>,
+    ) -> SimResult<T> {
         let mut state = self.shared.state.lock();
         let net = state
             .networks
@@ -1071,14 +1126,24 @@ impl SimHost {
     /// # Errors
     ///
     /// [`SimErrorKind::DuplicateDomain`] on a name *or* UUID collision.
-    pub fn import_running_domain(&self, spec: DomainSpec, uuid: Option<[u8; 16]>) -> SimResult<DomainInfo> {
+    pub fn import_running_domain(
+        &self,
+        spec: DomainSpec,
+        uuid: Option<[u8; 16]>,
+    ) -> SimResult<DomainInfo> {
         spec.validate()?;
         let mut state = self.shared.state.lock();
         if !state.up {
-            return Err(SimError::new(SimErrorKind::HostDown, self.shared.name.clone()));
+            return Err(SimError::new(
+                SimErrorKind::HostDown,
+                self.shared.name.clone(),
+            ));
         }
         if state.domains.contains_key(spec.name()) {
-            return Err(SimError::new(SimErrorKind::DuplicateDomain, spec.name().to_string()));
+            return Err(SimError::new(
+                SimErrorKind::DuplicateDomain,
+                spec.name().to_string(),
+            ));
         }
         if let Some(uuid) = uuid {
             if state.domains.values().any(|d| d.uuid == uuid) {
@@ -1156,7 +1221,8 @@ mod tests {
     #[test]
     fn define_start_stop_cycle() {
         let host = quiet_host();
-        host.define_domain(DomainSpec::new("vm").memory_mib(1024).vcpus(2)).unwrap();
+        host.define_domain(DomainSpec::new("vm").memory_mib(1024).vcpus(2))
+            .unwrap();
         let info = host.start_domain("vm").unwrap();
         assert_eq!(info.state, DomainState::Running);
         assert_eq!(info.id, Some(1));
@@ -1180,7 +1246,10 @@ mod tests {
         let clock = SimClock::new();
         let host = SimHost::builder("h")
             .clock(clock.clone())
-            .latency(LatencyModel::with_default(OpCost::fixed(0)).set(OpKind::Start, OpCost::fixed(1_000)))
+            .latency(
+                LatencyModel::with_default(OpCost::fixed(0))
+                    .set(OpKind::Start, OpCost::fixed(1_000)),
+            )
             .build();
         host.define_domain(DomainSpec::new("vm")).unwrap();
         host.start_domain("vm").unwrap();
@@ -1203,7 +1272,9 @@ mod tests {
             .memory_mib(512)
             .latency(LatencyModel::zero())
             .build();
-        let err = host.create_domain(DomainSpec::new("big").memory_mib(1024)).unwrap_err();
+        let err = host
+            .create_domain(DomainSpec::new("big").memory_mib(1024))
+            .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::InsufficientResources);
         assert!(host.list_domains().unwrap().is_empty());
     }
@@ -1225,16 +1296,23 @@ mod tests {
         let host = quiet_host();
         host.define_domain(DomainSpec::new("vm")).unwrap();
         host.start_domain("vm").unwrap();
-        assert_eq!(host.suspend_domain("vm").unwrap().state, DomainState::Paused);
+        assert_eq!(
+            host.suspend_domain("vm").unwrap().state,
+            DomainState::Paused
+        );
         // Paused still holds resources.
         assert!(host.info().free_memory < MiB(16 * 1024));
-        assert_eq!(host.resume_domain("vm").unwrap().state, DomainState::Running);
+        assert_eq!(
+            host.resume_domain("vm").unwrap().state,
+            DomainState::Running
+        );
     }
 
     #[test]
     fn save_releases_resources_and_restore_reclaims() {
         let host = quiet_host();
-        host.define_domain(DomainSpec::new("vm").memory_mib(2048)).unwrap();
+        host.define_domain(DomainSpec::new("vm").memory_mib(2048))
+            .unwrap();
         host.start_domain("vm").unwrap();
         let saved = host.save_domain("vm").unwrap();
         assert_eq!(saved.state, DomainState::Saved);
@@ -1261,7 +1339,8 @@ mod tests {
     #[test]
     fn memory_ballooning_respects_maximum() {
         let host = quiet_host();
-        host.define_domain(DomainSpec::new("vm").memory_mib(1024).max_memory_mib(2048)).unwrap();
+        host.define_domain(DomainSpec::new("vm").memory_mib(1024).max_memory_mib(2048))
+            .unwrap();
         host.start_domain("vm").unwrap();
         host.set_domain_memory("vm", MiB(2048)).unwrap();
         assert_eq!(host.domain("vm").unwrap().memory, MiB(2048));
@@ -1278,7 +1357,10 @@ mod tests {
         host.start_domain("vm").unwrap();
         host.set_domain_vcpus("vm", 4).unwrap();
         assert_eq!(host.domain("vm").unwrap().vcpus, 4);
-        assert_eq!(host.set_domain_vcpus("vm", 0).unwrap_err().kind(), SimErrorKind::InvalidArgument);
+        assert_eq!(
+            host.set_domain_vcpus("vm", 0).unwrap_err().kind(),
+            SimErrorKind::InvalidArgument
+        );
         assert_eq!(
             host.set_domain_vcpus("vm", 100_000).unwrap_err().kind(),
             SimErrorKind::InvalidArgument
@@ -1406,7 +1488,8 @@ mod tests {
             .latency(LatencyModel::zero())
             .faults(FaultPlan::new().inject(OpKind::Start, 1, FaultAction::CrashAfter))
             .build();
-        host.define_domain(DomainSpec::new("vm").memory_mib(1024)).unwrap();
+        host.define_domain(DomainSpec::new("vm").memory_mib(1024))
+            .unwrap();
         let info = host.start_domain("vm").unwrap();
         assert_eq!(info.state, DomainState::Crashed);
         // Crashed domains hold no resources.
@@ -1422,7 +1505,11 @@ mod tests {
         let host = SimHost::builder("h")
             .clock(clock.clone())
             .latency(LatencyModel::zero())
-            .faults(FaultPlan::new().inject(OpKind::QueryDomain, 1, FaultAction::Hang(Duration::from_secs(30))))
+            .faults(FaultPlan::new().inject(
+                OpKind::QueryDomain,
+                1,
+                FaultAction::Hang(Duration::from_secs(30)),
+            ))
             .build();
         host.define_domain(DomainSpec::new("vm")).unwrap();
         host.domain("vm").unwrap();
@@ -1432,9 +1519,17 @@ mod tests {
     #[test]
     fn migration_export_import_forget() {
         let clock = SimClock::new();
-        let src = SimHost::builder("src").clock(clock.clone()).latency(LatencyModel::zero()).build();
-        let dst = SimHost::builder("dst").clock(clock).latency(LatencyModel::zero()).seed(9).build();
-        src.define_domain(DomainSpec::new("vm").memory_mib(1024)).unwrap();
+        let src = SimHost::builder("src")
+            .clock(clock.clone())
+            .latency(LatencyModel::zero())
+            .build();
+        let dst = SimHost::builder("dst")
+            .clock(clock)
+            .latency(LatencyModel::zero())
+            .seed(9)
+            .build();
+        src.define_domain(DomainSpec::new("vm").memory_mib(1024))
+            .unwrap();
         src.start_domain("vm").unwrap();
         let spec = src.export_domain_spec("vm").unwrap();
         let imported = dst.import_running_domain(spec, None).unwrap();
@@ -1447,24 +1542,38 @@ mod tests {
 
     #[test]
     fn import_rejects_duplicates_and_overcommit() {
-        let dst = SimHost::builder("dst").memory_mib(512).latency(LatencyModel::zero()).build();
+        let dst = SimHost::builder("dst")
+            .memory_mib(512)
+            .latency(LatencyModel::zero())
+            .build();
         dst.define_domain(DomainSpec::new("vm")).unwrap();
-        let err = dst.import_running_domain(DomainSpec::new("vm"), None).unwrap_err();
+        let err = dst
+            .import_running_domain(DomainSpec::new("vm"), None)
+            .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::DuplicateDomain);
-        let err = dst.import_running_domain(DomainSpec::new("big").memory_mib(4096), None).unwrap_err();
+        let err = dst
+            .import_running_domain(DomainSpec::new("big").memory_mib(4096), None)
+            .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::InsufficientResources);
     }
 
     #[test]
     fn pool_and_volume_operations_through_host() {
         let host = quiet_host();
-        host.define_pool(PoolSpec::new("images", crate::storage::PoolBackend::Dir, MiB(1000)))
-            .unwrap();
+        host.define_pool(PoolSpec::new(
+            "images",
+            crate::storage::PoolBackend::Dir,
+            MiB(1000),
+        ))
+        .unwrap();
         // Volumes require an active pool.
-        let err = host.create_volume("images", VolumeSpec::new("a", MiB(10))).unwrap_err();
+        let err = host
+            .create_volume("images", VolumeSpec::new("a", MiB(10)))
+            .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::InvalidState);
         host.start_pool("images").unwrap();
-        host.create_volume("images", VolumeSpec::new("a", MiB(10))).unwrap();
+        host.create_volume("images", VolumeSpec::new("a", MiB(10)))
+            .unwrap();
         host.clone_volume("images", "a", "b").unwrap();
         host.resize_volume("images", "b", MiB(20)).unwrap();
         assert_eq!(host.pool("images").unwrap().volume_count(), 2);
@@ -1477,10 +1586,15 @@ mod tests {
     #[test]
     fn network_lifecycle_and_leases_through_host() {
         let host = quiet_host();
-        host.define_network(NetworkSpec::new("lan", std::net::Ipv4Addr::new(10, 10, 0, 0)))
-            .unwrap();
+        host.define_network(NetworkSpec::new(
+            "lan",
+            std::net::Ipv4Addr::new(10, 10, 0, 0),
+        ))
+        .unwrap();
         host.start_network("lan").unwrap();
-        let lease = host.acquire_lease("lan", "52:54:00:aa:bb:cc", "vm").unwrap();
+        let lease = host
+            .acquire_lease("lan", "52:54:00:aa:bb:cc", "vm")
+            .unwrap();
         assert_eq!(lease.ip.octets()[3], 2);
         host.release_lease("lan", "52:54:00:aa:bb:cc").unwrap();
         host.stop_network("lan").unwrap();
@@ -1500,13 +1614,19 @@ mod tests {
     fn wall_time_scale_occupies_the_thread() {
         use crate::latency::OpCost;
         let host = SimHost::builder("h")
-            .latency(LatencyModel::with_default(OpCost::fixed(0)).set(OpKind::Start, OpCost::fixed(500_000)))
+            .latency(
+                LatencyModel::with_default(OpCost::fixed(0))
+                    .set(OpKind::Start, OpCost::fixed(500_000)),
+            )
             .wall_time_scale(0.01) // 500 ms simulated -> 5 ms wall
             .build();
         host.define_domain(DomainSpec::new("vm")).unwrap();
         let wall = std::time::Instant::now();
         host.start_domain("vm").unwrap();
-        assert!(wall.elapsed() >= Duration::from_millis(4), "start occupied the thread");
+        assert!(
+            wall.elapsed() >= Duration::from_millis(4),
+            "start occupied the thread"
+        );
         // Virtual time still advanced by the full simulated cost.
         assert_eq!(host.clock().now().as_millis(), 500);
     }

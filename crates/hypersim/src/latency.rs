@@ -96,12 +96,18 @@ pub struct OpCost {
 impl OpCost {
     /// A fixed cost with no memory-proportional term.
     pub const fn fixed(base_us: u64) -> Self {
-        OpCost { base_us, per_mib_ns: 0 }
+        OpCost {
+            base_us,
+            per_mib_ns: 0,
+        }
     }
 
     /// A cost with both fixed and per-MiB terms.
     pub const fn scaled(base_us: u64, per_mib_ns: u64) -> Self {
-        OpCost { base_us, per_mib_ns }
+        OpCost {
+            base_us,
+            per_mib_ns,
+        }
     }
 
     /// Total cost for an operation touching `memory`.
@@ -226,8 +232,8 @@ mod tests {
 
     #[test]
     fn per_op_override_beats_default() {
-        let model = LatencyModel::with_default(OpCost::fixed(10))
-            .set(OpKind::Start, OpCost::fixed(1_000));
+        let model =
+            LatencyModel::with_default(OpCost::fixed(10)).set(OpKind::Start, OpCost::fixed(1_000));
         assert_eq!(
             model.deterministic_cost(OpKind::Start, MiB(1)),
             Duration::from_micros(1_000)
@@ -253,7 +259,9 @@ mod tests {
     fn jitter_is_deterministic_per_seed() {
         let run = |seed| {
             let model = LatencyModel::with_default(OpCost::fixed(500)).with_jitter(20, seed);
-            (0..10).map(|_| model.sample(OpKind::Start, MiB(0))).collect::<Vec<_>>()
+            (0..10)
+                .map(|_| model.sample(OpKind::Start, MiB(0)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

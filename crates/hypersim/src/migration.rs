@@ -60,10 +60,16 @@ impl MigrationParams {
     /// [`SimErrorKind::InvalidArgument`] when bandwidth or memory is zero.
     pub fn validate(&self) -> SimResult<()> {
         if self.bandwidth_mib_s == 0 {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "bandwidth is zero"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "bandwidth is zero",
+            ));
         }
         if self.memory == MiB::ZERO {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "memory is zero"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "memory is zero",
+            ));
         }
         Ok(())
     }
@@ -259,8 +265,10 @@ mod tests {
 
     #[test]
     fn wider_downtime_budget_reduces_iterations() {
-        let tight = MigrationParams::new(MiB(8192), 400, 1000).downtime_limit(Duration::from_millis(50));
-        let loose = MigrationParams::new(MiB(8192), 400, 1000).downtime_limit(Duration::from_secs(2));
+        let tight =
+            MigrationParams::new(MiB(8192), 400, 1000).downtime_limit(Duration::from_millis(50));
+        let loose =
+            MigrationParams::new(MiB(8192), 400, 1000).downtime_limit(Duration::from_secs(2));
         let tight_outcome = simulate_precopy(&tight).unwrap();
         let loose_outcome = simulate_precopy(&loose).unwrap();
         assert!(loose_outcome.iterations() <= tight_outcome.iterations());

@@ -56,7 +56,10 @@ impl MonitorCommand {
                     SimError::new(SimErrorKind::InvalidArgument, "balloon requires a size")
                 })?;
                 let mib = arg.parse::<u64>().map_err(|_| {
-                    SimError::new(SimErrorKind::InvalidArgument, format!("bad balloon size '{arg}'"))
+                    SimError::new(
+                        SimErrorKind::InvalidArgument,
+                        format!("bad balloon size '{arg}'"),
+                    )
                 })?;
                 MonitorCommand::Balloon(mib)
             }
@@ -228,12 +231,21 @@ mod tests {
     #[test]
     fn status_tracks_lifecycle() {
         let (_host, monitor) = running_vm();
-        assert_eq!(monitor.execute_line("query-status").unwrap(), "status: running");
+        assert_eq!(
+            monitor.execute_line("query-status").unwrap(),
+            "status: running"
+        );
         monitor.execute_line("stop").unwrap();
-        assert_eq!(monitor.execute_line("query-status").unwrap(), "status: paused");
+        assert_eq!(
+            monitor.execute_line("query-status").unwrap(),
+            "status: paused"
+        );
         monitor.execute_line("cont").unwrap();
         monitor.execute_line("system_powerdown").unwrap();
-        assert_eq!(monitor.execute_line("query-status").unwrap(), "status: shutdown");
+        assert_eq!(
+            monitor.execute_line("query-status").unwrap(),
+            "status: shutdown"
+        );
     }
 
     #[test]

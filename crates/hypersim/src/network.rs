@@ -221,7 +221,10 @@ mod tests {
     use super::*;
 
     fn active_net() -> SimNetwork {
-        let mut net = SimNetwork::new(&NetworkSpec::new("default", Ipv4Addr::new(192, 168, 122, 0)), [3; 16]);
+        let mut net = SimNetwork::new(
+            &NetworkSpec::new("default", Ipv4Addr::new(192, 168, 122, 0)),
+            [3; 16],
+        );
         net.active = true;
         net
     }
@@ -286,7 +289,12 @@ mod tests {
 
     #[test]
     fn forward_mode_round_trip() {
-        for mode in [ForwardMode::Nat, ForwardMode::Route, ForwardMode::Isolated, ForwardMode::Bridge] {
+        for mode in [
+            ForwardMode::Nat,
+            ForwardMode::Route,
+            ForwardMode::Isolated,
+            ForwardMode::Bridge,
+        ] {
             assert_eq!(mode.to_string().parse::<ForwardMode>().unwrap(), mode);
         }
         assert!("tunnel".parse::<ForwardMode>().is_err());

@@ -294,7 +294,10 @@ impl Personality for EsxLike {
             .set(OpKind::ListDomains, OpCost::fixed(RTT_US + 5_000))
             .set(OpKind::SetResources, OpCost::fixed(RTT_US + 30_000))
             .set(OpKind::DeviceChange, OpCost::fixed(RTT_US + 80_000))
-            .set(OpKind::Snapshot, OpCost::scaled(RTT_US + 400_000, 1_500_000))
+            .set(
+                OpKind::Snapshot,
+                OpCost::scaled(RTT_US + 400_000, 1_500_000),
+            )
             .set(OpKind::MigratePage, OpCost::scaled(0, 1_100_000))
             .set(OpKind::Storage, OpCost::fixed(RTT_US + 40_000))
             .set(OpKind::Network, OpCost::fixed(RTT_US + 50_000))
@@ -327,23 +330,38 @@ mod tests {
     #[test]
     fn only_esx_persists_its_own_state() {
         for p in all() {
-            assert_eq!(p.hypervisor_persists_state(), p.name() == "esx", "{}", p.name());
+            assert_eq!(
+                p.hypervisor_persists_state(),
+                p.name() == "esx",
+                "{}",
+                p.name()
+            );
         }
     }
 
     #[test]
     fn containers_start_much_faster_than_vms() {
-        let lxc = LxcLike.latency_model().deterministic_cost(OpKind::Start, MiB(1024));
-        let qemu = QemuLike.latency_model().deterministic_cost(OpKind::Start, MiB(1024));
-        let xen = XenLike.latency_model().deterministic_cost(OpKind::Start, MiB(1024));
+        let lxc = LxcLike
+            .latency_model()
+            .deterministic_cost(OpKind::Start, MiB(1024));
+        let qemu = QemuLike
+            .latency_model()
+            .deterministic_cost(OpKind::Start, MiB(1024));
+        let xen = XenLike
+            .latency_model()
+            .deterministic_cost(OpKind::Start, MiB(1024));
         assert!(lxc * 10 < qemu, "lxc {lxc:?} vs qemu {qemu:?}");
         assert!(lxc * 10 < xen, "lxc {lxc:?} vs xen {xen:?}");
     }
 
     #[test]
     fn esx_queries_are_dominated_by_remote_rtt() {
-        let esx = EsxLike.latency_model().deterministic_cost(OpKind::QueryDomain, MiB(0));
-        let qemu = QemuLike.latency_model().deterministic_cost(OpKind::QueryDomain, MiB(0));
+        let esx = EsxLike
+            .latency_model()
+            .deterministic_cost(OpKind::QueryDomain, MiB(0));
+        let qemu = QemuLike
+            .latency_model()
+            .deterministic_cost(OpKind::QueryDomain, MiB(0));
         assert!(esx > qemu * 100, "esx {esx:?} vs qemu {qemu:?}");
     }
 

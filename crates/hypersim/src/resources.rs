@@ -191,7 +191,13 @@ impl CapacityLedger {
     ///
     /// Returns [`SimErrorKind::InsufficientResources`] when growing past
     /// capacity; the original reservation is left untouched.
-    pub fn resize(&mut self, old_memory: MiB, new_memory: MiB, old_vcpus: u32, new_vcpus: u32) -> SimResult<()> {
+    pub fn resize(
+        &mut self,
+        old_memory: MiB,
+        new_memory: MiB,
+        old_vcpus: u32,
+        new_vcpus: u32,
+    ) -> SimResult<()> {
         self.release(old_memory, old_vcpus);
         match self.reserve(new_memory, new_vcpus) {
             Ok(()) => Ok(()),
@@ -279,7 +285,9 @@ mod tests {
     fn resize_grows_and_shrinks() {
         let mut ledger = CapacityLedger::new(MiB(4096), 8, 1);
         ledger.reserve(MiB(1024), 2).expect("fits");
-        ledger.resize(MiB(1024), MiB(2048), 2, 4).expect("grow fits");
+        ledger
+            .resize(MiB(1024), MiB(2048), 2, 4)
+            .expect("grow fits");
         assert_eq!(ledger.used_memory(), MiB(2048));
         assert_eq!(ledger.used_vcpus(), 4);
         ledger.resize(MiB(2048), MiB(512), 4, 1).expect("shrink");

@@ -242,10 +242,16 @@ impl SimPool {
             ));
         }
         if spec.name().is_empty() {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "volume name is empty"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "volume name is empty",
+            ));
         }
         if spec.capacity() == MiB::ZERO {
-            return Err(SimError::new(SimErrorKind::InvalidArgument, "volume capacity is zero"));
+            return Err(SimError::new(
+                SimErrorKind::InvalidArgument,
+                "volume capacity is zero",
+            ));
         }
         if self.volumes.contains_key(spec.name()) {
             return Err(SimError::new(
@@ -309,9 +315,10 @@ impl SimPool {
     /// [`SimErrorKind::PoolFull`] when the growth exceeds free capacity.
     pub fn resize_volume(&mut self, name: &str, new_capacity: MiB) -> SimResult<()> {
         let available = self.available();
-        let volume = self.volumes.get_mut(name).ok_or_else(|| {
-            SimError::new(SimErrorKind::NoSuchVolume, format!("'{name}'"))
-        })?;
+        let volume = self
+            .volumes
+            .get_mut(name)
+            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchVolume, format!("'{name}'")))?;
         if new_capacity < volume.capacity {
             return Err(SimError::new(
                 SimErrorKind::InvalidArgument,
@@ -320,7 +327,10 @@ impl SimPool {
         }
         let growth = new_capacity - volume.capacity;
         if growth > available {
-            return Err(SimError::new(SimErrorKind::PoolFull, format!("growth of {growth}")));
+            return Err(SimError::new(
+                SimErrorKind::PoolFull,
+                format!("growth of {growth}"),
+            ));
         }
         volume.capacity = new_capacity;
         Ok(())
@@ -345,13 +355,18 @@ mod tests {
     use super::*;
 
     fn dir_pool(capacity: u64) -> SimPool {
-        SimPool::new(&PoolSpec::new("default", PoolBackend::Dir, MiB(capacity)), [1; 16])
+        SimPool::new(
+            &PoolSpec::new("default", PoolBackend::Dir, MiB(capacity)),
+            [1; 16],
+        )
     }
 
     #[test]
     fn create_volume_tracks_allocation() {
         let mut pool = dir_pool(1000);
-        let vol = pool.create_volume(&VolumeSpec::new("a.img", MiB(300))).unwrap();
+        let vol = pool
+            .create_volume(&VolumeSpec::new("a.img", MiB(300)))
+            .unwrap();
         assert_eq!(vol.path, "/var/lib/virt/default/a.img");
         assert_eq!(pool.allocation(), MiB(300));
         assert_eq!(pool.available(), MiB(700));
@@ -362,7 +377,9 @@ mod tests {
     fn duplicate_volume_rejected() {
         let mut pool = dir_pool(1000);
         pool.create_volume(&VolumeSpec::new("a", MiB(10))).unwrap();
-        let err = pool.create_volume(&VolumeSpec::new("a", MiB(10))).unwrap_err();
+        let err = pool
+            .create_volume(&VolumeSpec::new("a", MiB(10)))
+            .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::DuplicateVolume);
     }
 
@@ -370,7 +387,9 @@ mod tests {
     fn pool_capacity_is_enforced() {
         let mut pool = dir_pool(100);
         pool.create_volume(&VolumeSpec::new("a", MiB(90))).unwrap();
-        let err = pool.create_volume(&VolumeSpec::new("b", MiB(20))).unwrap_err();
+        let err = pool
+            .create_volume(&VolumeSpec::new("b", MiB(20)))
+            .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::PoolFull);
         // Exact fit is allowed.
         pool.create_volume(&VolumeSpec::new("c", MiB(10))).unwrap();
@@ -413,7 +432,8 @@ mod tests {
     #[test]
     fn clone_copies_capacity_and_format() {
         let mut pool = dir_pool(1000);
-        pool.create_volume(&VolumeSpec::new("base", MiB(100)).format("qcow2")).unwrap();
+        pool.create_volume(&VolumeSpec::new("base", MiB(100)).format("qcow2"))
+            .unwrap();
         let copy = pool.clone_volume("base", "copy").unwrap();
         assert_eq!(copy.capacity, MiB(100));
         assert_eq!(copy.format, "qcow2");
@@ -422,7 +442,10 @@ mod tests {
 
     #[test]
     fn iscsi_pool_has_fixed_volumes() {
-        let mut pool = SimPool::new(&PoolSpec::new("san", PoolBackend::Iscsi, MiB(10_000)), [2; 16]);
+        let mut pool = SimPool::new(
+            &PoolSpec::new("san", PoolBackend::Iscsi, MiB(10_000)),
+            [2; 16],
+        );
         pool.add_fixed_volume(SimVolume {
             name: "lun0".to_string(),
             capacity: MiB(5_000),
@@ -431,7 +454,9 @@ mod tests {
             path: "/dev/disk/by-path/ip-10.0.0.1:3260-lun-0".to_string(),
         });
         assert_eq!(pool.volume_count(), 1);
-        let err = pool.create_volume(&VolumeSpec::new("x", MiB(1))).unwrap_err();
+        let err = pool
+            .create_volume(&VolumeSpec::new("x", MiB(1)))
+            .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::Unsupported);
         let err = pool.delete_volume("lun0").unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::Unsupported);
@@ -441,18 +466,27 @@ mod tests {
     fn invalid_volume_specs_rejected() {
         let mut pool = dir_pool(100);
         assert_eq!(
-            pool.create_volume(&VolumeSpec::new("", MiB(1))).unwrap_err().kind(),
+            pool.create_volume(&VolumeSpec::new("", MiB(1)))
+                .unwrap_err()
+                .kind(),
             SimErrorKind::InvalidArgument
         );
         assert_eq!(
-            pool.create_volume(&VolumeSpec::new("a", MiB(0))).unwrap_err().kind(),
+            pool.create_volume(&VolumeSpec::new("a", MiB(0)))
+                .unwrap_err()
+                .kind(),
             SimErrorKind::InvalidArgument
         );
     }
 
     #[test]
     fn backend_parse_and_display_round_trip() {
-        for backend in [PoolBackend::Dir, PoolBackend::Logical, PoolBackend::Iscsi, PoolBackend::NetFs] {
+        for backend in [
+            PoolBackend::Dir,
+            PoolBackend::Logical,
+            PoolBackend::Iscsi,
+            PoolBackend::NetFs,
+        ] {
             let text = backend.to_string();
             assert_eq!(text.parse::<PoolBackend>().unwrap(), backend);
         }

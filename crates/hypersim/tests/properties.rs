@@ -155,8 +155,12 @@ fn cpu_time_accrues_only_while_running() {
 /// Snapshot revert restores state + memory with exact resource accounting.
 #[test]
 fn snapshot_revert_restores_state_and_accounting() {
-    let host = SimHost::builder("snap").memory_mib(8192).latency(LatencyModel::zero()).build();
-    host.define_domain(DomainSpec::new("vm").memory_mib(1024).max_memory_mib(4096)).unwrap();
+    let host = SimHost::builder("snap")
+        .memory_mib(8192)
+        .latency(LatencyModel::zero())
+        .build();
+    host.define_domain(DomainSpec::new("vm").memory_mib(1024).max_memory_mib(4096))
+        .unwrap();
     host.start_domain("vm").unwrap();
     host.snapshot_domain("vm", "running-1g").unwrap();
 
@@ -176,7 +180,10 @@ fn snapshot_revert_restores_state_and_accounting() {
     host.snapshot_domain("vm", "off").unwrap();
     host.start_domain("vm").unwrap();
     host.revert_snapshot("vm", "off").unwrap();
-    assert_eq!(host.domain("vm").unwrap().state, hypersim::DomainState::Shutoff);
+    assert_eq!(
+        host.domain("vm").unwrap().state,
+        hypersim::DomainState::Shutoff
+    );
     assert_eq!(host.info().free_memory, hypersim::MiB(8192));
 
     // Delete.

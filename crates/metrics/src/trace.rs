@@ -1,0 +1,94 @@
+//! Request-id tracing: correlates log records with the RPC that produced
+//! them.
+//!
+//! The daemon dispatches each RPC on a worker-pool thread. [`enter`] marks
+//! that thread as serving a request (client id + packet serial) for the
+//! duration of the returned guard; anything that logs meanwhile — driver
+//! code, the dispatcher itself — can pick the id up via [`current`] and
+//! stamp it on the record. A slow RPC seen in the latency histograms can
+//! then be matched to its exact log lines.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Identity of an in-flight RPC: which client sent it and the packet
+/// serial within that client's connection. Unique while the RPC lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RequestId {
+    /// Daemon-assigned client id.
+    pub client: u64,
+    /// Packet serial, as chosen by the client's call stub.
+    pub serial: u32,
+}
+
+impl RequestId {
+    pub fn new(client: u64, serial: u32) -> Self {
+        RequestId { client, serial }
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}.s{}", self.client, self.serial)
+    }
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<RequestId>> = const { Cell::new(None) };
+}
+
+/// The request id the current thread is serving, if any.
+pub fn current() -> Option<RequestId> {
+    CURRENT.with(|c| c.get())
+}
+
+/// Marks the current thread as serving `id` until the guard drops; nested
+/// spans restore the previous id.
+pub fn enter(id: RequestId) -> RequestSpan {
+    let previous = CURRENT.with(|c| c.replace(Some(id)));
+    RequestSpan { previous }
+}
+
+/// RAII guard returned by [`enter`].
+pub struct RequestSpan {
+    previous: Option<RequestId>,
+}
+
+impl Drop for RequestSpan {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_sets_and_restores() {
+        assert_eq!(current(), None);
+        {
+            let _outer = enter(RequestId::new(1, 10));
+            assert_eq!(current(), Some(RequestId::new(1, 10)));
+            {
+                let _inner = enter(RequestId::new(2, 20));
+                assert_eq!(current(), Some(RequestId::new(2, 20)));
+            }
+            assert_eq!(current(), Some(RequestId::new(1, 10)));
+        }
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn ids_render_compactly() {
+        assert_eq!(RequestId::new(3, 7).to_string(), "c3.s7");
+    }
+
+    #[test]
+    fn spans_are_thread_local() {
+        let _span = enter(RequestId::new(9, 9));
+        std::thread::spawn(|| assert_eq!(current(), None))
+            .join()
+            .unwrap();
+    }
+}

@@ -145,7 +145,12 @@ impl CallClient {
     /// - [`CallError::Remote`] when the peer replied with an error status,
     /// - [`CallError::Io`]/[`CallError::Disconnected`] on transport loss,
     /// - [`CallError::TimedOut`] past the configured timeout.
-    pub fn call_raw(&self, program: u32, procedure: u32, args: &impl XdrEncode) -> Result<Packet, CallError> {
+    pub fn call_raw(
+        &self,
+        program: u32,
+        procedure: u32,
+        args: &impl XdrEncode,
+    ) -> Result<Packet, CallError> {
         if self.is_closed() {
             return Err(CallError::Disconnected);
         }
@@ -264,37 +269,37 @@ mod tests {
     use super::*;
     use crate::message::REMOTE_PROGRAM;
     use crate::transport::{memory_pair, Transport};
-    
 
     /// A trivial echo server: replies to every call with its own payload;
     /// procedure 99 replies with an error; procedure 50 sends an event
     /// first.
     fn spawn_echo_server(server_side: impl Transport + 'static) {
-        std::thread::spawn(move || while let Ok(frame) = server_side.recv_frame() {
-            let packet = Packet::from_body(&frame).expect("valid packet");
-            match packet.header.procedure {
-                99 => {
-                    let reply = Packet::new(
-                        packet.header.reply_error(),
-                        &RpcError::new(42, "nope"),
-                    );
-                    let _ = server_side.send_frame(&reply.to_frame()[4..]);
-                }
-                50 => {
-                    let event = Packet::new(Header::event(REMOTE_PROGRAM, 7), &"boom".to_string());
-                    let _ = server_side.send_frame(&event.to_frame()[4..]);
-                    let reply = Packet {
-                        header: packet.header.reply_ok(),
-                        payload: packet.payload.clone(),
-                    };
-                    let _ = server_side.send_frame(&reply.to_frame()[4..]);
-                }
-                _ => {
-                    let reply = Packet {
-                        header: packet.header.reply_ok(),
-                        payload: packet.payload.clone(),
-                    };
-                    let _ = server_side.send_frame(&reply.to_frame()[4..]);
+        std::thread::spawn(move || {
+            while let Ok(frame) = server_side.recv_frame() {
+                let packet = Packet::from_body(&frame).expect("valid packet");
+                match packet.header.procedure {
+                    99 => {
+                        let reply =
+                            Packet::new(packet.header.reply_error(), &RpcError::new(42, "nope"));
+                        let _ = server_side.send_frame(&reply.to_frame()[4..]);
+                    }
+                    50 => {
+                        let event =
+                            Packet::new(Header::event(REMOTE_PROGRAM, 7), &"boom".to_string());
+                        let _ = server_side.send_frame(&event.to_frame()[4..]);
+                        let reply = Packet {
+                            header: packet.header.reply_ok(),
+                            payload: packet.payload.clone(),
+                        };
+                        let _ = server_side.send_frame(&reply.to_frame()[4..]);
+                    }
+                    _ => {
+                        let reply = Packet {
+                            header: packet.header.reply_ok(),
+                            payload: packet.payload.clone(),
+                        };
+                        let _ = server_side.send_frame(&reply.to_frame()[4..]);
+                    }
                 }
             }
         });
@@ -359,8 +364,12 @@ mod tests {
             let body: String = packet.decode_payload().expect("event payload");
             tx.send((packet.header.procedure, body)).unwrap();
         });
-        let _: String = client.call(REMOTE_PROGRAM, 50, &"x".to_string()).expect("call ok");
-        let (procedure, body) = rx.recv_timeout(Duration::from_secs(5)).expect("event delivered");
+        let _: String = client
+            .call(REMOTE_PROGRAM, 50, &"x".to_string())
+            .expect("call ok");
+        let (procedure, body) = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("event delivered");
         assert_eq!(procedure, 7);
         assert_eq!(body, "boom");
         client.close();

@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn respond_ignores_other_programs() {
-        let other = Packet::new(Header::call(crate::message::REMOTE_PROGRAM, PROC_PING, 1), &());
+        let other = Packet::new(
+            Header::call(crate::message::REMOTE_PROGRAM, PROC_PING, 1),
+            &(),
+        );
         assert!(respond(&other).is_none());
     }
 
@@ -166,7 +169,9 @@ mod tests {
         let t0 = Instant::now();
         let mut ka = KeepaliveState::new(cfg(1000, 3), t0);
         match ka.poll(t0) {
-            KeepaliveAction::Wait(deadline) => assert_eq!(deadline, t0 + Duration::from_millis(1000)),
+            KeepaliveAction::Wait(deadline) => {
+                assert_eq!(deadline, t0 + Duration::from_millis(1000))
+            }
             other => panic!("expected Wait, got {other:?}"),
         }
     }

@@ -49,4 +49,4 @@ pub mod xdr;
 pub use client::CallClient;
 pub use message::{Header, MessageStatus, MessageType, Packet, RpcError};
 pub use pool::{PoolLimits, PoolStats, WorkerPool};
-pub use transport::{memory_pair, Transport, TransportKind};
+pub use transport::{memory_pair, MeteredTransport, Transport, TransportKind};

@@ -16,11 +16,44 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
+use virt_metrics::{Counter, Gauge, Histogram, Registry};
 
 /// A unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A queued job plus the moment it was enqueued, so workers can record
+/// how long it sat waiting for a free thread.
+type QueuedJob = (Job, Instant);
+
+/// Pool instrumentation: all atomics, so the submit and worker paths
+/// never take an extra lock to record. The instances live on the pool
+/// itself and can additionally be published into a [`Registry`] with
+/// [`WorkerPool::publish_metrics`].
+#[derive(Debug)]
+struct PoolMetrics {
+    /// Time jobs spent queued before a worker picked them up.
+    wait_us: Arc<Histogram>,
+    /// Time jobs spent executing.
+    run_us: Arc<Histogram>,
+    /// Jobs currently sitting in either queue.
+    queue_depth: Arc<Gauge>,
+    /// Total jobs completed since start.
+    completed: Arc<Counter>,
+}
+
+impl PoolMetrics {
+    fn new() -> Self {
+        PoolMetrics {
+            wait_us: Arc::new(Histogram::new()),
+            run_us: Arc::new(Histogram::new()),
+            queue_depth: Arc::new(Gauge::new()),
+            completed: Arc::new(Counter::new()),
+        }
+    }
+}
 
 /// Configurable pool limits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,15 +120,13 @@ pub struct PoolStats {
 
 struct PoolState {
     limits: PoolLimits,
-    queue: VecDeque<Job>,
-    priority_queue: VecDeque<Job>,
+    queue: VecDeque<QueuedJob>,
+    priority_queue: VecDeque<QueuedJob>,
     current_workers: u32,
     free_workers: u32,
     priority_workers_alive: u32,
     free_priority_workers: u32,
     quitting: bool,
-    /// Jobs completed, for tests and conservation checks.
-    completed: u64,
 }
 
 struct PoolInner {
@@ -103,6 +134,7 @@ struct PoolInner {
     work_cv: Condvar,
     prio_cv: Condvar,
     idle_cv: Condvar,
+    metrics: PoolMetrics,
 }
 
 /// The worker pool. Cloning yields another handle to the same pool.
@@ -160,11 +192,11 @@ impl WorkerPool {
                     priority_workers_alive: 0,
                     free_priority_workers: 0,
                     quitting: false,
-                    completed: 0,
                 }),
                 work_cv: Condvar::new(),
                 prio_cv: Condvar::new(),
                 idle_cv: Condvar::new(),
+                metrics: PoolMetrics::new(),
             }),
         };
         {
@@ -184,17 +216,19 @@ impl WorkerPool {
     /// Spawns a new ordinary worker when none is free and the maximum has
     /// not been reached.
     pub fn submit(&self, high_priority: bool, job: impl FnOnce() + Send + 'static) {
+        let enqueued = Instant::now();
         let mut state = self.inner.state.lock();
         if state.quitting {
             return;
         }
+        self.inner.metrics.queue_depth.inc();
         if high_priority {
-            state.priority_queue.push_back(Box::new(job));
+            state.priority_queue.push_back((Box::new(job), enqueued));
             self.inner.prio_cv.notify_one();
             // Ordinary workers also service the priority queue.
             self.inner.work_cv.notify_one();
         } else {
-            state.queue.push_back(Box::new(job));
+            state.queue.push_back((Box::new(job), enqueued));
             self.inner.work_cv.notify_one();
         }
         // Grow on demand: pending ordinary work with no free worker.
@@ -245,7 +279,47 @@ impl WorkerPool {
 
     /// Total jobs completed since start.
     pub fn completed(&self) -> u64 {
-        self.inner.state.lock().completed
+        self.inner.metrics.completed.get()
+    }
+
+    /// Snapshot of the job wait-time histogram (time queued before a
+    /// worker picked the job up).
+    pub fn wait_histogram(&self) -> virt_metrics::HistogramSnapshot {
+        self.inner.metrics.wait_us.snapshot()
+    }
+
+    /// Snapshot of the job run-time histogram.
+    pub fn run_histogram(&self) -> virt_metrics::HistogramSnapshot {
+        self.inner.metrics.run_us.snapshot()
+    }
+
+    /// Publishes the pool's metric instances into `registry` under
+    /// `pool.{name}.`: wait/run-time histograms, queue-depth gauge and
+    /// the completed-job counter. The registry shares the pool's own
+    /// atomics, so snapshots observe live values without extra work on
+    /// the submit/execute paths.
+    pub fn publish_metrics(&self, registry: &Registry, name: &str) {
+        let m = &self.inner.metrics;
+        let _ = registry.register_histogram(
+            &format!("pool.{name}.wait_us"),
+            "Time jobs spent queued before a worker picked them up",
+            Arc::clone(&m.wait_us),
+        );
+        let _ = registry.register_histogram(
+            &format!("pool.{name}.run_us"),
+            "Time jobs spent executing on a worker",
+            Arc::clone(&m.run_us),
+        );
+        let _ = registry.register_gauge(
+            &format!("pool.{name}.queue_depth"),
+            "Jobs currently waiting in the pool queues",
+            Arc::clone(&m.queue_depth),
+        );
+        let _ = registry.register_counter(
+            &format!("pool.{name}.completed"),
+            "Total jobs completed since the pool started",
+            Arc::clone(&m.completed),
+        );
     }
 
     /// Blocks until both queues are empty and all workers are idle.
@@ -271,6 +345,9 @@ impl WorkerPool {
         state.quitting = true;
         state.queue.clear();
         state.priority_queue.clear();
+        // Dropped jobs are no longer queued; running jobs were already
+        // deducted when a worker picked them up.
+        self.inner.metrics.queue_depth.set(0);
         self.inner.work_cv.notify_all();
         self.inner.prio_cv.notify_all();
         while state.current_workers > 0 || state.priority_workers_alive > 0 {
@@ -299,6 +376,18 @@ impl WorkerPool {
     }
 }
 
+/// Executes one dequeued job, recording its queue wait and run time.
+/// Called with the pool lock released; every record is a handful of
+/// relaxed atomic ops.
+fn run_job(metrics: &PoolMetrics, job: Job, enqueued: Instant) {
+    metrics.queue_depth.dec();
+    metrics.wait_us.record(enqueued.elapsed());
+    let started = Instant::now();
+    job();
+    metrics.run_us.record(started.elapsed());
+    metrics.completed.inc();
+}
+
 /// The quit check libvirt performs after waking and after each job:
 /// ordinary workers exit when the pool shrank below their headcount.
 fn should_quit_ordinary(state: &PoolState) -> bool {
@@ -317,13 +406,15 @@ fn ordinary_worker(inner: Arc<PoolInner>) {
         }
         // Ordinary workers may take priority jobs too (libvirt allows
         // ordinary workers to run high-priority tasks, not the reverse).
-        let job = state.queue.pop_front().or_else(|| state.priority_queue.pop_front());
+        let job = state
+            .queue
+            .pop_front()
+            .or_else(|| state.priority_queue.pop_front());
         match job {
-            Some(job) => {
+            Some((job, enqueued)) => {
                 drop(state);
-                job();
+                run_job(&inner.metrics, job, enqueued);
                 state = inner.state.lock();
-                state.completed += 1;
             }
             None => {
                 state.free_workers += 1;
@@ -344,11 +435,10 @@ fn priority_worker(inner: Arc<PoolInner>) {
             break;
         }
         match state.priority_queue.pop_front() {
-            Some(job) => {
+            Some((job, enqueued)) => {
                 drop(state);
-                job();
+                run_job(&inner.metrics, job, enqueued);
                 state = inner.state.lock();
-                state.completed += 1;
             }
             None => {
                 state.free_priority_workers += 1;
@@ -379,7 +469,10 @@ mod tests {
     fn wait_until(pred: impl Fn() -> bool, what: &str) {
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while !pred() {
-            assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timed out waiting for {what}"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
     }
@@ -489,7 +582,10 @@ mod tests {
         pool.submit(false, move || {
             rx.lock().recv().unwrap();
         });
-        wait_until(|| pool.stats().free_workers == 0, "the ordinary worker is busy");
+        wait_until(
+            || pool.stats().free_workers == 0,
+            "the ordinary worker is busy",
+        );
         // An ordinary job now queues; priority workers must not touch it.
         let flag = Arc::new(AtomicU32::new(0));
         let f = flag.clone();
@@ -497,7 +593,11 @@ mod tests {
             f.fetch_add(1, Ordering::SeqCst);
         });
         std::thread::sleep(Duration::from_millis(100));
-        assert_eq!(flag.load(Ordering::SeqCst), 0, "ordinary job ran on a priority worker");
+        assert_eq!(
+            flag.load(Ordering::SeqCst),
+            0,
+            "ordinary job ran on a priority worker"
+        );
         assert_eq!(pool.stats().job_queue_depth, 1);
         hang_tx.send(()).unwrap();
         pool.quiesce();
@@ -557,7 +657,11 @@ mod tests {
         });
         pool.shutdown();
         releaser.join().unwrap();
-        assert_eq!(never.load(Ordering::SeqCst), 0, "queued job must be dropped");
+        assert_eq!(
+            never.load(Ordering::SeqCst),
+            0,
+            "queued job must be dropped"
+        );
         assert_eq!(pool.stats().current_workers, 0);
     }
 

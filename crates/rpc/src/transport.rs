@@ -74,6 +74,73 @@ pub trait Transport: Send + Sync {
 }
 
 // ---------------------------------------------------------------------------
+// Byte accounting
+// ---------------------------------------------------------------------------
+
+/// A transport wrapper counting frame payload bytes in each direction.
+///
+/// The daemon wraps every accepted client transport in one of these so the
+/// metrics registry can expose per-service `bytes_in` / `bytes_out`
+/// totals. Counting is two relaxed atomic adds per frame; the wrapped
+/// transport is otherwise untouched.
+pub struct MeteredTransport {
+    inner: Arc<dyn Transport>,
+    bytes_in: Arc<virt_metrics::Counter>,
+    bytes_out: Arc<virt_metrics::Counter>,
+}
+
+impl MeteredTransport {
+    /// Wraps `inner`, adding received payload bytes to `bytes_in` and sent
+    /// payload bytes to `bytes_out`. The counters are shared, so one pair
+    /// can aggregate across every client of a service.
+    pub fn new(
+        inner: Arc<dyn Transport>,
+        bytes_in: Arc<virt_metrics::Counter>,
+        bytes_out: Arc<virt_metrics::Counter>,
+    ) -> Self {
+        MeteredTransport {
+            inner,
+            bytes_in,
+            bytes_out,
+        }
+    }
+}
+
+impl std::fmt::Debug for MeteredTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MeteredTransport")
+            .field("peer", &self.inner.peer())
+            .finish()
+    }
+}
+
+impl Transport for MeteredTransport {
+    fn send_frame(&self, body: &[u8]) -> io::Result<()> {
+        self.inner.send_frame(body)?;
+        self.bytes_out.add(body.len() as u64);
+        Ok(())
+    }
+
+    fn recv_frame(&self) -> io::Result<Vec<u8>> {
+        let frame = self.inner.recv_frame()?;
+        self.bytes_in.add(frame.len() as u64);
+        Ok(frame)
+    }
+
+    fn kind(&self) -> TransportKind {
+        self.inner.kind()
+    }
+
+    fn peer(&self) -> String {
+        self.inner.peer()
+    }
+
+    fn shutdown(&self) -> io::Result<()> {
+        self.inner.shutdown()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // In-memory transport
 // ---------------------------------------------------------------------------
 
@@ -91,7 +158,9 @@ pub struct MemoryTransport {
 
 impl std::fmt::Debug for MemoryTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemoryTransport").field("label", &self.label).finish()
+        f.debug_struct("MemoryTransport")
+            .field("label", &self.label)
+            .finish()
     }
 }
 
@@ -118,12 +187,7 @@ pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
     let b = MemoryTransport {
         tx: Mutex::new(Some(tx_ba)),
         rx: rx_ab,
-        self_tx: a
-            .tx
-            .lock()
-            .as_ref()
-            .expect("just constructed")
-            .clone(),
+        self_tx: a.tx.lock().as_ref().expect("just constructed").clone(),
         label: "memory:b".to_string(),
     };
     (a, b)
@@ -141,11 +205,15 @@ impl Transport for MemoryTransport {
 
     fn recv_frame(&self) -> io::Result<Vec<u8>> {
         match self.rx.recv() {
-            Ok(frame) if frame.is_empty() => {
-                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "transport closed"))
-            }
+            Ok(frame) if frame.is_empty() => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "transport closed",
+            )),
             Ok(frame) => Ok(frame),
-            Err(_) => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer disconnected")),
+            Err(_) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer disconnected",
+            )),
         }
     }
 
@@ -330,7 +398,9 @@ pub struct TlsSimTransport<T: Transport> {
 
 impl<T: Transport> std::fmt::Debug for TlsSimTransport<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TlsSimTransport").field("peer", &self.inner.peer()).finish()
+        f.debug_struct("TlsSimTransport")
+            .field("peer", &self.inner.peer())
+            .finish()
     }
 }
 
@@ -422,7 +492,9 @@ impl<T: Transport> Transport for TlsSimTransport<T> {
         protected.extend_from_slice(&fnv1a(body).to_be_bytes());
         keystream_apply(self.key, *seq, &mut protected);
         *seq += 1;
-        self.stats.bytes_protected.fetch_add(body.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_protected
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
         self.stats.frames.fetch_add(1, Ordering::Relaxed);
         self.inner.send_frame(&protected)
     }
@@ -432,14 +504,22 @@ impl<T: Transport> Transport for TlsSimTransport<T> {
         let seq = self.recv_seq.fetch_add(1, Ordering::Relaxed);
         keystream_apply(self.key, seq, &mut frame);
         if frame.len() < 8 {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "short TLS record"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "short TLS record",
+            ));
         }
         let (body, mac) = frame.split_at(frame.len() - 8);
         let expected = u64::from_be_bytes(mac.try_into().expect("8 bytes"));
         if fnv1a(body) != expected {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "record integrity check failed"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "record integrity check failed",
+            ));
         }
-        self.stats.bytes_protected.fetch_add(body.len() as u64, Ordering::Relaxed);
+        self.stats
+            .bytes_protected
+            .fetch_add(body.len() as u64, Ordering::Relaxed);
         self.stats.frames.fetch_add(1, Ordering::Relaxed);
         Ok(body.to_vec())
     }
@@ -519,11 +599,15 @@ pub fn memory_listener() -> (MemoryListener, MemoryConnector) {
 impl Listener for MemoryListener {
     fn accept(&self) -> io::Result<Box<dyn Transport>> {
         match self.incoming.recv() {
-            Ok(transport) if transport.peer() == "memory:closed" => {
-                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "listener closed"))
-            }
+            Ok(transport) if transport.peer() == "memory:closed" => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "listener closed",
+            )),
             Ok(transport) => Ok(Box::new(transport)),
-            Err(_) => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "listener closed")),
+            Err(_) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "listener closed",
+            )),
         }
     }
 
@@ -563,7 +647,10 @@ impl UnixSocketListener {
 impl Listener for UnixSocketListener {
     fn accept(&self) -> io::Result<Box<dyn Transport>> {
         let (stream, _addr) = self.listener.accept()?;
-        Ok(Box::new(UnixTransport::from_stream(stream, self.path.clone())?))
+        Ok(Box::new(UnixTransport::from_stream(
+            stream,
+            self.path.clone(),
+        )?))
     }
 
     fn local_desc(&self) -> String {
@@ -593,7 +680,10 @@ impl TcpSocketListener {
     pub fn bind(addr: &str) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let actual = listener.local_addr()?.to_string();
-        Ok(TcpSocketListener { listener, addr: actual })
+        Ok(TcpSocketListener {
+            listener,
+            addr: actual,
+        })
     }
 
     /// The actual bound address (useful with port 0).
@@ -606,7 +696,10 @@ impl Listener for TcpSocketListener {
     fn accept(&self) -> io::Result<Box<dyn Transport>> {
         let (stream, peer) = self.listener.accept()?;
         stream.set_nodelay(true)?;
-        Ok(Box::new(TcpTransport::from_stream(stream, peer.to_string())?))
+        Ok(Box::new(TcpTransport::from_stream(
+            stream,
+            peer.to_string(),
+        )?))
     }
 
     fn local_desc(&self) -> String {
@@ -648,7 +741,10 @@ mod tests {
         // Our own reader also unblocks.
         assert!(a.recv_frame().is_err());
         // Sends after shutdown fail.
-        assert_eq!(a.send_frame(&frame(30)).unwrap_err().kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(
+            a.send_frame(&frame(30)).unwrap_err().kind(),
+            io::ErrorKind::BrokenPipe
+        );
     }
 
     #[test]
@@ -824,10 +920,28 @@ mod tests {
             listener
         });
         let client = connector.connect().unwrap();
-        assert_eq!(client.recv_frame().unwrap(), b"helloxxxxxxxxxxxxxxxxxxxxxxxxxxx");
+        assert_eq!(
+            client.recv_frame().unwrap(),
+            b"helloxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+        );
         let listener = server.join().unwrap();
         listener.close();
         assert!(listener.accept().is_err());
+    }
+
+    #[test]
+    fn metered_transport_counts_payload_bytes() {
+        let (a, b) = memory_pair();
+        let bytes_in = Arc::new(virt_metrics::Counter::new());
+        let bytes_out = Arc::new(virt_metrics::Counter::new());
+        let metered =
+            MeteredTransport::new(Arc::new(a), Arc::clone(&bytes_in), Arc::clone(&bytes_out));
+        metered.send_frame(&frame(100)).unwrap();
+        b.send_frame(&frame(40)).unwrap();
+        assert_eq!(metered.recv_frame().unwrap(), frame(40));
+        assert_eq!(bytes_out.get(), 100);
+        assert_eq!(bytes_in.get(), 40);
+        assert_eq!(metered.kind(), TransportKind::Memory);
     }
 
     #[test]

@@ -253,7 +253,9 @@ impl XdrDecode for String {
             return Err(XdrError::LengthTooLarge(len));
         }
         let bytes = cursor.take(len as usize)?;
-        let s = std::str::from_utf8(bytes).map_err(|_| XdrError::InvalidUtf8)?.to_string();
+        let s = std::str::from_utf8(bytes)
+            .map_err(|_| XdrError::InvalidUtf8)?
+            .to_string();
         cursor.take_padding(len as usize)?;
         Ok(s)
     }
@@ -414,7 +416,11 @@ mod tests {
 
     fn round_trip<T: XdrEncode + XdrDecode + PartialEq + std::fmt::Debug>(value: T) {
         let encoded = value.to_xdr();
-        assert_eq!(encoded.len() % 4, 0, "XDR items are 4-byte aligned: {value:?}");
+        assert_eq!(
+            encoded.len() % 4,
+            0,
+            "XDR items are 4-byte aligned: {value:?}"
+        );
         let decoded = T::from_xdr(&encoded).expect("decode");
         assert_eq!(decoded, value);
     }

@@ -54,7 +54,11 @@ pub struct ParseXmlError {
 }
 
 impl ParseXmlError {
-    pub(crate) fn new(kind: ParseXmlErrorKind, position: usize, context: impl Into<String>) -> Self {
+    pub(crate) fn new(
+        kind: ParseXmlErrorKind,
+        position: usize,
+        context: impl Into<String>,
+    ) -> Self {
         ParseXmlError {
             kind,
             position,

@@ -47,24 +47,25 @@ pub(crate) fn resolve_entity(rest: &str, position: usize) -> Result<(char, usize
         "apos" => '\'',
         "quot" => '"',
         _ => {
-            let code = if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
-                u32::from_str_radix(hex, 16)
-            } else if let Some(dec) = body.strip_prefix('#') {
-                dec.parse::<u32>()
-            } else {
-                return Err(ParseXmlError::new(
-                    ParseXmlErrorKind::InvalidEntity,
-                    position,
-                    format!("unknown entity '&{body};'"),
-                ));
-            }
-            .map_err(|_| {
-                ParseXmlError::new(
-                    ParseXmlErrorKind::InvalidEntity,
-                    position,
-                    format!("bad character reference '&{body};'"),
-                )
-            })?;
+            let code =
+                if let Some(hex) = body.strip_prefix("#x").or_else(|| body.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16)
+                } else if let Some(dec) = body.strip_prefix('#') {
+                    dec.parse::<u32>()
+                } else {
+                    return Err(ParseXmlError::new(
+                        ParseXmlErrorKind::InvalidEntity,
+                        position,
+                        format!("unknown entity '&{body};'"),
+                    ));
+                }
+                .map_err(|_| {
+                    ParseXmlError::new(
+                        ParseXmlErrorKind::InvalidEntity,
+                        position,
+                        format!("bad character reference '&{body};'"),
+                    )
+                })?;
             char::from_u32(code).ok_or_else(|| {
                 ParseXmlError::new(
                     ParseXmlErrorKind::InvalidEntity,
@@ -100,7 +101,10 @@ mod tests {
 
     #[test]
     fn text_leaves_quotes_alone() {
-        assert_eq!(escape_text_str(r#"say "hi" 'there'"#), r#"say "hi" 'there'"#);
+        assert_eq!(
+            escape_text_str(r#"say "hi" 'there'"#),
+            r#"say "hi" 'there'"#
+        );
     }
 
     #[test]
@@ -113,7 +117,13 @@ mod tests {
 
     #[test]
     fn resolve_named_entities() {
-        for (body, ch) in [("lt;", '<'), ("gt;", '>'), ("amp;", '&'), ("apos;", '\''), ("quot;", '"')] {
+        for (body, ch) in [
+            ("lt;", '<'),
+            ("gt;", '>'),
+            ("amp;", '&'),
+            ("apos;", '\''),
+            ("quot;", '"'),
+        ] {
             let (decoded, consumed) = resolve_entity(body, 0).expect("named entity");
             assert_eq!(decoded, ch);
             assert_eq!(consumed, body.len());

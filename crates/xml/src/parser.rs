@@ -148,7 +148,9 @@ impl<'a> Cursor<'a> {
                 Some('/') => {
                     self.bump();
                     if !self.eat('>') {
-                        return Err(self.err(ParseXmlErrorKind::UnexpectedChar, "expected '>' after '/'"));
+                        return Err(
+                            self.err(ParseXmlErrorKind::UnexpectedChar, "expected '>' after '/'")
+                        );
                     }
                     return Ok(element);
                 }
@@ -197,7 +199,10 @@ impl<'a> Cursor<'a> {
                 }
                 self.skip_whitespace();
                 if !self.eat('>') {
-                    return Err(self.err(ParseXmlErrorKind::UnexpectedChar, "expected '>' in close tag"));
+                    return Err(self.err(
+                        ParseXmlErrorKind::UnexpectedChar,
+                        "expected '>' in close tag",
+                    ));
                 }
                 return Ok(element);
             } else if self.rest().starts_with("<!--") {
@@ -290,7 +295,10 @@ impl<'a> Cursor<'a> {
                 self.pos += end + 3;
                 Ok(body)
             }
-            None => Err(self.err(ParseXmlErrorKind::UnexpectedEof, "unterminated CDATA section")),
+            None => Err(self.err(
+                ParseXmlErrorKind::UnexpectedEof,
+                "unterminated CDATA section",
+            )),
         }
     }
 }
@@ -344,7 +352,8 @@ mod tests {
 
     #[test]
     fn parses_nested_children_and_text() {
-        let el = parse_document("<domain><name>vm</name><memory unit='MiB'>512</memory></domain>").unwrap();
+        let el = parse_document("<domain><name>vm</name><memory unit='MiB'>512</memory></domain>")
+            .unwrap();
         let children: Vec<_> = el.children().collect();
         assert_eq!(children.len(), 2);
         assert_eq!(children[0].text(), "vm");
@@ -361,7 +370,8 @@ mod tests {
 
     #[test]
     fn skips_declaration_and_comments_around_root() {
-        let el = parse_document("<?xml version=\"1.0\"?>\n<!-- head --><r/><!-- tail -->\n").unwrap();
+        let el =
+            parse_document("<?xml version=\"1.0\"?>\n<!-- head --><r/><!-- tail -->\n").unwrap();
         assert_eq!(el.name(), "r");
     }
 

@@ -156,7 +156,8 @@ mod tests {
         let mut devices = Element::new("devices");
         devices.push_child(Element::new("disk"));
         root.push_child(devices);
-        let expected = "<domain>\n  <name>vm</name>\n  <devices>\n    <disk/>\n  </devices>\n</domain>\n";
+        let expected =
+            "<domain>\n  <name>vm</name>\n  <devices>\n    <disk/>\n  </devices>\n</domain>\n";
         assert_eq!(root.to_pretty_string(), expected);
     }
 

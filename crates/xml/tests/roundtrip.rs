@@ -32,7 +32,10 @@ fn value_strategy() -> impl Strategy<Value = String> {
 
 /// Recursive element strategy: up to 3 levels deep, 4 children wide.
 fn element_strategy() -> impl Strategy<Value = Element> {
-    let leaf = (name_strategy(), proptest::collection::vec((name_strategy(), value_strategy()), 0..3))
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), value_strategy()), 0..3),
+    )
         .prop_map(|(name, attrs)| {
             let mut el = Element::new(name);
             for (k, v) in attrs {

@@ -63,7 +63,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("before consolidation:");
     for node in &nodes {
         let (used, total, active) = utilization(&node.conn)?;
-        println!("  {:<8} {:>6}/{} MiB used, {} active guests", node.name, used, total, active);
+        println!(
+            "  {:<8} {:>6}/{} MiB used, {} active guests",
+            node.name, used, total, active
+        );
     }
 
     // Consolidate: move everything from node-b and node-c onto node-a.
@@ -103,7 +106,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("after consolidation:");
     for node in &nodes {
         let (used, total, active) = utilization(&node.conn)?;
-        let idle = if active == 0 { "  → can be powered off" } else { "" };
+        let idle = if active == 0 {
+            "  → can be powered off"
+        } else {
+            ""
+        };
         println!(
             "  {:<8} {:>6}/{} MiB used, {} active guests{idle}",
             node.name, used, total, active

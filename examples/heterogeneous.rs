@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         "esx://esx01/",                   // direct, stateless
     ];
 
-    println!("{:<34} {:>9} {:>6} {:>8} {:>9} {:>9}", "URI", "platform", "kind", "maxvcpus", "migration", "snapshot");
+    println!(
+        "{:<34} {:>9} {:>6} {:>8} {:>9} {:>9}",
+        "URI", "platform", "kind", "maxvcpus", "migration", "snapshot"
+    );
     println!("{}", "-".repeat(82));
     for uri in uris {
         let conn = Connect::open(uri)?;
@@ -47,8 +50,16 @@ fn main() -> Result<(), Box<dyn Error>> {
             caps.hypervisor,
             caps.virt_kind,
             caps.max_vcpus,
-            if caps.has_feature("migration") { "yes" } else { "no" },
-            if caps.has_feature("snapshots") { "yes" } else { "no" },
+            if caps.has_feature("migration") {
+                "yes"
+            } else {
+                "no"
+            },
+            if caps.has_feature("snapshots") {
+                "yes"
+            } else {
+                "no"
+            },
         );
         conn.close();
     }
@@ -71,7 +82,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         let uptime_state = domain.state()?;
         domain.destroy()?;
         domain.undefine()?;
-        println!("  {:<10} lifecycle ok (reached state: {uptime_state})", caps.hypervisor);
+        println!(
+            "  {:<10} lifecycle ok (reached state: {uptime_state})",
+            caps.hypervisor
+        );
         conn.close();
     }
 

@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         ],
     )?;
     let stats = admin.threadpool_info("virtd")?;
-    println!("after retuning: max={} priority={}", stats.max_workers, stats.priority_workers);
+    println!(
+        "after retuning: max={} priority={}",
+        stats.max_workers, stats.priority_workers
+    );
 
     // Who is connected right now?
     println!("\nclients on 'virtd':");
@@ -97,7 +100,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         .map(|c| c.id)
         .expect("operator is connected");
     admin.client_disconnect("virtd", victim)?;
-    println!("disconnected client {victim}; remaining: {}", admin.client_list("virtd")?.len());
+    println!(
+        "disconnected client {victim}; remaining: {}",
+        admin.client_list("virtd")?.len()
+    );
 
     admin.close();
     watcher.close();

@@ -9,9 +9,9 @@
 use std::error::Error;
 use std::net::Ipv4Addr;
 
+use hypersim::PoolBackend;
 use virt_core::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig, VolumeConfig};
 use virt_core::Connect;
-use hypersim::PoolBackend;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // 1. Connect. The URI picks the driver: `test` is the built-in mock.
@@ -68,19 +68,28 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 6. Snapshot, save, restore.
     domain.snapshot_create("before-upgrade")?;
     domain.managed_save()?;
-    println!("saved; managed save image: {}", domain.info()?.has_managed_save);
+    println!(
+        "saved; managed save image: {}",
+        domain.info()?.has_managed_save
+    );
     domain.restore()?;
     println!("restored; state: {}", domain.state()?);
 
     // 7. The XML round trip every libvirt tool relies on.
     let xml = domain.xml_desc()?;
-    println!("--- dumpxml ---\n{}", virt_xml::Element::parse(&xml)?.to_pretty_string());
+    println!(
+        "--- dumpxml ---\n{}",
+        virt_xml::Element::parse(&xml)?.to_pretty_string()
+    );
 
     // 8. Tear down.
     domain.destroy()?;
     domain.undefine()?;
     network.stop()?;
     network.undefine()?;
-    println!("cleaned up; remaining domains: {:?}", conn.list_domain_names()?);
+    println!(
+        "cleaned up; remaining domains: {:?}",
+        conn.list_domain_names()?
+    );
     Ok(())
 }

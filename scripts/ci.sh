@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI: build, test, formatting, lints.
+#
+# Everything runs --offline — all dependencies are path/vendored, so CI
+# must never touch the network. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --offline
+
+echo "== test =="
+cargo test -q --offline
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "== clippy =="
+cargo clippy --offline -- -D warnings
+
+echo "CI OK"

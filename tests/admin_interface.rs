@@ -14,12 +14,19 @@ use virtd::{AdminClient, Virtd, VirtdConfig};
 
 fn unique(name: &str) -> String {
     static N: AtomicU64 = AtomicU64::new(0);
-    format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 fn daemon_with_admin() -> (Virtd, AdminClient, String) {
     let endpoint = unique("admin");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
     (daemon, admin, endpoint)
@@ -28,7 +35,10 @@ fn daemon_with_admin() -> (Virtd, AdminClient, String) {
 fn wait_until(pred: impl Fn() -> bool, what: &str) {
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while !pred() {
-        assert!(std::time::Instant::now() < deadline, "timed out waiting for {what}");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
 }
@@ -74,7 +84,10 @@ fn threadpool_set_valid_classes() {
     admin
         .threadpool_set(
             "virtd",
-            vec![TypedParam::uint("minWorkers", 8), TypedParam::uint("prioWorkers", 9)],
+            vec![
+                TypedParam::uint("minWorkers", 8),
+                TypedParam::uint("prioWorkers", 9),
+            ],
         )
         .unwrap();
     let stats = admin.threadpool_info("virtd").unwrap();
@@ -102,7 +115,10 @@ fn threadpool_set_invalid_classes() {
     let err = admin
         .threadpool_set(
             "virtd",
-            vec![TypedParam::uint("maxWorkers", 10), TypedParam::uint("maxWorkers", 20)],
+            vec![
+                TypedParam::uint("maxWorkers", 10),
+                TypedParam::uint("maxWorkers", 20),
+            ],
         )
         .unwrap_err();
     assert_eq!(err.code(), ErrorCode::InvalidArg);
@@ -117,7 +133,10 @@ fn threadpool_set_invalid_classes() {
     let err = admin
         .threadpool_set(
             "virtd",
-            vec![TypedParam::uint("minWorkers", 50), TypedParam::uint("maxWorkers", 10)],
+            vec![
+                TypedParam::uint("minWorkers", 50),
+                TypedParam::uint("maxWorkers", 10),
+            ],
         )
         .unwrap_err();
     assert_eq!(err.code(), ErrorCode::InvalidArg);
@@ -156,7 +175,10 @@ fn client_management_list_info_disconnect() {
 
     // Disconnect the second client; it observes the cut.
     admin.client_disconnect("virtd", clients[1].id).unwrap();
-    wait_until(|| admin.client_list("virtd").unwrap().len() == 1, "client removed");
+    wait_until(
+        || admin.client_list("virtd").unwrap().len() == 1,
+        "client removed",
+    );
     assert!(c2.hostname().is_err());
     // The first client is unaffected.
     assert!(c1.hostname().is_ok());
@@ -229,7 +251,9 @@ fn logging_settings_managed_remotely() {
 
     // Valid updates.
     admin.log_set_level(LogLevel::Debug).unwrap();
-    admin.log_set_filters("1:daemon.rpc 4:daemon.admin").unwrap();
+    admin
+        .log_set_filters("1:daemon.rpc 4:daemon.admin")
+        .unwrap();
     admin.log_set_outputs("2:buffer").unwrap();
     let (level, filters, outputs) = admin.log_info().unwrap();
     assert_eq!(level, LogLevel::Debug);
@@ -283,7 +307,9 @@ fn threadpool_resize_under_live_load() {
                 let conn = Connect::open(&uri).unwrap();
                 for j in 0..25 {
                     let name = format!("load-{i}-{j}");
-                    let domain = conn.define_domain(&DomainConfig::new(&name, 32, 1)).unwrap();
+                    let domain = conn
+                        .define_domain(&DomainConfig::new(&name, 32, 1))
+                        .unwrap();
                     domain.start().unwrap();
                     domain.destroy().unwrap();
                     domain.undefine().unwrap();
@@ -297,7 +323,13 @@ fn threadpool_resize_under_live_load() {
         .threadpool_set("virtd", vec![TypedParam::uint("maxWorkers", 40)])
         .unwrap();
     admin
-        .threadpool_set("virtd", vec![TypedParam::uint("maxWorkers", 6), TypedParam::uint("minWorkers", 2)])
+        .threadpool_set(
+            "virtd",
+            vec![
+                TypedParam::uint("maxWorkers", 6),
+                TypedParam::uint("minWorkers", 2),
+            ],
+        )
         .unwrap();
 
     for worker in workers {
@@ -335,7 +367,9 @@ fn admin_works_while_main_pool_is_saturated() {
                 let conn = Connect::open(&uri).unwrap();
                 for j in 0..5 {
                     let name = format!("sat-{i}-{j}");
-                    let d = conn.define_domain(&DomainConfig::new(&name, 64, 1)).unwrap();
+                    let d = conn
+                        .define_domain(&DomainConfig::new(&name, 64, 1))
+                        .unwrap();
                     d.start().unwrap();
                     d.destroy().unwrap();
                     d.undefine().unwrap();
@@ -403,13 +437,17 @@ fn authentication_gates_open_and_identity_is_visible() {
 #[test]
 fn readonly_connections_can_query_but_not_mutate() {
     let endpoint = unique("ro");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
 
     // Seed a domain through a normal connection.
     let rw = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
-    rw.define_domain(&DomainConfig::new("observed", 128, 1)).unwrap();
+    rw.define_domain(&DomainConfig::new("observed", 128, 1))
+        .unwrap();
 
     let ro = Connect::open(&format!("qemu+memory://{endpoint}/system?readonly")).unwrap();
     // Queries work.
@@ -421,7 +459,8 @@ fn readonly_connections_can_query_but_not_mutate() {
     // Mutations are denied with AccessDenied.
     for err in [
         domain.start().unwrap_err(),
-        ro.define_domain(&DomainConfig::new("new", 64, 1)).unwrap_err(),
+        ro.define_domain(&DomainConfig::new("new", 64, 1))
+            .unwrap_err(),
         domain.set_memory(64).unwrap_err(),
         domain.undefine().unwrap_err(),
     ] {
@@ -440,15 +479,145 @@ fn readonly_connections_can_query_but_not_mutate() {
 }
 
 #[test]
+fn metrics_round_trip_over_unix_transport() {
+    use virt_rpc::transport::{UnixSocketListener, UnixTransport};
+    use virtd::adminproto::{METRIC_KIND_COUNTER, METRIC_KIND_HISTOGRAM};
+
+    let endpoint = unique("metrics-unix");
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    daemon.register_memory_endpoint(&endpoint).unwrap();
+    let path = format!("/tmp/{}.sock", unique("metrics-admin"));
+    daemon.serve_admin(Box::new(UnixSocketListener::bind(&path).unwrap()));
+    let admin = AdminClient::new(UnixTransport::connect(&path).unwrap());
+
+    // Drive real traffic so the histograms have samples.
+    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let domain = conn.define_domain(&DomainConfig::new("vm", 64, 1)).unwrap();
+    domain.start().unwrap();
+    domain.destroy().unwrap();
+    domain.undefine().unwrap();
+    conn.close();
+
+    // The name list and an unfiltered fetch agree.
+    let names = admin.metrics_list().unwrap();
+    let all = admin.metrics("").unwrap();
+    assert_eq!(names.len(), all.len());
+    for metric in &all {
+        assert!(
+            names.contains(&metric.name),
+            "{} missing from list",
+            metric.name
+        );
+    }
+
+    // The traffic above is visible: total calls counted, and the
+    // per-procedure histogram for DOMAIN_DEFINE_XML has exactly one
+    // sample whose bucket counts sum to its count.
+    let calls = all.iter().find(|m| m.name == "rpc.calls").unwrap();
+    assert_eq!(calls.kind, METRIC_KIND_COUNTER);
+    assert!(calls.value >= 6, "open+define+start+destroy+undefine+close");
+
+    let define = virt_core::protocol::proc::DOMAIN_DEFINE_XML;
+    let latency = all
+        .iter()
+        .find(|m| m.name == format!("rpc.proc.{define}.latency_us"))
+        .unwrap();
+    assert_eq!(latency.kind, METRIC_KIND_HISTOGRAM);
+    assert_eq!(latency.hist_count, 1);
+    assert_eq!(latency.hist_buckets.iter().sum::<u64>(), latency.hist_count);
+    assert!(latency.hist_sum_ns > 0);
+
+    // Driver lifecycle timing observed the same define.
+    let driver_define = admin.metrics("driver.qemu.define_us").unwrap();
+    assert_eq!(driver_define.len(), 1);
+    assert_eq!(driver_define[0].hist_count, 1);
+
+    // Prefix filtering narrows the set.
+    let pool_only = admin.metrics("pool.virtd.").unwrap();
+    assert!(!pool_only.is_empty());
+    assert!(pool_only.iter().all(|m| m.name.starts_with("pool.virtd.")));
+
+    // Transport byte counters moved on the metered main server.
+    let bytes = admin.metrics("server.virtd.bytes_").unwrap();
+    assert_eq!(bytes.len(), 2);
+    assert!(bytes.iter().all(|m| m.value > 0), "{bytes:?}");
+
+    admin.close();
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn rpc_log_records_carry_the_request_id() {
+    let endpoint = unique("trace");
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    daemon.register_memory_endpoint(&endpoint).unwrap();
+
+    // Capture warnings into the in-memory buffer.
+    let mut settings = (*daemon.logger().settings()).clone();
+    settings.level = LogLevel::Warning;
+    settings.outputs = virt_core::log::LogSettings::parse_outputs("2:buffer").unwrap();
+    daemon.logger().redefine(settings).unwrap();
+
+    // A failing RPC (unknown driver scheme) makes dispatch log a warning
+    // while the request's trace span is active.
+    let err = Connect::open(&format!("vbox+memory://{endpoint}/system")).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::NoConnect);
+
+    let records = daemon.logger().captured();
+    let failure = records
+        .iter()
+        .find(|r| r.message.contains("failed"))
+        .expect("dispatch failure was logged");
+    let id = failure.request.expect("log record carries the request id");
+    // The id renders into the formatted line, correlating it with the RPC.
+    assert!(format!("{failure}").contains(&format!("[c{}.s{}]", id.client, id.serial)));
+
+    daemon.shutdown();
+}
+
+#[test]
+fn client_session_age_is_monotonic_and_on_the_wire() {
+    let (daemon, admin, endpoint) = daemon_with_admin();
+    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let _ = conn.hostname().unwrap();
+
+    let clients = admin.client_list("virtd").unwrap();
+    assert_eq!(clients.len(), 1);
+    // Wall-clock epoch for display, monotonic age for measurement; a
+    // fresh session is under a few seconds old.
+    assert!(clients[0].connected_secs > 0);
+    assert!(clients[0].session_secs < 5);
+
+    let info = admin.client_info("virtd", clients[0].id).unwrap();
+    assert!(info.session_secs < 5);
+
+    conn.close();
+    admin.close();
+    daemon.shutdown();
+}
+
+#[test]
 fn readonly_session_cannot_escalate_via_second_open() {
     use virt_rpc::message::REMOTE_PROGRAM;
     let endpoint = unique("ro-escalate");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
 
     let ro = Connect::open(&format!("qemu+memory://{endpoint}/system?readonly")).unwrap();
     assert_eq!(
-        ro.define_domain(&DomainConfig::new("nope", 64, 1)).unwrap_err().code(),
+        ro.define_domain(&DomainConfig::new("nope", 64, 1))
+            .unwrap_err()
+            .code(),
         ErrorCode::AccessDenied
     );
 
@@ -459,14 +628,20 @@ fn readonly_session_cannot_escalate_via_second_open() {
         .call::<()>(
             REMOTE_PROGRAM,
             virt_core::protocol::proc::OPEN,
-            &virt_core::protocol::OpenArgs { uri: "qemu:///system".into(), readonly: true },
+            &virt_core::protocol::OpenArgs {
+                uri: "qemu:///system".into(),
+                readonly: true,
+            },
         )
         .unwrap();
     let err = client
         .call::<()>(
             REMOTE_PROGRAM,
             virt_core::protocol::proc::OPEN,
-            &virt_core::protocol::OpenArgs { uri: "qemu:///system".into(), readonly: false },
+            &virt_core::protocol::OpenArgs {
+                uri: "qemu:///system".into(),
+                readonly: false,
+            },
         )
         .unwrap_err();
     match err {

@@ -16,13 +16,20 @@ use virtd::{Virtd, VirtdConfig};
 
 fn unique(name: &str) -> String {
     static N: AtomicU64 = AtomicU64::new(0);
-    format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 #[test]
 fn lifecycle_events_are_pushed_over_rpc() {
     let endpoint = unique("events");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let uri = format!("qemu+memory://{endpoint}/system");
 
@@ -36,7 +43,9 @@ fn lifecycle_events_are_pushed_over_rpc() {
 
     // Another client does the work; the watcher only observes.
     let operator = Connect::open(&uri).unwrap();
-    let domain = operator.define_domain(&DomainConfig::new("observed", 128, 1)).unwrap();
+    let domain = operator
+        .define_domain(&DomainConfig::new("observed", 128, 1))
+        .unwrap();
     domain.start().unwrap();
     domain.suspend().unwrap();
     domain.resume().unwrap();
@@ -52,14 +61,18 @@ fn lifecycle_events_are_pushed_over_rpc() {
         DomainEventKind::Undefined,
     ];
     for expected_kind in expected {
-        let (kind, name) = rx.recv_timeout(Duration::from_secs(5)).expect("event arrives");
+        let (kind, name) = rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("event arrives");
         assert_eq!(kind, expected_kind);
         assert_eq!(name, "observed");
     }
 
     // After unregistering, no further events arrive.
     watcher.unregister_event_callback(callback_id).unwrap();
-    let d2 = operator.define_domain(&DomainConfig::new("silent", 128, 1)).unwrap();
+    let d2 = operator
+        .define_domain(&DomainConfig::new("silent", 128, 1))
+        .unwrap();
     d2.undefine().unwrap();
     assert!(rx.recv_timeout(Duration::from_millis(200)).is_err());
 
@@ -82,7 +95,9 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
     testbed::register_host(&esx_name, esx_host);
 
     let esx_conn = Connect::open(&format!("esx://{esx_name}/")).unwrap();
-    let esx_vm = esx_conn.define_domain(&DomainConfig::new("ghostrider", 256, 1)).unwrap();
+    let esx_vm = esx_conn
+        .define_domain(&DomainConfig::new("ghostrider", 256, 1))
+        .unwrap();
     esx_vm.start().unwrap();
     esx_conn.close();
 
@@ -90,7 +105,11 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
     // daemon-resident.
     let esx_conn2 = Connect::open(&format!("esx://{esx_name}/")).unwrap();
     assert_eq!(
-        esx_conn2.domain_lookup_by_name("ghostrider").unwrap().state().unwrap(),
+        esx_conn2
+            .domain_lookup_by_name("ghostrider")
+            .unwrap()
+            .state()
+            .unwrap(),
         DomainState::Running
     );
     esx_conn2.close();
@@ -101,10 +120,15 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
     // running domains — the state lives in the hypervisor process, the
     // daemon merely reconnects.
     let endpoint = unique("virtd-restart");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
-    let vm = conn.define_domain(&DomainConfig::new("survivor", 128, 1)).unwrap();
+    let vm = conn
+        .define_domain(&DomainConfig::new("survivor", 128, 1))
+        .unwrap();
     vm.start().unwrap();
     conn.close();
     let qemu_host = daemon.host("qemu").unwrap().clone();
@@ -114,7 +138,11 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
     daemon2.register_memory_endpoint(&endpoint).unwrap();
     let conn2 = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
     assert_eq!(
-        conn2.domain_lookup_by_name("survivor").unwrap().state().unwrap(),
+        conn2
+            .domain_lookup_by_name("survivor")
+            .unwrap()
+            .state()
+            .unwrap(),
         DomainState::Running
     );
     conn2.close();
@@ -124,11 +152,16 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
 #[test]
 fn host_crash_surfaces_as_no_connect_and_recovers_after_reboot() {
     let endpoint = unique("crash");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
 
-    let vm = conn.define_domain(&DomainConfig::new("victim", 128, 1)).unwrap();
+    let vm = conn
+        .define_domain(&DomainConfig::new("victim", 128, 1))
+        .unwrap();
     vm.start().unwrap();
     vm.set_autostart(true).unwrap();
 
@@ -156,7 +189,11 @@ fn hung_hypervisor_call_does_not_block_queries() {
         .personality(hypersim::personality::QemuLike)
         .clock(clock)
         .latency(LatencyModel::zero())
-        .faults(FaultPlan::new().inject(OpKind::Start, 1, FaultAction::Hang(Duration::from_secs(1800))))
+        .faults(FaultPlan::new().inject(
+            OpKind::Start,
+            1,
+            FaultAction::Hang(Duration::from_secs(1800)),
+        ))
         .build();
     let daemon = Virtd::builder(&endpoint)
         .host(hang_host)
@@ -171,7 +208,8 @@ fn hung_hypervisor_call_does_not_block_queries() {
     let uri = format!("qemu+memory://{endpoint}/system");
 
     let conn = Connect::open(&uri).unwrap();
-    conn.define_domain(&DomainConfig::new("sticky", 64, 1)).unwrap();
+    conn.define_domain(&DomainConfig::new("sticky", 64, 1))
+        .unwrap();
 
     // The "hung" start still completes (virtual hang), but while it runs
     // queries from another client must succeed — they ride priority
@@ -208,7 +246,9 @@ fn injected_operation_failures_surface_with_correct_codes_over_rpc() {
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
 
-    let vm = conn.define_domain(&DomainConfig::new("flaky", 64, 1)).unwrap();
+    let vm = conn
+        .define_domain(&DomainConfig::new("flaky", 64, 1))
+        .unwrap();
     vm.start().unwrap(); // first start OK
     vm.destroy().unwrap();
     let err = vm.start().unwrap_err(); // second injected to fail
@@ -221,17 +261,22 @@ fn injected_operation_failures_surface_with_correct_codes_over_rpc() {
 
 #[test]
 fn keepalive_pings_are_transparent_to_rpc_traffic() {
-    use virt_rpc::keepalive::{ping_packet, is_pong};
+    use virt_rpc::keepalive::{is_pong, ping_packet};
     use virt_rpc::message::Packet;
 
     let endpoint = unique("ka");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let connector = daemon.register_memory_endpoint(&endpoint).unwrap();
 
     // Raw transport: interleave keepalive pings with a real call.
     let transport = connector.connect().unwrap();
     use virt_rpc::transport::Transport;
-    transport.send_frame(&ping_packet().to_frame()[4..]).unwrap();
+    transport
+        .send_frame(&ping_packet().to_frame()[4..])
+        .unwrap();
     let frame = transport.recv_frame().unwrap();
     assert!(is_pong(&Packet::from_body(&frame).unwrap()));
 
@@ -242,14 +287,17 @@ fn keepalive_pings_are_transparent_to_rpc_traffic() {
 fn active_keepalive_keeps_healthy_connections_and_kills_dead_ones() {
     // Healthy daemon: the connection survives well past interval × count.
     let endpoint = unique("ka-live");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let conn = Connect::open(&format!(
-        "qemu+memory://{endpoint}/system?keepalive=30:3"
-    ))
-    .unwrap();
+    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system?keepalive=30:3")).unwrap();
     std::thread::sleep(Duration::from_millis(300)); // > 3 × 30 ms
-    assert!(conn.is_alive(), "daemon answered pings, connection must live");
+    assert!(
+        conn.is_alive(),
+        "daemon answered pings, connection must live"
+    );
     assert!(conn.hostname().is_ok());
 
     // Dead daemon: stop serving (shutdown closes the transport), so a
@@ -279,9 +327,11 @@ fn active_keepalive_keeps_healthy_connections_and_kills_dead_ones() {
 
 #[test]
 fn malformed_keepalive_param_is_rejected() {
-    for bad in ["qemu+memory://x/system?keepalive=fast",
-                "qemu+memory://x/system?keepalive=0:3",
-                "qemu+memory://x/system?keepalive=5000"] {
+    for bad in [
+        "qemu+memory://x/system?keepalive=fast",
+        "qemu+memory://x/system?keepalive=0:3",
+        "qemu+memory://x/system?keepalive=5000",
+    ] {
         let err = Connect::open(bad).unwrap_err();
         assert_eq!(err.code(), ErrorCode::InvalidUri, "{bad}");
     }

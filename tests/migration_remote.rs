@@ -12,16 +12,28 @@ use virtd::Virtd;
 
 fn unique(name: &str) -> String {
     static N: AtomicU64 = AtomicU64::new(0);
-    format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 fn two_daemons() -> (Virtd, Virtd, Connect, Connect) {
     let clock = SimClock::new();
     let a = unique("mig-a");
     let b = unique("mig-b");
-    let src = Virtd::builder(&a).clock(clock.clone()).with_quiet_hosts().build().unwrap();
+    let src = Virtd::builder(&a)
+        .clock(clock.clone())
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     src.register_memory_endpoint(&a).unwrap();
-    let dst = Virtd::builder(&b).clock(clock).with_quiet_hosts().build().unwrap();
+    let dst = Virtd::builder(&b)
+        .clock(clock)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     dst.register_memory_endpoint(&b).unwrap();
     let src_conn = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
     let dst_conn = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
@@ -31,10 +43,14 @@ fn two_daemons() -> (Virtd, Virtd, Connect, Connect) {
 #[test]
 fn migration_between_daemons_over_rpc() {
     let (src_d, dst_d, src, dst) = two_daemons();
-    let domain = src.define_domain(&DomainConfig::new("traveler", 1024, 2)).unwrap();
+    let domain = src
+        .define_domain(&DomainConfig::new("traveler", 1024, 2))
+        .unwrap();
     domain.start().unwrap();
 
-    let report = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+    let report = domain
+        .migrate_to(&dst, &MigrationOptions::default())
+        .unwrap();
     assert!(report.converged);
     assert!(report.transferred_mib >= 1024);
     assert!(report.downtime_ms <= 300);
@@ -67,9 +83,15 @@ fn migration_preserves_device_configuration() {
     });
     let domain = src.define_domain(&config).unwrap();
     domain.start().unwrap();
-    domain.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+    domain
+        .migrate_to(&dst, &MigrationOptions::default())
+        .unwrap();
 
-    let xml = dst.domain_lookup_by_name("rich").unwrap().xml_desc().unwrap();
+    let xml = dst
+        .domain_lookup_by_name("rich")
+        .unwrap()
+        .xml_desc()
+        .unwrap();
     let parsed = DomainConfig::from_xml_str(&xml).unwrap();
     assert_eq!(parsed.disks.len(), 1);
     assert_eq!(parsed.disks[0].target, "vda");
@@ -85,11 +107,16 @@ fn migration_preserves_device_configuration() {
 fn failed_prepare_leaves_source_untouched_across_rpc() {
     let (src_d, dst_d, src, dst) = two_daemons();
     // Occupy the destination with a same-named domain.
-    dst.define_domain(&DomainConfig::new("clash", 128, 1)).unwrap();
+    dst.define_domain(&DomainConfig::new("clash", 128, 1))
+        .unwrap();
 
-    let domain = src.define_domain(&DomainConfig::new("clash", 128, 1)).unwrap();
+    let domain = src
+        .define_domain(&DomainConfig::new("clash", 128, 1))
+        .unwrap();
     domain.start().unwrap();
-    let err = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap_err();
+    let err = domain
+        .migrate_to(&dst, &MigrationOptions::default())
+        .unwrap_err();
     assert_eq!(err.code(), ErrorCode::DomainExists);
     assert_eq!(domain.state().unwrap(), DomainState::Running);
 
@@ -109,9 +136,13 @@ fn migrating_to_an_overcommitted_daemon_fails_with_capacity_error() {
             .unwrap();
         d.start().unwrap();
     }
-    let domain = src.define_domain(&DomainConfig::new("vm", 4096, 1)).unwrap();
+    let domain = src
+        .define_domain(&DomainConfig::new("vm", 4096, 1))
+        .unwrap();
     domain.start().unwrap();
-    let err = domain.migrate_to(&dst, &MigrationOptions::default()).unwrap_err();
+    let err = domain
+        .migrate_to(&dst, &MigrationOptions::default())
+        .unwrap_err();
     assert_eq!(err.code(), ErrorCode::InsufficientResources);
     assert_eq!(domain.state().unwrap(), DomainState::Running);
 
@@ -124,10 +155,14 @@ fn migrating_to_an_overcommitted_daemon_fails_with_capacity_error() {
 #[test]
 fn round_trip_migration_returns_home() {
     let (src_d, dst_d, src, dst) = two_daemons();
-    let domain = src.define_domain(&DomainConfig::new("boomerang", 256, 1)).unwrap();
+    let domain = src
+        .define_domain(&DomainConfig::new("boomerang", 256, 1))
+        .unwrap();
     domain.start().unwrap();
 
-    domain.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+    domain
+        .migrate_to(&dst, &MigrationOptions::default())
+        .unwrap();
     let away = dst.domain_lookup_by_name("boomerang").unwrap();
     away.migrate_to(&src, &MigrationOptions::default()).unwrap();
 
@@ -144,7 +179,9 @@ fn round_trip_migration_returns_home() {
 #[test]
 fn bandwidth_shapes_total_time() {
     let (src_d, dst_d, src, dst) = two_daemons();
-    let fast_domain = src.define_domain(&DomainConfig::new("fast", 2048, 1)).unwrap();
+    let fast_domain = src
+        .define_domain(&DomainConfig::new("fast", 2048, 1))
+        .unwrap();
     fast_domain.start().unwrap();
     let fast = fast_domain
         .migrate_to(
@@ -156,7 +193,9 @@ fn bandwidth_shapes_total_time() {
         )
         .unwrap();
 
-    let slow_domain = src.define_domain(&DomainConfig::new("slow", 2048, 1)).unwrap();
+    let slow_domain = src
+        .define_domain(&DomainConfig::new("slow", 2048, 1))
+        .unwrap();
     slow_domain.start().unwrap();
     let slow = slow_domain
         .migrate_to(
@@ -184,15 +223,26 @@ fn bandwidth_shapes_total_time() {
 #[test]
 fn migration_preserves_domain_uuid() {
     let (src_d, dst_d, src, dst) = two_daemons();
-    let domain = src.define_domain(&DomainConfig::new("identity", 256, 1)).unwrap();
+    let domain = src
+        .define_domain(&DomainConfig::new("identity", 256, 1))
+        .unwrap();
     domain.start().unwrap();
     let original_uuid = domain.uuid();
 
-    domain.migrate_to(&dst, &MigrationOptions::default()).unwrap();
+    domain
+        .migrate_to(&dst, &MigrationOptions::default())
+        .unwrap();
     let moved = dst.domain_lookup_by_name("identity").unwrap();
-    assert_eq!(moved.uuid(), original_uuid, "identity must survive migration");
+    assert_eq!(
+        moved.uuid(),
+        original_uuid,
+        "identity must survive migration"
+    );
     // And it is findable by UUID on the destination.
-    assert_eq!(dst.domain_lookup_by_uuid(original_uuid).unwrap().name(), "identity");
+    assert_eq!(
+        dst.domain_lookup_by_uuid(original_uuid).unwrap().name(),
+        "identity"
+    );
 
     src.close();
     dst.close();

@@ -6,12 +6,24 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 fn binary(name: &str) -> std::path::PathBuf {
-    // Integration tests live in target/debug/deps; binaries one level up.
-    let mut path = std::env::current_exe().expect("test binary path");
-    path.pop();
-    path.pop();
-    path.push(name);
-    path
+    // Integration tests live in target/<profile>/deps; `cargo build` puts
+    // binaries one level up. The tier-1 gate builds binaries in release but
+    // runs tests in debug, so also probe the sibling profile directories.
+    let mut profile_dir = std::env::current_exe().expect("test binary path");
+    profile_dir.pop();
+    profile_dir.pop();
+    let target_dir = profile_dir.parent().expect("target dir").to_path_buf();
+    let candidates = [
+        profile_dir.join(name),
+        target_dir.join("release").join(name),
+        target_dir.join("debug").join(name),
+    ];
+    for candidate in &candidates {
+        if candidate.exists() {
+            return candidate.clone();
+        }
+    }
+    panic!("binary {name} not found; run `cargo build` or `cargo build --release` first (looked in {candidates:?})");
 }
 
 struct DaemonProcess {
@@ -55,7 +67,11 @@ impl DaemonProcess {
     }
 
     fn vsh(&self, line: &str) -> (bool, String) {
-        run_client("vsh", &["-c", &format!("qemu+unix:///system?socket={}", self.socket)], line)
+        run_client(
+            "vsh",
+            &["-c", &format!("qemu+unix:///system?socket={}", self.socket)],
+            line,
+        )
     }
 
     fn vadm(&self, line: &str) -> (bool, String) {

@@ -12,14 +12,21 @@ use virtd::Virtd;
 
 fn unique(name: &str) -> String {
     static N: AtomicU64 = AtomicU64::new(0);
-    format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 /// Builds a daemon and returns (local connection to its qemu host,
 /// remote connection to the same host through RPC, daemon).
 fn local_and_remote() -> (Connect, Connect, Virtd) {
     let endpoint = unique("equiv");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let host = daemon.host("qemu").unwrap().clone();
     let local = Connect::from_driver(EmbeddedConnection::new(host, "qemu:///system"));
@@ -32,7 +39,10 @@ fn hostname_node_info_and_capabilities_match() {
     let (local, remote, daemon) = local_and_remote();
     assert_eq!(local.hostname().unwrap(), remote.hostname().unwrap());
     assert_eq!(local.node_info().unwrap(), remote.node_info().unwrap());
-    assert_eq!(local.capabilities().unwrap(), remote.capabilities().unwrap());
+    assert_eq!(
+        local.capabilities().unwrap(),
+        remote.capabilities().unwrap()
+    );
     remote.close();
     daemon.shutdown();
 }
@@ -41,17 +51,31 @@ fn hostname_node_info_and_capabilities_match() {
 fn domain_defined_remotely_is_visible_locally_and_vice_versa() {
     let (local, remote, daemon) = local_and_remote();
 
-    remote.define_domain(&DomainConfig::new("via-remote", 512, 1)).unwrap();
+    remote
+        .define_domain(&DomainConfig::new("via-remote", 512, 1))
+        .unwrap();
     let seen_local = local.domain_lookup_by_name("via-remote").unwrap();
     assert_eq!(seen_local.info().unwrap().memory_mib, 512);
 
-    local.define_domain(&DomainConfig::new("via-local", 256, 2)).unwrap();
+    local
+        .define_domain(&DomainConfig::new("via-local", 256, 2))
+        .unwrap();
     let seen_remote = remote.domain_lookup_by_name("via-local").unwrap();
     assert_eq!(seen_remote.info().unwrap().vcpus, 2);
 
     // Full record equality through both paths.
-    let l: Vec<_> = local.list_all_domains().unwrap().iter().map(|d| d.info().unwrap()).collect();
-    let r: Vec<_> = remote.list_all_domains().unwrap().iter().map(|d| d.info().unwrap()).collect();
+    let l: Vec<_> = local
+        .list_all_domains()
+        .unwrap()
+        .iter()
+        .map(|d| d.info().unwrap())
+        .collect();
+    let r: Vec<_> = remote
+        .list_all_domains()
+        .unwrap()
+        .iter()
+        .map(|d| d.info().unwrap())
+        .collect();
     assert_eq!(l, r);
 
     remote.close();
@@ -61,7 +85,9 @@ fn domain_defined_remotely_is_visible_locally_and_vice_versa() {
 #[test]
 fn every_lifecycle_operation_matches_through_both_paths() {
     let (local, remote, daemon) = local_and_remote();
-    remote.define_domain(&DomainConfig::new("vm", 1024, 2)).unwrap();
+    remote
+        .define_domain(&DomainConfig::new("vm", 1024, 2))
+        .unwrap();
     let via_remote = remote.domain_lookup_by_name("vm").unwrap();
     let via_local = local.domain_lookup_by_name("vm").unwrap();
 
@@ -85,14 +111,14 @@ fn every_lifecycle_operation_matches_through_both_paths() {
     assert!(via_local.info().unwrap().autostart);
 
     // XML descriptions are byte-identical.
-    assert_eq!(via_local.xml_desc().unwrap(), via_remote.xml_desc().unwrap());
+    assert_eq!(
+        via_local.xml_desc().unwrap(),
+        via_remote.xml_desc().unwrap()
+    );
 
     via_remote.destroy().unwrap();
     via_remote.undefine().unwrap();
-    assert_eq!(
-        via_local.info().unwrap_err().code(),
-        ErrorCode::NoDomain
-    );
+    assert_eq!(via_local.info().unwrap_err().code(), ErrorCode::NoDomain);
     remote.close();
     daemon.shutdown();
 }
@@ -128,8 +154,12 @@ fn error_codes_survive_the_wire_unchanged() {
     }
 
     // Duplicate define: create locally, attempt remotely.
-    local.define_domain(&DomainConfig::new("dup", 128, 1)).unwrap();
-    let err = remote.define_domain(&DomainConfig::new("dup", 128, 1)).unwrap_err();
+    local
+        .define_domain(&DomainConfig::new("dup", 128, 1))
+        .unwrap();
+    let err = remote
+        .define_domain(&DomainConfig::new("dup", 128, 1))
+        .unwrap_err();
     assert_eq!(err.code(), ErrorCode::DomainExists);
 
     // Invalid lifecycle transition through the wire.
@@ -152,7 +182,8 @@ fn storage_and_network_operations_match() {
         .define_storage_pool(&PoolConfig::new("imgs", hypersim::PoolBackend::Dir, 1000))
         .unwrap();
     pool.start().unwrap();
-    pool.create_volume(&VolumeConfig::new("a.img", 100)).unwrap();
+    pool.create_volume(&VolumeConfig::new("a.img", 100))
+        .unwrap();
     pool.clone_volume("a.img", "b.img").unwrap();
 
     // Observed identically from the local path.
@@ -160,12 +191,19 @@ fn storage_and_network_operations_match() {
     assert_eq!(local_pool.info().unwrap(), pool.info().unwrap());
     assert_eq!(local_pool.list_volumes().unwrap(), vec!["a.img", "b.img"]);
     assert_eq!(
-        local_pool.volume_lookup_by_name("b.img").unwrap().info().unwrap(),
+        local_pool
+            .volume_lookup_by_name("b.img")
+            .unwrap()
+            .info()
+            .unwrap(),
         pool.volume_lookup_by_name("b.img").unwrap().info().unwrap()
     );
 
     let net = remote
-        .define_network(&NetworkConfig::new("lan", std::net::Ipv4Addr::new(10, 42, 0, 0)))
+        .define_network(&NetworkConfig::new(
+            "lan",
+            std::net::Ipv4Addr::new(10, 42, 0, 0),
+        ))
         .unwrap();
     net.start().unwrap();
     let local_net = local.network_lookup_by_name("lan").unwrap();
@@ -178,11 +216,16 @@ fn storage_and_network_operations_match() {
 #[test]
 fn lookup_by_id_and_uuid_through_the_wire() {
     let (_local, remote, daemon) = local_and_remote();
-    let domain = remote.define_domain(&DomainConfig::new("vm", 128, 1)).unwrap();
+    let domain = remote
+        .define_domain(&DomainConfig::new("vm", 128, 1))
+        .unwrap();
     domain.start().unwrap();
     let id = domain.id().unwrap();
     assert_eq!(remote.domain_lookup_by_id(id).unwrap().name(), "vm");
-    assert_eq!(remote.domain_lookup_by_uuid(domain.uuid()).unwrap().name(), "vm");
+    assert_eq!(
+        remote.domain_lookup_by_uuid(domain.uuid()).unwrap().name(),
+        "vm"
+    );
     assert_eq!(
         remote.domain_lookup_by_id(9999).unwrap_err().code(),
         ErrorCode::NoDomain
@@ -194,7 +237,10 @@ fn lookup_by_id_and_uuid_through_the_wire() {
 #[test]
 fn concurrent_remote_clients_share_one_hypervisor_consistently() {
     let endpoint = unique("equiv-conc");
-    let daemon = Virtd::builder(&endpoint).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let uri = format!("qemu+memory://{endpoint}/system");
 
@@ -205,7 +251,9 @@ fn concurrent_remote_clients_share_one_hypervisor_consistently() {
                 let conn = Connect::open(&uri).unwrap();
                 for j in 0..10 {
                     let name = format!("c{i}-vm{j}");
-                    let domain = conn.define_domain(&DomainConfig::new(&name, 64, 1)).unwrap();
+                    let domain = conn
+                        .define_domain(&DomainConfig::new(&name, 64, 1))
+                        .unwrap();
                     domain.start().unwrap();
                     domain.destroy().unwrap();
                     domain.undefine().unwrap();
@@ -230,7 +278,9 @@ fn concurrent_remote_clients_share_one_hypervisor_consistently() {
 #[test]
 fn snapshot_revert_and_delete_through_both_paths() {
     let (local, remote, daemon) = local_and_remote();
-    let domain = remote.define_domain(&DomainConfig::new("snappy", 512, 1)).unwrap();
+    let domain = remote
+        .define_domain(&DomainConfig::new("snappy", 512, 1))
+        .unwrap();
     domain.start().unwrap();
     domain.snapshot_create("boot").unwrap();
     domain.set_memory(256).unwrap();
@@ -238,7 +288,11 @@ fn snapshot_revert_and_delete_through_both_paths() {
 
     // Revert remotely; observe locally.
     domain.snapshot_revert("boot").unwrap();
-    let seen = local.domain_lookup_by_name("snappy").unwrap().info().unwrap();
+    let seen = local
+        .domain_lookup_by_name("snappy")
+        .unwrap()
+        .info()
+        .unwrap();
     assert_eq!(seen.state, DomainState::Running);
     assert_eq!(seen.memory_mib, 512);
 

@@ -5,17 +5,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use virt_core::xmlfmt::DomainConfig;
 use virt_core::{Connect, DomainState};
-use virt_rpc::transport::{Listener, TcpSocketListener, TlsSimTransport, Transport, UnixSocketListener};
+use virt_rpc::transport::{
+    Listener, TcpSocketListener, TlsSimTransport, Transport, UnixSocketListener,
+};
 use virtd::Virtd;
 
 fn unique(name: &str) -> String {
     static N: AtomicU64 = AtomicU64::new(0);
-    format!("{name}-{}-{}", std::process::id(), N.fetch_add(1, Ordering::Relaxed))
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
 }
 
 fn exercise(conn: &Connect) {
     assert!(conn.hostname().unwrap().ends_with("-qemu"));
-    let domain = conn.define_domain(&DomainConfig::new("t-vm", 256, 1)).unwrap();
+    let domain = conn
+        .define_domain(&DomainConfig::new("t-vm", 256, 1))
+        .unwrap();
     domain.start().unwrap();
     assert_eq!(domain.state().unwrap(), DomainState::Running);
     let xml = domain.xml_desc().unwrap();
@@ -26,7 +34,10 @@ fn exercise(conn: &Connect) {
 
 #[test]
 fn unix_socket_transport_end_to_end() {
-    let daemon = Virtd::builder(unique("ux")).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(unique("ux"))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let path = format!("/tmp/{}.sock", unique("virtd"));
     daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
 
@@ -39,7 +50,10 @@ fn unix_socket_transport_end_to_end() {
 
 #[test]
 fn tcp_transport_end_to_end() {
-    let daemon = Virtd::builder(unique("tcp")).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(unique("tcp"))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().to_string();
     daemon.serve(Box::new(listener));
@@ -99,7 +113,10 @@ impl Transport for ArcTransport {
 
 #[test]
 fn tls_sim_transport_end_to_end() {
-    let daemon = Virtd::builder(unique("tls")).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(unique("tls"))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().to_string();
     daemon.serve(Box::new(TlsListener(listener)));
@@ -123,7 +140,10 @@ fn default_remote_uri_uses_tls_port_and_fails_cleanly_when_absent() {
 
 #[test]
 fn two_transports_into_one_daemon_share_state() {
-    let daemon = Virtd::builder(unique("multi")).with_quiet_hosts().build().unwrap();
+    let daemon = Virtd::builder(unique("multi"))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
     let path = format!("/tmp/{}.sock", unique("virtd-multi"));
     daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
     let tcp = TcpSocketListener::bind("127.0.0.1:0").unwrap();
@@ -134,8 +154,13 @@ fn two_transports_into_one_daemon_share_state() {
     let (host, port) = addr.rsplit_once(':').unwrap();
     let via_tcp = Connect::open(&format!("qemu+tcp://{host}:{port}/system")).unwrap();
 
-    via_unix.define_domain(&DomainConfig::new("shared", 128, 1)).unwrap();
-    assert_eq!(via_tcp.domain_lookup_by_name("shared").unwrap().name(), "shared");
+    via_unix
+        .define_domain(&DomainConfig::new("shared", 128, 1))
+        .unwrap();
+    assert_eq!(
+        via_tcp.domain_lookup_by_name("shared").unwrap().name(),
+        "shared"
+    );
 
     via_unix.close();
     via_tcp.close();

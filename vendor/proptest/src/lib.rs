@@ -1,0 +1,822 @@
+//! Offline shim for `proptest`: a small, deterministic property-testing
+//! framework exposing the subset of the proptest 1.x API this workspace
+//! uses.
+//!
+//! The registry is unreachable in this build environment, so the real
+//! proptest cannot be fetched. This crate keeps the call sites source
+//! compatible: the `proptest!` / `prop_oneof!` / `prop_assert*!` macros,
+//! the [`strategy::Strategy`] trait with `prop_map` / `prop_filter` /
+//! `prop_recursive`, `any::<T>()`, `Just`, ranges as strategies,
+//! regex-like string strategies, and the `collection` / `option` / `bool` /
+//! `char` / `num` helper modules.
+//!
+//! Differences from the real thing: no shrinking, no persistence of
+//! failing cases (`.proptest-regressions` files are ignored), and a fixed
+//! deterministic seed per test derived from the test's module path — each
+//! run explores the same cases, which keeps CI stable. The case count
+//! defaults to 64 and can be raised via `PROPTEST_CASES`.
+
+pub mod test_runner {
+    /// Deterministic generator driving all strategies (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5851_f42d_4c95_7f2d,
+            }
+        }
+
+        /// Seed for case `case` of the test uniquely named `name`.
+        pub fn for_case(name: &str, case: u64) -> Self {
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= byte as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng::from_seed(hash.wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// Uniform value in `[lo, hi]` (inclusive).
+        pub fn between(&mut self, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo <= hi);
+            lo + self.below(hi - lo + 1)
+        }
+    }
+
+    /// Number of cases each `proptest!` test runs (`PROPTEST_CASES`, default 64).
+    pub fn cases() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Unlike the real proptest there is no value tree or shrinking; a
+    /// strategy is just a deterministic function of the test RNG.
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, map }
+        }
+
+        fn prop_filter<F>(self, reason: impl Into<String>, predicate: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                reason: reason.into(),
+                predicate,
+            }
+        }
+
+        /// Expands `self` (the leaf strategy) through `recurse` up to
+        /// `depth` times. The size-hint parameters of the real API are
+        /// accepted and ignored; the branch strategy returned by `recurse`
+        /// is expected to choose its own child counts (possibly zero), so
+        /// depth alone bounds the tree.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strategy = self.boxed();
+            for _ in 0..depth {
+                strategy = recurse(strategy).boxed();
+            }
+            strategy
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    trait DynStrategy<T> {
+        fn gen_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn gen_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.gen_value(rng)
+        }
+    }
+
+    /// Type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_dyn(rng)
+        }
+    }
+
+    /// Strategy producing a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.inner.gen_value(rng))
+        }
+    }
+
+    pub struct Filter<S, F> {
+        inner: S,
+        reason: String,
+        predicate: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let candidate = self.inner.gen_value(rng);
+                if (self.predicate)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected 1000 candidates in a row",
+                self.reason
+            );
+        }
+    }
+
+    /// Uniform choice between same-valued strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let arm = rng.below(self.arms.len() as u64) as usize;
+            self.arms[arm].gen_value(rng)
+        }
+    }
+
+    /// Marker used by `any::<T>()`.
+    pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+    impl<T: crate::arbitrary::ArbValue> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+        (A, B, C, D, E, F, G, H, I)
+        (A, B, C, D, E, F, G, H, I, J)
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for std::ops::Range<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u64;
+                    (start as i128 + rng.between(0, span) as i128) as $ty
+                }
+            }
+
+            impl Strategy for std::ops::RangeFrom<$ty> {
+                type Value = $ty;
+                fn gen_value(&self, rng: &mut TestRng) -> $ty {
+                    let span = (<$ty>::MAX as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.between(0, span) as i128) as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Regex-like string strategies: `"[a-z][a-z0-9]{0,8}"`, `"\\PC*"`, …
+    ///
+    /// Supported atoms: character classes (`[...]`, with ranges and
+    /// backslash escapes), the printable-character class `\PC`, and literal
+    /// characters. Quantifiers: `{n}`, `{a,b}`, `*` (capped at 32), `+`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::generate(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::AnyStrategy;
+    use super::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait ArbValue {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($ty:ty),*) => {$(
+            impl ArbValue for $ty {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbValue for char {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            crate::string::printable_char(rng)
+        }
+    }
+
+    impl ArbValue for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            crate::num::f64::normal_value(rng)
+        }
+    }
+
+    impl<const N: usize> ArbValue for [u8; N] {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            let mut out = [0u8; N];
+            for byte in out.iter_mut() {
+                *byte = rng.next_u64() as u8;
+            }
+            out
+        }
+    }
+
+    /// `any::<T>()` — strategy for an arbitrary value of `T`.
+    pub fn any<T: ArbValue>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.between(self.size.min as u64, self.size.max_inclusive as u64) as usize;
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Strategy for `Option<T>`; generates `None` a quarter of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.gen_value(rng))
+            }
+        }
+    }
+}
+
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolAny;
+
+    /// Strategy for an arbitrary boolean.
+    pub const ANY: BoolAny = BoolAny;
+
+    impl Strategy for BoolAny {
+        type Value = bool;
+        fn gen_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod char {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    #[derive(Clone, Copy, Debug)]
+    pub struct CharRange {
+        lo: char,
+        hi: char,
+    }
+
+    /// Strategy for a character in `[lo, hi]`.
+    pub fn range(lo: char, hi: char) -> CharRange {
+        assert!(lo <= hi, "empty char range");
+        CharRange { lo, hi }
+    }
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn gen_value(&self, rng: &mut TestRng) -> char {
+            // Resample on the surrogate gap (only possible for ranges that
+            // span it).
+            loop {
+                let code = rng.between(self.lo as u64, self.hi as u64) as u32;
+                if let Some(c) = char::from_u32(code) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::BitOr;
+
+        /// Bitmask of floating-point value classes, combinable with `|`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct F64Class(u8);
+
+        pub const NORMAL: F64Class = F64Class(1);
+        pub const ZERO: F64Class = F64Class(2);
+
+        impl BitOr for F64Class {
+            type Output = F64Class;
+            fn bitor(self, rhs: F64Class) -> F64Class {
+                F64Class(self.0 | rhs.0)
+            }
+        }
+
+        pub(crate) fn normal_value(rng: &mut TestRng) -> f64 {
+            let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+            // Mantissa in [1, 2), exponent well inside the normal range.
+            let mantissa = 1.0 + (rng.next_u64() >> 12) as f64 / (1u64 << 52) as f64;
+            let exponent = rng.between(0, 600) as i32 - 300;
+            sign * mantissa * 2f64.powi(exponent)
+        }
+
+        impl Strategy for F64Class {
+            type Value = f64;
+            fn gen_value(&self, rng: &mut TestRng) -> f64 {
+                let classes: Vec<u8> = [1u8, 2]
+                    .iter()
+                    .copied()
+                    .filter(|bit| self.0 & bit != 0)
+                    .collect();
+                let pick = classes[rng.below(classes.len() as u64) as usize];
+                match pick {
+                    1 => normal_value(rng),
+                    _ => 0.0,
+                }
+            }
+        }
+    }
+}
+
+pub mod string {
+    use super::test_runner::TestRng;
+
+    const EXOTIC: &[char] = &['ß', 'é', 'Ω', 'π', '中', '☃', '🦀'];
+
+    /// A printable (non-control) character: mostly ASCII, occasionally
+    /// multi-byte to exercise UTF-8 handling.
+    pub fn printable_char(rng: &mut TestRng) -> char {
+        if rng.below(10) == 0 {
+            EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+        } else {
+            rng.between(0x20, 0x7e) as u8 as char
+        }
+    }
+
+    enum Atom {
+        Printable,
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    impl Atom {
+        fn generate(&self, rng: &mut TestRng) -> char {
+            match self {
+                Atom::Printable => printable_char(rng),
+                Atom::Literal(c) => *c,
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(lo, hi)| *hi as u64 - *lo as u64 + 1)
+                        .sum();
+                    let mut pick = rng.below(total);
+                    for (lo, hi) in ranges {
+                        let size = *hi as u64 - *lo as u64 + 1;
+                        if pick < size {
+                            return char::from_u32(*lo as u32 + pick as u32)
+                                .expect("class ranges avoid surrogates");
+                        }
+                        pick -= size;
+                    }
+                    unreachable!("pick < total")
+                }
+            }
+        }
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Atom, usize) {
+        let mut ranges = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            let c = if chars[i] == '\\' {
+                i += 1;
+                chars[i]
+            } else {
+                chars[i]
+            };
+            if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                ranges.push((c, chars[i + 2]));
+                i += 3;
+            } else {
+                ranges.push((c, c));
+                i += 1;
+            }
+        }
+        (Atom::Class(ranges), i + 1) // skip ']'
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize) -> (u64, u64, usize) {
+        match chars.get(i) {
+            Some('*') => (0, 32, i + 1),
+            Some('+') => (1, 32, i + 1),
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated quantifier")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse().expect("quantifier lower bound"),
+                        b.parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.parse().expect("quantifier count");
+                        (n, n)
+                    }
+                };
+                (lo, hi, close + 1)
+            }
+            _ => (1, 1, i),
+        }
+    }
+
+    /// Generates a string matching the (small regex subset) `pattern`.
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let (atom, next) = match chars[i] {
+                '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                    (Atom::Printable, i + 3)
+                }
+                '\\' => (
+                    Atom::Literal(*chars.get(i + 1).expect("dangling escape")),
+                    i + 2,
+                ),
+                '[' => parse_class(&chars, i + 1),
+                c => (Atom::Literal(c), i + 1),
+            };
+            let (lo, hi, next) = parse_quantifier(&chars, next);
+            let count = rng.between(lo, hi);
+            for _ in 0..count {
+                out.push(atom.generate(rng));
+            }
+            i = next;
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Runs each contained test function over many generated cases.
+///
+/// Supports the argument forms `name: Type` (via `any::<Type>()`) and
+/// `name in strategy`, in any mix and order.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = $crate::test_runner::cases();
+                for case in 0..cases {
+                    let mut __pt_rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $crate::__pt_bind!(__pt_rng, $body, $($args)*);
+                }
+            }
+        )*
+    };
+}
+
+/// Internal: binds `proptest!` arguments one at a time, then runs the body.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __pt_bind {
+    ($rng:ident, $body:block $(,)?) => { $body };
+    ($rng:ident, $body:block, $var:ident : $ty:ty $(, $($rest:tt)*)?) => {{
+        let $var: $ty = $crate::strategy::Strategy::gen_value(
+            &$crate::arbitrary::any::<$ty>(),
+            &mut $rng,
+        );
+        $crate::__pt_bind!($rng, $body $(, $($rest)*)?)
+    }};
+    ($rng:ident, $body:block, $var:ident in $strategy:expr $(, $($rest:tt)*)?) => {{
+        let $var = $crate::strategy::Strategy::gen_value(&($strategy), &mut $rng);
+        $crate::__pt_bind!($rng, $body $(, $($rest)*)?)
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_respect_classes() {
+        let mut rng = crate::test_runner::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = crate::string::generate("[a-z][a-z0-9]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn printable_pattern_never_emits_controls() {
+        let mut rng = crate::test_runner::TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = crate::string::generate("\\PC{0,40}", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()));
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn escaped_class_members_parse() {
+        let mut rng = crate::test_runner::TestRng::from_seed(3);
+        for _ in 0..100 {
+            let s = crate::string::generate("[<>&;a-z'\"= /!\\[\\]-]{0,64}", &mut rng);
+            assert!(s
+                .chars()
+                .all(|c| "<>&;'\"= /!-[]".contains(c) || c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn typed_and_in_args_mix(a: u32, b in 5u64..10, c: bool) {
+            prop_assert!(b >= 5 && b < 10);
+            let _ = (a, c);
+        }
+
+        #[test]
+        fn oneof_and_collections(v in crate::collection::vec(prop_oneof![Just(1u8), Just(2)], 0..6)) {
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        }
+
+        #[test]
+        fn ranges_and_options(n in 1u16.., m in crate::option::of(any::<u64>())) {
+            prop_assert!(n >= 1);
+            let _ = m;
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        let leaf = (0u32..10).prop_map(|n| vec![n]);
+        let nested = leaf.prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..3).prop_map(|vs| vs.concat())
+        });
+        let mut rng = crate::test_runner::TestRng::from_seed(9);
+        for _ in 0..50 {
+            let v = nested.gen_value(&mut rng);
+            assert!(v.len() <= 27);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! **F5 — Connection resilience.**
+//!
+//! Two measurements of the reconnect/retry machinery:
+//!
+//! 1. *Recovery latency vs backoff parameters.* The daemon restarts
+//!    after a fixed 50 ms outage while a client with a patient retry
+//!    policy keeps calling. Smaller initial backoffs poll the dead
+//!    endpoint more aggressively and so notice the restart sooner, at
+//!    the price of more wasted dials; the sweep shows the trade-off.
+//!
+//! 2. *Circuit breaker under a flapping daemon.* The daemon cycles
+//!    down/up every 100 ms while a no-retry client calls continuously.
+//!    With a short breaker cooldown the client keeps probing (more dial
+//!    failures, quicker recovery); with a long cooldown it fails fast
+//!    (cheap errors) but stays dark through whole up-phases.
+//!
+//! Run: `cargo run --release -p virt-bench --bin expt_f5_resilience`
+
+use std::time::{Duration, Instant};
+
+use virt_bench::unique;
+use virt_core::{BreakerConfig, Connect, RetryPolicy};
+use virtd::Virtd;
+
+const TRIALS: u32 = 5;
+const DOWNTIME: Duration = Duration::from_millis(50);
+
+/// Mean wall-clock latency (ms) of the first idempotent call issued the
+/// moment the daemon goes down, with a restart `DOWNTIME` later.
+fn recovery_latency_ms(initial_backoff: Duration, multiplier: u32) -> f64 {
+    let mut total_ms = 0.0;
+    for _ in 0..TRIALS {
+        let endpoint = unique("f5-rec");
+        let daemon = Virtd::builder(&endpoint)
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+        let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+            .retry(RetryPolicy {
+                max_attempts: 200,
+                initial_backoff,
+                max_backoff: Duration::from_millis(500),
+                multiplier,
+                retry_budget: 10_000,
+            })
+            .breaker(BreakerConfig {
+                failure_threshold: 10_000,
+                cooldown: Duration::from_secs(1),
+            })
+            .open()
+            .unwrap();
+        conn.hostname().unwrap();
+
+        let host = daemon.host("qemu").unwrap().clone();
+        daemon.shutdown();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while conn.is_alive() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+
+        let ep = endpoint.clone();
+        let restarter = std::thread::spawn(move || {
+            std::thread::sleep(DOWNTIME);
+            let daemon = Virtd::builder(&ep).host(host).build().unwrap();
+            daemon.register_memory_endpoint(&ep).unwrap();
+            daemon
+        });
+
+        let start = Instant::now();
+        conn.hostname().expect("call recovers across the restart");
+        total_ms += start.elapsed().as_secs_f64() * 1e3;
+
+        let daemon2 = restarter.join().unwrap();
+        conn.close();
+        daemon2.shutdown();
+    }
+    total_ms / f64::from(TRIALS)
+}
+
+struct FlapStats {
+    ok: u64,
+    dial_fail: u64,
+    fast_fail: u64,
+}
+
+/// Call outcomes while the daemon flaps down/up (5 cycles, 100 ms per
+/// phase) against a no-retry client with the given breaker cooldown.
+fn flapping_stats(cooldown: Duration) -> FlapStats {
+    let endpoint = unique("f5-flap");
+    let daemon = Virtd::builder(&endpoint)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    daemon.register_memory_endpoint(&endpoint).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .breaker(BreakerConfig {
+            failure_threshold: 3,
+            cooldown,
+        })
+        .open()
+        .unwrap();
+    conn.hostname().unwrap();
+
+    let ep = endpoint.clone();
+    let flapper = std::thread::spawn(move || {
+        let mut daemon = daemon;
+        for _ in 0..5 {
+            let host = daemon.host("qemu").unwrap().clone();
+            daemon.shutdown();
+            std::thread::sleep(Duration::from_millis(100));
+            daemon = Virtd::builder(&ep).host(host).build().unwrap();
+            daemon.register_memory_endpoint(&ep).unwrap();
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        daemon
+    });
+
+    let mut stats = FlapStats {
+        ok: 0,
+        dial_fail: 0,
+        fast_fail: 0,
+    };
+    while !flapper.is_finished() {
+        match conn.hostname() {
+            Ok(_) => stats.ok += 1,
+            Err(e) if e.message().contains("circuit") => stats.fast_fail += 1,
+            Err(_) => stats.dial_fail += 1,
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let daemon = flapper.join().unwrap();
+    conn.close();
+    daemon.shutdown();
+    stats
+}
+
+fn main() {
+    let mut csv = String::from("part,param_ms,ok,dial_fail,fast_fail,recovery_ms\n");
+
+    println!(
+        "F5a: recovery latency after a {} ms outage ({} trials per point)",
+        DOWNTIME.as_millis(),
+        TRIALS
+    );
+    println!(
+        "{:<20} {:<12} {:>14}",
+        "initial backoff", "multiplier", "recovery (ms)"
+    );
+    println!("{}", "-".repeat(48));
+    for (initial_ms, multiplier) in [(1u64, 2u32), (5, 2), (20, 2), (100, 2), (20, 1)] {
+        let ms = recovery_latency_ms(Duration::from_millis(initial_ms), multiplier);
+        println!(
+            "{:<20} {:<12} {:>14.1}",
+            format!("{initial_ms} ms"),
+            multiplier,
+            ms
+        );
+        csv.push_str(&format!("recovery,{initial_ms},,,,{ms:.2}\n"));
+    }
+
+    println!("\nF5b: breaker under a flapping daemon (5 down/up cycles of 100 ms each)");
+    println!(
+        "{:<16} {:>8} {:>12} {:>12}",
+        "cooldown", "ok", "dial fails", "fast fails"
+    );
+    println!("{}", "-".repeat(50));
+    for cooldown_ms in [25u64, 100, 400] {
+        let stats = flapping_stats(Duration::from_millis(cooldown_ms));
+        println!(
+            "{:<16} {:>8} {:>12} {:>12}",
+            format!("{cooldown_ms} ms"),
+            stats.ok,
+            stats.dial_fail,
+            stats.fast_fail
+        );
+        csv.push_str(&format!(
+            "flapping,{cooldown_ms},{},{},{},\n",
+            stats.ok, stats.dial_fail, stats.fast_fail
+        ));
+    }
+
+    let csv_path = "target/expt_f5_resilience.csv";
+    let _ = std::fs::write(csv_path, &csv);
+    println!("\nCSV written to {csv_path}");
+}

@@ -9,16 +9,18 @@
 //! ```
 //!
 //! The default connection URI is `test:///default`, overridable with `-c`
-//! or the `VIRT_DEFAULT_URI` environment variable.
+//! or the `VIRT_DEFAULT_URI` environment variable. Connection resilience
+//! is tunable with `--call-deadline-ms`, `--retries` and `--no-reconnect`.
 
 pub mod admin;
 pub use admin::run_admin;
 
 use std::io::Write;
+use std::time::Duration;
 
 use virt_core::driver::MigrationOptions;
 use virt_core::xmlfmt::DomainConfig;
-use virt_core::{Connect, VirtError, VirtResult};
+use virt_core::{Connect, RetryPolicy, VirtError, VirtResult};
 
 /// Executes one command line.
 ///
@@ -37,6 +39,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> i32 {
 fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
     let mut uri =
         std::env::var("VIRT_DEFAULT_URI").unwrap_or_else(|_| "test:///default".to_string());
+    let mut call_deadline: Option<Duration> = None;
+    let mut retries: Option<u32> = None;
+    let mut reconnect = true;
     let mut rest: Vec<&str> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -48,6 +53,23 @@ fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
                     .ok_or_else(|| invalid("-c requires a URI"))?
                     .clone();
             }
+            "--call-deadline-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| invalid("--call-deadline-ms requires a millisecond count"))?;
+                call_deadline = Some(Duration::from_millis(ms));
+            }
+            "--retries" => {
+                i += 1;
+                let count: u32 = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| invalid("--retries requires a count"))?;
+                retries = Some(count);
+            }
+            "--no-reconnect" => reconnect = false,
             other => rest.push(other),
         }
         i += 1;
@@ -65,7 +87,17 @@ fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
         return Ok(());
     }
 
-    let conn = Connect::open(&uri)?;
+    let mut builder = Connect::builder(&uri).reconnect(reconnect);
+    if let Some(deadline) = call_deadline {
+        builder = builder.call_deadline(deadline);
+    }
+    if let Some(retries) = retries {
+        builder = builder.retry(RetryPolicy {
+            max_attempts: retries.saturating_add(1),
+            ..RetryPolicy::default()
+        });
+    }
+    let conn = builder.open()?;
     let result = execute(&conn, command, command_args, out);
     conn.close();
     result
@@ -538,8 +570,21 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
 fn print_help(out: &mut dyn Write) {
     w(out, "vsh — console client for the virt toolkit");
     w(out, "");
-    w(out, "usage: vsh [-c URI] <command> [args...]");
+    w(out, "usage: vsh [-c URI] [options] <command> [args...]");
     w(out, "");
+    w(out, "Options:");
+    w(
+        out,
+        "  --call-deadline-ms <ms>   per-call deadline for remote connections",
+    );
+    w(
+        out,
+        "  --retries <n>             retry idempotent calls up to n times",
+    );
+    w(
+        out,
+        "  --no-reconnect            fail instead of re-dialing a dead connection",
+    );
     w(out, "Connection:");
     w(out, "  uri | hostname | nodeinfo | capabilities | version");
     w(out, "Domains:");
@@ -748,6 +793,24 @@ mod tests {
         let (code, output) = run_line("-c garbage list");
         assert_eq!(code, 1);
         assert!(output.contains("invalid connection uri"));
+    }
+
+    #[test]
+    fn resilience_flags_are_accepted() {
+        let (code, output) =
+            run_line("--call-deadline-ms 5000 --retries 3 --no-reconnect hostname");
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("test-host"));
+    }
+
+    #[test]
+    fn resilience_flags_validate_their_values() {
+        let (code, output) = run_line("--call-deadline-ms soon hostname");
+        assert_eq!(code, 1);
+        assert!(output.contains("--call-deadline-ms requires"));
+        let (code, output) = run_line("--retries many hostname");
+        assert_eq!(code, 1);
+        assert!(output.contains("--retries requires"));
     }
 
     #[test]

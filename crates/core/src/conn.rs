@@ -6,10 +6,14 @@
 //! else.
 
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use virt_rpc::keepalive::KeepaliveConfig;
+use virt_rpc::retry::{BreakerConfig, RetryPolicy};
 
 use crate::capabilities::Capabilities;
 use crate::domain::Domain;
-use crate::driver::{DriverRegistry, HypervisorConnection, NodeInfo};
+use crate::driver::{DriverRegistry, HypervisorConnection, NodeInfo, OpenOptions};
 use crate::error::VirtResult;
 use crate::event::{CallbackId, DomainEvent, EventCallback};
 use crate::network::Network;
@@ -57,7 +61,104 @@ impl std::fmt::Debug for Connect {
     }
 }
 
+/// Configures and opens a [`Connect`] — the single place every
+/// connection option lives.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use std::time::Duration;
+/// use virt_core::{Connect, KeepaliveConfig, RetryPolicy};
+///
+/// let conn = Connect::builder("test:///default")
+///     .call_deadline(Duration::from_secs(30))
+///     .keepalive(KeepaliveConfig::default())
+///     .retry(RetryPolicy::default())
+///     .reconnect(true)
+///     .open()?;
+/// assert!(conn.is_alive());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ConnectBuilder<'a> {
+    uri: String,
+    registry: Option<&'a DriverRegistry>,
+    options: OpenOptions,
+}
+
+impl<'a> ConnectBuilder<'a> {
+    /// Opens against an explicit driver registry instead of the process
+    /// default (embedders and tests).
+    pub fn registry<'b>(self, registry: &'b DriverRegistry) -> ConnectBuilder<'b> {
+        ConnectBuilder {
+            uri: self.uri,
+            registry: Some(registry),
+            options: self.options,
+        }
+    }
+
+    /// Default deadline for every call on the connection, measured from
+    /// call entry and spanning transparent retries.
+    pub fn call_deadline(mut self, deadline: Duration) -> Self {
+        self.options.call_deadline = Some(deadline);
+        self
+    }
+
+    /// Enables keepalive probing. Overrides any `?keepalive=` URI
+    /// parameter.
+    pub fn keepalive(mut self, config: KeepaliveConfig) -> Self {
+        self.options.keepalive = Some(config);
+        self
+    }
+
+    /// Retry policy for idempotent calls after connection failures. The
+    /// default never retries.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.options.retry = Some(policy);
+        self
+    }
+
+    /// Whether a dead connection is transparently re-dialed on the next
+    /// call (default: yes).
+    pub fn reconnect(mut self, auto: bool) -> Self {
+        self.options.reconnect = Some(auto);
+        self
+    }
+
+    /// Circuit-breaker tuning for the reconnect path.
+    pub fn breaker(mut self, config: BreakerConfig) -> Self {
+        self.options.breaker = Some(config);
+        self
+    }
+
+    /// Resolves the URI through the registry and opens the connection.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::InvalidUri`] on a malformed URI;
+    /// [`crate::ErrorCode::NoConnect`] when no endpoint answers.
+    pub fn open(&self) -> VirtResult<Connect> {
+        let parsed: ConnectUri = self.uri.parse()?;
+        let registry = self.registry.unwrap_or_else(|| default_registry());
+        Ok(Connect {
+            inner: registry.open_with_options(&parsed, &self.options)?,
+        })
+    }
+}
+
 impl Connect {
+    /// Starts configuring a connection to `uri`.
+    pub fn builder(uri: impl Into<String>) -> ConnectBuilder<'static> {
+        ConnectBuilder {
+            uri: uri.into(),
+            registry: None,
+            options: OpenOptions::default(),
+        }
+    }
+
     /// Opens a connection using the default driver registry.
     ///
     /// # Errors
@@ -65,10 +166,7 @@ impl Connect {
     /// [`crate::ErrorCode::InvalidUri`] on a malformed URI;
     /// [`crate::ErrorCode::NoConnect`] when no endpoint answers.
     pub fn open(uri: &str) -> VirtResult<Connect> {
-        let parsed: ConnectUri = uri.parse()?;
-        Ok(Connect {
-            inner: default_registry().open(&parsed)?,
-        })
+        Connect::builder(uri).open()
     }
 
     /// Opens using an explicit registry (embedders and tests).
@@ -77,10 +175,7 @@ impl Connect {
     ///
     /// As [`Connect::open`].
     pub fn open_with_registry(uri: &str, registry: &DriverRegistry) -> VirtResult<Connect> {
-        let parsed: ConnectUri = uri.parse()?;
-        Ok(Connect {
-            inner: registry.open(&parsed)?,
-        })
+        Connect::builder(uri).registry(registry).open()
     }
 
     /// Wraps an already constructed driver connection (the daemon uses
@@ -341,6 +436,37 @@ mod tests {
         assert_eq!(conn.uri(), "test:///default");
         assert_eq!(conn.hostname().unwrap(), "test-host");
         assert_eq!(conn.list_domain_names().unwrap(), vec!["test"]);
+    }
+
+    #[test]
+    fn builder_opens_with_options_against_local_drivers() {
+        // Local drivers ignore transport options, but the builder path
+        // must still resolve and open them.
+        let conn = Connect::builder("test:///default")
+            .call_deadline(Duration::from_secs(10))
+            .keepalive(KeepaliveConfig::default())
+            .retry(RetryPolicy::default())
+            .reconnect(false)
+            .breaker(BreakerConfig::default())
+            .open()
+            .unwrap();
+        assert_eq!(conn.hostname().unwrap(), "test-host");
+    }
+
+    #[test]
+    fn builder_accepts_an_explicit_registry() {
+        let mut registry = DriverRegistry::new();
+        registry.register(Arc::new(crate::drivers::test::TestDriver::new()));
+        let conn = Connect::builder("test:///default")
+            .registry(&registry)
+            .open()
+            .unwrap();
+        assert!(conn.is_alive());
+    }
+
+    #[test]
+    fn builder_rejects_bad_uris_at_open_time() {
+        assert!(Connect::builder("not a uri").open().is_err());
     }
 
     #[test]

@@ -8,12 +8,33 @@
 //! fallback for any scheme no client-side driver claims.
 
 use std::sync::Arc;
+use std::time::Duration;
+
+use virt_rpc::keepalive::KeepaliveConfig;
+use virt_rpc::retry::{BreakerConfig, RetryPolicy};
 
 use crate::capabilities::Capabilities;
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, EventCallback};
 use crate::uri::ConnectUri;
 use crate::uuid::Uuid;
+
+/// Connection options resolved by the connect builder and handed to the
+/// winning driver. Every field is optional; `None` means "driver
+/// default". Local drivers are free to ignore transport-level options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OpenOptions {
+    /// Default deadline applied to every RPC call on the connection.
+    pub call_deadline: Option<Duration>,
+    /// Keepalive probing (overrides any `?keepalive=` URI parameter).
+    pub keepalive: Option<KeepaliveConfig>,
+    /// Retry policy for idempotent calls after connection failures.
+    pub retry: Option<RetryPolicy>,
+    /// Whether a dead connection is transparently re-dialed.
+    pub reconnect: Option<bool>,
+    /// Circuit-breaker tuning for the reconnect path.
+    pub breaker: Option<BreakerConfig>,
+}
 
 /// Public lifecycle state of a domain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -665,6 +686,22 @@ pub trait HypervisorDriver: Send + Sync + std::fmt::Debug {
     ///
     /// [`ErrorCode::NoConnect`] and driver-specific failures.
     fn open(&self, uri: &ConnectUri) -> VirtResult<Arc<dyn HypervisorConnection>>;
+
+    /// Opens a connection with explicit options. The default
+    /// implementation ignores the options, which is correct for local
+    /// drivers with no transport to configure.
+    ///
+    /// # Errors
+    ///
+    /// As [`HypervisorDriver::open`].
+    fn open_with_options(
+        &self,
+        uri: &ConnectUri,
+        options: &OpenOptions,
+    ) -> VirtResult<Arc<dyn HypervisorConnection>> {
+        let _ = options;
+        self.open(uri)
+    }
 }
 
 /// An ordered set of drivers with libvirt's resolution rule: the first
@@ -711,13 +748,26 @@ impl DriverRegistry {
     /// [`ErrorCode::NoConnect`] when no driver claims the URI and no
     /// fallback is set; otherwise the winning driver's errors.
     pub fn open(&self, uri: &ConnectUri) -> VirtResult<Arc<dyn HypervisorConnection>> {
+        self.open_with_options(uri, &OpenOptions::default())
+    }
+
+    /// Resolves a URI and opens a connection with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// As [`DriverRegistry::open`].
+    pub fn open_with_options(
+        &self,
+        uri: &ConnectUri,
+        options: &OpenOptions,
+    ) -> VirtResult<Arc<dyn HypervisorConnection>> {
         for driver in &self.drivers {
             if driver.probe(uri) {
-                return driver.open(uri);
+                return driver.open_with_options(uri, options);
             }
         }
         match &self.fallback {
-            Some(fallback) => fallback.open(uri),
+            Some(fallback) => fallback.open_with_options(uri, options),
             None => Err(VirtError::new(
                 ErrorCode::NoConnect,
                 format!("no driver for uri '{uri}'"),

@@ -12,14 +12,18 @@ use std::sync::Arc;
 
 use virt_rpc::keepalive;
 use virt_rpc::message::{MessageType, Packet, REMOTE_PROGRAM};
+use virt_rpc::reconnect::{
+    ReconnectConfig, ReconnectMetrics, ReconnectingClient, SessionSetup, TransportFactory,
+};
+use virt_rpc::retry::RetryPolicy;
 use virt_rpc::transport::{TcpTransport, TlsSimTransport, Transport, UnixTransport};
 use virt_rpc::xdr::XdrEncode;
-use virt_rpc::CallClient;
 
 use crate::capabilities::Capabilities;
+use crate::client_metrics;
 use crate::driver::{
     DomainRecord, HypervisorConnection, HypervisorDriver, MigrationOptions, MigrationReport,
-    NetworkRecord, NodeInfo, PoolRecord, VolumeRecord,
+    NetworkRecord, NodeInfo, OpenOptions, PoolRecord, VolumeRecord,
 };
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, EventBus, EventCallback};
@@ -58,76 +62,98 @@ impl HypervisorDriver for RemoteDriver {
     }
 
     fn open(&self, uri: &ConnectUri) -> VirtResult<Arc<dyn HypervisorConnection>> {
-        let keepalive_config = parse_keepalive_param(uri)?;
+        self.open_with_options(uri, &OpenOptions::default())
+    }
+
+    fn open_with_options(
+        &self,
+        uri: &ConnectUri,
+        options: &OpenOptions,
+    ) -> VirtResult<Arc<dyn HypervisorConnection>> {
+        // Builder options win over the `?keepalive=` URI parameter, which
+        // stays supported for bare-URI callers.
+        let keepalive_config = match options.keepalive {
+            Some(config) => Some(config),
+            None => parse_keepalive_param(uri)?,
+        };
+
+        // Dial the first transport directly so URI problems keep their
+        // precise error codes; the factory only re-dials the same URI.
         let transport = connect_transport(uri)?;
-        let client = CallClient::from_arc(transport);
-        let keepalive_state = keepalive_config.map(|config| {
-            Arc::new(parking_lot::Mutex::new(keepalive::KeepaliveState::new(
-                config,
-                std::time::Instant::now(),
-            )))
-        });
-        let conn = Arc::new(RemoteConnection {
-            client: client.clone(),
-            uri: uri.to_string(),
-            events: EventBus::new(),
-            events_subscribed: AtomicBool::new(false),
-            open: AtomicBool::new(true),
+        let dial_uri = uri.clone();
+        let factory: TransportFactory = Box::new(move || {
+            connect_transport(&dial_uri)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::ConnectionRefused, e))
         });
 
-        // Route incoming events (and keepalive traffic) from the daemon.
-        let events = conn.events.clone();
-        let pong_client = client.clone();
-        let pong_state = keepalive_state.clone();
-        client.set_event_handler(move |packet: Packet| {
-            if let Some(pong) = keepalive::respond(&packet) {
-                let _ = pong_client.send_oneway(&pong);
-                return;
+        // The session handshake, replayed verbatim after every re-dial:
+        // authenticate (the `password` parameter stands in for a SASL
+        // exchange), open the inner URI on the daemon, and re-register
+        // the event subscription if one is active.
+        let auth_args = uri.username().map(|username| protocol::AuthArgs {
+            username: username.to_string(),
+            password: uri.param("password").unwrap_or_default().to_string(),
+        });
+        let open_args = protocol::OpenArgs {
+            uri: uri.inner_uri(),
+            readonly: uri.param("readonly").is_some(),
+        };
+        let events_subscribed = Arc::new(AtomicBool::new(false));
+        let setup_subscribed = Arc::clone(&events_subscribed);
+        let first_setup = AtomicBool::new(true);
+        let callbacks_replayed = client_metrics().counter(
+            "rpc.reconnect.callbacks_replayed",
+            "Event subscriptions re-registered after a reconnect",
+        );
+        let setup: SessionSetup = Box::new(move |client| {
+            if let Some(auth) = &auth_args {
+                client.call::<()>(REMOTE_PROGRAM, proc::AUTH, auth)?;
             }
-            if keepalive::is_pong(&packet) {
-                if let Some(state) = &pong_state {
-                    state.lock().on_pong();
+            client.call::<()>(REMOTE_PROGRAM, proc::OPEN, &open_args)?;
+            let first = first_setup.swap(false, Ordering::AcqRel);
+            if setup_subscribed.load(Ordering::Acquire) {
+                client.call::<()>(REMOTE_PROGRAM, proc::EVENT_REGISTER, &())?;
+                if !first {
+                    callbacks_replayed.inc();
                 }
-                return;
             }
+            Ok(())
+        });
+
+        let config = ReconnectConfig {
+            auto_reconnect: options.reconnect.unwrap_or(true),
+            retry: options.retry.unwrap_or_else(RetryPolicy::none),
+            breaker: options.breaker.unwrap_or_default(),
+            keepalive: keepalive_config,
+            call_deadline: options.call_deadline,
+        };
+        let metrics = ReconnectMetrics::from_registry(client_metrics());
+        let client = ReconnectingClient::with_transport(transport, factory, setup, config, metrics)
+            .map_err(VirtError::from)?;
+
+        // Route lifecycle events from the daemon; keepalive and farewell
+        // traffic never reaches this handler.
+        let events = EventBus::new();
+        let emit_events = events.clone();
+        client.set_event_handler(move |packet: Packet| {
             if packet.header.mtype == MessageType::Event
                 && packet.header.procedure == proc::EVENT_LIFECYCLE
             {
                 if let Ok(wire) = packet.decode_payload::<protocol::WireEvent>() {
                     if let Some(event) = wire.into_event() {
-                        events.emit(&event);
+                        emit_events.emit(&event);
                     }
                 }
             }
         });
 
-        // Authenticate first when the URI carries credentials (the
-        // `password` parameter stands in for a SASL exchange).
-        if let Some(username) = uri.username() {
-            let auth_args = protocol::AuthArgs {
-                username: username.to_string(),
-                password: uri.param("password").unwrap_or_default().to_string(),
-            };
-            conn.call::<()>(proc::AUTH, &auth_args)?;
-        }
-
-        // Handshake: ask the daemon to open the inner (transportless) URI.
-        let open_args = protocol::OpenArgs {
-            uri: uri.inner_uri(),
-            readonly: uri.param("readonly").is_some(),
-        };
-        conn.call::<()>(proc::OPEN, &open_args)?;
-
-        // Active keepalive: probe the daemon and close the connection when
-        // it stops answering (as libvirt's keepalive does).
-        if let Some(state) = keepalive_state {
-            let ka_client = client.clone();
-            std::thread::Builder::new()
-                .name("virt-keepalive".to_string())
-                .spawn(move || keepalive_loop(ka_client, state))
-                .expect("spawning keepalive thread");
-        }
-        Ok(conn)
+        Ok(Arc::new(RemoteConnection {
+            client,
+            uri: uri.to_string(),
+            events,
+            events_subscribed,
+            open: AtomicBool::new(true),
+        }))
     }
 }
 
@@ -160,37 +186,6 @@ fn parse_keepalive_param(uri: &ConnectUri) -> VirtResult<Option<keepalive::Keepa
         interval: std::time::Duration::from_millis(interval_ms),
         count,
     }))
-}
-
-/// Drives the keepalive state machine until the connection dies or the
-/// peer stops answering (in which case this loop closes it).
-fn keepalive_loop(client: CallClient, state: Arc<parking_lot::Mutex<keepalive::KeepaliveState>>) {
-    use keepalive::KeepaliveAction;
-    loop {
-        if client.is_closed() {
-            return;
-        }
-        let now = std::time::Instant::now();
-        let action = state.lock().poll(now);
-        match action {
-            KeepaliveAction::Wait(deadline) => {
-                let sleep_for = deadline
-                    .saturating_duration_since(now)
-                    .min(std::time::Duration::from_millis(200));
-                std::thread::sleep(sleep_for);
-            }
-            KeepaliveAction::SendPing => {
-                if client.send_oneway(&keepalive::ping_packet()).is_err() {
-                    return;
-                }
-                state.lock().on_ping_sent(std::time::Instant::now());
-            }
-            KeepaliveAction::Dead => {
-                client.close();
-                return;
-            }
-        }
-    }
 }
 
 /// Establishes the transport a URI asks for.
@@ -239,12 +234,13 @@ fn connect_transport(uri: &ConnectUri) -> VirtResult<Arc<dyn Transport>> {
     }
 }
 
-/// A connection whose every method is one RPC to the daemon.
+/// A connection whose every method is one RPC to the daemon, routed
+/// through a [`ReconnectingClient`] that survives daemon restarts.
 pub struct RemoteConnection {
-    client: CallClient,
+    client: ReconnectingClient,
     uri: String,
     events: EventBus,
-    events_subscribed: AtomicBool,
+    events_subscribed: Arc<AtomicBool>,
     open: AtomicBool,
 }
 
@@ -269,7 +265,13 @@ impl RemoteConnection {
             ));
         }
         self.client
-            .call::<R>(REMOTE_PROGRAM, procedure, args)
+            .call::<R>(
+                REMOTE_PROGRAM,
+                procedure,
+                protocol::is_idempotent(procedure),
+                args,
+                None,
+            )
             .map_err(VirtError::from)
     }
 
@@ -313,12 +315,17 @@ impl HypervisorConnection for RemoteConnection {
     }
 
     fn is_alive(&self) -> bool {
-        self.open.load(Ordering::Acquire) && !self.client.is_closed()
+        self.open.load(Ordering::Acquire) && self.client.is_alive()
     }
 
     fn close(&self) {
         if self.open.swap(false, Ordering::AcqRel) {
-            let _ = self.client.call::<()>(REMOTE_PROGRAM, proc::CLOSE, &());
+            // Best-effort goodbye on the current generation only — a dead
+            // connection must not be re-dialed just to say goodbye.
+            self.client.with_current(|client| {
+                let _ = client.call::<()>(REMOTE_PROGRAM, proc::CLOSE, &());
+                let _ = client.send_oneway(&keepalive::bye_packet());
+            });
             self.client.close();
         }
     }

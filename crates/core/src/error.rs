@@ -6,6 +6,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use hypersim::{SimError, SimErrorKind};
 use virt_rpc::client::CallError;
@@ -131,11 +132,23 @@ impl fmt::Display for ErrorCode {
 }
 
 /// The error type returned by every fallible public API in this crate.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality considers only the code and message; the optional underlying
+/// cause (exposed through [`Error::source`]) is diagnostic detail.
+#[derive(Debug, Clone)]
 pub struct VirtError {
     code: ErrorCode,
     message: String,
+    source: Option<Arc<dyn Error + Send + Sync + 'static>>,
 }
+
+impl PartialEq for VirtError {
+    fn eq(&self, other: &Self) -> bool {
+        self.code == other.code && self.message == other.message
+    }
+}
+
+impl Eq for VirtError {}
 
 impl VirtError {
     /// Creates an error with a code and message.
@@ -143,6 +156,21 @@ impl VirtError {
         VirtError {
             code,
             message: message.into(),
+            source: None,
+        }
+    }
+
+    /// Creates an error that keeps its underlying cause on the standard
+    /// [`Error::source`] chain.
+    pub fn with_source(
+        code: ErrorCode,
+        message: impl Into<String>,
+        source: impl Error + Send + Sync + 'static,
+    ) -> Self {
+        VirtError {
+            code,
+            message: message.into(),
+            source: Some(Arc::new(source)),
         }
     }
 
@@ -177,7 +205,11 @@ impl fmt::Display for VirtError {
     }
 }
 
-impl Error for VirtError {}
+impl Error for VirtError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
+    }
+}
 
 impl From<SimError> for VirtError {
     /// Maps hypervisor failures onto public codes.
@@ -221,7 +253,7 @@ impl From<CallError> for VirtError {
             CallError::TimedOut => {
                 VirtError::new(ErrorCode::OperationTimeout, "rpc call timed out")
             }
-            other => VirtError::new(ErrorCode::RpcFailure, other.to_string()),
+            other => VirtError::with_source(ErrorCode::RpcFailure, other.to_string(), other),
         }
     }
 }
@@ -324,6 +356,33 @@ mod tests {
         let parse_err = virt_xml::Element::parse("<a").unwrap_err();
         let err: VirtError = parse_err.into();
         assert_eq!(err.code(), ErrorCode::XmlError);
+    }
+
+    #[test]
+    fn source_chain_reaches_the_underlying_io_error() {
+        let io = std::io::Error::new(std::io::ErrorKind::ConnectionReset, "peer reset");
+        let call = CallError::Io(io);
+        let err: VirtError = call.into();
+        assert_eq!(err.code(), ErrorCode::RpcFailure);
+        let source = err.source().expect("io-backed rpc failure has a source");
+        let call = source
+            .downcast_ref::<CallError>()
+            .expect("source is the CallError");
+        let io = call.source().expect("CallError::Io chains to io::Error");
+        assert!(io.to_string().contains("peer reset"));
+    }
+
+    #[test]
+    fn equality_ignores_the_source() {
+        let plain = VirtError::new(ErrorCode::RpcFailure, "boom");
+        let sourced = VirtError::with_source(
+            ErrorCode::RpcFailure,
+            "boom",
+            std::io::Error::other("cause"),
+        );
+        assert_eq!(plain, sourced);
+        assert!(plain.source().is_none());
+        assert!(sourced.source().is_some());
     }
 
     #[test]

@@ -65,11 +65,12 @@ pub mod uuid;
 pub mod xmlfmt;
 
 pub use capabilities::Capabilities;
-pub use conn::Connect;
+pub use conn::{Connect, ConnectBuilder};
 pub use domain::Domain;
 pub use driver::{
     DomainRecord, DomainState, DriverRegistry, HypervisorConnection, HypervisorDriver,
-    MigrationOptions, MigrationReport, NetworkRecord, NodeInfo, PoolRecord, VolumeRecord,
+    MigrationOptions, MigrationReport, NetworkRecord, NodeInfo, OpenOptions, PoolRecord,
+    VolumeRecord,
 };
 pub use error::{ErrorCode, VirtError, VirtResult};
 pub use event::{CallbackId, DomainEvent, DomainEventKind, EventBus};
@@ -77,3 +78,18 @@ pub use network::Network;
 pub use storage::{StoragePool, Volume};
 pub use typedparam::{ParamValue, TypedParam, TypedParams};
 pub use uuid::Uuid;
+// Resilience configuration types, re-exported so builder users never
+// need a direct virt-rpc dependency.
+pub use virt_rpc::keepalive::KeepaliveConfig;
+pub use virt_rpc::retry::{BreakerConfig, BreakerState, RetryPolicy};
+
+/// The process-wide registry for client-side RPC metrics
+/// (`rpc.reconnect.*`, `rpc.retry.*`). Every remote connection opened in
+/// this process records into it, so counters aggregate across
+/// connections; the daemon's admin metrics procedures merge it into
+/// their listings.
+pub fn client_metrics() -> &'static std::sync::Arc<metrics::Registry> {
+    static CLIENT_METRICS: std::sync::OnceLock<std::sync::Arc<metrics::Registry>> =
+        std::sync::OnceLock::new();
+    CLIENT_METRICS.get_or_init(|| std::sync::Arc::new(metrics::Registry::new()))
+}

@@ -245,6 +245,32 @@ pub fn is_high_priority(procedure: u32) -> bool {
     )
 }
 
+/// Whether a procedure is idempotent: re-issuing it after an ambiguous
+/// connection failure cannot change daemon state beyond what the first
+/// (possibly executed) attempt did. The resilient remote driver
+/// transparently retries exactly these; mutating procedures surface the
+/// failure to the caller, who alone knows whether a repeat is safe.
+pub fn is_idempotent(procedure: u32) -> bool {
+    matches!(
+        procedure,
+        proc::GET_HOSTNAME
+            | proc::GET_CAPABILITIES
+            | proc::NODE_INFO
+            | proc::LIST_DOMAINS
+            | proc::DOMAIN_LOOKUP_NAME
+            | proc::DOMAIN_LOOKUP_ID
+            | proc::DOMAIN_LOOKUP_UUID
+            | proc::DOMAIN_LIST_SNAPSHOTS
+            | proc::DOMAIN_DUMP_XML
+            | proc::LIST_POOLS
+            | proc::POOL_INFO
+            | proc::LIST_VOLUMES
+            | proc::VOLUME_INFO
+            | proc::LIST_NETWORKS
+            | proc::NETWORK_INFO
+    )
+}
+
 xdr_struct! {
     /// Arguments carrying one name.
     pub struct NameArgs {
@@ -889,6 +915,29 @@ mod tests {
         assert!(!is_high_priority(proc::DOMAIN_START));
         assert!(!is_high_priority(proc::MIGRATE_PERFORM));
         assert!(!is_high_priority(proc::DOMAIN_DESTROY));
+    }
+
+    #[test]
+    fn idempotency_classification() {
+        // Pure reads are idempotent.
+        assert!(is_idempotent(proc::GET_HOSTNAME));
+        assert!(is_idempotent(proc::LIST_DOMAINS));
+        assert!(is_idempotent(proc::DOMAIN_DUMP_XML));
+        assert!(is_idempotent(proc::NETWORK_INFO));
+        // Session management and mutations are not.
+        assert!(!is_idempotent(proc::OPEN));
+        assert!(!is_idempotent(proc::AUTH));
+        assert!(!is_idempotent(proc::EVENT_REGISTER));
+        assert!(!is_idempotent(proc::DOMAIN_START));
+        assert!(!is_idempotent(proc::DOMAIN_DESTROY));
+        assert!(!is_idempotent(proc::VOLUME_CLONE));
+        assert!(!is_idempotent(proc::MIGRATE_PERFORM));
+        // Idempotent procedures are a strict subset of high-priority ones.
+        for (num, name) in proc::ALL {
+            if is_idempotent(*num) {
+                assert!(is_high_priority(*num), "{name} idempotent but not prio");
+            }
+        }
     }
 
     #[test]

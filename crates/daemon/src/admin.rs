@@ -212,12 +212,18 @@ impl AdminDispatcher {
                 ().to_xdr()
             }
             proc::METRICS_LIST => {
-                let names = self.registry.names();
+                // Daemon metrics plus this process's client-side RPC
+                // resilience counters (rpc.reconnect.*, rpc.retry.*).
+                let mut names = self.registry.names();
+                names.extend(virt_core::client_metrics().names());
+                names.sort_unstable();
+                names.dedup();
                 names.to_xdr()
             }
             proc::METRICS_FETCH => {
                 let args: adminproto::MetricsFetchArgs = decode(payload)?;
-                let snaps = self.registry.snapshot(&args.prefix);
+                let mut snaps = self.registry.snapshot(&args.prefix);
+                snaps.extend(virt_core::client_metrics().snapshot(&args.prefix));
                 adminproto::WireMetricList(
                     snaps
                         .into_iter()

@@ -397,7 +397,9 @@ impl Server {
                 let _ = client.send(&pong);
                 continue;
             }
-            if keepalive::is_pong(&packet) {
+            if keepalive::is_pong(&packet) || keepalive::is_bye(&packet) {
+                // A bye announces the client's own clean shutdown; the
+                // connection teardown follows on its own.
                 continue;
             }
 
@@ -434,11 +436,15 @@ impl Server {
         let _ = client.transport.shutdown();
     }
 
-    /// Stops the server: closes every client and drains the pool.
+    /// Stops the server: closes every client and drains the pool. Each
+    /// client gets one last farewell (`bye`) so it can tell an orderly
+    /// shutdown apart from a crash.
     pub fn shutdown(&self) {
         self.running.store(false, Ordering::Release);
         let clients: Vec<Arc<ClientHandle>> = self.state.lock().clients.values().cloned().collect();
+        let bye = keepalive::bye_packet();
         for client in clients {
+            let _ = client.send(&bye);
             let _ = client.transport.shutdown();
         }
         self.pool.shutdown();
@@ -678,6 +684,41 @@ mod tests {
         let frame = client_side.recv_frame().unwrap();
         let pong = Packet::from_body(&frame).unwrap();
         assert!(virt_rpc::keepalive::is_pong(&pong));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_says_goodbye_to_connected_clients() {
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let (client_side, server_side) = memory_pair();
+        server.admit(Arc::new(server_side));
+        wait_until(|| server.client_count() == 1, "admitted");
+        server.shutdown();
+        // The last frame before the close is the farewell.
+        let frame = client_side.recv_frame().unwrap();
+        let bye = Packet::from_body(&frame).unwrap();
+        assert!(virt_rpc::keepalive::is_bye(&bye));
+        assert!(client_side.recv_frame().is_err(), "then the close");
+    }
+
+    #[test]
+    fn client_byes_are_consumed_without_a_reply() {
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let (client_side, server_side) = memory_pair();
+        server.admit(Arc::new(server_side));
+        wait_until(|| server.client_count() == 1, "admitted");
+        let bye = virt_rpc::keepalive::bye_packet();
+        client_side.send_frame(&bye.to_frame()[4..]).unwrap();
+        // The bye is skipped, not dispatched: a following echo call still
+        // works and nothing was sent in between.
+        let call = Packet::new(Header::call(REMOTE_PROGRAM, 1, 9), &42u32);
+        client_side.send_frame(&call.to_frame()[4..]).unwrap();
+        let frame = client_side.recv_frame().unwrap();
+        let reply = Packet::from_body(&frame).unwrap();
+        assert_eq!(reply.header.serial, 9);
+        assert_eq!(reply.header.status, MessageStatus::Ok);
         server.shutdown();
     }
 

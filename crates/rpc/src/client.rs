@@ -10,7 +10,7 @@ use std::collections::HashMap;
 use std::io;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
@@ -31,8 +31,11 @@ pub enum CallError {
     Remote(RpcError),
     /// The connection was closed while the call was in flight.
     Disconnected,
-    /// No reply arrived within the configured timeout.
+    /// No reply arrived within the configured timeout or deadline.
     TimedOut,
+    /// The reconnect circuit breaker is open: the endpoint has failed
+    /// repeatedly and calls fail fast until the cool-down expires.
+    CircuitOpen,
 }
 
 impl std::fmt::Display for CallError {
@@ -43,11 +46,21 @@ impl std::fmt::Display for CallError {
             CallError::Remote(e) => write!(f, "{e}"),
             CallError::Disconnected => f.write_str("connection closed during call"),
             CallError::TimedOut => f.write_str("call timed out"),
+            CallError::CircuitOpen => f.write_str("circuit breaker open, failing fast"),
         }
     }
 }
 
-impl std::error::Error for CallError {}
+impl std::error::Error for CallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CallError::Io(e) => Some(e),
+            CallError::Protocol(e) => Some(e),
+            CallError::Remote(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<io::Error> for CallError {
     fn from(e: io::Error) -> Self {
@@ -116,9 +129,21 @@ impl CallClient {
         CallClient { inner }
     }
 
-    /// Sets the per-call reply timeout (`None` waits forever). Default 30 s.
+    /// Sets the *default* reply timeout (`None` waits forever) used by
+    /// calls that do not carry their own deadline. Default 30 s.
+    ///
+    /// Note this is connection-global and therefore racy as a per-call
+    /// mechanism: two threads toggling it fight over one slot. Callers
+    /// needing per-call limits should use
+    /// [`CallClient::call_with_deadline`] instead and leave this as the
+    /// connection's baseline.
     pub fn set_call_timeout(&self, timeout: Option<Duration>) {
         *self.inner.call_timeout.lock() = timeout;
+    }
+
+    /// The configured default reply timeout.
+    pub fn call_timeout(&self) -> Option<Duration> {
+        *self.inner.call_timeout.lock()
     }
 
     /// Registers the handler invoked for every event message. Replaces any
@@ -151,6 +176,45 @@ impl CallClient {
         procedure: u32,
         args: &impl XdrEncode,
     ) -> Result<Packet, CallError> {
+        let timeout = *self.inner.call_timeout.lock();
+        self.call_raw_timeout(program, procedure, args, timeout)
+    }
+
+    /// Issues a call that must complete by `deadline` (an absolute
+    /// instant, so the limit covers queueing and retries uniformly).
+    /// `None` falls back to the connection's default timeout.
+    ///
+    /// # Errors
+    ///
+    /// As [`CallClient::call_raw`]; [`CallError::TimedOut`] when the
+    /// deadline passes first (including a deadline already in the past).
+    pub fn call_raw_with_deadline(
+        &self,
+        program: u32,
+        procedure: u32,
+        args: &impl XdrEncode,
+        deadline: Option<Instant>,
+    ) -> Result<Packet, CallError> {
+        let timeout = match deadline {
+            Some(deadline) => {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(CallError::TimedOut);
+                }
+                Some(remaining)
+            }
+            None => *self.inner.call_timeout.lock(),
+        };
+        self.call_raw_timeout(program, procedure, args, timeout)
+    }
+
+    fn call_raw_timeout(
+        &self,
+        program: u32,
+        procedure: u32,
+        args: &impl XdrEncode,
+        timeout: Option<Duration>,
+    ) -> Result<Packet, CallError> {
         if self.is_closed() {
             return Err(CallError::Disconnected);
         }
@@ -166,7 +230,6 @@ impl CallClient {
             return Err(CallError::Io(e));
         }
 
-        let timeout = *self.inner.call_timeout.lock();
         let outcome = match timeout {
             Some(t) => rx.recv_timeout(t).map_err(|_| {
                 self.inner.pending.lock().remove(&serial);
@@ -190,6 +253,23 @@ impl CallClient {
         args: &impl XdrEncode,
     ) -> Result<R, CallError> {
         let reply = self.call_raw(program, procedure, args)?;
+        Ok(reply.decode_payload::<R>()?)
+    }
+
+    /// Issues a call with an absolute deadline and decodes the reply.
+    ///
+    /// # Errors
+    ///
+    /// As [`CallClient::call_raw_with_deadline`], plus
+    /// [`CallError::Protocol`] on a payload that does not decode as `R`.
+    pub fn call_with_deadline<R: XdrDecode>(
+        &self,
+        program: u32,
+        procedure: u32,
+        args: &impl XdrEncode,
+        deadline: Option<Instant>,
+    ) -> Result<R, CallError> {
+        let reply = self.call_raw_with_deadline(program, procedure, args, deadline)?;
         Ok(reply.decode_payload::<R>()?)
     }
 
@@ -432,5 +512,68 @@ mod tests {
         assert!(remote.to_string().contains("rpc error 1"));
         assert!(CallError::TimedOut.to_string().contains("timed out"));
         assert!(CallError::Disconnected.to_string().contains("closed"));
+        assert!(CallError::CircuitOpen.to_string().contains("circuit"));
+    }
+
+    #[test]
+    fn call_error_source_exposes_the_chain() {
+        use std::error::Error as _;
+        let io = CallError::Io(std::io::Error::other("boom"));
+        assert_eq!(io.source().unwrap().to_string(), "boom");
+        let remote = CallError::Remote(RpcError::new(1, "x"));
+        assert!(remote.source().is_some());
+        assert!(CallError::TimedOut.source().is_none());
+        assert!(CallError::Disconnected.source().is_none());
+    }
+
+    #[test]
+    fn per_call_deadline_overrides_the_default_timeout() {
+        let (client_side, _server_side) = memory_pair();
+        let client = CallClient::new(client_side);
+        // Generous default; the per-call deadline must win.
+        client.set_call_timeout(Some(Duration::from_secs(30)));
+        let start = std::time::Instant::now();
+        let err = client
+            .call_with_deadline::<String>(
+                REMOTE_PROGRAM,
+                1,
+                &(),
+                Some(std::time::Instant::now() + Duration::from_millis(50)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CallError::TimedOut), "got {err:?}");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        client.close();
+    }
+
+    #[test]
+    fn expired_deadline_fails_without_sending() {
+        let (client_side, server_side) = memory_pair();
+        let client = CallClient::new(client_side);
+        let err = client
+            .call_with_deadline::<String>(
+                REMOTE_PROGRAM,
+                1,
+                &(),
+                Some(std::time::Instant::now() - Duration::from_millis(1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CallError::TimedOut), "got {err:?}");
+        // Nothing was put on the wire.
+        server_side.shutdown().unwrap();
+        assert!(server_side.recv_frame().is_err());
+        client.close();
+    }
+
+    #[test]
+    fn deadline_none_uses_the_default_timeout() {
+        let (client_side, server_side) = memory_pair();
+        spawn_echo_server(server_side);
+        let client = CallClient::new(client_side);
+        let reply: String = client
+            .call_with_deadline(REMOTE_PROGRAM, 1, &"hi".to_string(), None)
+            .expect("echo");
+        assert_eq!(reply, "hi");
+        client.close();
     }
 }

@@ -17,6 +17,10 @@ use crate::message::{Header, Packet, KEEPALIVE_PROGRAM};
 pub const PROC_PING: u32 = 1;
 /// Procedure number of a keepalive pong.
 pub const PROC_PONG: u32 = 2;
+/// Procedure number of a farewell message: an orderly shutdown sends one
+/// last `bye` before closing transports, so the peer can distinguish a
+/// clean daemon shutdown from a crash or network partition.
+pub const PROC_BYE: u32 = 3;
 
 /// Builds a ping packet.
 pub fn ping_packet() -> Packet {
@@ -38,6 +42,16 @@ pub fn respond(packet: &Packet) -> Option<Packet> {
 /// `true` when `packet` is a keepalive pong.
 pub fn is_pong(packet: &Packet) -> bool {
     packet.header.program == KEEPALIVE_PROGRAM && packet.header.procedure == PROC_PONG
+}
+
+/// Builds a farewell packet (clean-shutdown notification).
+pub fn bye_packet() -> Packet {
+    Packet::new(Header::event(KEEPALIVE_PROGRAM, PROC_BYE), &())
+}
+
+/// `true` when `packet` is a farewell message.
+pub fn is_bye(packet: &Packet) -> bool {
+    packet.header.program == KEEPALIVE_PROGRAM && packet.header.procedure == PROC_BYE
 }
 
 /// Configuration of the probing side.
@@ -153,6 +167,15 @@ mod tests {
         assert!(respond(&pong).is_none());
         assert!(is_pong(&pong));
         assert!(!is_pong(&ping));
+    }
+
+    #[test]
+    fn bye_packets_classify_and_never_elicit_a_pong() {
+        let bye = bye_packet();
+        assert!(is_bye(&bye));
+        assert!(!is_bye(&ping_packet()));
+        assert!(!is_pong(&bye));
+        assert!(respond(&bye).is_none());
     }
 
     #[test]

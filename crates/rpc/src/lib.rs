@@ -13,7 +13,13 @@
 //! - [`pool`] — the worker pool with min/max limits and priority workers,
 //! - [`client`] — a concurrent call client with serial matching and
 //!   asynchronous event delivery,
-//! - [`keepalive`] — the ping/pong liveness protocol.
+//! - [`keepalive`] — the ping/pong liveness protocol,
+//! - [`retry`] — retry policies with capped, jittered backoff and a
+//!   circuit breaker,
+//! - [`reconnect`] — a self-healing client that re-dials, replays the
+//!   session handshake, and retries idempotent calls,
+//! - [`fault`] — deterministic transport-level fault injection for
+//!   chaos tests.
 //!
 //! The daemon side (connection acceptance, dispatch tables, client
 //! tracking) lives in the `virtd` crate; stateless drivers and the remote
@@ -40,13 +46,19 @@
 //! ```
 
 pub mod client;
+pub mod fault;
 pub mod keepalive;
 pub mod message;
 pub mod pool;
+pub mod reconnect;
+pub mod retry;
 pub mod transport;
 pub mod xdr;
 
 pub use client::CallClient;
+pub use fault::{FaultControl, FaultMode, FaultyTransport};
 pub use message::{Header, MessageStatus, MessageType, Packet, RpcError};
 pub use pool::{PoolLimits, PoolStats, WorkerPool};
+pub use reconnect::{ReconnectConfig, ReconnectMetrics, ReconnectingClient};
+pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use transport::{memory_pair, MeteredTransport, Transport, TransportKind};

@@ -404,7 +404,7 @@ impl<T: Transport> std::fmt::Debug for TlsSimTransport<T> {
     }
 }
 
-fn xorshift64(mut x: u64) -> u64 {
+pub(crate) fn xorshift64(mut x: u64) -> u64 {
     x ^= x << 13;
     x ^= x >> 7;
     x ^= x << 17;

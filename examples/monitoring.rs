@@ -13,7 +13,7 @@ use std::sync::mpsc;
 
 use virt_core::log::LogLevel;
 use virt_core::xmlfmt::DomainConfig;
-use virt_core::{Connect, TypedParam};
+use virt_core::{Connect, KeepaliveConfig, TypedParam};
 use virtd::{AdminClient, Virtd};
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -21,7 +21,15 @@ fn main() -> Result<(), Box<dyn Error>> {
     daemon.register_memory_endpoint("monitored-node")?;
 
     // --- the monitoring application -------------------------------------
-    let watcher = Connect::open("qemu+memory://monitored-node/system")?;
+    // A long-lived watcher wants liveness probing: keepalive pings detect
+    // a silently dead daemon, and auto-reconnect (the default) re-dials
+    // and re-registers the event callback on the next call.
+    let watcher = Connect::builder("qemu+memory://monitored-node/system")
+        .keepalive(KeepaliveConfig {
+            interval: std::time::Duration::from_secs(5),
+            count: 3,
+        })
+        .open()?;
     let (tx, rx) = mpsc::channel();
     watcher.register_event_callback(move |event| {
         let _ = tx.send(format!("{:?} {}", event.kind, event.domain));

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# Full local CI: build, test, formatting, lints.
+# Full local CI: build, test, chaos tests, formatting, lints.
 #
 # Everything runs --offline — all dependencies are path/vendored, so CI
 # must never touch the network. Run from anywhere inside the repo.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Warnings are errors everywhere below.
+export RUSTFLAGS="-D warnings"
 
 echo "== build (release) =="
 cargo build --release --offline
@@ -12,10 +15,24 @@ cargo build --release --offline
 echo "== test =="
 cargo test -q --offline
 
+echo "== chaos (connection resilience) =="
+cargo test -q --offline --test resilience
+
 echo "== fmt =="
 cargo fmt --check
 
 echo "== clippy =="
-cargo clippy --offline -- -D warnings
+# Product crates only — the vendored shims under vendor/ are
+# API-compatibility stand-ins, not ours to polish.
+cargo clippy --offline --all-targets \
+    -p virt-metrics -p virt-xml -p hypersim -p virt-rpc -p virt-core \
+    -p virtd -p virsh -p virt-bench -p virt-suite \
+    -- -D warnings
+
+echo "== hygiene: no dead_code allows in the product crates =="
+if grep -rn 'allow(dead_code)' crates/rpc crates/core crates/daemon crates/cli; then
+    echo "error: new #[allow(dead_code)] in a product crate — delete the dead code instead" >&2
+    exit 1
+fi
 
 echo "CI OK"

@@ -160,7 +160,9 @@ fn client_management_list_info_disconnect() {
     let (daemon, admin, endpoint) = daemon_with_admin();
     let uri = format!("qemu+memory://{endpoint}/system");
     let c1 = Connect::open(&uri).unwrap();
-    let c2 = Connect::open(&uri).unwrap();
+    // Opt out of auto-reconnect so the admin-initiated cut stays
+    // observable from the client side.
+    let c2 = Connect::builder(&uri).reconnect(false).open().unwrap();
     let _ = c1.hostname().unwrap();
     let _ = c2.hostname().unwrap();
 
@@ -182,6 +184,22 @@ fn client_management_list_info_disconnect() {
     assert!(c2.hostname().is_err());
     // The first client is unaffected.
     assert!(c1.hostname().is_ok());
+
+    // A default (auto-reconnect) client, by contrast, transparently
+    // re-dials after the admin cuts it.
+    let c3 = Connect::open(&uri).unwrap();
+    let _ = c3.hostname().unwrap();
+    let newest = admin.client_list("virtd").unwrap().last().unwrap().id;
+    admin.client_disconnect("virtd", newest).unwrap();
+    wait_until(
+        || admin.client_list("virtd").unwrap().len() == 1,
+        "cut client removed",
+    );
+    // Once the client has noticed the dead transport, the next call
+    // re-dials before sending — no retry policy needed.
+    wait_until(|| !c3.is_alive(), "cut client notices");
+    assert!(c3.hostname().is_ok(), "auto-reconnect rides out the cut");
+    c3.close();
 
     // Errors: unknown client, unknown server.
     assert_eq!(

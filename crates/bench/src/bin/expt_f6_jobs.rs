@@ -1,0 +1,179 @@
+//! **F6 — Domain jobs and bulk stats.**
+//!
+//! Two measurements of the asynchronous job engine:
+//!
+//! 1. *Abort latency vs guest size.* A migration moves its memory in
+//!    bounded slices, checking the abort flag between slices. The wall
+//!    time from `abort_job()` to the job reporting `aborted` should
+//!    therefore be governed by the slice size, not the guest size — an
+//!    8 GiB guest cancels as fast as a 1 GiB one. The sweep shows
+//!    whether that bound holds.
+//!
+//! 2. *Bulk stats vs per-domain polling.* A monitoring pass over N
+//!    domains is either one `CONNECT_GET_ALL_DOMAIN_STATS` round trip
+//!    or N `DOMAIN_GET_JOB_STATS` calls. Both are cheap server-side, so
+//!    the gap is pure protocol overhead — the reason libvirt grew
+//!    `virConnectGetAllDomainStats`.
+//!
+//! Run: `cargo run --release -p virt-bench --bin expt_f6_jobs`
+
+use std::time::{Duration, Instant};
+
+use hypersim::latency::OpCost;
+use hypersim::personality::QemuLike;
+use hypersim::{LatencyModel, OpKind, SimClock, SimHost};
+use virt_bench::{quiet_daemon, unique};
+use virt_core::driver::MigrationOptions;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::{Connect, JobState};
+use virtd::Virtd;
+
+const TRIALS: u32 = 5;
+
+/// Source host whose only slow operation is the migration transfer:
+/// 0.1 ms virtual per MiB, a quarter of it spent as wall time, so a
+/// 256 MiB slice occupies its worker for ~6.4 ms of real time.
+fn slow_migration_host(name: &str, clock: SimClock) -> SimHost {
+    SimHost::builder(name)
+        .cpus(64)
+        .memory_mib(256 * 1024)
+        .personality(QemuLike)
+        .clock(clock)
+        .latency(LatencyModel::zero().set(OpKind::MigratePage, OpCost::scaled(0, 100_000)))
+        .wall_time_scale(0.25)
+        .build()
+}
+
+/// Mean wall-clock latency (ms) from requesting an abort of an
+/// in-flight migration of a `memory_mib` guest to the job reporting
+/// `aborted`.
+fn abort_latency_ms(memory_mib: u64) -> f64 {
+    let mut total_ms = 0.0;
+    for _ in 0..TRIALS {
+        let clock = SimClock::new();
+        let a = unique("f6-src");
+        let b = unique("f6-dst");
+        let src_d = Virtd::builder(&a)
+            .clock(clock.clone())
+            .host(slow_migration_host(&format!("{a}-qemu"), clock.clone()))
+            .build()
+            .unwrap();
+        src_d.register_memory_endpoint(&a).unwrap();
+        let dst_d = Virtd::builder(&b)
+            .clock(clock)
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
+        dst_d.register_memory_endpoint(&b).unwrap();
+        let src = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
+        let dst = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
+
+        let domain = src
+            .define_domain(&DomainConfig::new("guest", memory_mib, 2))
+            .unwrap();
+        domain.start().unwrap();
+        let handle = domain
+            .migrate_start(&dst, &MigrationOptions::default())
+            .unwrap();
+        while {
+            let stats = handle.stats().unwrap();
+            !(stats.state == JobState::Running && stats.data_processed_mib > 0)
+        } {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+
+        let started = Instant::now();
+        handle.abort().unwrap();
+        while domain.job_stats().unwrap().state != JobState::Aborted {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        total_ms += started.elapsed().as_secs_f64() * 1e3;
+
+        let _ = handle.wait();
+        src.close();
+        dst.close();
+        src_d.shutdown();
+        dst_d.shutdown();
+    }
+    total_ms / f64::from(TRIALS)
+}
+
+struct SweepPoint {
+    bulk_ms: f64,
+    loop_ms: f64,
+}
+
+/// Wall time of one monitoring pass over `n` domains: a single bulk
+/// stats call vs one job-stats call per (pre-resolved) domain.
+fn stats_sweep(n: usize) -> SweepPoint {
+    let (daemon, uri) = quiet_daemon();
+    let conn = Connect::open(&uri).unwrap();
+    // Defined (not started) guests: the sweep exceeds the quiet hosts'
+    // vCPU overcommit budget, and stats work the same either way.
+    let domains: Vec<_> = (0..n)
+        .map(|i| {
+            conn.define_domain(&DomainConfig::new(format!("vm-{i}"), 64, 1))
+                .unwrap()
+        })
+        .collect();
+
+    let mut bulk_ms = 0.0;
+    let mut loop_ms = 0.0;
+    for _ in 0..TRIALS {
+        let started = Instant::now();
+        let records = conn.get_all_domain_stats().unwrap();
+        assert_eq!(records.len(), n);
+        bulk_ms += started.elapsed().as_secs_f64() * 1e3;
+
+        let started = Instant::now();
+        for domain in &domains {
+            let _ = domain.job_stats().unwrap();
+        }
+        loop_ms += started.elapsed().as_secs_f64() * 1e3;
+    }
+
+    conn.close();
+    daemon.shutdown();
+    SweepPoint {
+        bulk_ms: bulk_ms / f64::from(TRIALS),
+        loop_ms: loop_ms / f64::from(TRIALS),
+    }
+}
+
+fn main() {
+    let mut csv = String::from("part,param,abort_ms,bulk_ms,loop_ms\n");
+
+    println!("F6a: abort latency vs guest size ({TRIALS} trials per point, 256 MiB slices)");
+    println!("{:<14} {:>16}", "guest (MiB)", "abort->aborted (ms)");
+    println!("{}", "-".repeat(32));
+    for memory_mib in [1024u64, 2048, 4096, 8192] {
+        let ms = abort_latency_ms(memory_mib);
+        println!("{:<14} {:>16.2}", memory_mib, ms);
+        csv.push_str(&format!("abort,{memory_mib},{ms:.3},,\n"));
+    }
+
+    println!("\nF6b: one monitoring pass over n domains, bulk vs per-domain ({TRIALS} trials)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>10}",
+        "domains", "bulk (ms)", "per-dom (ms)", "speedup"
+    );
+    println!("{}", "-".repeat(50));
+    for n in [10usize, 50, 100, 200, 400] {
+        let point = stats_sweep(n);
+        println!(
+            "{:<10} {:>12.2} {:>14.2} {:>9.1}x",
+            n,
+            point.bulk_ms,
+            point.loop_ms,
+            point.loop_ms / point.bulk_ms
+        );
+        csv.push_str(&format!(
+            "sweep,{n},,{:.3},{:.3}\n",
+            point.bulk_ms, point.loop_ms
+        ));
+    }
+
+    let csv_path = "target/expt_f6_jobs.csv";
+    let _ = std::fs::write(csv_path, &csv);
+    println!("\nCSV written to {csv_path}");
+}

@@ -398,6 +398,57 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                 ),
             );
         }
+        "domjobinfo" => {
+            let name = arg(args, 0, "domain name")?;
+            let stats = conn.domain_lookup_by_name(name)?.job_stats()?;
+            w(out, &format!("{:<18} {}", "Job type:", stats.kind));
+            w(out, &format!("{:<18} {}", "Job state:", stats.state));
+            if stats.kind != virt_core::JobKind::None {
+                w(
+                    out,
+                    &format!("{:<18} {} ms", "Time elapsed:", stats.elapsed_ms),
+                );
+                w(
+                    out,
+                    &format!("{:<18} {} MiB", "Data total:", stats.data_total_mib),
+                );
+                w(
+                    out,
+                    &format!("{:<18} {} MiB", "Data processed:", stats.data_processed_mib),
+                );
+                w(
+                    out,
+                    &format!("{:<18} {} MiB", "Data remaining:", stats.data_remaining_mib),
+                );
+                w(
+                    out,
+                    &format!("{:<18} {}", "Memory iterations:", stats.memory_iterations),
+                );
+                w(
+                    out,
+                    &format!("{:<18} {}%", "Progress:", stats.progress_percent()),
+                );
+                if let Some(eta) = stats.eta_ms() {
+                    w(out, &format!("{:<18} {} ms", "ETA:", eta));
+                }
+                if !stats.error.is_empty() {
+                    w(out, &format!("{:<18} {}", "Error:", stats.error));
+                }
+            }
+        }
+        "domjobabort" => {
+            let name = arg(args, 0, "domain name")?;
+            conn.domain_lookup_by_name(name)?.abort_job()?;
+            w(out, &format!("Job abort requested for domain '{name}'"));
+        }
+        "domstats" => {
+            for record in conn.get_all_domain_stats()? {
+                w(out, &format!("Domain: '{}'", record.name));
+                for param in &record.params {
+                    w(out, &format!("  {}={}", param.field, param.value));
+                }
+            }
+        }
         "pool-list" => {
             w(
                 out,
@@ -603,6 +654,9 @@ fn print_help(out: &mut dyn Write) {
         "  snapshot-revert <name> <snap>  snapshot-delete <name> <snap>",
     );
     w(out, "  migrate <name> <dest-uri>");
+    w(out, "Jobs & stats:");
+    w(out, "  domjobinfo <name>            domjobabort <name>");
+    w(out, "  domstats");
     w(out, "Storage:");
     w(
         out,
@@ -927,5 +981,53 @@ mod migrate_cli_tests {
 
         src.shutdown();
         dst.shutdown();
+    }
+
+    #[test]
+    fn domjobinfo_and_domstats_through_a_daemon() {
+        let name = unique("vsh-jobs");
+        let daemon = Virtd::builder(&name).with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&name).unwrap();
+        let uri = format!("qemu+memory://{name}/system");
+
+        let conn = virt_core::Connect::open(&uri).unwrap();
+        let domain = conn
+            .define_domain(&DomainConfig::new("worker", 512, 1))
+            .unwrap();
+        domain.start().unwrap();
+        domain.managed_save().unwrap();
+        conn.close();
+
+        // The managed save ran as a (coarse) job; its stats are queryable.
+        let (code, output) = run_line(&format!("-c {uri} domjobinfo worker"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Job type:          save"), "{output}");
+        assert!(output.contains("Job state:         completed"), "{output}");
+        assert!(output.contains("Progress:          100%"), "{output}");
+
+        // Bulk stats include the domain and its job summary.
+        let (code, output) = run_line(&format!("-c {uri} domstats"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Domain: 'worker'"), "{output}");
+        assert!(output.contains("state.state="), "{output}");
+        assert!(output.contains("job.kind=save"), "{output}");
+
+        // No job running → abort is refused.
+        let (code, output) = run_line(&format!("-c {uri} domjobabort worker"));
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("no active job"), "{output}");
+
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn domjobinfo_reports_idle_for_untouched_domain() {
+        let conn = virt_core::Connect::open("test:///default").unwrap();
+        let domain = conn
+            .define_domain(&DomainConfig::new("idle-vm", 128, 1))
+            .unwrap();
+        let stats = domain.job_stats().unwrap();
+        assert_eq!(stats.kind, virt_core::JobKind::None);
+        assert_eq!(stats.state, virt_core::JobState::None);
     }
 }

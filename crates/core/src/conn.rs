@@ -260,6 +260,18 @@ impl Connect {
             .collect())
     }
 
+    /// Stats for every domain — state, CPU time, memory and a summary of
+    /// any background job — as one typed-parameter record per domain.
+    /// Over a remote connection this is a single round-trip regardless of
+    /// the domain count (the bulk analogue of polling each domain).
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn get_all_domain_stats(&self) -> VirtResult<Vec<crate::driver::DomainStatsRecord>> {
+        self.inner.get_all_domain_stats()
+    }
+
     /// Looks up a domain by name.
     ///
     /// # Errors

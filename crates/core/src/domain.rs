@@ -265,6 +265,28 @@ impl Domain {
     pub fn xml_desc(&self) -> VirtResult<String> {
         self.conn.dump_domain_xml(&self.name)
     }
+
+    /// Stats of the current (or most recent) background job on this
+    /// domain. Reports the idle default when no job ever ran.
+    ///
+    /// # Errors
+    ///
+    /// Driver failures.
+    pub fn job_stats(&self) -> VirtResult<crate::job::JobStats> {
+        self.conn.domain_job_stats(&self.name)
+    }
+
+    /// Requests cancellation of the running background job. The job
+    /// observes the request at its next progress slice, so the running
+    /// operation returns [`crate::ErrorCode::OperationAborted`] shortly
+    /// after.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::OperationInvalid`] when no job is running.
+    pub fn abort_job(&self) -> VirtResult<()> {
+        self.conn.abort_domain_job(&self.name)
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,8 @@ use virt_rpc::retry::{BreakerConfig, RetryPolicy};
 use crate::capabilities::Capabilities;
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, EventCallback};
+use crate::job::JobStats;
+use crate::typedparam::TypedParam;
 use crate::uri::ConnectUri;
 use crate::uuid::Uuid;
 
@@ -235,6 +237,40 @@ pub struct MigrationReport {
     pub transferred_mib: u64,
     /// Whether pre-copy converged within the downtime budget.
     pub converged: bool,
+}
+
+/// One domain's entry in a bulk-stats reply
+/// (`virConnectGetAllDomainStats`): the name plus an open-ended
+/// typed-parameter list, so new stats never change the record shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainStatsRecord {
+    /// Domain name.
+    pub name: String,
+    /// The stats as typed parameters.
+    pub params: Vec<TypedParam>,
+}
+
+impl DomainStatsRecord {
+    /// Builds the canonical parameter set from a domain record and its
+    /// job stats. Shared by every driver that answers bulk stats.
+    pub fn compose(domain: &DomainRecord, job: &JobStats) -> Self {
+        let mut params = vec![
+            TypedParam::uint("state.state", domain.state.as_u32()),
+            TypedParam::ullong("cpu.time", domain.cpu_time_ns),
+            TypedParam::ullong("balloon.current", domain.memory_mib),
+            TypedParam::ullong("balloon.maximum", domain.max_memory_mib),
+            TypedParam::uint("vcpu.current", domain.vcpus),
+        ];
+        if job.kind != crate::job::JobKind::None {
+            params.push(TypedParam::string("job.kind", job.kind.to_string()));
+            params.push(TypedParam::string("job.state", job.state.to_string()));
+            params.push(TypedParam::uint("job.progress", job.progress_percent()));
+        }
+        DomainStatsRecord {
+            name: domain.name.clone(),
+            params,
+        }
+    }
 }
 
 /// Tunables of a migration.
@@ -524,6 +560,48 @@ pub trait HypervisorConnection: Send + Sync + std::fmt::Debug {
     ///
     /// [`ErrorCode::NoDomain`] when nothing was reserved.
     fn migrate_abort(&self, name: &str) -> VirtResult<()>;
+
+    // ---- jobs & bulk stats -----------------------------------------------
+
+    /// Current (or most recent) job stats of a domain. Drivers that run
+    /// no background jobs report the idle default.
+    ///
+    /// # Errors
+    ///
+    /// Driver-specific failures.
+    fn domain_job_stats(&self, name: &str) -> VirtResult<JobStats> {
+        let _ = name;
+        Ok(JobStats::default())
+    }
+
+    /// Requests cancellation of the running job on a domain.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::OperationInvalid`] when no job is running (always,
+    /// for drivers that run no background jobs).
+    fn abort_domain_job(&self, name: &str) -> VirtResult<()> {
+        Err(VirtError::new(
+            ErrorCode::OperationInvalid,
+            format!("domain '{name}' has no active job"),
+        ))
+    }
+
+    /// Stats of every domain in one call. The default composes records
+    /// from [`HypervisorConnection::list_domains`] and per-domain job
+    /// stats; the remote driver overrides it with a single round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Driver-specific failures.
+    fn get_all_domain_stats(&self) -> VirtResult<Vec<DomainStatsRecord>> {
+        let mut records = Vec::new();
+        for domain in self.list_domains()? {
+            let job = self.domain_job_stats(&domain.name).unwrap_or_default();
+            records.push(DomainStatsRecord::compose(&domain, &job));
+        }
+        Ok(records)
+    }
 
     // ---- storage ---------------------------------------------------------
 

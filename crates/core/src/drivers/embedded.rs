@@ -20,9 +20,15 @@ use crate::driver::{
 };
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventCallback};
+use crate::job::{JobKind, JobManager, JobProgress, JobStats, JobTicket};
 use crate::metrics::{Histogram, Registry};
 use crate::uuid::Uuid;
 use crate::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig, VolumeConfig};
+
+/// Largest slice of migration traffic charged to the virtual clock in one
+/// go. Smaller slices mean finer progress granularity and faster abort
+/// response, at the cost of more clock charges.
+const MIGRATION_SLICE_MIB: u64 = 256;
 
 /// Wall-clock latency histograms for the domain lifecycle operations, one
 /// per operation. Created with the connection (recording is a few relaxed
@@ -87,6 +93,10 @@ pub struct EmbeddedConnection {
     events: EventBus,
     alive: AtomicBool,
     ops: LifecycleMetrics,
+    /// Job bookkeeping, keyed by host name so a rebuilt connection over
+    /// the same host (daemon restart) sees — and can recover — jobs
+    /// started by its predecessor.
+    jobs: Arc<JobManager>,
 }
 
 impl std::fmt::Debug for EmbeddedConnection {
@@ -101,13 +111,23 @@ impl std::fmt::Debug for EmbeddedConnection {
 impl EmbeddedConnection {
     /// Wraps a host, reporting `uri` as the connection's canonical URI.
     pub fn new(host: SimHost, uri: impl Into<String>) -> Arc<Self> {
+        // Key on the instance id, not the name: hosts with recycled names
+        // (test fixtures) must not share job state, while a connection
+        // rebuilt over the same host (daemon restart) must.
+        let jobs = JobManager::for_host(&format!("{}#{}", host.name(), host.instance_id()));
         Arc::new(EmbeddedConnection {
             host,
             uri: uri.into(),
             events: EventBus::new(),
             alive: AtomicBool::new(true),
             ops: LifecycleMetrics::new(),
+            jobs,
         })
+    }
+
+    /// The job manager tracking background jobs on this host.
+    pub fn jobs(&self) -> &Arc<JobManager> {
+        &self.jobs
     }
 
     /// The underlying host (used by the daemon's dispatch and by tests).
@@ -163,6 +183,50 @@ impl EmbeddedConnection {
 
     fn record(&self, name: &str) -> VirtResult<DomainRecord> {
         Ok(self.host.domain(name)?.into())
+    }
+
+    /// Runs a short host operation as a coarse (single-slice) job:
+    /// begin → op → complete/fail, emitting job lifecycle events. Used
+    /// for save/restore, whose simulated work is one indivisible charge.
+    fn run_coarse_job<T>(
+        &self,
+        record: &DomainRecord,
+        kind: JobKind,
+        op: impl FnOnce() -> VirtResult<T>,
+    ) -> VirtResult<T> {
+        let ticket = self.jobs.begin(&record.name, kind)?;
+        self.emit(record, DomainEventKind::JobStarted);
+        match op() {
+            Ok(value) => {
+                ticket.complete();
+                self.emit(record, DomainEventKind::JobCompleted);
+                Ok(value)
+            }
+            Err(err) => {
+                ticket.fail(&err.to_string());
+                self.emit(record, DomainEventKind::JobFailed);
+                Err(err)
+            }
+        }
+    }
+
+    /// Charges one slice of migration traffic, checking for an abort
+    /// request first. Returns the slice's simulated duration in ms.
+    fn charge_migration_slice(
+        &self,
+        record: &DomainRecord,
+        ticket: &JobTicket,
+        chunk_mib: u64,
+    ) -> VirtResult<()> {
+        if ticket.aborted() {
+            return Err(VirtError::new(
+                ErrorCode::OperationAborted,
+                format!("migration of '{}' aborted by request", record.name),
+            ));
+        }
+        self.host
+            .charge_migration_transfer(hypersim::MiB(chunk_mib))
+            .map_err(VirtError::from)
     }
 }
 
@@ -352,7 +416,10 @@ impl HypervisorConnection for EmbeddedConnection {
     fn save_domain(&self, name: &str) -> VirtResult<DomainRecord> {
         let _timer = self.ops.save.start_timer();
         self.ensure_alive()?;
-        let record: DomainRecord = self.host.save_domain(name)?.into();
+        let before = self.record(name)?;
+        let record = self.run_coarse_job(&before, JobKind::Save, || {
+            Ok(DomainRecord::from(self.host.save_domain(name)?))
+        })?;
         self.emit(&record, DomainEventKind::Saved);
         Ok(record)
     }
@@ -360,7 +427,10 @@ impl HypervisorConnection for EmbeddedConnection {
     fn restore_domain(&self, name: &str) -> VirtResult<DomainRecord> {
         let _timer = self.ops.restore.start_timer();
         self.ensure_alive()?;
-        let record: DomainRecord = self.host.restore_domain(name)?.into();
+        let before = self.record(name)?;
+        let record = self.run_coarse_job(&before, JobKind::Restore, || {
+            Ok(DomainRecord::from(self.host.restore_domain(name)?))
+        })?;
         self.emit(&record, DomainEventKind::Restored);
         Ok(record)
     }
@@ -505,15 +575,68 @@ impl HypervisorConnection for EmbeddedConnection {
     ) -> VirtResult<MigrationReport> {
         let _timer = self.ops.migrate.start_timer();
         self.ensure_alive()?;
+        let record = self.record(name)?;
         let spec = self.host.export_domain_spec(name)?;
         let params =
             MigrationParams::new(spec.memory(), spec.dirty_rate(), options.bandwidth_mib_s)
                 .downtime_limit(std::time::Duration::from_millis(options.max_downtime_ms))
                 .max_iterations(options.max_iterations);
         let outcome = hypersim::migration::simulate_precopy(&params).map_err(VirtError::from)?;
-        // Charge the total transferred volume to the virtual clock as
-        // migration page traffic.
-        self.host.charge_migration_transfer(outcome.transferred)?;
+
+        // Run the transfer as a cancellable job: the pre-copy rounds are
+        // charged to the virtual clock in bounded slices so job stats
+        // advance and an abort request is observed mid-flight. The slices
+        // sum to exactly `outcome.transferred`, the amount the previous
+        // single-shot implementation charged.
+        let ticket = self.jobs.begin(name, JobKind::Migration)?;
+        self.emit(&record, DomainEventKind::JobStarted);
+        let total_mib = outcome.transferred.0;
+        let precopy_mib: u64 = outcome.rounds.iter().map(|r| r.copied.0).sum();
+        let mut processed_mib = 0u64;
+        let mut elapsed = std::time::Duration::ZERO;
+        let mut iterations = 0u32;
+        let mut slices: Vec<(u64, std::time::Duration, u32)> = Vec::new();
+        for round in &outcome.rounds {
+            iterations += 1;
+            let copied = round.copied.0;
+            let mut left = copied;
+            while left > 0 {
+                let chunk = left.min(MIGRATION_SLICE_MIB);
+                left -= chunk;
+                let slice_time = round.duration.mul_f64(chunk as f64 / copied as f64);
+                slices.push((chunk, slice_time, iterations));
+            }
+        }
+        // The final stop-and-copy: whatever `transferred` covers beyond
+        // the pre-copy rounds, charged as one slice (the guest is paused,
+        // so it cannot be subdivided).
+        let final_mib = total_mib.saturating_sub(precopy_mib);
+        if final_mib > 0 {
+            slices.push((final_mib, outcome.downtime, iterations));
+        }
+        for (chunk, slice_time, iteration) in slices {
+            if let Err(err) = self.charge_migration_slice(&record, &ticket, chunk) {
+                if err.code() == ErrorCode::OperationAborted {
+                    ticket.abort_finish();
+                    self.emit(&record, DomainEventKind::JobAborted);
+                } else {
+                    ticket.fail(&err.to_string());
+                    self.emit(&record, DomainEventKind::JobFailed);
+                }
+                return Err(err);
+            }
+            processed_mib += chunk;
+            elapsed += slice_time;
+            ticket.update(JobProgress {
+                elapsed_ms: elapsed.as_millis() as u64,
+                total_mib,
+                processed_mib,
+                remaining_mib: total_mib - processed_mib,
+                iterations: iteration,
+            });
+        }
+        ticket.complete();
+        self.emit(&record, DomainEventKind::JobCompleted);
         Ok(MigrationReport {
             total_ms: outcome.total_time.as_millis() as u64,
             downtime_ms: outcome.downtime.as_millis() as u64,
@@ -555,6 +678,24 @@ impl HypervisorConnection for EmbeddedConnection {
             let _ = self.host.forget_migrated_domain(name);
         }
         Ok(())
+    }
+
+    // ---- jobs & bulk stats -------------------------------------------------
+
+    fn domain_job_stats(&self, name: &str) -> VirtResult<JobStats> {
+        self.ensure_alive()?;
+        let stats = self.jobs.stats(name);
+        if stats.kind == JobKind::None {
+            // No job ever ran: validate the domain so typos surface as
+            // NoDomain rather than an eternally idle job.
+            self.record(name)?;
+        }
+        Ok(stats)
+    }
+
+    fn abort_domain_job(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        self.jobs.abort(name)
     }
 
     // ---- storage -----------------------------------------------------------

@@ -137,7 +137,8 @@ impl HypervisorDriver for RemoteDriver {
         let emit_events = events.clone();
         client.set_event_handler(move |packet: Packet| {
             if packet.header.mtype == MessageType::Event
-                && packet.header.procedure == proc::EVENT_LIFECYCLE
+                && (packet.header.procedure == proc::EVENT_LIFECYCLE
+                    || packet.header.procedure == proc::EVENT_DOMAIN_JOB)
             {
                 if let Ok(wire) = packet.decode_payload::<protocol::WireEvent>() {
                     if let Some(event) = wire.into_event() {
@@ -561,6 +562,35 @@ impl HypervisorConnection for RemoteConnection {
 
     fn migrate_abort(&self, name: &str) -> VirtResult<()> {
         self.unit_name_call(proc::MIGRATE_ABORT, name)
+    }
+
+    fn domain_job_stats(&self, name: &str) -> VirtResult<crate::job::JobStats> {
+        let wire: protocol::WireJobStats = self.call(
+            proc::DOMAIN_GET_JOB_STATS,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )?;
+        Ok(wire.into())
+    }
+
+    fn abort_domain_job(&self, name: &str) -> VirtResult<()> {
+        self.unit_name_call(proc::DOMAIN_ABORT_JOB, name)
+    }
+
+    fn get_all_domain_stats(&self) -> VirtResult<Vec<crate::driver::DomainStatsRecord>> {
+        // The whole point of the bulk procedure: one round-trip for the
+        // entire host, never one call per domain.
+        let wire: protocol::WireDomainStatsList =
+            self.call(proc::CONNECT_GET_ALL_DOMAIN_STATS, &())?;
+        Ok(wire
+            .0
+            .into_iter()
+            .map(|record| crate::driver::DomainStatsRecord {
+                name: record.name,
+                params: record.params.0,
+            })
+            .collect())
     }
 
     fn list_pools(&self) -> VirtResult<Vec<String>> {

@@ -61,6 +61,8 @@ pub enum ErrorCode {
     InvalidUri = 21,
     /// Access denied by daemon policy (client limits etc.).
     AccessDenied = 22,
+    /// The operation was aborted before completing (job cancellation).
+    OperationAborted = 23,
 }
 
 impl ErrorCode {
@@ -96,6 +98,7 @@ impl ErrorCode {
             20 => MigrateFailed,
             21 => InvalidUri,
             22 => AccessDenied,
+            23 => OperationAborted,
             _ => Internal,
         }
     }
@@ -126,6 +129,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::MigrateFailed => "migration failed",
             ErrorCode::InvalidUri => "invalid connection uri",
             ErrorCode::AccessDenied => "access denied",
+            ErrorCode::OperationAborted => "operation aborted",
         };
         f.write_str(s)
     }
@@ -299,6 +303,7 @@ mod tests {
             MigrateFailed,
             InvalidUri,
             AccessDenied,
+            OperationAborted,
         ] {
             assert_eq!(ErrorCode::from_u32(code.as_u32()), code);
         }

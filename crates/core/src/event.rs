@@ -38,6 +38,14 @@ pub enum DomainEventKind {
     MigratedIn,
     /// Left via migration.
     MigratedOut,
+    /// A background job started on the domain.
+    JobStarted,
+    /// A background job completed successfully.
+    JobCompleted,
+    /// A background job failed.
+    JobFailed,
+    /// A background job was aborted by request.
+    JobAborted,
 }
 
 impl DomainEventKind {
@@ -55,7 +63,22 @@ impl DomainEventKind {
             DomainEventKind::Crashed => 8,
             DomainEventKind::MigratedIn => 9,
             DomainEventKind::MigratedOut => 10,
+            DomainEventKind::JobStarted => 11,
+            DomainEventKind::JobCompleted => 12,
+            DomainEventKind::JobFailed => 13,
+            DomainEventKind::JobAborted => 14,
         }
+    }
+
+    /// `true` for the job-lifecycle kinds pushed on the job event channel.
+    pub fn is_job_event(self) -> bool {
+        matches!(
+            self,
+            DomainEventKind::JobStarted
+                | DomainEventKind::JobCompleted
+                | DomainEventKind::JobFailed
+                | DomainEventKind::JobAborted
+        )
     }
 
     /// Decodes a wire value.
@@ -73,6 +96,10 @@ impl DomainEventKind {
             8 => Crashed,
             9 => MigratedIn,
             10 => MigratedOut,
+            11 => JobStarted,
+            12 => JobCompleted,
+            13 => JobFailed,
+            14 => JobAborted,
             _ => return None,
         })
     }
@@ -189,11 +216,19 @@ mod tests {
 
     #[test]
     fn kinds_round_trip_the_wire() {
-        for v in 0..=10u32 {
+        for v in 0..=14u32 {
             let kind = DomainEventKind::from_u32(v).unwrap();
             assert_eq!(kind.as_u32(), v);
         }
         assert_eq!(DomainEventKind::from_u32(99), None);
+    }
+
+    #[test]
+    fn job_kinds_are_classified() {
+        assert!(DomainEventKind::JobStarted.is_job_event());
+        assert!(DomainEventKind::JobAborted.is_job_event());
+        assert!(!DomainEventKind::Started.is_job_event());
+        assert!(!DomainEventKind::MigratedOut.is_job_event());
     }
 
     #[test]

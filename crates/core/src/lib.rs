@@ -49,6 +49,7 @@ pub mod driver;
 pub mod drivers;
 pub mod error;
 pub mod event;
+pub mod job;
 pub mod log;
 /// Lock-free metrics registry and request-id tracing (re-export of the
 /// `virt-metrics` crate, which sits below `virt-rpc` so the transport and
@@ -68,12 +69,13 @@ pub use capabilities::Capabilities;
 pub use conn::{Connect, ConnectBuilder};
 pub use domain::Domain;
 pub use driver::{
-    DomainRecord, DomainState, DriverRegistry, HypervisorConnection, HypervisorDriver,
-    MigrationOptions, MigrationReport, NetworkRecord, NodeInfo, OpenOptions, PoolRecord,
-    VolumeRecord,
+    DomainRecord, DomainState, DomainStatsRecord, DriverRegistry, HypervisorConnection,
+    HypervisorDriver, MigrationOptions, MigrationReport, NetworkRecord, NodeInfo, OpenOptions,
+    PoolRecord, VolumeRecord,
 };
 pub use error::{ErrorCode, VirtError, VirtResult};
 pub use event::{CallbackId, DomainEvent, DomainEventKind, EventBus};
+pub use job::{JobHandle, JobKind, JobState, JobStats};
 pub use network::Network;
 pub use storage::{StoragePool, Volume};
 pub use typedparam::{ParamValue, TypedParam, TypedParams};

@@ -19,9 +19,85 @@ use crate::conn::Connect;
 use crate::domain::Domain;
 use crate::driver::{MigrationOptions, MigrationReport};
 use crate::error::{ErrorCode, VirtError, VirtResult};
+use crate::job::JobHandle;
 
 impl Domain {
-    /// Live-migrates this domain to the host behind `dest`.
+    /// Starts a live migration to the host behind `dest` as a background
+    /// job, returning a [`JobHandle`] to poll ([`JobHandle::stats`]),
+    /// cancel ([`JobHandle::abort`]) or block on ([`JobHandle::wait`]).
+    ///
+    /// The Begin and Prepare phases run synchronously, so unsupported
+    /// platforms, stopped domains and destination-side validation errors
+    /// surface before a handle is returned. The Perform/Finish/Confirm
+    /// phases — including their rollback guarantees — run on the job's
+    /// worker thread.
+    ///
+    /// # Errors
+    ///
+    /// - [`ErrorCode::NoSupport`] when either side lacks migration,
+    /// - [`ErrorCode::OperationInvalid`] when the domain is not running
+    ///   or already has an active modify job,
+    /// - [`ErrorCode::DomainExists`] / capacity errors from the
+    ///   destination's Prepare phase.
+    pub fn migrate_start(
+        &self,
+        dest: &Connect,
+        options: &MigrationOptions,
+    ) -> VirtResult<JobHandle<MigrationReport>> {
+        let source = self.connection().clone();
+        let dest_conn = dest.raw().clone();
+        let name = self.name().to_string();
+
+        if !dest.capabilities()?.has_feature("migration") {
+            return Err(VirtError::new(
+                ErrorCode::NoSupport,
+                "destination does not support migration",
+            ));
+        }
+
+        // Phase 1: Begin.
+        let xml = source.migrate_begin(&name)?;
+
+        // Phase 2: Prepare.
+        dest_conn.migrate_prepare(&xml)?;
+
+        let options = *options;
+        Ok(JobHandle::spawn(self.clone(), move || {
+            // Phase 3: Perform. The guest keeps running on the source, so
+            // a failure here (including an abort) needs no destination
+            // rollback.
+            let report = source.migrate_perform(&name, &options)?;
+
+            // Phase 4: Finish — the destination instance starts.
+            let finished = match dest_conn.migrate_finish(&xml) {
+                Ok(record) => record,
+                Err(err) => {
+                    // Source still owns a running guest; surface the failure.
+                    return Err(VirtError::new(
+                        ErrorCode::MigrateFailed,
+                        format!("finish phase failed, domain kept on source: {err}"),
+                    ));
+                }
+            };
+
+            // Phase 5: Confirm — source forgets its copy.
+            if let Err(err) = source.migrate_confirm(&name) {
+                // Two live copies would be a split brain; tear down the
+                // destination one and report failure.
+                let _ = dest_conn.migrate_abort(&finished.name);
+                return Err(VirtError::new(
+                    ErrorCode::MigrateFailed,
+                    format!("confirm phase failed, destination rolled back: {err}"),
+                ));
+            }
+
+            Ok(report)
+        }))
+    }
+
+    /// Live-migrates this domain to the host behind `dest`, blocking
+    /// until it completes — [`Domain::migrate_start`] plus
+    /// [`JobHandle::wait`].
     ///
     /// On success the domain runs on `dest` and no longer exists on the
     /// source; the returned [`MigrationReport`] carries simulated timing
@@ -40,51 +116,7 @@ impl Domain {
         dest: &Connect,
         options: &MigrationOptions,
     ) -> VirtResult<MigrationReport> {
-        let source = self.connection();
-        let dest_conn = dest.raw();
-        let name = self.name();
-
-        if !dest.capabilities()?.has_feature("migration") {
-            return Err(VirtError::new(
-                ErrorCode::NoSupport,
-                "destination does not support migration",
-            ));
-        }
-
-        // Phase 1: Begin.
-        let xml = source.migrate_begin(name)?;
-
-        // Phase 2: Prepare.
-        dest_conn.migrate_prepare(&xml)?;
-
-        // Phase 3: Perform. The guest keeps running on the source, so a
-        // failure here needs no destination rollback.
-        let report = source.migrate_perform(name, options)?;
-
-        // Phase 4: Finish — the destination instance starts.
-        let finished = match dest_conn.migrate_finish(&xml) {
-            Ok(record) => record,
-            Err(err) => {
-                // Source still owns a running guest; surface the failure.
-                return Err(VirtError::new(
-                    ErrorCode::MigrateFailed,
-                    format!("finish phase failed, domain kept on source: {err}"),
-                ));
-            }
-        };
-
-        // Phase 5: Confirm — source forgets its copy.
-        if let Err(err) = source.migrate_confirm(name) {
-            // Two live copies would be a split brain; tear down the
-            // destination one and report failure.
-            let _ = dest_conn.migrate_abort(&finished.name);
-            return Err(VirtError::new(
-                ErrorCode::MigrateFailed,
-                format!("confirm phase failed, destination rolled back: {err}"),
-            ));
-        }
-
-        Ok(report)
+        self.migrate_start(dest, options)?.wait()
     }
 }
 

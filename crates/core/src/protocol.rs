@@ -12,6 +12,8 @@ use crate::driver::{
     PoolRecord, VolumeRecord,
 };
 use crate::event::{DomainEvent, DomainEventKind};
+use crate::job::{JobKind, JobState, JobStats};
+use crate::typedparam::TypedParamList;
 use crate::uuid::Uuid;
 
 /// Procedure numbers of the remote (hypervisor) program.
@@ -79,6 +81,12 @@ pub mod proc {
     pub const DOMAIN_SNAPSHOT_REVERT: u32 = 33;
     /// Delete snapshot.
     pub const DOMAIN_SNAPSHOT_DELETE: u32 = 34;
+    /// Current/most-recent job stats of a domain.
+    pub const DOMAIN_GET_JOB_STATS: u32 = 35;
+    /// Cancel the running job on a domain.
+    pub const DOMAIN_ABORT_JOB: u32 = 36;
+    /// Bulk stats of every domain in one round-trip.
+    pub const CONNECT_GET_ALL_DOMAIN_STATS: u32 = 37;
 
     /// Migration phase 1 (source).
     pub const MIGRATE_BEGIN: u32 = 40;
@@ -137,6 +145,8 @@ pub mod proc {
     pub const EVENT_DEREGISTER: u32 = 81;
     /// Server→client lifecycle event message.
     pub const EVENT_LIFECYCLE: u32 = 90;
+    /// Server→client job-lifecycle event message.
+    pub const EVENT_DOMAIN_JOB: u32 = 91;
 
     /// Every callable procedure with its symbolic name. The daemon's
     /// metrics layer pre-builds its per-procedure latency histograms from
@@ -173,6 +183,9 @@ pub mod proc {
         (DOMAIN_DUMP_XML, "DOMAIN_DUMP_XML"),
         (DOMAIN_SNAPSHOT_REVERT, "DOMAIN_SNAPSHOT_REVERT"),
         (DOMAIN_SNAPSHOT_DELETE, "DOMAIN_SNAPSHOT_DELETE"),
+        (DOMAIN_GET_JOB_STATS, "DOMAIN_GET_JOB_STATS"),
+        (DOMAIN_ABORT_JOB, "DOMAIN_ABORT_JOB"),
+        (CONNECT_GET_ALL_DOMAIN_STATS, "CONNECT_GET_ALL_DOMAIN_STATS"),
         (MIGRATE_BEGIN, "MIGRATE_BEGIN"),
         (MIGRATE_PREPARE, "MIGRATE_PREPARE"),
         (MIGRATE_PERFORM, "MIGRATE_PERFORM"),
@@ -211,14 +224,20 @@ pub mod proc {
 
 /// Whether a procedure only reads state. Read-only connections
 /// (`?readonly` URIs) may call exactly these plus session management.
+///
+/// `DOMAIN_ABORT_JOB` is the one high-priority procedure that mutates:
+/// it must ride priority workers (an abort has to get through when every
+/// ordinary worker is saturated by jobs) yet cancelling someone's
+/// migration is clearly not a read-only action.
 pub fn is_readonly_safe(procedure: u32) -> bool {
-    is_high_priority(procedure) || procedure == proc::AUTH
+    (is_high_priority(procedure) && procedure != proc::DOMAIN_ABORT_JOB) || procedure == proc::AUTH
 }
 
 /// Whether a procedure is high-priority: guaranteed to finish without
 /// waiting on a hypervisor, so it may run on a priority worker even when
 /// every ordinary worker is wedged. Mirrors libvirt's tagging of
-/// lookups/getters.
+/// lookups/getters — and, as in libvirt, job query/abort are here
+/// precisely because normal workers are busy running the jobs.
 pub fn is_high_priority(procedure: u32) -> bool {
     matches!(
         procedure,
@@ -234,6 +253,9 @@ pub fn is_high_priority(procedure: u32) -> bool {
             | proc::DOMAIN_LOOKUP_UUID
             | proc::DOMAIN_LIST_SNAPSHOTS
             | proc::DOMAIN_DUMP_XML
+            | proc::DOMAIN_GET_JOB_STATS
+            | proc::DOMAIN_ABORT_JOB
+            | proc::CONNECT_GET_ALL_DOMAIN_STATS
             | proc::LIST_POOLS
             | proc::POOL_INFO
             | proc::LIST_VOLUMES
@@ -262,6 +284,8 @@ pub fn is_idempotent(procedure: u32) -> bool {
             | proc::DOMAIN_LOOKUP_UUID
             | proc::DOMAIN_LIST_SNAPSHOTS
             | proc::DOMAIN_DUMP_XML
+            | proc::DOMAIN_GET_JOB_STATS
+            | proc::CONNECT_GET_ALL_DOMAIN_STATS
             | proc::LIST_POOLS
             | proc::POOL_INFO
             | proc::LIST_VOLUMES
@@ -788,6 +812,98 @@ impl WireEvent {
     }
 }
 
+xdr_struct! {
+    /// Wire form of a domain-job stats snapshot.
+    pub struct WireJobStats {
+        /// Job kind discriminant.
+        pub kind: u32,
+        /// Job state discriminant.
+        pub state: u32,
+        /// Virtual-clock ms since the job started.
+        pub elapsed_ms: u64,
+        /// Total data the job expects to move, MiB.
+        pub data_total_mib: u64,
+        /// Data moved so far, MiB.
+        pub data_processed_mib: u64,
+        /// Data still to move, MiB.
+        pub data_remaining_mib: u64,
+        /// Pre-copy iterations completed.
+        pub memory_iterations: u32,
+        /// Failure reason for failed jobs.
+        pub error: String,
+    }
+}
+
+impl From<&JobStats> for WireJobStats {
+    fn from(s: &JobStats) -> Self {
+        WireJobStats {
+            kind: s.kind.as_u32(),
+            state: s.state.as_u32(),
+            elapsed_ms: s.elapsed_ms,
+            data_total_mib: s.data_total_mib,
+            data_processed_mib: s.data_processed_mib,
+            data_remaining_mib: s.data_remaining_mib,
+            memory_iterations: s.memory_iterations,
+            error: s.error.clone(),
+        }
+    }
+}
+
+impl From<WireJobStats> for JobStats {
+    fn from(w: WireJobStats) -> Self {
+        JobStats {
+            kind: JobKind::from_u32(w.kind),
+            state: JobState::from_u32(w.state),
+            elapsed_ms: w.elapsed_ms,
+            data_total_mib: w.data_total_mib,
+            data_processed_mib: w.data_processed_mib,
+            data_remaining_mib: w.data_remaining_mib,
+            memory_iterations: w.memory_iterations,
+            error: w.error,
+        }
+    }
+}
+
+xdr_struct! {
+    /// One domain's record in the bulk-stats reply: the name plus an
+    /// open-ended typed-parameter list, libvirt's
+    /// `virConnectGetAllDomainStats` shape (new stats fields never
+    /// change the wire struct).
+    pub struct WireDomainStatsRecord {
+        /// Domain name.
+        pub name: String,
+        /// The stats as typed parameters.
+        pub params: TypedParamList,
+    }
+}
+
+/// Wire list of bulk domain-stats records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireDomainStatsList(pub Vec<WireDomainStatsRecord>);
+
+impl XdrEncode for WireDomainStatsList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(out);
+        for record in &self.0 {
+            record.encode(out);
+        }
+    }
+}
+
+impl XdrDecode for WireDomainStatsList {
+    fn decode(cursor: &mut virt_rpc::xdr::Cursor<'_>) -> Result<Self, virt_rpc::xdr::XdrError> {
+        let len = u32::decode(cursor)?;
+        if len > 1_000_000 {
+            return Err(virt_rpc::xdr::XdrError::LengthTooLarge(len));
+        }
+        let mut items = Vec::with_capacity((len as usize).min(4096));
+        for _ in 0..len {
+            items.push(WireDomainStatsRecord::decode(cursor)?);
+        }
+        Ok(WireDomainStatsList(items))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -908,13 +1024,67 @@ mod tests {
     }
 
     #[test]
+    fn job_stats_round_trip() {
+        let stats = JobStats {
+            kind: JobKind::Migration,
+            state: JobState::Running,
+            elapsed_ms: 1234,
+            data_total_mib: 4096,
+            data_processed_mib: 1024,
+            data_remaining_mib: 3072,
+            memory_iterations: 2,
+            error: String::new(),
+        };
+        let wire = WireJobStats::from(&stats);
+        let back: JobStats = WireJobStats::from_xdr(&wire.to_xdr()).unwrap().into();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn domain_stats_list_round_trip() {
+        use crate::typedparam::TypedParam;
+        let list = WireDomainStatsList(vec![
+            WireDomainStatsRecord {
+                name: "vm0".into(),
+                params: TypedParamList(vec![
+                    TypedParam::uint("state.state", 1),
+                    TypedParam::ullong("balloon.current", 2048),
+                ]),
+            },
+            WireDomainStatsRecord {
+                name: "vm1".into(),
+                params: TypedParamList(vec![TypedParam::string("job.kind", "migration")]),
+            },
+        ]);
+        let decoded = WireDomainStatsList::from_xdr(&list.to_xdr()).unwrap();
+        assert_eq!(decoded, list);
+    }
+
+    #[test]
     fn priority_classification() {
         assert!(is_high_priority(proc::LIST_DOMAINS));
         assert!(is_high_priority(proc::NODE_INFO));
         assert!(is_high_priority(proc::DOMAIN_DUMP_XML));
+        // Job query/abort and bulk stats must get through while normal
+        // workers are saturated by the jobs themselves.
+        assert!(is_high_priority(proc::DOMAIN_GET_JOB_STATS));
+        assert!(is_high_priority(proc::DOMAIN_ABORT_JOB));
+        assert!(is_high_priority(proc::CONNECT_GET_ALL_DOMAIN_STATS));
         assert!(!is_high_priority(proc::DOMAIN_START));
         assert!(!is_high_priority(proc::MIGRATE_PERFORM));
         assert!(!is_high_priority(proc::DOMAIN_DESTROY));
+    }
+
+    #[test]
+    fn readonly_sessions_cannot_abort_jobs() {
+        // High-priority but mutating: the one exception to
+        // "high-priority implies readonly-safe".
+        assert!(!is_readonly_safe(proc::DOMAIN_ABORT_JOB));
+        assert!(is_readonly_safe(proc::DOMAIN_GET_JOB_STATS));
+        assert!(is_readonly_safe(proc::CONNECT_GET_ALL_DOMAIN_STATS));
+        assert!(is_readonly_safe(proc::LIST_DOMAINS));
+        assert!(is_readonly_safe(proc::AUTH));
+        assert!(!is_readonly_safe(proc::DOMAIN_START));
     }
 
     #[test]
@@ -932,6 +1102,11 @@ mod tests {
         assert!(!is_idempotent(proc::DOMAIN_DESTROY));
         assert!(!is_idempotent(proc::VOLUME_CLONE));
         assert!(!is_idempotent(proc::MIGRATE_PERFORM));
+        // Job queries are pure reads; abort is a mutation (a retried
+        // abort could cancel a *different*, later job).
+        assert!(is_idempotent(proc::DOMAIN_GET_JOB_STATS));
+        assert!(is_idempotent(proc::CONNECT_GET_ALL_DOMAIN_STATS));
+        assert!(!is_idempotent(proc::DOMAIN_ABORT_JOB));
         // Idempotent procedures are a strict subset of high-priority ones.
         for (num, name) in proc::ALL {
             if is_idempotent(*num) {
@@ -973,6 +1148,9 @@ mod tests {
             proc::DOMAIN_DUMP_XML,
             proc::DOMAIN_SNAPSHOT_REVERT,
             proc::DOMAIN_SNAPSHOT_DELETE,
+            proc::DOMAIN_GET_JOB_STATS,
+            proc::DOMAIN_ABORT_JOB,
+            proc::CONNECT_GET_ALL_DOMAIN_STATS,
             proc::MIGRATE_BEGIN,
             proc::MIGRATE_PREPARE,
             proc::MIGRATE_PERFORM,
@@ -1000,6 +1178,7 @@ mod tests {
             proc::EVENT_REGISTER,
             proc::EVENT_DEREGISTER,
             proc::EVENT_LIFECYCLE,
+            proc::EVENT_DOMAIN_JOB,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();

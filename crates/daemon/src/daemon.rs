@@ -162,8 +162,22 @@ impl VirtdBuilder {
             self.config.credentials.clone(),
         );
         remote_dispatcher.publish_metrics(&registry);
+        virt_core::job::job_metrics().publish(&registry);
         for (scheme, conn) in &drivers {
             conn.publish_metrics(&registry, scheme);
+            // Job recovery: a daemon that went down mid-job cannot resume
+            // it — mark any job left running on this host as failed so
+            // clients polling after the restart see a terminal state
+            // instead of eternal progress.
+            for domain in conn
+                .jobs()
+                .fail_running("daemon restarted while job was running")
+            {
+                logger.warning(
+                    "daemon",
+                    &format!("recovered orphaned job on domain '{domain}': marked failed"),
+                );
+            }
         }
         let main_server = Server::new(
             "virtd",

@@ -389,6 +389,29 @@ impl RemoteDispatcher {
                 ().to_xdr()
             }
 
+            proc::DOMAIN_GET_JOB_STATS => {
+                let args: protocol::NameArgs = decode(payload)?;
+                protocol::WireJobStats::from(&c.domain_job_stats(&args.name)?).to_xdr()
+            }
+            proc::DOMAIN_ABORT_JOB => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.abort_domain_job(&args.name)?;
+                ().to_xdr()
+            }
+            proc::CONNECT_GET_ALL_DOMAIN_STATS => {
+                let records = c.get_all_domain_stats()?;
+                protocol::WireDomainStatsList(
+                    records
+                        .into_iter()
+                        .map(|r| protocol::WireDomainStatsRecord {
+                            name: r.name,
+                            params: virt_core::typedparam::TypedParamList(r.params),
+                        })
+                        .collect(),
+                )
+                .to_xdr()
+            }
+
             proc::LIST_POOLS => c.list_pools()?.to_xdr(),
             proc::POOL_INFO => {
                 let args: protocol::NameArgs = decode(payload)?;
@@ -478,8 +501,15 @@ impl RemoteDispatcher {
                 if session.event_callback.is_none() {
                     let event_client = Arc::clone(client);
                     let id = conn.events().register(Arc::new(move |event| {
+                        // Job lifecycle notifications ride their own
+                        // procedure so clients can tell the channels apart.
+                        let procedure = if event.kind.is_job_event() {
+                            proc::EVENT_DOMAIN_JOB
+                        } else {
+                            proc::EVENT_LIFECYCLE
+                        };
                         let packet = Packet::new(
-                            Header::event(REMOTE_PROGRAM, proc::EVENT_LIFECYCLE),
+                            Header::event(REMOTE_PROGRAM, procedure),
                             &protocol::WireEvent::from(event),
                         );
                         let _ = event_client.send(&packet);

@@ -59,6 +59,9 @@ struct HostState {
 
 struct HostShared {
     name: String,
+    /// Process-unique instance number: distinguishes hosts that happen
+    /// to share a name (management layers key per-host state on it).
+    instance: u64,
     personality: Arc<dyn Personality>,
     latency: LatencyModel,
     clock: SimClock,
@@ -202,9 +205,11 @@ impl SimHostBuilder {
         default_net.autostart = true;
         networks.insert("default".to_string(), default_net);
 
+        static NEXT_INSTANCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         SimHost {
             shared: Arc::new(HostShared {
                 name: self.name,
+                instance: NEXT_INSTANCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
                 personality: self.personality,
                 latency,
                 clock: self.clock.unwrap_or_default(),
@@ -242,6 +247,14 @@ impl SimHost {
     /// The host name.
     pub fn name(&self) -> &str {
         &self.shared.name
+    }
+
+    /// A process-unique id for this host instance. Clones share it; two
+    /// hosts built with the same name do not. Management layers use it to
+    /// key per-host state that must survive a connection being rebuilt
+    /// over the same host (e.g. job recovery across a daemon restart).
+    pub fn instance_id(&self) -> u64 {
+        self.shared.instance
     }
 
     /// The hypervisor personality.

@@ -576,6 +576,16 @@ mod tests {
             }
         }
 
+        fn first_conn(&self) -> Arc<dyn Transport> {
+            // The acceptor thread may lag behind a dial; wait for the
+            // connection to land before handing it out.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while self.live.lock().is_empty() && Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            self.live.lock()[0].clone()
+        }
+
         fn kill_connections(&self) {
             // The acceptor thread may lag behind a dial; wait for the
             // connection to land so the kill cannot be a no-op.
@@ -833,7 +843,7 @@ mod tests {
             let _ = tx.send(packet.header.procedure);
         });
         // Push an event and a pong from the server side.
-        let server_conn = service.live.lock()[0].clone();
+        let server_conn = service.first_conn();
         let pong = keepalive::pong_packet();
         server_conn.send_frame(&pong.to_frame()[4..]).unwrap();
         let event = Packet::new(Header::event(REMOTE_PROGRAM, 90), &());
@@ -848,7 +858,7 @@ mod tests {
         let service = EchoService::start();
         let client = client_for(&service, ReconnectConfig::default());
         assert!(!client.peer_said_bye());
-        let server_conn = service.live.lock()[0].clone();
+        let server_conn = service.first_conn();
         let bye = keepalive::bye_packet();
         server_conn.send_frame(&bye.to_frame()[4..]).unwrap();
         let deadline = Instant::now() + Duration::from_secs(5);

@@ -18,6 +18,9 @@ cargo test -q --offline
 echo "== chaos (connection resilience) =="
 cargo test -q --offline --test resilience
 
+echo "== chaos (domain jobs) =="
+cargo test -q --offline --test jobs
+
 echo "== fmt =="
 cargo fmt --check
 

@@ -220,8 +220,22 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
         }
         "list" => {
             let all = args.contains(&"--all");
-            w(out, &format!(" {:<5} {:<20} {:<10}", "Id", "Name", "State"));
-            w(out, "-------------------------------------");
+            if all {
+                w(
+                    out,
+                    &format!(
+                        " {:<5} {:<20} {:<10} {:<11} {:<9}",
+                        "Id", "Name", "State", "Persistent", "Autostart"
+                    ),
+                );
+                w(
+                    out,
+                    "------------------------------------------------------------",
+                );
+            } else {
+                w(out, &format!(" {:<5} {:<20} {:<10}", "Id", "Name", "State"));
+                w(out, "-------------------------------------");
+            }
             for domain in conn.list_all_domains()? {
                 let info = domain.info()?;
                 if !all && !info.state.is_active() {
@@ -231,10 +245,24 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                     .id
                     .map(|i| i.to_string())
                     .unwrap_or_else(|| "-".to_string());
-                w(
-                    out,
-                    &format!(" {:<5} {:<20} {:<10}", id, info.name, info.state),
-                );
+                if all {
+                    w(
+                        out,
+                        &format!(
+                            " {:<5} {:<20} {:<10} {:<11} {:<9}",
+                            id,
+                            info.name,
+                            info.state.to_string(),
+                            if info.persistent { "yes" } else { "no" },
+                            if info.autostart { "enable" } else { "disable" }
+                        ),
+                    );
+                } else {
+                    w(
+                        out,
+                        &format!(" {:<5} {:<20} {:<10}", id, info.name, info.state),
+                    );
+                }
             }
         }
         "define" => {
@@ -746,6 +774,19 @@ mod tests {
         assert_eq!(code, 0);
         assert!(output.contains("test"));
         assert!(output.contains("running"));
+        assert!(!output.contains("Persistent"));
+    }
+
+    #[test]
+    fn list_all_shows_persistent_and_autostart_columns() {
+        let (code, output) = run_line("autostart test");
+        assert_eq!(code, 0, "{output}");
+        let (code, output) = run_line("list --all");
+        assert_eq!(code, 0);
+        assert!(output.contains("Persistent"), "{output}");
+        assert!(output.contains("Autostart"), "{output}");
+        let row = output.lines().find(|l| l.contains("test")).unwrap();
+        assert!(row.contains("yes"), "{row}");
     }
 
     #[test]

@@ -164,11 +164,13 @@ impl Domain {
         self.conn.restore_domain(&self.name).map(drop)
     }
 
-    /// Removes the persisted definition (domain must be inactive).
+    /// Removes the persisted definition. An inactive domain disappears;
+    /// a running one keeps executing as transient and vanishes for good
+    /// when it stops (libvirt's `virDomainUndefine` semantics).
     ///
     /// # Errors
     ///
-    /// [`crate::ErrorCode::OperationInvalid`] while active.
+    /// [`crate::ErrorCode::NoDomain`] when absent.
     pub fn undefine(&self) -> VirtResult<()> {
         self.conn.undefine_domain(&self.name)
     }
@@ -255,6 +257,15 @@ impl Domain {
     /// As [`Domain::info`].
     pub fn set_autostart(&self, autostart: bool) -> VirtResult<()> {
         self.conn.set_autostart(&self.name, autostart)
+    }
+
+    /// Whether the domain starts automatically at host boot.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn autostart(&self) -> VirtResult<bool> {
+        self.conn.get_autostart(&self.name)
     }
 
     /// The domain's XML description.

@@ -376,7 +376,10 @@ pub trait HypervisorConnection: Send + Sync + std::fmt::Debug {
     /// As define plus start failures.
     fn create_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord>;
 
-    /// Removes a persisted, inactive domain.
+    /// Removes a domain's persisted configuration (libvirt's
+    /// `virDomainUndefine`). An inactive domain disappears entirely; a
+    /// *running* domain keeps executing as transient — its definition is
+    /// gone, and it vanishes for good when it stops.
     ///
     /// # Errors
     ///
@@ -504,6 +507,18 @@ pub trait HypervisorConnection: Send + Sync + std::fmt::Debug {
     ///
     /// [`ErrorCode::NoDomain`].
     fn set_autostart(&self, name: &str, autostart: bool) -> VirtResult<()>;
+
+    /// Reads the autostart flag. The default derives it from the domain
+    /// record; the remote driver overrides this with a dedicated wire
+    /// call (`DOMAIN_GET_AUTOSTART`), mirroring libvirt's paired
+    /// get/set entry points.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoDomain`].
+    fn get_autostart(&self, name: &str) -> VirtResult<bool> {
+        Ok(self.lookup_domain_by_name(name)?.autostart)
+    }
 
     /// The domain's XML description.
     ///

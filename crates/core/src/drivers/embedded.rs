@@ -22,6 +22,7 @@ use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventCallback};
 use crate::job::{JobKind, JobManager, JobProgress, JobStats, JobTicket};
 use crate::metrics::{Histogram, Registry};
+use crate::statestore::{DomainStatus, ObjectKind, StateStore};
 use crate::uuid::Uuid;
 use crate::xmlfmt::{DomainConfig, NetworkConfig, PoolConfig, VolumeConfig};
 
@@ -86,6 +87,62 @@ impl LifecycleMetrics {
     }
 }
 
+/// Binds a connection to one driver's partition of a [`StateStore`].
+/// The daemon creates one binding per embedded driver so qemu, xen and
+/// lxc definitions land in separate subdirectories of the shared
+/// statedir (mirroring `/etc/libvirt/qemu` vs `/etc/libvirt/lxc`).
+#[derive(Debug, Clone)]
+pub struct StoreBinding {
+    store: Arc<StateStore>,
+    driver: String,
+}
+
+impl StoreBinding {
+    /// Scopes `store` to the partition named `driver`.
+    pub fn new(store: Arc<StateStore>, driver: impl Into<String>) -> Self {
+        StoreBinding {
+            store,
+            driver: driver.into(),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<StateStore> {
+        &self.store
+    }
+
+    /// The partition name.
+    pub fn driver(&self) -> &str {
+        &self.driver
+    }
+}
+
+/// What a startup recovery pass brought back.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Persistent domain definitions re-adopted into the host.
+    pub domains: u64,
+    /// Domains the live-status records said were active when the previous
+    /// daemon died; their backing guests died with it, so they come back
+    /// shut off with reason `crashed`.
+    pub crashed: u64,
+    /// Autostart domains actually (re)started.
+    pub autostarted: u64,
+    /// Network definitions re-defined.
+    pub networks: u64,
+    /// Pool definitions re-defined.
+    pub pools: u64,
+    /// Corrupt files moved to quarantine during this pass.
+    pub quarantined: u64,
+}
+
+impl RecoveryReport {
+    /// Total persistent objects brought back.
+    pub fn recovered(&self) -> u64 {
+        self.domains + self.networks + self.pools
+    }
+}
+
 /// A connection executing directly against a [`SimHost`].
 pub struct EmbeddedConnection {
     host: SimHost,
@@ -97,6 +154,9 @@ pub struct EmbeddedConnection {
     /// the same host (daemon restart) sees — and can recover — jobs
     /// started by its predecessor.
     jobs: Arc<JobManager>,
+    /// On-disk persistence, when the daemon was given a statedir.
+    /// `None` keeps everything in memory (tests, ephemeral daemons).
+    store: Option<StoreBinding>,
 }
 
 impl std::fmt::Debug for EmbeddedConnection {
@@ -111,6 +171,17 @@ impl std::fmt::Debug for EmbeddedConnection {
 impl EmbeddedConnection {
     /// Wraps a host, reporting `uri` as the connection's canonical URI.
     pub fn new(host: SimHost, uri: impl Into<String>) -> Arc<Self> {
+        Self::build(host, uri, None)
+    }
+
+    /// Like [`EmbeddedConnection::new`], but every definition and
+    /// live-status change is mirrored to `binding`'s store partition,
+    /// and [`EmbeddedConnection::recover_from_store`] can reload it.
+    pub fn with_store(host: SimHost, uri: impl Into<String>, binding: StoreBinding) -> Arc<Self> {
+        Self::build(host, uri, Some(binding))
+    }
+
+    fn build(host: SimHost, uri: impl Into<String>, store: Option<StoreBinding>) -> Arc<Self> {
         // Key on the instance id, not the name: hosts with recycled names
         // (test fixtures) must not share job state, while a connection
         // rebuilt over the same host (daemon restart) must.
@@ -122,7 +193,13 @@ impl EmbeddedConnection {
             alive: AtomicBool::new(true),
             ops: LifecycleMetrics::new(),
             jobs,
+            store,
         })
+    }
+
+    /// The state-store binding, if this connection persists to disk.
+    pub fn store_binding(&self) -> Option<&StoreBinding> {
+        self.store.as_ref()
     }
 
     /// The job manager tracking background jobs on this host.
@@ -183,6 +260,177 @@ impl EmbeddedConnection {
 
     fn record(&self, name: &str) -> VirtResult<DomainRecord> {
         Ok(self.host.domain(name)?.into())
+    }
+
+    /// Re-persists (or removes) the on-disk records for `name` after a
+    /// state-changing operation. A persistent domain gets its definition
+    /// XML under `etc/domains/` and a live-status record under
+    /// `run/domains/`; a transient or vanished domain leaves no files.
+    fn sync_domain_state(&self, name: &str) -> VirtResult<()> {
+        let Some(binding) = &self.store else {
+            return Ok(());
+        };
+        match self.host.domain(name) {
+            Ok(info) if info.persistent => {
+                let spec = self.host.export_domain_spec(name)?;
+                let config =
+                    DomainConfig::from_spec(&spec, self.domain_type(), Uuid::from_bytes(info.uuid));
+                binding.store.put(
+                    ObjectKind::Domain,
+                    &binding.driver,
+                    name,
+                    &config.to_xml_string(),
+                )?;
+                let status = DomainStatus {
+                    name: name.to_string(),
+                    uuid: Uuid::from_bytes(info.uuid),
+                    state: info.state,
+                    autostart: info.autostart,
+                    has_managed_save: info.has_managed_save,
+                };
+                binding.store.put(
+                    ObjectKind::DomainStatus,
+                    &binding.driver,
+                    name,
+                    &status.to_xml_string(),
+                )?;
+            }
+            _ => {
+                binding
+                    .store
+                    .remove(ObjectKind::DomainStatus, &binding.driver, name)?;
+                binding
+                    .store
+                    .remove(ObjectKind::Domain, &binding.driver, name)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reloads this driver's partition of the state store into the host:
+    /// the boot-time reconciliation pass a stateful libvirt daemon runs
+    /// (`qemuProcessReconnect` and friends).
+    ///
+    /// Rules, in order:
+    /// - Corrupt definition or status files are quarantined, never fatal.
+    /// - Every persistent definition missing from the host is re-adopted
+    ///   with its recorded UUID, autostart and managed-save flags.
+    /// - A domain whose status said it was active comes back shut off
+    ///   with reason `crashed` — its backing guest died with the previous
+    ///   daemon. A saved domain stays saved; everything else is shut off.
+    /// - Status records with no backing definition (transient domains
+    ///   that died with the daemon) are swept from `run/`.
+    /// - Autostart domains that are not running are started, best-effort.
+    /// - Network and pool definitions missing from the host are
+    ///   re-defined (inactive, as after `virsh net-define`).
+    pub fn recover_from_store(&self) -> VirtResult<RecoveryReport> {
+        let Some(binding) = &self.store else {
+            return Ok(RecoveryReport::default());
+        };
+        let store = &binding.store;
+        let driver = binding.driver.as_str();
+        let quarantined_before = store.quarantined_total();
+        let mut report = RecoveryReport::default();
+
+        let mut statuses = std::collections::HashMap::new();
+        for (name, payload) in store.load_all(ObjectKind::DomainStatus, driver) {
+            match DomainStatus::from_xml_str(&payload) {
+                Ok(status) => {
+                    statuses.insert(name, status);
+                }
+                Err(_) => store.quarantine(ObjectKind::DomainStatus, driver, &name),
+            }
+        }
+
+        for (name, payload) in store.load_all(ObjectKind::Domain, driver) {
+            let config = match DomainConfig::from_xml_str(&payload) {
+                Ok(config) => config,
+                Err(_) => {
+                    store.quarantine(ObjectKind::Domain, driver, &name);
+                    continue;
+                }
+            };
+            if self.host.domain(&name).is_ok() {
+                continue;
+            }
+            let status = statuses.get(&name);
+            let state = match status.map(|s| s.state) {
+                Some(s) if s.is_active() => {
+                    report.crashed += 1;
+                    hypersim::DomainState::Crashed
+                }
+                Some(hypersim::DomainState::Saved) => hypersim::DomainState::Saved,
+                _ => hypersim::DomainState::Shutoff,
+            };
+            let uuid = status
+                .map(|s| s.uuid)
+                .or(config.uuid)
+                .unwrap_or_else(Uuid::generate);
+            let autostart = status.map(|s| s.autostart).unwrap_or(false);
+            let has_managed_save = status.map(|s| s.has_managed_save).unwrap_or(false);
+            self.host.adopt_domain(
+                config.to_spec(),
+                uuid.into_bytes(),
+                autostart,
+                state,
+                has_managed_save,
+            )?;
+            report.domains += 1;
+            // Rewrite both files so run/ reflects the reconciled state.
+            self.sync_domain_state(&name)?;
+        }
+
+        for name in statuses.keys() {
+            if self.host.domain(name).is_err() {
+                store.remove(ObjectKind::DomainStatus, driver, name)?;
+            }
+        }
+
+        // Autostart pass. Failures (e.g. insufficient memory) must not
+        // abort daemon boot; the domain simply stays shut off.
+        let autostart_pending: Vec<String> = self
+            .host
+            .list_domains()?
+            .into_iter()
+            .filter(|d| d.autostart && !d.state.is_active())
+            .map(|d| d.name)
+            .collect();
+        for name in autostart_pending {
+            if self.start_domain(&name).is_ok() {
+                report.autostarted += 1;
+            }
+        }
+
+        for (name, payload) in store.load_all(ObjectKind::Network, driver) {
+            let config = match NetworkConfig::from_xml_str(&payload) {
+                Ok(config) => config,
+                Err(_) => {
+                    store.quarantine(ObjectKind::Network, driver, &name);
+                    continue;
+                }
+            };
+            if self.host.network(&name).is_err() {
+                self.host.define_network(config.to_spec())?;
+                report.networks += 1;
+            }
+        }
+
+        for (name, payload) in store.load_all(ObjectKind::Pool, driver) {
+            let config = match PoolConfig::from_xml_str(&payload) {
+                Ok(config) => config,
+                Err(_) => {
+                    store.quarantine(ObjectKind::Pool, driver, &name);
+                    continue;
+                }
+            };
+            if self.host.pool(&name).is_err() {
+                self.host.define_pool(config.to_spec())?;
+                report.pools += 1;
+            }
+        }
+
+        report.quarantined = store.quarantined_total() - quarantined_before;
+        Ok(report)
     }
 
     /// Runs a short host operation as a coarse (single-slice) job:
@@ -302,6 +550,12 @@ impl HypervisorConnection for EmbeddedConnection {
         self.ensure_alive()?;
         let config = DomainConfig::from_xml_str(xml)?;
         let record: DomainRecord = self.host.define_domain(config.to_spec())?.into();
+        if let Err(err) = self.sync_domain_state(&record.name) {
+            // A definition that cannot be persisted must not exist only
+            // in memory — it would silently vanish on restart.
+            let _ = self.host.undefine_domain(&record.name);
+            return Err(err);
+        }
         self.emit(&record, DomainEventKind::Defined);
         Ok(record)
     }
@@ -311,6 +565,8 @@ impl HypervisorConnection for EmbeddedConnection {
         self.ensure_alive()?;
         let config = DomainConfig::from_xml_str(xml)?;
         let record: DomainRecord = self.host.create_domain(config.to_spec())?.into();
+        // Transient: sync leaves no files, and sweeps any stale ones.
+        self.sync_domain_state(&record.name)?;
         self.emit(&record, DomainEventKind::Started);
         Ok(record)
     }
@@ -319,7 +575,14 @@ impl HypervisorConnection for EmbeddedConnection {
         let _timer = self.ops.undefine.start_timer();
         self.ensure_alive()?;
         let record = self.record(name)?;
-        self.host.undefine_domain(name)?;
+        if record.state.is_active() {
+            // libvirt semantics: the configuration disappears but the
+            // guest keeps running as transient, vanishing when it stops.
+            self.host.demote_domain_to_transient(name)?;
+        } else {
+            self.host.undefine_domain(name)?;
+        }
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::Undefined);
         Ok(())
     }
@@ -333,6 +596,7 @@ impl HypervisorConnection for EmbeddedConnection {
         } else {
             DomainEventKind::Started
         };
+        self.sync_domain_state(name)?;
         self.emit(&record, kind);
         Ok(record)
     }
@@ -358,6 +622,7 @@ impl HypervisorConnection for EmbeddedConnection {
         } else {
             self.host.shutdown_domain(name)?.into()
         };
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::Stopped);
         Ok(record)
     }
@@ -379,6 +644,7 @@ impl HypervisorConnection for EmbeddedConnection {
         let _timer = self.ops.destroy.start_timer();
         self.ensure_alive()?;
         let record: DomainRecord = self.host.destroy_domain(name)?.into();
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::Stopped);
         Ok(record)
     }
@@ -394,6 +660,7 @@ impl HypervisorConnection for EmbeddedConnection {
         } else {
             self.host.suspend_domain(name)?.into()
         };
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::Suspended);
         Ok(record)
     }
@@ -409,6 +676,7 @@ impl HypervisorConnection for EmbeddedConnection {
         } else {
             self.host.resume_domain(name)?.into()
         };
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::Resumed);
         Ok(record)
     }
@@ -420,6 +688,7 @@ impl HypervisorConnection for EmbeddedConnection {
         let record = self.run_coarse_job(&before, JobKind::Save, || {
             Ok(DomainRecord::from(self.host.save_domain(name)?))
         })?;
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::Saved);
         Ok(record)
     }
@@ -431,6 +700,7 @@ impl HypervisorConnection for EmbeddedConnection {
         let record = self.run_coarse_job(&before, JobKind::Restore, || {
             Ok(DomainRecord::from(self.host.restore_domain(name)?))
         })?;
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::Restored);
         Ok(record)
     }
@@ -441,18 +711,19 @@ impl HypervisorConnection for EmbeddedConnection {
             Monitor::attach(&self.host, name)
                 .execute_line(&format!("balloon {memory_mib}"))
                 .map_err(VirtError::from)?;
-            self.record(name)
         } else {
-            Ok(self
-                .host
-                .set_domain_memory(name, hypersim::MiB(memory_mib))?
-                .into())
+            self.host
+                .set_domain_memory(name, hypersim::MiB(memory_mib))?;
         }
+        self.sync_domain_state(name)?;
+        self.record(name)
     }
 
     fn set_domain_vcpus(&self, name: &str, vcpus: u32) -> VirtResult<DomainRecord> {
         self.ensure_alive()?;
-        Ok(self.host.set_domain_vcpus(name, vcpus)?.into())
+        let record: DomainRecord = self.host.set_domain_vcpus(name, vcpus)?.into();
+        self.sync_domain_state(name)?;
+        Ok(record)
     }
 
     fn attach_device(&self, name: &str, device_xml: &str) -> VirtResult<DomainRecord> {
@@ -482,12 +753,15 @@ impl HypervisorConnection for EmbeddedConnection {
                 bus: disk.bus.clone(),
             },
         )?;
+        self.sync_domain_state(name)?;
         Ok(record.into())
     }
 
     fn detach_device(&self, name: &str, target: &str) -> VirtResult<DomainRecord> {
         self.ensure_alive()?;
-        Ok(self.host.detach_disk(name, target)?.into())
+        let record: DomainRecord = self.host.detach_disk(name, target)?.into();
+        self.sync_domain_state(name)?;
+        Ok(record)
     }
 
     fn snapshot_domain(&self, name: &str, snapshot: &str) -> VirtResult<DomainRecord> {
@@ -512,7 +786,8 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn set_autostart(&self, name: &str, autostart: bool) -> VirtResult<()> {
         self.ensure_alive()?;
-        Ok(self.host.set_autostart(name, autostart)?)
+        self.host.set_autostart(name, autostart)?;
+        self.sync_domain_state(name)
     }
 
     fn dump_domain_xml(&self, name: &str) -> VirtResult<String> {
@@ -656,6 +931,7 @@ impl HypervisorConnection for EmbeddedConnection {
             .host
             .import_running_domain(config.to_spec(), uuid)?
             .into();
+        self.sync_domain_state(&record.name)?;
         self.emit(&record, DomainEventKind::MigratedIn);
         Ok(record)
     }
@@ -664,6 +940,7 @@ impl HypervisorConnection for EmbeddedConnection {
         self.ensure_alive()?;
         let record = self.record(name)?;
         self.host.forget_migrated_domain(name)?;
+        self.sync_domain_state(name)?;
         self.emit(&record, DomainEventKind::MigratedOut);
         Ok(())
     }
@@ -676,6 +953,7 @@ impl HypervisorConnection for EmbeddedConnection {
                 self.host.destroy_domain(name)?;
             }
             let _ = self.host.forget_migrated_domain(name);
+            self.sync_domain_state(name)?;
         }
         Ok(())
     }
@@ -723,6 +1001,14 @@ impl HypervisorConnection for EmbeddedConnection {
         self.ensure_alive()?;
         let config = PoolConfig::from_xml_str(xml)?;
         self.host.define_pool(config.to_spec())?;
+        if let Some(binding) = &self.store {
+            binding.store.put(
+                ObjectKind::Pool,
+                &binding.driver,
+                &config.name,
+                &config.to_xml_string(),
+            )?;
+        }
         self.pool_info(&config.name)
     }
 
@@ -738,7 +1024,13 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn undefine_pool(&self, name: &str) -> VirtResult<()> {
         self.ensure_alive()?;
-        Ok(self.host.undefine_pool(name)?)
+        self.host.undefine_pool(name)?;
+        if let Some(binding) = &self.store {
+            binding
+                .store
+                .remove(ObjectKind::Pool, &binding.driver, name)?;
+        }
+        Ok(())
     }
 
     fn list_volumes(&self, pool: &str) -> VirtResult<Vec<String>> {
@@ -813,6 +1105,14 @@ impl HypervisorConnection for EmbeddedConnection {
         self.ensure_alive()?;
         let config = NetworkConfig::from_xml_str(xml)?;
         self.host.define_network(config.to_spec())?;
+        if let Some(binding) = &self.store {
+            binding.store.put(
+                ObjectKind::Network,
+                &binding.driver,
+                &config.name,
+                &config.to_xml_string(),
+            )?;
+        }
         self.network_info(&config.name)
     }
 
@@ -828,7 +1128,13 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn undefine_network(&self, name: &str) -> VirtResult<()> {
         self.ensure_alive()?;
-        Ok(self.host.undefine_network(name)?)
+        self.host.undefine_network(name)?;
+        if let Some(binding) = &self.store {
+            binding
+                .store
+                .remove(ObjectKind::Network, &binding.driver, name)?;
+        }
+        Ok(())
     }
 
     // ---- events -----------------------------------------------------------------
@@ -1154,5 +1460,166 @@ mod tests {
         assert_eq!(conn.list_snapshots("vm").unwrap(), vec!["base"]);
         conn.set_autostart("vm", true).unwrap();
         assert!(conn.lookup_domain_by_name("vm").unwrap().autostart);
+        assert!(conn.get_autostart("vm").unwrap());
+        conn.set_autostart("vm", false).unwrap();
+        assert!(!conn.get_autostart("vm").unwrap());
+    }
+
+    #[test]
+    fn undefine_running_domain_demotes_to_transient() {
+        let conn = connection(QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        conn.start_domain("vm").unwrap();
+        conn.undefine_domain("vm").unwrap();
+        // Still running, but no longer persistent…
+        let record = conn.lookup_domain_by_name("vm").unwrap();
+        assert_eq!(record.state, DomainState::Running);
+        assert!(!record.persistent);
+        // …and it vanishes for good when it stops.
+        conn.shutdown_domain("vm").unwrap();
+        assert_eq!(
+            conn.lookup_domain_by_name("vm").unwrap_err().code(),
+            ErrorCode::NoDomain
+        );
+    }
+
+    // ---- persistence & recovery ------------------------------------------
+
+    fn temp_store(tag: &str) -> Arc<StateStore> {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "virt-embedded-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        StateStore::open(dir).unwrap()
+    }
+
+    fn stored_connection(
+        store: &Arc<StateStore>,
+        personality: impl hypersim::personality::Personality + 'static,
+    ) -> Arc<EmbeddedConnection> {
+        let host = SimHost::builder("embedded-store")
+            .personality(personality)
+            .latency(LatencyModel::zero())
+            .build();
+        EmbeddedConnection::with_store(
+            host,
+            "qemu:///system",
+            StoreBinding::new(Arc::clone(store), "qemu"),
+        )
+    }
+
+    #[test]
+    fn recovery_restores_definitions_states_and_autostart() {
+        let store = temp_store("recover");
+        let uuids;
+        {
+            let conn = stored_connection(&store, QemuLike);
+            conn.define_domain_xml(&domain_xml("boot", 128)).unwrap();
+            conn.define_domain_xml(&domain_xml("idle", 128)).unwrap();
+            conn.define_domain_xml(&domain_xml("busy", 128)).unwrap();
+            conn.set_autostart("boot", true).unwrap();
+            conn.start_domain("busy").unwrap();
+            // A transient domain must leave no trace.
+            conn.create_domain_xml(&domain_xml("ghost", 64)).unwrap();
+            uuids = (
+                conn.lookup_domain_by_name("boot").unwrap().uuid,
+                conn.lookup_domain_by_name("busy").unwrap().uuid,
+            );
+            // The connection (and its host) is dropped without any
+            // shutdown: the moral equivalent of SIGKILL.
+        }
+
+        let conn = stored_connection(&store, QemuLike);
+        assert!(conn.list_domains().unwrap().is_empty());
+        let report = conn.recover_from_store().unwrap();
+        assert_eq!(report.domains, 3);
+        assert_eq!(report.crashed, 1);
+        assert_eq!(report.autostarted, 1);
+        assert_eq!(report.quarantined, 0);
+
+        let boot = conn.lookup_domain_by_name("boot").unwrap();
+        assert_eq!(boot.uuid, uuids.0, "identity survives restart");
+        assert!(boot.autostart);
+        assert_eq!(boot.state, DomainState::Running);
+
+        // `busy` was running when the daemon died: its guest died with
+        // it, so it reports shut off with reason crashed.
+        let busy = conn.lookup_domain_by_name("busy").unwrap();
+        assert_eq!(busy.uuid, uuids.1);
+        assert_eq!(busy.state, DomainState::Crashed);
+        assert!(!busy.state.is_active());
+
+        let idle = conn.lookup_domain_by_name("idle").unwrap();
+        assert_eq!(idle.state, DomainState::Shutoff);
+
+        assert_eq!(
+            conn.lookup_domain_by_name("ghost").unwrap_err().code(),
+            ErrorCode::NoDomain
+        );
+    }
+
+    #[test]
+    fn recovery_restores_networks_and_pools() {
+        let store = temp_store("netpool");
+        {
+            let conn = stored_connection(&store, QemuLike);
+            let net = NetworkConfig::new("lan", std::net::Ipv4Addr::new(10, 8, 0, 0));
+            conn.define_network_xml(&net.to_xml_string()).unwrap();
+            let pool = PoolConfig::new("images", hypersim::PoolBackend::Dir, 512);
+            conn.define_pool_xml(&pool.to_xml_string()).unwrap();
+        }
+        let conn = stored_connection(&store, QemuLike);
+        let report = conn.recover_from_store().unwrap();
+        assert_eq!(report.networks, 1);
+        assert_eq!(report.pools, 1);
+        assert_eq!(report.recovered(), 2);
+        assert!(conn.list_networks().unwrap().contains(&"lan".to_string()));
+        assert!(conn.list_pools().unwrap().contains(&"images".to_string()));
+    }
+
+    #[test]
+    fn recovery_quarantines_corrupt_definitions() {
+        let store = temp_store("corrupt");
+        {
+            let conn = stored_connection(&store, QemuLike);
+            conn.define_domain_xml(&domain_xml("good", 128)).unwrap();
+            conn.define_domain_xml(&domain_xml("bad", 128)).unwrap();
+        }
+        // Tear the 'bad' definition mid-byte, as a crash would.
+        let path = store.root().join("etc/domains/qemu").join("bad.xml");
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let conn = stored_connection(&store, QemuLike);
+        let report = conn.recover_from_store().unwrap();
+        assert_eq!(report.domains, 1);
+        assert_eq!(report.quarantined, 1);
+        assert!(conn.lookup_domain_by_name("good").is_ok());
+        assert_eq!(
+            conn.lookup_domain_by_name("bad").unwrap_err().code(),
+            ErrorCode::NoDomain
+        );
+    }
+
+    #[test]
+    fn undefine_and_destroy_sweep_state_files() {
+        let store = temp_store("sweep");
+        let conn = stored_connection(&store, QemuLike);
+        conn.define_domain_xml(&domain_xml("vm", 128)).unwrap();
+        let def = store.root().join("etc/domains/qemu/vm.xml");
+        let run = store.root().join("run/domains/qemu/vm.xml");
+        assert!(def.exists() && run.exists());
+        conn.start_domain("vm").unwrap();
+        conn.undefine_domain("vm").unwrap();
+        assert!(
+            !def.exists() && !run.exists(),
+            "demoted transient domain must leave no state files"
+        );
+        conn.destroy_domain("vm").unwrap();
+        assert!(conn.list_domains().unwrap().is_empty());
     }
 }

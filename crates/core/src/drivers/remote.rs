@@ -507,6 +507,15 @@ impl HypervisorConnection for RemoteConnection {
         )
     }
 
+    fn get_autostart(&self, name: &str) -> VirtResult<bool> {
+        self.call(
+            proc::DOMAIN_GET_AUTOSTART,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )
+    }
+
     fn dump_domain_xml(&self, name: &str) -> VirtResult<String> {
         self.call(
             proc::DOMAIN_DUMP_XML,

@@ -58,6 +58,7 @@ pub use virt_metrics as metrics;
 pub mod migrate;
 pub mod network;
 pub mod protocol;
+pub mod statestore;
 pub mod storage;
 pub mod testbed;
 pub mod typedparam;
@@ -77,6 +78,7 @@ pub use error::{ErrorCode, VirtError, VirtResult};
 pub use event::{CallbackId, DomainEvent, DomainEventKind, EventBus};
 pub use job::{JobHandle, JobKind, JobState, JobStats};
 pub use network::Network;
+pub use statestore::{DomainStatus, ObjectKind, StateStore, StoreFault};
 pub use storage::{StoragePool, Volume};
 pub use typedparam::{ParamValue, TypedParam, TypedParams};
 pub use uuid::Uuid;

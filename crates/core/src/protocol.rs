@@ -87,6 +87,8 @@ pub mod proc {
     pub const DOMAIN_ABORT_JOB: u32 = 36;
     /// Bulk stats of every domain in one round-trip.
     pub const CONNECT_GET_ALL_DOMAIN_STATS: u32 = 37;
+    /// Read the autostart flag.
+    pub const DOMAIN_GET_AUTOSTART: u32 = 38;
 
     /// Migration phase 1 (source).
     pub const MIGRATE_BEGIN: u32 = 40;
@@ -186,6 +188,7 @@ pub mod proc {
         (DOMAIN_GET_JOB_STATS, "DOMAIN_GET_JOB_STATS"),
         (DOMAIN_ABORT_JOB, "DOMAIN_ABORT_JOB"),
         (CONNECT_GET_ALL_DOMAIN_STATS, "CONNECT_GET_ALL_DOMAIN_STATS"),
+        (DOMAIN_GET_AUTOSTART, "DOMAIN_GET_AUTOSTART"),
         (MIGRATE_BEGIN, "MIGRATE_BEGIN"),
         (MIGRATE_PREPARE, "MIGRATE_PREPARE"),
         (MIGRATE_PERFORM, "MIGRATE_PERFORM"),
@@ -256,6 +259,7 @@ pub fn is_high_priority(procedure: u32) -> bool {
             | proc::DOMAIN_GET_JOB_STATS
             | proc::DOMAIN_ABORT_JOB
             | proc::CONNECT_GET_ALL_DOMAIN_STATS
+            | proc::DOMAIN_GET_AUTOSTART
             | proc::LIST_POOLS
             | proc::POOL_INFO
             | proc::LIST_VOLUMES
@@ -286,6 +290,7 @@ pub fn is_idempotent(procedure: u32) -> bool {
             | proc::DOMAIN_DUMP_XML
             | proc::DOMAIN_GET_JOB_STATS
             | proc::CONNECT_GET_ALL_DOMAIN_STATS
+            | proc::DOMAIN_GET_AUTOSTART
             | proc::LIST_POOLS
             | proc::POOL_INFO
             | proc::LIST_VOLUMES
@@ -1070,6 +1075,9 @@ mod tests {
         assert!(is_high_priority(proc::DOMAIN_GET_JOB_STATS));
         assert!(is_high_priority(proc::DOMAIN_ABORT_JOB));
         assert!(is_high_priority(proc::CONNECT_GET_ALL_DOMAIN_STATS));
+        // Autostart: the getter is a pure read, the setter mutates.
+        assert!(is_high_priority(proc::DOMAIN_GET_AUTOSTART));
+        assert!(!is_high_priority(proc::DOMAIN_SET_AUTOSTART));
         assert!(!is_high_priority(proc::DOMAIN_START));
         assert!(!is_high_priority(proc::MIGRATE_PERFORM));
         assert!(!is_high_priority(proc::DOMAIN_DESTROY));
@@ -1106,6 +1114,8 @@ mod tests {
         // abort could cancel a *different*, later job).
         assert!(is_idempotent(proc::DOMAIN_GET_JOB_STATS));
         assert!(is_idempotent(proc::CONNECT_GET_ALL_DOMAIN_STATS));
+        assert!(is_idempotent(proc::DOMAIN_GET_AUTOSTART));
+        assert!(!is_idempotent(proc::DOMAIN_SET_AUTOSTART));
         assert!(!is_idempotent(proc::DOMAIN_ABORT_JOB));
         // Idempotent procedures are a strict subset of high-priority ones.
         for (num, name) in proc::ALL {
@@ -1151,6 +1161,7 @@ mod tests {
             proc::DOMAIN_GET_JOB_STATS,
             proc::DOMAIN_ABORT_JOB,
             proc::CONNECT_GET_ALL_DOMAIN_STATS,
+            proc::DOMAIN_GET_AUTOSTART,
             proc::MIGRATE_BEGIN,
             proc::MIGRATE_PREPARE,
             proc::MIGRATE_PERFORM,

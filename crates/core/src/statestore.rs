@@ -1,0 +1,659 @@
+//! Crash-safe on-disk state store for persistent object definitions and
+//! live-status records.
+//!
+//! Reproduces libvirt's `/etc/libvirt` + `/run/libvirt` split: object
+//! *definitions* (domain, network, pool XML) live under `etc/`, while
+//! volatile *status* records — which domains are running, autostart
+//! markers, managed-save flags — live under `run/`. The daemon can be
+//! SIGKILLed at any instant and still reconstruct its world at the next
+//! boot from these files alone; that is the paper's "non-intrusive"
+//! property (the management layer can die without taking guests with it).
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/etc/domains/<driver>/<name>.xml     persistent definitions
+//! <root>/etc/networks/<driver>/<name>.xml
+//! <root>/etc/pools/<driver>/<name>.xml
+//! <root>/run/domains/<driver>/<name>.xml     live-status records
+//! <root>/quarantine/                         corrupt files, moved aside
+//! ```
+//!
+//! ## Durability discipline
+//!
+//! Every write is *atomic and durable*: the payload goes to a unique
+//! temp file in the target directory, the file is fsynced, renamed over
+//! the destination, and the directory is fsynced so the rename itself
+//! survives a power cut. A reader therefore sees either the previous
+//! committed version or the new one — never a torn mixture.
+//!
+//! Every read is *validated*: files carry a header line with the payload
+//! length and an FNV-1a checksum. A file that fails validation (torn
+//! write from a crashed kernel, bit rot, truncation) is moved to
+//! `quarantine/` and counted — never parsed, never a panic.
+//!
+//! ## Fault injection
+//!
+//! [`StateStore::inject_fault`] arms a deterministic fault at the Nth
+//! subsequent write: either a clean I/O error before any data moves
+//! ([`StoreFault::FailWrite`], the previous version stays committed) or a
+//! torn write renamed into place ([`StoreFault::TornWrite`], simulating
+//! the pathological crash the checksum exists to catch). Recovery paths
+//! are testable without real power cuts.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{ErrorCode, VirtError, VirtResult};
+use crate::uuid::Uuid;
+use hypersim::DomainState;
+use virt_xml::Element;
+
+/// Magic prefix of the header line; bump the version on format changes.
+const HEADER_MAGIC: &str = "#virtstate v1";
+
+/// The kinds of object a store holds, each with its own directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObjectKind {
+    /// Persistent domain definition (`etc/domains`).
+    Domain,
+    /// Persistent network definition (`etc/networks`).
+    Network,
+    /// Persistent pool definition (`etc/pools`).
+    Pool,
+    /// Volatile domain status record (`run/domains`).
+    DomainStatus,
+}
+
+impl ObjectKind {
+    fn rel_dir(self) -> &'static str {
+        match self {
+            ObjectKind::Domain => "etc/domains",
+            ObjectKind::Network => "etc/networks",
+            ObjectKind::Pool => "etc/pools",
+            ObjectKind::DomainStatus => "run/domains",
+        }
+    }
+}
+
+/// A deterministic injected fault, armed via [`StateStore::inject_fault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreFault {
+    /// The write fails cleanly before any byte reaches the destination:
+    /// the previous committed version stays in place.
+    FailWrite,
+    /// Half the payload is written and renamed into place — the torn
+    /// file a crashed kernel or lying disk can leave behind. The next
+    /// validated read must quarantine it.
+    TornWrite,
+}
+
+struct ArmedFault {
+    kind: StoreFault,
+    /// Fires when the write counter reaches this sequence number.
+    at_write: u64,
+}
+
+/// Crash-safe store rooted at one directory. Cheap to share via `Arc`.
+pub struct StateStore {
+    root: PathBuf,
+    /// Serializes writers so concurrent updates of one object cannot
+    /// interleave (each write is also internally atomic via rename).
+    write_lock: Mutex<()>,
+    /// Monotone write counter driving deterministic fault injection.
+    writes: AtomicU64,
+    fault: Mutex<Option<ArmedFault>>,
+    quarantined: AtomicU64,
+    write_errors: AtomicU64,
+}
+
+impl std::fmt::Debug for StateStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateStore")
+            .field("root", &self.root)
+            .field("writes", &self.writes.load(Ordering::Relaxed))
+            .field("quarantined", &self.quarantined.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+fn io_err(context: &str, err: std::io::Error) -> VirtError {
+    VirtError::new(
+        ErrorCode::OperationFailed,
+        format!("state store: {context}: {err}"),
+    )
+}
+
+/// FNV-1a 64-bit — tiny, dependency-free, and plenty to detect torn
+/// writes (this is corruption *detection*, not an integrity MAC).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl StateStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::OperationFailed`] when the directories cannot be
+    /// created.
+    pub fn open(root: impl Into<PathBuf>) -> VirtResult<Arc<StateStore>> {
+        let root = root.into();
+        for kind in [
+            ObjectKind::Domain,
+            ObjectKind::Network,
+            ObjectKind::Pool,
+            ObjectKind::DomainStatus,
+        ] {
+            fs::create_dir_all(root.join(kind.rel_dir()))
+                .map_err(|e| io_err("create layout", e))?;
+        }
+        fs::create_dir_all(root.join("quarantine")).map_err(|e| io_err("create layout", e))?;
+        Ok(Arc::new(StateStore {
+            root,
+            write_lock: Mutex::new(()),
+            writes: AtomicU64::new(0),
+            fault: Mutex::new(None),
+            quarantined: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+        }))
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Arms a deterministic fault: the `nth` write counted from now
+    /// (1-based — `1` means the very next write) experiences `kind`.
+    pub fn inject_fault(&self, kind: StoreFault, nth: u64) {
+        let at_write = self.writes.load(Ordering::Relaxed) + nth;
+        *self.fault.lock() = Some(ArmedFault { kind, at_write });
+    }
+
+    /// Files moved to quarantine since the store opened.
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Writes that failed (real I/O errors and injected ones).
+    pub fn write_error_total(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    fn dir(&self, kind: ObjectKind, driver: &str) -> PathBuf {
+        self.root.join(kind.rel_dir()).join(driver)
+    }
+
+    fn file(&self, kind: ObjectKind, driver: &str, name: &str) -> PathBuf {
+        self.dir(kind, driver).join(format!("{name}.xml"))
+    }
+
+    /// Checks the armed fault against this write's sequence number.
+    fn take_fault(&self, seq: u64) -> Option<StoreFault> {
+        let mut slot = self.fault.lock();
+        match &*slot {
+            Some(armed) if seq >= armed.at_write => slot.take().map(|a| a.kind),
+            _ => None,
+        }
+    }
+
+    /// Commits `payload` for `name`, atomically and durably.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::OperationFailed`] on I/O failure (including injected
+    /// faults). After an error the previously committed version — if any
+    /// — is still served, except for an injected [`StoreFault::TornWrite`]
+    /// which deliberately leaves a corrupt file for validation to catch.
+    pub fn put(&self, kind: ObjectKind, driver: &str, name: &str, payload: &str) -> VirtResult<()> {
+        let _guard = self.write_lock.lock();
+        let seq = self.writes.fetch_add(1, Ordering::Relaxed) + 1;
+        let fault = self.take_fault(seq);
+
+        let body = payload.as_bytes();
+        let header = format!(
+            "{HEADER_MAGIC} fnv={:016x} len={}\n",
+            fnv1a(body),
+            body.len()
+        );
+        let mut bytes = header.into_bytes();
+        bytes.extend_from_slice(body);
+        if let Some(StoreFault::TornWrite) = fault {
+            // Simulate the crash the format defends against: a prefix of
+            // the record lands in the final location.
+            bytes.truncate(bytes.len() / 2);
+        }
+
+        let result = (|| -> std::io::Result<()> {
+            let dir = self.dir(kind, driver);
+            fs::create_dir_all(&dir)?;
+            if let Some(StoreFault::FailWrite) = fault {
+                return Err(std::io::Error::other("injected write failure"));
+            }
+            let tmp = dir.join(format!(".{name}.tmp{seq}"));
+            let mut f = File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            drop(f);
+            let dest = self.file(kind, driver, name);
+            if let Err(e) = fs::rename(&tmp, &dest) {
+                let _ = fs::remove_file(&tmp);
+                return Err(e);
+            }
+            // The rename is only durable once the directory entry is.
+            if let Ok(d) = File::open(&dir) {
+                let _ = d.sync_all();
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                if let Some(StoreFault::TornWrite) = fault {
+                    // The torn bytes are in place; surface the "crash".
+                    self.write_errors.fetch_add(1, Ordering::Relaxed);
+                    return Err(VirtError::new(
+                        ErrorCode::OperationFailed,
+                        "state store: injected torn write",
+                    ));
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+                Err(io_err(&format!("write {name}"), e))
+            }
+        }
+    }
+
+    /// Removes `name`'s committed file. Missing files are fine — removal
+    /// is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::OperationFailed`] on I/O failure other than absence.
+    pub fn remove(&self, kind: ObjectKind, driver: &str, name: &str) -> VirtResult<()> {
+        let _guard = self.write_lock.lock();
+        match fs::remove_file(self.file(kind, driver, name)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&format!("remove {name}"), e)),
+        }
+    }
+
+    /// Reads and validates one committed payload. `Ok(None)` when the
+    /// file does not exist; a file failing validation is quarantined and
+    /// reported as absent.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::OperationFailed`] on I/O failure other than absence.
+    pub fn get(&self, kind: ObjectKind, driver: &str, name: &str) -> VirtResult<Option<String>> {
+        let path = self.file(kind, driver, name);
+        match fs::read(&path) {
+            Ok(bytes) => match validate(&bytes) {
+                Some(payload) => Ok(Some(payload)),
+                None => {
+                    self.quarantine_path(&path);
+                    Ok(None)
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err(&format!("read {name}"), e)),
+        }
+    }
+
+    /// Loads every committed object of `kind` for `driver`, sorted by
+    /// name. Corrupt files are quarantined (and counted), not returned —
+    /// a torn write can cost at most the object it was updating, never
+    /// the daemon's boot.
+    pub fn load_all(&self, kind: ObjectKind, driver: &str) -> Vec<(String, String)> {
+        let dir = self.dir(kind, driver);
+        let Ok(entries) = fs::read_dir(&dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Some(ext) = path.extension().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            if ext != "xml" || stem.starts_with('.') {
+                continue; // temp files and strays
+            }
+            match fs::read(&path) {
+                Ok(bytes) => match validate(&bytes) {
+                    Some(payload) => out.push((stem.to_string(), payload)),
+                    None => self.quarantine_path(&path),
+                },
+                Err(_) => self.quarantine_path(&path),
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Moves a file that failed validation out of the store, preserving
+    /// it for inspection under `quarantine/`.
+    pub fn quarantine(&self, kind: ObjectKind, driver: &str, name: &str) {
+        self.quarantine_path(&self.file(kind, driver, name));
+    }
+
+    fn quarantine_path(&self, path: &Path) {
+        let n = self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let base = path
+            .file_name()
+            .and_then(|s| s.to_str())
+            .unwrap_or("corrupt");
+        let dest = self.root.join("quarantine").join(format!("{n}-{base}"));
+        if fs::rename(path, &dest).is_err() {
+            // Cross-device or racing writer: removal still protects boot.
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// Validates a raw file: header magic, length, checksum. Returns the
+/// payload on success.
+fn validate(bytes: &[u8]) -> Option<String> {
+    let newline = bytes.iter().position(|b| *b == b'\n')?;
+    let header = std::str::from_utf8(&bytes[..newline]).ok()?;
+    let rest = header.strip_prefix(HEADER_MAGIC)?.trim();
+    let mut fnv = None;
+    let mut len = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("fnv=") {
+            fnv = u64::from_str_radix(v, 16).ok();
+        } else if let Some(v) = field.strip_prefix("len=") {
+            len = v.parse::<usize>().ok();
+        }
+    }
+    let (expected_fnv, expected_len) = (fnv?, len?);
+    let body = &bytes[newline + 1..];
+    if body.len() != expected_len || fnv1a(body) != expected_fnv {
+        return None;
+    }
+    String::from_utf8(body.to_vec()).ok()
+}
+
+/// Volatile per-domain status record — what `run/` remembers about a
+/// domain between daemon lives: whether it was running, its identity, and
+/// the autostart marker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DomainStatus {
+    /// Domain name (matches the definition file's name).
+    pub name: String,
+    /// Stable identity, preserved across daemon restarts.
+    pub uuid: Uuid,
+    /// Lifecycle state at the last committed update.
+    pub state: DomainState,
+    /// Start-at-daemon-boot marker.
+    pub autostart: bool,
+    /// Whether a managed-save image exists.
+    pub has_managed_save: bool,
+}
+
+fn state_str(state: DomainState) -> &'static str {
+    match state {
+        DomainState::Shutoff => "shutoff",
+        DomainState::Running => "running",
+        DomainState::Paused => "paused",
+        DomainState::Saved => "saved",
+        DomainState::Crashed => "crashed",
+    }
+}
+
+fn state_from_str(s: &str) -> Option<DomainState> {
+    Some(match s {
+        "shutoff" => DomainState::Shutoff,
+        "running" => DomainState::Running,
+        "paused" => DomainState::Paused,
+        "saved" => DomainState::Saved,
+        "crashed" => DomainState::Crashed,
+        _ => return None,
+    })
+}
+
+impl DomainStatus {
+    /// Serializes to the status-record XML document.
+    pub fn to_xml_string(&self) -> String {
+        let mut el = Element::new("domstatus");
+        el.set_attr("state", state_str(self.state));
+        el.set_attr("autostart", if self.autostart { "1" } else { "0" });
+        el.set_attr(
+            "managed_save",
+            if self.has_managed_save { "1" } else { "0" },
+        );
+        el.push_child(Element::with_text("name", self.name.clone()));
+        el.push_child(Element::with_text("uuid", self.uuid.to_string()));
+        el.to_pretty_string()
+    }
+
+    /// Parses a status-record document (schema validation: unknown or
+    /// missing fields are errors, so a corrupt-but-checksummed file still
+    /// cannot smuggle garbage into recovery).
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::XmlError`] on any malformed document.
+    pub fn from_xml_str(xml: &str) -> VirtResult<DomainStatus> {
+        let bad =
+            |what: &str| VirtError::new(ErrorCode::XmlError, format!("domstatus: invalid {what}"));
+        let el = Element::parse(xml)
+            .map_err(|e| VirtError::new(ErrorCode::XmlError, format!("domstatus: {e}")))?;
+        if el.name() != "domstatus" {
+            return Err(bad("root element"));
+        }
+        let name = el
+            .child_text("name")
+            .ok_or_else(|| bad("name"))?
+            .to_string();
+        let uuid: Uuid = el
+            .child_text("uuid")
+            .ok_or_else(|| bad("uuid"))?
+            .parse()
+            .map_err(|_| bad("uuid"))?;
+        let state = el
+            .attr("state")
+            .and_then(state_from_str)
+            .ok_or_else(|| bad("state"))?;
+        let flag = |attr: &str| match el.attr(attr) {
+            Some("1") => Ok(true),
+            Some("0") => Ok(false),
+            _ => Err(bad(attr)),
+        };
+        Ok(DomainStatus {
+            name,
+            uuid,
+            state,
+            autostart: flag("autostart")?,
+            has_managed_save: flag("managed_save")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> Arc<StateStore> {
+        use std::sync::atomic::AtomicU32;
+        static N: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "virt-statestore-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        StateStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_replace() {
+        let store = temp_store("rt");
+        store
+            .put(ObjectKind::Domain, "qemu", "web", "<domain>v1</domain>")
+            .unwrap();
+        assert_eq!(
+            store.get(ObjectKind::Domain, "qemu", "web").unwrap(),
+            Some("<domain>v1</domain>".to_string())
+        );
+        store
+            .put(ObjectKind::Domain, "qemu", "web", "<domain>v2</domain>")
+            .unwrap();
+        assert_eq!(
+            store.get(ObjectKind::Domain, "qemu", "web").unwrap(),
+            Some("<domain>v2</domain>".to_string())
+        );
+        let all = store.load_all(ObjectKind::Domain, "qemu");
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, "web");
+    }
+
+    #[test]
+    fn kinds_and_drivers_are_isolated() {
+        let store = temp_store("iso");
+        store
+            .put(ObjectKind::Domain, "qemu", "a", "qemu-a")
+            .unwrap();
+        store.put(ObjectKind::Domain, "xen", "a", "xen-a").unwrap();
+        store
+            .put(ObjectKind::Network, "qemu", "a", "net-a")
+            .unwrap();
+        assert_eq!(store.load_all(ObjectKind::Domain, "qemu").len(), 1);
+        assert_eq!(
+            store.get(ObjectKind::Domain, "xen", "a").unwrap().unwrap(),
+            "xen-a"
+        );
+        assert_eq!(
+            store
+                .get(ObjectKind::Network, "qemu", "a")
+                .unwrap()
+                .unwrap(),
+            "net-a"
+        );
+        assert_eq!(store.get(ObjectKind::Pool, "qemu", "a").unwrap(), None);
+    }
+
+    #[test]
+    fn remove_is_idempotent() {
+        let store = temp_store("rm");
+        store.put(ObjectKind::Domain, "qemu", "web", "x").unwrap();
+        store.remove(ObjectKind::Domain, "qemu", "web").unwrap();
+        store.remove(ObjectKind::Domain, "qemu", "web").unwrap();
+        assert_eq!(store.get(ObjectKind::Domain, "qemu", "web").unwrap(), None);
+    }
+
+    #[test]
+    fn injected_write_failure_preserves_previous_version() {
+        let store = temp_store("fail");
+        store.put(ObjectKind::Domain, "qemu", "web", "v1").unwrap();
+        store.inject_fault(StoreFault::FailWrite, 1);
+        let err = store
+            .put(ObjectKind::Domain, "qemu", "web", "v2")
+            .unwrap_err();
+        assert_eq!(err.code(), ErrorCode::OperationFailed);
+        assert_eq!(store.write_error_total(), 1);
+        // The previous committed version is fully intact.
+        assert_eq!(
+            store.get(ObjectKind::Domain, "qemu", "web").unwrap(),
+            Some("v1".to_string())
+        );
+        // The fault is one-shot: the next write succeeds.
+        store.put(ObjectKind::Domain, "qemu", "web", "v3").unwrap();
+        assert_eq!(
+            store.get(ObjectKind::Domain, "qemu", "web").unwrap(),
+            Some("v3".to_string())
+        );
+    }
+
+    #[test]
+    fn injected_torn_write_is_quarantined_on_read() {
+        let store = temp_store("torn");
+        store.put(ObjectKind::Domain, "qemu", "web", "v1").unwrap();
+        store.inject_fault(StoreFault::TornWrite, 1);
+        store
+            .put(ObjectKind::Domain, "qemu", "web", "v2-longer-payload")
+            .unwrap_err();
+        // The torn file is on disk; a validated read refuses to serve it
+        // and moves it aside instead of crashing.
+        assert_eq!(store.get(ObjectKind::Domain, "qemu", "web").unwrap(), None);
+        assert_eq!(store.quarantined_total(), 1);
+        assert!(store.load_all(ObjectKind::Domain, "qemu").is_empty());
+        // The quarantined copy is preserved for inspection.
+        let quarantine = store.root().join("quarantine");
+        assert_eq!(fs::read_dir(quarantine).unwrap().count(), 1);
+    }
+
+    #[test]
+    fn nth_write_fault_is_deterministic() {
+        let store = temp_store("nth");
+        store.inject_fault(StoreFault::FailWrite, 3);
+        store.put(ObjectKind::Domain, "qemu", "a", "1").unwrap();
+        store.put(ObjectKind::Domain, "qemu", "b", "2").unwrap();
+        store.put(ObjectKind::Domain, "qemu", "c", "3").unwrap_err();
+        store.put(ObjectKind::Domain, "qemu", "d", "4").unwrap();
+        assert_eq!(store.load_all(ObjectKind::Domain, "qemu").len(), 3);
+    }
+
+    #[test]
+    fn hand_truncated_file_quarantines_not_panics() {
+        let store = temp_store("trunc");
+        store
+            .put(
+                ObjectKind::Domain,
+                "qemu",
+                "web",
+                "a payload long enough to truncate",
+            )
+            .unwrap();
+        let path = store.root().join("etc/domains/qemu/web.xml");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert_eq!(store.get(ObjectKind::Domain, "qemu", "web").unwrap(), None);
+        assert_eq!(store.quarantined_total(), 1);
+    }
+
+    #[test]
+    fn garbage_file_without_header_quarantines() {
+        let store = temp_store("garbage");
+        let dir = store.root().join("etc/domains/qemu");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("evil.xml"), b"<domain>no header</domain>").unwrap();
+        assert!(store.load_all(ObjectKind::Domain, "qemu").is_empty());
+        assert_eq!(store.quarantined_total(), 1);
+    }
+
+    #[test]
+    fn domain_status_roundtrip() {
+        let status = DomainStatus {
+            name: "web".to_string(),
+            uuid: Uuid::generate(),
+            state: DomainState::Running,
+            autostart: true,
+            has_managed_save: false,
+        };
+        let xml = status.to_xml_string();
+        assert_eq!(DomainStatus::from_xml_str(&xml).unwrap(), status);
+        assert!(DomainStatus::from_xml_str("<domstatus/>").is_err());
+        assert!(DomainStatus::from_xml_str("<wat/>").is_err());
+        assert!(DomainStatus::from_xml_str(
+            "<domstatus state='sideways' autostart='1' managed_save='0'>\
+             <name>x</name><uuid>6ba7b810-9dad-41d1-80b4-00c04fd430c8</uuid></domstatus>"
+        )
+        .is_err());
+    }
+}

@@ -23,6 +23,11 @@ pub struct VirtdConfig {
     /// When set, clients must AUTH with one of these `(user, password)`
     /// pairs before OPEN succeeds. `None` disables authentication.
     pub credentials: Option<Vec<(String, String)>>,
+    /// When set, persistent object definitions and live-status records
+    /// are kept crash-safe under this directory (the `/etc/libvirt` +
+    /// `/run/libvirt` split), and startup runs a recovery pass against
+    /// it. `None` keeps all state in memory.
+    pub statedir: Option<std::path::PathBuf>,
 }
 
 impl VirtdConfig {
@@ -38,7 +43,14 @@ impl VirtdConfig {
             },
             log: LogSettings::new(),
             credentials: None,
+            statedir: None,
         }
+    }
+
+    /// Persists state under `dir` and recovers from it at startup.
+    pub fn statedir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.statedir = Some(dir.into());
+        self
     }
 
     /// Requires authentication with the given credential set.

@@ -6,10 +6,11 @@ use std::sync::Arc;
 use hypersim::personality::{LxcLike, QemuLike, XenLike};
 use hypersim::{LatencyModel, SimClock, SimHost};
 
-use virt_core::drivers::embedded::EmbeddedConnection;
+use virt_core::drivers::embedded::{EmbeddedConnection, StoreBinding};
 use virt_core::error::{ErrorCode, VirtError, VirtResult};
 use virt_core::log::Logger;
 use virt_core::metrics::Registry;
+use virt_core::statestore::StateStore;
 use virt_core::testbed;
 use virt_rpc::transport::{memory_listener, Listener, MemoryConnector};
 
@@ -143,14 +144,28 @@ impl VirtdBuilder {
             .redefine(self.config.log.clone())
             .expect("startup log settings are validated defaults");
 
+        // Crash-safe persistence: with a statedir every driver mirrors
+        // its definitions and live status to disk, and boot runs a
+        // recovery pass over whatever the previous daemon left behind.
+        let store = match &self.config.statedir {
+            Some(dir) => Some(StateStore::open(dir.clone())?),
+            None => None,
+        };
+
         let drivers: HashMap<String, Arc<EmbeddedConnection>> = self
             .hosts
             .iter()
             .map(|(scheme, host)| {
-                (
-                    scheme.clone(),
-                    EmbeddedConnection::new(host.clone(), format!("{scheme}:///system")),
-                )
+                let uri = format!("{scheme}:///system");
+                let conn = match &store {
+                    Some(store) => EmbeddedConnection::with_store(
+                        host.clone(),
+                        uri,
+                        StoreBinding::new(Arc::clone(store), scheme),
+                    ),
+                    None => EmbeddedConnection::new(host.clone(), uri),
+                };
+                (scheme.clone(), conn)
             })
             .collect();
 
@@ -178,6 +193,57 @@ impl VirtdBuilder {
                     &format!("recovered orphaned job on domain '{domain}': marked failed"),
                 );
             }
+        }
+
+        // State recovery: reload persistent definitions, reconcile the
+        // live-status records (recorded-running domains crashed with the
+        // previous daemon), honor autostart, quarantine anything corrupt.
+        if store.is_some() {
+            let started = std::time::Instant::now();
+            let recovered = registry.counter(
+                "recovery.recovered",
+                "Persistent objects (domains, networks, pools) reloaded at startup",
+            );
+            let crashed = registry.counter(
+                "recovery.crashed",
+                "Recovered domains marked shut-off/crashed because their guest died with the previous daemon",
+            );
+            let autostarted = registry.counter(
+                "recovery.autostarted",
+                "Autostart domains started during recovery",
+            );
+            let quarantined = registry.counter(
+                "recovery.quarantined",
+                "Corrupt state files moved to quarantine during recovery",
+            );
+            let mut schemes: Vec<&String> = drivers.keys().collect();
+            schemes.sort();
+            for scheme in schemes {
+                let conn = &drivers[scheme.as_str()];
+                let report = conn.recover_from_store()?;
+                recovered.add(report.recovered());
+                crashed.add(report.crashed);
+                autostarted.add(report.autostarted);
+                quarantined.add(report.quarantined);
+                if report.recovered() + report.quarantined > 0 {
+                    logger.info(
+                        "daemon",
+                        &format!(
+                            "recovery[{scheme}]: {} domains ({} crashed, {} autostarted), \
+                             {} networks, {} pools, {} quarantined",
+                            report.domains,
+                            report.crashed,
+                            report.autostarted,
+                            report.networks,
+                            report.pools,
+                            report.quarantined
+                        ),
+                    );
+                }
+            }
+            registry
+                .counter("recovery.duration_us", "Wall-clock startup recovery time")
+                .add(started.elapsed().as_micros() as u64);
         }
         let main_server = Server::new(
             "virtd",
@@ -377,6 +443,71 @@ mod tests {
         let err = Connect::open(&format!("vbox+memory://{endpoint}/system")).unwrap_err();
         assert_eq!(err.code(), ErrorCode::NoConnect);
         daemon.shutdown();
+    }
+
+    #[test]
+    fn statedir_daemon_recovers_after_rebuild() {
+        let dir = std::env::temp_dir().join(unique("virtd-statedir"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = VirtdConfig::new().statedir(&dir);
+
+        {
+            let daemon = Virtd::builder("d")
+                .config(config.clone())
+                .with_quiet_hosts()
+                .build()
+                .unwrap();
+            let endpoint = unique("virtd-persist");
+            daemon.register_memory_endpoint(&endpoint).unwrap();
+            let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+            let web = conn
+                .define_domain(&DomainConfig::new("web", 256, 1))
+                .unwrap();
+            web.set_autostart(true).unwrap();
+            let db = conn
+                .define_domain(&DomainConfig::new("db", 256, 1))
+                .unwrap();
+            db.start().unwrap();
+            conn.close();
+            daemon.shutdown();
+            // No undefine, no destroy: state must survive on disk alone.
+        }
+
+        // Fresh daemon, fresh (empty) hosts, same statedir.
+        let daemon = Virtd::builder("d2")
+            .config(config)
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
+        let endpoint = unique("virtd-persist2");
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+
+        let web = conn.domain_lookup_by_name("web").unwrap();
+        assert!(web.autostart().unwrap());
+        assert!(web.is_active().unwrap(), "autostart domain must be running");
+
+        // `db` was running when the first daemon went away; its guest
+        // died with it, so it reports shut off with reason crashed.
+        let db = conn.domain_lookup_by_name("db").unwrap();
+        assert!(!db.is_active().unwrap());
+
+        let snapshot = daemon.metrics().snapshot("recovery.");
+        let counter = |name: &str| match snapshot.iter().find(|m| m.name == name) {
+            Some(m) => match &m.value {
+                virt_core::metrics::MetricValue::Counter(v) => *v,
+                other => panic!("{name} is not a counter: {other:?}"),
+            },
+            None => panic!("{name} not registered"),
+        };
+        assert_eq!(counter("recovery.recovered"), 2);
+        assert_eq!(counter("recovery.crashed"), 1);
+        assert_eq!(counter("recovery.autostarted"), 1);
+        assert_eq!(counter("recovery.quarantined"), 0);
+
+        conn.close();
+        daemon.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -355,6 +355,10 @@ impl RemoteDispatcher {
                 c.set_autostart(&args.name, args.value)?;
                 ().to_xdr()
             }
+            proc::DOMAIN_GET_AUTOSTART => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.get_autostart(&args.name)?.to_xdr()
+            }
             proc::DOMAIN_DUMP_XML => {
                 let args: protocol::NameArgs = decode(payload)?;
                 c.dump_domain_xml(&args.name)?.to_xdr()

@@ -6,11 +6,13 @@
 //!
 //! ```text
 //! virtd [--name NAME] [--unix PATH] [--tcp ADDR] [--admin-unix PATH]
-//!       [--max-clients N] [--quiet-hosts]
+//!       [--max-clients N] [--quiet-hosts] [--statedir DIR]
 //! ```
 //!
 //! Defaults: name `virtd`, remote socket `/tmp/virtd.sock`, admin socket
-//! `/tmp/virtd-admin.sock`, realistic host latency models.
+//! `/tmp/virtd-admin.sock`, realistic host latency models, no state
+//! directory (all state in memory). With `--statedir`, definitions are
+//! persisted crash-safe under `DIR` and recovered at the next start.
 
 use virt_rpc::transport::{TcpSocketListener, UnixSocketListener};
 use virtd::{Virtd, VirtdConfig};
@@ -22,6 +24,7 @@ struct Options {
     admin_unix: String,
     max_clients: u32,
     quiet_hosts: bool,
+    statedir: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -32,6 +35,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         admin_unix: "/tmp/virtd-admin.sock".to_string(),
         max_clients: 120,
         quiet_hosts: false,
+        statedir: None,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -65,10 +69,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
             }
             "--quiet-hosts" => options.quiet_hosts = true,
+            "--statedir" => {
+                options.statedir = Some(value(args, i, "--statedir")?);
+                i += 1;
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: virtd [--name NAME] [--unix PATH|--no-unix] [--tcp ADDR] \
-                            [--admin-unix PATH] [--max-clients N] [--quiet-hosts]"
+                            [--admin-unix PATH] [--max-clients N] [--quiet-hosts] \
+                            [--statedir DIR]"
                         .to_string(),
                 )
             }
@@ -89,8 +98,11 @@ fn main() {
         }
     };
 
-    let mut builder =
-        Virtd::builder(&options.name).config(VirtdConfig::new().max_clients(options.max_clients));
+    let mut config = VirtdConfig::new().max_clients(options.max_clients);
+    if let Some(dir) = &options.statedir {
+        config = config.statedir(dir);
+    }
+    let mut builder = Virtd::builder(&options.name).config(config);
     builder = if options.quiet_hosts {
         builder.with_quiet_hosts()
     } else {

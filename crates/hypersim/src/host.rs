@@ -377,6 +377,33 @@ impl SimHost {
         Ok(())
     }
 
+    /// Strips the persistent flag from an *active* domain: the
+    /// undefine-while-running path, where the configuration is removed
+    /// but the guest keeps executing as a transient domain until it
+    /// stops (libvirt's `virDomainUndefine` on a running domain).
+    ///
+    /// # Errors
+    ///
+    /// [`SimErrorKind::NoSuchDomain`], or [`SimErrorKind::InvalidState`]
+    /// when the domain is not active (inactive domains are undefined by
+    /// removal, not demotion).
+    pub fn demote_domain_to_transient(&self, name: &str) -> SimResult<()> {
+        self.charge(OpKind::Undefine, MiB::ZERO)?;
+        let mut state = self.shared.state.lock();
+        let domain = state
+            .domains
+            .get_mut(name)
+            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        if !domain.state.is_active() {
+            return Err(SimError::new(
+                SimErrorKind::InvalidState,
+                format!("domain '{name}' is not active"),
+            ));
+        }
+        domain.spec = domain.spec.clone().transient();
+        Ok(())
+    }
+
     /// Starts a defined domain.
     ///
     /// # Errors
@@ -1177,6 +1204,64 @@ impl SimHost {
         Ok(info)
     }
 
+    /// Re-registers a domain from persisted management state — the
+    /// daemon's boot-time recovery path. Unlike [`SimHost::define_domain`]
+    /// this preserves the recorded identity (`uuid`), autostart marker,
+    /// managed-save flag, and lifecycle `state`; active states reserve
+    /// host resources and get a fresh hypervisor id, exactly as a
+    /// re-adopted guest would.
+    ///
+    /// # Errors
+    ///
+    /// [`SimErrorKind::InvalidArgument`] on an invalid spec,
+    /// [`SimErrorKind::DuplicateDomain`] on a name or UUID collision,
+    /// [`SimErrorKind::HostDown`], and
+    /// [`SimErrorKind::InsufficientResources`] when an active adoption
+    /// does not fit.
+    pub fn adopt_domain(
+        &self,
+        spec: DomainSpec,
+        uuid: [u8; 16],
+        autostart: bool,
+        state: DomainState,
+        has_managed_save: bool,
+    ) -> SimResult<DomainInfo> {
+        spec.validate()?;
+        let mut shared = self.shared.state.lock();
+        if !shared.up {
+            return Err(SimError::new(
+                SimErrorKind::HostDown,
+                self.shared.name.clone(),
+            ));
+        }
+        if shared.domains.contains_key(spec.name()) {
+            return Err(SimError::new(
+                SimErrorKind::DuplicateDomain,
+                spec.name().to_string(),
+            ));
+        }
+        if shared.domains.values().any(|d| d.uuid == uuid) {
+            return Err(SimError::new(
+                SimErrorKind::DuplicateDomain,
+                format!("uuid of '{}' already present", spec.name()),
+            ));
+        }
+        let mut domain = SimDomain::new(spec, uuid);
+        if state.is_active() {
+            shared
+                .ledger
+                .reserve(domain.spec.memory(), domain.spec.vcpu_count())?;
+            domain.id = Some(shared.next_domain_id);
+            shared.next_domain_id += 1;
+        }
+        domain.set_state(state, self.shared.clock.now());
+        domain.autostart = autostart;
+        domain.has_managed_save = has_managed_save;
+        let info = domain.info_at(self.shared.clock.now());
+        shared.domains.insert(info.name.clone(), domain);
+        Ok(info)
+    }
+
     /// Removes a domain that has been migrated away (Confirm phase).
     pub fn forget_migrated_domain(&self, name: &str) -> SimResult<()> {
         let mut state = self.shared.state.lock();
@@ -1568,6 +1653,70 @@ mod tests {
             .import_running_domain(DomainSpec::new("big").memory_mib(4096), None)
             .unwrap_err();
         assert_eq!(err.kind(), SimErrorKind::InsufficientResources);
+    }
+
+    #[test]
+    fn demote_running_domain_to_transient() {
+        let host = quiet_host();
+        host.define_domain(DomainSpec::new("vm")).unwrap();
+        // Inactive domains are undefined by removal, never demoted.
+        let err = host.demote_domain_to_transient("vm").unwrap_err();
+        assert_eq!(err.kind(), SimErrorKind::InvalidState);
+        host.start_domain("vm").unwrap();
+        host.demote_domain_to_transient("vm").unwrap();
+        let info = host.domain("vm").unwrap();
+        assert!(!info.persistent);
+        assert_eq!(info.state, DomainState::Running);
+        // A transient domain vanishes when it stops.
+        host.destroy_domain("vm").unwrap();
+        assert!(host.domain("vm").is_err());
+    }
+
+    #[test]
+    fn adopt_preserves_identity_state_and_flags() {
+        let host = quiet_host();
+        let uuid = [7u8; 16];
+        let info = host
+            .adopt_domain(
+                DomainSpec::new("back").memory_mib(1024),
+                uuid,
+                true,
+                DomainState::Running,
+                false,
+            )
+            .unwrap();
+        assert_eq!(info.uuid, uuid);
+        assert!(info.autostart);
+        assert_eq!(info.state, DomainState::Running);
+        assert!(info.id.is_some(), "active adoption gets a hypervisor id");
+        assert_eq!(host.info().free_memory, MiB(16 * 1024 - 1024));
+
+        let crashed = host
+            .adopt_domain(
+                DomainSpec::new("gone").memory_mib(1024),
+                [8u8; 16],
+                false,
+                DomainState::Crashed,
+                false,
+            )
+            .unwrap();
+        assert_eq!(crashed.state, DomainState::Crashed);
+        assert!(crashed.id.is_none(), "inactive adoption stays id-less");
+        // Crashed guests hold no resources; only `back` is charged.
+        assert_eq!(host.info().free_memory, MiB(16 * 1024 - 1024));
+        // A crashed domain can be started again.
+        host.start_domain("gone").unwrap();
+
+        let err = host
+            .adopt_domain(
+                DomainSpec::new("other"),
+                uuid,
+                false,
+                DomainState::Shutoff,
+                false,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), SimErrorKind::DuplicateDomain);
     }
 
     #[test]

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Full local CI: build, test, chaos tests, formatting, lints.
+# Full local CI: build, test, lints, then the chaos suites.
 #
 # Everything runs --offline — all dependencies are path/vendored, so CI
 # must never touch the network. Run from anywhere inside the repo.
@@ -14,12 +14,6 @@ cargo build --release --offline
 
 echo "== test =="
 cargo test -q --offline
-
-echo "== chaos (connection resilience) =="
-cargo test -q --offline --test resilience
-
-echo "== chaos (domain jobs) =="
-cargo test -q --offline --test jobs
 
 echo "== fmt =="
 cargo fmt --check
@@ -37,5 +31,19 @@ if grep -rn 'allow(dead_code)' crates/rpc crates/core crates/daemon crates/cli; 
     echo "error: new #[allow(dead_code)] in a product crate — delete the dead code instead" >&2
     exit 1
 fi
+
+# Chaos suites last: they SIGKILL real daemon processes and churn
+# temp state directories, so everything cheap fails first.
+echo "== chaos (connection resilience) =="
+cargo test -q --offline --test resilience
+
+echo "== chaos (domain jobs) =="
+cargo test -q --offline --test jobs
+
+echo "== chaos (crash recovery: kill -9 a statedir daemon, respawn, torn files) =="
+cargo test -q --offline --test resilience -- statedir torn_state_file
+
+echo "== fault injection (state store: failed + torn writes) =="
+cargo test -q --offline -p virt-core --lib statestore
 
 echo "CI OK"

@@ -335,6 +335,10 @@ fn binary(name: &str) -> std::path::PathBuf {
 }
 
 fn spawn_virtd(socket: &str, admin_socket: &str) -> Child {
+    spawn_virtd_with(socket, admin_socket, &[])
+}
+
+fn spawn_virtd_with(socket: &str, admin_socket: &str, extra: &[&str]) -> Child {
     let child = Command::new(binary("virtd"))
         .args([
             "--name",
@@ -345,6 +349,7 @@ fn spawn_virtd(socket: &str, admin_socket: &str) -> Child {
             admin_socket,
             "--quiet-hosts",
         ])
+        .args(extra)
         .stdout(Stdio::null())
         .stderr(Stdio::null())
         .spawn()
@@ -387,4 +392,150 @@ fn killed_daemon_process_recovers_after_respawn() {
     let _ = child2.wait();
     let _ = std::fs::remove_file(&socket);
     let _ = std::fs::remove_file(&admin_socket);
+}
+
+// ---------------------------------------------------------------------
+// Persistence layer: SIGKILL with a statedir — definitions, autostart
+// and crash status must all survive the respawn.
+// ---------------------------------------------------------------------
+
+fn recovery_metric(admin_socket: &str, name: &str) -> u64 {
+    let admin = AdminClient::new(
+        virt_rpc::transport::UnixTransport::connect(admin_socket).expect("admin socket dials"),
+    );
+    let metrics = admin.metrics("recovery.").unwrap();
+    let value = metrics
+        .iter()
+        .find(|m| m.name == name)
+        .unwrap_or_else(|| panic!("{name} missing: {metrics:?}"))
+        .value;
+    admin.close();
+    value
+}
+
+#[test]
+fn statedir_sigkill_respawn_recovers_definitions_autostart_and_crash_status() {
+    let id = unique("chaos-state");
+    let socket = format!("/tmp/virtd-{id}.sock");
+    let admin_socket = format!("/tmp/virtd-{id}-admin.sock");
+    let statedir = std::env::temp_dir().join(format!("virtd-state-{id}"));
+    let statedir_arg = statedir.to_string_lossy().to_string();
+
+    let mut child = spawn_virtd_with(&socket, &admin_socket, &["--statedir", &statedir_arg]);
+    let conn = Connect::builder(format!("qemu+unix:///system?socket={socket}"))
+        .retry(patient_retry())
+        .open()
+        .unwrap();
+
+    // 20 persistent domains, autostart on the even half, the first six
+    // running when the axe falls.
+    for i in 0..20 {
+        let domain = conn
+            .define_domain(&DomainConfig::new(format!("dom{i:02}"), 64, 1))
+            .unwrap();
+        if i % 2 == 0 {
+            domain.set_autostart(true).unwrap();
+        }
+        if i < 6 {
+            domain.start().unwrap();
+        }
+    }
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&admin_socket);
+    wait_until(|| !conn.is_alive(), "client to notice the kill");
+
+    let mut child2 = spawn_virtd_with(&socket, &admin_socket, &["--statedir", &statedir_arg]);
+
+    // 100% of persistent definitions are back, flags intact.
+    for i in 0..20 {
+        let name = format!("dom{i:02}");
+        let info = conn.domain_lookup_by_name(&name).unwrap().info().unwrap();
+        assert!(info.persistent, "{name} must be persistent after recovery");
+        assert_eq!(info.autostart, i % 2 == 0, "{name} autostart flag");
+        if i % 2 == 0 {
+            assert!(
+                info.state.is_active(),
+                "autostart domain {name} must be running, is {}",
+                info.state
+            );
+        } else if i < 6 {
+            // Previously running, not autostart: its guest died with the
+            // daemon, so it reports shut off (reason: crashed).
+            assert!(
+                !info.state.is_active(),
+                "{name} must be shut off after the crash, is {}",
+                info.state
+            );
+        } else {
+            assert_eq!(info.state, virt_core::DomainState::Shutoff, "{name}");
+        }
+    }
+
+    assert_eq!(recovery_metric(&admin_socket, "recovery.recovered"), 20);
+    assert_eq!(recovery_metric(&admin_socket, "recovery.crashed"), 6);
+    assert_eq!(recovery_metric(&admin_socket, "recovery.autostarted"), 10);
+    assert_eq!(recovery_metric(&admin_socket, "recovery.quarantined"), 0);
+
+    conn.close();
+    let _ = child2.kill();
+    let _ = child2.wait();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&admin_socket);
+    let _ = std::fs::remove_dir_all(&statedir);
+}
+
+#[test]
+fn torn_state_file_is_quarantined_not_fatal() {
+    let id = unique("chaos-torn");
+    let socket = format!("/tmp/virtd-{id}.sock");
+    let admin_socket = format!("/tmp/virtd-{id}-admin.sock");
+    let statedir = std::env::temp_dir().join(format!("virtd-state-{id}"));
+    let statedir_arg = statedir.to_string_lossy().to_string();
+
+    let mut child = spawn_virtd_with(&socket, &admin_socket, &["--statedir", &statedir_arg]);
+    let conn = Connect::builder(format!("qemu+unix:///system?socket={socket}"))
+        .retry(patient_retry())
+        .open()
+        .unwrap();
+    for name in ["alpha", "beta", "gamma"] {
+        conn.define_domain(&DomainConfig::new(name, 64, 1)).unwrap();
+    }
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&admin_socket);
+    wait_until(|| !conn.is_alive(), "client to notice the kill");
+
+    // Truncate one committed definition mid-byte: the torn file a real
+    // crash could leave behind without the temp-file + rename protocol.
+    let victim = statedir.join("etc/domains/qemu/beta.xml");
+    let bytes = std::fs::read(&victim).expect("definition file exists");
+    std::fs::write(&victim, &bytes[..bytes.len() / 2]).unwrap();
+
+    // The daemon must boot anyway…
+    let mut child2 = spawn_virtd_with(&socket, &admin_socket, &["--statedir", &statedir_arg]);
+
+    // …serving the intact domains and quarantining the torn one.
+    assert!(conn.domain_lookup_by_name("alpha").is_ok());
+    assert!(conn.domain_lookup_by_name("gamma").is_ok());
+    assert!(conn.domain_lookup_by_name("beta").is_err());
+    assert_eq!(recovery_metric(&admin_socket, "recovery.recovered"), 2);
+    assert!(recovery_metric(&admin_socket, "recovery.quarantined") >= 1);
+    assert!(
+        std::fs::read_dir(statedir.join("quarantine"))
+            .map(|entries| entries.count() >= 1)
+            .unwrap_or(false),
+        "torn file preserved under quarantine/"
+    );
+
+    conn.close();
+    let _ = child2.kill();
+    let _ = child2.wait();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&admin_socket);
+    let _ = std::fs::remove_dir_all(&statedir);
 }

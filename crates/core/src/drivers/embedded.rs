@@ -270,9 +270,10 @@ impl EmbeddedConnection {
         let Some(binding) = &self.store else {
             return Ok(());
         };
-        match self.host.domain(name) {
-            Ok(info) if info.persistent => {
-                let spec = self.host.export_domain_spec(name)?;
+        // One lock acquisition for a consistent (info, spec) pair: the
+        // domain must not change state between the two reads.
+        match self.host.domain_snapshot(name) {
+            Ok((info, spec)) if info.persistent => {
                 let config =
                     DomainConfig::from_spec(&spec, self.domain_type(), Uuid::from_bytes(info.uuid));
                 binding.store.put(
@@ -792,8 +793,7 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn dump_domain_xml(&self, name: &str) -> VirtResult<String> {
         self.ensure_alive()?;
-        let info = self.host.domain(name)?;
-        let spec = self.host.export_domain_spec(name)?;
+        let (info, spec) = self.host.domain_snapshot(name)?;
         let config =
             DomainConfig::from_spec(&spec, self.domain_type(), Uuid::from_bytes(info.uuid));
         Ok(config.to_xml_string())
@@ -850,8 +850,8 @@ impl HypervisorConnection for EmbeddedConnection {
     ) -> VirtResult<MigrationReport> {
         let _timer = self.ops.migrate.start_timer();
         self.ensure_alive()?;
-        let record = self.record(name)?;
-        let spec = self.host.export_domain_spec(name)?;
+        let (info, spec) = self.host.domain_snapshot(name)?;
+        let record = DomainRecord::from(info);
         let params =
             MigrationParams::new(spec.memory(), spec.dirty_rate(), options.bandwidth_mib_s)
                 .downtime_limit(std::time::Duration::from_millis(options.max_downtime_ms))

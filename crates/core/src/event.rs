@@ -122,6 +122,31 @@ pub type EventCallback = Arc<dyn Fn(&DomainEvent) + Send + Sync + 'static>;
 /// A registration handle returned by [`EventBus::register`].
 pub type CallbackId = u32;
 
+/// Which event kinds a registration wants delivered (see
+/// [`EventBus::register_filtered`]). Non-matching events are skipped
+/// during dispatch before the callback is ever touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EventFilter {
+    /// Every event.
+    #[default]
+    All,
+    /// Only job-lifecycle events (started/completed/failed/aborted).
+    JobsOnly,
+    /// Only domain-lifecycle events (everything that is not a job event).
+    LifecycleOnly,
+}
+
+impl EventFilter {
+    /// Whether an event of `kind` passes this filter.
+    pub fn matches(self, kind: DomainEventKind) -> bool {
+        match self {
+            EventFilter::All => true,
+            EventFilter::JobsOnly => kind.is_job_event(),
+            EventFilter::LifecycleOnly => !kind.is_job_event(),
+        }
+    }
+}
+
 /// Dispatches domain events to registered callbacks.
 ///
 /// # Examples
@@ -148,7 +173,24 @@ pub struct EventBus {
 #[derive(Default)]
 struct BusInner {
     next_id: CallbackId,
-    callbacks: HashMap<CallbackId, EventCallback>,
+    callbacks: HashMap<CallbackId, (EventFilter, EventCallback)>,
+    /// Immutable dispatch snapshot, rebuilt on (un)register. `emit`
+    /// clones only this one `Arc` under the lock, instead of cloning
+    /// every callback `Arc` per event.
+    snapshot: Arc<Vec<(CallbackId, EventFilter, EventCallback)>>,
+}
+
+impl BusInner {
+    fn rebuild_snapshot(&mut self) {
+        let mut subs: Vec<(CallbackId, EventFilter, EventCallback)> = self
+            .callbacks
+            .iter()
+            .map(|(id, (filter, callback))| (*id, *filter, Arc::clone(callback)))
+            .collect();
+        // Registration order, so delivery is deterministic.
+        subs.sort_by_key(|(id, _, _)| *id);
+        self.snapshot = Arc::new(subs);
+    }
 }
 
 impl std::fmt::Debug for EventBus {
@@ -165,18 +207,31 @@ impl EventBus {
         EventBus::default()
     }
 
-    /// Registers a callback, returning its id.
+    /// Registers a callback for every event, returning its id.
     pub fn register(&self, callback: EventCallback) -> CallbackId {
+        self.register_filtered(EventFilter::All, callback)
+    }
+
+    /// Registers a callback that only receives events matching `filter`.
+    /// Non-matching events are skipped during dispatch without invoking
+    /// (or even cloning) the callback.
+    pub fn register_filtered(&self, filter: EventFilter, callback: EventCallback) -> CallbackId {
         let mut inner = self.inner.lock();
         let id = inner.next_id;
         inner.next_id += 1;
-        inner.callbacks.insert(id, callback);
+        inner.callbacks.insert(id, (filter, callback));
+        inner.rebuild_snapshot();
         id
     }
 
     /// Removes a callback; returns whether it existed.
     pub fn unregister(&self, id: CallbackId) -> bool {
-        self.inner.lock().callbacks.remove(&id).is_some()
+        let mut inner = self.inner.lock();
+        let existed = inner.callbacks.remove(&id).is_some();
+        if existed {
+            inner.rebuild_snapshot();
+        }
+        existed
     }
 
     /// Number of registered callbacks.
@@ -189,14 +244,18 @@ impl EventBus {
         self.len() == 0
     }
 
-    /// Delivers an event to every callback.
+    /// Delivers an event to every callback whose filter matches.
     ///
-    /// Callbacks run on the emitting thread, outside the bus lock, so a
-    /// callback may register/unregister without deadlocking.
+    /// Takes the bus lock only long enough to clone the current snapshot
+    /// `Arc`; callbacks run on the emitting thread, outside the lock, so
+    /// a callback may register/unregister without deadlocking and an
+    /// emit on one thread never serializes against emits on others.
     pub fn emit(&self, event: &DomainEvent) {
-        let callbacks: Vec<EventCallback> = self.inner.lock().callbacks.values().cloned().collect();
-        for callback in callbacks {
-            callback(event);
+        let snapshot = Arc::clone(&self.inner.lock().snapshot);
+        for (_, filter, callback) in snapshot.iter() {
+            if filter.matches(event.kind) {
+                callback(event);
+            }
         }
     }
 }
@@ -284,6 +343,65 @@ mod tests {
         }));
         bus.emit(&event(DomainEventKind::Started));
         assert_eq!(bus.len(), 2);
+    }
+
+    #[test]
+    fn filters_gate_delivery_by_kind() {
+        let bus = EventBus::new();
+        let jobs = Arc::new(AtomicU32::new(0));
+        let lifecycle = Arc::new(AtomicU32::new(0));
+        let j = jobs.clone();
+        bus.register_filtered(
+            EventFilter::JobsOnly,
+            Arc::new(move |_| {
+                j.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        let l = lifecycle.clone();
+        bus.register_filtered(
+            EventFilter::LifecycleOnly,
+            Arc::new(move |_| {
+                l.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        bus.emit(&event(DomainEventKind::Started));
+        bus.emit(&event(DomainEventKind::JobStarted));
+        bus.emit(&event(DomainEventKind::JobCompleted));
+        assert_eq!(jobs.load(Ordering::SeqCst), 2);
+        assert_eq!(lifecycle.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn delivery_follows_registration_order() {
+        let bus = EventBus::new();
+        let log = Arc::new(Mutex::new(Vec::new()));
+        for tag in 0..4u32 {
+            let log = log.clone();
+            bus.register(Arc::new(move |_| log.lock().push(tag)));
+        }
+        bus.emit(&event(DomainEventKind::Started));
+        assert_eq!(*log.lock(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn mid_emit_registration_lands_in_the_next_batch() {
+        // The snapshot taken at emit time is the broadcast batch: a
+        // callback registered while an emit is in flight must not see
+        // that same event.
+        let bus = EventBus::new();
+        let late_hits = Arc::new(AtomicU32::new(0));
+        let bus2 = bus.clone();
+        let late = late_hits.clone();
+        bus.register(Arc::new(move |_| {
+            let late = late.clone();
+            bus2.register(Arc::new(move |_| {
+                late.fetch_add(1, Ordering::SeqCst);
+            }));
+        }));
+        bus.emit(&event(DomainEventKind::Started));
+        assert_eq!(late_hits.load(Ordering::SeqCst), 0);
+        bus.emit(&event(DomainEventKind::Stopped));
+        assert_eq!(late_hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

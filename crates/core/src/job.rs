@@ -15,11 +15,11 @@
 //! the same reason libvirt has priority workers at all.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use virt_metrics::{Counter, Gauge, Histogram, Registry};
 
@@ -258,14 +258,19 @@ struct JobEntry {
 /// Completed/failed/aborted entries are retained so the most recent
 /// job's outcome stays queryable (as libvirt's completed-job stats do).
 pub struct JobManager {
-    entries: Mutex<HashMap<String, JobEntry>>,
-    next_epoch: Mutex<u64>,
+    /// Read-mostly index of per-domain job slots, mirroring the host's
+    /// sharded domain table: progress updates and stats polls take the
+    /// read lock plus the one domain's mutex, so a migration publishing
+    /// a progress slice never blocks a stats query on another domain.
+    /// Only `begin` (slot insert/replace) takes the write lock.
+    entries: RwLock<HashMap<String, Arc<Mutex<JobEntry>>>>,
+    next_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for JobManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobManager")
-            .field("domains", &self.entries.lock().len())
+            .field("domains", &self.entries.read().len())
             .finish()
     }
 }
@@ -280,8 +285,8 @@ impl JobManager {
     /// An empty manager.
     pub fn new() -> Self {
         JobManager {
-            entries: Mutex::new(HashMap::new()),
-            next_epoch: Mutex::new(0),
+            entries: RwLock::new(HashMap::new()),
+            next_epoch: AtomicU64::new(0),
         }
     }
 
@@ -310,8 +315,11 @@ impl JobManager {
     /// [`ErrorCode::OperationInvalid`] when the domain already has a
     /// running job — libvirt's "another job is active" busy error.
     pub fn begin(self: &Arc<Self>, domain: &str, kind: JobKind) -> VirtResult<JobTicket> {
-        let mut entries = self.entries.lock();
+        // Write lock: the busy-check and the slot replacement must be one
+        // atomic step or two racing begins could both pass the check.
+        let mut entries = self.entries.write();
         if let Some(entry) = entries.get(domain) {
+            let entry = entry.lock();
             if entry.stats.state.is_active() {
                 return Err(VirtError::new(
                     ErrorCode::OperationInvalid,
@@ -322,15 +330,11 @@ impl JobManager {
                 ));
             }
         }
-        let epoch = {
-            let mut next = self.next_epoch.lock();
-            *next += 1;
-            *next
-        };
+        let epoch = self.next_epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let abort = Arc::new(AtomicBool::new(false));
         entries.insert(
             domain.to_string(),
-            JobEntry {
+            Arc::new(Mutex::new(JobEntry {
                 stats: JobStats {
                     kind,
                     state: JobState::Running,
@@ -339,7 +343,7 @@ impl JobManager {
                 abort: Arc::clone(&abort),
                 started: Instant::now(),
                 epoch,
-            },
+            })),
         );
         job_metrics().active.inc();
         Ok(JobTicket {
@@ -355,9 +359,9 @@ impl JobManager {
     /// that never ran a job reports the [`JobKind::None`] default.
     pub fn stats(&self, domain: &str) -> JobStats {
         self.entries
-            .lock()
+            .read()
             .get(domain)
-            .map(|e| e.stats.clone())
+            .map(|e| e.lock().stats.clone())
             .unwrap_or_default()
     }
 
@@ -369,17 +373,18 @@ impl JobManager {
     ///
     /// [`ErrorCode::OperationInvalid`] when no job is running.
     pub fn abort(&self, domain: &str) -> VirtResult<()> {
-        let entries = self.entries.lock();
-        match entries.get(domain) {
-            Some(entry) if entry.stats.state.is_active() => {
+        let entries = self.entries.read();
+        if let Some(entry) = entries.get(domain) {
+            let entry = entry.lock();
+            if entry.stats.state.is_active() {
                 entry.abort.store(true, Ordering::SeqCst);
-                Ok(())
+                return Ok(());
             }
-            _ => Err(VirtError::new(
-                ErrorCode::OperationInvalid,
-                format!("domain '{domain}' has no active job"),
-            )),
         }
+        Err(VirtError::new(
+            ErrorCode::OperationInvalid,
+            format!("domain '{domain}' has no active job"),
+        ))
     }
 
     /// Marks every running job failed with `reason` and signals its
@@ -388,8 +393,9 @@ impl JobManager {
     /// orphaned by a crash/restart; returns the affected domain names.
     pub fn fail_running(&self, reason: &str) -> Vec<String> {
         let mut failed = Vec::new();
-        let mut entries = self.entries.lock();
-        for (domain, entry) in entries.iter_mut() {
+        let entries = self.entries.read();
+        for (domain, entry) in entries.iter() {
+            let mut entry = entry.lock();
             if entry.stats.state.is_active() {
                 entry.stats.state = JobState::Failed;
                 entry.stats.error = reason.to_string();
@@ -403,10 +409,10 @@ impl JobManager {
     }
 
     fn finish(&self, domain: &str, epoch: u64, outcome: JobState, error: Option<&str>) {
-        let mut entries = self.entries.lock();
-        let Some(entry) = entries.get_mut(domain) else {
+        let Some(entry) = self.entries.read().get(domain).cloned() else {
             return;
         };
+        let mut entry = entry.lock();
         // A restart may already have failed this job (and a newer job
         // may even occupy the slot); a stale ticket must not touch it.
         if entry.epoch != epoch || !entry.stats.state.is_active() {
@@ -427,15 +433,16 @@ impl JobManager {
     }
 
     fn update(&self, domain: &str, epoch: u64, progress: JobProgress) {
-        let mut entries = self.entries.lock();
-        if let Some(entry) = entries.get_mut(domain) {
-            if entry.epoch == epoch && entry.stats.state.is_active() {
-                entry.stats.elapsed_ms = progress.elapsed_ms;
-                entry.stats.data_total_mib = progress.total_mib;
-                entry.stats.data_processed_mib = progress.processed_mib;
-                entry.stats.data_remaining_mib = progress.remaining_mib;
-                entry.stats.memory_iterations = progress.iterations;
-            }
+        let Some(entry) = self.entries.read().get(domain).cloned() else {
+            return;
+        };
+        let mut entry = entry.lock();
+        if entry.epoch == epoch && entry.stats.state.is_active() {
+            entry.stats.elapsed_ms = progress.elapsed_ms;
+            entry.stats.data_total_mib = progress.total_mib;
+            entry.stats.data_processed_mib = progress.processed_mib;
+            entry.stats.data_remaining_mib = progress.remaining_mib;
+            entry.stats.memory_iterations = progress.iterations;
         }
     }
 }

@@ -75,7 +75,7 @@ pub use driver::{
     PoolRecord, VolumeRecord,
 };
 pub use error::{ErrorCode, VirtError, VirtResult};
-pub use event::{CallbackId, DomainEvent, DomainEventKind, EventBus};
+pub use event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventFilter};
 pub use job::{JobHandle, JobKind, JobState, JobStats};
 pub use network::Network;
 pub use statestore::{DomainStatus, ObjectKind, StateStore, StoreFault};
@@ -88,12 +88,12 @@ pub use virt_rpc::keepalive::KeepaliveConfig;
 pub use virt_rpc::retry::{BreakerConfig, BreakerState, RetryPolicy};
 
 /// The process-wide registry for client-side RPC metrics
-/// (`rpc.reconnect.*`, `rpc.retry.*`). Every remote connection opened in
-/// this process records into it, so counters aggregate across
-/// connections; the daemon's admin metrics procedures merge it into
-/// their listings.
+/// (`rpc.reconnect.*`, `rpc.retry.*`, `rpc.late_replies`,
+/// `rpc.buf_pool.*`). Every remote connection opened in this process
+/// records into it, so counters aggregate across connections; the
+/// daemon's admin metrics procedures merge it into their listings.
+/// Shared with `virt-rpc` itself so transport-level counters (late
+/// replies, buffer pool) land in the same place.
 pub fn client_metrics() -> &'static std::sync::Arc<metrics::Registry> {
-    static CLIENT_METRICS: std::sync::OnceLock<std::sync::Arc<metrics::Registry>> =
-        std::sync::OnceLock::new();
-    CLIENT_METRICS.get_or_init(|| std::sync::Arc::new(metrics::Registry::new()))
+    virt_rpc::process_metrics()
 }

@@ -67,7 +67,11 @@ impl ClientHandle {
     ///
     /// Transport failures (client already gone).
     pub fn send(&self, packet: &Packet) -> std::io::Result<()> {
-        self.transport.send_frame(&packet.to_frame()[4..])
+        // Frame into a pooled buffer and emit as one write — the reply
+        // hot path allocates nothing in steady state.
+        let mut frame = virt_rpc::BufferPool::global().get();
+        packet.encode_frame_into(&mut frame);
+        self.transport.send_framed(&frame)
     }
 
     /// The transport flavor.
@@ -380,11 +384,14 @@ impl Server {
     }
 
     fn client_loop(self: Arc<Self>, client: Arc<ClientHandle>) {
+        // One receive buffer per client connection, refilled in place —
+        // after the first frames it has grown to the working size and
+        // the read path stops allocating.
+        let mut frame = virt_rpc::BufferPool::global().get();
         while self.running.load(Ordering::Acquire) {
-            let frame = match client.transport.recv_frame() {
-                Ok(frame) => frame,
-                Err(_) => break,
-            };
+            if client.transport.recv_frame_into(&mut frame).is_err() {
+                break;
+            }
             let packet = match Packet::from_body(&frame) {
                 Ok(packet) => packet,
                 Err(_) => break, // protocol garbage: drop the client
@@ -415,10 +422,26 @@ impl Server {
                 continue;
             }
 
+            // High-priority procedures are guaranteed to finish without
+            // waiting on a hypervisor, so — like keepalive above — they
+            // are answered inline on the reader thread instead of paying
+            // two thread handoffs through the pool. The priority workers
+            // still exist for pooled paths (and as spare capacity while
+            // an inline call is on this thread's stack); everything that
+            // can block rides the ordinary pool, keeping the reader free
+            // to notice a disconnect.
+            if self.dispatcher.is_high_priority(packet.header.procedure) {
+                let reply = self
+                    .dispatcher
+                    .dispatch(&client, packet.header, &packet.payload);
+                debug_assert_eq!(reply.header.serial, packet.header.serial);
+                let _ = client.send(&reply);
+                continue;
+            }
+
             let dispatcher = Arc::clone(&self.dispatcher);
             let job_client = Arc::clone(&client);
-            let high = dispatcher.is_high_priority(packet.header.procedure);
-            self.pool.submit(high, move || {
+            self.pool.submit(false, move || {
                 let reply = dispatcher.dispatch(&job_client, packet.header, &packet.payload);
                 debug_assert_eq!(reply.header.serial, packet.header.serial);
                 debug_assert!(matches!(

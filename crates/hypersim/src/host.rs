@@ -7,10 +7,11 @@
 //! cloneable handle; clones share the same host.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,11 +48,11 @@ pub struct HostInfo {
     pub up: bool,
 }
 
-struct HostState {
-    up: bool,
-    domains: BTreeMap<String, SimDomain>,
-    pools: BTreeMap<String, SimPool>,
-    networks: BTreeMap<String, SimNetwork>,
+/// The genuinely host-global mutable state: capacity accounting, id
+/// allocation, and the UUID stream. Deliberately tiny — every critical
+/// section over it is a handful of arithmetic ops — and always the
+/// *innermost* lock (see [`HostShared`] for the ordering).
+struct HostCtl {
     ledger: CapacityLedger,
     next_domain_id: u32,
     rng: StdRng,
@@ -70,7 +71,23 @@ struct HostShared {
     /// `simulated cost × scale` of wall time (see
     /// [`SimHostBuilder::wall_time_scale`]).
     wall_scale: f64,
-    state: Mutex<HostState>,
+    /// Host liveness, checked lock-free on every operation charge.
+    up: AtomicBool,
+    /// Read-mostly index of per-domain locks. Queries and single-domain
+    /// mutations take the read lock only long enough to clone one
+    /// domain's `Arc`, then work under that domain's own mutex, so a
+    /// slow operation on one domain (a migration charging memory
+    /// slices, a wall-scaled boot) never blocks lookups of another.
+    /// Only operations that insert or remove index entries (define,
+    /// undefine, create-rollback, transient stop, import, adopt,
+    /// forget, restart) take the write lock.
+    ///
+    /// Lock order: index (read or write) → one domain mutex → `ctl`.
+    /// `pools`/`networks` are never held together with any of these.
+    domains: RwLock<BTreeMap<String, Arc<Mutex<SimDomain>>>>,
+    pools: Mutex<BTreeMap<String, SimPool>>,
+    networks: Mutex<BTreeMap<String, SimNetwork>>,
+    ctl: Mutex<HostCtl>,
 }
 
 /// A simulated physical host running a hypervisor.
@@ -215,11 +232,11 @@ impl SimHostBuilder {
                 clock: self.clock.unwrap_or_default(),
                 faults: self.faults,
                 wall_scale: self.wall_scale,
-                state: Mutex::new(HostState {
-                    up: true,
-                    domains: BTreeMap::new(),
-                    pools,
-                    networks,
+                up: AtomicBool::new(true),
+                domains: RwLock::new(BTreeMap::new()),
+                pools: Mutex::new(pools),
+                networks: Mutex::new(networks),
+                ctl: Mutex::new(HostCtl {
                     ledger: CapacityLedger::new(self.memory, self.cpus, self.cpu_overcommit),
                     next_domain_id: 1,
                     rng,
@@ -269,22 +286,25 @@ impl SimHost {
 
     /// Host facts snapshot.
     pub fn info(&self) -> HostInfo {
-        let state = self.shared.state.lock();
-        let active = state
-            .domains
-            .values()
-            .filter(|d| d.state.is_active())
-            .count();
+        let (total, active) = {
+            let domains = self.shared.domains.read();
+            let active = domains
+                .values()
+                .filter(|d| d.lock().state.is_active())
+                .count();
+            (domains.len(), active)
+        };
+        let ctl = self.shared.ctl.lock();
         HostInfo {
             name: self.shared.name.clone(),
             hypervisor: self.shared.personality.name().to_string(),
             virt_kind: self.shared.personality.virt_kind(),
-            cpus: state.ledger.total_cpus(),
-            memory: state.ledger.total_memory(),
-            free_memory: state.ledger.free_memory(),
+            cpus: ctl.ledger.total_cpus(),
+            memory: ctl.ledger.total_memory(),
+            free_memory: ctl.ledger.free_memory(),
             active_domains: active,
-            inactive_domains: state.domains.len() - active,
-            up: state.up,
+            inactive_domains: total - active,
+            up: self.shared.up.load(Ordering::Acquire),
         }
     }
 
@@ -293,14 +313,11 @@ impl SimHost {
     ///
     /// Returns the fault that fired, if any, after charging.
     fn charge(&self, op: OpKind, memory: MiB) -> SimResult<Option<FaultAction>> {
-        {
-            let state = self.shared.state.lock();
-            if !state.up {
-                return Err(SimError::new(
-                    SimErrorKind::HostDown,
-                    self.shared.name.clone(),
-                ));
-            }
+        if !self.shared.up.load(Ordering::Acquire) {
+            return Err(SimError::new(
+                SimErrorKind::HostDown,
+                self.shared.name.clone(),
+            ));
         }
         if !self.shared.personality.supports(op) {
             return Err(SimError::new(
@@ -329,6 +346,17 @@ impl SimHost {
         }
     }
 
+    /// Clones the per-domain lock handle for `name`, holding the index
+    /// read lock only for the lookup itself.
+    fn domain_arc(&self, name: &str) -> SimResult<Arc<Mutex<SimDomain>>> {
+        self.shared
+            .domains
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))
+    }
+
     // ---- domain lifecycle ---------------------------------------------
 
     /// Persists a domain definition.
@@ -340,17 +368,17 @@ impl SimHost {
     pub fn define_domain(&self, spec: DomainSpec) -> SimResult<DomainInfo> {
         spec.validate()?;
         self.charge(OpKind::Define, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        if state.domains.contains_key(spec.name()) {
+        let mut domains = self.shared.domains.write();
+        if domains.contains_key(spec.name()) {
             return Err(SimError::new(
                 SimErrorKind::DuplicateDomain,
                 spec.name().to_string(),
             ));
         }
-        let uuid = gen_uuid(&mut state.rng);
+        let uuid = gen_uuid(&mut self.shared.ctl.lock().rng);
         let domain = SimDomain::new(spec, uuid);
         let info = domain.info_at(self.shared.clock.now());
-        state.domains.insert(info.name.clone(), domain);
+        domains.insert(info.name.clone(), Arc::new(Mutex::new(domain)));
         Ok(info)
     }
 
@@ -362,18 +390,17 @@ impl SimHost {
     /// when the domain is active.
     pub fn undefine_domain(&self, name: &str) -> SimResult<()> {
         self.charge(OpKind::Undefine, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
+        let mut domains = self.shared.domains.write();
+        let domain = domains
             .get(name)
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
-        if domain.state.is_active() {
+        if domain.lock().state.is_active() {
             return Err(SimError::new(
                 SimErrorKind::InvalidState,
                 format!("domain '{name}' is active"),
             ));
         }
-        state.domains.remove(name);
+        domains.remove(name);
         Ok(())
     }
 
@@ -389,11 +416,8 @@ impl SimHost {
     /// removal, not demotion).
     pub fn demote_domain_to_transient(&self, name: &str) -> SimResult<()> {
         self.charge(OpKind::Undefine, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         if !domain.state.is_active() {
             return Err(SimError::new(
                 SimErrorKind::InvalidState,
@@ -415,32 +439,27 @@ impl SimHost {
         // Look up memory first so the charge scales with guest size.
         let memory = self.domain(name)?.memory;
         let fault = self.charge(OpKind::Start, memory)?;
-        let mut state = self.shared.state.lock();
-        let next_id = state.next_domain_id;
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         let next = transition(domain.state, OpKind::Start)?;
         let (mem, vcpus) = (domain.spec.memory(), domain.spec.vcpu_count());
         let crash_after = matches!(fault, Some(FaultAction::CrashAfter));
-        // Borrow juggling: reserve on the ledger after releasing the domain
-        // borrow, then re-acquire.
-        let domain_name = name.to_string();
-        let _ = domain;
-        state.ledger.reserve(mem, vcpus)?;
-        let domain = state.domains.get_mut(&domain_name).expect("still present");
+        let next_id = {
+            let mut ctl = self.shared.ctl.lock();
+            ctl.ledger.reserve(mem, vcpus)?;
+            let id = ctl.next_domain_id;
+            ctl.next_domain_id += 1;
+            id
+        };
         domain.set_state(next, self.shared.clock.now());
         domain.id = Some(next_id);
         domain.has_managed_save = false;
-        state.next_domain_id += 1;
         if crash_after {
-            let domain = state.domains.get_mut(&domain_name).expect("still present");
             domain.set_state(DomainState::Crashed, self.shared.clock.now());
             domain.id = None;
-            state.ledger.release(mem, vcpus);
+            self.shared.ctl.lock().ledger.release(mem, vcpus);
         }
-        Ok(state.domains[&domain_name].info_at(self.shared.clock.now()))
+        Ok(domain.info_at(self.shared.clock.now()))
     }
 
     /// Defines a transient domain and starts it immediately (libvirt's
@@ -453,8 +472,7 @@ impl SimHost {
             Err(err) => {
                 // Roll the transient definition back so a failed create
                 // leaves no trace.
-                let mut state = self.shared.state.lock();
-                state.domains.remove(&name);
+                self.shared.domains.write().remove(&name);
                 Err(err)
             }
         }
@@ -468,11 +486,14 @@ impl SimHost {
     ) -> SimResult<DomainInfo> {
         let memory = self.domain(name)?.memory;
         self.charge(op, memory)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
+        // Write lock up front: a transient domain must leave the index
+        // atomically with its stop.
+        let mut domains = self.shared.domains.write();
+        let arc = domains
+            .get(name)
+            .cloned()
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let mut domain = arc.lock();
         let next = transition(domain.state, op)?;
         debug_assert_eq!(next, final_state);
         let was_active = domain.state.is_active();
@@ -482,10 +503,11 @@ impl SimHost {
         domain.id = None;
         let info = domain.info_at(self.shared.clock.now());
         if was_active {
-            state.ledger.release(mem, vcpus);
+            self.shared.ctl.lock().ledger.release(mem, vcpus);
         }
         if !persistent {
-            state.domains.remove(name);
+            drop(domain);
+            domains.remove(name);
         }
         Ok(info)
     }
@@ -520,11 +542,8 @@ impl SimHost {
     }
 
     fn apply_simple_transition(&self, name: &str, op: OpKind) -> SimResult<DomainInfo> {
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         let next = transition(domain.state, op)?;
         domain.set_state(next, self.shared.clock.now());
         Ok(domain.info_at(self.shared.clock.now()))
@@ -534,18 +553,15 @@ impl SimHost {
     pub fn save_domain(&self, name: &str) -> SimResult<DomainInfo> {
         let memory = self.domain(name)?.memory;
         self.charge(OpKind::Save, memory)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         let next = transition(domain.state, OpKind::Save)?;
         let (mem, vcpus) = (domain.spec.memory(), domain.spec.vcpu_count());
         domain.set_state(next, self.shared.clock.now());
         domain.id = None;
         domain.has_managed_save = true;
         let info = domain.info_at(self.shared.clock.now());
-        state.ledger.release(mem, vcpus);
+        self.shared.ctl.lock().ledger.release(mem, vcpus);
         Ok(info)
     }
 
@@ -553,19 +569,17 @@ impl SimHost {
     pub fn restore_domain(&self, name: &str) -> SimResult<DomainInfo> {
         let memory = self.domain(name)?.memory;
         self.charge(OpKind::Restore, memory)?;
-        let mut state = self.shared.state.lock();
-        let next_id = state.next_domain_id;
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         let next = transition(domain.state, OpKind::Restore)?;
         let (mem, vcpus) = (domain.spec.memory(), domain.spec.vcpu_count());
-        let name_owned = name.to_string();
-        let _ = domain;
-        state.ledger.reserve(mem, vcpus)?;
-        state.next_domain_id += 1;
-        let domain = state.domains.get_mut(&name_owned).expect("still present");
+        let next_id = {
+            let mut ctl = self.shared.ctl.lock();
+            ctl.ledger.reserve(mem, vcpus)?;
+            let id = ctl.next_domain_id;
+            ctl.next_domain_id += 1;
+            id
+        };
         domain.set_state(next, self.shared.clock.now());
         domain.id = Some(next_id);
         domain.has_managed_save = false;
@@ -581,11 +595,8 @@ impl SimHost {
     /// when an active domain cannot grow within host capacity.
     pub fn set_domain_memory(&self, name: &str, new_memory: MiB) -> SimResult<DomainInfo> {
         self.charge(OpKind::SetResources, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         transition(domain.state, OpKind::SetResources)?;
         if new_memory > domain.spec.max_memory() {
             return Err(SimError::new(
@@ -601,13 +612,13 @@ impl SimHost {
         }
         let old = domain.spec.memory();
         let vcpus = domain.spec.vcpu_count();
-        let active = domain.state.is_active();
-        let name_owned = name.to_string();
-        let _ = domain;
-        if active {
-            state.ledger.resize(old, new_memory, vcpus, vcpus)?;
+        if domain.state.is_active() {
+            self.shared
+                .ctl
+                .lock()
+                .ledger
+                .resize(old, new_memory, vcpus, vcpus)?;
         }
-        let domain = state.domains.get_mut(&name_owned).expect("still present");
         domain.spec = domain
             .spec
             .clone()
@@ -631,21 +642,18 @@ impl SimHost {
                 format!("{vcpus} exceeds platform maximum"),
             ));
         }
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         transition(domain.state, OpKind::SetResources)?;
         let old = domain.spec.vcpu_count();
         let memory = domain.spec.memory();
-        let active = domain.state.is_active();
-        let name_owned = name.to_string();
-        let _ = domain;
-        if active {
-            state.ledger.resize(memory, memory, old, vcpus)?;
+        if domain.state.is_active() {
+            self.shared
+                .ctl
+                .lock()
+                .ledger
+                .resize(memory, memory, old, vcpus)?;
         }
-        let domain = state.domains.get_mut(&name_owned).expect("still present");
         domain.spec = domain.spec.clone().vcpus(vcpus);
         Ok(domain.info_at(self.shared.clock.now()))
     }
@@ -653,11 +661,8 @@ impl SimHost {
     /// Attaches a disk to a domain.
     pub fn attach_disk(&self, name: &str, disk: SimDisk) -> SimResult<DomainInfo> {
         self.charge(OpKind::DeviceChange, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         transition(domain.state, OpKind::DeviceChange)?;
         if domain.spec.disks().iter().any(|d| d.target == disk.target) {
             return Err(SimError::new(
@@ -672,11 +677,8 @@ impl SimHost {
     /// Detaches a disk by target name.
     pub fn detach_disk(&self, name: &str, target: &str) -> SimResult<DomainInfo> {
         self.charge(OpKind::DeviceChange, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         transition(domain.state, OpKind::DeviceChange)?;
         let disks = domain.spec.disks();
         if !disks.iter().any(|d| d.target == target) {
@@ -712,11 +714,8 @@ impl SimHost {
     pub fn snapshot_domain(&self, name: &str, snapshot: &str) -> SimResult<DomainInfo> {
         let memory = self.domain(name)?.memory;
         self.charge(OpKind::Snapshot, memory)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         transition(domain.state, OpKind::Snapshot)?;
         if domain.snapshots.iter().any(|s| s.name == snapshot) {
             return Err(SimError::new(
@@ -725,12 +724,13 @@ impl SimHost {
             ));
         }
         let now = self.shared.clock.now();
-        domain.snapshots.push(crate::domain::SnapshotRecord {
+        let record = crate::domain::SnapshotRecord {
             name: snapshot.to_string(),
             state: domain.state,
             memory: domain.spec.memory(),
             taken_at: now,
-        });
+        };
+        domain.snapshots.push(record);
         Ok(domain.info_at(now))
     }
 
@@ -747,12 +747,8 @@ impl SimHost {
     pub fn revert_snapshot(&self, name: &str, snapshot: &str) -> SimResult<DomainInfo> {
         let memory = self.domain(name)?.memory;
         self.charge(OpKind::Snapshot, memory)?;
-        let mut state = self.shared.state.lock();
-        let next_id = state.next_domain_id;
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         let record = domain
             .snapshots
             .iter()
@@ -767,20 +763,24 @@ impl SimHost {
         let was_active = domain.state.is_active();
         let will_be_active = record.state.is_active();
         let (old_mem, vcpus) = (domain.spec.memory(), domain.spec.vcpu_count());
-        let name_owned = name.to_string();
-        let _ = domain;
         // Adjust the ledger for the state/memory change before mutating.
-        match (was_active, will_be_active) {
-            (true, false) => state.ledger.release(old_mem, vcpus),
-            (false, true) => state.ledger.reserve(record.memory, vcpus)?,
-            (true, true) => state.ledger.resize(old_mem, record.memory, vcpus, vcpus)?,
-            (false, false) => {}
-        }
-        if will_be_active && !was_active {
-            state.next_domain_id += 1;
-        }
+        let fresh_id = {
+            let mut ctl = self.shared.ctl.lock();
+            match (was_active, will_be_active) {
+                (true, false) => ctl.ledger.release(old_mem, vcpus),
+                (false, true) => ctl.ledger.reserve(record.memory, vcpus)?,
+                (true, true) => ctl.ledger.resize(old_mem, record.memory, vcpus, vcpus)?,
+                (false, false) => {}
+            }
+            if will_be_active && !was_active {
+                let id = ctl.next_domain_id;
+                ctl.next_domain_id += 1;
+                Some(id)
+            } else {
+                None
+            }
+        };
         let now = self.shared.clock.now();
-        let domain = state.domains.get_mut(&name_owned).expect("still present");
         domain.spec = domain
             .spec
             .clone()
@@ -788,7 +788,7 @@ impl SimHost {
             .max_memory_mib(domain.spec.max_memory().0.max(record.memory.0));
         domain.set_state(record.state, now);
         domain.id = match (was_active, will_be_active) {
-            (false, true) => Some(next_id),
+            (false, true) => fresh_id,
             (_, false) => None,
             (true, true) => domain.id,
         };
@@ -803,11 +803,8 @@ impl SimHost {
     /// when absent.
     pub fn delete_snapshot(&self, name: &str, snapshot: &str) -> SimResult<()> {
         self.charge(OpKind::Snapshot, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
         let before = domain.snapshots.len();
         domain.snapshots.retain(|s| s.name != snapshot);
         if domain.snapshots.len() == before {
@@ -821,12 +818,8 @@ impl SimHost {
 
     /// Marks a domain for autostart on host boot.
     pub fn set_autostart(&self, name: &str, autostart: bool) -> SimResult<()> {
-        let mut state = self.shared.state.lock();
-        let domain = state
-            .domains
-            .get_mut(name)
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
-        domain.autostart = autostart;
+        let arc = self.domain_arc(name)?;
+        arc.lock().autostart = autostart;
         Ok(())
     }
 
@@ -835,46 +828,55 @@ impl SimHost {
     /// Facts about one domain.
     pub fn domain(&self, name: &str) -> SimResult<DomainInfo> {
         self.charge(OpKind::QueryDomain, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        state
-            .domains
-            .get(name)
-            .map(|d| d.info_at(self.shared.clock.now()))
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))
+        let arc = self.domain_arc(name)?;
+        let info = arc.lock().info_at(self.shared.clock.now());
+        Ok(info)
+    }
+
+    /// One-lock snapshot of a domain's facts *and* full spec, for callers
+    /// that need both consistently (persistence sync, XML dump, migration
+    /// setup). Charges a single [`OpKind::QueryDomain`], like
+    /// [`SimHost::domain`].
+    pub fn domain_snapshot(&self, name: &str) -> SimResult<(DomainInfo, DomainSpec)> {
+        self.charge(OpKind::QueryDomain, MiB::ZERO)?;
+        let arc = self.domain_arc(name)?;
+        let domain = arc.lock();
+        Ok((domain.info_at(self.shared.clock.now()), domain.spec.clone()))
     }
 
     /// Looks a domain up by its active id.
     pub fn domain_by_id(&self, id: u32) -> SimResult<DomainInfo> {
         self.charge(OpKind::QueryDomain, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        state
-            .domains
+        let domains = self.shared.domains.read();
+        domains
             .values()
-            .find(|d| d.id == Some(id))
-            .map(|d| d.info_at(self.shared.clock.now()))
+            .find_map(|d| {
+                let d = d.lock();
+                (d.id == Some(id)).then(|| d.info_at(self.shared.clock.now()))
+            })
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, format!("id {id}")))
     }
 
     /// Looks a domain up by UUID.
     pub fn domain_by_uuid(&self, uuid: [u8; 16]) -> SimResult<DomainInfo> {
         self.charge(OpKind::QueryDomain, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        state
-            .domains
+        let domains = self.shared.domains.read();
+        domains
             .values()
-            .find(|d| d.uuid == uuid)
-            .map(|d| d.info_at(self.shared.clock.now()))
+            .find_map(|d| {
+                let d = d.lock();
+                (d.uuid == uuid).then(|| d.info_at(self.shared.clock.now()))
+            })
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, "by uuid".to_string()))
     }
 
     /// All domains, name-ordered.
     pub fn list_domains(&self) -> SimResult<Vec<DomainInfo>> {
         self.charge(OpKind::ListDomains, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        Ok(state
-            .domains
+        let domains = self.shared.domains.read();
+        Ok(domains
             .values()
-            .map(|d| d.info_at(self.shared.clock.now()))
+            .map(|d| d.lock().info_at(self.shared.clock.now()))
             .collect())
     }
 
@@ -883,17 +885,15 @@ impl SimHost {
     /// Defines a storage pool.
     pub fn define_pool(&self, spec: PoolSpec) -> SimResult<()> {
         self.charge(OpKind::Storage, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        if state.pools.contains_key(spec.name()) {
+        let mut pools = self.shared.pools.lock();
+        if pools.contains_key(spec.name()) {
             return Err(SimError::new(
                 SimErrorKind::DuplicatePool,
                 spec.name().to_string(),
             ));
         }
-        let uuid = gen_uuid(&mut state.rng);
-        state
-            .pools
-            .insert(spec.name().to_string(), SimPool::new(&spec, uuid));
+        let uuid = gen_uuid(&mut self.shared.ctl.lock().rng);
+        pools.insert(spec.name().to_string(), SimPool::new(&spec, uuid));
         Ok(())
     }
 
@@ -918,9 +918,8 @@ impl SimHost {
     /// Removes an inactive pool definition.
     pub fn undefine_pool(&self, name: &str) -> SimResult<()> {
         self.charge(OpKind::Storage, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let pool = state
-            .pools
+        let mut pools = self.shared.pools.lock();
+        let pool = pools
             .get(name)
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchPool, name.to_string()))?;
         if pool.active {
@@ -929,16 +928,16 @@ impl SimHost {
                 format!("pool '{name}' is active"),
             ));
         }
-        state.pools.remove(name);
+        pools.remove(name);
         Ok(())
     }
 
     /// Snapshot of one pool.
     pub fn pool(&self, name: &str) -> SimResult<SimPool> {
         self.charge(OpKind::Storage, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        state
+        self.shared
             .pools
+            .lock()
             .get(name)
             .cloned()
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchPool, name.to_string()))
@@ -947,8 +946,7 @@ impl SimHost {
     /// Names of all pools.
     pub fn list_pools(&self) -> SimResult<Vec<String>> {
         self.charge(OpKind::Storage, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        Ok(state.pools.keys().cloned().collect())
+        Ok(self.shared.pools.lock().keys().cloned().collect())
     }
 
     /// Creates a volume in a pool.
@@ -988,9 +986,8 @@ impl SimHost {
         name: &str,
         f: impl FnOnce(&mut SimPool) -> SimResult<T>,
     ) -> SimResult<T> {
-        let mut state = self.shared.state.lock();
-        let pool = state
-            .pools
+        let mut pools = self.shared.pools.lock();
+        let pool = pools
             .get_mut(name)
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchPool, name.to_string()))?;
         f(pool)
@@ -1001,17 +998,15 @@ impl SimHost {
     /// Defines a virtual network.
     pub fn define_network(&self, spec: NetworkSpec) -> SimResult<()> {
         self.charge(OpKind::Network, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        if state.networks.contains_key(spec.name()) {
+        let mut networks = self.shared.networks.lock();
+        if networks.contains_key(spec.name()) {
             return Err(SimError::new(
                 SimErrorKind::DuplicateNetwork,
                 spec.name().to_string(),
             ));
         }
-        let uuid = gen_uuid(&mut state.rng);
-        state
-            .networks
-            .insert(spec.name().to_string(), SimNetwork::new(&spec, uuid));
+        let uuid = gen_uuid(&mut self.shared.ctl.lock().rng);
+        networks.insert(spec.name().to_string(), SimNetwork::new(&spec, uuid));
         Ok(())
     }
 
@@ -1037,9 +1032,8 @@ impl SimHost {
     /// Removes an inactive network definition.
     pub fn undefine_network(&self, name: &str) -> SimResult<()> {
         self.charge(OpKind::Network, MiB::ZERO)?;
-        let mut state = self.shared.state.lock();
-        let net = state
-            .networks
+        let mut networks = self.shared.networks.lock();
+        let net = networks
             .get(name)
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchNetwork, name.to_string()))?;
         if net.active {
@@ -1048,16 +1042,16 @@ impl SimHost {
                 format!("network '{name}' is active"),
             ));
         }
-        state.networks.remove(name);
+        networks.remove(name);
         Ok(())
     }
 
     /// Snapshot of one network.
     pub fn network(&self, name: &str) -> SimResult<SimNetwork> {
         self.charge(OpKind::Network, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        state
+        self.shared
             .networks
+            .lock()
             .get(name)
             .cloned()
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchNetwork, name.to_string()))
@@ -1066,8 +1060,7 @@ impl SimHost {
     /// Names of all networks.
     pub fn list_networks(&self) -> SimResult<Vec<String>> {
         self.charge(OpKind::Network, MiB::ZERO)?;
-        let state = self.shared.state.lock();
-        Ok(state.networks.keys().cloned().collect())
+        Ok(self.shared.networks.lock().keys().cloned().collect())
     }
 
     /// Acquires a DHCP-style lease on a network for a guest NIC.
@@ -1087,9 +1080,8 @@ impl SimHost {
         name: &str,
         f: impl FnOnce(&mut SimNetwork) -> SimResult<T>,
     ) -> SimResult<T> {
-        let mut state = self.shared.state.lock();
-        let net = state
-            .networks
+        let mut networks = self.shared.networks.lock();
+        let net = networks
             .get_mut(name)
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchNetwork, name.to_string()))?;
         f(net)
@@ -1100,12 +1092,12 @@ impl SimHost {
     /// Crashes the host: every operation fails with
     /// [`SimErrorKind::HostDown`] until [`SimHost::restart`].
     pub fn crash(&self) {
-        self.shared.state.lock().up = false;
+        self.shared.up.store(false, Ordering::Release);
     }
 
     /// Whether the host is up.
     pub fn is_up(&self) -> bool {
-        self.shared.state.lock().up
+        self.shared.up.load(Ordering::Acquire)
     }
 
     /// Restarts a crashed (or running) host, modeling a reboot:
@@ -1117,27 +1109,27 @@ impl SimHost {
         let boot_cost = Duration::from_secs(30);
         self.shared.clock.advance(boot_cost);
         let persists = self.shared.personality.hypervisor_persists_state();
+        self.shared.up.store(true, Ordering::Release);
         let mut restart_names = Vec::new();
         {
-            let mut state = self.shared.state.lock();
-            state.up = true;
+            let mut domains = self.shared.domains.write();
             // Stop everything and drop transients.
-            let names: Vec<String> = state.domains.keys().cloned().collect();
+            let names: Vec<String> = domains.keys().cloned().collect();
             for name in names {
-                let domain = state.domains.get_mut(&name).expect("iterating own keys");
+                let arc = domains.get(&name).expect("iterating own keys").clone();
+                let mut domain = arc.lock();
                 let was_running = domain.state == DomainState::Running;
                 if domain.state.is_active() {
                     let (mem, vcpus) = (domain.spec.memory(), domain.spec.vcpu_count());
                     domain.set_state(DomainState::Shutoff, self.shared.clock.now());
                     domain.id = None;
-                    state.ledger.release(mem, vcpus);
+                    self.shared.ctl.lock().ledger.release(mem, vcpus);
                 }
-                let domain = state.domains.get_mut(&name).expect("present");
                 if !domain.spec.is_persistent() {
-                    state.domains.remove(&name);
+                    drop(domain);
+                    domains.remove(&name);
                     continue;
                 }
-                let domain = state.domains.get(&name).expect("present");
                 if domain.autostart || (persists && was_running) {
                     restart_names.push(name);
                 }
@@ -1151,12 +1143,9 @@ impl SimHost {
 
     /// Extracts a domain's spec for migration; the domain must exist.
     pub fn export_domain_spec(&self, name: &str) -> SimResult<DomainSpec> {
-        let state = self.shared.state.lock();
-        state
-            .domains
-            .get(name)
-            .map(|d| d.spec.clone())
-            .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))
+        let arc = self.domain_arc(name)?;
+        let spec = arc.lock().spec.clone();
+        Ok(spec)
     }
 
     /// Accepts an incoming migrated domain, already running (used by the
@@ -1172,35 +1161,43 @@ impl SimHost {
         uuid: Option<[u8; 16]>,
     ) -> SimResult<DomainInfo> {
         spec.validate()?;
-        let mut state = self.shared.state.lock();
-        if !state.up {
+        if !self.shared.up.load(Ordering::Acquire) {
             return Err(SimError::new(
                 SimErrorKind::HostDown,
                 self.shared.name.clone(),
             ));
         }
-        if state.domains.contains_key(spec.name()) {
+        let mut domains = self.shared.domains.write();
+        if domains.contains_key(spec.name()) {
             return Err(SimError::new(
                 SimErrorKind::DuplicateDomain,
                 spec.name().to_string(),
             ));
         }
         if let Some(uuid) = uuid {
-            if state.domains.values().any(|d| d.uuid == uuid) {
+            if domains.values().any(|d| d.lock().uuid == uuid) {
                 return Err(SimError::new(
                     SimErrorKind::DuplicateDomain,
                     format!("uuid of '{}' already present", spec.name()),
                 ));
             }
         }
-        state.ledger.reserve(spec.memory(), spec.vcpu_count())?;
-        let uuid = uuid.unwrap_or_else(|| gen_uuid(&mut state.rng));
+        let (uuid, next_id) = {
+            let mut ctl = self.shared.ctl.lock();
+            ctl.ledger.reserve(spec.memory(), spec.vcpu_count())?;
+            let uuid = match uuid {
+                Some(uuid) => uuid,
+                None => gen_uuid(&mut ctl.rng),
+            };
+            let id = ctl.next_domain_id;
+            ctl.next_domain_id += 1;
+            (uuid, id)
+        };
         let mut domain = SimDomain::new(spec, uuid);
         domain.set_state(DomainState::Running, self.shared.clock.now());
-        domain.id = Some(state.next_domain_id);
-        state.next_domain_id += 1;
+        domain.id = Some(next_id);
         let info = domain.info_at(self.shared.clock.now());
-        state.domains.insert(info.name.clone(), domain);
+        domains.insert(info.name.clone(), Arc::new(Mutex::new(domain)));
         Ok(info)
     }
 
@@ -1227,20 +1224,20 @@ impl SimHost {
         has_managed_save: bool,
     ) -> SimResult<DomainInfo> {
         spec.validate()?;
-        let mut shared = self.shared.state.lock();
-        if !shared.up {
+        if !self.shared.up.load(Ordering::Acquire) {
             return Err(SimError::new(
                 SimErrorKind::HostDown,
                 self.shared.name.clone(),
             ));
         }
-        if shared.domains.contains_key(spec.name()) {
+        let mut domains = self.shared.domains.write();
+        if domains.contains_key(spec.name()) {
             return Err(SimError::new(
                 SimErrorKind::DuplicateDomain,
                 spec.name().to_string(),
             ));
         }
-        if shared.domains.values().any(|d| d.uuid == uuid) {
+        if domains.values().any(|d| d.lock().uuid == uuid) {
             return Err(SimError::new(
                 SimErrorKind::DuplicateDomain,
                 format!("uuid of '{}' already present", spec.name()),
@@ -1248,29 +1245,33 @@ impl SimHost {
         }
         let mut domain = SimDomain::new(spec, uuid);
         if state.is_active() {
-            shared
-                .ledger
+            let mut ctl = self.shared.ctl.lock();
+            ctl.ledger
                 .reserve(domain.spec.memory(), domain.spec.vcpu_count())?;
-            domain.id = Some(shared.next_domain_id);
-            shared.next_domain_id += 1;
+            domain.id = Some(ctl.next_domain_id);
+            ctl.next_domain_id += 1;
         }
         domain.set_state(state, self.shared.clock.now());
         domain.autostart = autostart;
         domain.has_managed_save = has_managed_save;
         let info = domain.info_at(self.shared.clock.now());
-        shared.domains.insert(info.name.clone(), domain);
+        domains.insert(info.name.clone(), Arc::new(Mutex::new(domain)));
         Ok(info)
     }
 
     /// Removes a domain that has been migrated away (Confirm phase).
     pub fn forget_migrated_domain(&self, name: &str) -> SimResult<()> {
-        let mut state = self.shared.state.lock();
-        let domain = state
+        let arc = self
+            .shared
             .domains
+            .write()
             .remove(name)
             .ok_or_else(|| SimError::new(SimErrorKind::NoSuchDomain, name.to_string()))?;
+        let domain = arc.lock();
         if domain.state.is_active() {
-            state
+            self.shared
+                .ctl
+                .lock()
                 .ledger
                 .release(domain.spec.memory(), domain.spec.vcpu_count());
         }

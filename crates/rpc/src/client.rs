@@ -15,7 +15,8 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
 
-use crate::message::{Header, MessageStatus, MessageType, Packet, RpcError};
+use crate::bufpool::BufferPool;
+use crate::message::{self, Header, MessageStatus, MessageType, Packet, RpcError};
 use crate::transport::Transport;
 use crate::xdr::{XdrDecode, XdrEncode, XdrError};
 
@@ -84,6 +85,10 @@ struct ClientInner {
     event_handler: Mutex<Option<EventHandler>>,
     closed: AtomicBool,
     call_timeout: Mutex<Option<Duration>>,
+    /// Replies whose serial matched no waiting caller — late arrivals
+    /// after a timeout gave up on them. Shared process-wide
+    /// (`rpc.late_replies`) so deadline/retry tuning is observable.
+    late_replies: Arc<virt_metrics::Counter>,
 }
 
 /// A client endpoint over one transport.
@@ -120,6 +125,10 @@ impl CallClient {
             event_handler: Mutex::new(None),
             closed: AtomicBool::new(false),
             call_timeout: Mutex::new(Some(Duration::from_secs(30))),
+            late_replies: crate::process_metrics().counter(
+                "rpc.late_replies",
+                "Replies whose serial matched no waiting call (dropped after a timeout)",
+            ),
         });
         let reader_inner = Arc::clone(&inner);
         std::thread::Builder::new()
@@ -220,12 +229,18 @@ impl CallClient {
         }
         let serial = self.inner.next_serial.fetch_add(1, Ordering::Relaxed);
         let header = Header::call(program, procedure, serial);
-        let packet = Packet::new(header, args);
 
         let (tx, rx) = bounded(1);
         self.inner.pending.lock().insert(serial, tx);
 
-        if let Err(e) = self.inner.transport.send_frame(&packet.to_frame()[4..]) {
+        // Encode prefix + header + args straight into a pooled buffer and
+        // put it on the wire as one write — no intermediate packet body.
+        let sent = {
+            let mut frame = BufferPool::global().get();
+            message::encode_frame(&header, args, &mut frame);
+            self.inner.transport.send_framed(&frame)
+        };
+        if let Err(e) = sent {
             self.inner.pending.lock().remove(&serial);
             return Err(CallError::Io(e));
         }
@@ -279,9 +294,11 @@ impl CallClient {
     ///
     /// Transport errors.
     pub fn send_oneway(&self, packet: &Packet) -> Result<(), CallError> {
+        let mut frame = BufferPool::global().get();
+        packet.encode_frame_into(&mut frame);
         self.inner
             .transport
-            .send_frame(&packet.to_frame()[4..])
+            .send_framed(&frame)
             .map_err(CallError::Io)
     }
 
@@ -300,8 +317,18 @@ fn fail_all_pending(inner: &ClientInner) {
     }
 }
 
+/// Whether `VIRT_RPC_DEBUG` asked for wire-level diagnostics on stderr,
+/// resolved once (this crate has no logger dependency).
+fn rpc_debug() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("VIRT_RPC_DEBUG").is_some())
+}
+
 fn reader_loop(inner: Arc<ClientInner>) {
-    while let Ok(frame) = inner.transport.recv_frame() {
+    // One receive buffer for the life of the connection: after the first
+    // few frames it has grown to the working size and refills in place.
+    let mut frame = BufferPool::global().get();
+    while inner.transport.recv_frame_into(&mut frame).is_ok() {
         let packet = match Packet::from_body(&frame) {
             Ok(packet) => packet,
             // A peer speaking garbage is a fatal protocol error.
@@ -320,9 +347,21 @@ fn reader_loop(inner: Arc<ClientInner>) {
                         Ok(packet)
                     };
                     let _ = slot.send(outcome);
+                } else {
+                    // A late reply: its caller timed out (or was failed
+                    // by a disconnect) and forgot the serial. Dropped,
+                    // but counted — a rising rate means deadlines are
+                    // tighter than the daemon's actual latency.
+                    inner.late_replies.inc();
+                    if rpc_debug() {
+                        eprintln!(
+                            "virt-rpc: dropped late reply serial={} proc={} from {}",
+                            packet.header.serial,
+                            packet.header.procedure,
+                            inner.transport.peer(),
+                        );
+                    }
                 }
-                // Unmatched serials are silently dropped (late replies
-                // after a timeout).
             }
             MessageType::Event => {
                 let handler = inner.event_handler.lock();
@@ -524,6 +563,41 @@ mod tests {
         assert!(remote.source().is_some());
         assert!(CallError::TimedOut.source().is_none());
         assert!(CallError::Disconnected.source().is_none());
+    }
+
+    #[test]
+    fn late_replies_are_counted() {
+        let (client_side, server_side) = memory_pair();
+        // A server that replies only after the client has given up.
+        std::thread::spawn(move || {
+            while let Ok(frame) = server_side.recv_frame() {
+                let packet = Packet::from_body(&frame).expect("valid packet");
+                std::thread::sleep(Duration::from_millis(80));
+                let reply = Packet {
+                    header: packet.header.reply_ok(),
+                    payload: packet.payload.clone(),
+                };
+                let _ = server_side.send_frame(&reply.to_frame()[4..]);
+            }
+        });
+        let client = CallClient::new(client_side);
+        client.set_call_timeout(Some(Duration::from_millis(10)));
+        let counter = crate::process_metrics().counter("rpc.late_replies", "");
+        let before = counter.get();
+        let err = client
+            .call::<String>(REMOTE_PROGRAM, 1, &"x".to_string())
+            .unwrap_err();
+        assert!(matches!(err, CallError::TimedOut), "got {err:?}");
+        // The reply lands ~70 ms after the timeout and must be counted.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while counter.get() == before {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "late reply was never counted"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        client.close();
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod bufpool;
 pub mod client;
 pub mod fault;
 pub mod keepalive;
@@ -55,6 +56,7 @@ pub mod retry;
 pub mod transport;
 pub mod xdr;
 
+pub use bufpool::{BufferPool, PooledBuf};
 pub use client::CallClient;
 pub use fault::{FaultControl, FaultMode, FaultyTransport};
 pub use message::{Header, MessageStatus, MessageType, Packet, RpcError};
@@ -62,3 +64,14 @@ pub use pool::{PoolLimits, PoolStats, WorkerPool};
 pub use reconnect::{ReconnectConfig, ReconnectMetrics, ReconnectingClient};
 pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use transport::{memory_pair, MeteredTransport, Transport, TransportKind};
+
+/// The process-wide registry for client-side RPC metrics
+/// (`rpc.reconnect.*`, `rpc.retry.*`, `rpc.late_replies`,
+/// `rpc.buf_pool.*`). Counters aggregate across every connection and
+/// pool in the process; the daemon's admin metrics procedures merge it
+/// into their listings.
+pub fn process_metrics() -> &'static std::sync::Arc<virt_metrics::Registry> {
+    static PROCESS_METRICS: std::sync::OnceLock<std::sync::Arc<virt_metrics::Registry>> =
+        std::sync::OnceLock::new();
+    PROCESS_METRICS.get_or_init(|| std::sync::Arc::new(virt_metrics::Registry::new()))
+}

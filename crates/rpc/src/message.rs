@@ -169,13 +169,21 @@ impl Packet {
 
     /// Serializes to the framed wire form (length prefix included).
     pub fn to_frame(&self) -> Vec<u8> {
-        let mut body = Vec::with_capacity(24 + self.payload.len());
-        self.header.encode(&mut body);
-        body.extend_from_slice(&self.payload);
-        let mut frame = Vec::with_capacity(4 + body.len());
-        frame.extend_from_slice(&(body.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&body);
+        let mut frame = Vec::with_capacity(4 + 24 + self.payload.len());
+        self.encode_frame_into(&mut frame);
         frame
+    }
+
+    /// Appends the framed wire form (length prefix + header + payload)
+    /// to `out` without intermediate allocations. `out` is cleared
+    /// first — pass a pooled buffer and send the result with
+    /// [`crate::transport::Transport::send_framed`].
+    pub fn encode_frame_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&[0u8; 4]);
+        self.header.encode(out);
+        out.extend_from_slice(&self.payload);
+        finish_frame(out);
     }
 
     /// Parses a packet from a frame *body* (the bytes after the length
@@ -199,6 +207,26 @@ impl Packet {
     pub fn decode_payload<T: XdrDecode>(&self) -> Result<T, XdrError> {
         T::from_xdr(&self.payload)
     }
+}
+
+/// Encodes a complete framed message — length prefix, header, and the
+/// XDR encoding of `payload` — into `out` (cleared first) with no
+/// intermediate buffers. This is the zero-copy send path: callers
+/// encode straight into a pooled buffer and hand it to
+/// [`crate::transport::Transport::send_framed`] as one write.
+pub fn encode_frame(header: &Header, payload: &impl XdrEncode, out: &mut Vec<u8>) {
+    out.clear();
+    out.extend_from_slice(&[0u8; 4]);
+    header.encode(out);
+    payload.encode(out);
+    finish_frame(out);
+}
+
+/// Backfills the 4-byte big-endian length prefix at the front of a frame
+/// whose body has been appended after a 4-byte placeholder.
+fn finish_frame(out: &mut [u8]) {
+    let body_len = (out.len() - 4) as u32;
+    out[..4].copy_from_slice(&body_len.to_be_bytes());
 }
 
 /// The error record carried by error replies.

@@ -63,6 +63,36 @@ pub trait Transport: Send + Sync {
     /// Only one thread should call this at a time.
     fn recv_frame(&self) -> io::Result<Vec<u8>>;
 
+    /// Sends one *pre-framed* message: the 4-byte big-endian length
+    /// prefix followed by the body, already laid out in a single buffer
+    /// (see [`crate::message::encode_frame`]). Socket transports emit
+    /// this with one write instead of two; the default forwards the body
+    /// to [`Transport::send_frame`] for transports that do their own
+    /// framing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::send_frame`].
+    fn send_framed(&self, frame: &[u8]) -> io::Result<()> {
+        debug_assert!(frame.len() >= 4, "frame must carry its length prefix");
+        self.send_frame(&frame[4..])
+    }
+
+    /// Receives one frame into `buf`, reusing its capacity, and returns
+    /// the body length. Socket transports read straight into the buffer
+    /// with no allocation once it has grown to the working frame size;
+    /// the default copies out of [`Transport::recv_frame`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Transport::recv_frame`].
+    fn recv_frame_into(&self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let frame = self.recv_frame()?;
+        buf.clear();
+        buf.extend_from_slice(&frame);
+        Ok(frame.len())
+    }
+
     /// The transport flavor.
     fn kind(&self) -> TransportKind;
 
@@ -125,6 +155,18 @@ impl Transport for MeteredTransport {
         let frame = self.inner.recv_frame()?;
         self.bytes_in.add(frame.len() as u64);
         Ok(frame)
+    }
+
+    fn send_framed(&self, frame: &[u8]) -> io::Result<()> {
+        self.inner.send_framed(frame)?;
+        self.bytes_out.add((frame.len() - 4) as u64);
+        Ok(())
+    }
+
+    fn recv_frame_into(&self, buf: &mut Vec<u8>) -> io::Result<usize> {
+        let n = self.inner.recv_frame_into(buf)?;
+        self.bytes_in.add(n as u64);
+        Ok(n)
     }
 
     fn kind(&self) -> TransportKind {
@@ -246,7 +288,16 @@ fn write_frame(stream: &mut impl Write, body: &[u8]) -> io::Result<()> {
     stream.flush()
 }
 
-fn read_frame(stream: &mut impl Read) -> io::Result<Vec<u8>> {
+/// Emits a pre-framed message (prefix + body in one buffer) as a single
+/// write — one syscall instead of two on the socket hot path.
+fn write_framed(stream: &mut impl Write, frame: &[u8]) -> io::Result<()> {
+    stream.write_all(frame)?;
+    stream.flush()
+}
+
+/// Reads one frame into `buf`, reusing its capacity. Allocation-free
+/// once `buf` has grown to the connection's working frame size.
+fn read_frame_into(stream: &mut impl Read, buf: &mut Vec<u8>) -> io::Result<usize> {
     let mut len_bytes = [0u8; 4];
     stream.read_exact(&mut len_bytes)?;
     let len = u32::from_be_bytes(len_bytes);
@@ -256,8 +307,15 @@ fn read_frame(stream: &mut impl Read) -> io::Result<Vec<u8>> {
             format!("frame length {len} exceeds limit"),
         ));
     }
-    let mut body = vec![0u8; len as usize];
-    stream.read_exact(&mut body)?;
+    buf.clear();
+    buf.resize(len as usize, 0);
+    stream.read_exact(buf)?;
+    Ok(len as usize)
+}
+
+fn read_frame(stream: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut body = Vec::new();
+    read_frame_into(stream, &mut body)?;
     Ok(body)
 }
 
@@ -301,6 +359,14 @@ macro_rules! socket_transport {
 
             fn recv_frame(&self) -> io::Result<Vec<u8>> {
                 read_frame(&mut *self.reader.lock())
+            }
+
+            fn send_framed(&self, frame: &[u8]) -> io::Result<()> {
+                write_framed(&mut *self.writer.lock(), frame)
+            }
+
+            fn recv_frame_into(&self, buf: &mut Vec<u8>) -> io::Result<usize> {
+                read_frame_into(&mut *self.reader.lock(), buf)
             }
 
             fn kind(&self) -> TransportKind {

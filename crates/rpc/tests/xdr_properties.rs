@@ -84,6 +84,59 @@ proptest! {
         // the cut — in which case from_xdr's exhaustion check fires.
         prop_assert!(String::from_xdr(truncated).is_err() || !truncated.len().is_multiple_of(4));
     }
+
+    /// A string cut at ANY byte offset short of its full encoding must
+    /// report an error — and must never panic.
+    #[test]
+    fn string_truncation_at_every_offset_errors(v in "\\PC{1,64}") {
+        let encoded = v.to_xdr();
+        for cut in 0..encoded.len() {
+            prop_assert!(
+                String::from_xdr(&encoded[..cut]).is_err(),
+                "string decode of {cut}/{} bytes must fail", encoded.len()
+            );
+        }
+    }
+
+    /// Opaque data cut at any byte offset errors, never panics.
+    #[test]
+    fn opaque_truncation_at_every_offset_errors(
+        v in proptest::collection::vec(any::<u8>(), 1..128)
+    ) {
+        let encoded = v.to_xdr();
+        for cut in 0..encoded.len() {
+            prop_assert!(Vec::<u8>::from_xdr(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// Typed arrays cut at any byte offset error, never panic.
+    #[test]
+    fn array_truncation_at_every_offset_errors(
+        strings in proptest::collection::vec("\\PC{0,12}", 1..8),
+        words in proptest::collection::vec(any::<u64>(), 1..16),
+    ) {
+        let encoded = strings.to_xdr();
+        for cut in 0..encoded.len() {
+            prop_assert!(Vec::<String>::from_xdr(&encoded[..cut]).is_err());
+        }
+        let encoded = words.to_xdr();
+        for cut in 0..encoded.len() {
+            prop_assert!(Vec::<u64>::from_xdr(&encoded[..cut]).is_err());
+        }
+    }
+
+    /// Scalars and fixed opaques share the same guarantee.
+    #[test]
+    fn scalar_truncation_at_every_offset_errors(a: u64, b: [u8; 16]) {
+        let encoded = a.to_xdr();
+        for cut in 0..encoded.len() {
+            prop_assert!(u64::from_xdr(&encoded[..cut]).is_err());
+        }
+        let encoded = b.to_xdr();
+        for cut in 0..encoded.len() {
+            prop_assert!(<[u8; 16]>::from_xdr(&encoded[..cut]).is_err());
+        }
+    }
 }
 
 xdr_struct! {
@@ -124,6 +177,18 @@ proptest! {
     #[test]
     fn composite_struct_round_trips(v in composite_strategy()) {
         assert_round_trip(v);
+    }
+
+    /// A composite struct cut at any byte offset errors, never panics.
+    /// This is the exact shape the framed decode path sees when a peer's
+    /// frame is short — correctness locked in before the buffer-pool
+    /// rewrite of that path.
+    #[test]
+    fn composite_truncation_at_every_offset_errors(v in composite_strategy()) {
+        let encoded = v.to_xdr();
+        for cut in 0..encoded.len() {
+            prop_assert!(Composite::from_xdr(&encoded[..cut]).is_err());
+        }
     }
 
     /// Concatenated values decode back in order (streaming framing).

@@ -32,6 +32,12 @@ if grep -rn 'allow(dead_code)' crates/rpc crates/core crates/daemon crates/cli; 
     exit 1
 fi
 
+# Perf smoke: the framing hot path must stay allocation-free once warm.
+# Release mode — the counting-allocator bound is calibrated for it, and
+# debug-mode Vec growth heuristics differ.
+echo "== perf smoke (zero-alloc framing hot path, release) =="
+cargo test -q --release --offline -p virt-rpc --test framing_hotpath
+
 # Chaos suites last: they SIGKILL real daemon processes and churn
 # temp state directories, so everything cheap fails first.
 echo "== chaos (connection resilience) =="

@@ -215,6 +215,7 @@ fn execute(
         }
         "metrics" => {
             let prometheus = args.contains(&"--prometheus");
+            let buckets = args.contains(&"--buckets");
             let prefix = args
                 .iter()
                 .find(|a| !a.starts_with("--"))
@@ -229,7 +230,79 @@ fn execute(
                     virt_core::metrics::prometheus::prometheus_text(&snapshots)
                 );
             } else {
-                print_metrics(out, &snapshots);
+                print_metrics(out, &snapshots, buckets);
+            }
+        }
+        "trace" => {
+            let sub = arg(args, 0, "trace subcommand (on|off|status|dump|tail)")?;
+            match sub {
+                "on" => {
+                    let threshold = match flag_value(args, "--threshold-ms") {
+                        Some(value) => Some(
+                            value
+                                .parse::<u64>()
+                                .map_err(|_| invalid("--threshold-ms must be a number"))?,
+                        ),
+                        None => None,
+                    };
+                    let config = admin.trace_config(Some(true), threshold)?;
+                    w(
+                        out,
+                        &format!("Tracing enabled ({})", describe_config(&config)),
+                    );
+                }
+                "off" => {
+                    let config = admin.trace_config(Some(false), None)?;
+                    w(
+                        out,
+                        &format!("Tracing disabled ({} events recorded)", config.recorded),
+                    );
+                }
+                "status" => {
+                    let config = admin.trace_config(None, None)?;
+                    w(
+                        out,
+                        &format!(
+                            "Tracing {} ({})",
+                            if config.enabled { "on" } else { "off" },
+                            describe_config(&config)
+                        ),
+                    );
+                }
+                "dump" => {
+                    let chrome = args.contains(&"--chrome");
+                    let clear = args.contains(&"--clear");
+                    let events = decode_events(admin.trace_dump(clear)?);
+                    if chrome {
+                        let _ = writeln!(
+                            out,
+                            "{}",
+                            virt_core::metrics::recorder::chrome_trace_json(&events)
+                        );
+                    } else if events.is_empty() {
+                        w(out, "No trace events recorded");
+                    } else {
+                        let _ = write!(out, "{}", render_trace_trees(&events));
+                    }
+                }
+                "tail" => {
+                    let count = match flag_value(args, "--count") {
+                        Some(value) => value
+                            .parse::<usize>()
+                            .map_err(|_| invalid("--count must be a number"))?,
+                        None => 20,
+                    };
+                    let events = decode_events(admin.trace_dump(false)?);
+                    let start = events.len().saturating_sub(count);
+                    for event in &events[start..] {
+                        w(out, &format_event_line(event));
+                    }
+                }
+                other => {
+                    return Err(invalid(&format!(
+                        "unknown trace subcommand '{other}'; try on|off|status|dump|tail"
+                    )))
+                }
             }
         }
         "dmn-log-info" => {
@@ -266,10 +339,15 @@ fn execute(
 }
 
 /// Human-readable metric table: one line per counter/gauge; histograms
-/// show count and mean, with a per-bucket breakdown (µs upper bounds)
-/// when they have samples.
-fn print_metrics(out: &mut dyn Write, snapshots: &[virt_core::metrics::MetricSnapshot]) {
+/// show count, mean and p50/p90/p99 quantile estimates, with the raw
+/// per-bucket breakdown (µs upper bounds) only when `buckets` is set.
+fn print_metrics(
+    out: &mut dyn Write,
+    snapshots: &[virt_core::metrics::MetricSnapshot],
+    buckets: bool,
+) {
     use virt_core::metrics::{bucket_upper_bound_us, MetricValue};
+    let q = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |value| format!("{value:.1}"));
     for snapshot in snapshots {
         match &snapshot.value {
             MetricValue::Counter(v) => w(out, &format!("{:<40} {v}", snapshot.name)),
@@ -277,11 +355,21 @@ fn print_metrics(out: &mut dyn Write, snapshots: &[virt_core::metrics::MetricSna
             MetricValue::Histogram(h) => {
                 let mean = h
                     .mean_us()
-                    .map_or_else(|| "-".to_string(), |m| format!("{m:.1} us"));
+                    .map_or_else(|| "-".to_string(), |m| format!("{m:.1}"));
                 w(
                     out,
-                    &format!("{:<40} count={} mean={mean}", snapshot.name, h.count),
+                    &format!(
+                        "{:<40} count={} mean={mean}us p50={}us p90={}us p99={}us",
+                        snapshot.name,
+                        h.count,
+                        q(h.p50_us()),
+                        q(h.p90_us()),
+                        q(h.p99_us()),
+                    ),
                 );
+                if !buckets {
+                    continue;
+                }
                 for (i, bucket) in h.buckets.iter().enumerate() {
                     if *bucket == 0 {
                         continue;
@@ -293,6 +381,127 @@ fn print_metrics(out: &mut dyn Write, snapshots: &[virt_core::metrics::MetricSna
             }
         }
     }
+}
+
+fn describe_config(config: &virtd::adminproto::WireTraceConfig) -> String {
+    format!(
+        "slow threshold {} ms, ring {} of {} events",
+        config.slow_threshold_ms,
+        config.recorded.min(config.capacity),
+        config.capacity
+    )
+}
+
+/// Decodes wire events, silently dropping kinds from a newer daemon.
+fn decode_events(
+    wire: Vec<virtd::adminproto::WireTraceEvent>,
+) -> Vec<virt_core::metrics::recorder::TraceEvent> {
+    wire.into_iter()
+        .filter_map(virtd::adminproto::WireTraceEvent::into_event)
+        .collect()
+}
+
+fn format_event_line(event: &virt_core::metrics::recorder::TraceEvent) -> String {
+    use virt_core::metrics::recorder::EventPhase;
+    format!(
+        "{:>12.3}ms trace={:016x} span={:016x} parent={:016x} {:<5} {:<15} dur={:.1}us detail={}",
+        event.t_ns as f64 / 1e6,
+        event.trace_id,
+        event.span_id,
+        event.parent_id,
+        match event.phase {
+            EventPhase::Begin => "begin",
+            EventPhase::End => "end",
+        },
+        event.stage.name(),
+        event.dur_ns as f64 / 1e3,
+        event.detail,
+    )
+}
+
+/// Renders drained events as one indented span tree per trace: spans
+/// come from end events (which carry the duration); begin events still
+/// open when the ring was drained show as `...running`.
+fn render_trace_trees(events: &[virt_core::metrics::recorder::TraceEvent]) -> String {
+    use std::collections::BTreeMap;
+    use virt_core::metrics::recorder::EventPhase;
+
+    struct Node {
+        stage: &'static str,
+        t_ns: u64,
+        dur_ns: Option<u64>,
+        parent: u64,
+        detail: u64,
+    }
+
+    // Group by trace in first-appearance order.
+    let mut order: Vec<u64> = Vec::new();
+    let mut traces: BTreeMap<u64, BTreeMap<u64, Node>> = BTreeMap::new();
+    for event in events {
+        let spans = traces.entry(event.trace_id).or_insert_with(|| {
+            order.push(event.trace_id);
+            BTreeMap::new()
+        });
+        let node = spans.entry(event.span_id).or_insert(Node {
+            stage: event.stage.name(),
+            t_ns: event.t_ns,
+            dur_ns: None,
+            parent: event.parent_id,
+            detail: event.detail,
+        });
+        if event.phase == EventPhase::End {
+            node.dur_ns = Some(event.dur_ns);
+            node.t_ns = event.t_ns;
+            node.detail = event.detail;
+        }
+    }
+
+    let mut out = String::new();
+    for trace_id in order {
+        let spans = &traces[&trace_id];
+        out.push_str(&format!("trace {trace_id:016x}\n"));
+        // Children sorted by start time under each parent; roots are
+        // spans whose parent is 0 or was overwritten out of the ring.
+        let mut children: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
+        let mut roots: Vec<u64> = Vec::new();
+        for (&span_id, node) in spans {
+            if node.parent != 0 && spans.contains_key(&node.parent) {
+                children.entry(node.parent).or_default().push(span_id);
+            } else {
+                roots.push(span_id);
+            }
+        }
+        let by_time = |ids: &mut Vec<u64>| ids.sort_by_key(|id| (spans[id].t_ns, *id));
+        by_time(&mut roots);
+        for ids in children.values_mut() {
+            by_time(ids);
+        }
+        let mut stack: Vec<(u64, usize)> = roots.into_iter().rev().map(|id| (id, 1)).collect();
+        while let Some((span_id, depth)) = stack.pop() {
+            let node = &spans[&span_id];
+            let dur = node.dur_ns.map_or_else(
+                || "...running".to_string(),
+                |d| format!("{:.1}us", d as f64 / 1e3),
+            );
+            let detail = if node.detail != 0 {
+                format!(" detail={}", node.detail)
+            } else {
+                String::new()
+            };
+            out.push_str(&format!(
+                "{:indent$}{} {dur}{detail}\n",
+                "",
+                node.stage,
+                indent = depth * 2
+            ));
+            if let Some(kids) = children.get(&span_id) {
+                for &kid in kids.iter().rev() {
+                    stack.push((kid, depth + 1));
+                }
+            }
+        }
+    }
+    out
 }
 
 fn print_help(out: &mut dyn Write) {
@@ -307,7 +516,10 @@ fn print_help(out: &mut dyn Write) {
     w(out, "  client-list <server>");
     w(out, "  client-info <server> <id>");
     w(out, "  dmn-log-info");
-    w(out, "  metrics [--prometheus] [prefix]");
+    w(out, "  metrics [--prometheus] [--buckets] [prefix]");
+    w(out, "  trace status");
+    w(out, "  trace dump [--chrome] [--clear]");
+    w(out, "  trace tail [--count N]");
     w(out, "Management:");
     w(
         out,
@@ -319,6 +531,8 @@ fn print_help(out: &mut dyn Write) {
         out,
         "  dmn-log-define [--level 1-4] [--filters \"L:mod ...\"] [--outputs \"L:kind ...\"]",
     );
+    w(out, "  trace on [--threshold-ms N]");
+    w(out, "  trace off");
 }
 
 #[cfg(test)]
@@ -560,5 +774,204 @@ mod tests {
         let results = run_against_daemon(&["client-list admin"]);
         assert_eq!(results[0].0, 0);
         assert!(results[0].1.contains("Session (s)"));
+    }
+
+    #[test]
+    fn metrics_human_shows_quantiles_and_hides_buckets_by_default() {
+        // Admin-program calls do not feed the per-procedure latency
+        // histograms, so drive a remote RPC through a memory endpoint
+        // first to give them samples.
+        let name = unique("vadm-quant");
+        let daemon = Virtd::builder(&name).with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&name).unwrap();
+        let path = format!("/tmp/{}.sock", unique("vadm-admin"));
+        daemon.serve_admin(Box::new(UnixSocketListener::bind(&path).unwrap()));
+        let conn = virt_core::Connect::open(&format!("qemu+memory://{name}/system")).unwrap();
+        conn.list_domain_names().unwrap();
+        conn.close();
+
+        let run = |line: &str| {
+            let mut args: Vec<String> = vec!["-s".to_string(), path.clone()];
+            args.extend(line.split_whitespace().map(str::to_string));
+            let mut out = Vec::new();
+            let code = run_admin(&args, &mut out);
+            (code, String::from_utf8_lossy(&out).into_owned())
+        };
+        let (code, human) = run("metrics rpc.proc.");
+        assert_eq!(code, 0, "{human}");
+        assert!(human.contains("p50="), "{human}");
+        assert!(human.contains("p90="), "{human}");
+        assert!(human.contains("p99="), "{human}");
+        // Quantiles are computed, not dashes: at least one histogram has
+        // samples after the remote call above.
+        assert!(!human.contains("le "), "{human}");
+        let populated = human
+            .lines()
+            .any(|l| l.contains("count=") && !l.contains("count=0"));
+        assert!(populated, "{human}");
+
+        let (code, with_buckets) = run("metrics --buckets rpc.proc.");
+        assert_eq!(code, 0, "{with_buckets}");
+        assert!(with_buckets.contains("le "), "{with_buckets}");
+
+        daemon.shutdown();
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_session_round_trips_config_and_dumps_spans() {
+        let _guard = crate::recorder_test_guard();
+        let results = run_against_daemon(&[
+            "trace on --threshold-ms 250",
+            "trace status",
+            "srv-list",
+            "trace dump",
+            "trace off",
+        ]);
+        assert_eq!(results[0].0, 0, "{}", results[0].1);
+        assert!(results[0].1.contains("Tracing enabled"), "{}", results[0].1);
+        assert!(
+            results[1].1.contains("Tracing on (slow threshold 250 ms"),
+            "{}",
+            results[1].1
+        );
+        // The dump renders trees: a trace header, then the client stub
+        // span with the daemon-side dispatch attached under it.
+        let dump = &results[3].1;
+        assert_eq!(results[3].0, 0, "{dump}");
+        assert!(dump.contains("trace "), "{dump}");
+        assert!(dump.contains("client_send"), "{dump}");
+        assert!(dump.contains("dispatch"), "{dump}");
+        assert!(
+            results[4].1.contains("Tracing disabled"),
+            "{}",
+            results[4].1
+        );
+    }
+
+    #[test]
+    fn trace_tail_prints_recent_raw_events() {
+        let _guard = crate::recorder_test_guard();
+        let results =
+            run_against_daemon(&["trace on", "srv-list", "trace tail --count 5", "trace off"]);
+        let tail = &results[2].1;
+        assert_eq!(results[2].0, 0, "{tail}");
+        assert!(tail.contains("trace="), "{tail}");
+        assert!(tail.contains("span="), "{tail}");
+        assert!(tail.lines().count() <= 5, "{tail}");
+    }
+
+    /// Minimal hand-rolled JSON checker (the workspace has no serde):
+    /// validates the text is exactly one JSON value built from arrays,
+    /// objects, strings, and numbers — the trace-event shape. Panics on
+    /// the first syntax error with the offending byte offset.
+    fn assert_valid_json(text: &str) {
+        fn skip_ws(b: &[u8], pos: &mut usize) {
+            while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+        }
+        fn parse_string(b: &[u8], pos: &mut usize) {
+            assert_eq!(b[*pos], b'"', "expected string at byte {pos}");
+            *pos += 1;
+            while *pos < b.len() && b[*pos] != b'"' {
+                if b[*pos] == b'\\' {
+                    *pos += 1; // escaped character
+                }
+                *pos += 1;
+            }
+            assert!(*pos < b.len(), "unterminated string");
+            *pos += 1;
+        }
+        fn parse_number(b: &[u8], pos: &mut usize) {
+            let start = *pos;
+            while *pos < b.len()
+                && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).unwrap();
+            assert!(text.parse::<f64>().is_ok(), "bad number {text:?}");
+        }
+        fn parse_value(b: &[u8], pos: &mut usize) {
+            skip_ws(b, pos);
+            assert!(*pos < b.len(), "expected a value at end of input");
+            match b[*pos] {
+                b'"' => parse_string(b, pos),
+                b'-' | b'0'..=b'9' => parse_number(b, pos),
+                b'[' => {
+                    *pos += 1;
+                    skip_ws(b, pos);
+                    if b[*pos] == b']' {
+                        *pos += 1;
+                        return;
+                    }
+                    loop {
+                        parse_value(b, pos);
+                        skip_ws(b, pos);
+                        match b[*pos] {
+                            b',' => *pos += 1,
+                            b']' => {
+                                *pos += 1;
+                                return;
+                            }
+                            other => panic!("expected ',' or ']' at byte {pos}, got {other:?}"),
+                        }
+                    }
+                }
+                b'{' => {
+                    *pos += 1;
+                    skip_ws(b, pos);
+                    if b[*pos] == b'}' {
+                        *pos += 1;
+                        return;
+                    }
+                    loop {
+                        skip_ws(b, pos);
+                        parse_string(b, pos);
+                        skip_ws(b, pos);
+                        assert_eq!(b[*pos], b':', "expected ':' at byte {pos}");
+                        *pos += 1;
+                        parse_value(b, pos);
+                        skip_ws(b, pos);
+                        match b[*pos] {
+                            b',' => *pos += 1,
+                            b'}' => {
+                                *pos += 1;
+                                return;
+                            }
+                            other => panic!("expected ',' or '}}' at byte {pos}, got {other:?}"),
+                        }
+                    }
+                }
+                other => panic!("unexpected byte {other:?} at {pos}"),
+            }
+        }
+        let b = text.trim().as_bytes();
+        let mut pos = 0usize;
+        parse_value(b, &mut pos);
+        skip_ws(b, &mut pos);
+        assert_eq!(pos, b.len(), "trailing garbage after the JSON value");
+    }
+
+    #[test]
+    fn trace_dump_chrome_is_valid_trace_event_json() {
+        let _guard = crate::recorder_test_guard();
+        let results = run_against_daemon(&[
+            "trace on",
+            "srv-list",
+            "trace dump --chrome --clear",
+            "trace off",
+        ]);
+        let json = &results[2].1;
+        assert_eq!(results[2].0, 0, "{json}");
+        assert_valid_json(json);
+        assert!(json.trim().starts_with('['), "{json}");
+        // Completed spans export as "X" duration records with our
+        // category and span-identity args.
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"cat\":\"virt\""), "{json}");
+        assert!(json.contains("\"name\":\"client_send\""), "{json}");
+        assert!(json.contains("\"trace\":\""), "{json}");
     }
 }

@@ -459,6 +459,9 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                 if let Some(eta) = stats.eta_ms() {
                     w(out, &format!("{:<18} {} ms", "ETA:", eta));
                 }
+                if stats.trace_id != 0 {
+                    w(out, &format!("{:<18} {:016x}", "Trace id:", stats.trace_id));
+                }
                 if !stats.error.is_empty() {
                     w(out, &format!("{:<18} {}", "Error:", stats.error));
                 }
@@ -722,6 +725,16 @@ pub fn inline_domain_xml(name: &str, memory_mib: u64, vcpus: u32) -> String {
         .replace(' ', "")
         .replace("unit=\"MiB\"", "")
         .replace("unit=\"MiB/s\"", "")
+}
+
+/// Serializes tests that flip the process-global flight recorder, so
+/// `trace off` in one test cannot blind another running concurrently in
+/// the same harness process.
+#[cfg(test)]
+pub(crate) fn recorder_test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 #[cfg(test)]
@@ -1057,6 +1070,42 @@ mod migrate_cli_tests {
         let (code, output) = run_line(&format!("-c {uri} domjobabort worker"));
         assert_eq!(code, 1, "{output}");
         assert!(output.contains("no active job"), "{output}");
+
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn domjobinfo_prints_the_trace_id_for_a_traced_job() {
+        let _guard = crate::recorder_test_guard();
+        let recorder = virt_core::metrics::recorder::FlightRecorder::global();
+        recorder.set_enabled(true);
+
+        let name = unique("vsh-trace-job");
+        let daemon = Virtd::builder(&name).with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&name).unwrap();
+        let uri = format!("qemu+memory://{name}/system");
+
+        // Run the save while tracing is on: the job captures the trace
+        // id of the RPC dispatch span it was started under.
+        let conn = virt_core::Connect::open(&uri).unwrap();
+        let domain = conn
+            .define_domain(&DomainConfig::new("worker", 512, 1))
+            .unwrap();
+        domain.start().unwrap();
+        domain.managed_save().unwrap();
+        conn.close();
+        recorder.set_enabled(false);
+        recorder.clear();
+
+        let (code, output) = run_line(&format!("-c {uri} domjobinfo worker"));
+        assert_eq!(code, 0, "{output}");
+        let line = output
+            .lines()
+            .find(|l| l.contains("Trace id:"))
+            .unwrap_or_else(|| panic!("no trace id line in: {output}"));
+        let id = line.split_whitespace().last().unwrap();
+        assert_eq!(id.len(), 16, "{output}");
+        assert_ne!(u64::from_str_radix(id, 16).unwrap(), 0, "{output}");
 
         daemon.shutdown();
     }

@@ -21,6 +21,7 @@ use crate::driver::{
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventCallback};
 use crate::job::{JobKind, JobManager, JobProgress, JobStats, JobTicket};
+use crate::metrics::span::{self, Stage};
 use crate::metrics::{Histogram, Registry};
 use crate::statestore::{DomainStatus, ObjectKind, StateStore};
 use crate::uuid::Uuid;
@@ -255,6 +256,7 @@ impl EmbeddedConnection {
             domain: record.name.clone(),
             uuid: record.uuid,
             kind,
+            trace_id: span::current_trace_id(),
         });
     }
 
@@ -270,6 +272,7 @@ impl EmbeddedConnection {
         let Some(binding) = &self.store else {
             return Ok(());
         };
+        let _span = span::stage(Stage::StateStore);
         // One lock acquisition for a consistent (info, spec) pair: the
         // domain must not change state between the two reads.
         match self.host.domain_snapshot(name) {
@@ -548,6 +551,7 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn define_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
         let _timer = self.ops.define.start_timer();
+        let _work = span::stage(Stage::DriverWork);
         self.ensure_alive()?;
         let config = DomainConfig::from_xml_str(xml)?;
         let record: DomainRecord = self.host.define_domain(config.to_spec())?.into();
@@ -563,6 +567,7 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn create_domain_xml(&self, xml: &str) -> VirtResult<DomainRecord> {
         let _timer = self.ops.create.start_timer();
+        let _work = span::stage(Stage::DriverWork);
         self.ensure_alive()?;
         let config = DomainConfig::from_xml_str(xml)?;
         let record: DomainRecord = self.host.create_domain(config.to_spec())?.into();
@@ -590,6 +595,7 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn start_domain(&self, name: &str) -> VirtResult<DomainRecord> {
         let _timer = self.ops.start.start_timer();
+        let _work = span::stage(Stage::DriverWork);
         self.ensure_alive()?;
         let record: DomainRecord = self.host.start_domain(name)?.into();
         let kind = if record.state == crate::driver::DomainState::Crashed {
@@ -604,6 +610,7 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn shutdown_domain(&self, name: &str) -> VirtResult<DomainRecord> {
         let _timer = self.ops.shutdown.start_timer();
+        let _work = span::stage(Stage::DriverWork);
         self.ensure_alive()?;
         let record: DomainRecord = if self.uses_monitor() {
             // Capture identity first: a transient domain vanishes from the
@@ -643,6 +650,7 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn destroy_domain(&self, name: &str) -> VirtResult<DomainRecord> {
         let _timer = self.ops.destroy.start_timer();
+        let _work = span::stage(Stage::DriverWork);
         self.ensure_alive()?;
         let record: DomainRecord = self.host.destroy_domain(name)?.into();
         self.sync_domain_state(name)?;
@@ -849,8 +857,11 @@ impl HypervisorConnection for EmbeddedConnection {
         options: &MigrationOptions,
     ) -> VirtResult<MigrationReport> {
         let _timer = self.ops.migrate.start_timer();
+        let _work = span::stage(Stage::DriverWork);
         self.ensure_alive()?;
+        let lock_started = std::time::Instant::now();
         let (info, spec) = self.host.domain_snapshot(name)?;
+        span::record_span(Stage::LockAcquire, lock_started.elapsed(), 0);
         let record = DomainRecord::from(info);
         let params =
             MigrationParams::new(spec.memory(), spec.dirty_rate(), options.bandwidth_mib_s)
@@ -864,6 +875,9 @@ impl HypervisorConnection for EmbeddedConnection {
         // sum to exactly `outcome.transferred`, the amount the previous
         // single-shot implementation charged.
         let ticket = self.jobs.begin(name, JobKind::Migration)?;
+        // One long job span for the whole cancellable transfer; each
+        // pre-copy slice below becomes a child event under it.
+        let _job_span = span::stage(Stage::Job);
         self.emit(&record, DomainEventKind::JobStarted);
         let total_mib = outcome.transferred.0;
         let precopy_mib: u64 = outcome.rounds.iter().map(|r| r.copied.0).sum();
@@ -902,6 +916,9 @@ impl HypervisorConnection for EmbeddedConnection {
             }
             processed_mib += chunk;
             elapsed += slice_time;
+            // Slice duration on the simulated migration clock — the
+            // number the pre-copy math produced, not host wall time.
+            span::record_span(Stage::MigrationSlice, slice_time, u64::from(iteration));
             ticket.update(JobProgress {
                 elapsed_ms: elapsed.as_millis() as u64,
                 total_mib,

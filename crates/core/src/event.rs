@@ -114,6 +114,10 @@ pub struct DomainEvent {
     pub uuid: Uuid,
     /// What happened.
     pub kind: DomainEventKind,
+    /// Trace id of the request that caused the event (job events carry
+    /// their job's trace), 0 when untraced. Connects an asynchronous
+    /// notification back to the flight-recorder span tree.
+    pub trace_id: u64,
 }
 
 /// Callback invoked for each event.
@@ -161,7 +165,7 @@ impl EventFilter {
 /// let hits = Arc::new(AtomicU32::new(0));
 /// let h = hits.clone();
 /// let id = bus.register(Arc::new(move |_event| { h.fetch_add(1, Ordering::SeqCst); }));
-/// bus.emit(&DomainEvent { domain: "vm".into(), uuid: Uuid::NIL, kind: DomainEventKind::Started });
+/// bus.emit(&DomainEvent { domain: "vm".into(), uuid: Uuid::NIL, kind: DomainEventKind::Started, trace_id: 0 });
 /// assert_eq!(hits.load(Ordering::SeqCst), 1);
 /// bus.unregister(id);
 /// ```
@@ -270,6 +274,7 @@ mod tests {
             domain: "vm".to_string(),
             uuid: Uuid::NIL,
             kind,
+            trace_id: 0,
         }
     }
 

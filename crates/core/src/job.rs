@@ -155,6 +155,10 @@ pub struct JobStats {
     pub memory_iterations: u32,
     /// Failure reason when `state` is [`JobState::Failed`].
     pub error: String,
+    /// The request trace the job was started under, 0 when untraced.
+    /// Lets `domjobinfo` and job events point back into the flight
+    /// recorder for the full stage breakdown.
+    pub trace_id: u64,
 }
 
 impl JobStats {
@@ -338,6 +342,9 @@ impl JobManager {
                 stats: JobStats {
                     kind,
                     state: JobState::Running,
+                    // Inherit the trace of the request that started the
+                    // job so later polls can find its spans.
+                    trace_id: crate::metrics::span::current_trace_id(),
                     ..JobStats::default()
                 },
                 abort: Arc::clone(&abort),

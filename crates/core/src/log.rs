@@ -744,4 +744,97 @@ mod tests {
             assert!(record.module.starts_with("mod"));
         }
     }
+
+    #[test]
+    fn filter_and_output_strings_round_trip_through_fromstr() {
+        // Display → FromStr → Display is the identity for every valid
+        // combination of level and destination.
+        for level in 1..=4u32 {
+            let filter: LogFilter = format!("{level}:daemon.rpc").parse().unwrap();
+            assert_eq!(
+                filter.to_string().parse::<LogFilter>().unwrap(),
+                filter,
+                "filter level {level}"
+            );
+            for kind in ["stderr", "journald", "buffer", "file:/var/log/v.log"] {
+                let text = format!("{level}:{kind}");
+                let output: LogOutput = text.parse().unwrap();
+                assert_eq!(output.to_string(), text);
+                assert_eq!(output.to_string().parse::<LogOutput>().unwrap(), output);
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_input_and_reason() {
+        // A rejected `level:kind:data` form must say *what* was wrong,
+        // not just fail — the admin CLI surfaces these verbatim.
+        let err = |s: &str| s.parse::<LogOutput>().unwrap_err().to_string();
+        assert!(
+            err("1:tape").contains("unknown output kind 'tape'"),
+            "{}",
+            err("1:tape")
+        );
+        assert!(err("1:tape").contains("'1:tape'"), "error names the input");
+        assert!(err("x:stderr").contains("level is not a number"));
+        assert!(err("9:stderr").contains("out of range"));
+        assert!(err("1:file").contains("requires a path"));
+        assert!(err("1:file:rel/path").contains("must be absolute"));
+        assert!(err("1:stderr:extra").contains("stderr takes no data"));
+        assert!(err("1:journald:x").contains("journald takes no data"));
+        assert!(err("1").contains("missing output kind"));
+
+        let ferr = |s: &str| s.parse::<LogFilter>().unwrap_err().to_string();
+        assert!(ferr("3util").contains("missing ':'"));
+        assert!(ferr("3:").contains("empty module match"));
+        assert!(ferr("q:util").contains("level is not a number"));
+    }
+
+    #[test]
+    fn settings_swap_is_atomic_under_a_reader_thread() {
+        // RCU property: a reader always sees settings wholly from one
+        // redefine — never level from A with filters from B.
+        let logger = Arc::new(buffered_logger(LogLevel::Debug));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let make = |n: u32| {
+            let level = LogLevel::from_number((n % 4) + 1).unwrap();
+            LogSettings {
+                level,
+                filters: LogSettings::parse_filters(&format!(
+                    "{}:mod{}",
+                    level.as_number(),
+                    level.as_number()
+                ))
+                .unwrap(),
+                outputs: LogSettings::parse_outputs(&format!("{}:buffer", level.as_number()))
+                    .unwrap(),
+            }
+        };
+        // Move off the constructor defaults before the reader starts, so
+        // every observable generation carries the consistency markers.
+        logger.redefine(make(0)).unwrap();
+        let reader = {
+            let logger = Arc::clone(&logger);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut observed = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let settings = logger.settings();
+                    // Internal consistency markers: each generation uses
+                    // its own level number in every field.
+                    let n = settings.level.as_number();
+                    assert_eq!(settings.filters.len(), 1, "whole generations only");
+                    assert_eq!(settings.filters[0].to_string(), format!("{n}:mod{n}"));
+                    assert_eq!(settings.outputs[0].to_string(), format!("{n}:buffer"));
+                    observed += 1;
+                }
+                observed
+            })
+        };
+        for n in 0..500 {
+            logger.redefine(make(n)).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        assert!(reader.join().unwrap() > 0);
+    }
 }

@@ -20,6 +20,7 @@ use crate::domain::Domain;
 use crate::driver::{MigrationOptions, MigrationReport};
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::job::JobHandle;
+use crate::metrics::span::{self, Stage};
 
 impl Domain {
     /// Starts a live migration to the host behind `dest` as a background
@@ -48,6 +49,12 @@ impl Domain {
         let dest_conn = dest.raw().clone();
         let name = self.name().to_string();
 
+        // One API-level span covers the whole migration, from the
+        // synchronous Begin/Prepare phases through the worker-thread
+        // Perform/Finish/Confirm — every RPC the phases issue becomes a
+        // child of it, so the trace reads as a single connected tree.
+        let api_span = span::enter(Stage::Api, 0);
+
         if !dest.capabilities()?.has_feature("migration") {
             return Err(VirtError::new(
                 ErrorCode::NoSupport,
@@ -62,7 +69,12 @@ impl Domain {
         dest_conn.migrate_prepare(&xml)?;
 
         let options = *options;
+        // The span detaches from this thread (its context slot is
+        // restored now) and rides into the worker closure, where it ends
+        // after Confirm — giving the trace the migration's full duration.
+        let owned_span = api_span.detach();
         Ok(JobHandle::spawn(self.clone(), move || {
+            let _ctx = owned_span.as_ref().map(|s| s.resume());
             // Phase 3: Perform. The guest keeps running on the source, so
             // a failure here (including an abort) needs no destination
             // rollback.

@@ -793,6 +793,9 @@ xdr_struct! {
         pub uuid: [u8; 16],
         /// Event kind discriminant.
         pub kind: u32,
+        /// Trace id of the request that caused the event, 0 when
+        /// untraced (job events carry their job's trace).
+        pub trace_id: u64,
     }
 }
 
@@ -802,6 +805,7 @@ impl From<&DomainEvent> for WireEvent {
             domain: e.domain.clone(),
             uuid: *e.uuid.as_bytes(),
             kind: e.kind.as_u32(),
+            trace_id: e.trace_id,
         }
     }
 }
@@ -813,6 +817,7 @@ impl WireEvent {
             domain: self.domain,
             uuid: Uuid::from_bytes(self.uuid),
             kind: DomainEventKind::from_u32(self.kind)?,
+            trace_id: self.trace_id,
         })
     }
 }
@@ -836,6 +841,9 @@ xdr_struct! {
         pub memory_iterations: u32,
         /// Failure reason for failed jobs.
         pub error: String,
+        /// Trace id of the request that started the job, 0 when
+        /// untraced.
+        pub trace_id: u64,
     }
 }
 
@@ -850,6 +858,7 @@ impl From<&JobStats> for WireJobStats {
             data_remaining_mib: s.data_remaining_mib,
             memory_iterations: s.memory_iterations,
             error: s.error.clone(),
+            trace_id: s.trace_id,
         }
     }
 }
@@ -865,6 +874,7 @@ impl From<WireJobStats> for JobStats {
             data_remaining_mib: w.data_remaining_mib,
             memory_iterations: w.memory_iterations,
             error: w.error,
+            trace_id: w.trace_id,
         }
     }
 }
@@ -1012,6 +1022,7 @@ mod tests {
             domain: "vm".into(),
             uuid: Uuid::from_bytes([3; 16]),
             kind: DomainEventKind::MigratedIn,
+            trace_id: 0xfeed_beef,
         };
         let wire = WireEvent::from(&event);
         let back = WireEvent::from_xdr(&wire.to_xdr())
@@ -1024,6 +1035,7 @@ mod tests {
             domain: "vm".into(),
             uuid: [0; 16],
             kind: 999,
+            trace_id: 0,
         };
         assert!(unknown.into_event().is_none());
     }
@@ -1039,6 +1051,7 @@ mod tests {
             data_remaining_mib: 3072,
             memory_iterations: 2,
             error: String::new(),
+            trace_id: 0xabad_cafe,
         };
         let wire = WireJobStats::from(&stats);
         let back: JobStats = WireJobStats::from_xdr(&wire.to_xdr()).unwrap().into();

@@ -232,6 +232,46 @@ impl AdminDispatcher {
                 )
                 .to_xdr()
             }
+            proc::TRACE_CONFIG => {
+                let args: adminproto::TraceConfigArgs = decode(payload)?;
+                let recorder = virt_core::metrics::recorder::FlightRecorder::global();
+                if let Some(enabled) = args.enabled {
+                    recorder.set_enabled(enabled);
+                    self.logger.info(
+                        "daemon.trace",
+                        if enabled {
+                            "request tracing enabled"
+                        } else {
+                            "request tracing disabled"
+                        },
+                    );
+                }
+                if let Some(ms) = args.slow_threshold_ms {
+                    recorder.set_slow_threshold(std::time::Duration::from_millis(ms));
+                }
+                adminproto::WireTraceConfig {
+                    enabled: recorder.is_enabled(),
+                    slow_threshold_ms: recorder.slow_threshold().as_millis() as u64,
+                    recorded: recorder.recorded(),
+                    capacity: virt_core::metrics::recorder::RECORDER_CAPACITY as u64,
+                }
+                .to_xdr()
+            }
+            proc::TRACE_DUMP => {
+                let args: adminproto::TraceDumpArgs = decode(payload)?;
+                let recorder = virt_core::metrics::recorder::FlightRecorder::global();
+                let events = recorder.drain();
+                if args.clear {
+                    recorder.clear();
+                }
+                adminproto::WireTraceEventList(
+                    events
+                        .iter()
+                        .map(adminproto::WireTraceEvent::from)
+                        .collect(),
+                )
+                .to_xdr()
+            }
             other => {
                 return Err(VirtError::new(
                     ErrorCode::RpcFailure,
@@ -513,6 +553,38 @@ impl AdminClient {
                 prefix: prefix.to_string(),
             },
         )?;
+        Ok(wire.0)
+    }
+
+    /// Reads or updates the daemon's flight-recorder configuration:
+    /// `None` fields leave the current value in place, so passing both
+    /// as `None` is a pure read. Returns the resulting configuration.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn trace_config(
+        &self,
+        enabled: Option<bool>,
+        slow_threshold_ms: Option<u64>,
+    ) -> VirtResult<adminproto::WireTraceConfig> {
+        self.call(
+            proc::TRACE_CONFIG,
+            &adminproto::TraceConfigArgs {
+                enabled,
+                slow_threshold_ms,
+            },
+        )
+    }
+
+    /// Drains the daemon's flight recorder, optionally clearing it.
+    ///
+    /// # Errors
+    ///
+    /// RPC failures.
+    pub fn trace_dump(&self, clear: bool) -> VirtResult<Vec<adminproto::WireTraceEvent>> {
+        let wire: adminproto::WireTraceEventList =
+            self.call(proc::TRACE_DUMP, &adminproto::TraceDumpArgs { clear })?;
         Ok(wire.0)
     }
 

@@ -30,9 +30,13 @@ use virt_rpc::PoolStats;
 /// | 12 | `LOG_SET_OUTPUTS` | output string → `()` |
 /// | 13 | `METRICS_LIST` | `()` → metric-name list |
 /// | 14 | `METRICS_FETCH` | [`MetricsFetchArgs`] → [`WireMetricList`] |
+/// | 15 | `TRACE_CONFIG` | [`TraceConfigArgs`] → [`WireTraceConfig`] |
+/// | 16 | `TRACE_DUMP` | [`TraceDumpArgs`] → [`WireTraceEventList`] |
 ///
-/// Procedures 13–14 are read-only: the dispatcher allows them for
-/// read-only admin clients.
+/// Procedures 13–14 and 16 are read-only: the dispatcher allows them
+/// for read-only admin clients. `TRACE_CONFIG` with every field absent
+/// is a pure read too, but numbering it writable keeps the check simple
+/// and honest — it *can* reconfigure the recorder.
 pub mod proc {
     /// List server names.
     pub const SRV_LIST: u32 = 1;
@@ -62,6 +66,10 @@ pub mod proc {
     pub const METRICS_LIST: u32 = 13;
     /// Fetch a snapshot of metrics, optionally filtered by name prefix.
     pub const METRICS_FETCH: u32 = 14;
+    /// Read or change flight-recorder settings (enable, slow threshold).
+    pub const TRACE_CONFIG: u32 = 15;
+    /// Drain the flight recorder's buffered trace events.
+    pub const TRACE_DUMP: u32 = 16;
 }
 
 /// Typed-parameter field: minimum ordinary workers.
@@ -314,6 +322,125 @@ impl From<WireMetric> for virt_core::metrics::MetricSnapshot {
 }
 
 xdr_struct! {
+    /// Flight-recorder settings update: absent fields leave the current
+    /// value untouched, so `TRACE_CONFIG` with both fields absent reads
+    /// the configuration without changing it.
+    pub struct TraceConfigArgs {
+        /// Turn request tracing on or off.
+        pub enabled: Option<bool>,
+        /// Slow-request promotion threshold in milliseconds; 0 disables
+        /// promotion.
+        pub slow_threshold_ms: Option<u64>,
+    }
+}
+
+xdr_struct! {
+    /// The flight recorder's current configuration.
+    pub struct WireTraceConfig {
+        /// Whether tracing is recording.
+        pub enabled: bool,
+        /// Slow-request promotion threshold in milliseconds (0 = off).
+        pub slow_threshold_ms: u64,
+        /// Events recorded since the daemon started (monotonic; the ring
+        /// holds only the newest).
+        pub recorded: u64,
+        /// Ring capacity in events.
+        pub capacity: u64,
+    }
+}
+
+xdr_struct! {
+    /// Arguments for draining the flight recorder.
+    pub struct TraceDumpArgs {
+        /// Also clear the ring after reading it.
+        pub clear: bool,
+    }
+}
+
+xdr_struct! {
+    /// One flight-recorder event on the wire.
+    pub struct WireTraceEvent {
+        /// Trace id shared by the whole request.
+        pub trace_id: u64,
+        /// This span's id.
+        pub span_id: u64,
+        /// Parent span id, 0 at the root.
+        pub parent_id: u64,
+        /// Stage discriminant ([`virt_core::metrics::span::Stage`]).
+        pub stage: u32,
+        /// 0 = begin, 1 = end.
+        pub phase: u32,
+        /// Event time, ns on the daemon's trace clock.
+        pub t_ns: u64,
+        /// Span duration in ns (end events; 0 on begin).
+        pub dur_ns: u64,
+        /// Stage-specific detail (procedure number, slice iteration, …).
+        pub detail: u64,
+    }
+}
+
+/// Wire list of trace events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireTraceEventList(pub Vec<WireTraceEvent>);
+
+impl XdrEncode for WireTraceEventList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(out);
+        for event in &self.0 {
+            event.encode(out);
+        }
+    }
+}
+
+impl XdrDecode for WireTraceEventList {
+    fn decode(cursor: &mut virt_rpc::xdr::Cursor<'_>) -> Result<Self, virt_rpc::xdr::XdrError> {
+        let len = u32::decode(cursor)?;
+        if len > 1_000_000 {
+            return Err(virt_rpc::xdr::XdrError::LengthTooLarge(len));
+        }
+        let mut items = Vec::with_capacity((len as usize).min(4096));
+        for _ in 0..len {
+            items.push(WireTraceEvent::decode(cursor)?);
+        }
+        Ok(WireTraceEventList(items))
+    }
+}
+
+impl From<&virt_core::metrics::recorder::TraceEvent> for WireTraceEvent {
+    fn from(e: &virt_core::metrics::recorder::TraceEvent) -> Self {
+        WireTraceEvent {
+            trace_id: e.trace_id,
+            span_id: e.span_id,
+            parent_id: e.parent_id,
+            stage: e.stage.as_u32(),
+            phase: e.phase.as_u32(),
+            t_ns: e.t_ns,
+            dur_ns: e.dur_ns,
+            detail: e.detail,
+        }
+    }
+}
+
+impl WireTraceEvent {
+    /// Decodes into a recorder event, dropping unknown stages/phases
+    /// (a newer daemon may emit kinds this client predates).
+    pub fn into_event(self) -> Option<virt_core::metrics::recorder::TraceEvent> {
+        use virt_core::metrics::recorder::EventPhase;
+        use virt_core::metrics::span::Stage;
+        Some(virt_core::metrics::recorder::TraceEvent {
+            trace_id: self.trace_id,
+            span_id: self.span_id,
+            parent_id: self.parent_id,
+            stage: Stage::from_u32(self.stage)?,
+            phase: EventPhase::from_u32(self.phase)?,
+            t_ns: self.t_ns,
+            dur_ns: self.dur_ns,
+            detail: self.detail,
+        })
+    }
+}
+
+xdr_struct! {
     /// Complete logging settings snapshot.
     pub struct WireLogInfo {
         /// Global level (1–4).
@@ -413,6 +540,45 @@ mod tests {
         };
         let decoded = ServerParamsArgs::from_xdr(&args.to_xdr()).unwrap();
         assert_eq!(decoded, args);
+    }
+
+    #[test]
+    fn trace_structs_round_trip() {
+        let args = TraceConfigArgs {
+            enabled: Some(true),
+            slow_threshold_ms: None,
+        };
+        assert_eq!(TraceConfigArgs::from_xdr(&args.to_xdr()).unwrap(), args);
+
+        let config = WireTraceConfig {
+            enabled: true,
+            slow_threshold_ms: 250,
+            recorded: 9001,
+            capacity: 4096,
+        };
+        assert_eq!(WireTraceConfig::from_xdr(&config.to_xdr()).unwrap(), config);
+
+        let list = WireTraceEventList(vec![WireTraceEvent {
+            trace_id: 0xaa,
+            span_id: 0xbb,
+            parent_id: 0,
+            stage: 4,
+            phase: 1,
+            t_ns: 123,
+            dur_ns: 456,
+            detail: 7,
+        }]);
+        let decoded = WireTraceEventList::from_xdr(&list.to_xdr()).unwrap();
+        assert_eq!(decoded, list);
+        let event = decoded.0[0].clone().into_event().unwrap();
+        assert_eq!(event.stage, virt_core::metrics::span::Stage::Dispatch);
+        assert_eq!(event.dur_ns, 456);
+        // Unknown stage discriminants are dropped, not mis-decoded.
+        let unknown = WireTraceEvent {
+            stage: 99,
+            ..list.0[0].clone()
+        };
+        assert!(unknown.into_event().is_none());
     }
 
     #[test]

@@ -17,6 +17,8 @@ use virt_core::drivers::embedded::EmbeddedConnection;
 use virt_core::error::{ErrorCode, VirtError, VirtResult};
 use virt_core::event::CallbackId;
 use virt_core::log::Logger;
+use virt_core::metrics::recorder::FlightRecorder;
+use virt_core::metrics::span;
 use virt_core::metrics::trace::{self, RequestId};
 use virt_core::metrics::{Counter, Histogram, Registry};
 use virt_core::protocol::{self, proc};
@@ -586,8 +588,17 @@ impl ProgramDispatcher for RemoteDispatcher {
         let proc_metrics = self.metrics.for_proc(header.procedure);
         self.metrics.calls.inc();
         let timer = proc_metrics.latency_us.start_timer();
+        let started = std::time::Instant::now();
         let result = self.handle(client, header, payload);
         drop(timer);
+        // Slow-request promotion: when the request ran over the recorder's
+        // threshold, its stage breakdown graduates from the in-memory ring
+        // into the structured log where it outlives the ring's churn.
+        if let Some(report) =
+            FlightRecorder::global().slow_report(span::current_trace_id(), started.elapsed())
+        {
+            self.logger.warning("daemon.trace", &report);
+        }
         match result {
             Ok(reply_payload) => Packet {
                 header: header.reply_ok(),

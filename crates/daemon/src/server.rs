@@ -14,6 +14,7 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
+use virt_metrics::span::{self, Stage};
 use virt_metrics::{Counter, Gauge, Registry};
 use virt_rpc::keepalive;
 use virt_rpc::message::{Header, MessageStatus, Packet, RpcError};
@@ -431,23 +432,41 @@ impl Server {
             // can block rides the ordinary pool, keeping the reader free
             // to notice a disconnect.
             if self.dispatcher.is_high_priority(packet.header.procedure) {
+                let _trace = span::server_enter(
+                    packet.header.trace_id,
+                    packet.header.parent_span,
+                    u64::from(packet.header.procedure),
+                );
                 let reply = self
                     .dispatcher
                     .dispatch(&client, packet.header, &packet.payload);
                 debug_assert_eq!(reply.header.serial, packet.header.serial);
+                let _write = span::stage(Stage::ReplyWrite);
                 let _ = client.send(&reply);
                 continue;
             }
 
             let dispatcher = Arc::clone(&self.dispatcher);
             let job_client = Arc::clone(&client);
+            let received = Instant::now();
             self.pool.submit(false, move || {
+                // Re-enter the wire trace on the worker: the dispatch span
+                // becomes a child of the client's stub span, and the time
+                // this closure sat in the pool queue is attributed as a
+                // queue-wait stage.
+                let _trace = span::server_enter(
+                    packet.header.trace_id,
+                    packet.header.parent_span,
+                    u64::from(packet.header.procedure),
+                );
+                span::record_span(Stage::QueueWait, received.elapsed(), 0);
                 let reply = dispatcher.dispatch(&job_client, packet.header, &packet.payload);
                 debug_assert_eq!(reply.header.serial, packet.header.serial);
                 debug_assert!(matches!(
                     reply.header.status,
                     MessageStatus::Ok | MessageStatus::Error
                 ));
+                let _write = span::stage(Stage::ReplyWrite);
                 let _ = job_client.send(&reply);
             });
         }

@@ -17,12 +17,17 @@
 //! - [`trace`] — a request-id (client id + RPC serial) carried through
 //!   dispatch so log records written while serving an RPC can be correlated
 //!   with the per-procedure latency histograms.
+//! - [`span`] / [`recorder`] — end-to-end request tracing: span contexts
+//!   carried over the wire, typed stages recorded as begin/end events
+//!   into a process-wide lock-free ring (the flight recorder).
 //!
 //! Snapshots serialize over the admin protocol and render as either a
 //! human-readable table or Prometheus text exposition format
 //! ([`prometheus_text`]).
 
 pub mod prometheus;
+pub mod recorder;
+pub mod span;
 pub mod trace;
 
 use std::collections::BTreeMap;
@@ -228,6 +233,54 @@ impl HistogramSnapshot {
         } else {
             Some(self.sum_ns as f64 / 1_000.0 / self.count as f64)
         }
+    }
+
+    /// Estimates the `q`-quantile (0 < q ≤ 1) in µs by locating the
+    /// bucket holding the target rank and interpolating linearly inside
+    /// it. Log₂ buckets bound the error to the bucket width — good
+    /// enough to tell a 100 µs p99 from a 10 ms one, which is what the
+    /// human-readable output needs. `None` when empty or `q` is out of
+    /// range.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket) in self.buckets.iter().enumerate() {
+            if bucket == 0 {
+                cumulative += bucket;
+                continue;
+            }
+            let next = cumulative + bucket;
+            if (next as f64) >= rank {
+                let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                // The overflow bucket has no upper bound; assume one
+                // octave, the same width every other bucket has.
+                let upper = bucket_upper_bound_us(i).unwrap_or(lower * 2);
+                let into = (rank - cumulative as f64) / bucket as f64;
+                return Some(lower as f64 + into * (upper - lower) as f64);
+            }
+            cumulative = next;
+        }
+        // Unreachable when count matches the buckets, but a racy
+        // snapshot copy may undercount; clamp to the top bound.
+        Some((1u64 << (BUCKET_COUNT - 1)) as f64)
+    }
+
+    /// Median estimate in µs.
+    pub fn p50_us(&self) -> Option<f64> {
+        self.quantile_us(0.50)
+    }
+
+    /// 90th-percentile estimate in µs.
+    pub fn p90_us(&self) -> Option<f64> {
+        self.quantile_us(0.90)
+    }
+
+    /// 99th-percentile estimate in µs.
+    pub fn p99_us(&self) -> Option<f64> {
+        self.quantile_us(0.99)
     }
 }
 
@@ -571,6 +624,58 @@ mod tests {
         let b_only = registry.snapshot("b.");
         assert_eq!(b_only.len(), 2);
         assert_eq!(b_only[1].value, MetricValue::Counter(1));
+    }
+
+    #[test]
+    fn quantile_estimates_land_in_the_right_buckets() {
+        let h = Histogram::new();
+        // 100 samples at ~3 µs (bucket [2,4)), 10 at ~100 µs (bucket
+        // [64,128)), 1 at ~5 ms (bucket [4096,8192)).
+        for _ in 0..100 {
+            h.record_ns(3_000);
+        }
+        for _ in 0..10 {
+            h.record_ns(100_000);
+        }
+        h.record_ns(5_000_000);
+        let snap = h.snapshot();
+        let p50 = snap.p50_us().unwrap();
+        assert!((2.0..4.0).contains(&p50), "p50 {p50}");
+        let p90 = snap.p90_us().unwrap();
+        assert!((2.0..4.0).contains(&p90), "p90 {p90} (100/111 ≈ 0.90)");
+        let p99 = snap.p99_us().unwrap();
+        assert!((64.0..128.0).contains(&p99), "p99 {p99}");
+        // q = 1.0 interpolates all the way to the bucket's upper bound.
+        let p100 = snap.quantile_us(1.0).unwrap();
+        assert!((4096.0..=8192.0).contains(&p100), "max {p100}");
+    }
+
+    #[test]
+    fn quantiles_reject_empty_and_out_of_range() {
+        let empty = Histogram::new().snapshot();
+        assert_eq!(empty.p50_us(), None);
+        let h = Histogram::new();
+        h.record_ns(1_000);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile_us(0.0), None);
+        assert_eq!(snap.quantile_us(1.5), None);
+        assert_eq!(snap.quantile_us(-0.5), None);
+        assert!(snap.p99_us().is_some());
+    }
+
+    #[test]
+    fn quantile_interpolates_monotonically() {
+        let h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record_ns(i * 10_000); // 0 µs .. 10 ms spread
+        }
+        let snap = h.snapshot();
+        let (p50, p90, p99) = (
+            snap.p50_us().unwrap(),
+            snap.p90_us().unwrap(),
+            snap.p99_us().unwrap(),
+        );
+        assert!(p50 <= p90 && p90 <= p99, "{p50} {p90} {p99}");
     }
 
     #[test]

@@ -24,8 +24,23 @@ pub fn sanitize_name(name: &str) -> String {
     out
 }
 
+/// Escapes a HELP line per the text-format spec: backslash and newline
+/// must be escaped (a literal newline would start a new exposition
+/// line); double quotes are escaped too so the same text is safe to
+/// reuse inside a label value.
 fn escape_help(help: &str) -> String {
-    help.replace('\\', "\\\\").replace('\n', "\\n")
+    help.replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('"', "\\\"")
+}
+
+/// Escapes a label value per the text-format spec: `\`, `\n` and `"`
+/// would otherwise terminate or corrupt the quoted value.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('"', "\\\"")
 }
 
 fn write_histogram(out: &mut String, name: &str, help: &str, snapshot: &HistogramSnapshot) {
@@ -38,7 +53,8 @@ fn write_histogram(out: &mut String, name: &str, help: &str, snapshot: &Histogra
         cumulative += bucket;
         match bucket_upper_bound_us(i) {
             Some(upper) => {
-                let _ = writeln!(out, "{name}_bucket{{le=\"{upper}\"}} {cumulative}");
+                let le = escape_label_value(&upper.to_string());
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
             }
             None => {
                 let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
@@ -101,6 +117,27 @@ mod tests {
         assert!(text.contains("# TYPE pool_depth gauge\npool_depth 2\n"));
         assert!(text.contains("# HELP rpc_calls Total RPC calls\n"));
         assert!(text.contains("# TYPE rpc_calls counter\nrpc_calls 3\n"));
+    }
+
+    #[test]
+    fn help_text_is_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter("c", "path \\tmp, a \"quoted\" word\nsecond line")
+            .inc();
+        let text = prometheus_text(&registry.snapshot(""));
+        assert!(
+            text.contains("# HELP c path \\\\tmp, a \\\"quoted\\\" word\\nsecond line\n"),
+            "{text}"
+        );
+        // The literal newline must not have survived into the HELP line.
+        assert!(!text.contains("word\nsecond"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\\b \"c\"\nd"), "a\\\\b \\\"c\\\"\\nd");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Sender};
 use parking_lot::Mutex;
+use virt_metrics::span::{self, Stage};
 
 use crate::bufpool::BufferPool;
 use crate::message::{self, Header, MessageStatus, MessageType, Packet, RpcError};
@@ -228,7 +229,16 @@ impl CallClient {
             return Err(CallError::Disconnected);
         }
         let serial = self.inner.next_serial.fetch_add(1, Ordering::Relaxed);
-        let header = Header::call(program, procedure, serial);
+        let mut header = Header::call(program, procedure, serial);
+
+        // The client-side stub span covers send through reply receipt;
+        // its context rides in the frame header so the daemon can attach
+        // its spans to the same trace. Inert when tracing is off.
+        let stub_span = span::enter(Stage::ClientSend, u64::from(procedure));
+        if let Some(ctx) = stub_span.context() {
+            header.trace_id = ctx.trace_id;
+            header.parent_span = ctx.span_id;
+        }
 
         let (tx, rx) = bounded(1);
         self.inner.pending.lock().insert(serial, tx);
@@ -236,6 +246,7 @@ impl CallClient {
         // Encode prefix + header + args straight into a pooled buffer and
         // put it on the wire as one write — no intermediate packet body.
         let sent = {
+            let _socket = span::stage(Stage::Socket);
             let mut frame = BufferPool::global().get();
             message::encode_frame(&header, args, &mut frame);
             self.inner.transport.send_framed(&frame)

@@ -79,10 +79,18 @@ pub struct Header {
     pub serial: u32,
     /// Ok or error (meaningful on replies).
     pub status: MessageStatus,
+    /// Tracing: the request's trace id, 0 when the call is untraced.
+    /// Carried in the fixed header so every program (remote, admin,
+    /// keepalive) propagates it without per-payload changes.
+    pub trace_id: u64,
+    /// Tracing: the sender's span id, the parent for spans opened on the
+    /// receiving side. 0 when untraced.
+    pub parent_span: u64,
 }
 
 impl Header {
-    /// Builds a call header.
+    /// Builds a call header (untraced; set the trace fields afterwards
+    /// to attach the call to a trace).
     pub fn call(program: u32, procedure: u32, serial: u32) -> Self {
         Header {
             program,
@@ -91,6 +99,8 @@ impl Header {
             mtype: MessageType::Call,
             serial,
             status: MessageStatus::Ok,
+            trace_id: 0,
+            parent_span: 0,
         }
     }
 
@@ -121,6 +131,8 @@ impl Header {
             mtype: MessageType::Event,
             serial: 0,
             status: MessageStatus::Ok,
+            trace_id: 0,
+            parent_span: 0,
         }
     }
 }
@@ -133,6 +145,8 @@ impl XdrEncode for Header {
         (self.mtype as u32).encode(out);
         self.serial.encode(out);
         (self.status as u32).encode(out);
+        self.trace_id.encode(out);
+        self.parent_span.encode(out);
     }
 }
 
@@ -145,6 +159,8 @@ impl XdrDecode for Header {
             mtype: MessageType::from_u32(u32::decode(cursor)?)?,
             serial: u32::decode(cursor)?,
             status: MessageStatus::from_u32(u32::decode(cursor)?)?,
+            trace_id: u64::decode(cursor)?,
+            parent_span: u64::decode(cursor)?,
         })
     }
 }
@@ -169,7 +185,7 @@ impl Packet {
 
     /// Serializes to the framed wire form (length prefix included).
     pub fn to_frame(&self) -> Vec<u8> {
-        let mut frame = Vec::with_capacity(4 + 24 + self.payload.len());
+        let mut frame = Vec::with_capacity(4 + 40 + self.payload.len());
         self.encode_frame_into(&mut frame);
         frame
     }
@@ -284,7 +300,7 @@ mod tests {
         let header = Header::call(REMOTE_PROGRAM, 17, 42);
         let decoded = Header::from_xdr(&header.to_xdr()).unwrap();
         assert_eq!(decoded, header);
-        assert_eq!(header.to_xdr().len(), 24);
+        assert_eq!(header.to_xdr().len(), 40);
     }
 
     #[test]

@@ -38,6 +38,12 @@ fi
 echo "== perf smoke (zero-alloc framing hot path, release) =="
 cargo test -q --release --offline -p virt-rpc --test framing_hotpath
 
+# Tracing must be free when off: the disabled span path performs no
+# allocations and a disabled span costs < 50 ns. Release mode for the
+# same calibration reasons as above.
+echo "== perf smoke (disabled-tracing overhead, release) =="
+cargo test -q --release --offline -p virt-metrics --test trace_overhead
+
 # Chaos suites last: they SIGKILL real daemon processes and churn
 # temp state directories, so everything cheap fails first.
 echo "== chaos (connection resilience) =="

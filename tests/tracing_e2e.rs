@@ -1,0 +1,139 @@
+//! End-to-end request-tracing acceptance: a live migration between two
+//! daemons over the remote protocol must produce ONE connected span tree
+//! — client stub → daemon dispatch → driver stages — with the same trace
+//! id on both sides of the wire.
+//!
+//! The testbed runs client and daemons in one process, so the
+//! process-global flight recorder sees both halves of every call. Lives
+//! in its own test binary so no unrelated test flips the recorder
+//! underneath the assertions.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use hypersim::SimClock;
+use virt_core::driver::MigrationOptions;
+use virt_core::metrics::recorder::{EventPhase, FlightRecorder, TraceEvent};
+use virt_core::metrics::span::Stage;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::Connect;
+use virtd::Virtd;
+
+fn unique(name: &str) -> String {
+    static N: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+#[test]
+fn migration_trace_is_one_connected_tree_across_the_wire() {
+    let recorder = FlightRecorder::global();
+    recorder.set_enabled(true);
+
+    let clock = SimClock::new();
+    let a = unique("trace-a");
+    let b = unique("trace-b");
+    let src_d = Virtd::builder(&a)
+        .clock(clock.clone())
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    src_d.register_memory_endpoint(&a).unwrap();
+    let dst_d = Virtd::builder(&b)
+        .clock(clock)
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    dst_d.register_memory_endpoint(&b).unwrap();
+    let src = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
+    let dst = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
+
+    let domain = src
+        .define_domain(&DomainConfig::new("traced", 1024, 2))
+        .unwrap();
+    domain.start().unwrap();
+    let report = domain
+        .migrate_to(&dst, &MigrationOptions::default())
+        .unwrap();
+    assert!(report.converged);
+
+    let events = recorder.drain();
+    recorder.set_enabled(false);
+
+    // The migration's trace is the one that carried per-slice events.
+    let trace_id = events
+        .iter()
+        .find(|e| e.stage == Stage::MigrationSlice)
+        .map(|e| e.trace_id)
+        .expect("migration recorded per-slice span events");
+    assert_ne!(trace_id, 0);
+    let trace: Vec<&TraceEvent> = events.iter().filter(|e| e.trace_id == trace_id).collect();
+
+    // Every stage of the request's journey appears under the SAME trace
+    // id: client-side stub and API spans, daemon-side queue wait and
+    // dispatch, driver-side lock acquisition, work, and slices.
+    for required in [
+        Stage::Api,
+        Stage::ClientSend,
+        Stage::QueueWait,
+        Stage::Dispatch,
+        Stage::LockAcquire,
+        Stage::DriverWork,
+        Stage::Job,
+        Stage::MigrationSlice,
+    ] {
+        assert!(
+            trace.iter().any(|e| e.stage == required),
+            "stage {} missing from the migration trace; got: {:?}",
+            required.name(),
+            trace.iter().map(|e| e.stage.name()).collect::<HashSet<_>>()
+        );
+    }
+
+    // Connectivity: exactly one root, and every other span's parent is a
+    // span of this same trace — client and daemon halves join into one
+    // tree because the stub's span context rode the frame header.
+    let spans: HashSet<u64> = trace.iter().map(|e| e.span_id).collect();
+    let begins: Vec<&&TraceEvent> = trace
+        .iter()
+        .filter(|e| e.phase == EventPhase::Begin)
+        .collect();
+    let roots: Vec<_> = begins.iter().filter(|e| e.parent_id == 0).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "migration trace must form a single tree, found {} roots",
+        roots.len()
+    );
+    assert_eq!(
+        roots[0].stage,
+        Stage::Api,
+        "the client API span is the root"
+    );
+    for event in &begins {
+        assert!(
+            event.parent_id == 0 || spans.contains(&event.parent_id),
+            "span {:016x} ({}) has dangling parent {:016x}",
+            event.span_id,
+            event.stage.name(),
+            event.parent_id
+        );
+    }
+
+    // Per-slice attribution: the simulated migration transfers 1024 MiB
+    // in multiple slices, each its own child event with the iteration
+    // number as detail.
+    let slices: Vec<_> = trace
+        .iter()
+        .filter(|e| e.stage == Stage::MigrationSlice && e.phase == EventPhase::End)
+        .collect();
+    assert!(!slices.is_empty(), "at least one migration slice recorded");
+
+    src.close();
+    dst.close();
+    src_d.shutdown();
+    dst_d.shutdown();
+}

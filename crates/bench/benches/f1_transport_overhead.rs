@@ -61,7 +61,9 @@ fn bench_transports(c: &mut Criterion) {
         .build()
         .unwrap();
     mem_daemon.register_memory_endpoint(&endpoint).unwrap();
-    let mem_conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let mem_conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     group.bench_function("memory", |b| b.iter(|| mem_conn.hostname().unwrap()));
 
     // unix
@@ -71,7 +73,9 @@ fn bench_transports(c: &mut Criterion) {
         .unwrap();
     let path = format!("/tmp/{}.sock", unique("f1c"));
     ux_daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
-    let ux_conn = Connect::open(&format!("qemu+unix:///system?socket={path}")).unwrap();
+    let ux_conn = Connect::builder(format!("qemu+unix:///system?socket={path}"))
+        .open()
+        .unwrap();
     group.bench_function("unix", |b| b.iter(|| ux_conn.hostname().unwrap()));
 
     // tcp
@@ -82,7 +86,9 @@ fn bench_transports(c: &mut Criterion) {
     let tcp_listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
     let tcp_addr = tcp_listener.local_addr().to_string();
     tcp_daemon.serve(Box::new(tcp_listener));
-    let tcp_conn = Connect::open(&format!("qemu+tcp://{tcp_addr}/system")).unwrap();
+    let tcp_conn = Connect::builder(format!("qemu+tcp://{tcp_addr}/system"))
+        .open()
+        .unwrap();
     group.bench_function("tcp", |b| b.iter(|| tcp_conn.hostname().unwrap()));
 
     // tls
@@ -93,7 +99,9 @@ fn bench_transports(c: &mut Criterion) {
     let tls_listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
     let tls_addr = tls_listener.local_addr().to_string();
     tls_daemon.serve(Box::new(TlsListener(tls_listener)));
-    let tls_conn = Connect::open(&format!("qemu+tls://{tls_addr}/system")).unwrap();
+    let tls_conn = Connect::builder(format!("qemu+tls://{tls_addr}/system"))
+        .open()
+        .unwrap();
     group.bench_function("tls", |b| b.iter(|| tls_conn.hostname().unwrap()));
 
     group.finish();

@@ -12,7 +12,7 @@ fn bench_listing(c: &mut Criterion) {
 
     for &n in &[1usize, 10, 100, 1000] {
         let (daemon, uri) = quiet_daemon();
-        let conn = Connect::open(&uri).unwrap();
+        let conn = Connect::builder(&uri).open().unwrap();
         define_domains(&conn, n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
@@ -33,7 +33,7 @@ fn bench_lookup(c: &mut Criterion) {
 
     for &n in &[10usize, 1000] {
         let (daemon, uri) = quiet_daemon();
-        let conn = Connect::open(&uri).unwrap();
+        let conn = Connect::builder(&uri).open().unwrap();
         define_domains(&conn, n);
         let target = format!("vm-{}", n / 2);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {

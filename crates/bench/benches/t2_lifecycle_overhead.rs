@@ -54,7 +54,9 @@ fn bench_lifecycle(c: &mut Criterion) {
         .build()
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let remote = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let remote = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     let remote_domain = remote
         .define_domain(&DomainConfig::new("vm", 512, 1))
         .unwrap();

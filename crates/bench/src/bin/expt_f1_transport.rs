@@ -125,7 +125,9 @@ fn main() {
             .build()
             .unwrap();
         daemon.register_memory_endpoint(&endpoint).unwrap();
-        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+        let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+            .open()
+            .unwrap();
         report("memory", &conn, &disk_counts, &mut csv);
         conn.close();
         daemon.shutdown();
@@ -138,7 +140,9 @@ fn main() {
             .unwrap();
         let path = format!("/tmp/{}.sock", unique("f1"));
         daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
-        let conn = Connect::open(&format!("qemu+unix:///system?socket={path}")).unwrap();
+        let conn = Connect::builder(format!("qemu+unix:///system?socket={path}"))
+            .open()
+            .unwrap();
         report("unix", &conn, &disk_counts, &mut csv);
         conn.close();
         daemon.shutdown();
@@ -153,7 +157,9 @@ fn main() {
         let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().to_string();
         daemon.serve(Box::new(listener));
-        let conn = Connect::open(&format!("qemu+tcp://{addr}/system")).unwrap();
+        let conn = Connect::builder(format!("qemu+tcp://{addr}/system"))
+            .open()
+            .unwrap();
         report("tcp", &conn, &disk_counts, &mut csv);
         conn.close();
         daemon.shutdown();
@@ -167,7 +173,9 @@ fn main() {
         let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().to_string();
         daemon.serve(Box::new(TlsListener(listener)));
-        let conn = Connect::open(&format!("qemu+tls://{addr}/system")).unwrap();
+        let conn = Connect::builder(format!("qemu+tls://{addr}/system"))
+            .open()
+            .unwrap();
         report("tls", &conn, &disk_counts, &mut csv);
         conn.close();
         daemon.shutdown();

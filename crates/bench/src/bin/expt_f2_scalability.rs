@@ -46,7 +46,9 @@ fn main() {
             .build()
             .unwrap();
         daemon.register_memory_endpoint(&endpoint).unwrap();
-        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+        let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+            .open()
+            .unwrap();
 
         let t = Instant::now();
         for i in 0..n {

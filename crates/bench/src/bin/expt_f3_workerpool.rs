@@ -37,7 +37,7 @@ fn throughput(uri: &str, clients: usize) -> f64 {
             let stop = Arc::clone(&stop);
             let ops = Arc::clone(&ops);
             std::thread::spawn(move || {
-                let conn = Connect::open(&uri).expect("connect");
+                let conn = Connect::builder(&uri).open().expect("connect");
                 let name = format!("tp-{i}");
                 conn.define_domain(&DomainConfig::new(&name, 16, 1))
                     .expect("define");
@@ -194,7 +194,7 @@ fn main() {
     let uri = format!("qemu+memory://{endpoint}/system");
     let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
 
-    let conn = Connect::open(&uri).unwrap();
+    let conn = Connect::builder(&uri).open().unwrap();
     conn.define_domain(&DomainConfig::new("wedge", 16, 1))
         .unwrap();
     conn.define_domain(&DomainConfig::new("queued", 16, 1))
@@ -207,7 +207,7 @@ fn main() {
     let wedger = {
         let uri = uri.clone();
         std::thread::spawn(move || {
-            let c = Connect::open(&uri).unwrap();
+            let c = Connect::builder(&uri).open().unwrap();
             let _ = c.domain_lookup_by_name("wedge").unwrap().start();
             c.close();
         })
@@ -218,7 +218,7 @@ fn main() {
     let queued_start = {
         let uri = uri.clone();
         std::thread::spawn(move || {
-            let c = Connect::open(&uri).unwrap();
+            let c = Connect::builder(&uri).open().unwrap();
             let t = Instant::now();
             let _ = c.domain_lookup_by_name("queued").unwrap().start();
             let elapsed = t.elapsed();

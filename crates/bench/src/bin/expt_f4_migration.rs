@@ -34,8 +34,12 @@ fn daemon_pair(clock: &SimClock) -> (Virtd, Virtd, Connect, Connect) {
         .build()
         .unwrap();
     dst.register_memory_endpoint(&b).unwrap();
-    let src_conn = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
-    let dst_conn = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
+    let src_conn = Connect::builder(format!("qemu+memory://{a}/system"))
+        .open()
+        .unwrap();
+    let dst_conn = Connect::builder(format!("qemu+memory://{b}/system"))
+        .open()
+        .unwrap();
     (src, dst, src_conn, dst_conn)
 }
 

@@ -65,8 +65,12 @@ fn abort_latency_ms(memory_mib: u64) -> f64 {
             .build()
             .unwrap();
         dst_d.register_memory_endpoint(&b).unwrap();
-        let src = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
-        let dst = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
+        let src = Connect::builder(format!("qemu+memory://{a}/system"))
+            .open()
+            .unwrap();
+        let dst = Connect::builder(format!("qemu+memory://{b}/system"))
+            .open()
+            .unwrap();
 
         let domain = src
             .define_domain(&DomainConfig::new("guest", memory_mib, 2))
@@ -107,7 +111,7 @@ struct SweepPoint {
 /// stats call vs one job-stats call per (pre-resolved) domain.
 fn stats_sweep(n: usize) -> SweepPoint {
     let (daemon, uri) = quiet_daemon();
-    let conn = Connect::open(&uri).unwrap();
+    let conn = Connect::builder(&uri).open().unwrap();
     // Defined (not started) guests: the sweep exceeds the quiet hosts'
     // vCPU overcommit budget, and stats work the same either way.
     let domains: Vec<_> = (0..n)

@@ -65,7 +65,9 @@ fn recovery_sweep(n: usize) -> SweepPoint {
             .build()
             .unwrap();
         seed.register_memory_endpoint(&endpoint).unwrap();
-        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+        let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+            .open()
+            .unwrap();
         for i in 0..n {
             let domain = conn
                 .define_domain(&DomainConfig::new(format!("vm-{i}"), 64, 1))

@@ -180,7 +180,7 @@ fn rpc_sweep(mixed: bool, csv: &mut String) {
         .expect("endpoint");
     let uri = format!("qemu+memory://{endpoint}/system");
 
-    let setup = Connect::open(&uri).expect("connect");
+    let setup = Connect::builder(&uri).open().expect("connect");
     for i in 0..DOMAINS {
         setup
             .define_domain(&DomainConfig::new(format!("vm-{i}"), 64, 1))
@@ -199,7 +199,7 @@ fn rpc_sweep(mixed: bool, csv: &mut String) {
     let mut base = 0.0;
     for &clients in &CLIENTS {
         let conns: Vec<Arc<Connect>> = (0..clients)
-            .map(|_| Arc::new(Connect::open(&uri).expect("connect")))
+            .map(|_| Arc::new(Connect::builder(&uri).open().expect("connect")))
             .collect();
         let point = sweep(clients, |c| {
             let conn = Arc::clone(&conns[c]);
@@ -265,8 +265,10 @@ fn interference(csv: &mut String) {
         .expect("dst daemon");
     dst_d.register_memory_endpoint(&b).expect("dst endpoint");
     let src_uri = format!("qemu+memory://{a}/system");
-    let src = Connect::open(&src_uri).expect("src connect");
-    let dst = Connect::open(&format!("qemu+memory://{b}/system")).expect("dst connect");
+    let src = Connect::builder(&src_uri).open().expect("src connect");
+    let dst = Connect::builder(format!("qemu+memory://{b}/system"))
+        .open()
+        .expect("dst connect");
 
     for i in 0..32 {
         src.define_domain(&DomainConfig::new(format!("vm-{i}"), 64, 1))
@@ -282,7 +284,7 @@ fn interference(csv: &mut String) {
         let threads: Vec<_> = (0..readers)
             .map(|c| {
                 let stop = Arc::clone(&stop);
-                let conn = Connect::open(&src_uri).expect("reader connect");
+                let conn = Connect::builder(&src_uri).open().expect("reader connect");
                 std::thread::spawn(move || {
                     let mut samples = Vec::with_capacity(1 << 16);
                     let mut i = 0u64;

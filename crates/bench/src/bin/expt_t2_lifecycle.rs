@@ -99,7 +99,9 @@ fn main() {
         .build()
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let remote_conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let remote_conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     let remote_domain = remote_conn
         .define_domain(&DomainConfig::new("vm", 512, 1))
         .unwrap();

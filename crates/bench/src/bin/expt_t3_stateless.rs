@@ -77,7 +77,9 @@ fn main() {
         .clock(esx_clock.clone())
         .build();
     testbed::register_host(&esx_name, esx_host);
-    let esx_conn = Connect::open(&format!("esx://{esx_name}/")).unwrap();
+    let esx_conn = Connect::builder(format!("esx://{esx_name}/"))
+        .open()
+        .unwrap();
     let esx_rows = run_mix(&esx_conn, &esx_clock);
     esx_conn.close();
     testbed::unregister_host(&esx_name);
@@ -95,7 +97,9 @@ fn main() {
         .build()
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let qemu_conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let qemu_conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     let qemu_rows = run_mix(&qemu_conn, &qemu_clock);
     qemu_conn.close();
     daemon.shutdown();

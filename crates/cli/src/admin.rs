@@ -786,7 +786,9 @@ mod tests {
         daemon.register_memory_endpoint(&name).unwrap();
         let path = format!("/tmp/{}.sock", unique("vadm-admin"));
         daemon.serve_admin(Box::new(UnixSocketListener::bind(&path).unwrap()));
-        let conn = virt_core::Connect::open(&format!("qemu+memory://{name}/system")).unwrap();
+        let conn = virt_core::Connect::builder(format!("qemu+memory://{name}/system"))
+            .open()
+            .unwrap();
         conn.list_domain_names().unwrap();
         conn.close();
 

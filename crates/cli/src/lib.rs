@@ -133,7 +133,7 @@ pub fn run_shell(
     input: &mut dyn std::io::BufRead,
     out: &mut dyn Write,
 ) -> VirtResult<()> {
-    let conn = Connect::open(uri)?;
+    let conn = Connect::builder(uri).open()?;
     w(out, &format!("Welcome to vsh, connected to {}", conn.uri()));
     w(out, "Type 'help' for commands, 'exit' to leave.");
     let mut line = String::new();
@@ -410,7 +410,7 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
             let name = arg(args, 0, "domain name")?;
             let dest_uri = arg(args, 1, "destination uri")?;
             let domain = conn.domain_lookup_by_name(name)?;
-            let dest = Connect::open(dest_uri)?;
+            let dest = Connect::builder(dest_uri).open()?;
             let report = domain.migrate_to(&dest, &MigrationOptions::default());
             dest.close();
             let report = report?;
@@ -1015,7 +1015,7 @@ mod migrate_cli_tests {
 
         // Seed a running domain through the library (XML with spaces does
         // not survive run_line's whitespace split).
-        let conn = virt_core::Connect::open(&src_uri).unwrap();
+        let conn = virt_core::Connect::builder(&src_uri).open().unwrap();
         let domain = conn
             .define_domain(&DomainConfig::new("wanderer", 512, 1))
             .unwrap();
@@ -1044,7 +1044,7 @@ mod migrate_cli_tests {
         daemon.register_memory_endpoint(&name).unwrap();
         let uri = format!("qemu+memory://{name}/system");
 
-        let conn = virt_core::Connect::open(&uri).unwrap();
+        let conn = virt_core::Connect::builder(&uri).open().unwrap();
         let domain = conn
             .define_domain(&DomainConfig::new("worker", 512, 1))
             .unwrap();
@@ -1087,7 +1087,7 @@ mod migrate_cli_tests {
 
         // Run the save while tracing is on: the job captures the trace
         // id of the RPC dispatch span it was started under.
-        let conn = virt_core::Connect::open(&uri).unwrap();
+        let conn = virt_core::Connect::builder(&uri).open().unwrap();
         let domain = conn
             .define_domain(&DomainConfig::new("worker", 512, 1))
             .unwrap();
@@ -1112,7 +1112,9 @@ mod migrate_cli_tests {
 
     #[test]
     fn domjobinfo_reports_idle_for_untouched_domain() {
-        let conn = virt_core::Connect::open("test:///default").unwrap();
+        let conn = virt_core::Connect::builder("test:///default")
+            .open()
+            .unwrap();
         let domain = conn
             .define_domain(&DomainConfig::new("idle-vm", 128, 1))
             .unwrap();

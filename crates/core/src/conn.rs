@@ -42,7 +42,7 @@ fn default_registry() -> &'static DriverRegistry {
 /// # fn main() -> Result<(), Box<dyn Error>> {
 /// use virt_core::Connect;
 ///
-/// let conn = Connect::open("test:///default")?;
+/// let conn = Connect::builder("test:///default").open()?;
 /// let domains = conn.list_all_domains()?;
 /// assert_eq!(domains[0].name(), "test");
 /// # Ok(())
@@ -161,19 +161,31 @@ impl Connect {
 
     /// Opens a connection using the default driver registry.
     ///
+    /// Deprecated: [`Connect::builder`] is the single way in — the
+    /// equivalent spelling is `Connect::builder(uri).open()`, and every
+    /// connection option (deadlines, keepalive, retry, reconnect,
+    /// breaker, registry) hangs off the same builder.
+    ///
     /// # Errors
     ///
     /// [`crate::ErrorCode::InvalidUri`] on a malformed URI;
     /// [`crate::ErrorCode::NoConnect`] when no endpoint answers.
+    #[deprecated(since = "0.2.0", note = "use Connect::builder(uri).open()")]
     pub fn open(uri: &str) -> VirtResult<Connect> {
         Connect::builder(uri).open()
     }
 
     /// Opens using an explicit registry (embedders and tests).
     ///
+    /// Deprecated: use `Connect::builder(uri).registry(registry).open()`.
+    ///
     /// # Errors
     ///
-    /// As [`Connect::open`].
+    /// As [`ConnectBuilder::open`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Connect::builder(uri).registry(registry).open()"
+    )]
     pub fn open_with_registry(uri: &str, registry: &DriverRegistry) -> VirtResult<Connect> {
         Connect::builder(uri).registry(registry).open()
     }
@@ -443,7 +455,7 @@ mod tests {
 
     #[test]
     fn open_test_default() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         assert!(conn.is_alive());
         assert_eq!(conn.uri(), "test:///default");
         assert_eq!(conn.hostname().unwrap(), "test-host");
@@ -477,26 +489,39 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_entry_points_still_work() {
+        // The old names are one-line wrappers over the builder; they
+        // must keep working for external callers until removed.
+        let conn = Connect::open("test:///default").unwrap();
+        assert!(conn.is_alive());
+        let mut registry = DriverRegistry::new();
+        registry.register(Arc::new(crate::drivers::test::TestDriver::new()));
+        let conn = Connect::open_with_registry("test:///default", &registry).unwrap();
+        assert!(conn.is_alive());
+    }
+
+    #[test]
     fn builder_rejects_bad_uris_at_open_time() {
         assert!(Connect::builder("not a uri").open().is_err());
     }
 
     #[test]
     fn open_rejects_bad_uris() {
-        assert!(Connect::open("not a uri").is_err());
-        assert!(Connect::open("warp+warp://x/").is_err());
+        assert!(Connect::builder("not a uri").open().is_err());
+        assert!(Connect::builder("warp+warp://x/").open().is_err());
     }
 
     #[test]
     fn unknown_scheme_falls_through_to_remote_and_fails_to_connect() {
         // No daemon is listening on the default socket in the test env.
-        let err = Connect::open("qemu:///system").unwrap_err();
+        let err = Connect::builder("qemu:///system").open().unwrap_err();
         assert_eq!(err.code(), crate::ErrorCode::NoConnect);
     }
 
     #[test]
     fn define_and_lifecycle_through_public_api() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         let config = DomainConfig::new("api-vm", 512, 1);
         let domain = conn.define_domain(&config).unwrap();
         assert_eq!(domain.name(), "api-vm");
@@ -509,7 +534,7 @@ mod tests {
 
     #[test]
     fn lookups_by_every_key() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         let by_name = conn.domain_lookup_by_name("test").unwrap();
         let id = by_name.id().unwrap();
         let by_id = conn.domain_lookup_by_id(id).unwrap();
@@ -520,7 +545,7 @@ mod tests {
 
     #[test]
     fn node_info_and_capabilities() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         let info = conn.node_info().unwrap();
         assert_eq!(info.hypervisor, "qemu");
         assert_eq!(info.active_domains, 1);
@@ -529,7 +554,7 @@ mod tests {
 
     #[test]
     fn close_invalidates_connection() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         conn.close();
         assert!(!conn.is_alive());
         assert!(conn.list_domain_names().is_err());

@@ -307,7 +307,7 @@ mod tests {
     use crate::xmlfmt::DomainConfig;
 
     fn setup() -> (Connect, Domain) {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         let domain = conn
             .define_domain(&DomainConfig::new("handle-vm", 256, 1))
             .unwrap();

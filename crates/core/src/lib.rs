@@ -33,7 +33,7 @@
 //! use virt_core::xmlfmt::DomainConfig;
 //! use virt_core::Connect;
 //!
-//! let conn = Connect::open("test:///default")?;
+//! let conn = Connect::builder("test:///default").open()?;
 //! let domain = conn.define_domain(&DomainConfig::new("demo", 512, 1))?;
 //! domain.start()?;
 //! assert!(domain.is_active()?);

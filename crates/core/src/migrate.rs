@@ -353,7 +353,10 @@ mod tests {
             dst_host,
             "qemu:///fixed",
         ))));
-        let dst = Connect::open_with_registry("qemu:///fixed", &registry).unwrap();
+        let dst = Connect::builder("qemu:///fixed")
+            .registry(&registry)
+            .open()
+            .unwrap();
         let domain = running_domain(&src, "vm", 512);
         domain
             .migrate_to(&dst, &MigrationOptions::default())

@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn network_lifecycle_through_handles() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         let net = conn
             .define_network(&NetworkConfig::new("lan", Ipv4Addr::new(10, 7, 0, 0)))
             .unwrap();
@@ -114,7 +114,7 @@ mod tests {
 
     #[test]
     fn default_network_exists_and_is_active() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         assert!(conn
             .list_networks()
             .unwrap()

@@ -205,7 +205,7 @@ mod tests {
     use hypersim::PoolBackend;
 
     fn pool() -> (Connect, StoragePool) {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         let pool = conn
             .define_storage_pool(&PoolConfig::new("images", PoolBackend::Dir, 1000))
             .unwrap();
@@ -260,7 +260,7 @@ mod tests {
 
     #[test]
     fn default_pool_exists_on_test_driver() {
-        let conn = Connect::open("test:///default").unwrap();
+        let conn = Connect::builder("test:///default").open().unwrap();
         let names = conn.list_storage_pools().unwrap();
         assert!(names.contains(&"default".to_string()));
         let default = conn.storage_pool_lookup_by_name("default").unwrap();

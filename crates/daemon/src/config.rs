@@ -28,6 +28,11 @@ pub struct VirtdConfig {
     /// `/run/libvirt` split), and startup runs a recovery pass against
     /// it. `None` keeps all state in memory.
     pub statedir: Option<std::path::PathBuf>,
+    /// Event-loop threads of the main server. Each multiplexes its
+    /// share of the connections over one epoll instance; requests still
+    /// execute on the worker pool, so a handful is enough even at
+    /// thousands of clients.
+    pub event_threads: usize,
 }
 
 impl VirtdConfig {
@@ -44,6 +49,7 @@ impl VirtdConfig {
             log: LogSettings::new(),
             credentials: None,
             statedir: None,
+            event_threads: 2,
         }
     }
 
@@ -68,6 +74,12 @@ impl VirtdConfig {
     /// Overrides the main pool limits.
     pub fn pool_limits(mut self, limits: PoolLimits) -> Self {
         self.pool_limits = limits;
+        self
+    }
+
+    /// Overrides the event-loop thread count of the main server.
+    pub fn event_threads(mut self, threads: usize) -> Self {
+        self.event_threads = threads.max(1);
         self
     }
 }

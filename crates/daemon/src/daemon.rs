@@ -17,7 +17,8 @@ use virt_rpc::transport::{memory_listener, Listener, MemoryConnector};
 use crate::admin::AdminDispatcher;
 use crate::config::VirtdConfig;
 use crate::dispatch::RemoteDispatcher;
-use crate::server::Server;
+use crate::eventloop::EventLoopOptions;
+use crate::server::{ServeHandle, Server};
 
 /// A running management daemon.
 ///
@@ -33,6 +34,9 @@ pub struct Virtd {
     registry: Arc<Registry>,
     /// Names registered in the global testbed, removed on shutdown.
     registered_endpoints: parking_lot::Mutex<Vec<String>>,
+    /// Accept-loop handles for every attached service; shutdown closes
+    /// and joins them so no accept thread outlives the daemon.
+    serve_handles: parking_lot::Mutex<Vec<ServeHandle>>,
 }
 
 impl std::fmt::Debug for Virtd {
@@ -245,22 +249,32 @@ impl VirtdBuilder {
                 .counter("recovery.duration_us", "Wall-clock startup recovery time")
                 .add(started.elapsed().as_micros() as u64);
         }
-        let main_server = Server::new(
+        let event_options = EventLoopOptions {
+            event_threads: self.config.event_threads,
+            ..EventLoopOptions::default()
+        };
+        let main_server = Server::with_event_options(
             "virtd",
             self.config.pool_limits,
             self.config.max_clients,
             remote_dispatcher,
+            event_options.clone(),
         )
         .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
         main_server.publish_metrics(&registry);
 
         let admin_dispatcher =
             AdminDispatcher::with_registry(Arc::clone(&logger), Arc::clone(&registry));
-        let admin_server = Server::new(
+        // The admin plane is low-traffic: one event thread is plenty.
+        let admin_server = Server::with_event_options(
             "admin",
             self.config.admin_pool_limits,
             self.config.max_clients,
             admin_dispatcher.clone(),
+            EventLoopOptions {
+                event_threads: 1,
+                ..event_options
+            },
         )
         .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
         admin_server.publish_metrics(&registry);
@@ -277,6 +291,7 @@ impl VirtdBuilder {
             logger,
             registry,
             registered_endpoints: parking_lot::Mutex::new(Vec::new()),
+            serve_handles: parking_lot::Mutex::new(Vec::new()),
         })
     }
 }
@@ -317,14 +332,18 @@ impl Virtd {
         self.hosts.get(scheme)
     }
 
-    /// Attaches a listener to the main server.
+    /// Attaches a listener to the main server. The daemon retains the
+    /// serve handle and closes + joins it at shutdown.
     pub fn serve(&self, listener: Box<dyn Listener>) {
-        self.main_server.serve(listener);
+        let handle = self.main_server.serve(listener);
+        self.serve_handles.lock().push(handle);
     }
 
-    /// Attaches a listener to the admin server.
+    /// Attaches a listener to the admin server (handle retained, as with
+    /// [`Virtd::serve`]).
     pub fn serve_admin(&self, listener: Box<dyn Listener>) {
-        self.admin_server.serve(listener);
+        let handle = self.admin_server.serve(listener);
+        self.serve_handles.lock().push(handle);
     }
 
     /// Creates an in-memory service on the main server, registers it in
@@ -351,11 +370,17 @@ impl Virtd {
         connector
     }
 
-    /// Stops both servers, closes all clients, and removes testbed
-    /// registrations.
+    /// Stops both servers gracefully: unregisters testbed endpoints,
+    /// stops accepting (joining every accept thread), lets in-flight
+    /// requests finish and their replies drain to the wire, then closes
+    /// all clients.
     pub fn shutdown(&self) {
         for endpoint in self.registered_endpoints.lock().drain(..) {
             testbed::unregister_daemon(&endpoint);
+        }
+        let handles: Vec<ServeHandle> = self.serve_handles.lock().drain(..).collect();
+        for handle in handles {
+            handle.join();
         }
         self.main_server.shutdown();
         self.admin_server.shutdown();
@@ -402,7 +427,9 @@ mod tests {
         let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
         daemon.register_memory_endpoint(&endpoint).unwrap();
 
-        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+        let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+            .open()
+            .unwrap();
         assert_eq!(conn.hostname().unwrap(), "d-qemu");
         let domain = conn
             .define_domain(&DomainConfig::new("vm", 512, 1))
@@ -427,7 +454,9 @@ mod tests {
         daemon.register_memory_endpoint(&endpoint).unwrap();
 
         for scheme in ["qemu", "xen", "lxc"] {
-            let conn = Connect::open(&format!("{scheme}+memory://{endpoint}/system")).unwrap();
+            let conn = Connect::builder(format!("{scheme}+memory://{endpoint}/system"))
+                .open()
+                .unwrap();
             assert_eq!(conn.hostname().unwrap(), format!("d-{scheme}"));
             assert_eq!(conn.capabilities().unwrap().hypervisor, scheme);
             conn.close();
@@ -440,7 +469,9 @@ mod tests {
         let endpoint = unique("virtd-unknown");
         let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
         daemon.register_memory_endpoint(&endpoint).unwrap();
-        let err = Connect::open(&format!("vbox+memory://{endpoint}/system")).unwrap_err();
+        let err = Connect::builder(format!("vbox+memory://{endpoint}/system"))
+            .open()
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::NoConnect);
         daemon.shutdown();
     }
@@ -459,7 +490,9 @@ mod tests {
                 .unwrap();
             let endpoint = unique("virtd-persist");
             daemon.register_memory_endpoint(&endpoint).unwrap();
-            let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+            let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+                .open()
+                .unwrap();
             let web = conn
                 .define_domain(&DomainConfig::new("web", 256, 1))
                 .unwrap();
@@ -481,7 +514,9 @@ mod tests {
             .unwrap();
         let endpoint = unique("virtd-persist2");
         daemon.register_memory_endpoint(&endpoint).unwrap();
-        let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+        let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+            .open()
+            .unwrap();
 
         let web = conn.domain_lookup_by_name("web").unwrap();
         assert!(web.autostart().unwrap());
@@ -516,7 +551,9 @@ mod tests {
         let daemon = Virtd::builder("d").with_quiet_hosts().build().unwrap();
         daemon.register_memory_endpoint(&endpoint).unwrap();
         daemon.shutdown();
-        let err = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap_err();
+        let err = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+            .open()
+            .unwrap_err();
         assert_eq!(err.code(), ErrorCode::NoConnect);
     }
 }

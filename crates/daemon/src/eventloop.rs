@@ -1,0 +1,790 @@
+//! The event-driven connection core: a small fixed set of epoll loop
+//! threads owning every ready-capable client connection.
+//!
+//! Thread-per-connection caps a daemon at thread-spawn cost: 5k idle
+//! monitoring clients would pin 5k stacks. Instead, each accepted
+//! transport that exposes a readiness surface ([`Readiness::Fd`] for
+//! sockets, [`Readiness::Notify`] for in-process channels) is handed to
+//! one of N loop threads, which multiplex all of them over a single
+//! [`Poller`]:
+//!
+//! - **Reads** are nonblocking and incremental: a per-connection
+//!   [`FrameReader`] accumulates the 4-byte length prefix and then the
+//!   body into a pooled buffer, surviving any split across reads. A
+//!   complete frame is handed to the server (keepalive and high-priority
+//!   procedures run inline on the loop thread; everything else goes to
+//!   the worker pool).
+//! - **Writes** go through a per-connection [`ConnSink`]: worker threads
+//!   try a direct nonblocking write, and only when the socket pushes
+//!   back does the remainder spill into a bounded queue drained on
+//!   `EPOLLOUT`. Past a soft cap the loop stops *reading* from that
+//!   client (natural backpressure); past a hard cap the client is
+//!   disconnected rather than allowed to balloon daemon memory.
+//! - **Teardown** is single-owner: whichever event notices the death
+//!   (read EOF, write error, hangup) removes the connection exactly
+//!   once, deregistering the fd and dropping the pooled read buffer back
+//!   to the freelist.
+//!
+//! Transports with no readiness surface ([`Readiness::Blocking`], e.g.
+//! the simulated-TLS transport) keep the legacy dedicated reader thread
+//! — the server falls back per connection, not globally.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use virt_metrics::{Counter, Gauge, Registry};
+use virt_rpc::message::MAX_PACKET_LEN;
+use virt_rpc::poll::{PollEvent, Poller, WAKE_TOKEN};
+use virt_rpc::transport::{Readiness, Transport};
+use virt_rpc::{BufferPool, PooledBuf};
+
+use crate::server::ClientHandle;
+
+/// Frames processed per connection per readiness event before yielding.
+/// Level-triggered epoll re-reports leftover data on the next wait, so
+/// capping the batch keeps one flooding client from starving the rest of
+/// the loop without losing any frames.
+const MAX_FRAMES_PER_EVENT: usize = 32;
+
+/// Tuning for the event loops of one server.
+#[derive(Debug, Clone)]
+pub struct EventLoopOptions {
+    /// Number of loop threads. Connections are assigned round-robin.
+    pub event_threads: usize,
+    /// Queued-write bytes above which the loop stops reading from the
+    /// connection until the queue drains (per connection).
+    pub write_soft_cap: usize,
+    /// Queued-write bytes below which a paused connection resumes reads.
+    pub write_resume_mark: usize,
+    /// Queued-write bytes above which the connection is disconnected —
+    /// a client that never reads replies cannot hold daemon memory.
+    pub write_hard_cap: usize,
+}
+
+impl Default for EventLoopOptions {
+    fn default() -> Self {
+        EventLoopOptions {
+            event_threads: 2,
+            write_soft_cap: 256 * 1024,
+            write_resume_mark: 64 * 1024,
+            write_hard_cap: 4 * 1024 * 1024,
+        }
+    }
+}
+
+/// `server.{name}.event_loop.*` instrumentation, shared across all loop
+/// threads of one server.
+#[derive(Debug)]
+pub(crate) struct EventLoopMetrics {
+    /// Connections currently owned by the loops (fd-backed and channel).
+    pub registered_fds: Arc<Gauge>,
+    /// Times a loop thread woke from `epoll_wait`.
+    pub wakeups: Arc<Counter>,
+    /// Readiness events delivered across all wakeups.
+    pub ready_events: Arc<Counter>,
+    /// Bytes currently queued for write across all connections.
+    pub write_queue_bytes: Arc<Gauge>,
+    /// Times a connection's reads were paused by the write soft cap.
+    pub reads_paused: Arc<Counter>,
+    /// Connections dropped for exceeding the write hard cap.
+    pub backpressure_closes: Arc<Counter>,
+}
+
+impl EventLoopMetrics {
+    pub(crate) fn new() -> Arc<EventLoopMetrics> {
+        Arc::new(EventLoopMetrics {
+            registered_fds: Arc::new(Gauge::new()),
+            wakeups: Arc::new(Counter::new()),
+            ready_events: Arc::new(Counter::new()),
+            write_queue_bytes: Arc::new(Gauge::new()),
+            reads_paused: Arc::new(Counter::new()),
+            backpressure_closes: Arc::new(Counter::new()),
+        })
+    }
+
+    pub(crate) fn publish(&self, registry: &Registry, server_name: &str) {
+        let n = server_name;
+        let _ = registry.register_gauge(
+            &format!("server.{n}.event_loop.registered_fds"),
+            "Connections owned by the event loops (sockets and in-process channels)",
+            Arc::clone(&self.registered_fds),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.event_loop.wakeups"),
+            "Event-loop thread wakeups from epoll_wait",
+            Arc::clone(&self.wakeups),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.event_loop.ready_events"),
+            "Readiness events delivered to the event loops",
+            Arc::clone(&self.ready_events),
+        );
+        let _ = registry.register_gauge(
+            &format!("server.{n}.event_loop.write_queue_bytes"),
+            "Reply bytes queued for write across all connections",
+            Arc::clone(&self.write_queue_bytes),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.event_loop.reads_paused"),
+            "Times a connection's reads were paused by write backpressure",
+            Arc::clone(&self.reads_paused),
+        );
+        let _ = registry.register_counter(
+            &format!("server.{n}.event_loop.backpressure_closes"),
+            "Connections dropped for exceeding the write-queue hard cap",
+            Arc::clone(&self.backpressure_closes),
+        );
+    }
+}
+
+/// The server-side callbacks a loop fires. Implemented by `Server` (via
+/// a weak reference, so the core never keeps its server alive).
+pub(crate) trait ConnEvents: Send + Sync + 'static {
+    /// A complete frame body arrived. Runs on the loop thread; returns
+    /// whether to keep the connection (protocol garbage drops it).
+    fn on_frame(&self, client: &Arc<ClientHandle>, body: &[u8]) -> bool;
+
+    /// The connection is gone; the transport is already shut down.
+    fn on_closed(&self, client: &Arc<ClientHandle>);
+}
+
+/// Incremental frame parser: 4-byte big-endian length prefix, then the
+/// body, accumulated across arbitrarily small reads into a pooled
+/// buffer. Dropping the reader returns the buffer to the pool — the
+/// teardown path leaks nothing even when a client dies mid-frame.
+struct FrameReader {
+    prefix: [u8; 4],
+    prefix_have: usize,
+    body: PooledBuf,
+    body_have: usize,
+    body_len: usize,
+    in_body: bool,
+}
+
+impl FrameReader {
+    fn new() -> FrameReader {
+        FrameReader {
+            prefix: [0; 4],
+            prefix_have: 0,
+            body: BufferPool::global().get(),
+            body_have: 0,
+            body_len: 0,
+            in_body: false,
+        }
+    }
+}
+
+/// One queued (possibly partially written) wire frame.
+struct QueuedFrame {
+    buf: PooledBuf,
+    off: usize,
+}
+
+struct SinkState {
+    queue: VecDeque<QueuedFrame>,
+    /// Total unwritten bytes across `queue`.
+    queued: usize,
+    /// EPOLLOUT interest is armed.
+    want_write: bool,
+    /// EPOLLIN interest is dropped (write soft cap exceeded).
+    paused_reads: bool,
+    closed: bool,
+}
+
+enum SinkRoute {
+    /// The transport's own send never blocks (in-process channels) —
+    /// frames go straight through.
+    Direct,
+    /// Nonblocking fd: direct-write fast path with spillover queue
+    /// drained by the owning loop on `EPOLLOUT`.
+    Queued {
+        fd: i32,
+        token: u64,
+        poller: Arc<Poller>,
+        state: Mutex<SinkState>,
+        soft_cap: usize,
+        resume_mark: usize,
+        hard_cap: usize,
+    },
+}
+
+/// The write side of one event-loop connection. Shared between the loop
+/// (flushing on `EPOLLOUT`) and worker threads (`ClientHandle::send`).
+pub(crate) struct ConnSink {
+    transport: Arc<dyn Transport>,
+    route: SinkRoute,
+    metrics: Arc<EventLoopMetrics>,
+    bytes_out: Arc<Counter>,
+}
+
+impl ConnSink {
+    /// Sends one complete wire frame (length prefix included, as laid
+    /// out by `Packet::encode_frame_into`).
+    pub(crate) fn send_wire(&self, wire: &[u8]) -> io::Result<()> {
+        match &self.route {
+            SinkRoute::Direct => {
+                self.transport.send_framed(wire)?;
+                self.bytes_out.add(wire.len().saturating_sub(4) as u64);
+                Ok(())
+            }
+            SinkRoute::Queued { .. } => self.send_queued(wire),
+        }
+    }
+
+    fn send_queued(&self, wire: &[u8]) -> io::Result<()> {
+        let SinkRoute::Queued {
+            state,
+            soft_cap,
+            hard_cap,
+            ..
+        } = &self.route
+        else {
+            unreachable!()
+        };
+        let mut st = state.lock();
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection closed",
+            ));
+        }
+        let mut off = 0;
+        if st.queue.is_empty() {
+            // Fast path: the socket usually accepts the whole frame and
+            // no queuing (or loop involvement) happens at all.
+            loop {
+                match self.transport.try_write(&wire[off..]) {
+                    Ok(0) => {
+                        self.close_locked(&mut st);
+                        return Err(io::ErrorKind::WriteZero.into());
+                    }
+                    Ok(n) => {
+                        off += n;
+                        if off == wire.len() {
+                            self.bytes_out.add(wire.len().saturating_sub(4) as u64);
+                            return Ok(());
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => {
+                        self.close_locked(&mut st);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        // Spill the remainder (or, with a backlog, the whole frame —
+        // ordering must hold) into the queue and arm EPOLLOUT.
+        let mut buf = BufferPool::global().get();
+        buf.extend_from_slice(&wire[off..]);
+        let add = buf.len();
+        st.queue.push_back(QueuedFrame { buf, off: 0 });
+        st.queued += add;
+        self.metrics.write_queue_bytes.add(add as u64);
+        self.bytes_out.add(wire.len().saturating_sub(4) as u64);
+        if st.queued > *hard_cap {
+            // The client is not reading replies; cut it loose instead of
+            // letting its backlog grow without bound.
+            self.metrics.backpressure_closes.inc();
+            self.close_locked(&mut st);
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "write queue overflow",
+            ));
+        }
+        let mut update = false;
+        if !st.want_write {
+            st.want_write = true;
+            update = true;
+        }
+        if st.queued > *soft_cap && !st.paused_reads {
+            st.paused_reads = true;
+            self.metrics.reads_paused.inc();
+            update = true;
+        }
+        if update {
+            self.update_interest_locked(&st);
+        }
+        Ok(())
+    }
+
+    /// Drains as much of the queue as the socket accepts. Called by the
+    /// loop on `EPOLLOUT`; returns whether the connection survives.
+    fn flush(&self) -> bool {
+        let SinkRoute::Queued {
+            state, resume_mark, ..
+        } = &self.route
+        else {
+            return true;
+        };
+        let mut st = state.lock();
+        if st.closed {
+            return false;
+        }
+        while let Some(front) = st.queue.front_mut() {
+            match self.transport.try_write(&front.buf[front.off..]) {
+                Ok(0) => {
+                    self.close_locked(&mut st);
+                    return false;
+                }
+                Ok(n) => {
+                    front.off += n;
+                    let done = front.off == front.buf.len();
+                    st.queued -= n;
+                    self.metrics.write_queue_bytes.sub(n as u64);
+                    if done {
+                        st.queue.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_locked(&mut st);
+                    return false;
+                }
+            }
+        }
+        let mut update = false;
+        if st.queue.is_empty() && st.want_write {
+            st.want_write = false;
+            update = true;
+        }
+        if st.paused_reads && st.queued <= *resume_mark {
+            st.paused_reads = false;
+            update = true;
+        }
+        if update {
+            self.update_interest_locked(&st);
+        }
+        true
+    }
+
+    /// Whether backpressure currently pauses reads from this connection.
+    fn reads_paused(&self) -> bool {
+        match &self.route {
+            SinkRoute::Direct => false,
+            SinkRoute::Queued { state, .. } => state.lock().paused_reads,
+        }
+    }
+
+    /// Unwritten reply bytes queued on this connection.
+    fn queued_bytes(&self) -> usize {
+        match &self.route {
+            SinkRoute::Direct => 0,
+            SinkRoute::Queued { state, .. } => state.lock().queued,
+        }
+    }
+
+    /// Marks the sink dead, releases the queue, and shuts the transport
+    /// down (which surfaces as a hangup on the owning loop).
+    fn close(&self) {
+        if let SinkRoute::Queued { state, .. } = &self.route {
+            let mut st = state.lock();
+            if !st.closed {
+                self.close_locked(&mut st);
+                return;
+            }
+        }
+        let _ = self.transport.shutdown();
+    }
+
+    fn close_locked(&self, st: &mut SinkState) {
+        st.closed = true;
+        self.metrics.write_queue_bytes.sub(st.queued as u64);
+        st.queued = 0;
+        st.queue.clear();
+        // Waking the peer: shutdown makes the fd readable-with-EOF, so
+        // the owning loop notices and runs the teardown path. EPOLLERR
+        // and EPOLLHUP are always delivered regardless of interest.
+        let _ = self.transport.shutdown();
+    }
+
+    fn update_interest_locked(&self, st: &SinkState) {
+        if let SinkRoute::Queued {
+            fd, token, poller, ..
+        } = &self.route
+        {
+            let _ = poller.modify(*fd, *token, !st.paused_reads, st.want_write);
+        }
+    }
+}
+
+enum ConnKind {
+    Fd(i32),
+    Channel,
+}
+
+/// One event-loop-owned connection: the read state machine plus the
+/// write sink, keyed by the client id (which doubles as the epoll
+/// token).
+struct Conn {
+    id: u64,
+    client: Arc<ClientHandle>,
+    kind: ConnKind,
+    reader: Mutex<FrameReader>,
+    sink: Arc<ConnSink>,
+    /// Channel conns: set by the notifier, cleared by the drain — one
+    /// queued wakeup at a time no matter how many frames arrive.
+    notify_pending: Arc<AtomicBool>,
+    /// First closer wins; everything else becomes a no-op.
+    closing: AtomicBool,
+}
+
+struct LoopShared {
+    poller: Arc<Poller>,
+    conns: Mutex<HashMap<u64, Arc<Conn>>>,
+    /// Channel connections flagged ready since the last drain.
+    ready_channels: Mutex<Vec<u64>>,
+    shutdown: AtomicBool,
+    events: Arc<dyn ConnEvents>,
+    metrics: Arc<EventLoopMetrics>,
+}
+
+/// The event cores of one server: N loop threads, each with its own
+/// poller and connection map.
+pub(crate) struct EventCore {
+    loops: Vec<Arc<LoopShared>>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    next_loop: AtomicUsize,
+    options: EventLoopOptions,
+    metrics: Arc<EventLoopMetrics>,
+}
+
+impl EventCore {
+    /// Starts the loop threads. Fails where epoll is unavailable — the
+    /// server then serves every connection on legacy reader threads.
+    pub(crate) fn start(
+        server_name: &str,
+        options: EventLoopOptions,
+        events: Arc<dyn ConnEvents>,
+        metrics: Arc<EventLoopMetrics>,
+    ) -> io::Result<EventCore> {
+        let threads_wanted = options.event_threads.max(1);
+        let mut loops = Vec::with_capacity(threads_wanted);
+        let mut handles = Vec::with_capacity(threads_wanted);
+        for i in 0..threads_wanted {
+            let shared = Arc::new(LoopShared {
+                poller: Arc::new(Poller::new()?),
+                conns: Mutex::new(HashMap::new()),
+                ready_channels: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+                events: Arc::clone(&events),
+                metrics: Arc::clone(&metrics),
+            });
+            let run_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("{server_name}-evloop-{i}"))
+                .spawn(move || Self::run(&run_shared))
+                .map_err(|e| io::Error::other(format!("spawning event loop: {e}")))?;
+            loops.push(shared);
+            handles.push(handle);
+        }
+        Ok(EventCore {
+            loops,
+            threads: Mutex::new(handles),
+            next_loop: AtomicUsize::new(0),
+            options,
+            metrics,
+        })
+    }
+
+    /// Hands a freshly admitted client to one of the loops. On success
+    /// the client's sink is installed and all its frames flow through
+    /// the event core; on error the caller owns the fallback.
+    pub(crate) fn register(
+        &self,
+        client: &Arc<ClientHandle>,
+        bytes_out: Arc<Counter>,
+    ) -> io::Result<()> {
+        let idx = self.next_loop.fetch_add(1, Ordering::Relaxed) % self.loops.len();
+        let shared = &self.loops[idx];
+        if shared.shutdown.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "event core stopped",
+            ));
+        }
+        let transport = Arc::clone(&client.transport);
+        let id = client.id;
+        match transport.readiness() {
+            Readiness::Fd(fd) => {
+                transport.set_nonblocking(true)?;
+                let sink = Arc::new(ConnSink {
+                    transport: Arc::clone(&transport),
+                    route: SinkRoute::Queued {
+                        fd,
+                        token: id,
+                        poller: Arc::clone(&shared.poller),
+                        state: Mutex::new(SinkState {
+                            queue: VecDeque::new(),
+                            queued: 0,
+                            want_write: false,
+                            paused_reads: false,
+                            closed: false,
+                        }),
+                        soft_cap: self.options.write_soft_cap,
+                        resume_mark: self.options.write_resume_mark,
+                        hard_cap: self.options.write_hard_cap,
+                    },
+                    metrics: Arc::clone(&self.metrics),
+                    bytes_out,
+                });
+                client.install_sink(Arc::clone(&sink));
+                let conn = Arc::new(Conn {
+                    id,
+                    client: Arc::clone(client),
+                    kind: ConnKind::Fd(fd),
+                    reader: Mutex::new(FrameReader::new()),
+                    sink,
+                    notify_pending: Arc::new(AtomicBool::new(false)),
+                    closing: AtomicBool::new(false),
+                });
+                shared.conns.lock().insert(id, conn);
+                if let Err(e) = shared.poller.register(fd, id, true, false) {
+                    shared.conns.lock().remove(&id);
+                    let _ = transport.set_nonblocking(false);
+                    return Err(e);
+                }
+                self.metrics.registered_fds.inc();
+            }
+            Readiness::Notify => {
+                let sink = Arc::new(ConnSink {
+                    transport: Arc::clone(&transport),
+                    route: SinkRoute::Direct,
+                    metrics: Arc::clone(&self.metrics),
+                    bytes_out,
+                });
+                client.install_sink(Arc::clone(&sink));
+                let conn = Arc::new(Conn {
+                    id,
+                    client: Arc::clone(client),
+                    kind: ConnKind::Channel,
+                    reader: Mutex::new(FrameReader::new()),
+                    sink,
+                    notify_pending: Arc::new(AtomicBool::new(false)),
+                    closing: AtomicBool::new(false),
+                });
+                shared.conns.lock().insert(id, Arc::clone(&conn));
+                self.metrics.registered_fds.inc();
+                let flag = Arc::clone(&conn.notify_pending);
+                let weak: Weak<LoopShared> = Arc::downgrade(shared);
+                // The notifier fires immediately if frames are already
+                // waiting, so registration cannot miss a wakeup.
+                transport.set_ready_notifier(Some(Arc::new(move || {
+                    if !flag.swap(true, Ordering::AcqRel) {
+                        if let Some(shared) = weak.upgrade() {
+                            shared.ready_channels.lock().push(id);
+                            shared.poller.wake();
+                        }
+                    }
+                })));
+            }
+            Readiness::Blocking => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "transport has no readiness surface",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks until every connection's write queue is empty or the
+    /// timeout passes — the graceful half of shutdown: in-flight replies
+    /// reach the wire before the loops stop.
+    pub(crate) fn drain(&self, timeout: Duration) {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let pending: usize = self
+                .loops
+                .iter()
+                .flat_map(|l| l.conns.lock().values().cloned().collect::<Vec<_>>())
+                .map(|c| c.sink.queued_bytes())
+                .sum();
+            if pending == 0 || Instant::now() >= deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Stops the loop threads and tears down every remaining connection
+    /// (firing `on_closed` for each).
+    pub(crate) fn stop(&self) {
+        for shared in &self.loops {
+            shared.shutdown.store(true, Ordering::Release);
+            shared.poller.wake();
+        }
+        for handle in self.threads.lock().drain(..) {
+            let _ = handle.join();
+        }
+        for shared in &self.loops {
+            let conns: Vec<Arc<Conn>> = shared.conns.lock().values().cloned().collect();
+            for conn in conns {
+                Self::teardown(shared, &conn);
+            }
+        }
+    }
+
+    fn run(shared: &Arc<LoopShared>) {
+        let mut events: Vec<PollEvent> = Vec::with_capacity(256);
+        loop {
+            events.clear();
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if shared.poller.wait(&mut events, None).is_err() {
+                return;
+            }
+            shared.metrics.wakeups.inc();
+            shared.metrics.ready_events.add(events.len() as u64);
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            for ev in &events {
+                if ev.token == WAKE_TOKEN {
+                    Self::drain_channels(shared);
+                    continue;
+                }
+                let conn = shared.conns.lock().get(&ev.token).cloned();
+                let Some(conn) = conn else { continue };
+                let mut keep = true;
+                if ev.writable {
+                    keep = conn.sink.flush();
+                }
+                if keep && (ev.readable || ev.hangup) {
+                    keep = Self::handle_readable(shared, &conn);
+                }
+                if !keep {
+                    Self::teardown(shared, &conn);
+                }
+            }
+        }
+    }
+
+    /// Reads until the socket would block, a frame budget is spent, or
+    /// the connection dies. Returns whether it survives.
+    fn handle_readable(shared: &Arc<LoopShared>, conn: &Arc<Conn>) -> bool {
+        let transport = &conn.client.transport;
+        let mut r = conn.reader.lock();
+        let mut frames = 0;
+        loop {
+            if !r.in_body {
+                let have = r.prefix_have;
+                match transport.try_read(&mut r.prefix[have..]) {
+                    Ok(0) => return false, // EOF
+                    Ok(n) => {
+                        r.prefix_have += n;
+                        if r.prefix_have == 4 {
+                            let len = u32::from_be_bytes(r.prefix);
+                            if len == 0 || len > MAX_PACKET_LEN {
+                                return false; // protocol garbage
+                            }
+                            r.body_len = len as usize;
+                            r.body_have = 0;
+                            r.body.clear();
+                            r.body.resize(len as usize, 0);
+                            r.in_body = true;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            } else {
+                let (have, len) = (r.body_have, r.body_len);
+                match transport.try_read(&mut r.body[have..len]) {
+                    Ok(0) => return false, // died mid-frame
+                    Ok(n) => {
+                        r.body_have += n;
+                        if r.body_have == r.body_len {
+                            r.in_body = false;
+                            r.prefix_have = 0;
+                            let body_len = r.body_len;
+                            if !shared.events.on_frame(&conn.client, &r.body[..body_len]) {
+                                return false;
+                            }
+                            frames += 1;
+                            // Backpressure: once replies queue past the
+                            // soft cap, stop pulling new requests.
+                            if frames >= MAX_FRAMES_PER_EVENT || conn.sink.reads_paused() {
+                                return true;
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return false,
+                }
+            }
+        }
+    }
+
+    fn drain_channels(shared: &Arc<LoopShared>) {
+        loop {
+            let ids: Vec<u64> = std::mem::take(&mut *shared.ready_channels.lock());
+            if ids.is_empty() {
+                return;
+            }
+            for id in ids {
+                let conn = shared.conns.lock().get(&id).cloned();
+                let Some(conn) = conn else { continue };
+                // Clear before draining: a frame arriving mid-drain
+                // re-flags and re-queues rather than getting lost.
+                conn.notify_pending.store(false, Ordering::Release);
+                if !Self::drain_one_channel(shared, &conn) {
+                    Self::teardown(shared, &conn);
+                }
+            }
+        }
+    }
+
+    fn drain_one_channel(shared: &Arc<LoopShared>, conn: &Arc<Conn>) -> bool {
+        for _ in 0..MAX_FRAMES_PER_EVENT {
+            match conn.client.transport.try_recv_frame() {
+                Ok(Some(body)) => {
+                    if !shared.events.on_frame(&conn.client, &body) {
+                        return false;
+                    }
+                }
+                Ok(None) => return true,
+                Err(_) => return false, // peer closed
+            }
+        }
+        // Budget spent with frames still queued: self-requeue so other
+        // connections get a turn first.
+        if !conn.notify_pending.swap(true, Ordering::AcqRel) {
+            shared.ready_channels.lock().push(conn.id);
+            shared.poller.wake();
+        }
+        true
+    }
+
+    fn teardown(shared: &Arc<LoopShared>, conn: &Arc<Conn>) {
+        if conn.closing.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        shared.conns.lock().remove(&conn.id);
+        if let ConnKind::Fd(fd) = conn.kind {
+            shared.poller.deregister(fd);
+        }
+        conn.client.transport.set_ready_notifier(None);
+        conn.sink.close();
+        shared.metrics.registered_fds.dec();
+        shared.events.on_closed(&conn.client);
+        // Dropping the last Conn reference returns the FrameReader's
+        // pooled buffer to the freelist — even mid-frame.
+    }
+}
+
+impl Drop for EventCore {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}

@@ -39,7 +39,7 @@
 //!     .build()?;
 //! let _connector = daemon.register_memory_endpoint("doc-node1")?;
 //!
-//! let conn = Connect::open("qemu+memory://doc-node1/system")?;
+//! let conn = Connect::builder("qemu+memory://doc-node1/system").open()?;
 //! let domain = conn.define_domain(&DomainConfig::new("web", 512, 1))?;
 //! domain.start()?;
 //! assert!(domain.is_active()?);
@@ -54,9 +54,11 @@ pub mod adminproto;
 pub mod config;
 pub mod daemon;
 pub mod dispatch;
+pub mod eventloop;
 pub mod server;
 
 pub use admin::AdminClient;
 pub use config::VirtdConfig;
 pub use daemon::Virtd;
-pub use server::{ClientIdentity, ClientSnapshot, Server};
+pub use eventloop::EventLoopOptions;
+pub use server::{ClientIdentity, ClientSnapshot, ServeHandle, Server};

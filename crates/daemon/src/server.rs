@@ -1,16 +1,20 @@
 //! The server object: client acceptance, tracking, and request execution.
 //!
-//! A [`Server`] owns a worker pool and a client table. Services
-//! (listeners) are attached with [`Server::serve`]; each accepted client
-//! gets a reader thread that frames requests and submits them to the pool
-//! — high-priority procedures may run on the dedicated priority workers,
-//! so control-plane queries stay responsive when ordinary workers are
-//! wedged on a hung hypervisor call.
+//! A [`Server`] owns a worker pool, a client table, and an event core.
+//! Services (listeners) are attached with [`Server::serve`], which
+//! returns a [`ServeHandle`] for graceful shutdown/join. Accepted
+//! clients whose transports expose a readiness surface are multiplexed
+//! onto a small fixed set of epoll loop threads (see
+//! [`crate::eventloop`]); transports without one fall back to a
+//! dedicated reader thread. Either way, complete frames are submitted
+//! to the pool — high-priority procedures run inline (on the event
+//! thread or reader thread), so control-plane queries stay responsive
+//! when ordinary workers are wedged on a hung hypervisor call.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
@@ -18,8 +22,10 @@ use virt_metrics::span::{self, Stage};
 use virt_metrics::{Counter, Gauge, Registry};
 use virt_rpc::keepalive;
 use virt_rpc::message::{Header, MessageStatus, Packet, RpcError};
-use virt_rpc::transport::{Listener, MeteredTransport, Transport, TransportKind};
+use virt_rpc::transport::{Listener, MeteredTransport, Readiness, Transport, TransportKind};
 use virt_rpc::{PoolLimits, PoolStats, WorkerPool};
+
+use crate::eventloop::{ConnEvents, ConnSink, EventCore, EventLoopMetrics, EventLoopOptions};
 
 /// Handles one program's procedures for a server.
 pub trait ProgramDispatcher: Send + Sync + 'static {
@@ -59,6 +65,11 @@ pub struct ClientHandle {
     pub connected_since: Instant,
     /// Session identity, filled in by the dispatcher (AUTH/OPEN).
     pub identity: Mutex<ClientIdentity>,
+    /// When the connection is owned by the event core, the write side
+    /// routes through its sink (direct-write fast path + bounded
+    /// spillover queue). Legacy reader-thread connections leave this
+    /// unset and write straight to the transport.
+    sink: OnceLock<Arc<ConnSink>>,
 }
 
 impl ClientHandle {
@@ -66,13 +77,22 @@ impl ClientHandle {
     ///
     /// # Errors
     ///
-    /// Transport failures (client already gone).
+    /// Transport failures (client already gone), or the write-queue
+    /// hard cap (the client stopped reading and was cut loose).
     pub fn send(&self, packet: &Packet) -> std::io::Result<()> {
         // Frame into a pooled buffer and emit as one write — the reply
         // hot path allocates nothing in steady state.
         let mut frame = virt_rpc::BufferPool::global().get();
         packet.encode_frame_into(&mut frame);
-        self.transport.send_framed(&frame)
+        match self.sink.get() {
+            Some(sink) => sink.send_wire(&frame),
+            None => self.transport.send_framed(&frame),
+        }
+    }
+
+    /// Installs the event-core sink; called once at registration.
+    pub(crate) fn install_sink(&self, sink: Arc<ConnSink>) {
+        let _ = self.sink.set(sink);
     }
 
     /// The transport flavor.
@@ -118,6 +138,8 @@ pub struct ClientSnapshot {
 struct ServerState {
     clients: HashMap<u64, Arc<ClientHandle>>,
     max_clients: u32,
+    /// Listeners attached via [`Server::serve`], closed at shutdown.
+    services: Vec<Arc<dyn Listener>>,
 }
 
 /// Per-server admission and transport counters. All atomics, shared with
@@ -152,6 +174,52 @@ impl ServerMetrics {
     }
 }
 
+/// A service attached with [`Server::serve`]: the accept loop's handle.
+///
+/// Unlike the old fire-and-forget accept thread, the handle makes the
+/// service's lifecycle explicit: [`ServeHandle::shutdown`] stops
+/// accepting (idempotent, callable from any thread) and
+/// [`ServeHandle::join`] additionally waits for the accept thread to
+/// exit. Dropping the handle does *not* stop the service — the server
+/// still closes it during [`Server::shutdown`].
+#[must_use = "holding the handle is how a service is shut down and joined; the server only closes it at full shutdown"]
+pub struct ServeHandle {
+    listener: Arc<dyn Listener>,
+    closed: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The listener's local description (socket path, address).
+    pub fn local_desc(&self) -> String {
+        self.listener.local_desc()
+    }
+
+    /// Stops accepting new connections. Existing clients are untouched.
+    pub fn shutdown(&self) {
+        if !self.closed.swap(true, Ordering::AcqRel) {
+            self.listener.close();
+        }
+    }
+
+    /// Stops accepting and waits for the accept thread to exit.
+    pub fn join(mut self) {
+        self.shutdown();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeHandle")
+            .field("listener", &self.listener.local_desc())
+            .field("closed", &self.closed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
 /// A named server: worker pool + client table + attached services.
 pub struct Server {
     name: String,
@@ -159,8 +227,36 @@ pub struct Server {
     dispatcher: Arc<dyn ProgramDispatcher>,
     state: Mutex<ServerState>,
     metrics: ServerMetrics,
+    eventloop_metrics: Arc<EventLoopMetrics>,
+    /// `None` where epoll is unavailable; every connection then runs on
+    /// a legacy reader thread.
+    event_core: Option<EventCore>,
     next_client_id: AtomicU64,
     running: Arc<AtomicBool>,
+}
+
+/// Bridges the event core's callbacks back to the server without a
+/// reference cycle (the core is owned by the server).
+struct ServerEvents {
+    server: Weak<Server>,
+}
+
+impl ConnEvents for ServerEvents {
+    fn on_frame(&self, client: &Arc<ClientHandle>, body: &[u8]) -> bool {
+        let Some(server) = self.server.upgrade() else {
+            return false;
+        };
+        // Frame-level byte accounting: event-core transports are not
+        // metered, so partial reads can never double-count.
+        server.metrics.bytes_in.add(body.len() as u64);
+        server.process_frame(client, body)
+    }
+
+    fn on_closed(&self, client: &Arc<ClientHandle>) {
+        if let Some(server) = self.server.upgrade() {
+            server.remove_client(client.id);
+        }
+    }
 }
 
 impl std::fmt::Debug for Server {
@@ -173,7 +269,8 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Creates a server with the given pool limits and dispatcher.
+    /// Creates a server with the given pool limits and dispatcher,
+    /// using default event-loop tuning.
     ///
     /// # Errors
     ///
@@ -184,17 +281,59 @@ impl Server {
         max_clients: u32,
         dispatcher: Arc<dyn ProgramDispatcher>,
     ) -> Result<Arc<Server>, String> {
-        Ok(Arc::new(Server {
-            name: name.into(),
-            pool: WorkerPool::start(pool_limits)?,
+        Server::with_event_options(
+            name,
+            pool_limits,
+            max_clients,
             dispatcher,
-            state: Mutex::new(ServerState {
-                clients: HashMap::new(),
-                max_clients,
-            }),
-            metrics: ServerMetrics::new(),
-            next_client_id: AtomicU64::new(1),
-            running: Arc::new(AtomicBool::new(true)),
+            EventLoopOptions::default(),
+        )
+    }
+
+    /// Creates a server with explicit event-loop tuning (thread count
+    /// and write-queue caps).
+    ///
+    /// # Errors
+    ///
+    /// Invalid pool limits.
+    pub fn with_event_options(
+        name: impl Into<String>,
+        pool_limits: PoolLimits,
+        max_clients: u32,
+        dispatcher: Arc<dyn ProgramDispatcher>,
+        event_options: EventLoopOptions,
+    ) -> Result<Arc<Server>, String> {
+        let name = name.into();
+        let pool = WorkerPool::start(pool_limits)?;
+        let eventloop_metrics = EventLoopMetrics::new();
+        Ok(Arc::new_cyclic(|weak: &Weak<Server>| {
+            // Where epoll is unavailable (or the threads cannot spawn)
+            // the server still works — every connection just gets a
+            // legacy reader thread.
+            let event_core = EventCore::start(
+                &name,
+                event_options,
+                Arc::new(ServerEvents {
+                    server: weak.clone(),
+                }),
+                Arc::clone(&eventloop_metrics),
+            )
+            .ok();
+            Server {
+                name,
+                pool,
+                dispatcher,
+                state: Mutex::new(ServerState {
+                    clients: HashMap::new(),
+                    max_clients,
+                    services: Vec::new(),
+                }),
+                metrics: ServerMetrics::new(),
+                eventloop_metrics,
+                event_core,
+                next_client_id: AtomicU64::new(1),
+                running: Arc::new(AtomicBool::new(true)),
+            }
         }))
     }
 
@@ -240,6 +379,7 @@ impl Server {
             "Frame payload bytes sent to clients",
             Arc::clone(&m.bytes_out),
         );
+        self.eventloop_metrics.publish(registry, n);
         self.pool.publish_metrics(registry, n);
     }
 
@@ -329,21 +469,44 @@ impl Server {
         }
     }
 
-    /// Attaches a listener; accepted clients are served until
-    /// [`Server::shutdown`].
-    pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>) {
+    /// Attaches a listener; accepted clients are served until the
+    /// returned handle — or the whole server — is shut down.
+    pub fn serve(self: &Arc<Self>, listener: Box<dyn Listener>) -> ServeHandle {
+        let listener: Arc<dyn Listener> = Arc::from(listener);
+        self.state.lock().services.push(Arc::clone(&listener));
+        let closed = Arc::new(AtomicBool::new(false));
         let server = Arc::clone(self);
-        std::thread::Builder::new()
+        let accept_listener = Arc::clone(&listener);
+        let accept_closed = Arc::clone(&closed);
+        let thread = std::thread::Builder::new()
             .name(format!("{}-accept", self.name))
-            .spawn(move || {
-                while server.running.load(Ordering::Acquire) {
-                    match listener.accept() {
-                        Ok(transport) => server.admit(Arc::from(transport)),
-                        Err(_) => break,
+            .spawn(move || loop {
+                if accept_closed.load(Ordering::Acquire) || !server.running.load(Ordering::Acquire)
+                {
+                    break;
+                }
+                match accept_listener.accept() {
+                    Ok(transport) => {
+                        // Socket listeners unblock `accept` on close by
+                        // dialing themselves; the flag tells that apart
+                        // from a real client.
+                        if accept_closed.load(Ordering::Acquire)
+                            || !server.running.load(Ordering::Acquire)
+                        {
+                            let _ = transport.shutdown();
+                            break;
+                        }
+                        server.admit(Arc::from(transport));
                     }
+                    Err(_) => break,
                 }
             })
             .expect("spawning accept thread");
+        ServeHandle {
+            listener,
+            closed,
+            thread: Some(thread),
+        }
     }
 
     /// Admits a single transport directly (bypassing a listener) — used by
@@ -358,32 +521,160 @@ impl Server {
                 return;
             }
         }
-        // Meter the transport so every frame this client exchanges lands
-        // in the server's byte counters.
-        let transport: Arc<dyn Transport> = Arc::new(MeteredTransport::new(
-            transport,
-            Arc::clone(&self.metrics.bytes_in),
-            Arc::clone(&self.metrics.bytes_out),
-        ));
         let id = self.next_client_id.fetch_add(1, Ordering::Relaxed);
-        let client = Arc::new(ClientHandle {
-            id,
-            transport,
-            connected_at: SystemTime::now(),
-            connected_since: Instant::now(),
-            identity: Mutex::new(ClientIdentity::default()),
-        });
-        self.state.lock().clients.insert(id, Arc::clone(&client));
-        self.metrics.clients_accepted.inc();
-        self.metrics.clients_connected.inc();
+        let event_capable =
+            self.event_core.is_some() && !matches!(transport.readiness(), Readiness::Blocking);
+        if event_capable {
+            // Event path: the transport stays unwrapped (the loop and
+            // sink account whole frames themselves) and the connection
+            // is owned by an event thread, not a dedicated reader.
+            let client = Arc::new(ClientHandle {
+                id,
+                transport,
+                connected_at: SystemTime::now(),
+                connected_since: Instant::now(),
+                identity: Mutex::new(ClientIdentity::default()),
+                sink: OnceLock::new(),
+            });
+            self.state.lock().clients.insert(id, Arc::clone(&client));
+            self.metrics.clients_accepted.inc();
+            self.metrics.clients_connected.inc();
+            let core = self.event_core.as_ref().expect("event core checked");
+            if core
+                .register(&client, Arc::clone(&self.metrics.bytes_out))
+                .is_err()
+            {
+                // Rare (fd pressure, loops stopping): fall back to a
+                // dedicated reader thread for this one connection.
+                self.spawn_reader(client);
+            }
+        } else {
+            // Legacy path: meter the transport so every frame this
+            // client exchanges lands in the server's byte counters.
+            let transport: Arc<dyn Transport> = Arc::new(MeteredTransport::new(
+                transport,
+                Arc::clone(&self.metrics.bytes_in),
+                Arc::clone(&self.metrics.bytes_out),
+            ));
+            let client = Arc::new(ClientHandle {
+                id,
+                transport,
+                connected_at: SystemTime::now(),
+                connected_since: Instant::now(),
+                identity: Mutex::new(ClientIdentity::default()),
+                sink: OnceLock::new(),
+            });
+            self.state.lock().clients.insert(id, Arc::clone(&client));
+            self.metrics.clients_accepted.inc();
+            self.metrics.clients_connected.inc();
+            self.spawn_reader(client);
+        }
+    }
 
+    fn spawn_reader(self: &Arc<Self>, client: Arc<ClientHandle>) {
         let server = Arc::clone(self);
         std::thread::Builder::new()
-            .name(format!("{}-client-{id}", self.name))
+            .name(format!("{}-client-{}", self.name, client.id))
             .spawn(move || server.client_loop(client))
             .expect("spawning client thread");
     }
 
+    /// Handles one complete frame body from `client` — keepalive and
+    /// high-priority procedures inline, everything else through the
+    /// pool. Returns whether to keep the connection (protocol garbage
+    /// drops it). Shared by the event loops and legacy reader threads.
+    fn process_frame(&self, client: &Arc<ClientHandle>, body: &[u8]) -> bool {
+        let packet = match Packet::from_body(body) {
+            Ok(packet) => packet,
+            Err(_) => return false, // protocol garbage: drop the client
+        };
+
+        // Keepalive is answered inline, never queued: liveness probes
+        // must not wait behind a busy pool.
+        if let Some(pong) = keepalive::respond(&packet) {
+            self.metrics.keepalive_pings.inc();
+            let _ = client.send(&pong);
+            return true;
+        }
+        if keepalive::is_pong(&packet) || keepalive::is_bye(&packet) {
+            // A bye announces the client's own clean shutdown; the
+            // connection teardown follows on its own.
+            return true;
+        }
+
+        if packet.header.program != self.dispatcher.program() {
+            let reply = Packet::new(
+                packet.header.reply_error(),
+                &RpcError::new(
+                    virt_core::ErrorCode::RpcFailure.as_u32(),
+                    format!("unknown program {:#x}", packet.header.program),
+                ),
+            );
+            let _ = client.send(&reply);
+            return true;
+        }
+
+        // High-priority procedures are guaranteed to finish without
+        // waiting on a hypervisor, so — like keepalive above — they are
+        // answered inline on the event (or reader) thread instead of
+        // paying two thread handoffs through the pool. The priority
+        // workers still exist for pooled paths (and as spare capacity
+        // while an inline call is on this thread's stack); everything
+        // that can block rides the ordinary pool, keeping the thread
+        // free to notice disconnects on its other connections.
+        if self.dispatcher.is_high_priority(packet.header.procedure) {
+            let _trace = span::server_enter(
+                packet.header.trace_id,
+                packet.header.parent_span,
+                u64::from(packet.header.procedure),
+            );
+            let reply = self
+                .dispatcher
+                .dispatch(client, packet.header, &packet.payload);
+            debug_assert_eq!(reply.header.serial, packet.header.serial);
+            let _write = span::stage(Stage::ReplyWrite);
+            let _ = client.send(&reply);
+            return true;
+        }
+
+        let dispatcher = Arc::clone(&self.dispatcher);
+        let job_client = Arc::clone(client);
+        let received = Instant::now();
+        self.pool.submit(false, move || {
+            // Re-enter the wire trace on the worker: the dispatch span
+            // becomes a child of the client's stub span, and the time
+            // this closure sat in the pool queue is attributed as a
+            // queue-wait stage.
+            let _trace = span::server_enter(
+                packet.header.trace_id,
+                packet.header.parent_span,
+                u64::from(packet.header.procedure),
+            );
+            span::record_span(Stage::QueueWait, received.elapsed(), 0);
+            let reply = dispatcher.dispatch(&job_client, packet.header, &packet.payload);
+            debug_assert_eq!(reply.header.serial, packet.header.serial);
+            debug_assert!(matches!(
+                reply.header.status,
+                MessageStatus::Ok | MessageStatus::Error
+            ));
+            let _write = span::stage(Stage::ReplyWrite);
+            let _ = job_client.send(&reply);
+        });
+        true
+    }
+
+    /// Removes a client from the table, firing the dispatcher's
+    /// disconnect callback exactly once (table presence is the guard).
+    fn remove_client(&self, id: u64) {
+        if self.state.lock().clients.remove(&id).is_some() {
+            self.metrics.clients_connected.dec();
+            self.dispatcher.on_disconnect(id);
+        }
+    }
+
+    /// Legacy per-connection reader: blocking framed reads on a
+    /// dedicated thread. Kept for transports with no readiness surface
+    /// (and as a fallback when event registration fails).
     fn client_loop(self: Arc<Self>, client: Arc<ClientHandle>) {
         // One receive buffer per client connection, refilled in place —
         // after the first frames it has grown to the working size and
@@ -393,103 +684,49 @@ impl Server {
             if client.transport.recv_frame_into(&mut frame).is_err() {
                 break;
             }
-            let packet = match Packet::from_body(&frame) {
-                Ok(packet) => packet,
-                Err(_) => break, // protocol garbage: drop the client
-            };
-
-            // Keepalive is answered inline, never queued: liveness probes
-            // must not wait behind a busy pool.
-            if let Some(pong) = keepalive::respond(&packet) {
-                self.metrics.keepalive_pings.inc();
-                let _ = client.send(&pong);
-                continue;
+            if !self.process_frame(&client, &frame) {
+                break;
             }
-            if keepalive::is_pong(&packet) || keepalive::is_bye(&packet) {
-                // A bye announces the client's own clean shutdown; the
-                // connection teardown follows on its own.
-                continue;
-            }
-
-            if packet.header.program != self.dispatcher.program() {
-                let reply = Packet::new(
-                    packet.header.reply_error(),
-                    &RpcError::new(
-                        virt_core::ErrorCode::RpcFailure.as_u32(),
-                        format!("unknown program {:#x}", packet.header.program),
-                    ),
-                );
-                let _ = client.send(&reply);
-                continue;
-            }
-
-            // High-priority procedures are guaranteed to finish without
-            // waiting on a hypervisor, so — like keepalive above — they
-            // are answered inline on the reader thread instead of paying
-            // two thread handoffs through the pool. The priority workers
-            // still exist for pooled paths (and as spare capacity while
-            // an inline call is on this thread's stack); everything that
-            // can block rides the ordinary pool, keeping the reader free
-            // to notice a disconnect.
-            if self.dispatcher.is_high_priority(packet.header.procedure) {
-                let _trace = span::server_enter(
-                    packet.header.trace_id,
-                    packet.header.parent_span,
-                    u64::from(packet.header.procedure),
-                );
-                let reply = self
-                    .dispatcher
-                    .dispatch(&client, packet.header, &packet.payload);
-                debug_assert_eq!(reply.header.serial, packet.header.serial);
-                let _write = span::stage(Stage::ReplyWrite);
-                let _ = client.send(&reply);
-                continue;
-            }
-
-            let dispatcher = Arc::clone(&self.dispatcher);
-            let job_client = Arc::clone(&client);
-            let received = Instant::now();
-            self.pool.submit(false, move || {
-                // Re-enter the wire trace on the worker: the dispatch span
-                // becomes a child of the client's stub span, and the time
-                // this closure sat in the pool queue is attributed as a
-                // queue-wait stage.
-                let _trace = span::server_enter(
-                    packet.header.trace_id,
-                    packet.header.parent_span,
-                    u64::from(packet.header.procedure),
-                );
-                span::record_span(Stage::QueueWait, received.elapsed(), 0);
-                let reply = dispatcher.dispatch(&job_client, packet.header, &packet.payload);
-                debug_assert_eq!(reply.header.serial, packet.header.serial);
-                debug_assert!(matches!(
-                    reply.header.status,
-                    MessageStatus::Ok | MessageStatus::Error
-                ));
-                let _write = span::stage(Stage::ReplyWrite);
-                let _ = job_client.send(&reply);
-            });
         }
         // Cleanup.
-        if self.state.lock().clients.remove(&client.id).is_some() {
-            self.metrics.clients_connected.dec();
-        }
-        self.dispatcher.on_disconnect(client.id);
+        self.remove_client(client.id);
         let _ = client.transport.shutdown();
     }
 
-    /// Stops the server: closes every client and drains the pool. Each
-    /// client gets one last farewell (`bye`) so it can tell an orderly
-    /// shutdown apart from a crash.
+    /// Stops the server gracefully: stops accepting, lets in-flight
+    /// work finish, drains queued replies to the wire, says farewell
+    /// (`bye`) to every client — so they can tell an orderly shutdown
+    /// apart from a crash — and only then closes connections and stops
+    /// the event loops.
     pub fn shutdown(&self) {
-        self.running.store(false, Ordering::Release);
+        if !self.running.swap(false, Ordering::AcqRel) {
+            return; // already shut down
+        }
+        // 1. Stop accepting new connections.
+        let services: Vec<Arc<dyn Listener>> = self.state.lock().services.drain(..).collect();
+        for listener in services {
+            listener.close();
+        }
+        // 2. Let running jobs finish; their replies land in the sinks
+        //    (queued jobs that never started are dropped).
+        self.pool.shutdown();
+        // 3. Drain queued replies to the wire while the loops still run.
+        if let Some(core) = &self.event_core {
+            core.drain(Duration::from_secs(5));
+        }
+        // 4. Farewell and close.
         let clients: Vec<Arc<ClientHandle>> = self.state.lock().clients.values().cloned().collect();
         let bye = keepalive::bye_packet();
         for client in clients {
             let _ = client.send(&bye);
             let _ = client.transport.shutdown();
         }
-        self.pool.shutdown();
+        // 5. Flush any byes that queued, then stop the loop threads and
+        //    tear down what remains.
+        if let Some(core) = &self.event_core {
+            core.drain(Duration::from_millis(250));
+            core.stop();
+        }
     }
 }
 

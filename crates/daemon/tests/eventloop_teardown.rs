@@ -1,0 +1,114 @@
+//! Mid-frame client death must not leak the pooled receive buffer or
+//! the registered fd.
+//!
+//! This is the regression suite for the event-loop teardown path: a
+//! client that dies after sending a length prefix and a partial body
+//! has already caused the loop to check a buffer out of the global
+//! [`virt_rpc::BufferPool`]. Teardown must return that buffer to the
+//! pool and drop the fd from the epoll set, every time.
+//!
+//! Kept in its own test binary on purpose: the buffer pool is
+//! process-global, and the hit/miss deltas asserted here would be
+//! meaningless with unrelated tests churning the pool concurrently.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use virt_metrics::MetricValue;
+use virt_rpc::keepalive::ping_packet;
+use virt_rpc::transport::TcpSocketListener;
+use virt_rpc::BufferPool;
+use virtd::Virtd;
+
+fn metric(daemon: &Virtd, name: &str) -> u64 {
+    daemon
+        .metrics()
+        .snapshot(name)
+        .into_iter()
+        .find(|m| m.name == name)
+        .map(|m| match m.value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => v,
+            MetricValue::Histogram(_) => panic!("{name} is a histogram"),
+        })
+        .unwrap_or_else(|| panic!("metric {name} not registered"))
+}
+
+fn wait_until(what: &str, deadline: Duration, mut cond: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while !cond() {
+        assert!(Instant::now() < end, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn mid_frame_death_releases_fd_and_pooled_buffer() {
+    let daemon = Virtd::builder(format!("teardown-{}", std::process::id()))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().to_string();
+    daemon.serve(Box::new(listener));
+    let fds = "server.virtd.event_loop.registered_fds";
+
+    // Warm the pool with one clean round trip so later acquisitions can
+    // be freelist hits rather than fresh allocations.
+    {
+        let mut sock = TcpStream::connect(&addr).unwrap();
+        sock.write_all(&ping_packet().to_frame()).unwrap();
+        let mut reply = [0u8; 4];
+        std::io::Read::read_exact(&mut sock, &mut reply).unwrap();
+    }
+    wait_until("warm client to drain", Duration::from_secs(5), || {
+        metric(&daemon, fds) == 0
+    });
+
+    let pool = BufferPool::global();
+    let (_, misses_before, _) = pool.stats();
+
+    const CYCLES: usize = 32;
+    const PROMISED_LEN: u32 = 4096;
+    for _ in 0..CYCLES {
+        let mut sock = TcpStream::connect(&addr).unwrap();
+        // A length prefix promising 4 KiB, then only 100 bytes: the loop
+        // has checked a pooled buffer out and is mid-frame when the
+        // socket dies.
+        sock.write_all(&PROMISED_LEN.to_be_bytes()).unwrap();
+        sock.write_all(&[0u8; 100]).unwrap();
+        sock.flush().ok();
+        wait_until("connection to register", Duration::from_secs(5), || {
+            metric(&daemon, fds) == 1
+        });
+        // Give the loop a beat to consume the partial body, then die.
+        std::thread::sleep(Duration::from_millis(10));
+        drop(sock);
+        wait_until(
+            "fd to deregister after death",
+            Duration::from_secs(5),
+            || metric(&daemon, fds) == 0,
+        );
+    }
+
+    let (_, misses_after, resident) = pool.stats();
+    assert!(
+        resident >= u64::from(PROMISED_LEN),
+        "no pooled capacity parked after teardown: {resident} bytes resident"
+    );
+    // Every cycle checked a buffer out of the pool; if teardown leaked
+    // them, each cycle would allocate fresh and misses would grow by
+    // one per death. A recycled pool stays nearly flat.
+    let fresh = misses_after - misses_before;
+    assert!(
+        fresh <= CYCLES as u64 / 8,
+        "pooled read buffers leaked: {fresh} fresh allocations across {CYCLES} mid-frame deaths"
+    );
+    assert_eq!(
+        metric(&daemon, "server.virtd.clients_connected"),
+        0,
+        "client table entries leaked"
+    );
+
+    daemon.shutdown();
+}

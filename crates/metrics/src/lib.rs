@@ -97,6 +97,21 @@ impl Gauge {
     }
 
     #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        // Saturating: a mismatched sub must not wrap to u64::MAX.
+        self.value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            })
+            .ok();
+    }
+
+    #[inline]
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }

@@ -50,6 +50,7 @@ pub mod client;
 pub mod fault;
 pub mod keepalive;
 pub mod message;
+pub mod poll;
 pub mod pool;
 pub mod reconnect;
 pub mod retry;
@@ -60,10 +61,11 @@ pub use bufpool::{BufferPool, PooledBuf};
 pub use client::CallClient;
 pub use fault::{FaultControl, FaultMode, FaultyTransport};
 pub use message::{Header, MessageStatus, MessageType, Packet, RpcError};
+pub use poll::{PollEvent, Poller};
 pub use pool::{PoolLimits, PoolStats, WorkerPool};
 pub use reconnect::{ReconnectConfig, ReconnectMetrics, ReconnectingClient};
 pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
-pub use transport::{memory_pair, MeteredTransport, Transport, TransportKind};
+pub use transport::{memory_pair, MeteredTransport, Readiness, Transport, TransportKind};
 
 /// The process-wide registry for client-side RPC metrics
 /// (`rpc.reconnect.*`, `rpc.retry.*`, `rpc.late_replies`,

@@ -1,0 +1,413 @@
+//! A from-scratch readiness poller for the daemon's event loop.
+//!
+//! Wraps Linux `epoll` plus an `eventfd` wakeup channel behind a small
+//! safe API. No external crates: the three syscalls the loop needs are
+//! declared directly against the system libc, which every Rust binary
+//! already links. On non-Linux targets [`Poller::new`] reports
+//! `Unsupported` and the server falls back to blocking reader threads,
+//! so the crate stays portable even though the fast path is Linux-only.
+//!
+//! The poller is level-triggered: a connection that still has buffered
+//! input or queued output keeps showing up in [`Poller::wait`] until it
+//! is drained. That matches the frame state machine in the daemon, which
+//! reads until `WouldBlock` on every readable event.
+
+use std::io;
+use std::time::Duration;
+
+/// Token value reserved for the internal wakeup channel. Connection
+/// tokens must stay below this.
+pub const WAKE_TOKEN: u64 = u64::MAX;
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// The fd has bytes to read (or a pending hangup to observe).
+    pub readable: bool,
+    /// The fd can accept more bytes.
+    pub writable: bool,
+    /// The peer hung up or the fd errored; the connection is dead.
+    pub hangup: bool,
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! Raw declarations for the handful of libc entry points the poller
+    //! uses. Kept to the minimum: epoll, eventfd, close, read, write and
+    //! the rlimit pair the C10K experiments need.
+
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    /// Mirrors `struct epoll_event`; packed on x86-64, exactly as the
+    /// kernel ABI requires.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct Rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+}
+
+/// Raises the process file-descriptor limit toward `want`, returning the
+/// resulting soft limit. The C10K experiments call this before opening
+/// thousands of sockets; failures are not fatal — the caller sizes its
+/// ladder to whatever limit it actually got.
+pub fn raise_nofile_limit(want: u64) -> u64 {
+    #[cfg(target_os = "linux")]
+    unsafe {
+        let mut lim = sys::Rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        if sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) != 0 {
+            return 1024;
+        }
+        if lim.rlim_cur >= want {
+            return lim.rlim_cur;
+        }
+        let target = want.min(lim.rlim_max);
+        let new = sys::Rlimit {
+            rlim_cur: target,
+            rlim_max: lim.rlim_max,
+        };
+        if sys::setrlimit(sys::RLIMIT_NOFILE, &new) == 0 {
+            target
+        } else {
+            lim.rlim_cur
+        }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = want;
+        1024
+    }
+}
+
+/// An epoll instance plus an eventfd wakeup channel.
+///
+/// Thread model: one thread calls [`Poller::wait`]; any thread may call
+/// [`Poller::register`], [`Poller::modify`], [`Poller::deregister`] or
+/// [`Poller::wake`] concurrently (epoll_ctl is thread-safe against
+/// epoll_wait by kernel contract).
+#[derive(Debug)]
+pub struct Poller {
+    #[cfg(target_os = "linux")]
+    epfd: std::os::raw::c_int,
+    #[cfg(target_os = "linux")]
+    wakefd: std::os::raw::c_int,
+}
+
+#[cfg(target_os = "linux")]
+impl Poller {
+    /// Creates the epoll instance and its wakeup eventfd.
+    ///
+    /// # Errors
+    ///
+    /// Kernel resource exhaustion (`EMFILE`/`ENOMEM`).
+    pub fn new() -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wakefd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if wakefd < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { sys::close(epfd) };
+            return Err(err);
+        }
+        let poller = Poller { epfd, wakefd };
+        poller.ctl(sys::EPOLL_CTL_ADD, wakefd, sys::EPOLLIN, WAKE_TOKEN)?;
+        Ok(poller)
+    }
+
+    fn ctl(&self, op: std::os::raw::c_int, fd: i32, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = sys::EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn interest_mask(readable: bool, writable: bool) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if readable {
+            mask |= sys::EPOLLIN;
+        }
+        if writable {
+            mask |= sys::EPOLLOUT;
+        }
+        mask
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    ///
+    /// # Errors
+    ///
+    /// `EEXIST` if already registered; other epoll_ctl failures.
+    pub fn register(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        debug_assert_ne!(token, WAKE_TOKEN, "token collides with the wake channel");
+        self.ctl(
+            sys::EPOLL_CTL_ADD,
+            fd,
+            Self::interest_mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Replaces the interest set of an already registered fd.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` if not registered; other epoll_ctl failures.
+    pub fn modify(&self, fd: i32, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        self.ctl(
+            sys::EPOLL_CTL_MOD,
+            fd,
+            Self::interest_mask(readable, writable),
+            token,
+        )
+    }
+
+    /// Removes `fd` from the interest set. Safe to call for an fd that was
+    /// already closed (the kernel auto-deregisters closed fds).
+    pub fn deregister(&self, fd: i32) {
+        let _ = self.ctl(sys::EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Blocks until at least one event is ready (or `timeout` passes),
+    /// appending into `out`. Returns the number of events delivered.
+    /// Wakeups via [`Poller::wake`] are consumed internally and reported
+    /// as an event with [`WAKE_TOKEN`].
+    ///
+    /// # Errors
+    ///
+    /// epoll_wait failures other than `EINTR` (which retries).
+    pub fn wait(&self, out: &mut Vec<PollEvent>, timeout: Option<Duration>) -> io::Result<usize> {
+        const MAX_EVENTS: usize = 256;
+        let mut events = [sys::EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        let timeout_ms: std::os::raw::c_int = match timeout {
+            None => -1,
+            Some(t) => t.as_millis().min(i32::MAX as u128) as std::os::raw::c_int,
+        };
+        let n = loop {
+            let rc = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    events.as_mut_ptr(),
+                    MAX_EVENTS as std::os::raw::c_int,
+                    timeout_ms,
+                )
+            };
+            if rc >= 0 {
+                break rc as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &events[..n] {
+            let token = ev.data;
+            let bits = ev.events;
+            if token == WAKE_TOKEN {
+                self.drain_wake();
+                out.push(PollEvent {
+                    token,
+                    readable: false,
+                    writable: false,
+                    hangup: false,
+                });
+                continue;
+            }
+            out.push(PollEvent {
+                token,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                writable: bits & sys::EPOLLOUT != 0,
+                hangup: bits & (sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(n)
+    }
+
+    /// Wakes a thread blocked in [`Poller::wait`]. Cheap and thread-safe;
+    /// multiple wakes before the next wait coalesce into one event.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        unsafe {
+            sys::write(self.wakefd, (&one as *const u64).cast(), 8);
+        }
+    }
+
+    fn drain_wake(&self) {
+        let mut buf = 0u64;
+        unsafe {
+            sys::read(self.wakefd, (&mut buf as *mut u64).cast(), 8);
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.wakefd);
+            sys::close(self.epfd);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+impl Poller {
+    /// Readiness polling is only implemented on Linux; other targets get
+    /// `Unsupported` and the server falls back to reader threads.
+    pub fn new() -> io::Result<Poller> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "readiness polling requires linux epoll",
+        ))
+    }
+
+    pub fn register(
+        &self,
+        _fd: i32,
+        _token: u64,
+        _readable: bool,
+        _writable: bool,
+    ) -> io::Result<()> {
+        unreachable!("poller cannot be constructed off-linux")
+    }
+
+    pub fn modify(
+        &self,
+        _fd: i32,
+        _token: u64,
+        _readable: bool,
+        _writable: bool,
+    ) -> io::Result<()> {
+        unreachable!("poller cannot be constructed off-linux")
+    }
+
+    pub fn deregister(&self, _fd: i32) {}
+
+    pub fn wait(&self, _out: &mut Vec<PollEvent>, _timeout: Option<Duration>) -> io::Result<usize> {
+        unreachable!("poller cannot be constructed off-linux")
+    }
+
+    pub fn wake(&self) {}
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::sync::Arc;
+
+    #[test]
+    fn wake_unblocks_wait() {
+        let poller = Arc::new(Poller::new().unwrap());
+        let waker = Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            waker.wait(&mut out, Some(Duration::from_secs(5))).unwrap();
+            out
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        poller.wake();
+        let events = handle.join().unwrap();
+        assert!(events.iter().any(|e| e.token == WAKE_TOKEN));
+    }
+
+    #[test]
+    fn readable_socket_reports_its_token() {
+        let poller = Poller::new().unwrap();
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.register(b.as_raw_fd(), 7, true, false).unwrap();
+
+        a.write_all(b"x").unwrap();
+        let mut out = Vec::new();
+        poller.wait(&mut out, Some(Duration::from_secs(5))).unwrap();
+        let ev = out.iter().find(|e| e.token == 7).expect("socket event");
+        assert!(ev.readable);
+        poller.deregister(b.as_raw_fd());
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.register(b.as_raw_fd(), 9, true, false).unwrap();
+        drop(a);
+        let mut out = Vec::new();
+        poller.wait(&mut out, Some(Duration::from_secs(5))).unwrap();
+        let ev = out.iter().find(|e| e.token == 9).expect("socket event");
+        // Peer close arrives as EPOLLRDHUP (readable) and/or EPOLLHUP.
+        assert!(ev.readable || ev.hangup);
+    }
+
+    #[test]
+    fn modify_adds_write_interest() {
+        let poller = Poller::new().unwrap();
+        let (_a, b) = UnixStream::pair().unwrap();
+        poller.register(b.as_raw_fd(), 3, true, false).unwrap();
+        poller.modify(b.as_raw_fd(), 3, true, true).unwrap();
+        let mut out = Vec::new();
+        poller.wait(&mut out, Some(Duration::from_secs(5))).unwrap();
+        let ev = out.iter().find(|e| e.token == 3).expect("socket event");
+        assert!(ev.writable, "an idle socket is immediately writable");
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_raisable() {
+        let limit = raise_nofile_limit(2048);
+        assert!(limit >= 1024, "got {limit}");
+    }
+}

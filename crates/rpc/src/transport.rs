@@ -12,14 +12,48 @@
 
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
 
 use crate::message::MAX_PACKET_LEN;
+
+/// How a transport can participate in a readiness (event) loop.
+///
+/// The daemon's event-driven core asks every accepted transport which of
+/// three contracts it supports and owns the connection accordingly; only
+/// [`Readiness::Blocking`] transports cost a dedicated reader thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Readiness {
+    /// Kernel-pollable. The fd may be registered with an epoll-style
+    /// poller, and the transport implements the nonblocking byte-level
+    /// contract: [`Transport::set_nonblocking`], [`Transport::try_read`],
+    /// [`Transport::try_write`].
+    Fd(i32),
+    /// Not an fd, but whole frames can be consumed without blocking via
+    /// [`Transport::try_recv_frame`], and arrivals are announced through
+    /// the callback registered with [`Transport::set_ready_notifier`].
+    Notify,
+    /// Readable only by blocking in [`Transport::recv_frame`]; the owner
+    /// must dedicate a thread per connection.
+    Blocking,
+}
+
+/// Callback invoked (from the sending thread) when a [`Readiness::Notify`]
+/// transport has frames ready to consume. Must be cheap and must not
+/// block: it typically flags the connection ready and wakes a poller.
+pub type ReadyNotifier = Arc<dyn Fn() + Send + Sync>;
+
+fn unsupported(what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        format!("{what} is not supported by this transport"),
+    )
+}
 
 /// The flavor of a transport, reported for accounting and client info.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +135,70 @@ pub trait Transport: Send + Sync {
 
     /// Closes both directions, unblocking any blocked reader.
     fn shutdown(&self) -> io::Result<()>;
+
+    // ---- nonblocking / readiness surface --------------------------------
+    //
+    // The contract an event loop builds on. A transport advertises which
+    // flavor it supports via `readiness()`; the corresponding methods
+    // must then uphold these rules:
+    //
+    // * `try_read` / `try_write` return `Err(WouldBlock)` when the
+    //   operation cannot make progress *right now*, and partial counts
+    //   otherwise. `try_read` returning `Ok(0)` means the peer closed.
+    //   Framing (length prefixes, partial frames) is the caller's job.
+    // * `try_recv_frame` returns `Ok(None)` when no complete frame is
+    //   queued — never blocks.
+    // * A ready notifier, once registered, fires at least once for every
+    //   frame arrival (spurious extra calls are fine) and once
+    //   immediately at registration if frames are already pending.
+
+    /// Which readiness contract this transport supports.
+    fn readiness(&self) -> Readiness {
+        Readiness::Blocking
+    }
+
+    /// Switches the underlying stream between blocking and nonblocking
+    /// modes. Required for [`Readiness::Fd`] transports.
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` on transports without an fd; fcntl failures.
+    fn set_nonblocking(&self, _on: bool) -> io::Result<()> {
+        Err(unsupported("set_nonblocking"))
+    }
+
+    /// Reads available bytes without blocking ([`Readiness::Fd`] only).
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when no bytes are available; I/O errors as raised.
+    fn try_read(&self, _buf: &mut [u8]) -> io::Result<usize> {
+        Err(unsupported("try_read"))
+    }
+
+    /// Writes as many bytes as fit without blocking ([`Readiness::Fd`]
+    /// only). Returns the partial count written.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when the outbound buffer is full; I/O errors.
+    fn try_write(&self, _buf: &[u8]) -> io::Result<usize> {
+        Err(unsupported("try_write"))
+    }
+
+    /// Dequeues one complete frame if one is ready ([`Readiness::Notify`]
+    /// only). Never blocks.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the peer closed; `Unsupported` elsewhere.
+    fn try_recv_frame(&self) -> io::Result<Option<Vec<u8>>> {
+        Err(unsupported("try_recv_frame"))
+    }
+
+    /// Registers (or clears) the readiness callback of a
+    /// [`Readiness::Notify`] transport. No-op on other transports.
+    fn set_ready_notifier(&self, _notifier: Option<ReadyNotifier>) {}
 }
 
 // ---------------------------------------------------------------------------
@@ -180,21 +278,79 @@ impl Transport for MeteredTransport {
     fn shutdown(&self) -> io::Result<()> {
         self.inner.shutdown()
     }
+
+    // The readiness surface is forwarded untouched and *uncounted*: an
+    // event loop that drives the transport through try_read/try_write
+    // accounts whole frames itself, where the byte counts are exact and
+    // cannot double-count a retried partial write.
+    fn readiness(&self) -> Readiness {
+        self.inner.readiness()
+    }
+
+    fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+        self.inner.set_nonblocking(on)
+    }
+
+    fn try_read(&self, buf: &mut [u8]) -> io::Result<usize> {
+        self.inner.try_read(buf)
+    }
+
+    fn try_write(&self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.try_write(buf)
+    }
+
+    fn try_recv_frame(&self) -> io::Result<Option<Vec<u8>>> {
+        self.inner.try_recv_frame()
+    }
+
+    fn set_ready_notifier(&self, notifier: Option<ReadyNotifier>) {
+        self.inner.set_ready_notifier(notifier);
+    }
 }
 
 // ---------------------------------------------------------------------------
 // In-memory transport
 // ---------------------------------------------------------------------------
 
+/// One direction of a memory pair: the frame channel plus the readiness
+/// notifier of whoever consumes this direction. Shared between both
+/// transports so the *sender* can announce arrivals to the receiver's
+/// event loop.
+struct MemDirection {
+    tx: Sender<Vec<u8>>,
+    rx: Receiver<Vec<u8>>,
+    notifier: Mutex<Option<ReadyNotifier>>,
+}
+
+impl MemDirection {
+    fn new() -> Arc<MemDirection> {
+        let (tx, rx) = unbounded();
+        Arc::new(MemDirection {
+            tx,
+            rx,
+            notifier: Mutex::new(None),
+        })
+    }
+
+    fn notify(&self) {
+        let notifier = self.notifier.lock().clone();
+        if let Some(notify) = notifier {
+            notify();
+        }
+    }
+}
+
 /// One side of an in-process transport pair.
 ///
 /// Created with [`memory_pair`]. An empty frame is reserved as the close
 /// sentinel (real frames always carry at least a 24-byte header).
 pub struct MemoryTransport {
-    tx: Mutex<Option<Sender<Vec<u8>>>>,
-    rx: Receiver<Vec<u8>>,
-    /// Sender feeding our own receiver so shutdown can unblock it.
-    self_tx: Sender<Vec<u8>>,
+    /// Direction our frames travel out on (the peer consumes it).
+    out: Arc<MemDirection>,
+    /// Direction our inbound frames arrive on.
+    inbound: Arc<MemDirection>,
+    /// Local send side closed (set by shutdown).
+    closed: AtomicBool,
     label: String,
 }
 
@@ -218,18 +374,18 @@ impl std::fmt::Debug for MemoryTransport {
 /// assert_eq!(b.recv_frame().unwrap(), b"0123456789abcdef0123456789abcdef");
 /// ```
 pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
-    let (tx_ab, rx_ab) = unbounded();
-    let (tx_ba, rx_ba) = unbounded();
+    let ab = MemDirection::new();
+    let ba = MemDirection::new();
     let a = MemoryTransport {
-        tx: Mutex::new(Some(tx_ab)),
-        rx: rx_ba,
-        self_tx: tx_ba.clone(),
+        out: Arc::clone(&ab),
+        inbound: Arc::clone(&ba),
+        closed: AtomicBool::new(false),
         label: "memory:a".to_string(),
     };
     let b = MemoryTransport {
-        tx: Mutex::new(Some(tx_ba)),
-        rx: rx_ab,
-        self_tx: a.tx.lock().as_ref().expect("just constructed").clone(),
+        out: ba,
+        inbound: ab,
+        closed: AtomicBool::new(false),
         label: "memory:b".to_string(),
     };
     (a, b)
@@ -237,16 +393,22 @@ pub fn memory_pair() -> (MemoryTransport, MemoryTransport) {
 
 impl Transport for MemoryTransport {
     fn send_frame(&self, body: &[u8]) -> io::Result<()> {
-        let guard = self.tx.lock();
-        let tx = guard
-            .as_ref()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::BrokenPipe, "transport shut down"))?;
-        tx.send(body.to_vec())
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))
+        if self.closed.load(Ordering::Acquire) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "transport shut down",
+            ));
+        }
+        self.out
+            .tx
+            .send(body.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer disconnected"))?;
+        self.out.notify();
+        Ok(())
     }
 
     fn recv_frame(&self) -> io::Result<Vec<u8>> {
-        match self.rx.recv() {
+        match self.inbound.rx.recv() {
             Ok(frame) if frame.is_empty() => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "transport closed",
@@ -268,13 +430,46 @@ impl Transport for MemoryTransport {
     }
 
     fn shutdown(&self) -> io::Result<()> {
-        if let Some(tx) = self.tx.lock().take() {
+        if !self.closed.swap(true, Ordering::AcqRel) {
             // Close sentinel for the peer (ignore a peer already gone)...
-            let _ = tx.send(Vec::new());
+            let _ = self.out.tx.send(Vec::new());
+            self.out.notify();
         }
-        // ...and for our own blocked reader.
-        let _ = self.self_tx.send(Vec::new());
+        // ...and for our own reader, blocked or event-driven.
+        let _ = self.inbound.tx.send(Vec::new());
+        self.inbound.notify();
         Ok(())
+    }
+
+    fn readiness(&self) -> Readiness {
+        Readiness::Notify
+    }
+
+    fn try_recv_frame(&self) -> io::Result<Option<Vec<u8>>> {
+        match self.inbound.rx.try_recv() {
+            Ok(frame) if frame.is_empty() => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "transport closed",
+            )),
+            Ok(frame) => Ok(Some(frame)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer disconnected",
+            )),
+        }
+    }
+
+    fn set_ready_notifier(&self, notifier: Option<ReadyNotifier>) {
+        let fire = notifier.clone();
+        *self.inbound.notifier.lock() = notifier;
+        // Frames may have arrived before registration; announce them so
+        // the loop's first sweep cannot miss a wakeup.
+        if let Some(notify) = fire {
+            if !self.inbound.rx.is_empty() {
+                notify();
+            }
+        }
     }
 }
 
@@ -323,9 +518,16 @@ macro_rules! socket_transport {
     ($(#[$meta:meta])* $name:ident, $stream:ty, $kind:expr) => {
         $(#[$meta])*
         pub struct $name {
-            reader: Mutex<$stream>,
-            writer: Mutex<$stream>,
-            control: $stream,
+            // One fd serves the whole connection: reads and writes go
+            // through the `Read`/`Write` impls on `&$stream`, with a
+            // guard mutex per direction so concurrent readers (or
+            // writers) serialize while a read never blocks a write.
+            // Earlier versions dup'd reader/writer halves instead,
+            // which cost 3 fds per connection — the difference between
+            // ~6k and ~20k fds at the C10K rung of expt_f9.
+            read_lock: Mutex<()>,
+            write_lock: Mutex<()>,
+            stream: $stream,
             peer: String,
         }
 
@@ -334,13 +536,13 @@ macro_rules! socket_transport {
             ///
             /// # Errors
             ///
-            /// Fails if the stream cannot be duplicated for independent
-            /// read/write halves.
+            /// None today; the `Result` is kept so adopting a stream
+            /// stays signature-compatible with fallible constructors.
             pub fn from_stream(stream: $stream, peer: impl Into<String>) -> io::Result<Self> {
                 Ok($name {
-                    reader: Mutex::new(stream.try_clone()?),
-                    writer: Mutex::new(stream.try_clone()?),
-                    control: stream,
+                    read_lock: Mutex::new(()),
+                    write_lock: Mutex::new(()),
+                    stream,
                     peer: peer.into(),
                 })
             }
@@ -354,19 +556,23 @@ macro_rules! socket_transport {
 
         impl Transport for $name {
             fn send_frame(&self, body: &[u8]) -> io::Result<()> {
-                write_frame(&mut *self.writer.lock(), body)
+                let _w = self.write_lock.lock();
+                write_frame(&mut &self.stream, body)
             }
 
             fn recv_frame(&self) -> io::Result<Vec<u8>> {
-                read_frame(&mut *self.reader.lock())
+                let _r = self.read_lock.lock();
+                read_frame(&mut &self.stream)
             }
 
             fn send_framed(&self, frame: &[u8]) -> io::Result<()> {
-                write_framed(&mut *self.writer.lock(), frame)
+                let _w = self.write_lock.lock();
+                write_framed(&mut &self.stream, frame)
             }
 
             fn recv_frame_into(&self, buf: &mut Vec<u8>) -> io::Result<usize> {
-                read_frame_into(&mut *self.reader.lock(), buf)
+                let _r = self.read_lock.lock();
+                read_frame_into(&mut &self.stream, buf)
             }
 
             fn kind(&self) -> TransportKind {
@@ -378,11 +584,29 @@ macro_rules! socket_transport {
             }
 
             fn shutdown(&self) -> io::Result<()> {
-                match self.control.shutdown(std::net::Shutdown::Both) {
+                match self.stream.shutdown(std::net::Shutdown::Both) {
                     Ok(()) => Ok(()),
                     Err(e) if e.kind() == io::ErrorKind::NotConnected => Ok(()),
                     Err(e) => Err(e),
                 }
+            }
+
+            fn readiness(&self) -> Readiness {
+                Readiness::Fd(self.stream.as_raw_fd())
+            }
+
+            fn set_nonblocking(&self, on: bool) -> io::Result<()> {
+                self.stream.set_nonblocking(on)
+            }
+
+            fn try_read(&self, buf: &mut [u8]) -> io::Result<usize> {
+                let _r = self.read_lock.lock();
+                (&self.stream).read(buf)
+            }
+
+            fn try_write(&self, buf: &[u8]) -> io::Result<usize> {
+                let _w = self.write_lock.lock();
+                (&self.stream).write(buf)
             }
         }
     };
@@ -608,7 +832,10 @@ impl<T: Transport> Transport for TlsSimTransport<T> {
 // ---------------------------------------------------------------------------
 
 /// Accepts inbound transports; the daemon's services wrap these.
-pub trait Listener: Send {
+///
+/// `Sync` so an accept loop can block in [`Listener::accept`] on one
+/// thread while a `ServeHandle` on another calls [`Listener::close`].
+pub trait Listener: Send + Sync {
     /// Blocks until a client connects.
     ///
     /// # Errors

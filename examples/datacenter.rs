@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             .with_default_hosts()
             .build()?;
         daemon.register_memory_endpoint(name)?;
-        let conn = Connect::open(&format!("qemu+memory://{name}/system"))?;
+        let conn = Connect::builder(format!("qemu+memory://{name}/system")).open()?;
         nodes.push(Node { name, daemon, conn });
     }
 

@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
     println!("{}", "-".repeat(82));
     for uri in uris {
-        let conn = Connect::open(uri)?;
+        let conn = Connect::builder(uri).open()?;
         let caps = conn.capabilities()?;
         println!(
             "{:<34} {:>9} {:>6} {:>8} {:>9} {:>9}",
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Identical lifecycle code against every platform.
     println!("\nrunning one workload on each platform:");
     for uri in uris {
-        let conn = Connect::open(uri)?;
+        let conn = Connect::builder(uri).open()?;
         let caps = conn.capabilities()?;
         let domain = conn.define_domain(&DomainConfig::new("probe", 512, 1))?;
         domain.start()?;
@@ -91,11 +91,11 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // The stateless/stateful distinction, observable: domains on the ESX
     // host survive with no management connection at all.
-    let esx = Connect::open("esx://esx01/")?;
+    let esx = Connect::builder("esx://esx01/").open()?;
     let durable = esx.define_domain(&DomainConfig::new("durable", 256, 1))?;
     durable.start()?;
     esx.close();
-    let esx_again = Connect::open("esx://esx01/")?;
+    let esx_again = Connect::builder("esx://esx01/").open()?;
     println!(
         "\nESX domain after dropping every management connection: {}",
         esx_again.domain_lookup_by_name("durable")?.state()?

@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     })?;
 
     // --- the operator ----------------------------------------------------
-    let operator = Connect::open("qemu+memory://monitored-node/system")?;
+    let operator = Connect::builder("qemu+memory://monitored-node/system").open()?;
     let domain = operator.define_domain(&DomainConfig::new("churn", 512, 1))?;
     domain.start()?;
     domain.suspend()?;

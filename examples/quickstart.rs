@@ -15,7 +15,7 @@ use virt_core::Connect;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // 1. Connect. The URI picks the driver: `test` is the built-in mock.
-    let conn = Connect::open("test:///default")?;
+    let conn = Connect::builder("test:///default").open()?;
     println!("connected to {} ({})", conn.uri(), conn.hostname()?);
 
     let node = conn.node_info()?;

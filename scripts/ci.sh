@@ -44,6 +44,13 @@ cargo test -q --release --offline -p virt-rpc --test framing_hotpath
 echo "== perf smoke (disabled-tracing overhead, release) =="
 cargo test -q --release --offline -p virt-metrics --test trace_overhead
 
+# The event loops must hold 1000 idle connections with a flat thread
+# count, flat RSS, and a bounded accept-latency distribution. Release
+# mode and explicitly un-ignored: the test wants real codegen and
+# ~2000 fds.
+echo "== perf smoke (event loop: 1000 idle connections, release) =="
+cargo test -q --release --offline -p virtd --test eventloop_smoke -- --ignored
+
 # Chaos suites last: they SIGKILL real daemon processes and churn
 # temp state directories, so everything cheap fails first.
 echo "== chaos (connection resilience) =="

@@ -159,7 +159,7 @@ fn threadpool_set_invalid_classes() {
 fn client_management_list_info_disconnect() {
     let (daemon, admin, endpoint) = daemon_with_admin();
     let uri = format!("qemu+memory://{endpoint}/system");
-    let c1 = Connect::open(&uri).unwrap();
+    let c1 = Connect::builder(&uri).open().unwrap();
     // Opt out of auto-reconnect so the admin-initiated cut stays
     // observable from the client side.
     let c2 = Connect::builder(&uri).reconnect(false).open().unwrap();
@@ -187,7 +187,7 @@ fn client_management_list_info_disconnect() {
 
     // A default (auto-reconnect) client, by contrast, transparently
     // re-dials after the admin cuts it.
-    let c3 = Connect::open(&uri).unwrap();
+    let c3 = Connect::builder(&uri).open().unwrap();
     let _ = c3.hostname().unwrap();
     let newest = admin.client_list("virtd").unwrap().last().unwrap().id;
     admin.client_disconnect("virtd", newest).unwrap();
@@ -227,19 +227,19 @@ fn client_limits_enforced_and_adjustable_at_runtime() {
     let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
     let uri = format!("qemu+memory://{endpoint}/system");
 
-    let c1 = Connect::open(&uri).unwrap();
-    let c2 = Connect::open(&uri).unwrap();
+    let c1 = Connect::builder(&uri).open().unwrap();
+    let c2 = Connect::builder(&uri).open().unwrap();
     let _ = (c1.hostname().unwrap(), c2.hostname().unwrap());
 
     // Third connection is refused at the limit.
-    assert!(Connect::open(&uri).is_err());
+    assert!(Connect::builder(&uri).open().is_err());
     let (max, current, refused) = admin.client_limits("virtd").unwrap();
     assert_eq!((max, current), (2, 2));
     assert_eq!(refused, 1);
 
     // Raise the limit at runtime — the next client gets in.
     admin.set_max_clients("virtd", 5).unwrap();
-    let c3 = Connect::open(&uri).unwrap();
+    let c3 = Connect::builder(&uri).open().unwrap();
     assert!(c3.hostname().is_ok());
     let (max, current, _) = admin.client_limits("virtd").unwrap();
     assert_eq!((max, current), (5, 3));
@@ -322,7 +322,7 @@ fn threadpool_resize_under_live_load() {
         .map(|i| {
             let uri = uri.clone();
             std::thread::spawn(move || {
-                let conn = Connect::open(&uri).unwrap();
+                let conn = Connect::builder(&uri).open().unwrap();
                 for j in 0..25 {
                     let name = format!("load-{i}-{j}");
                     let domain = conn
@@ -353,7 +353,7 @@ fn threadpool_resize_under_live_load() {
     for worker in workers {
         worker.join().unwrap();
     }
-    let check = Connect::open(&uri).unwrap();
+    let check = Connect::builder(&uri).open().unwrap();
     assert!(check.list_domain_names().unwrap().is_empty());
     check.close();
     admin.close();
@@ -382,7 +382,7 @@ fn admin_works_while_main_pool_is_saturated() {
         .map(|i| {
             let uri = uri.clone();
             std::thread::spawn(move || {
-                let conn = Connect::open(&uri).unwrap();
+                let conn = Connect::builder(&uri).open().unwrap();
                 for j in 0..5 {
                     let name = format!("sat-{i}-{j}");
                     let d = conn
@@ -426,20 +426,24 @@ fn authentication_gates_open_and_identity_is_visible() {
     let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
 
     // No credentials → AuthFailed at open.
-    let err = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap_err();
+    let err = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap_err();
     assert_eq!(err.code(), ErrorCode::AuthFailed);
 
     // Wrong password → AuthFailed.
-    let err = Connect::open(&format!(
+    let err = Connect::builder(format!(
         "qemu+memory://alice@{endpoint}/system?password=wrong"
     ))
+    .open()
     .unwrap_err();
     assert_eq!(err.code(), ErrorCode::AuthFailed);
 
     // Correct credentials → works, and the admin interface sees who it is.
-    let conn = Connect::open(&format!(
+    let conn = Connect::builder(format!(
         "qemu+memory://alice@{endpoint}/system?password=sesame"
     ))
+    .open()
     .unwrap();
     assert_eq!(conn.hostname().unwrap(), format!("{endpoint}-qemu"));
     let clients = admin.client_list("virtd").unwrap();
@@ -463,11 +467,15 @@ fn readonly_connections_can_query_but_not_mutate() {
     let admin = AdminClient::new(daemon.admin_memory_connector().connect().unwrap());
 
     // Seed a domain through a normal connection.
-    let rw = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let rw = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     rw.define_domain(&DomainConfig::new("observed", 128, 1))
         .unwrap();
 
-    let ro = Connect::open(&format!("qemu+memory://{endpoint}/system?readonly")).unwrap();
+    let ro = Connect::builder(format!("qemu+memory://{endpoint}/system?readonly"))
+        .open()
+        .unwrap();
     // Queries work.
     assert_eq!(ro.list_domain_names().unwrap(), vec!["observed"]);
     let domain = ro.domain_lookup_by_name("observed").unwrap();
@@ -512,7 +520,9 @@ fn metrics_round_trip_over_unix_transport() {
     let admin = AdminClient::new(UnixTransport::connect(&path).unwrap());
 
     // Drive real traffic so the histograms have samples.
-    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     let domain = conn.define_domain(&DomainConfig::new("vm", 64, 1)).unwrap();
     domain.start().unwrap();
     domain.destroy().unwrap();
@@ -585,7 +595,9 @@ fn rpc_log_records_carry_the_request_id() {
 
     // A failing RPC (unknown driver scheme) makes dispatch log a warning
     // while the request's trace span is active.
-    let err = Connect::open(&format!("vbox+memory://{endpoint}/system")).unwrap_err();
+    let err = Connect::builder(format!("vbox+memory://{endpoint}/system"))
+        .open()
+        .unwrap_err();
     assert_eq!(err.code(), ErrorCode::NoConnect);
 
     let records = daemon.logger().captured();
@@ -603,7 +615,9 @@ fn rpc_log_records_carry_the_request_id() {
 #[test]
 fn client_session_age_is_monotonic_and_on_the_wire() {
     let (daemon, admin, endpoint) = daemon_with_admin();
-    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     let _ = conn.hostname().unwrap();
 
     let clients = admin.client_list("virtd").unwrap();
@@ -631,7 +645,9 @@ fn readonly_session_cannot_escalate_via_second_open() {
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
 
-    let ro = Connect::open(&format!("qemu+memory://{endpoint}/system?readonly")).unwrap();
+    let ro = Connect::builder(format!("qemu+memory://{endpoint}/system?readonly"))
+        .open()
+        .unwrap();
     assert_eq!(
         ro.define_domain(&DomainConfig::new("nope", 64, 1))
             .unwrap_err()

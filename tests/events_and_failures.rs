@@ -33,7 +33,7 @@ fn lifecycle_events_are_pushed_over_rpc() {
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let uri = format!("qemu+memory://{endpoint}/system");
 
-    let watcher = Connect::open(&uri).unwrap();
+    let watcher = Connect::builder(&uri).open().unwrap();
     let (tx, rx) = mpsc::channel();
     let callback_id = watcher
         .register_event_callback(move |event| {
@@ -42,7 +42,7 @@ fn lifecycle_events_are_pushed_over_rpc() {
         .unwrap();
 
     // Another client does the work; the watcher only observes.
-    let operator = Connect::open(&uri).unwrap();
+    let operator = Connect::builder(&uri).open().unwrap();
     let domain = operator
         .define_domain(&DomainConfig::new("observed", 128, 1))
         .unwrap();
@@ -94,7 +94,9 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
         .build();
     testbed::register_host(&esx_name, esx_host);
 
-    let esx_conn = Connect::open(&format!("esx://{esx_name}/")).unwrap();
+    let esx_conn = Connect::builder(format!("esx://{esx_name}/"))
+        .open()
+        .unwrap();
     let esx_vm = esx_conn
         .define_domain(&DomainConfig::new("ghostrider", 256, 1))
         .unwrap();
@@ -103,7 +105,9 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
 
     // "Restart the management layer": simply reconnect — nothing was
     // daemon-resident.
-    let esx_conn2 = Connect::open(&format!("esx://{esx_name}/")).unwrap();
+    let esx_conn2 = Connect::builder(format!("esx://{esx_name}/"))
+        .open()
+        .unwrap();
     assert_eq!(
         esx_conn2
             .domain_lookup_by_name("ghostrider")
@@ -125,7 +129,9 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
         .build()
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     let vm = conn
         .define_domain(&DomainConfig::new("survivor", 128, 1))
         .unwrap();
@@ -136,7 +142,9 @@ fn stateful_vs_stateless_semantics_across_daemon_restart() {
 
     let daemon2 = Virtd::builder(&endpoint).host(qemu_host).build().unwrap();
     daemon2.register_memory_endpoint(&endpoint).unwrap();
-    let conn2 = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let conn2 = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     assert_eq!(
         conn2
             .domain_lookup_by_name("survivor")
@@ -157,7 +165,9 @@ fn host_crash_surfaces_as_no_connect_and_recovers_after_reboot() {
         .build()
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
 
     let vm = conn
         .define_domain(&DomainConfig::new("victim", 128, 1))
@@ -207,7 +217,7 @@ fn hung_hypervisor_call_does_not_block_queries() {
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let uri = format!("qemu+memory://{endpoint}/system");
 
-    let conn = Connect::open(&uri).unwrap();
+    let conn = Connect::builder(&uri).open().unwrap();
     conn.define_domain(&DomainConfig::new("sticky", 64, 1))
         .unwrap();
 
@@ -217,7 +227,7 @@ fn hung_hypervisor_call_does_not_block_queries() {
     let starter = {
         let uri = uri.clone();
         std::thread::spawn(move || {
-            let c = Connect::open(&uri).unwrap();
+            let c = Connect::builder(&uri).open().unwrap();
             let d = c.domain_lookup_by_name("sticky").unwrap();
             d.start().unwrap();
             c.close();
@@ -244,7 +254,9 @@ fn injected_operation_failures_surface_with_correct_codes_over_rpc() {
         .build();
     let daemon = Virtd::builder(&endpoint).host(faulty_host).build().unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
 
     let vm = conn
         .define_domain(&DomainConfig::new("flaky", 64, 1))
@@ -338,7 +350,7 @@ fn malformed_keepalive_param_is_rejected() {
         "qemu+memory://x/system?keepalive=0:3",
         "qemu+memory://x/system?keepalive=5000",
     ] {
-        let err = Connect::open(bad).unwrap_err();
+        let err = Connect::builder(bad).open().unwrap_err();
         assert_eq!(err.code(), ErrorCode::InvalidUri, "{bad}");
     }
 }

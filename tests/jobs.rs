@@ -87,8 +87,8 @@ fn slow_pair(tag: &str, config: Option<VirtdConfig>) -> (Virtd, Virtd, String, S
 #[test]
 fn migration_job_reports_monotonic_progress() {
     let (src_d, dst_d, src_uri, dst_uri) = slow_pair("progress", None);
-    let src = Connect::open(&src_uri).unwrap();
-    let dst = Connect::open(&dst_uri).unwrap();
+    let src = Connect::builder(&src_uri).open().unwrap();
+    let dst = Connect::builder(&dst_uri).open().unwrap();
 
     let domain = src
         .define_domain(&DomainConfig::new("wanderer", 2048, 2))
@@ -156,8 +156,8 @@ fn migration_job_reports_monotonic_progress() {
 #[test]
 fn abort_mid_migration_leaves_source_running_and_destination_clean() {
     let (src_d, dst_d, src_uri, dst_uri) = slow_pair("abort", None);
-    let src = Connect::open(&src_uri).unwrap();
-    let dst = Connect::open(&dst_uri).unwrap();
+    let src = Connect::builder(&src_uri).open().unwrap();
+    let dst = Connect::builder(&dst_uri).open().unwrap();
 
     let domain = src
         .define_domain(&DomainConfig::new("fugitive", 4096, 1))
@@ -231,8 +231,12 @@ fn daemon_restart_fails_in_flight_job_and_keeps_domain_consistent() {
         .build()
         .unwrap();
     dst_d.register_memory_endpoint(&b).unwrap();
-    let src = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
-    let dst = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
+    let src = Connect::builder(format!("qemu+memory://{a}/system"))
+        .open()
+        .unwrap();
+    let dst = Connect::builder(format!("qemu+memory://{b}/system"))
+        .open()
+        .unwrap();
 
     let domain = src
         .define_domain(&DomainConfig::new("stranded", 4096, 1))
@@ -274,7 +278,9 @@ fn daemon_restart_fails_in_flight_job_and_keeps_domain_consistent() {
     // daemon's shutdown completes promptly.
     old.join().unwrap();
 
-    let src2 = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
+    let src2 = Connect::builder(format!("qemu+memory://{a}/system"))
+        .open()
+        .unwrap();
     let survivor = src2.domain_lookup_by_name("stranded").unwrap();
     let stats = survivor.job_stats().unwrap();
     assert_eq!(stats.kind, JobKind::Migration);
@@ -315,8 +321,8 @@ fn abort_lands_while_all_normal_workers_are_pinned() {
         priority_workers: 2,
     });
     let (src_d, dst_d, src_uri, dst_uri) = slow_pair("pinned", Some(config));
-    let src = Connect::open(&src_uri).unwrap();
-    let dst = Connect::open(&dst_uri).unwrap();
+    let src = Connect::builder(&src_uri).open().unwrap();
+    let dst = Connect::builder(&dst_uri).open().unwrap();
 
     let domain = src
         .define_domain(&DomainConfig::new("pinned", 4096, 1))
@@ -325,7 +331,7 @@ fn abort_lands_while_all_normal_workers_are_pinned() {
 
     // Independent control client; its domain handle is resolved while
     // the lone normal worker is still free.
-    let control = Connect::open(&src_uri).unwrap();
+    let control = Connect::builder(&src_uri).open().unwrap();
     let control_domain = control.domain_lookup_by_name("pinned").unwrap();
 
     // The perform now occupies the only normal worker for the whole
@@ -375,7 +381,9 @@ fn bulk_stats_for_a_hundred_domains_is_one_round_trip() {
         .build()
         .unwrap();
     daemon.register_memory_endpoint(&endpoint).unwrap();
-    let conn = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
 
     for i in 0..100 {
         let d = conn

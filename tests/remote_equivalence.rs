@@ -30,7 +30,9 @@ fn local_and_remote() -> (Connect, Connect, Virtd) {
     daemon.register_memory_endpoint(&endpoint).unwrap();
     let host = daemon.host("qemu").unwrap().clone();
     let local = Connect::from_driver(EmbeddedConnection::new(host, "qemu:///system"));
-    let remote = Connect::open(&format!("qemu+memory://{endpoint}/system")).unwrap();
+    let remote = Connect::builder(format!("qemu+memory://{endpoint}/system"))
+        .open()
+        .unwrap();
     (local, remote, daemon)
 }
 
@@ -248,7 +250,7 @@ fn concurrent_remote_clients_share_one_hypervisor_consistently() {
         .map(|i| {
             let uri = uri.clone();
             std::thread::spawn(move || {
-                let conn = Connect::open(&uri).unwrap();
+                let conn = Connect::builder(&uri).open().unwrap();
                 for j in 0..10 {
                     let name = format!("c{i}-vm{j}");
                     let domain = conn
@@ -267,7 +269,7 @@ fn concurrent_remote_clients_share_one_hypervisor_consistently() {
     }
 
     // Everything cleaned up, accounting exact.
-    let check = Connect::open(&uri).unwrap();
+    let check = Connect::builder(&uri).open().unwrap();
     assert!(check.list_domain_names().unwrap().is_empty());
     let info = check.node_info().unwrap();
     assert_eq!(info.free_memory_mib, info.memory_mib);

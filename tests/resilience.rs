@@ -224,7 +224,7 @@ fn event_callbacks_fire_again_after_reconnect() {
         .unwrap();
 
     // Prove the subscription is live before the restart.
-    let operator = Connect::open(&uri).unwrap();
+    let operator = Connect::builder(&uri).open().unwrap();
     operator
         .define_domain(&DomainConfig::new("before", 64, 1))
         .unwrap();
@@ -243,7 +243,7 @@ fn event_callbacks_fire_again_after_reconnect() {
     // setup — auth, open, and the event-callback registration.
     watcher.hostname().unwrap();
 
-    let operator = Connect::open(&uri).unwrap();
+    let operator = Connect::builder(&uri).open().unwrap();
     operator
         .define_domain(&DomainConfig::new("after", 64, 1))
         .unwrap();

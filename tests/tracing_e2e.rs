@@ -48,8 +48,12 @@ fn migration_trace_is_one_connected_tree_across_the_wire() {
         .build()
         .unwrap();
     dst_d.register_memory_endpoint(&b).unwrap();
-    let src = Connect::open(&format!("qemu+memory://{a}/system")).unwrap();
-    let dst = Connect::open(&format!("qemu+memory://{b}/system")).unwrap();
+    let src = Connect::builder(format!("qemu+memory://{a}/system"))
+        .open()
+        .unwrap();
+    let dst = Connect::builder(format!("qemu+memory://{b}/system"))
+        .open()
+        .unwrap();
 
     let domain = src
         .define_domain(&DomainConfig::new("traced", 1024, 2))

@@ -41,7 +41,9 @@ fn unix_socket_transport_end_to_end() {
     let path = format!("/tmp/{}.sock", unique("virtd"));
     daemon.serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
 
-    let conn = Connect::open(&format!("qemu+unix:///system?socket={path}")).unwrap();
+    let conn = Connect::builder(format!("qemu+unix:///system?socket={path}"))
+        .open()
+        .unwrap();
     exercise(&conn);
     conn.close();
     daemon.shutdown();
@@ -59,7 +61,9 @@ fn tcp_transport_end_to_end() {
     daemon.serve(Box::new(listener));
 
     let (host, port) = addr.rsplit_once(':').unwrap();
-    let conn = Connect::open(&format!("qemu+tcp://{host}:{port}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+tcp://{host}:{port}/system"))
+        .open()
+        .unwrap();
     exercise(&conn);
     conn.close();
     daemon.shutdown();
@@ -123,7 +127,9 @@ fn tls_sim_transport_end_to_end() {
 
     let (host, port) = addr.rsplit_once(':').unwrap();
     // `+tls` in the URI drives the client-side handshake.
-    let conn = Connect::open(&format!("qemu+tls://{host}:{port}/system")).unwrap();
+    let conn = Connect::builder(format!("qemu+tls://{host}:{port}/system"))
+        .open()
+        .unwrap();
     exercise(&conn);
     conn.close();
     daemon.shutdown();
@@ -134,7 +140,9 @@ fn default_remote_uri_uses_tls_port_and_fails_cleanly_when_absent() {
     // A remote URI without transport defaults to TLS on 16514; nothing
     // listens there in this environment, so the error must be NoConnect
     // (not a hang or panic).
-    let err = Connect::open("qemu://127.0.0.1/system").unwrap_err();
+    let err = Connect::builder("qemu://127.0.0.1/system")
+        .open()
+        .unwrap_err();
     assert_eq!(err.code(), virt_core::ErrorCode::NoConnect);
 }
 
@@ -150,9 +158,13 @@ fn two_transports_into_one_daemon_share_state() {
     let addr = tcp.local_addr().to_string();
     daemon.serve(Box::new(tcp));
 
-    let via_unix = Connect::open(&format!("qemu+unix:///system?socket={path}")).unwrap();
+    let via_unix = Connect::builder(format!("qemu+unix:///system?socket={path}"))
+        .open()
+        .unwrap();
     let (host, port) = addr.rsplit_once(':').unwrap();
-    let via_tcp = Connect::open(&format!("qemu+tcp://{host}:{port}/system")).unwrap();
+    let via_tcp = Connect::builder(format!("qemu+tcp://{host}:{port}/system"))
+        .open()
+        .unwrap();
 
     via_unix
         .define_domain(&DomainConfig::new("shared", 128, 1))

@@ -261,6 +261,7 @@ impl VirtdBuilder {
             event_options.clone(),
         )
         .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
+        main_server.set_logger(Arc::clone(&logger));
         main_server.publish_metrics(&registry);
 
         let admin_dispatcher =
@@ -277,6 +278,7 @@ impl VirtdBuilder {
             },
         )
         .map_err(|e| VirtError::new(ErrorCode::InvalidArg, e))?;
+        admin_server.set_logger(Arc::clone(&logger));
         admin_server.publish_metrics(&registry);
         admin_dispatcher.attach_server(Arc::clone(&main_server));
         admin_dispatcher.attach_server(Arc::clone(&admin_server));

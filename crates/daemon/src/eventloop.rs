@@ -151,6 +151,11 @@ pub(crate) trait ConnEvents: Send + Sync + 'static {
 
     /// The connection is gone; the transport is already shut down.
     fn on_closed(&self, client: &Arc<ClientHandle>);
+
+    /// A loop thread's poller failed fatally: the loop is going down and
+    /// every connection it owned is being torn down. For diagnostics —
+    /// the teardown itself already happened by way of `on_closed`.
+    fn on_loop_error(&self, _error: &io::Error) {}
 }
 
 /// Incremental frame parser: 4-byte big-endian length prefix, then the
@@ -442,6 +447,10 @@ struct LoopShared {
     /// Channel connections flagged ready since the last drain.
     ready_channels: Mutex<Vec<u64>>,
     shutdown: AtomicBool,
+    /// Set when the loop thread dies on a poller error: `register`
+    /// skips dead loops so new connections never land on a poller
+    /// nothing waits on.
+    dead: AtomicBool,
     events: Arc<dyn ConnEvents>,
     metrics: Arc<EventLoopMetrics>,
 }
@@ -474,6 +483,7 @@ impl EventCore {
                 conns: Mutex::new(HashMap::new()),
                 ready_channels: Mutex::new(Vec::new()),
                 shutdown: AtomicBool::new(false),
+                dead: AtomicBool::new(false),
                 events: Arc::clone(&events),
                 metrics: Arc::clone(&metrics),
             });
@@ -502,14 +512,14 @@ impl EventCore {
         client: &Arc<ClientHandle>,
         bytes_out: Arc<Counter>,
     ) -> io::Result<()> {
-        let idx = self.next_loop.fetch_add(1, Ordering::Relaxed) % self.loops.len();
-        let shared = &self.loops[idx];
-        if shared.shutdown.load(Ordering::Acquire) {
-            return Err(io::Error::new(
-                io::ErrorKind::NotConnected,
-                "event core stopped",
-            ));
-        }
+        // Round-robin across loops that are still alive: a loop whose
+        // poller failed is marked dead and skipped, so new connections
+        // never land on a poller no thread waits on.
+        let start = self.next_loop.fetch_add(1, Ordering::Relaxed);
+        let shared = (0..self.loops.len())
+            .map(|i| &self.loops[(start + i) % self.loops.len()])
+            .find(|l| !l.shutdown.load(Ordering::Acquire) && !l.dead.load(Ordering::Acquire))
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotConnected, "event core stopped"))?;
         let transport = Arc::clone(&client.transport);
         let id = client.id;
         match transport.readiness() {
@@ -535,6 +545,19 @@ impl EventCore {
                     metrics: Arc::clone(&self.metrics),
                     bytes_out,
                 });
+                // Register the fd *before* installing the sink or
+                // publishing the conn: if epoll_ctl fails, the client
+                // keeps an unset sink and the fallback reader thread
+                // writes through the blocking transport directly —
+                // nothing ever routes into a queue no loop drains. The
+                // loop cannot act on this fd in between, because it
+                // skips tokens absent from its conn map and
+                // level-triggered epoll re-reports the readiness on the
+                // next wait.
+                if let Err(e) = shared.poller.register(fd, id, true, false) {
+                    let _ = transport.set_nonblocking(false);
+                    return Err(e);
+                }
                 client.install_sink(Arc::clone(&sink));
                 let conn = Arc::new(Conn {
                     id,
@@ -546,11 +569,6 @@ impl EventCore {
                     closing: AtomicBool::new(false),
                 });
                 shared.conns.lock().insert(id, conn);
-                if let Err(e) = shared.poller.register(fd, id, true, false) {
-                    shared.conns.lock().remove(&id);
-                    let _ = transport.set_nonblocking(false);
-                    return Err(e);
-                }
                 self.metrics.registered_fds.inc();
             }
             Readiness::Notify => {
@@ -639,7 +657,19 @@ impl EventCore {
             if shared.shutdown.load(Ordering::Acquire) {
                 return;
             }
-            if shared.poller.wait(&mut events, None).is_err() {
+            if let Err(e) = shared.poller.wait(&mut events, None) {
+                // A broken poller strands every connection this loop
+                // owns. Mark the loop dead first (register() skips dead
+                // loops), surface the error, then tear the connections
+                // down so clients see a close instead of a black hole.
+                shared.dead.store(true, Ordering::Release);
+                if !shared.shutdown.load(Ordering::Acquire) {
+                    shared.events.on_loop_error(&e);
+                }
+                let conns: Vec<Arc<Conn>> = shared.conns.lock().values().cloned().collect();
+                for conn in &conns {
+                    Self::teardown(shared, conn);
+                }
                 return;
             }
             shared.metrics.wakeups.inc();

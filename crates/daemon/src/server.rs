@@ -18,6 +18,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
+use virt_core::log::Logger;
 use virt_metrics::span::{self, Stage};
 use virt_metrics::{Counter, Gauge, Registry};
 use virt_rpc::keepalive;
@@ -26,6 +27,23 @@ use virt_rpc::transport::{Listener, MeteredTransport, Readiness, Transport, Tran
 use virt_rpc::{PoolLimits, PoolStats, WorkerPool};
 
 use crate::eventloop::{ConnEvents, ConnSink, EventCore, EventLoopMetrics, EventLoopOptions};
+
+/// Whether an `accept()` failure is transient pressure worth retrying
+/// (with backoff) rather than a dead listener. EMFILE/ENFILE have no
+/// stable `ErrorKind`, so those are matched by errno — the values are
+/// identical across the Unix platforms this builds on.
+fn accept_error_is_retryable(e: &std::io::Error) -> bool {
+    const ENFILE: i32 = 23;
+    const EMFILE: i32 = 24;
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    ) || matches!(e.raw_os_error(), Some(ENFILE) | Some(EMFILE))
+}
 
 /// Handles one program's procedures for a server.
 pub trait ProgramDispatcher: Send + Sync + 'static {
@@ -233,6 +251,10 @@ pub struct Server {
     event_core: Option<EventCore>,
     next_client_id: AtomicU64,
     running: Arc<AtomicBool>,
+    /// Installed by the daemon via [`Server::set_logger`]; server-level
+    /// faults (accept failures, dead event loops) fall back to stderr
+    /// when unset so they are never swallowed.
+    logger: OnceLock<Arc<Logger>>,
 }
 
 /// Bridges the event core's callbacks back to the server without a
@@ -255,6 +277,15 @@ impl ConnEvents for ServerEvents {
     fn on_closed(&self, client: &Arc<ClientHandle>) {
         if let Some(server) = self.server.upgrade() {
             server.remove_client(client.id);
+        }
+    }
+
+    fn on_loop_error(&self, error: &std::io::Error) {
+        if let Some(server) = self.server.upgrade() {
+            server.log_error(&format!(
+                "event loop poller failed: {error}; its connections were closed and \
+                 new connections go to the remaining loops"
+            ));
         }
     }
 }
@@ -333,6 +364,7 @@ impl Server {
                 event_core,
                 next_client_id: AtomicU64::new(1),
                 running: Arc::new(AtomicBool::new(true)),
+                logger: OnceLock::new(),
             }
         }))
     }
@@ -340,6 +372,27 @@ impl Server {
     /// The server's name (`virtd`, `admin`).
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Routes server-level fault reporting (accept failures, event-loop
+    /// deaths) through the daemon's logger. First call wins; without one
+    /// those messages go to stderr.
+    pub fn set_logger(&self, logger: Arc<Logger>) {
+        let _ = self.logger.set(logger);
+    }
+
+    fn log_warning(&self, message: &str) {
+        match self.logger.get() {
+            Some(logger) => logger.warning(&format!("server.{}", self.name), message),
+            None => eprintln!("virtd[server.{}] warning: {message}", self.name),
+        }
+    }
+
+    fn log_error(&self, message: &str) {
+        match self.logger.get() {
+            Some(logger) => logger.error(&format!("server.{}", self.name), message),
+            None => eprintln!("virtd[server.{}] error: {message}", self.name),
+        }
     }
 
     /// Publishes this server's metrics into `registry`: admission and
@@ -480,25 +533,54 @@ impl Server {
         let accept_closed = Arc::clone(&closed);
         let thread = std::thread::Builder::new()
             .name(format!("{}-accept", self.name))
-            .spawn(move || loop {
-                if accept_closed.load(Ordering::Acquire) || !server.running.load(Ordering::Acquire)
-                {
-                    break;
-                }
-                match accept_listener.accept() {
-                    Ok(transport) => {
-                        // Socket listeners unblock `accept` on close by
-                        // dialing themselves; the flag tells that apart
-                        // from a real client.
-                        if accept_closed.load(Ordering::Acquire)
-                            || !server.running.load(Ordering::Acquire)
-                        {
-                            let _ = transport.shutdown();
-                            break;
-                        }
-                        server.admit(Arc::from(transport));
+            .spawn(move || {
+                let mut backoff = Duration::from_millis(10);
+                loop {
+                    if accept_closed.load(Ordering::Acquire)
+                        || !server.running.load(Ordering::Acquire)
+                    {
+                        break;
                     }
-                    Err(_) => break,
+                    match accept_listener.accept() {
+                        Ok(transport) => {
+                            // Socket listeners unblock `accept` on close by
+                            // dialing themselves; the flag tells that apart
+                            // from a real client.
+                            if accept_closed.load(Ordering::Acquire)
+                                || !server.running.load(Ordering::Acquire)
+                            {
+                                let _ = transport.shutdown();
+                                break;
+                            }
+                            backoff = Duration::from_millis(10);
+                            server.admit(Arc::from(transport));
+                        }
+                        Err(e) => {
+                            if accept_closed.load(Ordering::Acquire)
+                                || !server.running.load(Ordering::Acquire)
+                            {
+                                break;
+                            }
+                            if !accept_error_is_retryable(&e) {
+                                server.log_error(&format!(
+                                    "accept on {} failed: {e}; service stopped",
+                                    accept_listener.local_desc()
+                                ));
+                                break;
+                            }
+                            // Transient pressure — typically fd exhaustion
+                            // at C10K scale (EMFILE/ENFILE) or an aborted
+                            // handshake. Back off and keep accepting: the
+                            // daemon must not silently stop taking clients
+                            // because it briefly ran out of descriptors.
+                            server.log_warning(&format!(
+                                "accept on {} failed: {e}; retrying in {backoff:?}",
+                                accept_listener.local_desc()
+                            ));
+                            std::thread::sleep(backoff);
+                            backoff = (backoff * 2).min(Duration::from_secs(1));
+                        }
+                    }
                 }
             })
             .expect("spawning accept thread");
@@ -831,6 +913,58 @@ mod tests {
         ));
         assert_eq!(server.refused_count(), 1);
         assert_eq!(server.client_count(), 2);
+        server.shutdown();
+    }
+
+    type ScriptedAccept = std::io::Result<Box<dyn Transport>>;
+
+    /// Listener driven by a script of accept outcomes; once the script
+    /// is exhausted, `accept` blocks until `close`.
+    struct ScriptedListener {
+        rx: Mutex<std::sync::mpsc::Receiver<ScriptedAccept>>,
+        tx: Mutex<Option<std::sync::mpsc::Sender<ScriptedAccept>>>,
+    }
+
+    impl Listener for ScriptedListener {
+        fn accept(&self) -> std::io::Result<Box<dyn Transport>> {
+            self.rx
+                .lock()
+                .recv()
+                .unwrap_or_else(|_| Err(std::io::ErrorKind::UnexpectedEof.into()))
+        }
+
+        fn local_desc(&self) -> String {
+            "scripted".into()
+        }
+
+        fn close(&self) {
+            self.tx.lock().take();
+        }
+    }
+
+    #[test]
+    fn accept_loop_survives_transient_fd_exhaustion() {
+        const EMFILE: i32 = 24;
+        let server =
+            Server::new("t", small_limits(), 10, Arc::new(EchoDispatcher::default())).unwrap();
+        let (tx, rx) = std::sync::mpsc::channel();
+        // Script: fd exhaustion first, then a real client — the accept
+        // loop must back off and keep accepting, not exit.
+        tx.send(Err(std::io::Error::from_raw_os_error(EMFILE)))
+            .unwrap();
+        let (client_side, server_side) = memory_pair();
+        tx.send(Ok(Box::new(server_side) as Box<dyn Transport>))
+            .unwrap();
+        let handle = server.serve(Box::new(ScriptedListener {
+            rx: Mutex::new(rx),
+            tx: Mutex::new(Some(tx)),
+        }));
+        let client = CallClient::new(client_side);
+        let reply: String = client
+            .call(REMOTE_PROGRAM, 1, &"still accepting".to_string())
+            .unwrap();
+        assert_eq!(reply, "still accepting");
+        handle.join();
         server.shutdown();
     }
 

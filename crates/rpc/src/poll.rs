@@ -56,14 +56,27 @@ mod sys {
 
     pub const RLIMIT_NOFILE: c_int = 7;
 
-    /// Mirrors `struct epoll_event`; packed on x86-64, exactly as the
-    /// kernel ABI requires.
-    #[repr(C, packed)]
+    /// Mirrors `struct epoll_event`. The kernel packs it only on x86
+    /// (32- and 64-bit); every other architecture uses natural alignment
+    /// with `data` at offset 8, so the repr must match per-arch or
+    /// epoll_wait would scribble past the caller's event array.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
         pub data: u64,
     }
+
+    // 12 bytes packed on x86/x86-64, 16 bytes naturally aligned elsewhere.
+    const _: () = assert!(
+        std::mem::size_of::<EpollEvent>()
+            == if cfg!(any(target_arch = "x86", target_arch = "x86_64")) {
+                12
+            } else {
+                16
+            }
+    );
 
     #[repr(C)]
     #[derive(Clone, Copy)]

@@ -13,6 +13,7 @@
 //! is tunable with `--call-deadline-ms`, `--retries` and `--no-reconnect`.
 
 pub mod admin;
+pub mod fleet;
 pub use admin::run_admin;
 
 use std::io::Write;
@@ -86,6 +87,11 @@ fn dispatch(args: &[String], out: &mut dyn Write) -> VirtResult<()> {
         w(out, &format!("vsh {}", env!("CARGO_PKG_VERSION")));
         return Ok(());
     }
+    if command == "fleet" {
+        // Fleet verbs manage N hosts at once; the member URIs come from
+        // --hosts / VSH_FLEET_HOSTS, not the single-connection -c flag.
+        return fleet::run_fleet(command_args, call_deadline, out);
+    }
 
     let mut builder = Connect::builder(&uri).reconnect(reconnect);
     if let Some(deadline) = call_deadline {
@@ -154,6 +160,11 @@ pub fn run_shell(
             "exit" | "quit" => break,
             "help" => print_help(out),
             "version" => w(out, &format!("vsh {}", env!("CARGO_PKG_VERSION"))),
+            // The shell holds exactly one connection; fleet verbs need N.
+            "fleet" => w(
+                out,
+                "error: fleet commands are not available in the shell; run 'vsh fleet ...'",
+            ),
             _ => {
                 if let Err(err) = execute(&conn, command, command_args, out) {
                     w(out, &format!("error: {err}"));
@@ -177,6 +188,41 @@ fn arg<'a>(args: &[&'a str], index: usize, what: &str) -> VirtResult<&'a str> {
     args.get(index)
         .copied()
         .ok_or_else(|| invalid(&format!("missing argument: {what}")))
+}
+
+/// Renders a left-aligned table with per-column widths sized to the
+/// longest cell. Fixed paddings broke as soon as fleet-qualified names
+/// (`host/domain`) outgrew them; sizing from the data keeps every row's
+/// columns aligned no matter how long a name gets.
+pub(crate) fn render_table(out: &mut dyn Write, headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<&str>| -> String {
+        let mut rendered = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            rendered.push(' ');
+            rendered.push_str(cell);
+            // No trailing padding after the last column.
+            if i + 1 < cells.len() {
+                for _ in cell.len()..widths[i] {
+                    rendered.push(' ');
+                }
+            }
+        }
+        rendered
+    };
+    w(out, &line(headers.to_vec()));
+    let total: usize = widths.iter().sum::<usize>() + widths.len() + 2;
+    w(out, &"-".repeat(total));
+    for row in rows {
+        w(out, &line(row.iter().map(String::as_str).collect()));
+    }
 }
 
 fn read_xml_arg(value: &str) -> VirtResult<String> {
@@ -220,22 +266,7 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
         }
         "list" => {
             let all = args.contains(&"--all");
-            if all {
-                w(
-                    out,
-                    &format!(
-                        " {:<5} {:<20} {:<10} {:<11} {:<9}",
-                        "Id", "Name", "State", "Persistent", "Autostart"
-                    ),
-                );
-                w(
-                    out,
-                    "------------------------------------------------------------",
-                );
-            } else {
-                w(out, &format!(" {:<5} {:<20} {:<10}", "Id", "Name", "State"));
-                w(out, "-------------------------------------");
-            }
+            let mut rows: Vec<Vec<String>> = Vec::new();
             for domain in conn.list_all_domains()? {
                 let info = domain.info()?;
                 if !all && !info.state.is_active() {
@@ -245,25 +276,19 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                     .id
                     .map(|i| i.to_string())
                     .unwrap_or_else(|| "-".to_string());
+                let mut row = vec![id, info.name.clone(), info.state.to_string()];
                 if all {
-                    w(
-                        out,
-                        &format!(
-                            " {:<5} {:<20} {:<10} {:<11} {:<9}",
-                            id,
-                            info.name,
-                            info.state.to_string(),
-                            if info.persistent { "yes" } else { "no" },
-                            if info.autostart { "enable" } else { "disable" }
-                        ),
-                    );
-                } else {
-                    w(
-                        out,
-                        &format!(" {:<5} {:<20} {:<10}", id, info.name, info.state),
-                    );
+                    row.push(if info.persistent { "yes" } else { "no" }.to_string());
+                    row.push(if info.autostart { "enable" } else { "disable" }.to_string());
                 }
+                rows.push(row);
             }
+            let headers: &[&str] = if all {
+                &["Id", "Name", "State", "Persistent", "Autostart"]
+            } else {
+                &["Id", "Name", "State"]
+            };
+            render_table(out, headers, &rows);
         }
         "define" => {
             let xml = read_xml_arg(arg(args, 0, "xml file or inline xml")?)?;
@@ -706,6 +731,22 @@ fn print_help(out: &mut dyn Write) {
         out,
         "  net-list | net-info|net-start|net-stop|net-undefine <name> | net-define <xml>",
     );
+    w(
+        out,
+        "Fleet (multi-host; members from --hosts or VSH_FLEET_HOSTS):",
+    );
+    w(
+        out,
+        "  fleet --hosts name=uri,... [--policy spread|pack|memweight] <verb>",
+    );
+    w(
+        out,
+        "  fleet hosts | fleet list | fleet create <name> <MiB> <vcpus>",
+    );
+    w(
+        out,
+        "  fleet migrate <domain|host/domain> <dest-host> | fleet evacuate <host>",
+    );
 }
 
 /// Convenience wrapper used by tests: runs a command line given as one
@@ -1121,5 +1162,155 @@ mod migrate_cli_tests {
         let stats = domain.job_stats().unwrap();
         assert_eq!(stats.kind, virt_core::JobKind::None);
         assert_eq!(stats.state, virt_core::JobState::None);
+    }
+}
+
+#[cfg(test)]
+mod fleet_cli_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use virtd::Virtd;
+
+    fn unique(name: &str) -> String {
+        static N: AtomicU64 = AtomicU64::new(0);
+        format!(
+            "{name}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    fn member(tag: &str) -> (Virtd, String) {
+        let endpoint = unique(tag);
+        let daemon = Virtd::builder(&endpoint)
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+        let uri = format!("qemu+memory://{endpoint}/system");
+        (daemon, uri)
+    }
+
+    /// Returns the column index where `needle` starts in `line`.
+    fn col(line: &str, needle: &str) -> usize {
+        line.find(needle)
+            .unwrap_or_else(|| panic!("'{needle}' not in '{line}'"))
+    }
+
+    #[test]
+    fn fleet_requires_members() {
+        let (code, output) = run_line("fleet hosts");
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("VSH_FLEET_HOSTS"), "{output}");
+    }
+
+    #[test]
+    fn fleet_rejects_unknown_verbs_and_bad_specs() {
+        let (code, output) = run_line("fleet --hosts a=test:///default frobnicate");
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("unknown fleet verb"), "{output}");
+        let (code, output) = run_line("fleet --hosts nonsense hosts");
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("name=uri"), "{output}");
+        let (code, output) = run_line("fleet --hosts a=test:///default --policy bogus hosts");
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("--policy"), "{output}");
+    }
+
+    #[test]
+    fn fleet_verbs_place_list_migrate_and_evacuate() {
+        let (da, uri_a) = member("vshf-a");
+        let (db, uri_b) = member("vshf-b");
+        let hosts = format!("--hosts a={uri_a},b={uri_b}");
+
+        // hosts: both members reachable, with capacity columns.
+        let (code, output) = run_line(&format!("fleet {hosts} hosts"));
+        assert_eq!(code, 0, "{output}");
+        let up = output.lines().filter(|l| l.contains(" up")).count();
+        assert_eq!(up, 2, "{output}");
+
+        // create twice under spread: one domain per host.
+        let first = unique("fleet-guest-with-a-long-name");
+        let second = unique("fleet-guest");
+        for name in [&first, &second] {
+            let (code, output) = run_line(&format!("fleet {hosts} create {name} 256 1"));
+            assert_eq!(code, 0, "{output}");
+            assert!(output.contains("created and started"), "{output}");
+        }
+
+        // list: fleet-qualified names, columns aligned even though the
+        // first name is far longer than any fixed padding.
+        let (code, output) = run_line(&format!("fleet {hosts} list"));
+        assert_eq!(code, 0, "{output}");
+        let lines: Vec<&str> = output.lines().collect();
+        let header = lines[0];
+        let state_col = col(header, "State");
+        for row in lines.iter().skip(2).filter(|l| l.contains('/')) {
+            assert_eq!(col(row, "running"), state_col, "misaligned row in {output}");
+        }
+        assert!(output.contains(&format!("/{first}")), "{output}");
+
+        // migrate by bare name: the fleet locates the source itself.
+        let source = if output.contains(&format!("a/{first}")) {
+            "a"
+        } else {
+            "b"
+        };
+        let dest = if source == "a" { "b" } else { "a" };
+        let (code, output) = run_line(&format!("fleet {hosts} migrate {first} {dest}"));
+        assert_eq!(code, 0, "{output}");
+        assert!(
+            output.contains(&format!("migrated {source} -> {dest}")),
+            "{output}"
+        );
+
+        // Both guests now live somewhere; drain whichever host holds the
+        // second one (host/domain syntax pins the source explicitly).
+        let (code, output) = run_line(&format!("fleet {hosts} list"));
+        assert_eq!(code, 0, "{output}");
+        let row = output
+            .lines()
+            .find(|l| l.contains(&format!("/{second}")))
+            .unwrap();
+        let holder = row.split('/').next().unwrap().trim();
+        let (code, output) = run_line(&format!("fleet {hosts} evacuate {holder}"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Evacuation of"), "{output}");
+        assert!(output.contains("0 failed"), "{output}");
+
+        da.shutdown();
+        db.shutdown();
+    }
+
+    #[test]
+    fn plain_list_aligns_columns_past_the_old_fixed_padding() {
+        let name = unique("vshf-wide");
+        let daemon = Virtd::builder(&name).with_quiet_hosts().build().unwrap();
+        daemon.register_memory_endpoint(&name).unwrap();
+        let uri = format!("qemu+memory://{name}/system");
+
+        let conn = virt_core::Connect::builder(&uri).open().unwrap();
+        let long = "a-domain-name-well-past-twenty-characters";
+        for guest in [long, "tiny"] {
+            conn.define_domain(&DomainConfig::new(guest, 128, 1))
+                .unwrap()
+                .start()
+                .unwrap();
+        }
+        conn.close();
+
+        let (code, output) = run_line(&format!("-c {uri} list"));
+        assert_eq!(code, 0, "{output}");
+        let lines: Vec<&str> = output.lines().collect();
+        let state_col = col(lines[0], "State");
+        assert!(
+            state_col > 20 + " Id   ".len(),
+            "Name column did not widen: {output}"
+        );
+        for row in lines.iter().skip(2) {
+            assert_eq!(col(row, "running"), state_col, "misaligned row in {output}");
+        }
+
+        daemon.shutdown();
     }
 }

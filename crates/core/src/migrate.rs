@@ -132,6 +132,41 @@ impl Domain {
     }
 }
 
+impl Connect {
+    /// Confirm phase, exposed for federation-level reconciliation: make
+    /// this host forget its copy of a domain that has been adopted by a
+    /// migration destination.
+    ///
+    /// [`Domain::migrate_to`] runs Confirm itself; a fleet manager needs
+    /// the phase separately when the orchestrating client (or the source
+    /// daemon) died between Finish and Confirm and the destination copy
+    /// is already running — the surviving copy wins and the stale source
+    /// copy must be forgotten, whatever state a restart recovered it in.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoDomain`] when this host has no such domain; driver
+    /// failures otherwise.
+    pub fn confirm_outgoing_migration(&self, name: &str) -> VirtResult<()> {
+        self.raw().migrate_confirm(name)
+    }
+
+    /// Abort phase, exposed for federation-level reconciliation: tear
+    /// down a migration destination's half-adopted copy of `name`.
+    ///
+    /// Destroys the incoming instance if Finish already started it and
+    /// forgets it; a destination that never saw the domain is left
+    /// untouched and the call succeeds, so reconciliation can invoke it
+    /// unconditionally after a failed or interrupted migration.
+    ///
+    /// # Errors
+    ///
+    /// Driver failures (an absent domain is *not* an error).
+    pub fn abort_incoming_migration(&self, name: &str) -> VirtResult<()> {
+        self.raw().migrate_abort(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

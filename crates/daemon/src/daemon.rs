@@ -3,8 +3,9 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use hypersim::latency::OpCost;
 use hypersim::personality::{LxcLike, QemuLike, XenLike};
-use hypersim::{LatencyModel, SimClock, SimHost};
+use hypersim::{LatencyModel, OpKind, SimClock, SimHost};
 
 use virt_core::drivers::embedded::{EmbeddedConnection, StoreBinding};
 use virt_core::error::{ErrorCode, VirtError, VirtResult};
@@ -86,22 +87,40 @@ impl VirtdBuilder {
         self
     }
 
+    /// UUID seed base derived from the daemon name. Fixed per-scheme
+    /// seeds made every daemon's qemu host emit the *same* UUID stream,
+    /// so the first domain defined on any two daemons collided when one
+    /// was migrated to the other. Mixing the name in keeps a single
+    /// daemon deterministic while giving differently-named daemons
+    /// disjoint streams.
+    fn seed_base(&self) -> u64 {
+        // FNV-1a over the daemon name.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// Attaches default qemu/xen/lxc hosts with realistic latency models,
     /// named `<daemon>-<scheme>`.
     pub fn with_default_hosts(mut self) -> Self {
+        let base = self.seed_base();
         let qemu = SimHost::builder(format!("{}-qemu", self.name))
             .personality(QemuLike)
             .clock(self.clock.clone())
+            .seed(base)
             .build();
         let xen = SimHost::builder(format!("{}-xen", self.name))
             .personality(XenLike)
             .clock(self.clock.clone())
-            .seed(0x11)
+            .seed(base ^ 0x11)
             .build();
         let lxc = SimHost::builder(format!("{}-lxc", self.name))
             .personality(LxcLike)
             .clock(self.clock.clone())
-            .seed(0x22)
+            .seed(base ^ 0x22)
             .build();
         self.hosts.insert("qemu".to_string(), qemu);
         self.hosts.insert("xen".to_string(), xen);
@@ -112,7 +131,8 @@ impl VirtdBuilder {
     /// Attaches default hosts with **zero-latency** models (logic-focused
     /// tests).
     pub fn with_quiet_hosts(mut self) -> Self {
-        for (scheme, seed) in [("qemu", 1u64), ("xen", 2), ("lxc", 3)] {
+        let base = self.seed_base();
+        for (scheme, seed) in [("qemu", base ^ 1), ("xen", base ^ 2), ("lxc", base ^ 3)] {
             let personality: Box<dyn FnOnce(hypersim::SimHostBuilder) -> hypersim::SimHostBuilder> =
                 match scheme {
                     "qemu" => Box::new(|b| b.personality(QemuLike)),
@@ -128,6 +148,24 @@ impl VirtdBuilder {
             .build();
             self.hosts.insert(scheme.to_string(), host);
         }
+        self
+    }
+
+    /// Attaches quiet hosts whose **migration transfer is the only slow
+    /// operation**: 0.1 ms of virtual time per MiB moved, scaled 1:1
+    /// into wall time, so a 256 MiB migration slice occupies a worker
+    /// for ~25 ms of real time while every other call stays instant.
+    /// This is the chaos-testing configuration — it keeps a migration
+    /// genuinely in flight long enough to kill the daemon under it.
+    pub fn with_slow_migration_hosts(mut self) -> Self {
+        let qemu = SimHost::builder(format!("{}-qemu", self.name))
+            .personality(QemuLike)
+            .clock(self.clock.clone())
+            .seed(self.seed_base() ^ 1)
+            .latency(LatencyModel::zero().set(OpKind::MigratePage, OpCost::scaled(0, 100_000)))
+            .wall_time_scale(1.0)
+            .build();
+        self.hosts.insert("qemu".to_string(), qemu);
         self
     }
 

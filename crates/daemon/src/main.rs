@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! virtd [--name NAME] [--unix PATH] [--tcp ADDR] [--admin-unix PATH]
-//!       [--max-clients N] [--quiet-hosts] [--statedir DIR]
+//!       [--max-clients N] [--quiet-hosts] [--slow-migration] [--statedir DIR]
 //! ```
 //!
 //! Defaults: name `virtd`, remote socket `/tmp/virtd.sock`, admin socket
@@ -24,6 +24,7 @@ struct Options {
     admin_unix: String,
     max_clients: u32,
     quiet_hosts: bool,
+    slow_migration: bool,
     statedir: Option<String>,
 }
 
@@ -35,6 +36,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         admin_unix: "/tmp/virtd-admin.sock".to_string(),
         max_clients: 120,
         quiet_hosts: false,
+        slow_migration: false,
         statedir: None,
     };
     let mut i = 0;
@@ -69,6 +71,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 i += 1;
             }
             "--quiet-hosts" => options.quiet_hosts = true,
+            "--slow-migration" => options.slow_migration = true,
             "--statedir" => {
                 options.statedir = Some(value(args, i, "--statedir")?);
                 i += 1;
@@ -77,7 +80,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 return Err(
                     "usage: virtd [--name NAME] [--unix PATH|--no-unix] [--tcp ADDR] \
                             [--admin-unix PATH] [--max-clients N] [--quiet-hosts] \
-                            [--statedir DIR]"
+                            [--slow-migration] [--statedir DIR]"
                         .to_string(),
                 )
             }
@@ -108,6 +111,13 @@ fn main() {
     } else {
         builder.with_default_hosts()
     };
+    if options.slow_migration {
+        // Chaos-test knob: replaces the qemu host with one whose
+        // migration transfer takes real wall time (see
+        // VirtdBuilder::with_slow_migration_hosts), so a test can
+        // SIGKILL the daemon while a migration is genuinely in flight.
+        builder = builder.with_slow_migration_hosts();
+    }
     let daemon = match builder.build() {
         Ok(daemon) => daemon,
         Err(err) => {

@@ -1,0 +1,106 @@
+//! Lifecycle tests for [`virtd::ServeHandle`]: shutdown is idempotent,
+//! join after shutdown returns promptly, and dropping a handle without
+//! shutting it down neither hangs nor stops the service.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use virt_core::Connect;
+use virt_rpc::transport::{TcpSocketListener, UnixSocketListener};
+use virtd::Virtd;
+
+fn unique(name: &str) -> String {
+    static N: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+fn quiet(tag: &str) -> Virtd {
+    Virtd::builder(unique(tag))
+        .with_quiet_hosts()
+        .build()
+        .unwrap()
+}
+
+/// Runs `work` on a helper thread and asserts it finishes within 10 s —
+/// turns a would-be deadlock into a test failure.
+fn must_finish(what: &str, work: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        work();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(Duration::from_secs(10))
+        .unwrap_or_else(|_| panic!("{what} did not finish within 10s"));
+}
+
+#[test]
+fn double_shutdown_is_idempotent() {
+    let daemon = quiet("sh-idem");
+    let path = format!("/tmp/{}.sock", unique("sh-idem"));
+    let handle = daemon
+        .main_server()
+        .serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
+
+    // The service accepts while the handle is live.
+    let conn = Connect::builder(format!("qemu+unix:///system?socket={path}"))
+        .open()
+        .unwrap();
+    assert!(conn.hostname().unwrap().ends_with("-qemu"));
+    conn.close();
+
+    handle.shutdown();
+    handle.shutdown(); // second call is a no-op, not a panic or error
+
+    // New connections are refused once the accept loop is closed.
+    let refused = Connect::builder(format!("qemu+unix:///system?socket={path}"))
+        .reconnect(false)
+        .open();
+    assert!(refused.is_err(), "listener still accepting after shutdown");
+
+    must_finish("join after double shutdown", move || handle.join());
+    daemon.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn join_after_shutdown_returns_cleanly() {
+    let daemon = quiet("sh-join");
+    let listener = TcpSocketListener::bind("127.0.0.1:0").unwrap();
+    let handle = daemon.main_server().serve(Box::new(listener));
+
+    handle.shutdown();
+    let started = Instant::now();
+    must_finish("join after shutdown", move || handle.join());
+    // The accept thread observes the closed listener promptly; this is
+    // a liveness bound, not a perf assertion.
+    assert!(started.elapsed() < Duration::from_secs(10));
+    daemon.shutdown();
+}
+
+#[test]
+fn drop_without_shutdown_neither_hangs_nor_stops_the_service() {
+    let daemon = quiet("sh-drop");
+    let path = format!("/tmp/{}.sock", unique("sh-drop"));
+    let handle = daemon
+        .main_server()
+        .serve(Box::new(UnixSocketListener::bind(&path).unwrap()));
+
+    must_finish("dropping a live handle", move || drop(handle));
+
+    // Dropping the handle does not stop the service: the server still
+    // owns the accept loop and closes it at full shutdown.
+    let conn = Connect::builder(format!("qemu+unix:///system?socket={path}"))
+        .open()
+        .unwrap();
+    assert!(conn.hostname().unwrap().ends_with("-qemu"));
+    conn.close();
+
+    must_finish("daemon shutdown reaps the dropped service", move || {
+        daemon.shutdown()
+    });
+    let _ = std::fs::remove_file(&path);
+}

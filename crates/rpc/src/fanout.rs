@@ -1,0 +1,119 @@
+//! Bounded-parallelism fan-out for multi-endpoint clients.
+//!
+//! A federation front-end issues the same call against many daemons at
+//! once — refresh every host's inventory, evacuate a host, list the
+//! whole fleet. Spawning one thread per endpoint scales badly and, worse,
+//! stampedes the daemons; issuing the calls serially multiplies the
+//! per-host deadline by the host count. This module provides the middle
+//! ground: run a batch of closures with at most `parallelism` in flight,
+//! preserving input order in the output.
+//!
+//! The helper is deliberately synchronous and generic — the per-call
+//! deadline is the *caller's* concern (the `Connect` objects carry it),
+//! so the fan-out only bounds concurrency and collects results.
+
+/// Runs `tasks` with at most `parallelism` running concurrently and
+/// returns their results in input order.
+///
+/// A `parallelism` of zero is treated as one. Panics in a task propagate
+/// to the caller (the scope re-raises them on join), so callers should
+/// return errors as values — which is what fleet fan-outs do, collecting
+/// `VirtResult`s per host.
+pub fn run_bounded<T, F>(parallelism: usize, tasks: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let parallelism = parallelism.max(1);
+    let total = tasks.len();
+    if total == 0 {
+        return Vec::new();
+    }
+
+    // Each worker pulls the next unclaimed index; results land in their
+    // input slot so the output order never depends on scheduling.
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<std::sync::Mutex<(Option<F>, Option<T>)>> = Vec::with_capacity(total);
+    for task in tasks {
+        slots.push(std::sync::Mutex::new((Some(task), None)));
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..parallelism.min(total) {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let task = slots[index]
+                    .lock()
+                    .unwrap()
+                    .0
+                    .take()
+                    .expect("task claimed once");
+                let result = task();
+                slots[index].lock().unwrap().1 = Some(result);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .1
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn preserves_input_order() {
+        let tasks: Vec<_> = (0..32).map(|i| move || i * 2).collect();
+        let results = run_bounded(4, tasks);
+        assert_eq!(results, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounds_concurrency() {
+        static IN_FLIGHT: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        let tasks: Vec<_> = (0..24)
+            .map(|i| {
+                move || {
+                    let now = IN_FLIGHT.fetch_add(1, Ordering::SeqCst) + 1;
+                    PEAK.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(2));
+                    IN_FLIGHT.fetch_sub(1, Ordering::SeqCst);
+                    i
+                }
+            })
+            .collect();
+        let results = run_bounded(3, tasks);
+        assert_eq!(results.len(), 24);
+        assert!(
+            PEAK.load(Ordering::SeqCst) <= 3,
+            "peak {}",
+            PEAK.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn zero_parallelism_still_runs() {
+        let results = run_bounded(0, vec![|| 7]);
+        assert_eq!(results, vec![7]);
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let results: Vec<i32> = run_bounded(4, Vec::<fn() -> i32>::new());
+        assert!(results.is_empty());
+    }
+}

@@ -47,6 +47,7 @@
 
 pub mod bufpool;
 pub mod client;
+pub mod fanout;
 pub mod fault;
 pub mod keepalive;
 pub mod message;
@@ -59,6 +60,7 @@ pub mod xdr;
 
 pub use bufpool::{BufferPool, PooledBuf};
 pub use client::CallClient;
+pub use fanout::run_bounded;
 pub use fault::{FaultControl, FaultMode, FaultyTransport};
 pub use message::{Header, MessageStatus, MessageType, Packet, RpcError};
 pub use poll::{PollEvent, Poller};

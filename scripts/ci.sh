@@ -12,6 +12,12 @@ export RUSTFLAGS="-D warnings"
 echo "== build (release) =="
 cargo build --release --offline
 
+# Examples must build clean with warnings-as-errors, which includes the
+# deprecation warnings for Connect::open/open_with_registry — doc and
+# example code stays on the Connect::builder entry point.
+echo "== examples (deprecated-clean, release) =="
+cargo build --release --offline --examples
+
 echo "== test =="
 cargo test -q --offline
 
@@ -23,11 +29,11 @@ echo "== clippy =="
 # API-compatibility stand-ins, not ours to polish.
 cargo clippy --offline --all-targets \
     -p virt-metrics -p virt-xml -p hypersim -p virt-rpc -p virt-core \
-    -p virtd -p virsh -p virt-bench -p virt-suite \
+    -p virtd -p virt-fleet -p virsh -p virt-bench -p virt-suite \
     -- -D warnings
 
 echo "== hygiene: no dead_code allows in the product crates =="
-if grep -rn 'allow(dead_code)' crates/rpc crates/core crates/daemon crates/cli; then
+if grep -rn 'allow(dead_code)' crates/rpc crates/core crates/daemon crates/cli crates/fleet; then
     echo "error: new #[allow(dead_code)] in a product crate — delete the dead code instead" >&2
     exit 1
 fi
@@ -51,10 +57,20 @@ cargo test -q --release --offline -p virt-metrics --test trace_overhead
 echo "== perf smoke (event loop: 1000 idle connections, release) =="
 cargo test -q --release --offline -p virtd --test eventloop_smoke -- --ignored
 
+# Fleet smoke: a small hosts×domains placement rung plus a 20-way
+# cross-host migration storm, asserting placement p99 under budget and
+# zero failed migrations. Release mode — the storm timing assumes real
+# codegen.
+echo "== perf smoke (fleet placement + migration storm, release) =="
+cargo run -q --release --offline -p virt-bench --bin expt_f10_fleet -- --smoke
+
 # Chaos suites last: they SIGKILL real daemon processes and churn
 # temp state directories, so everything cheap fails first.
 echo "== chaos (connection resilience) =="
 cargo test -q --offline --test resilience
+
+echo "== chaos (fleet: SIGKILL members under a live fleet manager) =="
+cargo test -q --offline --test fleet
 
 echo "== chaos (domain jobs) =="
 cargo test -q --offline --test jobs

@@ -6,6 +6,7 @@
 
 pub use hypersim;
 pub use virt_core;
+pub use virt_fleet;
 pub use virt_rpc;
 pub use virt_xml;
 pub use virtd;

@@ -19,7 +19,10 @@ pub use admin::run_admin;
 use std::io::Write;
 use std::time::Duration;
 
+use std::collections::HashMap;
+
 use virt_core::driver::MigrationOptions;
+use virt_core::guard::{GuardPolicy, GuardStatus, DEFAULT_MAX_RESTARTS, DEFAULT_STOP_TIMEOUT_MS};
 use virt_core::xmlfmt::DomainConfig;
 use virt_core::{Connect, RetryPolicy, VirtError, VirtResult};
 
@@ -225,6 +228,65 @@ pub(crate) fn render_table(out: &mut dyn Write, headers: &[&str], rows: &[Vec<St
     }
 }
 
+/// Renders a guard policy with its parameter, e.g. `keep-running (max 5)`.
+fn policy_cell(policy: &GuardPolicy) -> String {
+    match policy {
+        GuardPolicy::KeepRunning { max_restarts } => format!("keep-running (max {max_restarts})"),
+        GuardPolicy::AutoResume => "auto-resume".to_string(),
+        GuardPolicy::GracefulStop { timeout_ms } => format!("graceful-stop ({timeout_ms} ms)"),
+    }
+}
+
+/// `armed` / `gave-up` summary of one guard.
+fn guard_state_cell(status: &GuardStatus) -> &'static str {
+    if status.gave_up {
+        "gave-up"
+    } else {
+        "armed"
+    }
+}
+
+/// Countdown to the next scheduled retry, `-` when none is pending.
+fn next_retry_cell(status: &GuardStatus) -> String {
+    match status.next_retry {
+        Some(delay) => format!("in {:.1}s", delay.as_secs_f64()),
+        None => "-".to_string(),
+    }
+}
+
+/// Parses `vsh guard set` policy arguments.
+fn parse_guard_policy(args: &[&str]) -> VirtResult<GuardPolicy> {
+    let kind = arg(
+        args,
+        0,
+        "policy (keep-running | auto-resume | graceful-stop)",
+    )?;
+    let option = |flag: &str| -> VirtResult<Option<u64>> {
+        match args.iter().position(|a| *a == flag) {
+            Some(i) => args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .map(Some)
+                .ok_or_else(|| invalid(&format!("{flag} requires a number"))),
+            None => Ok(None),
+        }
+    };
+    match kind {
+        "keep-running" => Ok(GuardPolicy::KeepRunning {
+            max_restarts: option("--max-restarts")?
+                .map(|v| v as u32)
+                .unwrap_or(DEFAULT_MAX_RESTARTS),
+        }),
+        "auto-resume" => Ok(GuardPolicy::AutoResume),
+        "graceful-stop" => Ok(GuardPolicy::GracefulStop {
+            timeout_ms: option("--timeout-ms")?.unwrap_or(DEFAULT_STOP_TIMEOUT_MS),
+        }),
+        other => Err(invalid(&format!(
+            "unknown guard policy '{other}'; use keep-running, auto-resume or graceful-stop"
+        ))),
+    }
+}
+
 fn read_xml_arg(value: &str) -> VirtResult<String> {
     // A value starting with '<' is inline XML, anything else is a path.
     if value.trim_start().starts_with('<') {
@@ -266,6 +328,17 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
         }
         "list" => {
             let all = args.contains(&"--all");
+            // One bulk fetch for the Guard column; drivers without a
+            // guard engine simply leave it empty.
+            let guards: HashMap<String, GuardStatus> = if all {
+                conn.guard_list()
+                    .unwrap_or_default()
+                    .into_iter()
+                    .map(|s| (s.domain.clone(), s))
+                    .collect()
+            } else {
+                HashMap::new()
+            };
             let mut rows: Vec<Vec<String>> = Vec::new();
             for domain in conn.list_all_domains()? {
                 let info = domain.info()?;
@@ -280,11 +353,17 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                 if all {
                     row.push(if info.persistent { "yes" } else { "no" }.to_string());
                     row.push(if info.autostart { "enable" } else { "disable" }.to_string());
+                    row.push(match guards.get(&info.name) {
+                        Some(status) => {
+                            format!("{} ({})", status.policy, guard_state_cell(status))
+                        }
+                        None => "-".to_string(),
+                    });
                 }
                 rows.push(row);
             }
             let headers: &[&str] = if all {
-                &["Id", "Name", "State", "Persistent", "Autostart"]
+                &["Id", "Name", "State", "Persistent", "Autostart", "Guard"]
             } else {
                 &["Id", "Name", "State"]
             };
@@ -303,8 +382,8 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                 &format!("Domain '{}' created and started", domain.name()),
             );
         }
-        "start" | "shutdown" | "reboot" | "destroy" | "suspend" | "resume" | "undefine"
-        | "managedsave" | "restore" => {
+        "start" | "shutdown" | "reboot" | "destroy" | "crash" | "suspend" | "resume"
+        | "undefine" | "managedsave" | "restore" => {
             let name = arg(args, 0, "domain name")?;
             let domain = conn.domain_lookup_by_name(name)?;
             match command {
@@ -312,6 +391,7 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                 "shutdown" => domain.shutdown()?,
                 "reboot" => domain.reboot()?,
                 "destroy" => domain.destroy()?,
+                "crash" => domain.crash()?,
                 "suspend" => domain.suspend()?,
                 "resume" => domain.resume()?,
                 "undefine" => domain.undefine()?,
@@ -361,6 +441,18 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                     if info.has_managed_save { "yes" } else { "no" }
                 ),
             );
+            let guard = conn
+                .domain_lookup_by_name(name)?
+                .guard_status()
+                .map(|status| {
+                    format!(
+                        "{} ({})",
+                        policy_cell(&status.policy),
+                        guard_state_cell(&status)
+                    )
+                })
+                .unwrap_or_else(|_| "none".to_string());
+            w(out, &format!("{:<16} {}", "Guard:", guard));
             w(
                 out,
                 &format!("{:<16} {:.1}s", "CPU time:", info.cpu_time_ns as f64 / 1e9),
@@ -403,6 +495,69 @@ fn execute(conn: &Connect, command: &str, args: &[&str], out: &mut dyn Write) ->
                     if disable { "disabled" } else { "enabled" }
                 ),
             );
+        }
+        "guard" => {
+            let verb = arg(args, 0, "guard verb (set | remove | list | status)")?;
+            match verb {
+                "set" => {
+                    let name = arg(args, 1, "domain name")?;
+                    let policy = parse_guard_policy(&args[2..])?;
+                    conn.domain_lookup_by_name(name)?.guard_set(&policy)?;
+                    w(
+                        out,
+                        &format!("Guard '{}' set on domain '{name}'", policy_cell(&policy)),
+                    );
+                }
+                "remove" => {
+                    let name = arg(args, 1, "domain name")?;
+                    conn.domain_lookup_by_name(name)?.guard_remove()?;
+                    w(out, &format!("Guard removed from domain '{name}'"));
+                }
+                "list" => {
+                    let rows: Vec<Vec<String>> = conn
+                        .guard_list()?
+                        .iter()
+                        .map(|status| {
+                            vec![
+                                status.domain.clone(),
+                                policy_cell(&status.policy),
+                                status.restarts.to_string(),
+                                guard_state_cell(status).to_string(),
+                                next_retry_cell(status),
+                            ]
+                        })
+                        .collect();
+                    render_table(
+                        out,
+                        &["Domain", "Policy", "Restarts", "State", "Next retry"],
+                        &rows,
+                    );
+                }
+                "status" => {
+                    let name = arg(args, 1, "domain name")?;
+                    let status = conn.domain_lookup_by_name(name)?.guard_status()?;
+                    w(out, &format!("{:<16} {}", "Domain:", status.domain));
+                    w(
+                        out,
+                        &format!("{:<16} {}", "Policy:", policy_cell(&status.policy)),
+                    );
+                    w(out, &format!("{:<16} {}", "Restarts:", status.restarts));
+                    w(
+                        out,
+                        &format!("{:<16} {}", "State:", guard_state_cell(&status)),
+                    );
+                    w(
+                        out,
+                        &format!("{:<16} {}", "Next retry:", next_retry_cell(&status)),
+                    );
+                    w(out, &format!("{:<16} {}", "Last event:", status.last_event));
+                }
+                other => {
+                    return Err(invalid(&format!(
+                        "unknown guard verb '{other}'; use set, remove, list or status"
+                    )));
+                }
+            }
         }
         "snapshot-create" => {
             let name = arg(args, 0, "domain name")?;
@@ -699,11 +854,21 @@ fn print_help(out: &mut dyn Write) {
         out,
         "  list [--all]                 define <xml>        create <xml>",
     );
-    w(out, "  start|shutdown|reboot|destroy|suspend|resume <name>");
+    w(
+        out,
+        "  start|shutdown|reboot|destroy|crash|suspend|resume <name>",
+    );
     w(out, "  managedsave|restore|undefine <name>");
     w(out, "  dominfo|domstate|dumpxml <name>");
     w(out, "  setmem <name> <MiB>          setvcpus <name> <n>");
     w(out, "  autostart <name> [--disable]");
+    w(out, "Guards (HA supervisor):");
+    w(out, "  guard set <name> keep-running [--max-restarts <n>]");
+    w(
+        out,
+        "  guard set <name> auto-resume | graceful-stop [--timeout-ms <ms>]",
+    );
+    w(out, "  guard remove|status <name>   guard list");
     w(out, "  snapshot-create <name> <snap>  snapshot-list <name>");
     w(
         out,
@@ -1162,6 +1327,116 @@ mod migrate_cli_tests {
         let stats = domain.job_stats().unwrap();
         assert_eq!(stats.kind, virt_core::JobKind::None);
         assert_eq!(stats.state, virt_core::JobState::None);
+    }
+}
+
+#[cfg(test)]
+mod guard_cli_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use virtd::Virtd;
+
+    fn unique(name: &str) -> String {
+        static N: AtomicU64 = AtomicU64::new(0);
+        format!(
+            "{name}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        )
+    }
+
+    fn daemon_with_domain(tag: &str, domain: &str) -> (Virtd, String) {
+        let endpoint = unique(tag);
+        let daemon = Virtd::builder(&endpoint)
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
+        daemon.register_memory_endpoint(&endpoint).unwrap();
+        let uri = format!("qemu+memory://{endpoint}/system");
+        let conn = virt_core::Connect::builder(&uri).open().unwrap();
+        conn.define_domain(&DomainConfig::new(domain, 256, 1))
+            .unwrap()
+            .start()
+            .unwrap();
+        conn.close();
+        (daemon, uri)
+    }
+
+    #[test]
+    fn guard_set_status_list_and_remove() {
+        let (daemon, uri) = daemon_with_domain("vsh-guard", "web");
+
+        let (code, output) = run_line(&format!(
+            "-c {uri} guard set web keep-running --max-restarts 3"
+        ));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("keep-running (max 3)"), "{output}");
+
+        let (code, output) = run_line(&format!("-c {uri} guard status web"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Policy:"), "{output}");
+        assert!(output.contains("armed"), "{output}");
+        assert!(output.contains("Next retry:      -"), "{output}");
+
+        let (code, output) = run_line(&format!("-c {uri} guard list"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("web"), "{output}");
+        assert!(output.contains("Restarts"), "{output}");
+
+        // Guard status surfaces in dominfo and list --all.
+        let (code, output) = run_line(&format!("-c {uri} dominfo web"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Guard:"), "{output}");
+        assert!(output.contains("keep-running (max 3) (armed)"), "{output}");
+        let (code, output) = run_line(&format!("-c {uri} list --all"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Guard"), "{output}");
+        assert!(output.contains("keep-running"), "{output}");
+
+        let (code, output) = run_line(&format!("-c {uri} guard remove web"));
+        assert_eq!(code, 0, "{output}");
+        let (code, output) = run_line(&format!("-c {uri} guard status web"));
+        assert_eq!(code, 1, "{output}");
+
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn guard_rejects_unknown_policy_and_verbs() {
+        let (code, output) = run_line("guard set web levitate");
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("unknown guard policy"), "{output}");
+        let (code, output) = run_line("guard frobnicate");
+        assert_eq!(code, 1, "{output}");
+        assert!(output.contains("unknown guard verb"), "{output}");
+    }
+
+    #[test]
+    fn crash_verb_reaches_the_daemon() {
+        let (daemon, uri) = daemon_with_domain("vsh-crash", "victim");
+        let (code, output) = run_line(&format!("-c {uri} crash victim"));
+        assert_eq!(code, 0, "{output}");
+        let (code, output) = run_line(&format!("-c {uri} domstate victim"));
+        assert_eq!(code, 0, "{output}");
+        assert_eq!(output.trim(), "crashed");
+        daemon.shutdown();
+    }
+
+    #[test]
+    fn autostart_round_trips_through_a_daemon() {
+        // Satellite check: the autostart wire procs work end to end.
+        let (daemon, uri) = daemon_with_domain("vsh-as", "boots");
+        let (code, output) = run_line(&format!("-c {uri} autostart boots"));
+        assert_eq!(code, 0, "{output}");
+        let (code, output) = run_line(&format!("-c {uri} dominfo boots"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Autostart:       enable"), "{output}");
+        let (code, output) = run_line(&format!("-c {uri} autostart boots --disable"));
+        assert_eq!(code, 0, "{output}");
+        let (code, output) = run_line(&format!("-c {uri} dominfo boots"));
+        assert_eq!(code, 0, "{output}");
+        assert!(output.contains("Autostart:       disable"), "{output}");
+        daemon.shutdown();
     }
 }
 

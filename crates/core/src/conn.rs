@@ -343,6 +343,18 @@ impl Connect {
         Ok(Domain::from_record(self.inner.clone(), record))
     }
 
+    // ---- guards ---------------------------------------------------------
+
+    /// Statuses of every guarded domain on this connection.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures; [`crate::ErrorCode::NoSupport`] on drivers
+    /// without a guard engine.
+    pub fn guard_list(&self) -> VirtResult<Vec<crate::guard::GuardStatus>> {
+        self.inner.guard_list()
+    }
+
     // ---- storage --------------------------------------------------------
 
     /// Names of all storage pools.

@@ -127,6 +127,42 @@ impl Domain {
         self.conn.destroy_domain(&self.name).map(drop)
     }
 
+    /// Simulates a guest crash (testing aid for guard policies).
+    ///
+    /// # Errors
+    ///
+    /// Lifecycle failures; the domain must be active.
+    pub fn crash(&self) -> VirtResult<()> {
+        self.conn.crash_domain(&self.name).map(drop)
+    }
+
+    /// Attaches an availability guard policy to this domain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Domain::info`].
+    pub fn guard_set(&self, policy: &crate::guard::GuardPolicy) -> VirtResult<()> {
+        self.conn.guard_set(&self.name, policy)
+    }
+
+    /// Removes this domain's guard policy.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoDomain`] if no guard is attached.
+    pub fn guard_remove(&self) -> VirtResult<()> {
+        self.conn.guard_remove(&self.name)
+    }
+
+    /// This domain's guard status.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::ErrorCode::NoDomain`] if no guard is attached.
+    pub fn guard_status(&self) -> VirtResult<crate::guard::GuardStatus> {
+        self.conn.guard_status(&self.name)
+    }
+
     /// Pauses vCPUs.
     ///
     /// # Errors

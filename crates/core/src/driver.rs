@@ -16,6 +16,7 @@ use virt_rpc::retry::{BreakerConfig, RetryPolicy};
 use crate::capabilities::Capabilities;
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, EventCallback};
+use crate::guard::{GuardPolicy, GuardStatus};
 use crate::job::JobStats;
 use crate::typedparam::TypedParam;
 use crate::uri::ConnectUri;
@@ -526,6 +527,78 @@ pub trait HypervisorConnection: Send + Sync + std::fmt::Debug {
     ///
     /// [`ErrorCode::NoDomain`].
     fn dump_domain_xml(&self, name: &str) -> VirtResult<String>;
+
+    // ---- guards ---------------------------------------------------------
+
+    /// Forces a guest crash (chaos/test tooling): the domain drops to
+    /// crashed with no graceful path, as if the guest kernel panicked.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoDomain`], [`ErrorCode::OperationInvalid`] when
+    /// inactive; [`ErrorCode::NoSupport`] on drivers without crash
+    /// injection.
+    fn crash_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _ = name;
+        Err(VirtError::new(
+            ErrorCode::NoSupport,
+            "crash injection is not supported by this driver",
+        ))
+    }
+
+    /// Installs (or replaces) an availability guard on a domain.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoDomain`]; [`ErrorCode::NoSupport`] on drivers
+    /// without a guard engine.
+    fn guard_set(&self, name: &str, policy: &GuardPolicy) -> VirtResult<()> {
+        let _ = (name, policy);
+        Err(VirtError::new(
+            ErrorCode::NoSupport,
+            "guards are not supported by this driver",
+        ))
+    }
+
+    /// Removes a domain's guard.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoDomain`] when no guard is defined;
+    /// [`ErrorCode::NoSupport`].
+    fn guard_remove(&self, name: &str) -> VirtResult<()> {
+        let _ = name;
+        Err(VirtError::new(
+            ErrorCode::NoSupport,
+            "guards are not supported by this driver",
+        ))
+    }
+
+    /// Status of every defined guard, sorted by domain name.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoSupport`].
+    fn guard_list(&self) -> VirtResult<Vec<GuardStatus>> {
+        Err(VirtError::new(
+            ErrorCode::NoSupport,
+            "guards are not supported by this driver",
+        ))
+    }
+
+    /// Status of one domain's guard.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NoDomain`] when no guard is defined;
+    /// [`ErrorCode::NoSupport`].
+    fn guard_status(&self, name: &str) -> VirtResult<GuardStatus> {
+        let _ = name;
+        Err(VirtError::new(
+            ErrorCode::NoSupport,
+            "guards are not supported by this driver",
+        ))
+    }
 
     // ---- migration internals --------------------------------------------
 

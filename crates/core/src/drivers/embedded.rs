@@ -8,18 +8,21 @@
 //! same command formatting/parsing path the real driver exercises.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 use hypersim::monitor::Monitor;
 use hypersim::{MigrationParams, SimHost};
 
 use crate::capabilities::Capabilities;
 use crate::driver::{
-    DomainRecord, HypervisorConnection, MigrationOptions, MigrationReport, NetworkRecord, NodeInfo,
-    PoolRecord, VolumeRecord,
+    DomainRecord, DomainState, HypervisorConnection, MigrationOptions, MigrationReport,
+    NetworkRecord, NodeInfo, PoolRecord, VolumeRecord,
 };
 use crate::error::{ErrorCode, VirtError, VirtResult};
-use crate::event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventCallback};
+use crate::event::{
+    CallbackId, DomainEvent, DomainEventKind, EventBus, EventCallback, EventFilter,
+};
+use crate::guard::{GuardEngine, GuardPolicy, GuardRecord, GuardStatus};
 use crate::job::{JobKind, JobManager, JobProgress, JobStats, JobTicket};
 use crate::metrics::span::{self, Stage};
 use crate::metrics::{Histogram, Registry};
@@ -135,6 +138,10 @@ pub struct RecoveryReport {
     pub pools: u64,
     /// Corrupt files moved to quarantine during this pass.
     pub quarantined: u64,
+    /// Guard policies re-armed from their persisted records.
+    pub guards: u64,
+    /// Recorded-crashed guarded domains immediately revived.
+    pub revived: u64,
 }
 
 impl RecoveryReport {
@@ -158,6 +165,9 @@ pub struct EmbeddedConnection {
     /// On-disk persistence, when the daemon was given a statedir.
     /// `None` keeps everything in memory (tests, ephemeral daemons).
     store: Option<StoreBinding>,
+    /// The availability supervisor, fed off this connection's event bus.
+    /// Zero-cost until the first policy is defined.
+    guard: GuardEngine,
 }
 
 impl std::fmt::Debug for EmbeddedConnection {
@@ -187,7 +197,7 @@ impl EmbeddedConnection {
         // (test fixtures) must not share job state, while a connection
         // rebuilt over the same host (daemon restart) must.
         let jobs = JobManager::for_host(&format!("{}#{}", host.name(), host.instance_id()));
-        Arc::new(EmbeddedConnection {
+        let conn = Arc::new(EmbeddedConnection {
             host,
             uri: uri.into(),
             events: EventBus::new(),
@@ -195,7 +205,24 @@ impl EmbeddedConnection {
             ops: LifecycleMetrics::new(),
             jobs,
             store,
-        })
+            guard: GuardEngine::new(),
+        });
+        // The engine acts through a weak handle (no reference cycle) and
+        // observes lifecycle events; emits are synchronous, so the
+        // observer only schedules — the engine's worker thread acts.
+        conn.guard
+            .attach(Arc::downgrade(&conn) as Weak<dyn HypervisorConnection>);
+        let engine = conn.guard.clone();
+        conn.events.register_filtered(
+            EventFilter::LifecycleOnly,
+            Arc::new(move |event| engine.observe(event)),
+        );
+        conn
+    }
+
+    /// The availability supervisor attached to this connection.
+    pub fn guard_engine(&self) -> &GuardEngine {
+        &self.guard
     }
 
     /// The state-store binding, if this connection persists to disk.
@@ -225,6 +252,7 @@ impl EmbeddedConnection {
                 Arc::clone(hist),
             );
         }
+        self.guard.publish_metrics(registry);
     }
 
     /// The event bus (the daemon forwards these to remote clients).
@@ -306,6 +334,13 @@ impl EmbeddedConnection {
                 binding
                     .store
                     .remove(ObjectKind::Domain, &binding.driver, name)?;
+                // A vanished domain takes its guard record with it (a
+                // live transient domain keeps its guard).
+                if self.host.domain(name).is_err() {
+                    binding
+                        .store
+                        .remove(ObjectKind::Guard, &binding.driver, name)?;
+                }
             }
         }
         Ok(())
@@ -433,6 +468,47 @@ impl EmbeddedConnection {
             }
         }
 
+        // Guard pass: re-arm persisted policies, then immediately revive
+        // any keep-running domain the status records brought back as
+        // crashed — its guest died with the previous daemon, and the
+        // guard's whole point is that nobody has to notice.
+        for (name, payload) in store.load_all(ObjectKind::Guard, driver) {
+            let record = match GuardRecord::from_xml_str(&payload) {
+                Ok(record) if record.domain == name => record,
+                Ok(_) => {
+                    // Filename/content mismatch: treat as corruption.
+                    store.quarantine(ObjectKind::Guard, driver, &name);
+                    continue;
+                }
+                Err(_) => {
+                    store.quarantine(ObjectKind::Guard, driver, &name);
+                    continue;
+                }
+            };
+            if self.host.domain(&record.domain).is_err() {
+                // The guarded domain no longer exists; sweep the record.
+                store.remove(ObjectKind::Guard, driver, &name)?;
+                continue;
+            }
+            self.guard.set_policy(&record.domain, record.policy);
+            report.guards += 1;
+            let crashed = self
+                .host
+                .domain(&record.domain)
+                .map(|d| d.state == hypersim::DomainState::Crashed)
+                .unwrap_or(false);
+            if crashed && matches!(record.policy, GuardPolicy::KeepRunning { .. }) {
+                // No backoff: the crash predates this daemon life.
+                if self.start_domain(&record.domain).is_ok() {
+                    self.guard.note_revived();
+                    report.revived += 1;
+                } else {
+                    // Let the worker climb the backoff ladder.
+                    self.guard.revive_now(&record.domain);
+                }
+            }
+        }
+
         report.quarantined = store.quarantined_total() - quarantined_before;
         Ok(report)
     }
@@ -520,6 +596,7 @@ impl HypervisorConnection for EmbeddedConnection {
 
     fn close(&self) {
         self.alive.store(false, Ordering::Release);
+        self.guard.stop();
     }
 
     // ---- domains -------------------------------------------------------
@@ -805,6 +882,84 @@ impl HypervisorConnection for EmbeddedConnection {
         let config =
             DomainConfig::from_spec(&spec, self.domain_type(), Uuid::from_bytes(info.uuid));
         Ok(config.to_xml_string())
+    }
+
+    // ---- guards ---------------------------------------------------------
+
+    fn crash_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        let _timer = self.ops.destroy.start_timer();
+        let _work = span::stage(Stage::DriverWork);
+        self.ensure_alive()?;
+        let record: DomainRecord = self.host.crash_domain(name)?.into();
+        self.sync_domain_state(name)?;
+        self.emit(&record, DomainEventKind::Crashed);
+        Ok(record)
+    }
+
+    fn guard_set(&self, name: &str, policy: &GuardPolicy) -> VirtResult<()> {
+        self.ensure_alive()?;
+        // The domain must exist; guards on phantoms would loop forever.
+        let record = self.record(name)?;
+        // Persist standing policies so they survive daemon restarts.
+        // `graceful-stop` is a one-shot command, not a standing policy;
+        // re-arming it after a restart would re-kill the domain.
+        if !matches!(policy, GuardPolicy::GracefulStop { .. }) {
+            if let Some(binding) = &self.store {
+                let _span = span::stage(Stage::StateStore);
+                let record = GuardRecord {
+                    domain: name.to_string(),
+                    policy: *policy,
+                };
+                binding.store.put(
+                    ObjectKind::Guard,
+                    &binding.driver,
+                    name,
+                    &record.to_xml_string(),
+                )?;
+            }
+        }
+        self.guard.set_policy(name, *policy);
+        // Arm-time reconciliation: a guard set against a domain already
+        // in the exact state it polices acts now — nobody has to
+        // re-crash or re-pause a guest to wake its new guard. A shutoff
+        // domain is deliberately left alone: "define, guard, then start
+        // when ready" must stay a legal workflow.
+        match (policy, record.state) {
+            (GuardPolicy::KeepRunning { .. }, DomainState::Crashed) => self.guard.restart_now(name),
+            (GuardPolicy::AutoResume, DomainState::Paused) => self.guard.resume_now(name),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn guard_remove(&self, name: &str) -> VirtResult<()> {
+        self.ensure_alive()?;
+        let removed = self.guard.remove_policy(name);
+        if let Some(binding) = &self.store {
+            binding
+                .store
+                .remove(ObjectKind::Guard, &binding.driver, name)?;
+        }
+        if removed {
+            Ok(())
+        } else {
+            Err(VirtError::new(
+                ErrorCode::NoDomain,
+                format!("domain '{name}' has no guard"),
+            ))
+        }
+    }
+
+    fn guard_list(&self) -> VirtResult<Vec<GuardStatus>> {
+        self.ensure_alive()?;
+        Ok(self.guard.statuses())
+    }
+
+    fn guard_status(&self, name: &str) -> VirtResult<GuardStatus> {
+        self.ensure_alive()?;
+        self.guard.status(name).ok_or_else(|| {
+            VirtError::new(ErrorCode::NoDomain, format!("domain '{name}' has no guard"))
+        })
     }
 
     // ---- migration -------------------------------------------------------

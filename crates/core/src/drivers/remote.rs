@@ -27,6 +27,7 @@ use crate::driver::{
 };
 use crate::error::{ErrorCode, VirtError, VirtResult};
 use crate::event::{CallbackId, EventBus, EventCallback};
+use crate::guard::{GuardPolicy, GuardStatus};
 use crate::protocol::{self, proc};
 use crate::testbed;
 use crate::uri::{ConnectUri, UriTransport};
@@ -523,6 +524,46 @@ impl HypervisorConnection for RemoteConnection {
                 name: name.to_string(),
             },
         )
+    }
+
+    fn crash_domain(&self, name: &str) -> VirtResult<DomainRecord> {
+        self.domain_call(proc::DOMAIN_CRASH, name)
+    }
+
+    fn guard_set(&self, name: &str, policy: &GuardPolicy) -> VirtResult<()> {
+        self.call::<()>(
+            proc::GUARD_SET,
+            &protocol::GuardSetArgs::from_policy(name, policy),
+        )
+    }
+
+    fn guard_remove(&self, name: &str) -> VirtResult<()> {
+        self.call::<()>(
+            proc::GUARD_REMOVE,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    fn guard_list(&self) -> VirtResult<Vec<GuardStatus>> {
+        let list: protocol::WireGuardStatusList = self.call(proc::GUARD_LIST, &())?;
+        Ok(list.0.into_iter().filter_map(|w| w.into_status()).collect())
+    }
+
+    fn guard_status(&self, name: &str) -> VirtResult<GuardStatus> {
+        let wire: protocol::WireGuardStatus = self.call(
+            proc::GUARD_STATUS,
+            &protocol::NameArgs {
+                name: name.to_string(),
+            },
+        )?;
+        wire.into_status().ok_or_else(|| {
+            VirtError::new(
+                ErrorCode::RpcFailure,
+                "daemon sent unknown guard policy kind",
+            )
+        })
     }
 
     fn migrate_begin(&self, name: &str) -> VirtResult<String> {

@@ -49,6 +49,7 @@ pub mod driver;
 pub mod drivers;
 pub mod error;
 pub mod event;
+pub mod guard;
 pub mod job;
 pub mod log;
 /// Lock-free metrics registry and request-id tracing (re-export of the
@@ -76,6 +77,7 @@ pub use driver::{
 };
 pub use error::{ErrorCode, VirtError, VirtResult};
 pub use event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventFilter};
+pub use guard::{GuardEngine, GuardPolicy, GuardRecord, GuardStatus};
 pub use job::{JobHandle, JobKind, JobState, JobStats};
 pub use network::Network;
 pub use statestore::{DomainStatus, ObjectKind, StateStore, StoreFault};
@@ -85,7 +87,7 @@ pub use uuid::Uuid;
 // Resilience configuration types, re-exported so builder users never
 // need a direct virt-rpc dependency.
 pub use virt_rpc::keepalive::KeepaliveConfig;
-pub use virt_rpc::retry::{BreakerConfig, BreakerState, RetryPolicy};
+pub use virt_rpc::retry::{BackoffSchedule, BreakerConfig, BreakerState, RetryPolicy};
 
 /// The process-wide registry for client-side RPC metrics
 /// (`rpc.reconnect.*`, `rpc.retry.*`, `rpc.late_replies`,

@@ -12,6 +12,7 @@ use crate::driver::{
     PoolRecord, VolumeRecord,
 };
 use crate::event::{DomainEvent, DomainEventKind};
+use crate::guard::{GuardPolicy, GuardStatus};
 use crate::job::{JobKind, JobState, JobStats};
 use crate::typedparam::TypedParamList;
 use crate::uuid::Uuid;
@@ -89,6 +90,8 @@ pub mod proc {
     pub const CONNECT_GET_ALL_DOMAIN_STATS: u32 = 37;
     /// Read the autostart flag.
     pub const DOMAIN_GET_AUTOSTART: u32 = 38;
+    /// Force a guest crash (chaos/test tooling).
+    pub const DOMAIN_CRASH: u32 = 39;
 
     /// Migration phase 1 (source).
     pub const MIGRATE_BEGIN: u32 = 40;
@@ -150,6 +153,15 @@ pub mod proc {
     /// Server→client job-lifecycle event message.
     pub const EVENT_DOMAIN_JOB: u32 = 91;
 
+    /// Install (or replace) an availability guard on a domain.
+    pub const GUARD_SET: u32 = 92;
+    /// Remove a domain's guard.
+    pub const GUARD_REMOVE: u32 = 93;
+    /// Status of every defined guard.
+    pub const GUARD_LIST: u32 = 94;
+    /// Status of one domain's guard.
+    pub const GUARD_STATUS: u32 = 95;
+
     /// Every callable procedure with its symbolic name. The daemon's
     /// metrics layer pre-builds its per-procedure latency histograms from
     /// this table; keep it in sync when adding procedures.
@@ -189,6 +201,7 @@ pub mod proc {
         (DOMAIN_ABORT_JOB, "DOMAIN_ABORT_JOB"),
         (CONNECT_GET_ALL_DOMAIN_STATS, "CONNECT_GET_ALL_DOMAIN_STATS"),
         (DOMAIN_GET_AUTOSTART, "DOMAIN_GET_AUTOSTART"),
+        (DOMAIN_CRASH, "DOMAIN_CRASH"),
         (MIGRATE_BEGIN, "MIGRATE_BEGIN"),
         (MIGRATE_PREPARE, "MIGRATE_PREPARE"),
         (MIGRATE_PERFORM, "MIGRATE_PERFORM"),
@@ -215,6 +228,10 @@ pub mod proc {
         (NETWORK_UNDEFINE, "NETWORK_UNDEFINE"),
         (EVENT_REGISTER, "EVENT_REGISTER"),
         (EVENT_DEREGISTER, "EVENT_DEREGISTER"),
+        (GUARD_SET, "GUARD_SET"),
+        (GUARD_REMOVE, "GUARD_REMOVE"),
+        (GUARD_LIST, "GUARD_LIST"),
+        (GUARD_STATUS, "GUARD_STATUS"),
     ];
 
     /// The symbolic name of a callable procedure, if known.
@@ -268,6 +285,8 @@ pub fn is_high_priority(procedure: u32) -> bool {
             | proc::NETWORK_INFO
             | proc::EVENT_REGISTER
             | proc::EVENT_DEREGISTER
+            | proc::GUARD_LIST
+            | proc::GUARD_STATUS
     )
 }
 
@@ -297,6 +316,8 @@ pub fn is_idempotent(procedure: u32) -> bool {
             | proc::VOLUME_INFO
             | proc::LIST_NETWORKS
             | proc::NETWORK_INFO
+            | proc::GUARD_LIST
+            | proc::GUARD_STATUS
     )
 }
 
@@ -543,6 +564,114 @@ impl XdrDecode for WireDomainList {
             items.push(WireDomain::decode(cursor)?);
         }
         Ok(WireDomainList(items))
+    }
+}
+
+xdr_struct! {
+    /// Arguments for `GUARD_SET`.
+    pub struct GuardSetArgs {
+        /// Domain name.
+        pub name: String,
+        /// Policy discriminant ([`GuardPolicy::kind`]).
+        pub kind: u32,
+        /// Policy parameter ([`GuardPolicy::param`]).
+        pub param: u64,
+    }
+}
+
+impl GuardSetArgs {
+    /// Builds the wire arguments for one policy.
+    pub fn from_policy(name: &str, policy: &GuardPolicy) -> GuardSetArgs {
+        GuardSetArgs {
+            name: name.to_string(),
+            kind: policy.kind(),
+            param: policy.param(),
+        }
+    }
+
+    /// Decodes the policy; `None` for unknown kinds.
+    pub fn to_policy(&self) -> Option<GuardPolicy> {
+        GuardPolicy::from_wire(self.kind, self.param)
+    }
+}
+
+xdr_struct! {
+    /// Wire form of one guard's status.
+    pub struct WireGuardStatus {
+        /// The guarded domain.
+        pub domain: String,
+        /// Policy discriminant.
+        pub kind: u32,
+        /// Policy parameter.
+        pub param: u64,
+        /// Consecutive restarts since the domain last reached running.
+        pub restarts: u32,
+        /// Whether the restart budget is exhausted.
+        pub gave_up: bool,
+        /// Whether an action is pending (`next_retry_ms` is meaningful).
+        pub has_next_retry: bool,
+        /// Milliseconds until the next scheduled action.
+        pub next_retry_ms: u64,
+        /// The last lifecycle observation that drove the guard.
+        pub last_event: String,
+    }
+}
+
+impl From<&GuardStatus> for WireGuardStatus {
+    fn from(s: &GuardStatus) -> Self {
+        WireGuardStatus {
+            domain: s.domain.clone(),
+            kind: s.policy.kind(),
+            param: s.policy.param(),
+            restarts: s.restarts,
+            gave_up: s.gave_up,
+            has_next_retry: s.next_retry.is_some(),
+            next_retry_ms: s.next_retry.map(|d| d.as_millis() as u64).unwrap_or(0),
+            last_event: s.last_event.clone(),
+        }
+    }
+}
+
+impl WireGuardStatus {
+    /// Decodes into the API status type; `None` for unknown policy kinds.
+    pub fn into_status(self) -> Option<GuardStatus> {
+        Some(GuardStatus {
+            policy: GuardPolicy::from_wire(self.kind, self.param)?,
+            domain: self.domain,
+            restarts: self.restarts,
+            gave_up: self.gave_up,
+            next_retry: self
+                .has_next_retry
+                .then(|| std::time::Duration::from_millis(self.next_retry_ms)),
+            last_event: self.last_event,
+        })
+    }
+}
+
+/// Wire list of guard statuses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireGuardStatusList(pub Vec<WireGuardStatus>);
+
+impl XdrEncode for WireGuardStatusList {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.0.len() as u32).encode(out);
+        for status in &self.0 {
+            status.encode(out);
+        }
+    }
+}
+
+impl XdrDecode for WireGuardStatusList {
+    fn decode(cursor: &mut virt_rpc::xdr::Cursor<'_>) -> Result<Self, virt_rpc::xdr::XdrError> {
+        let len = u32::decode(cursor)?;
+        if len > 1_000_000 {
+            return Err(virt_rpc::xdr::XdrError::LengthTooLarge(len));
+        }
+        let mut items = Vec::with_capacity((len as usize).min(4096));
+        for _ in 0..len {
+            items.push(WireGuardStatus::decode(cursor)?);
+        }
+        Ok(WireGuardStatusList(items))
     }
 }
 
@@ -1079,6 +1208,80 @@ mod tests {
     }
 
     #[test]
+    fn guard_status_round_trip() {
+        let status = GuardStatus {
+            domain: "web".into(),
+            policy: GuardPolicy::KeepRunning { max_restarts: 6 },
+            restarts: 2,
+            gave_up: false,
+            next_retry: Some(std::time::Duration::from_millis(150)),
+            last_event: "crashed".into(),
+        };
+        let wire = WireGuardStatus::from(&status);
+        let back = WireGuardStatus::from_xdr(&wire.to_xdr())
+            .unwrap()
+            .into_status()
+            .unwrap();
+        assert_eq!(back, status);
+
+        // No pending retry encodes as has_next_retry = false.
+        let idle = GuardStatus {
+            next_retry: None,
+            gave_up: true,
+            ..status
+        };
+        let back = WireGuardStatus::from(&idle).into_status().unwrap();
+        assert_eq!(back, idle);
+
+        // Unknown policy kinds decode to None, not garbage.
+        let unknown = WireGuardStatus {
+            domain: "x".into(),
+            kind: 77,
+            param: 0,
+            restarts: 0,
+            gave_up: false,
+            has_next_retry: false,
+            next_retry_ms: 0,
+            last_event: String::new(),
+        };
+        assert!(unknown.into_status().is_none());
+
+        let list = WireGuardStatusList(vec![WireGuardStatus::from(&GuardStatus {
+            domain: "a".into(),
+            policy: GuardPolicy::AutoResume,
+            restarts: 0,
+            gave_up: false,
+            next_retry: None,
+            last_event: "armed".into(),
+        })]);
+        let decoded = WireGuardStatusList::from_xdr(&list.to_xdr()).unwrap();
+        assert_eq!(decoded, list);
+    }
+
+    #[test]
+    fn guard_set_args_round_trip() {
+        for policy in [
+            GuardPolicy::KeepRunning { max_restarts: 3 },
+            GuardPolicy::AutoResume,
+            GuardPolicy::GracefulStop { timeout_ms: 900 },
+        ] {
+            let args = GuardSetArgs::from_policy("vm", &policy);
+            let decoded = GuardSetArgs::from_xdr(&args.to_xdr()).unwrap();
+            assert_eq!(decoded.to_policy(), Some(policy));
+            assert_eq!(decoded.name, "vm");
+        }
+        assert_eq!(
+            GuardSetArgs {
+                name: "vm".into(),
+                kind: 0,
+                param: 0
+            }
+            .to_policy(),
+            None
+        );
+    }
+
+    #[test]
     fn priority_classification() {
         assert!(is_high_priority(proc::LIST_DOMAINS));
         assert!(is_high_priority(proc::NODE_INFO));
@@ -1094,6 +1297,13 @@ mod tests {
         assert!(!is_high_priority(proc::DOMAIN_START));
         assert!(!is_high_priority(proc::MIGRATE_PERFORM));
         assert!(!is_high_priority(proc::DOMAIN_DESTROY));
+        // Guard queries are pure reads; mutating guard procedures and
+        // crash injection ride ordinary workers.
+        assert!(is_high_priority(proc::GUARD_LIST));
+        assert!(is_high_priority(proc::GUARD_STATUS));
+        assert!(!is_high_priority(proc::GUARD_SET));
+        assert!(!is_high_priority(proc::GUARD_REMOVE));
+        assert!(!is_high_priority(proc::DOMAIN_CRASH));
     }
 
     #[test]
@@ -1106,6 +1316,11 @@ mod tests {
         assert!(is_readonly_safe(proc::LIST_DOMAINS));
         assert!(is_readonly_safe(proc::AUTH));
         assert!(!is_readonly_safe(proc::DOMAIN_START));
+        assert!(is_readonly_safe(proc::GUARD_LIST));
+        assert!(is_readonly_safe(proc::GUARD_STATUS));
+        assert!(!is_readonly_safe(proc::GUARD_SET));
+        assert!(!is_readonly_safe(proc::GUARD_REMOVE));
+        assert!(!is_readonly_safe(proc::DOMAIN_CRASH));
     }
 
     #[test]
@@ -1130,6 +1345,14 @@ mod tests {
         assert!(is_idempotent(proc::DOMAIN_GET_AUTOSTART));
         assert!(!is_idempotent(proc::DOMAIN_SET_AUTOSTART));
         assert!(!is_idempotent(proc::DOMAIN_ABORT_JOB));
+        // Guard queries are reads; set/remove/crash mutate. (Re-setting
+        // the same policy would be harmless, but a retried set racing a
+        // crash storm could reset a climbing backoff ladder.)
+        assert!(is_idempotent(proc::GUARD_LIST));
+        assert!(is_idempotent(proc::GUARD_STATUS));
+        assert!(!is_idempotent(proc::GUARD_SET));
+        assert!(!is_idempotent(proc::GUARD_REMOVE));
+        assert!(!is_idempotent(proc::DOMAIN_CRASH));
         // Idempotent procedures are a strict subset of high-priority ones.
         for (num, name) in proc::ALL {
             if is_idempotent(*num) {
@@ -1203,6 +1426,11 @@ mod tests {
             proc::EVENT_DEREGISTER,
             proc::EVENT_LIFECYCLE,
             proc::EVENT_DOMAIN_JOB,
+            proc::DOMAIN_CRASH,
+            proc::GUARD_SET,
+            proc::GUARD_REMOVE,
+            proc::GUARD_LIST,
+            proc::GUARD_STATUS,
         ];
         let mut sorted = all.to_vec();
         sorted.sort_unstable();

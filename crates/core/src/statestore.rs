@@ -68,6 +68,8 @@ pub enum ObjectKind {
     Pool,
     /// Volatile domain status record (`run/domains`).
     DomainStatus,
+    /// Persistent guard policy record (`etc/guards`).
+    Guard,
 }
 
 impl ObjectKind {
@@ -77,6 +79,7 @@ impl ObjectKind {
             ObjectKind::Network => "etc/networks",
             ObjectKind::Pool => "etc/pools",
             ObjectKind::DomainStatus => "run/domains",
+            ObjectKind::Guard => "etc/guards",
         }
     }
 }
@@ -154,6 +157,7 @@ impl StateStore {
             ObjectKind::Network,
             ObjectKind::Pool,
             ObjectKind::DomainStatus,
+            ObjectKind::Guard,
         ] {
             fs::create_dir_all(root.join(kind.rel_dir()))
                 .map_err(|e| io_err("create layout", e))?;
@@ -635,6 +639,69 @@ mod tests {
         fs::write(dir.join("evil.xml"), b"<domain>no header</domain>").unwrap();
         assert!(store.load_all(ObjectKind::Domain, "qemu").is_empty());
         assert_eq!(store.quarantined_total(), 1);
+    }
+
+    #[test]
+    fn guard_records_roundtrip_through_store() {
+        use crate::guard::{GuardPolicy, GuardRecord};
+        let store = temp_store("guard");
+        let record = GuardRecord {
+            domain: "web".to_string(),
+            policy: GuardPolicy::KeepRunning { max_restarts: 4 },
+        };
+        store
+            .put(ObjectKind::Guard, "qemu", "web", &record.to_xml_string())
+            .unwrap();
+        let loaded = store.load_all(ObjectKind::Guard, "qemu");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(GuardRecord::from_xml_str(&loaded[0].1).unwrap(), record);
+        // Guard records live in their own directory, invisible to the
+        // other kinds.
+        assert!(store.load_all(ObjectKind::Domain, "qemu").is_empty());
+        store.remove(ObjectKind::Guard, "qemu", "web").unwrap();
+        assert!(store.load_all(ObjectKind::Guard, "qemu").is_empty());
+    }
+
+    #[test]
+    fn torn_guard_record_is_quarantined_not_recovered() {
+        use crate::guard::{GuardPolicy, GuardRecord};
+        let store = temp_store("guard-torn");
+        let keep = GuardRecord {
+            domain: "web".to_string(),
+            policy: GuardPolicy::KeepRunning { max_restarts: 3 },
+        };
+        let stop = GuardRecord {
+            domain: "db".to_string(),
+            policy: GuardPolicy::GracefulStop { timeout_ms: 500 },
+        };
+        store
+            .put(ObjectKind::Guard, "qemu", "web", &keep.to_xml_string())
+            .unwrap();
+        store.inject_fault(StoreFault::TornWrite, 1);
+        store
+            .put(ObjectKind::Guard, "qemu", "db", &stop.to_xml_string())
+            .unwrap_err();
+        // The torn record is moved aside; the intact one survives.
+        let loaded = store.load_all(ObjectKind::Guard, "qemu");
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(GuardRecord::from_xml_str(&loaded[0].1).unwrap(), keep);
+        assert_eq!(store.quarantined_total(), 1);
+        // A checksummed-but-invalid document is also refused: the
+        // schema check quarantines what the checksum cannot.
+        store
+            .put(
+                ObjectKind::Guard,
+                "qemu",
+                "evil",
+                "<guard policy=\"bogus\"/>",
+            )
+            .unwrap();
+        let loaded = store.load_all(ObjectKind::Guard, "qemu");
+        let parsed: Vec<GuardRecord> = loaded
+            .iter()
+            .filter_map(|(_, xml)| GuardRecord::from_xml_str(xml).ok())
+            .collect();
+        assert_eq!(parsed, vec![keep]);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! afterwards — that distinction (persistent file vs runtime state) is
 //! exactly why the admin interface exists.
 
+use virt_rpc::retry::BackoffSchedule;
 use virt_rpc::PoolLimits;
 
 use virt_core::log::LogSettings;
@@ -33,6 +34,9 @@ pub struct VirtdConfig {
     /// execute on the worker pool, so a handful is enough even at
     /// thousands of clients.
     pub event_threads: usize,
+    /// Restart-backoff ladder used by the guard engine for `keep-running`
+    /// policies. `None` keeps the engine's built-in default.
+    pub guard_backoff: Option<BackoffSchedule>,
 }
 
 impl VirtdConfig {
@@ -50,6 +54,7 @@ impl VirtdConfig {
             credentials: None,
             statedir: None,
             event_threads: 2,
+            guard_backoff: None,
         }
     }
 
@@ -80,6 +85,12 @@ impl VirtdConfig {
     /// Overrides the event-loop thread count of the main server.
     pub fn event_threads(mut self, threads: usize) -> Self {
         self.event_threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the guard engine's restart-backoff ladder.
+    pub fn guard_backoff(mut self, schedule: BackoffSchedule) -> Self {
+        self.guard_backoff = Some(schedule);
         self
     }
 }

@@ -27,6 +27,9 @@ use crate::server::{ServeHandle, Server};
 pub struct Virtd {
     name: String,
     hosts: HashMap<String, SimHost>,
+    /// The per-scheme embedded drivers; kept so shutdown can stop their
+    /// guard engines (worker threads must not outlive the daemon).
+    drivers: HashMap<String, Arc<EmbeddedConnection>>,
     main_server: Arc<Server>,
     admin_server: Arc<Server>,
     logger: Arc<Logger>,
@@ -211,6 +214,12 @@ impl VirtdBuilder {
             })
             .collect();
 
+        if let Some(schedule) = self.config.guard_backoff {
+            for conn in drivers.values() {
+                conn.guard_engine().set_backoff(schedule);
+            }
+        }
+
         let registry = Arc::new(Registry::new());
 
         let remote_dispatcher = RemoteDispatcher::new(
@@ -258,6 +267,12 @@ impl VirtdBuilder {
                 "recovery.quarantined",
                 "Corrupt state files moved to quarantine during recovery",
             );
+            let guards =
+                registry.counter("recovery.guards", "Guard policies re-armed during recovery");
+            let revived = registry.counter(
+                "recovery.revived",
+                "Guarded domains revived during recovery because they died with the previous daemon",
+            );
             let mut schemes: Vec<&String> = drivers.keys().collect();
             schemes.sort();
             for scheme in schemes {
@@ -267,17 +282,21 @@ impl VirtdBuilder {
                 crashed.add(report.crashed);
                 autostarted.add(report.autostarted);
                 quarantined.add(report.quarantined);
-                if report.recovered() + report.quarantined > 0 {
+                guards.add(report.guards);
+                revived.add(report.revived);
+                if report.recovered() + report.quarantined + report.guards > 0 {
                     logger.info(
                         "daemon",
                         &format!(
                             "recovery[{scheme}]: {} domains ({} crashed, {} autostarted), \
-                             {} networks, {} pools, {} quarantined",
+                             {} networks, {} pools, {} guards ({} revived), {} quarantined",
                             report.domains,
                             report.crashed,
                             report.autostarted,
                             report.networks,
                             report.pools,
+                            report.guards,
+                            report.revived,
                             report.quarantined
                         ),
                     );
@@ -326,6 +345,7 @@ impl VirtdBuilder {
         Ok(Virtd {
             name: self.name,
             hosts: self.hosts,
+            drivers,
             main_server,
             admin_server,
             logger,
@@ -370,6 +390,11 @@ impl Virtd {
     /// The host managed by a driver scheme, if attached.
     pub fn host(&self, scheme: &str) -> Option<&SimHost> {
         self.hosts.get(scheme)
+    }
+
+    /// The embedded driver serving a scheme, if attached.
+    pub fn driver(&self, scheme: &str) -> Option<&Arc<EmbeddedConnection>> {
+        self.drivers.get(scheme)
     }
 
     /// Attaches a listener to the main server. The daemon retains the
@@ -424,6 +449,12 @@ impl Virtd {
         }
         self.main_server.shutdown();
         self.admin_server.shutdown();
+        // Guard workers hold a Weak on their connection and would exit
+        // on their own once the driver drops, but a daemon shutdown must
+        // leave no revival racing the teardown.
+        for conn in self.drivers.values() {
+            conn.guard_engine().stop();
+        }
         self.logger
             .info("daemon", &format!("virtd '{}' stopped", self.name));
     }

@@ -365,6 +365,41 @@ impl RemoteDispatcher {
                 let args: protocol::NameArgs = decode(payload)?;
                 c.dump_domain_xml(&args.name)?.to_xdr()
             }
+            proc::DOMAIN_CRASH => {
+                let args: protocol::NameArgs = decode(payload)?;
+                domain_reply(c.crash_domain(&args.name)?)
+            }
+
+            proc::GUARD_SET => {
+                let args: protocol::GuardSetArgs = decode(payload)?;
+                let policy = args.to_policy().ok_or_else(|| {
+                    VirtError::new(
+                        ErrorCode::InvalidArg,
+                        format!("unknown guard policy kind {}", args.kind),
+                    )
+                })?;
+                c.guard_set(&args.name, &policy)?;
+                ().to_xdr()
+            }
+            proc::GUARD_REMOVE => {
+                let args: protocol::NameArgs = decode(payload)?;
+                c.guard_remove(&args.name)?;
+                ().to_xdr()
+            }
+            proc::GUARD_LIST => {
+                let statuses = c.guard_list()?;
+                protocol::WireGuardStatusList(
+                    statuses
+                        .iter()
+                        .map(protocol::WireGuardStatus::from)
+                        .collect(),
+                )
+                .to_xdr()
+            }
+            proc::GUARD_STATUS => {
+                let args: protocol::NameArgs = decode(payload)?;
+                protocol::WireGuardStatus::from(&c.guard_status(&args.name)?).to_xdr()
+            }
 
             proc::MIGRATE_BEGIN => {
                 let args: protocol::NameArgs = decode(payload)?;

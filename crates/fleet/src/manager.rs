@@ -29,18 +29,21 @@
 //! host returns); anything less is torn down on the destination so the
 //! source keeps ownership. Deferred cases are retried on every refresh.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use virt_core::driver::{MigrationOptions, MigrationReport};
+use virt_core::guard::GuardPolicy;
 use virt_core::log::{LogLevel, LogOutput, LogSettings, Logger, OutputKind};
 use virt_core::metrics::span::{self, Stage};
 use virt_core::metrics::{Counter, Gauge, Histogram, Registry};
 use virt_core::xmlfmt::DomainConfig;
 use virt_core::{Connect, DomainState, ErrorCode, VirtError, VirtResult};
 use virt_rpc::fanout::run_bounded;
+use virt_rpc::retry::BackoffSchedule;
 
 use crate::inventory::{DomainSummary, HostInventory};
 use crate::placement::{choose, HostCapacity, PlacementPolicy, PlacementRequest, Spread};
@@ -58,6 +61,9 @@ struct FleetHost {
     /// Memory claimed by placements the node snapshot doesn't know yet.
     reserved_mib: AtomicU64,
     inventory: Mutex<HostInventory>,
+    /// Keep-running-guarded domains last seen on this host, captured
+    /// while it was reachable — the failover working set once it dies.
+    guarded: Mutex<Vec<GuardedDomain>>,
     domains_gauge: Arc<Gauge>,
     active_gauge: Arc<Gauge>,
     free_mib_gauge: Arc<Gauge>,
@@ -142,6 +148,9 @@ struct FleetMetrics {
     host_down: Arc<Counter>,
     host_up: Arc<Counter>,
     hosts_up: Arc<Gauge>,
+    guard_failovers: Arc<Counter>,
+    guard_failover_failed: Arc<Counter>,
+    guard_reconciled: Arc<Counter>,
 }
 
 impl FleetMetrics {
@@ -177,17 +186,57 @@ impl FleetMetrics {
             host_down: registry.counter("fleet.host_down", "Host health up->down transitions"),
             host_up: registry.counter("fleet.host_up", "Host health down->up transitions"),
             hosts_up: registry.gauge("fleet.hosts.up", "Member hosts currently reachable"),
+            guard_failovers: registry.counter(
+                "fleet.guard.failover",
+                "Guarded domains re-placed onto a survivor after their host died",
+            ),
+            guard_failover_failed: registry.counter(
+                "fleet.guard.failover_failed",
+                "Guard failover attempts that could not re-place the domain",
+            ),
+            guard_reconciled: registry.counter(
+                "fleet.guard.reconciled",
+                "Stale home copies of failed-over guarded domains removed after the host returned",
+            ),
         }
     }
 }
 
+/// A guarded domain cached for fleet failover: enough to re-create it
+/// on a survivor (full XML) and re-arm its guard there.
+#[derive(Debug, Clone)]
+struct GuardedDomain {
+    name: String,
+    xml: String,
+    policy: GuardPolicy,
+}
+
+/// Where a guarded domain was re-placed after its home host died;
+/// cleared once the home host returns and its stale copy is removed.
+#[derive(Debug, Clone)]
+struct FailoverRecord {
+    from: String,
+    to: String,
+}
+
 /// A reconciliation that could not complete because a host was
-/// unreachable; retried on every refresh until it resolves.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// unreachable; retried with capped, jittered backoff on refresh until
+/// it resolves.
+#[derive(Debug, Clone)]
 struct PendingReconcile {
     domain: String,
     source: String,
     dest: String,
+    /// Deferral count (1-based); drives the backoff ladder.
+    attempts: u32,
+    /// Earliest instant the next retry may run.
+    next_due: Instant,
+}
+
+impl PendingReconcile {
+    fn same_case(&self, other: &PendingReconcile) -> bool {
+        self.domain == other.domain && self.source == other.source && self.dest == other.dest
+    }
 }
 
 /// How a failed migration was reconciled.
@@ -239,6 +288,7 @@ pub struct FleetBuilder {
     logger: Option<Arc<Logger>>,
     fanout: usize,
     call_deadline: Option<Duration>,
+    reconcile_backoff: BackoffSchedule,
 }
 
 impl FleetBuilder {
@@ -277,6 +327,14 @@ impl FleetBuilder {
     /// (default 30 s; `None` disables).
     pub fn call_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.call_deadline = deadline;
+        self
+    }
+
+    /// Overrides the backoff ladder for deferred migration
+    /// reconciliations (default 100 ms doubling to a 5 s cap, with
+    /// per-domain jitter).
+    pub fn reconcile_backoff(mut self, schedule: BackoffSchedule) -> Self {
+        self.reconcile_backoff = schedule;
         self
     }
 
@@ -346,6 +404,7 @@ impl FleetBuilder {
                 ever_seen: AtomicBool::new(false),
                 reserved_mib: AtomicU64::new(0),
                 inventory: Mutex::new(HostInventory::default()),
+                guarded: Mutex::new(Vec::new()),
             }));
         }
         Ok(FleetManager {
@@ -357,6 +416,8 @@ impl FleetBuilder {
             call_deadline: self.call_deadline,
             metrics,
             pending: Mutex::new(Vec::new()),
+            reconcile_backoff: self.reconcile_backoff,
+            failed_over: Mutex::new(HashMap::new()),
         })
     }
 }
@@ -371,6 +432,9 @@ pub struct FleetManager {
     call_deadline: Option<Duration>,
     metrics: FleetMetrics,
     pending: Mutex<Vec<PendingReconcile>>,
+    reconcile_backoff: BackoffSchedule,
+    /// Guarded domains currently living away from home, by domain name.
+    failed_over: Mutex<HashMap<String, FailoverRecord>>,
 }
 
 impl FleetManager {
@@ -384,6 +448,11 @@ impl FleetManager {
             logger: None,
             fanout: 8,
             call_deadline: Some(Duration::from_secs(30)),
+            reconcile_backoff: BackoffSchedule {
+                initial: Duration::from_millis(100),
+                max: Duration::from_secs(5),
+                multiplier: 2,
+            },
         }
     }
 
@@ -472,6 +541,29 @@ impl FleetManager {
             host.reserved_mib.store(0, Ordering::Release);
             host.inventory.lock().install(node, domains);
             host.publish_gauges();
+            // Snapshot the keep-running guards (with full XML) while the
+            // host is alive — after it dies this cache is all the fleet
+            // has to re-create the guests elsewhere. Best effort: a
+            // member without a guard engine just yields an empty set.
+            let guarded: Vec<GuardedDomain> = conn
+                .guard_list()
+                .unwrap_or_default()
+                .into_iter()
+                .filter(|s| matches!(s.policy, GuardPolicy::KeepRunning { .. }) && !s.gave_up)
+                .filter_map(|s| {
+                    let xml = conn
+                        .domain_lookup_by_name(&s.domain)
+                        .ok()?
+                        .xml_desc()
+                        .ok()?;
+                    Some(GuardedDomain {
+                        name: s.domain,
+                        xml,
+                        policy: s.policy,
+                    })
+                })
+                .collect();
+            *host.guarded.lock() = guarded;
             Ok(())
         };
         match refresh() {
@@ -501,6 +593,8 @@ impl FleetManager {
             .collect();
         let results = run_bounded(self.fanout, tasks);
         self.retry_pending();
+        self.guard_failover_pass();
+        self.guard_reconcile_pass();
         results
     }
 
@@ -766,38 +860,59 @@ impl FleetManager {
     pub fn reconcile(&self, domain: &str, source: &str, dest: &str) -> Reconciliation {
         let outcome = self.try_reconcile(domain, source, dest);
         match outcome {
-            Reconciliation::Deferred => {
-                let entry = PendingReconcile {
-                    domain: domain.to_string(),
-                    source: source.to_string(),
-                    dest: dest.to_string(),
-                };
-                let mut pending = self.pending.lock();
-                if !pending.contains(&entry) {
-                    pending.push(entry);
-                }
-                self.logger.warning(
-                    "fleet",
-                    &format!(
-                        "event=reconcile_deferred domain={domain} source={source} dest={dest}"
-                    ),
-                );
-            }
-            resolved => {
-                self.metrics.migrations_reconciled.inc();
-                self.logger.info(
-                    "fleet",
-                    &format!(
-                        "event=reconciled domain={domain} source={source} dest={dest} owner={}",
-                        match resolved {
-                            Reconciliation::DestinationOwns => dest,
-                            _ => source,
-                        }
-                    ),
-                );
-            }
+            Reconciliation::Deferred => self.defer_reconcile(domain, source, dest, 1),
+            resolved => self.note_reconciled(domain, source, dest, resolved),
         }
         outcome
+    }
+
+    /// Queues (or re-queues) a deferred reconciliation on the capped
+    /// backoff ladder. The per-domain jitter seed spreads retries of
+    /// many deferred cases so a returning host is not hit by all of
+    /// them at once.
+    fn defer_reconcile(&self, domain: &str, source: &str, dest: &str, attempts: u32) {
+        let delay = self
+            .reconcile_backoff
+            .delay(attempts, BackoffSchedule::seed_for(domain));
+        let entry = PendingReconcile {
+            domain: domain.to_string(),
+            source: source.to_string(),
+            dest: dest.to_string(),
+            attempts,
+            next_due: Instant::now() + delay,
+        };
+        let mut pending = self.pending.lock();
+        if let Some(existing) = pending.iter_mut().find(|p| p.same_case(&entry)) {
+            // Keep the longer-lived ladder position.
+            if existing.attempts < entry.attempts {
+                *existing = entry.clone();
+            }
+        } else {
+            pending.push(entry);
+        }
+        drop(pending);
+        self.logger.warning(
+            "fleet",
+            &format!(
+                "event=reconcile_deferred domain={domain} source={source} dest={dest} \
+                 attempts={attempts} retry_in_ms={}",
+                delay.as_millis()
+            ),
+        );
+    }
+
+    fn note_reconciled(&self, domain: &str, source: &str, dest: &str, resolved: Reconciliation) {
+        self.metrics.migrations_reconciled.inc();
+        self.logger.info(
+            "fleet",
+            &format!(
+                "event=reconciled domain={domain} source={source} dest={dest} owner={}",
+                match resolved {
+                    Reconciliation::DestinationOwns => dest,
+                    _ => source,
+                }
+            ),
+        );
     }
 
     fn try_reconcile(&self, domain: &str, source: &str, dest: &str) -> Reconciliation {
@@ -860,16 +975,184 @@ impl FleetManager {
     }
 
     fn retry_pending(&self) {
-        let entries: Vec<PendingReconcile> = std::mem::take(&mut *self.pending.lock());
-        for entry in entries {
-            // reconcile() re-queues anything still deferred.
-            let _ = self.reconcile(&entry.domain, &entry.source, &entry.dest);
+        let now = Instant::now();
+        let due: Vec<PendingReconcile> = {
+            let mut pending = self.pending.lock();
+            let mut due = Vec::new();
+            pending.retain(|entry| {
+                if entry.next_due <= now {
+                    due.push(entry.clone());
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for entry in due {
+            match self.try_reconcile(&entry.domain, &entry.source, &entry.dest) {
+                Reconciliation::Deferred => self.defer_reconcile(
+                    &entry.domain,
+                    &entry.source,
+                    &entry.dest,
+                    entry.attempts.saturating_add(1),
+                ),
+                resolved => {
+                    self.note_reconciled(&entry.domain, &entry.source, &entry.dest, resolved)
+                }
+            }
         }
     }
 
     /// Deferred reconciliations waiting for a host to come back.
     pub fn pending_reconciliations(&self) -> usize {
         self.pending.lock().len()
+    }
+
+    // ---- guard failover ---------------------------------------------------
+
+    /// Re-places keep-running-guarded domains whose home host is down:
+    /// each is re-created from its cached XML on a surviving host chosen
+    /// by the placement policy, and its guard is re-armed there.
+    fn guard_failover_pass(&self) {
+        for host in &self.hosts {
+            if host.is_up() || !host.ever_seen.load(Ordering::Acquire) {
+                continue;
+            }
+            let guarded: Vec<GuardedDomain> = host.guarded.lock().clone();
+            for guest in guarded {
+                if self.failed_over.lock().contains_key(&guest.name) {
+                    continue;
+                }
+                // Already alive somewhere else (e.g. it was migrated off
+                // before the crash) — nothing to re-place.
+                if self.hosts.iter().any(|h| {
+                    h.is_up()
+                        && h.inventory
+                            .lock()
+                            .domains
+                            .iter()
+                            .any(|d| d.name == guest.name && d.state.is_active())
+                }) {
+                    continue;
+                }
+                match self.failover_domain(&guest) {
+                    Ok(dest) => {
+                        self.failed_over.lock().insert(
+                            guest.name.clone(),
+                            FailoverRecord {
+                                from: host.name.clone(),
+                                to: dest.clone(),
+                            },
+                        );
+                        self.metrics.guard_failovers.inc();
+                        self.logger.warning(
+                            "fleet",
+                            &format!(
+                                "event=guard_failover domain={} from={} to={dest}",
+                                guest.name, host.name
+                            ),
+                        );
+                    }
+                    Err(err) => {
+                        self.metrics.guard_failover_failed.inc();
+                        self.logger.warning(
+                            "fleet",
+                            &format!(
+                                "event=guard_failover_failed domain={} from={} error=\"{err}\"",
+                                guest.name, host.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-creates one guarded guest on a survivor: place (down hosts are
+    /// never candidates), define from the cached XML, start, re-guard.
+    fn failover_domain(&self, guest: &GuardedDomain) -> VirtResult<String> {
+        let config = DomainConfig::from_xml_str(&guest.xml)?;
+        let request = PlacementRequest::new(&guest.name, config.memory_mib, config.vcpus);
+        let dest = self.place(&request)?;
+        let host = self.host(&dest)?;
+        let outcome = (|| -> VirtResult<()> {
+            let conn = self.connection(host)?;
+            let domain = conn.define_domain_xml(&guest.xml)?;
+            domain.start()?;
+            // Re-arm the guard at the new home so the guest stays
+            // supervised; best effort — the revival itself already
+            // succeeded.
+            let _ = domain.guard_set(&guest.policy);
+            Ok(())
+        })();
+        host.inventory.lock().dirty = true;
+        match outcome {
+            Ok(()) => Ok(dest),
+            Err(err) => {
+                host.reserved_mib
+                    .fetch_sub(request.memory_mib, Ordering::AcqRel);
+                host.publish_gauges();
+                Err(err)
+            }
+        }
+    }
+
+    /// Single-residency reconciliation: once a failed-over domain's home
+    /// host returns (typically reviving its own copy from the crash-safe
+    /// store), the stale home copy is un-guarded, torn down and
+    /// undefined — the failover copy keeps ownership.
+    fn guard_reconcile_pass(&self) {
+        let entries: Vec<(String, FailoverRecord)> = self
+            .failed_over
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        for (domain, record) in entries {
+            let Ok(home) = self.host(&record.from) else {
+                continue;
+            };
+            if !home.is_up() {
+                continue;
+            }
+            let removed = self.connection(home).and_then(|conn| {
+                match conn.domain_lookup_by_name(&domain) {
+                    Ok(stale) => {
+                        // Drop the guard first or the home engine would
+                        // fight the teardown by restarting the guest.
+                        let _ = stale.guard_remove();
+                        let _ = stale.destroy();
+                        stale.undefine()
+                    }
+                    Err(err) if err.code() == ErrorCode::NoDomain => Ok(()),
+                    Err(err) => Err(err),
+                }
+            });
+            // An Err here means the host flapped again — retried on the
+            // next refresh.
+            if removed.is_ok() {
+                home.inventory.lock().dirty = true;
+                self.failed_over.lock().remove(&domain);
+                self.metrics.guard_reconciled.inc();
+                self.logger.info(
+                    "fleet",
+                    &format!(
+                        "event=guard_reconciled domain={domain} home={} owner={}",
+                        record.from, record.to
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Failed-over guarded domains as `(domain, from, to)` rows.
+    pub fn guard_failovers(&self) -> Vec<(String, String, String)> {
+        self.failed_over
+            .lock()
+            .iter()
+            .map(|(domain, r)| (domain.clone(), r.from.clone(), r.to.clone()))
+            .collect()
     }
 
     // ---- evacuation -------------------------------------------------------

@@ -522,6 +522,37 @@ impl SimHost {
         self.stop_common(name, OpKind::Destroy, DomainState::Shutoff)
     }
 
+    /// Kills the guest without a clean power-off, leaving the domain in
+    /// [`DomainState::Crashed`] — the simulator's `virDomainCoreDump
+    /// --crash` analogue, and the chaos-testing primitive the guard
+    /// engine reacts to. Unlike [`SimHost::destroy_domain`] the domain
+    /// stays defined (even transient ones): a crashed guest is still an
+    /// object an operator — or a supervisor — can inspect and restart.
+    ///
+    /// # Errors
+    ///
+    /// [`SimErrorKind::NoSuchDomain`]; [`SimErrorKind::InvalidState`]
+    /// unless the domain is running or paused.
+    pub fn crash_domain(&self, name: &str) -> SimResult<DomainInfo> {
+        let memory = self.domain(name)?.memory;
+        // A forced crash is charged like a destroy: the host does no
+        // guest-cooperative work, it just tears the process down.
+        self.charge(OpKind::Destroy, memory)?;
+        let arc = self.domain_arc(name)?;
+        let mut domain = arc.lock();
+        if !domain.state.is_active() {
+            return Err(SimError::new(
+                SimErrorKind::InvalidState,
+                format!("domain '{name}' is not active ({:?})", domain.state),
+            ));
+        }
+        let (mem, vcpus) = (domain.spec.memory(), domain.spec.vcpu_count());
+        domain.set_state(DomainState::Crashed, self.shared.clock.now());
+        domain.id = None;
+        self.shared.ctl.lock().ledger.release(mem, vcpus);
+        Ok(domain.info_at(self.shared.clock.now()))
+    }
+
     /// Pauses vCPUs.
     pub fn suspend_domain(&self, name: &str) -> SimResult<DomainInfo> {
         self.charge(OpKind::Suspend, MiB::ZERO)?;

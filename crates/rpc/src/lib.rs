@@ -66,7 +66,7 @@ pub use message::{Header, MessageStatus, MessageType, Packet, RpcError};
 pub use poll::{PollEvent, Poller};
 pub use pool::{PoolLimits, PoolStats, WorkerPool};
 pub use reconnect::{ReconnectConfig, ReconnectMetrics, ReconnectingClient};
-pub use retry::{BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
+pub use retry::{BackoffSchedule, BreakerConfig, BreakerState, CircuitBreaker, RetryPolicy};
 pub use transport::{memory_pair, MeteredTransport, Readiness, Transport, TransportKind};
 
 /// The process-wide registry for client-side RPC metrics

@@ -15,6 +15,75 @@ use std::time::{Duration, Instant};
 
 use crate::transport::xorshift64;
 
+/// Capped exponential growth with deterministic, seed-mixed jitter — the
+/// backoff shape shared by the retry policy, the guard engine's
+/// crash-loop containment, and the fleet's deferred-reconciliation
+/// queue.
+///
+/// The seed matters: jitter derived from the attempt counter *alone*
+/// synchronizes every actor retrying in lockstep (fifty guarded domains
+/// crashed by the same storm would all restart at the same instant —
+/// a thundering herd). Mixing a per-actor seed (hash of the domain
+/// name, say) into the jitter spreads simultaneous retries across up to
+/// half the base interval while staying fully reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffSchedule {
+    /// Delay before the first retry.
+    pub initial: Duration,
+    /// Upper bound on the un-jittered delay.
+    pub max: Duration,
+    /// Growth factor applied per retry.
+    pub multiplier: u32,
+}
+
+impl Default for BackoffSchedule {
+    fn default() -> Self {
+        BackoffSchedule {
+            initial: Duration::from_millis(200),
+            max: Duration::from_secs(5),
+            multiplier: 2,
+        }
+    }
+}
+
+impl BackoffSchedule {
+    /// The un-jittered delay before retry `attempt` (1-based): capped
+    /// exponential growth.
+    pub fn base(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let grown = self
+            .initial
+            .as_nanos()
+            .saturating_mul((self.multiplier.max(1) as u128).saturating_pow(exp));
+        Duration::from_nanos(grown.min(self.max.as_nanos()) as u64)
+    }
+
+    /// The delay before retry `attempt` for the actor identified by
+    /// `seed`: [`BackoffSchedule::base`] plus up to 50% deterministic
+    /// jitter mixed from both the seed and the attempt. Same inputs,
+    /// same delay — schedules are reproducible — while distinct seeds
+    /// de-synchronize actors retrying in lockstep.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Duration {
+        let base = self.base(attempt).as_nanos() as u64;
+        if base == 0 {
+            return Duration::ZERO;
+        }
+        let jitter = xorshift64(seed ^ (u64::from(attempt) + 1)) % (base / 2 + 1);
+        Duration::from_nanos(base + jitter)
+    }
+
+    /// A stable per-actor jitter seed: FNV-1a over the name.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        // xorshift64 maps 0 to 0; keep the seed non-degenerate.
+        hash | 1
+    }
+}
+
 /// How failed idempotent calls are retried.
 ///
 /// `backoff(1)` is slept before the first retry, `backoff(2)` before the
@@ -59,19 +128,26 @@ impl RetryPolicy {
         }
     }
 
+    /// The growth shape of this policy as a [`BackoffSchedule`].
+    pub fn schedule(&self) -> BackoffSchedule {
+        BackoffSchedule {
+            initial: self.initial_backoff,
+            max: self.max_backoff,
+            multiplier: self.multiplier,
+        }
+    }
+
     /// The pause before retry number `attempt` (1-based).
     pub fn backoff(&self, attempt: u32) -> Duration {
-        let exp = attempt.saturating_sub(1).min(16);
-        let grown = self
-            .initial_backoff
-            .as_nanos()
-            .saturating_mul((self.multiplier.max(1) as u128).saturating_pow(exp));
-        let base = grown.min(self.max_backoff.as_nanos()) as u64;
+        let base = self.schedule().base(attempt).as_nanos() as u64;
         if base == 0 {
             return Duration::ZERO;
         }
         // Deterministic jitter: the attempt counter seeds a xorshift, so
-        // two runs of the same schedule produce identical pauses.
+        // two runs of the same schedule produce identical pauses. A
+        // single connection retries one call at a time, so unlike the
+        // guard engine it needs no per-actor seed — 25% of base keeps
+        // the worst-case pause tight.
         let jitter = xorshift64(u64::from(attempt) + 1) % (base / 4 + 1);
         Duration::from_nanos(base + jitter)
     }
@@ -228,6 +304,45 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert_ne!(flat.backoff(5), flat.backoff(6));
+    }
+
+    #[test]
+    fn schedule_grows_caps_and_spreads_by_seed() {
+        let schedule = BackoffSchedule {
+            initial: Duration::from_millis(10),
+            max: Duration::from_millis(80),
+            multiplier: 2,
+        };
+        assert_eq!(schedule.base(1), Duration::from_millis(10));
+        assert_eq!(schedule.base(2), Duration::from_millis(20));
+        assert_eq!(schedule.base(4), Duration::from_millis(80));
+        assert_eq!(schedule.base(9), Duration::from_millis(80), "capped");
+
+        // Deterministic: same (attempt, seed) -> same delay; bounded by
+        // base + 50%.
+        let seed = BackoffSchedule::seed_for("vm-7");
+        for attempt in 1..6 {
+            let d = schedule.delay(attempt, seed);
+            assert_eq!(d, schedule.delay(attempt, seed));
+            let base = schedule.base(attempt);
+            assert!(d >= base && d <= base + base / 2 + Duration::from_nanos(1));
+        }
+
+        // The herd-breaking property: fifty actors retrying the same
+        // attempt simultaneously land on many distinct delays.
+        let delays: std::collections::HashSet<Duration> = (0..50)
+            .map(|i| schedule.delay(1, BackoffSchedule::seed_for(&format!("storm-{i}"))))
+            .collect();
+        assert!(delays.len() >= 40, "only {} distinct delays", delays.len());
+    }
+
+    #[test]
+    fn policy_schedule_matches_policy_growth() {
+        let policy = RetryPolicy::default();
+        for attempt in 1..8 {
+            // The jitter shapes differ, but the base growth is shared.
+            assert!(policy.backoff(attempt) >= policy.schedule().base(attempt));
+        }
     }
 
     #[test]

@@ -64,6 +64,11 @@ cargo test -q --release --offline -p virtd --test eventloop_smoke -- --ignored
 echo "== perf smoke (fleet placement + migration storm, release) =="
 cargo run -q --release --offline -p virt-bench --bin expt_f10_fleet -- --smoke
 
+# Guard smoke: one crash-storm revive rung plus a crash-looper pack,
+# asserting bounded revive latency and a flat healthy-tenant p99.
+echo "== perf smoke (guard revive storm + crash-loop containment, release) =="
+cargo run -q --release --offline -p virt-bench --bin expt_f11_guard -- --smoke
+
 # Chaos suites last: they SIGKILL real daemon processes and churn
 # temp state directories, so everything cheap fails first.
 echo "== chaos (connection resilience) =="
@@ -71,6 +76,9 @@ cargo test -q --offline --test resilience
 
 echo "== chaos (fleet: SIGKILL members under a live fleet manager) =="
 cargo test -q --offline --test fleet
+
+echo "== chaos (guard: 50-domain crash storm, crash-loopers, guarded-member SIGKILL) =="
+cargo test -q --offline --test guard
 
 echo "== chaos (domain jobs) =="
 cargo test -q --offline --test jobs

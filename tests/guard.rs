@@ -1,0 +1,572 @@
+//! Guard (HA supervisor) chaos tests.
+//!
+//! Four invariants are under test:
+//!
+//! 1. **Storm convergence** — crashing 50 keep-running-guarded domains
+//!    at once converges to 100% running with bounded latency, and the
+//!    per-domain jitter seeds spread the restart delays (no thundering
+//!    herd of synchronized restarts).
+//! 2. **Crash-loop containment** — a domain that crashes on *every*
+//!    start climbs the backoff ladder to the cap and gives up, without
+//!    making the daemon's worker pool unavailable for other tenants.
+//! 3. **Crash-safe guards** — guard policies survive a daemon rebuild
+//!    through the state directory, and recovery immediately revives
+//!    guarded domains that died with the previous daemon.
+//! 4. **Fleet failover** — SIGKILLing the member that hosts a guarded
+//!    domain re-places it on a survivor, and the home host's revived
+//!    copy is reconciled away once it returns (single residency).
+
+use std::collections::HashSet;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use hypersim::fault::{FaultAction, FaultPlan};
+use hypersim::personality::{QemuLike, XenLike};
+use hypersim::{LatencyModel, OpKind, SimHost};
+use virt_core::guard::GuardPolicy;
+use virt_core::metrics::MetricValue;
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::{BackoffSchedule, Connect, DomainState};
+use virt_fleet::FleetManager;
+use virtd::{Virtd, VirtdConfig};
+
+fn unique(name: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    format!(
+        "{name}-{}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    )
+}
+
+fn daemon_counter(daemon: &Virtd, name: &str) -> u64 {
+    match daemon
+        .metrics()
+        .snapshot(name)
+        .into_iter()
+        .find(|m| m.name == name)
+        .map(|m| m.value)
+    {
+        Some(MetricValue::Counter(v)) => v,
+        _ => 0,
+    }
+}
+
+fn wait_for(mut pred: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn crash_storm_of_50_guarded_domains_converges_without_a_herd() {
+    let name = unique("guard-storm");
+    let daemon = Virtd::builder(&name).with_quiet_hosts().build().unwrap();
+    daemon.register_memory_endpoint(&name).unwrap();
+    let uri = format!("qemu+memory://{name}/system");
+    let conn = Connect::builder(&uri).open().unwrap();
+
+    const STORM: usize = 50;
+    let names: Vec<String> = (0..STORM).map(|i| format!("storm-{i}")).collect();
+    for guest in &names {
+        let domain = conn
+            .define_domain(&DomainConfig::new(guest, 64, 1))
+            .unwrap();
+        domain.start().unwrap();
+        domain
+            .guard_set(&GuardPolicy::KeepRunning { max_restarts: 5 })
+            .unwrap();
+    }
+    assert_eq!(conn.guard_list().unwrap().len(), STORM);
+
+    // SIGKILL-the-guest analog: every guarded domain crashes at once.
+    for guest in &names {
+        conn.domain_lookup_by_name(guest).unwrap().crash().unwrap();
+    }
+
+    // 100% must converge back to running, with bounded latency: the
+    // first rung of the ladder is tens of milliseconds, so even 50
+    // serialized restarts on quiet hosts land well under the bound.
+    let started = Instant::now();
+    wait_for(
+        || {
+            names.iter().all(|guest| {
+                conn.domain_lookup_by_name(guest)
+                    .map(|d| d.state().unwrap_or(DomainState::Crashed) == DomainState::Running)
+                    .unwrap_or(false)
+            })
+        },
+        "all 50 guarded domains back to running",
+    );
+    let revive_latency = started.elapsed();
+    assert!(
+        revive_latency < Duration::from_secs(15),
+        "storm revival took {revive_latency:?}"
+    );
+
+    assert!(
+        daemon_counter(&daemon, "guard.revived") >= STORM as u64,
+        "guard.revived={}",
+        daemon_counter(&daemon, "guard.revived")
+    );
+    assert_eq!(daemon_counter(&daemon, "guard.gave_up"), 0);
+
+    // Every restart came off a healthy guard whose counter was reset by
+    // the Started event — nobody is stuck mid-ladder.
+    for status in conn.guard_list().unwrap() {
+        assert!(!status.gave_up, "{status:?}");
+    }
+
+    // No thundering herd: the deterministic per-domain jitter must
+    // spread the first-rung delays across many distinct values.
+    let schedule = BackoffSchedule {
+        initial: Duration::from_millis(50),
+        max: Duration::from_secs(2),
+        multiplier: 2,
+    };
+    let distinct: HashSet<Duration> = names
+        .iter()
+        .map(|guest| schedule.delay(1, BackoffSchedule::seed_for(guest)))
+        .collect();
+    assert!(
+        distinct.len() >= STORM / 2,
+        "only {} distinct first-rung delays across {STORM} domains",
+        distinct.len()
+    );
+
+    conn.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn crash_looper_hits_the_backoff_cap_without_starving_other_tenants() {
+    let name = unique("guard-loop");
+    // The qemu host crashes *every* start; the xen host is healthy and
+    // stands in for the other tenants sharing the daemon's worker pool.
+    let qemu = SimHost::builder(format!("{name}-qemu"))
+        .personality(QemuLike)
+        .latency(LatencyModel::zero())
+        .faults(FaultPlan::new().always(OpKind::Start, FaultAction::CrashAfter))
+        .build();
+    let xen = SimHost::builder(format!("{name}-xen"))
+        .personality(XenLike)
+        .latency(LatencyModel::zero())
+        .build();
+    // A short ladder keeps the test fast while still exercising capped
+    // exponential growth.
+    let daemon = Virtd::builder(&name)
+        .host(qemu)
+        .host(xen)
+        .config(VirtdConfig::new().guard_backoff(BackoffSchedule {
+            initial: Duration::from_millis(5),
+            max: Duration::from_millis(40),
+            multiplier: 2,
+        }))
+        .build()
+        .unwrap();
+    daemon.register_memory_endpoint(&name).unwrap();
+
+    let qemu_conn = Connect::builder(format!("qemu+memory://{name}/system"))
+        .open()
+        .unwrap();
+    let looper = qemu_conn
+        .define_domain(&DomainConfig::new("looper", 128, 1))
+        .unwrap();
+    looper
+        .guard_set(&GuardPolicy::KeepRunning { max_restarts: 3 })
+        .unwrap();
+    // The start "succeeds" but the guest is immediately crashed — every
+    // revival attempt repeats that, so the restart counter only climbs.
+    looper.start().unwrap();
+    assert_eq!(looper.state().unwrap(), DomainState::Crashed);
+
+    // While the looper climbs its ladder, other tenants must be served
+    // promptly: the backoff waits live on the guard engine's own timer
+    // thread, not on daemon worker-pool slots.
+    let xen_conn = Connect::builder(format!("xen+memory://{name}/system"))
+        .open()
+        .unwrap();
+    let busy = Instant::now();
+    for i in 0..5 {
+        xen_conn
+            .define_domain(&DomainConfig::new(format!("tenant-{i}"), 64, 1))
+            .unwrap()
+            .start()
+            .unwrap();
+    }
+    assert!(
+        busy.elapsed() < Duration::from_secs(5),
+        "healthy tenants stalled for {:?} behind a crash-looper",
+        busy.elapsed()
+    );
+
+    wait_for(
+        || looper.guard_status().map(|s| s.gave_up).unwrap_or(false),
+        "crash-looper guard to give up at the cap",
+    );
+    let status = looper.guard_status().unwrap();
+    assert!(status.restarts > 3, "{status:?}");
+    assert!(status.next_retry.is_none(), "{status:?}");
+    assert_eq!(daemon_counter(&daemon, "guard.gave_up"), 1);
+    assert!(daemon_counter(&daemon, "guard.revived") == 0);
+
+    qemu_conn.close();
+    xen_conn.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn auto_resume_and_graceful_stop_policies() {
+    let name = unique("guard-pol");
+    let daemon = Virtd::builder(&name).with_quiet_hosts().build().unwrap();
+    daemon.register_memory_endpoint(&name).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{name}/system"))
+        .open()
+        .unwrap();
+
+    // auto-resume: an unexpected pause is undone by the engine.
+    let pausy = conn
+        .define_domain(&DomainConfig::new("pausy", 64, 1))
+        .unwrap();
+    pausy.start().unwrap();
+    pausy.guard_set(&GuardPolicy::AutoResume).unwrap();
+    pausy.suspend().unwrap();
+    wait_for(
+        || pausy.state().unwrap() == DomainState::Running,
+        "auto-resume to unpause the domain",
+    );
+    assert!(daemon_counter(&daemon, "guard.resumed") >= 1);
+
+    // graceful-stop: shutdown now, destroy after the budget; the guard
+    // retires itself once the domain is down.
+    let leaver = conn
+        .define_domain(&DomainConfig::new("leaver", 64, 1))
+        .unwrap();
+    leaver.start().unwrap();
+    leaver
+        .guard_set(&GuardPolicy::GracefulStop { timeout_ms: 2_000 })
+        .unwrap();
+    wait_for(
+        || !leaver.state().unwrap().is_active(),
+        "graceful-stop to bring the domain down",
+    );
+    wait_for(
+        || leaver.guard_status().is_err(),
+        "graceful-stop guard to retire",
+    );
+    assert_eq!(daemon_counter(&daemon, "guard.stopped"), 1);
+
+    conn.close();
+    daemon.shutdown();
+}
+
+#[test]
+fn guards_survive_daemon_rebuild_and_revive_their_domains() {
+    let name = unique("guard-statedir");
+    let dir = std::env::temp_dir().join(unique("guard-state"));
+
+    // First daemon: a guarded running domain, then the daemon goes away
+    // with the domain still recorded running (the crash case).
+    {
+        let daemon = Virtd::builder(format!("{name}-1"))
+            .config(VirtdConfig::new().statedir(&dir))
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
+        daemon.register_memory_endpoint(&name).unwrap();
+        let conn = Connect::builder(format!("qemu+memory://{name}/system"))
+            .open()
+            .unwrap();
+        let web = conn
+            .define_domain(&DomainConfig::new("web", 128, 1))
+            .unwrap();
+        web.start().unwrap();
+        web.guard_set(&GuardPolicy::KeepRunning { max_restarts: 5 })
+            .unwrap();
+        conn.close();
+        daemon.shutdown();
+    }
+
+    // Second daemon, fresh hosts, same statedir: recovery re-arms the
+    // guard and — because the recorded-running guest died with the old
+    // daemon — revives it immediately, not on the first crash after.
+    let daemon = Virtd::builder(format!("{name}-2"))
+        .config(VirtdConfig::new().statedir(&dir))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    daemon.register_memory_endpoint(&name).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{name}/system"))
+        .open()
+        .unwrap();
+    let web = conn.domain_lookup_by_name("web").unwrap();
+    assert_eq!(web.state().unwrap(), DomainState::Running);
+    let status = web.guard_status().unwrap();
+    assert!(!status.gave_up, "{status:?}");
+    assert_eq!(daemon_counter(&daemon, "recovery.guards"), 1);
+    assert_eq!(daemon_counter(&daemon, "recovery.revived"), 1);
+
+    conn.close();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---- fleet failover (process-level members, SIGKILL) -------------------
+
+fn binary(name: &str) -> std::path::PathBuf {
+    let mut profile_dir = std::env::current_exe().expect("test binary path");
+    profile_dir.pop();
+    profile_dir.pop();
+    let target_dir = profile_dir.parent().expect("target dir").to_path_buf();
+    let candidates = [
+        profile_dir.join(name),
+        target_dir.join("release").join(name),
+        target_dir.join("debug").join(name),
+    ];
+    for candidate in &candidates {
+        if candidate.exists() {
+            return candidate.clone();
+        }
+    }
+    panic!("binary {name} not found; run `cargo build` first (looked in {candidates:?})");
+}
+
+/// One fleet member as a real OS process (mirrors tests/fleet.rs).
+struct Member {
+    child: Option<Child>,
+    name: String,
+    socket: String,
+    statedir: Option<String>,
+}
+
+impl Member {
+    fn spawn(tag: &str, statedir: bool) -> Member {
+        let id = format!("{tag}-{}-{:x}", std::process::id(), rand::random::<u32>());
+        let socket = format!("/tmp/guard-{id}.sock");
+        let statedir = statedir.then(|| format!("/tmp/guard-{id}-state"));
+        let mut member = Member {
+            child: None,
+            name: id,
+            socket,
+            statedir,
+        };
+        member.start();
+        member
+    }
+
+    fn start(&mut self) {
+        let admin = format!("{}.admin", self.socket);
+        let mut args = vec![
+            "--name".to_string(),
+            self.name.clone(),
+            "--unix".to_string(),
+            self.socket.clone(),
+            "--admin-unix".to_string(),
+            admin,
+            "--quiet-hosts".to_string(),
+        ];
+        if let Some(dir) = &self.statedir {
+            args.push("--statedir".to_string());
+            args.push(dir.clone());
+        }
+        let child = Command::new(binary("virtd"))
+            .args(&args)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("virtd binary spawns");
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !std::path::Path::new(&self.socket).exists() {
+            assert!(Instant::now() < deadline, "daemon socket never appeared");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.child = Some(child);
+    }
+
+    fn kill(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn restart(&mut self) {
+        self.kill();
+        let _ = std::fs::remove_file(&self.socket);
+        let _ = std::fs::remove_file(format!("{}.admin", self.socket));
+        self.start();
+    }
+
+    fn uri(&self) -> String {
+        format!("qemu+unix:///system?socket={}", self.socket)
+    }
+}
+
+impl Drop for Member {
+    fn drop(&mut self) {
+        self.kill();
+        let _ = std::fs::remove_file(&self.socket);
+        let _ = std::fs::remove_file(format!("{}.admin", self.socket));
+        if let Some(dir) = &self.statedir {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
+fn fleet_counter(fleet: &FleetManager, name: &str) -> u64 {
+    match fleet
+        .metrics()
+        .snapshot(name)
+        .into_iter()
+        .find(|m| m.name == name)
+        .map(|m| m.value)
+    {
+        Some(MetricValue::Counter(v)) => v,
+        _ => 0,
+    }
+}
+
+fn journal_contains(fleet: &FleetManager, needle: &str) -> bool {
+    fleet
+        .logger()
+        .journal()
+        .iter()
+        .any(|r| r.message.contains(needle))
+}
+
+#[test]
+fn sigkilled_member_fails_over_its_guarded_domain_and_reconciles() {
+    // The home member keeps crash-safe state so its restart revives the
+    // guarded guest — the double-residency case reconciliation resolves.
+    let mut home = Member::spawn("guard-fo-home", true);
+    let refuge = Member::spawn("guard-fo-refuge", false);
+    let fleet = FleetManager::builder()
+        .host("home", home.uri())
+        .host("refuge", refuge.uri())
+        .call_deadline(Some(Duration::from_secs(5)))
+        .build()
+        .unwrap();
+
+    // A guarded guest on the home member; the refresh snapshots it (and
+    // its XML) into the fleet's failover cache.
+    let conn = Connect::builder(home.uri()).open().unwrap();
+    let payroll = conn
+        .define_domain(&DomainConfig::new("payroll", 256, 1))
+        .unwrap();
+    payroll.start().unwrap();
+    payroll
+        .guard_set(&GuardPolicy::KeepRunning { max_restarts: 5 })
+        .unwrap();
+    conn.close();
+    fleet.refresh();
+    assert_eq!(fleet.locate("payroll").unwrap(), "home");
+
+    // SIGKILL the home member: the next refresh marks it down and the
+    // failover pass re-places the guest on the survivor.
+    home.kill();
+    wait_for(
+        || {
+            fleet.refresh();
+            !fleet.guard_failovers().is_empty()
+        },
+        "guard failover onto the surviving member",
+    );
+    assert_eq!(
+        fleet.guard_failovers(),
+        vec![(
+            "payroll".to_string(),
+            "home".to_string(),
+            "refuge".to_string()
+        )]
+    );
+    assert_eq!(fleet_counter(&fleet, "fleet.guard.failover"), 1);
+    assert!(
+        journal_contains(
+            &fleet,
+            "event=guard_failover domain=payroll from=home to=refuge"
+        ),
+        "structured guard_failover line missing"
+    );
+    // Live check: the guest really runs on the survivor, still guarded.
+    let refuge_conn = Connect::builder(refuge.uri()).open().unwrap();
+    let adopted = refuge_conn.domain_lookup_by_name("payroll").unwrap();
+    assert_eq!(adopted.state().unwrap(), DomainState::Running);
+    assert!(adopted.guard_status().is_ok(), "failover copy is unguarded");
+    refuge_conn.close();
+
+    // Home returns and revives its own copy from the crash-safe store —
+    // two residents until the reconcile pass removes the stale home copy.
+    home.restart();
+    wait_for(
+        || {
+            fleet.refresh();
+            fleet.residency("payroll").len() == 1
+        },
+        "single residency after the home member returned",
+    );
+    assert_eq!(fleet.residency("payroll"), vec!["refuge".to_string()]);
+    assert!(fleet.guard_failovers().is_empty(), "failover entry retired");
+    assert_eq!(fleet_counter(&fleet, "fleet.guard.reconciled"), 1);
+    assert!(
+        journal_contains(
+            &fleet,
+            "event=guard_reconciled domain=payroll home=home owner=refuge"
+        ),
+        "structured guard_reconciled line missing"
+    );
+}
+
+#[test]
+fn arming_a_guard_reconciles_preexisting_state() {
+    let name = unique("guard-arm");
+    let daemon = Virtd::builder(&name).with_quiet_hosts().build().unwrap();
+    daemon.register_memory_endpoint(&name).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{name}/system"))
+        .open()
+        .unwrap();
+
+    // keep-running armed against an *already-crashed* domain revives it
+    // now — the crash predates the guard, so no further event arrives.
+    let wreck = conn
+        .define_domain(&DomainConfig::new("wreck", 64, 1))
+        .unwrap();
+    wreck.start().unwrap();
+    wreck.crash().unwrap();
+    assert_eq!(wreck.state().unwrap(), DomainState::Crashed);
+    wreck
+        .guard_set(&GuardPolicy::KeepRunning { max_restarts: 5 })
+        .unwrap();
+    wait_for(
+        || wreck.state().unwrap() == DomainState::Running,
+        "arm-time restart of a pre-crashed domain",
+    );
+
+    // auto-resume armed against an *already-paused* domain resumes it.
+    let dozer = conn
+        .define_domain(&DomainConfig::new("dozer", 64, 1))
+        .unwrap();
+    dozer.start().unwrap();
+    dozer.suspend().unwrap();
+    dozer.guard_set(&GuardPolicy::AutoResume).unwrap();
+    wait_for(
+        || dozer.state().unwrap() == DomainState::Running,
+        "arm-time resume of a pre-paused domain",
+    );
+
+    // A shutoff domain is deliberately left alone: define-guard-start
+    // stays a legal workflow.
+    let later = conn
+        .define_domain(&DomainConfig::new("later", 64, 1))
+        .unwrap();
+    later
+        .guard_set(&GuardPolicy::KeepRunning { max_restarts: 5 })
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(later.state().unwrap(), DomainState::Shutoff);
+
+    conn.close();
+    daemon.shutdown();
+}

@@ -1,0 +1,288 @@
+//! **F12 — Group-commit statestore: mutating-op throughput and latency.**
+//!
+//! Every mutating management op persists dirty objects through the
+//! statestore. The pre-group-commit store paid a full temp → fsync →
+//! rename → dirsync cycle per write on the caller's thread, so N
+//! concurrent writers serialized behind N independent fsync cycles —
+//! F7 measured that protocol at ~2 ms/domain and F8b found it gating
+//! mixed-workload throughput. The group-commit pipeline queues dirty
+//! records, coalesces them, and flushes a whole batch in one fsync
+//! cycle that all concurrent barrier waiters share.
+//!
+//! Three measurements, each pipeline vs. the synchronous baseline
+//! (`StoreOptions::sync_writes`, the old per-op behavior):
+//!
+//! 1. **Store-level durable writes** — W threads × N `put`s of distinct
+//!    objects. Throughput and per-op p50/p99: group commit should win
+//!    roughly in proportion to the number of concurrent writers.
+//! 2. **Daemon-level define latency** — W remote clients concurrently
+//!    defining domains against a statedir-backed daemon (the full
+//!    dispatch + driver + persist path, i.e. what a user observes).
+//! 3. **Coalescing probe** — a K-write status storm against one object,
+//!    write-behind: the `group_commits`/`coalesced` counters must show
+//!    the storm collapsing into ≤ 2 fsync cycles.
+//!
+//! Run: `cargo run --release -p virt-bench --bin expt_f12_statestore`
+//! (`--smoke` shrinks the sweep for CI).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use virt_bench::unique;
+use virt_core::statestore::{ObjectKind, StateStore, StoreOptions};
+use virt_core::xmlfmt::DomainConfig;
+use virt_core::Connect;
+use virtd::{Virtd, VirtdConfig};
+
+struct Arm {
+    label: &'static str,
+    sync_writes: bool,
+}
+
+const ARMS: [Arm; 2] = [
+    Arm {
+        label: "sync",
+        sync_writes: true,
+    },
+    Arm {
+        label: "group",
+        sync_writes: false,
+    },
+];
+
+struct Point {
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn summarize(mut latencies_us: Vec<f64>, elapsed_s: f64) -> Point {
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Point {
+        ops_per_sec: latencies_us.len() as f64 / elapsed_s,
+        p50_us: percentile(&latencies_us, 0.50),
+        p99_us: percentile(&latencies_us, 0.99),
+    }
+}
+
+/// W threads, each committing N durable puts of distinct objects.
+fn store_level(writers: usize, per_writer: usize, sync_writes: bool) -> (Vec<f64>, f64) {
+    let dir = std::env::temp_dir().join(unique("expt-f12-store"));
+    let store = StateStore::open_with_options(
+        &dir,
+        StoreOptions {
+            sync_writes,
+            ..StoreOptions::default()
+        },
+    )
+    .expect("store opens");
+    let started = Instant::now();
+    let handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let mut lat = Vec::with_capacity(per_writer);
+                for i in 0..per_writer {
+                    let op = Instant::now();
+                    store
+                        .put(
+                            ObjectKind::Domain,
+                            "qemu",
+                            &format!("dom-{t}-{i}"),
+                            &format!("<domain><name>dom-{t}-{i}</name></domain>"),
+                        )
+                        .expect("put succeeds");
+                    lat.push(op.elapsed().as_secs_f64() * 1e6);
+                }
+                lat
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().expect("writer thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    (latencies, elapsed)
+}
+
+/// W remote clients concurrently defining domains against a
+/// statedir-backed daemon: the end-to-end mutating-op path.
+fn daemon_level(writers: usize, per_writer: usize, sync_writes: bool) -> (Vec<f64>, f64) {
+    let statedir = std::env::temp_dir().join(unique("expt-f12-daemon"));
+    let endpoint = unique("f12");
+    let daemon = Virtd::builder(&endpoint)
+        .config(
+            VirtdConfig::new()
+                .max_clients(256)
+                .statedir(&statedir)
+                .statestore(StoreOptions {
+                    sync_writes,
+                    ..StoreOptions::default()
+                }),
+        )
+        .with_quiet_hosts()
+        .build()
+        .expect("daemon builds");
+    daemon
+        .register_memory_endpoint(&endpoint)
+        .expect("endpoint");
+    let uri = format!("qemu+memory://{endpoint}/system");
+
+    let started = Instant::now();
+    let handles: Vec<_> = (0..writers)
+        .map(|t| {
+            let uri = uri.clone();
+            std::thread::spawn(move || {
+                let conn = Connect::builder(&uri).open().expect("connect");
+                let mut lat = Vec::with_capacity(per_writer);
+                for i in 0..per_writer {
+                    let op = Instant::now();
+                    conn.define_domain(&DomainConfig::new(format!("vm-{t}-{i}"), 64, 1))
+                        .expect("define succeeds");
+                    lat.push(op.elapsed().as_secs_f64() * 1e6);
+                }
+                conn.close();
+                lat
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().expect("client thread"));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&statedir);
+    (latencies, elapsed)
+}
+
+/// A K-write status storm against one object through the write-behind
+/// path, then a drain. Returns (flush cycles, coalesced records).
+fn coalescing_probe(k: usize) -> (u64, u64) {
+    let dir = std::env::temp_dir().join(unique("expt-f12-storm"));
+    let store = StateStore::open(&dir).expect("store opens");
+    for i in 0..k {
+        store.put_behind(
+            ObjectKind::DomainStatus,
+            "qemu",
+            "stormy",
+            &format!("<domstatus frame='{i}'/>"),
+        );
+    }
+    store.flush().expect("drain succeeds");
+    let cycles = store.group_commits_total();
+    let coalesced = store.coalesced_total();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    (cycles, coalesced)
+}
+
+/// Aggregates `trials` runs of one measurement: latencies pool, elapsed
+/// times sum, so the summary reflects every op of every trial.
+fn trials_of(trials: u32, mut run: impl FnMut() -> (Vec<f64>, f64)) -> Point {
+    let mut latencies = Vec::new();
+    let mut elapsed = 0.0;
+    for _ in 0..trials {
+        let (lat, s) = run();
+        latencies.extend(lat);
+        elapsed += s;
+    }
+    summarize(latencies, elapsed)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let writer_counts: &[usize] = if smoke { &[8] } else { &[2, 8, 16] };
+    let per_writer = if smoke { 12 } else { 60 };
+    let storm = if smoke { 64 } else { 200 };
+    let trials = if smoke { 1 } else { 3 };
+
+    let mut csv = String::from("level,writers,mode,ops_per_sec,p50_us,p99_us\n");
+
+    println!("F12: statestore group commit vs per-op fsync ({per_writer} ops/writer)");
+    println!(
+        "{:<8} {:<8} {:<7} {:>12} {:>10} {:>10}",
+        "level", "writers", "mode", "ops/s", "p50 (us)", "p99 (us)"
+    );
+    println!("{}", "-".repeat(60));
+    for &writers in writer_counts {
+        let mut speedup: [f64; 2] = [0.0; 2];
+        let mut p99s: [f64; 2] = [0.0; 2];
+        for (index, arm) in ARMS.iter().enumerate() {
+            let point = trials_of(trials, || store_level(writers, per_writer, arm.sync_writes));
+            println!(
+                "{:<8} {:<8} {:<7} {:>12.0} {:>10.1} {:>10.1}",
+                "store", writers, arm.label, point.ops_per_sec, point.p50_us, point.p99_us
+            );
+            csv.push_str(&format!(
+                "store,{writers},{},{:.0},{:.1},{:.1}\n",
+                arm.label, point.ops_per_sec, point.p50_us, point.p99_us
+            ));
+            speedup[index] = point.ops_per_sec;
+            p99s[index] = point.p99_us;
+        }
+        println!(
+            "{:<8} {:<8} {:<7} {:>11.1}x {:>9.1}x p99",
+            "",
+            writers,
+            "ratio",
+            speedup[1] / speedup[0],
+            p99s[0] / p99s[1]
+        );
+    }
+    println!("{}", "-".repeat(60));
+    for &writers in writer_counts {
+        let mut speedup: [f64; 2] = [0.0; 2];
+        let mut p99s: [f64; 2] = [0.0; 2];
+        for (index, arm) in ARMS.iter().enumerate() {
+            let point = trials_of(trials, || {
+                daemon_level(writers, per_writer, arm.sync_writes)
+            });
+            println!(
+                "{:<8} {:<8} {:<7} {:>12.0} {:>10.1} {:>10.1}",
+                "daemon", writers, arm.label, point.ops_per_sec, point.p50_us, point.p99_us
+            );
+            csv.push_str(&format!(
+                "daemon,{writers},{},{:.0},{:.1},{:.1}\n",
+                arm.label, point.ops_per_sec, point.p50_us, point.p99_us
+            ));
+            speedup[index] = point.ops_per_sec;
+            p99s[index] = point.p99_us;
+        }
+        println!(
+            "{:<8} {:<8} {:<7} {:>11.1}x {:>9.1}x p99",
+            "",
+            writers,
+            "ratio",
+            speedup[1] / speedup[0],
+            p99s[0] / p99s[1]
+        );
+    }
+
+    let (cycles, coalesced) = coalescing_probe(storm);
+    println!("{}", "-".repeat(60));
+    println!(
+        "coalescing probe: {storm}-write storm to one object -> {cycles} flush \
+         cycle(s), {coalesced} records coalesced"
+    );
+    csv.push_str(&format!("storm,{storm},group,{cycles},{coalesced},0\n"));
+    assert!(
+        cycles <= 2,
+        "status storm must collapse into at most 2 fsync cycles, took {cycles}"
+    );
+
+    let csv_path = "target/expt_f12_statestore.csv";
+    let _ = std::fs::write(csv_path, &csv);
+    println!("\nCSV written to {csv_path}");
+}

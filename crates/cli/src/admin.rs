@@ -677,6 +677,49 @@ mod tests {
     }
 
     #[test]
+    fn metrics_shows_statestore_pipeline_for_statedir_daemons() {
+        // A statedir-backed daemon publishes the persistence pipeline's
+        // counters, the queue-depth gauge, and the whole-cycle fsync
+        // latency histogram (rendered with quantile estimates) through
+        // the same `vadm metrics` table as every other layer.
+        let statedir = std::env::temp_dir().join(unique("vadm-statedir"));
+        let daemon = Virtd::builder(unique("vadm"))
+            .config(virtd::VirtdConfig::new().statedir(&statedir))
+            .with_quiet_hosts()
+            .build()
+            .unwrap();
+        let path = format!("/tmp/{}.sock", unique("vadm-admin"));
+        daemon.serve_admin(Box::new(UnixSocketListener::bind(&path).unwrap()));
+
+        let args = vec![
+            "-s".to_string(),
+            path.clone(),
+            "metrics".to_string(),
+            "statestore.".to_string(),
+        ];
+        let mut out = Vec::new();
+        let code = run_admin(&args, &mut out);
+        let text = String::from_utf8_lossy(&out).into_owned();
+        assert_eq!(code, 0, "{text}");
+        assert!(text.contains("statestore.group_commits"), "{text}");
+        assert!(text.contains("statestore.coalesced"), "{text}");
+        assert!(text.contains("statestore.queue_depth"), "{text}");
+        assert!(text.contains("statestore.write_error"), "{text}");
+        // The fsync-cycle histogram renders as quantiles, not buckets.
+        assert!(text.contains("statestore.sync_us"), "{text}");
+        let sync_line = text
+            .lines()
+            .find(|l| l.contains("statestore.sync_us"))
+            .unwrap();
+        assert!(sync_line.contains("p50="), "{sync_line}");
+        assert!(sync_line.contains("p99="), "{sync_line}");
+
+        daemon.shutdown();
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_dir_all(&statedir);
+    }
+
+    #[test]
     fn metrics_shows_all_daemon_layers() {
         // srv-list first so the admin server has dispatched at least one
         // RPC before metrics are read.

@@ -29,7 +29,12 @@
 //! Policies persist in the [`StateStore`](crate::statestore::StateStore)
 //! as [`GuardRecord`] documents so guards survive daemon restarts;
 //! recovery re-arms them and immediately revives recorded-crashed
-//! guarded domains.
+//! guarded domains. Guard persistence rides the store's group-commit
+//! pipeline: arming or clearing a policy blocks on the durable barrier
+//! (the record shares a flush cycle with whatever else is in the
+//! batch), while the status churn a revival storm generates goes down
+//! the write-behind path, where per-object coalescing absorbs it
+//! instead of paying an fsync per flip.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

@@ -80,7 +80,7 @@ pub use event::{CallbackId, DomainEvent, DomainEventKind, EventBus, EventFilter}
 pub use guard::{GuardEngine, GuardPolicy, GuardRecord, GuardStatus};
 pub use job::{JobHandle, JobKind, JobState, JobStats};
 pub use network::Network;
-pub use statestore::{DomainStatus, ObjectKind, StateStore, StoreFault};
+pub use statestore::{DomainStatus, ObjectKind, StateStore, StoreFault, StoreOp, StoreOptions};
 pub use storage::{StoragePool, Volume};
 pub use typedparam::{ParamValue, TypedParam, TypedParams};
 pub use uuid::Uuid;

@@ -1,0 +1,127 @@
+//! Release perf guard for the group-commit statestore pipeline.
+//!
+//! Asserts the coalescing contract F12 depends on: a burst of K
+//! back-to-back status writes to one domain must collapse into at most
+//! two fsync cycles (one may already be in flight when the burst
+//! starts), with essentially every record coalesced away. This is a
+//! counter-based structural check, not a timing measurement, so it is
+//! stable on shared CI hardware — `expt_f12_statestore` measures the
+//! actual latency win.
+//!
+//! Debug builds time the window differently enough to flake, so the
+//! guard only arms under `--release` (like the other perf guards wired
+//! into scripts/ci.sh).
+
+use std::time::Duration;
+
+use virt_core::statestore::{ObjectKind, StateStore, StoreOptions};
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .as_nanos();
+    std::env::temp_dir().join(format!(
+        "statestore-perf-{tag}-{}-{nanos}",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn status_write_burst_collapses_into_at_most_two_fsync_cycles() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping: perf guard is release-only");
+        return;
+    }
+    const BURST: usize = 200;
+    let dir = temp_dir("burst");
+    let store = StateStore::open_with_options(
+        &dir,
+        StoreOptions {
+            // Generous window: the whole burst lands well inside it, so
+            // any extra cycles would come from the pipeline itself.
+            coalesce_window: Duration::from_millis(200),
+            ..StoreOptions::default()
+        },
+    )
+    .expect("store opens");
+
+    for i in 0..BURST {
+        store.put_behind(
+            ObjectKind::DomainStatus,
+            "qemu",
+            "burst-target",
+            &format!("<domstatus frame='{i}'/>"),
+        );
+    }
+    store.flush().expect("drain succeeds");
+
+    let cycles = store.group_commits_total();
+    let coalesced = store.coalesced_total();
+    assert!(
+        cycles <= 2,
+        "{BURST} back-to-back status writes took {cycles} fsync cycles (want <= 2)"
+    );
+    assert!(
+        coalesced >= (BURST - 2) as u64,
+        "only {coalesced} of {BURST} records coalesced"
+    );
+
+    // Last-writer-wins: the surviving frame is the final one.
+    let frame = store
+        .get(ObjectKind::DomainStatus, "qemu", "burst-target")
+        .expect("read back")
+        .expect("record present");
+    assert!(frame.contains(&format!("frame='{}'", BURST - 1)), "{frame}");
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_durable_writers_share_fsync_cycles() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping: perf guard is release-only");
+        return;
+    }
+    const WRITERS: usize = 8;
+    const PER_WRITER: usize = 20;
+    let dir = temp_dir("shared");
+    let store = StateStore::open(&dir).expect("store opens");
+
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            let store = std::sync::Arc::clone(&store);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    store
+                        .put(
+                            ObjectKind::Domain,
+                            "qemu",
+                            &format!("dom-{t}-{i}"),
+                            "<domain/>",
+                        )
+                        .expect("durable put");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer thread");
+    }
+
+    let total_ops = (WRITERS * PER_WRITER) as u64;
+    let cycles = store.group_commits_total();
+    // Perfect batching would be PER_WRITER cycles; per-op fsync would be
+    // total_ops. Require at least 2x sharing with headroom for scheduler
+    // jitter on loaded CI machines.
+    assert!(
+        cycles <= total_ops / 2,
+        "{total_ops} durable puts from {WRITERS} writers took {cycles} fsync cycles \
+         (want <= {})",
+        total_ops / 2
+    );
+
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

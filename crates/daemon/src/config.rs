@@ -9,6 +9,7 @@ use virt_rpc::retry::BackoffSchedule;
 use virt_rpc::PoolLimits;
 
 use virt_core::log::LogSettings;
+use virt_core::StoreOptions;
 
 /// Startup configuration of a daemon.
 #[derive(Debug, Clone)]
@@ -37,6 +38,10 @@ pub struct VirtdConfig {
     /// Restart-backoff ladder used by the guard engine for `keep-running`
     /// policies. `None` keeps the engine's built-in default.
     pub guard_backoff: Option<BackoffSchedule>,
+    /// Tuning of the statestore's group-commit pipeline (coalesce
+    /// window, synchronous-write fallback). Only meaningful when
+    /// `statedir` is set.
+    pub statestore: StoreOptions,
 }
 
 impl VirtdConfig {
@@ -55,6 +60,7 @@ impl VirtdConfig {
             statedir: None,
             event_threads: 2,
             guard_backoff: None,
+            statestore: StoreOptions::default(),
         }
     }
 
@@ -91,6 +97,12 @@ impl VirtdConfig {
     /// Overrides the guard engine's restart-backoff ladder.
     pub fn guard_backoff(mut self, schedule: BackoffSchedule) -> Self {
         self.guard_backoff = Some(schedule);
+        self
+    }
+
+    /// Overrides the statestore pipeline tuning.
+    pub fn statestore(mut self, options: StoreOptions) -> Self {
+        self.statestore = options;
         self
     }
 }

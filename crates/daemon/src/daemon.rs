@@ -36,6 +36,10 @@ pub struct Virtd {
     /// Daemon-wide metric registry: every layer publishes into it and
     /// the admin metrics procedures read from it.
     registry: Arc<Registry>,
+    /// The shared state store, when persistence is enabled; kept so
+    /// shutdown can drain the write-behind pipeline after the servers
+    /// stop accepting work.
+    store: Option<Arc<StateStore>>,
     /// Names registered in the global testbed, removed on shutdown.
     registered_endpoints: parking_lot::Mutex<Vec<String>>,
     /// Accept-loop handles for every attached service; shutdown closes
@@ -193,7 +197,12 @@ impl VirtdBuilder {
         // its definitions and live status to disk, and boot runs a
         // recovery pass over whatever the previous daemon left behind.
         let store = match &self.config.statedir {
-            Some(dir) => Some(StateStore::open(dir.clone())?),
+            Some(dir) => {
+                let store =
+                    StateStore::open_with_options(dir.clone(), self.config.statestore.clone())?;
+                store.set_logger(Arc::clone(&logger));
+                Some(store)
+            }
             None => None,
         };
 
@@ -229,6 +238,9 @@ impl VirtdBuilder {
         );
         remote_dispatcher.publish_metrics(&registry);
         virt_core::job::job_metrics().publish(&registry);
+        if let Some(store) = &store {
+            store.publish_metrics(&registry);
+        }
         for (scheme, conn) in &drivers {
             conn.publish_metrics(&registry, scheme);
             // Job recovery: a daemon that went down mid-job cannot resume
@@ -350,6 +362,7 @@ impl VirtdBuilder {
             admin_server,
             logger,
             registry,
+            store,
             registered_endpoints: parking_lot::Mutex::new(Vec::new()),
             serve_handles: parking_lot::Mutex::new(Vec::new()),
         })
@@ -454,6 +467,17 @@ impl Virtd {
         // leave no revival racing the teardown.
         for conn in self.drivers.values() {
             conn.guard_engine().stop();
+        }
+        // Drain the write-behind pipeline last: no server or guard can
+        // queue new records now, so after this every status write the
+        // daemon accepted is on disk.
+        if let Some(store) = &self.store {
+            if let Err(err) = store.flush() {
+                self.logger.warning(
+                    "daemon",
+                    &format!("statestore drain at shutdown reported: {err}"),
+                );
+            }
         }
         self.logger
             .info("daemon", &format!("virtd '{}' stopped", self.name));

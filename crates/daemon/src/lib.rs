@@ -62,3 +62,4 @@ pub use config::VirtdConfig;
 pub use daemon::Virtd;
 pub use eventloop::EventLoopOptions;
 pub use server::{ClientIdentity, ClientSnapshot, ServeHandle, Server};
+pub use virt_core::StoreOptions;

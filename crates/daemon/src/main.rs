@@ -7,12 +7,17 @@
 //! ```text
 //! virtd [--name NAME] [--unix PATH] [--tcp ADDR] [--admin-unix PATH]
 //!       [--max-clients N] [--quiet-hosts] [--slow-migration] [--statedir DIR]
+//!       [--statestore-flush-ms MS] [--statestore-sync]
 //! ```
 //!
 //! Defaults: name `virtd`, remote socket `/tmp/virtd.sock`, admin socket
 //! `/tmp/virtd-admin.sock`, realistic host latency models, no state
 //! directory (all state in memory). With `--statedir`, definitions are
-//! persisted crash-safe under `DIR` and recovered at the next start.
+//! persisted crash-safe under `DIR` and recovered at the next start;
+//! `--statestore-flush-ms` tunes how long the persister lets volatile
+//! write-behind records coalesce before flushing, and
+//! `--statestore-sync` disables the pipeline entirely (every write pays
+//! its own fsync cycle — the pre-group-commit behavior).
 
 use virt_rpc::transport::{TcpSocketListener, UnixSocketListener};
 use virtd::{Virtd, VirtdConfig};
@@ -26,6 +31,8 @@ struct Options {
     quiet_hosts: bool,
     slow_migration: bool,
     statedir: Option<String>,
+    statestore_flush_ms: Option<u64>,
+    statestore_sync: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -38,6 +45,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         quiet_hosts: false,
         slow_migration: false,
         statedir: None,
+        statestore_flush_ms: None,
+        statestore_sync: false,
     };
     let mut i = 0;
     let value = |args: &[String], i: usize, flag: &str| -> Result<String, String> {
@@ -76,11 +85,21 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 options.statedir = Some(value(args, i, "--statedir")?);
                 i += 1;
             }
+            "--statestore-flush-ms" => {
+                options.statestore_flush_ms = Some(
+                    value(args, i, "--statestore-flush-ms")?
+                        .parse()
+                        .map_err(|_| "--statestore-flush-ms must be a number".to_string())?,
+                );
+                i += 1;
+            }
+            "--statestore-sync" => options.statestore_sync = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: virtd [--name NAME] [--unix PATH|--no-unix] [--tcp ADDR] \
                             [--admin-unix PATH] [--max-clients N] [--quiet-hosts] \
-                            [--slow-migration] [--statedir DIR]"
+                            [--slow-migration] [--statedir DIR] \
+                            [--statestore-flush-ms MS] [--statestore-sync]"
                         .to_string(),
                 )
             }
@@ -105,6 +124,12 @@ fn main() {
     if let Some(dir) = &options.statedir {
         config = config.statedir(dir);
     }
+    let mut store_options = virtd::StoreOptions::default();
+    if let Some(ms) = options.statestore_flush_ms {
+        store_options.coalesce_window = std::time::Duration::from_millis(ms);
+    }
+    store_options.sync_writes = options.statestore_sync;
+    config = config.statestore(store_options);
     let mut builder = Virtd::builder(&options.name).config(config);
     builder = if options.quiet_hosts {
         builder.with_quiet_hosts()

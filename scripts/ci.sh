@@ -69,6 +69,18 @@ cargo run -q --release --offline -p virt-bench --bin expt_f10_fleet -- --smoke
 echo "== perf smoke (guard revive storm + crash-loop containment, release) =="
 cargo run -q --release --offline -p virt-bench --bin expt_f11_guard -- --smoke
 
+# Statestore smoke: group commit vs per-op fsync at 8 writers, plus the
+# built-in assert that a status-write storm collapses into ≤ 2 cycles.
+echo "== perf smoke (statestore group commit, release) =="
+cargo run -q --release --offline -p virt-bench --bin expt_f12_statestore -- --smoke
+
+# Release perf guard: counter-based batching/coalescing contract — K
+# back-to-back status writes to one domain take ≤ 2 fsync cycles, and
+# concurrent durable writers share cycles. Structural, not timed, so it
+# holds on loaded CI machines.
+echo "== perf guard (statestore coalescing contract, release) =="
+cargo test -q --release --offline -p virt-core --test statestore_perf
+
 # Chaos suites last: they SIGKILL real daemon processes and churn
 # temp state directories, so everything cheap fails first.
 echo "== chaos (connection resilience) =="
@@ -84,7 +96,7 @@ echo "== chaos (domain jobs) =="
 cargo test -q --offline --test jobs
 
 echo "== chaos (crash recovery: kill -9 a statedir daemon, respawn, torn files) =="
-cargo test -q --offline --test resilience -- statedir torn_state_file
+cargo test -q --offline --test resilience -- statedir torn_state_file sigkill_mid_batch
 
 echo "== fault injection (state store: failed + torn writes) =="
 cargo test -q --offline -p virt-core --lib statestore

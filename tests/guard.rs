@@ -570,3 +570,87 @@ fn arming_a_guard_reconciles_preexisting_state() {
     conn.close();
     daemon.shutdown();
 }
+
+/// A guarded crash storm against a statedir-backed daemon: every crash
+/// and revival flips domain status, and all of that churn rides the
+/// statestore's write-behind path. The coalescing queue must absorb it
+/// — far fewer fsync cycles than status writes — while the guard
+/// records themselves (durable, group-committed) survive a rebuild.
+#[test]
+fn guarded_crash_storm_status_churn_coalesces_in_the_statestore() {
+    let name = unique("guard-coalesce");
+    let dir = std::env::temp_dir().join(unique("guard-coalesce-state"));
+    let daemon = Virtd::builder(&name)
+        .config(VirtdConfig::new().statedir(&dir))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    daemon.register_memory_endpoint(&name).unwrap();
+    let conn = Connect::builder(format!("qemu+memory://{name}/system"))
+        .open()
+        .unwrap();
+
+    const STORM: usize = 20;
+    let names: Vec<String> = (0..STORM).map(|i| format!("churn-{i}")).collect();
+    for guest in &names {
+        let domain = conn
+            .define_domain(&DomainConfig::new(guest, 64, 1))
+            .unwrap();
+        domain.start().unwrap();
+        domain
+            .guard_set(&GuardPolicy::KeepRunning { max_restarts: 5 })
+            .unwrap();
+    }
+    for guest in &names {
+        conn.domain_lookup_by_name(guest).unwrap().crash().unwrap();
+    }
+    wait_for(
+        || {
+            names.iter().all(|guest| {
+                conn.domain_lookup_by_name(guest)
+                    .map(|d| d.state().unwrap_or(DomainState::Crashed) == DomainState::Running)
+                    .unwrap_or(false)
+            })
+        },
+        "all guarded domains back to running",
+    );
+
+    // Every lifecycle flip (start, crash, revive) enqueues a
+    // (definition, status) record pair on the write-behind path, the
+    // define commits one durably, and guard-set adds another: ≥ 7
+    // records per domain. Per-record fsync would pay a cycle each; the
+    // pipeline must show real sharing, and the unchanged definition
+    // frames must be dropped by content dedup rather than rewritten.
+    let cycles = daemon_counter(&daemon, "statestore.group_commits");
+    let deduped = daemon_counter(&daemon, "statestore.deduped");
+    let records = (STORM * 7) as u64;
+    assert!(
+        cycles > 0 && cycles <= records / 2,
+        "{records}+ records took {cycles} fsync cycles — nothing batched"
+    );
+    assert!(
+        deduped > 0,
+        "unchanged definition frames were rewritten instead of deduped"
+    );
+
+    daemon.shutdown();
+
+    // Same statedir, fresh daemon: the durable guard records committed
+    // through the barrier path are all still there.
+    let daemon2 = Virtd::builder(&name)
+        .config(VirtdConfig::new().statedir(&dir))
+        .with_quiet_hosts()
+        .build()
+        .unwrap();
+    let endpoint2 = unique("guard-coalesce-2");
+    daemon2.register_memory_endpoint(&endpoint2).unwrap();
+    let conn2 = Connect::builder(format!("qemu+memory://{endpoint2}/system"))
+        .open()
+        .unwrap();
+    assert_eq!(conn2.guard_list().unwrap().len(), STORM);
+
+    conn.close();
+    conn2.close();
+    daemon2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

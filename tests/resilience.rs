@@ -539,3 +539,106 @@ fn torn_state_file_is_quarantined_not_fatal() {
     let _ = std::fs::remove_file(&admin_socket);
     let _ = std::fs::remove_dir_all(&statedir);
 }
+
+// ---------------------------------------------------------------------
+// Group-commit pipeline: SIGKILL in the middle of a write-behind batch.
+// ---------------------------------------------------------------------
+
+/// SIGKILL lands while the statestore's coalescing queue still holds
+/// unflushed write-behind status records (a huge `--statestore-flush-ms`
+/// window guarantees it) and possibly a durable batch mid-cycle. The
+/// crash contract says recovery must see only whole frames — each
+/// object's old frame or its new frame, never a torn hybrid — so the
+/// respawn re-adopts 100% of the durably-defined domains and
+/// quarantines nothing.
+#[test]
+fn sigkill_mid_batch_recovers_whole_frames_and_all_definitions() {
+    let id = unique("chaos-batch");
+    let socket = format!("/tmp/virtd-{id}.sock");
+    let admin_socket = format!("/tmp/virtd-{id}-admin.sock");
+    let statedir = std::env::temp_dir().join(format!("virtd-state-{id}"));
+    let statedir_arg = statedir.to_string_lossy().to_string();
+
+    let mut child = spawn_virtd_with(
+        &socket,
+        &admin_socket,
+        &[
+            "--statedir",
+            &statedir_arg,
+            "--statestore-flush-ms",
+            "30000",
+        ],
+    );
+    let conn = Connect::builder(format!("qemu+unix:///system?socket={socket}"))
+        .retry(patient_retry())
+        .open()
+        .unwrap();
+
+    // 30 durable definitions: each blocks on the group-commit barrier,
+    // so all 30 are on disk before the axe falls.
+    for i in 0..30 {
+        conn.define_domain(&DomainConfig::new(format!("batch{i:02}"), 64, 1))
+            .unwrap();
+    }
+    // A burst of lifecycle flips: their status records ride the
+    // write-behind path and are still queued (30 s window) when the
+    // SIGKILL lands — the daemon dies with a dirty coalescing queue.
+    for i in 0..10 {
+        conn.domain_lookup_by_name(&format!("batch{i:02}"))
+            .unwrap()
+            .start()
+            .unwrap();
+    }
+
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&admin_socket);
+    wait_until(|| !conn.is_alive(), "client to notice the kill");
+
+    // Every surviving state file must be a whole frame: non-empty and
+    // carrying the checksummed header the store writes first. A torn
+    // tail would mean rename ran before the frame's bytes were durable.
+    for sub in ["etc/domains/qemu", "run/domains/qemu"] {
+        let dir = statedir.join(sub);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let bytes = std::fs::read(entry.path()).unwrap();
+            assert!(
+                bytes.starts_with(b"#virtstate v1 "),
+                "{:?} is not a whole frame",
+                entry.path()
+            );
+        }
+    }
+
+    let mut child2 = spawn_virtd_with(
+        &socket,
+        &admin_socket,
+        &[
+            "--statedir",
+            &statedir_arg,
+            "--statestore-flush-ms",
+            "30000",
+        ],
+    );
+
+    // 100% of the durably-committed definitions are re-adopted…
+    for i in 0..30 {
+        let name = format!("batch{i:02}");
+        let info = conn.domain_lookup_by_name(&name).unwrap().info().unwrap();
+        assert!(info.persistent, "{name} must survive the mid-batch kill");
+    }
+    assert_eq!(recovery_metric(&admin_socket, "recovery.recovered"), 30);
+    // …and nothing was quarantined: the batch left no torn frames.
+    assert_eq!(recovery_metric(&admin_socket, "recovery.quarantined"), 0);
+
+    conn.close();
+    let _ = child2.kill();
+    let _ = child2.wait();
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&admin_socket);
+    let _ = std::fs::remove_dir_all(&statedir);
+}
